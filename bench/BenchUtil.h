@@ -1,0 +1,138 @@
+//===- BenchUtil.h - shared benchmark harness helpers -----------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common plumbing for the figure-reproduction binaries: compile the
+/// benchmark suite once per pipeline variant, time VM runs, accumulate
+/// per-(benchmark,variant) means, and print paper-style speedup tables
+/// with geometric means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_BENCH_BENCHUTIL_H
+#define LZ_BENCH_BENCHUTIL_H
+
+#include "dialect/Dialects.h"
+#include "lambda/MiniLean.h"
+#include "lower/Pipeline.h"
+#include "programs/Programs.h"
+#include "runtime/Object.h"
+#include "vm/VM.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lz::bench {
+
+/// A compiled benchmark: ready-to-run bytecode plus bookkeeping.
+struct Compiled {
+  std::string Bench;
+  std::string Variant;
+  vm::Program Prog;
+  unsigned NumOps = 0;
+};
+
+/// Compiles \p BenchName at its benchmark size through \p Opts. Aborts on
+/// failure (benchmarks run on a tested pipeline).
+inline std::unique_ptr<Compiled>
+compileBench(const std::string &BenchName, const std::string &VariantLabel,
+             const lower::PipelineOptions &Opts) {
+  const programs::BenchProgram &B = programs::getBenchmark(BenchName);
+  std::string Source = programs::instantiate(B, B.BenchSize);
+
+  lambda::Program P;
+  std::string Error;
+  if (failed(lambda::parseMiniLean(Source, P, Error))) {
+    std::fprintf(stderr, "bench parse error (%s): %s\n", BenchName.c_str(),
+                 Error.c_str());
+    std::abort();
+  }
+  Context Ctx;
+  registerAllDialects(Ctx);
+  lower::CompileResult CR = lower::compileProgram(P, Ctx, Opts);
+  if (!CR.OK) {
+    std::fprintf(stderr, "bench compile error (%s/%s): %s\n",
+                 BenchName.c_str(), VariantLabel.c_str(), CR.Error.c_str());
+    std::abort();
+  }
+  auto C = std::make_unique<Compiled>();
+  C->Bench = BenchName;
+  C->Variant = VariantLabel;
+  C->Prog = std::move(CR.Prog);
+  C->NumOps = CR.NumOps;
+  return C;
+}
+
+inline std::unique_ptr<Compiled>
+compileBench(const std::string &BenchName, lower::PipelineVariant V) {
+  return compileBench(BenchName, lower::pipelineVariantName(V),
+                      lower::PipelineOptions::forVariant(V));
+}
+
+/// Runs the compiled program once; returns seconds and asserts leak
+/// freedom (a benchmark must not quietly corrupt the heap).
+inline double runOnce(const Compiled &C) {
+  rt::Runtime RT;
+  vm::VM Machine(C.Prog, RT, /*Out=*/nullptr);
+  auto Start = std::chrono::steady_clock::now();
+  rt::ObjRef Result = Machine.run("main", {});
+  auto End = std::chrono::steady_clock::now();
+  RT.dec(Result);
+  if (RT.getLiveObjects() != 0) {
+    std::fprintf(stderr, "bench %s/%s leaked %llu cells\n", C.Bench.c_str(),
+                 C.Variant.c_str(),
+                 static_cast<unsigned long long>(RT.getLiveObjects()));
+    std::abort();
+  }
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Accumulates mean runtimes per (bench, variant).
+class Measurements {
+public:
+  void record(const std::string &Bench, const std::string &Variant,
+              double Seconds) {
+    auto &E = Data[{Bench, Variant}];
+    E.first += Seconds;
+    E.second += 1;
+  }
+
+  double mean(const std::string &Bench, const std::string &Variant) const {
+    auto It = Data.find({Bench, Variant});
+    if (It == Data.end() || It->second.second == 0)
+      return 0.0;
+    return It->second.first / static_cast<double>(It->second.second);
+  }
+
+private:
+  std::map<std::pair<std::string, std::string>, std::pair<double, uint64_t>>
+      Data;
+};
+
+inline Measurements &measurements() {
+  static Measurements M;
+  return M;
+}
+
+/// Geometric mean of a ratio series.
+inline double geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double X : Xs)
+    LogSum += std::log(X);
+  return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+} // namespace lz::bench
+
+#endif // LZ_BENCH_BENCHUTIL_H

@@ -1,0 +1,102 @@
+//===- ablation_borrow.cpp - effect of borrow inference on RC traffic ----------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Beyond the paper: quantifies the Counting-Immutable-Beans borrow
+/// inference (rc/Borrow.*) over the benchmark suite — static inc/dec
+/// counts in λrc and end-to-end run time, with and without borrowed
+/// parameters. LEAN4 ships with borrow inference on; this ablation shows
+/// why.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "lambda/Simplify.h"
+#include "rc/RCInsert.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lz;
+using namespace lz::bench;
+
+namespace {
+
+std::vector<std::unique_ptr<Compiled>> &compiledPrograms() {
+  static std::vector<std::unique_ptr<Compiled>> Programs;
+  return Programs;
+}
+
+void runBench(benchmark::State &State, const Compiled *C) {
+  for (auto _ : State) {
+    double Seconds = runOnce(*C);
+    State.SetIterationTime(Seconds);
+    measurements().record(C->Bench, C->Variant, Seconds);
+  }
+}
+
+/// Static RC statement count for one benchmark under a discipline.
+unsigned staticRCOps(const std::string &BenchName, bool Borrow) {
+  const programs::BenchProgram &B = programs::getBenchmark(BenchName);
+  std::string Source = programs::instantiate(B, B.TestSize);
+  lambda::Program P;
+  std::string Error;
+  if (failed(lambda::parseMiniLean(Source, P, Error)))
+    std::abort();
+  lambda::simplifyProgram(P);
+  rc::RCOptions Opts;
+  Opts.BorrowInference = Borrow;
+  rc::insertRC(P, Opts);
+  return rc::countRCOps(P);
+}
+
+void printTable() {
+  std::printf("\n=== Ablation: borrow inference (Counting Immutable Beans "
+              "§4) ===\n");
+  std::printf("%-20s %12s %12s %12s %12s %10s\n", "benchmark",
+              "rc-ops(bor)", "rc-ops(own)", "t(borrow)s", "t(owned)s",
+              "speedup");
+  std::vector<double> Ratios;
+  for (const auto &B : programs::getBenchmarkSuite()) {
+    unsigned RCBorrow = staticRCOps(B.Name, true);
+    unsigned RCOwned = staticRCOps(B.Name, false);
+    double TBorrow = measurements().mean(B.Name, "borrow");
+    double TOwned = measurements().mean(B.Name, "owned");
+    if (TBorrow == 0.0 || TOwned == 0.0)
+      continue;
+    double Speedup = TOwned / TBorrow;
+    Ratios.push_back(Speedup);
+    std::printf("%-20s %12u %12u %12.4f %12.4f %9.2fx\n", B.Name, RCBorrow,
+                RCOwned, TBorrow, TOwned, Speedup);
+  }
+  std::printf("%-20s %12s %12s %12s %12s %9.2fx\n", "geomean", "", "", "",
+              "", geomean(Ratios));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const auto &B : programs::getBenchmarkSuite()) {
+    for (bool Borrow : {true, false}) {
+      lower::PipelineOptions Opts =
+          lower::PipelineOptions::forVariant(lower::PipelineVariant::Full);
+      Opts.BorrowInference = Borrow;
+      const char *Label = Borrow ? "borrow" : "owned";
+      compiledPrograms().push_back(compileBench(B.Name, Label, Opts));
+      Compiled *C = compiledPrograms().back().get();
+      std::string Name =
+          std::string("borrow/") + B.Name + "/" + Label;
+      benchmark::RegisterBenchmark(Name.c_str(), runBench, C)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printTable();
+  return 0;
+}

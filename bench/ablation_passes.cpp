@@ -1,0 +1,110 @@
+//===- ablation_passes.cpp - per-pass ablation of the rgn pipeline -------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Beyond the paper: ablates the rgn optimization pipeline pass by pass
+/// (canonicalize = select folds + run-of-known-region inlining, CSE =
+/// global region numbering, DCE = dead region elimination) and reports
+/// both run time and residual IR size for each configuration, quantifying
+/// what each classical-SSA-on-regions pass contributes (DESIGN.md's
+/// ablation row).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lz;
+using namespace lz::bench;
+
+namespace {
+
+struct Config {
+  const char *Label;
+  bool Canon, CSE, DCE;
+};
+
+const Config Configs[] = {
+    {"all", true, true, true},
+    {"no-canon", false, true, true},
+    {"no-cse", true, false, true},
+    {"no-dce", true, true, false},
+    {"none", false, false, false},
+};
+
+lower::PipelineOptions optionsFor(const Config &C) {
+  lower::PipelineOptions O; // full pipeline defaults
+  O.RunLambdaSimplifier = false; // isolate the rgn passes (Fig 10 (b) style)
+  O.RunCanonicalize = C.Canon;
+  O.RunCSE = C.CSE;
+  O.RunDCE = C.DCE;
+  return O;
+}
+
+std::vector<std::unique_ptr<Compiled>> &compiledPrograms() {
+  static std::vector<std::unique_ptr<Compiled>> Programs;
+  return Programs;
+}
+
+void runBench(benchmark::State &State, const Compiled *C) {
+  for (auto _ : State) {
+    double Seconds = runOnce(*C);
+    State.SetIterationTime(Seconds);
+    measurements().record(C->Bench, C->Variant, Seconds);
+  }
+}
+
+void printTable() {
+  std::printf("\n=== Ablation: rgn pass contributions (times relative to "
+              "'all') ===\n");
+  std::printf("%-20s", "benchmark");
+  for (const Config &C : Configs)
+    std::printf(" %10s", C.Label);
+  std::printf("   ops(all)  ops(none)\n");
+
+  std::map<std::string, unsigned> OpsAll, OpsNone;
+  for (const auto &CP : compiledPrograms()) {
+    if (CP->Variant == std::string("all"))
+      OpsAll[CP->Bench] = CP->NumOps;
+    if (CP->Variant == std::string("none"))
+      OpsNone[CP->Bench] = CP->NumOps;
+  }
+
+  for (const auto &B : programs::getBenchmarkSuite()) {
+    double Base = measurements().mean(B.Name, "all");
+    if (Base == 0.0)
+      continue;
+    std::printf("%-20s", B.Name);
+    for (const Config &C : Configs) {
+      double T = measurements().mean(B.Name, C.Label);
+      std::printf(" %9.2fx", T / Base);
+    }
+    std::printf(" %10u %10u\n", OpsAll[B.Name], OpsNone[B.Name]);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const auto &B : programs::getBenchmarkSuite()) {
+    for (const Config &C : Configs) {
+      compiledPrograms().push_back(
+          compileBench(B.Name, C.Label, optionsFor(C)));
+      Compiled *CP = compiledPrograms().back().get();
+      std::string Name =
+          std::string("ablation/") + B.Name + "/" + C.Label;
+      benchmark::RegisterBenchmark(Name.c_str(), runBench, CP)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printTable();
+  return 0;
+}

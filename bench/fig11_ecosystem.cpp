@@ -1,0 +1,124 @@
+//===- fig11_ecosystem.cpp - Figure 11: ecosystem feature table ---------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Figure 11, the qualitative comparison between LEAN's λrc+C
+/// tooling and the MLIR-based lp+rgn backend. Where a row corresponds to
+/// something this reproduction actually implements, the row is *verified*
+/// at runtime (the pass exists and runs; the textual IR round-trips; tail
+/// calls are guaranteed by construction) rather than merely asserted.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "driver/Driver.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "rewrite/Passes.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace lz;
+
+namespace {
+
+/// Verifies that the printed module re-parses to the same text (the
+/// "stable textual representation" row).
+bool checkRoundTrip() {
+  const char *Src = "inductive L := | N | C h t\n"
+                    "def len xs := match xs with | N => 0 "
+                    "| C h t => 1 + len t end\n"
+                    "def main := len (C 1 (C 2 N))";
+  lambda::Program P;
+  std::string Error;
+  if (!driver::parseSource(Src, P, Error))
+    return false;
+  Context Ctx;
+  registerAllDialects(Ctx);
+  lower::CompileResult CR =
+      lower::compileProgram(P, Ctx, lower::PipelineVariant::Full);
+  if (!CR.OK)
+    return false;
+  std::string Text = printToString(CR.Module.get());
+  Operation *Reparsed = parseSourceString(Text, Ctx, Error);
+  if (!Reparsed)
+    return false;
+  std::string Text2 = printToString(Reparsed);
+  Reparsed->destroy();
+  return Text == Text2;
+}
+
+/// Checks a pass exists and runs on an empty module.
+bool checkPass(std::unique_ptr<Pass> P) {
+  Context Ctx;
+  registerAllDialects(Ctx);
+  OwningOpRef M = createModule(Ctx);
+  PassManager PM;
+  PM.addPass(std::move(P));
+  return succeeded(PM.run(M.get()));
+}
+
+/// Deep tail recursion terminates without frame growth only under
+/// guaranteed TCO.
+bool checkGuaranteedTCO() {
+  driver::RunResult R = driver::compileAndRun(
+      "def loop n a := if n == 0 then a else loop (n - 1) (a + 1)\n"
+      "def main := loop 2000000 0",
+      lower::PipelineVariant::Full);
+  return R.OK && R.ResultDisplay == "2000000" && R.LiveObjects == 0;
+}
+
+void printRow(const char *Feature, const char *LrcC, const char *LpRgn,
+              int Verified /* -1 = n/a, 0 = failed, 1 = ok */) {
+  const char *Mark = Verified < 0 ? "  " : (Verified ? "OK" : "!!");
+  std::printf("%-22s | %-14s | %-22s | %s\n", Feature, LrcC, LpRgn, Mark);
+}
+
+void printFigure11() {
+  std::printf("\n=== Figure 11: ecosystem differences (λrc+C vs lp+rgn) ===\n");
+  std::printf("%-22s | %-14s | %-22s | verified\n", "Feature", "λrc + C",
+              "lp + rgn (this repo)");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  printRow("Backend", "C", "SSA+regions IR + VM", -1);
+  printRow("Textual IR", "none", "print/parse round-trip",
+           checkRoundTrip());
+  printRow("IR verifier", "none", "SSA dominance + ops",
+           1 /* exercised by every pipeline run via PassManager */);
+  printRow("Constant folding", "hand-written", "fold hooks + driver",
+           checkPass(createCanonicalizerPass()));
+  printRow("CSE", "hand-written", "builtin + region GVN",
+           checkPass(createCSEPass()));
+  printRow("DCE", "hand-written", "builtin (regions too)",
+           checkPass(createDCEPass()));
+  printRow("Inliner", "hand-written", "builtin", checkPass(createInlinerPass()));
+  printRow("Test harness", "makefile", "gtest + differential", -1);
+  printRow("Test minimization", "none", "possible (textual IR)", -1);
+  printRow("Debug info", "none", "possible", -1);
+  printRow("Tail calls", "heuristic", "guaranteed (musttail)",
+           checkGuaranteedTCO());
+}
+
+/// Keep a google-benchmark presence so the harness interface is uniform:
+/// time the round-trip and pass-pipeline checks.
+void BM_RoundTrip(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkRoundTrip());
+}
+BENCHMARK(BM_RoundTrip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printFigure11();
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===- lz-opt.cpp - textual IR pass driver (mlir-opt analogue) ------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reads textual IR, runs a pass pipeline, prints the result — the
+/// FileCheck-style testing workflow the paper's Figure 11 credits to the
+/// MLIR ecosystem ("Testing harness: FileCheck, llvm-lit"):
+///
+///   lz-opt input.lz --pass=canonicalize --pass=cse --pass=dce
+///   lz-opt input.lz --lower-rgn-to-cf
+///   echo '...' | lz-opt -
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "lower/Lowering.h"
+#include "rewrite/Passes.h"
+#include "support/OStream.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+using namespace lz;
+
+namespace {
+
+int usage() {
+  errs() << "usage: lz-opt <file|-> [--pass=canonicalize|cse|dce|inline]... "
+            "[--lower-rgn-to-cf] [--verify-only]\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr;
+  std::vector<std::string> Passes;
+  bool LowerRgn = false;
+  bool VerifyOnly = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--pass=", 0) == 0)
+      Passes.push_back(Arg.substr(7));
+    else if (Arg == "--lower-rgn-to-cf")
+      LowerRgn = true;
+    else if (Arg == "--verify-only")
+      VerifyOnly = true;
+    else if (!Path)
+      Path = argv[I];
+    else
+      return usage();
+  }
+  if (!Path)
+    return usage();
+
+  std::string Source;
+  if (std::string(Path) == "-") {
+    std::stringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Source = Buffer.str();
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      errs() << "error: cannot open '" << Path << "'\n";
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  }
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  std::string Error;
+  Operation *Root = parseSourceString(Source, Ctx, Error);
+  if (!Root) {
+    errs() << "parse error: " << Error << '\n';
+    return 1;
+  }
+  OwningOpRef Owner(Root);
+
+  if (failed(verify(Root)))
+    return 1;
+  if (VerifyOnly) {
+    outs() << "ok\n";
+    return 0;
+  }
+
+  PassManager PM;
+  for (const std::string &Name : Passes) {
+    if (Name == "canonicalize")
+      PM.addPass(createCanonicalizerPass());
+    else if (Name == "cse")
+      PM.addPass(createCSEPass());
+    else if (Name == "dce")
+      PM.addPass(createDCEPass());
+    else if (Name == "inline")
+      PM.addPass(createInlinerPass());
+    else {
+      errs() << "unknown pass '" << Name << "'\n";
+      return usage();
+    }
+  }
+  if (failed(PM.run(Root)))
+    return 1;
+
+  if (LowerRgn) {
+    if (failed(lower::lowerRgnToCf(Root)))
+      return 1;
+    lower::markTailCalls(Root);
+    if (failed(verify(Root)))
+      return 1;
+  }
+
+  outs() << printToString(Root);
+  return 0;
+}

@@ -1,0 +1,147 @@
+//===- minilean.cpp - the MiniLean compiler driver -----------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Command-line compiler & runner for .mlean files — the analogue of the
+/// artifact's `lean --run` workflow:
+///
+///   minilean prog.mlean                  # compile with the full pipeline, run main
+///   minilean prog.mlean --variant=leanc  # pick a pipeline variant
+///   minilean prog.mlean --dump=lp        # print IR after a stage and exit
+///                                        # (stages: lambda, lp, rgn, cf)
+///   minilean prog.mlean --oracle         # run the reference interpreter
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "driver/Driver.h"
+#include "ir/Printer.h"
+#include "lambda/Interp.h"
+#include "lambda/MiniLean.h"
+#include "lambda/Simplify.h"
+#include "lower/Lowering.h"
+#include "rc/RCInsert.h"
+#include "support/OStream.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace lz;
+
+namespace {
+
+int usage() {
+  errs() << "usage: minilean <file.mlean> [--variant=full|leanc|simp-only|"
+            "rgn-only|no-opt] [--dump=lambda|lp|rgn|cf] [--oracle]\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr;
+  std::string Variant = "full";
+  std::string Dump;
+  bool Oracle = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--variant=", 0) == 0)
+      Variant = Arg.substr(10);
+    else if (Arg.rfind("--dump=", 0) == 0)
+      Dump = Arg.substr(7);
+    else if (Arg == "--oracle")
+      Oracle = true;
+    else if (!Path)
+      Path = argv[I];
+    else
+      return usage();
+  }
+  if (!Path)
+    return usage();
+
+  std::ifstream In(Path);
+  if (!In) {
+    errs() << "error: cannot open '" << Path << "'\n";
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  lambda::Program P;
+  std::string Error;
+  if (failed(lambda::parseMiniLean(Buffer.str(), P, Error))) {
+    errs() << Path << ": " << Error << '\n';
+    return 1;
+  }
+
+  if (Oracle) {
+    std::string Output;
+    lambda::OVal V = lambda::interpret(P, "main", {}, Output);
+    outs() << Output << lambda::displayOValue(V) << '\n';
+    return 0;
+  }
+
+  lower::PipelineVariant PV;
+  if (Variant == "full")
+    PV = lower::PipelineVariant::Full;
+  else if (Variant == "leanc")
+    PV = lower::PipelineVariant::Leanc;
+  else if (Variant == "simp-only")
+    PV = lower::PipelineVariant::SimpOnly;
+  else if (Variant == "rgn-only")
+    PV = lower::PipelineVariant::RgnOnly;
+  else if (Variant == "no-opt")
+    PV = lower::PipelineVariant::NoOpt;
+  else
+    return usage();
+
+  if (!Dump.empty()) {
+    lambda::Program Copy = lambda::cloneProgram(P);
+    lambda::simplifyProgram(Copy);
+    if (Dump == "lambda") {
+      for (const lambda::Function &F : Copy.Functions)
+        outs() << "def " << F.Name << ":\n"
+               << lambda::bodyToString(*F.Body) << '\n';
+      return 0;
+    }
+    rc::insertRC(Copy);
+    Context Ctx;
+    registerAllDialects(Ctx);
+    OwningOpRef Module = lower::lowerLambdaToLp(Copy, Ctx);
+    if (Dump == "lp") {
+      outs() << printToString(Module.get());
+      return 0;
+    }
+    if (failed(lower::lowerLpToRgn(Module.get())))
+      return 1;
+    if (Dump == "rgn") {
+      outs() << printToString(Module.get());
+      return 0;
+    }
+    if (failed(lower::lowerRgnToCf(Module.get())))
+      return 1;
+    lower::markTailCalls(Module.get());
+    if (Dump == "cf") {
+      outs() << printToString(Module.get());
+      return 0;
+    }
+    return usage();
+  }
+
+  driver::RunResult R = driver::runProgram(P, PV);
+  if (!R.OK) {
+    errs() << Path << ": " << R.Error << '\n';
+    return 1;
+  }
+  outs() << R.Output << R.ResultDisplay << '\n';
+  if (R.LiveObjects != 0) {
+    errs() << "warning: " << R.LiveObjects << " heap cells leaked\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- pattern_match.cpp - Figure 5: join points deduplicate matches -----------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Walks the paper's Figure 5 end to end: the three-column pattern match
+///
+///   def eval : Int -> Int -> Int -> Int
+///   | 0, 2, _ => 40
+///   | 0, _, 2 => 50
+///   | _, _, _ => 60
+///
+/// would duplicate the default right-hand side under naive compilation;
+/// the match compiler emits join points instead. The demo shows the λpure
+/// IR (jdecl/jmp), the lp dialect form (lp.joinpoint/lp.jump), the rgn
+/// form (rgn.val/rgn.run), and finally runs all three sample calls.
+///
+/// Run: build/examples/pattern_match
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "driver/Driver.h"
+#include "ir/Printer.h"
+#include "lambda/MiniLean.h"
+#include "lower/Lowering.h"
+#include "rc/RCInsert.h"
+#include "support/OStream.h"
+
+using namespace lz;
+
+int main() {
+  const char *Source = "def eval x y z := match x, y, z with\n"
+                       "  | 0, 2, _ => 40\n"
+                       "  | 0, _, 2 => 50\n"
+                       "  | _, _, _ => 60\n"
+                       "end\n"
+                       "def main := eval 0 2 9 * 10000 + "
+                       "eval 0 9 2 * 100 + eval 7 7 7\n";
+
+  outs() << "=== MiniLean source (paper Figure 5) ===\n" << Source;
+
+  lambda::Program P;
+  std::string Error;
+  if (failed(lambda::parseMiniLean(Source, P, Error))) {
+    errs() << "parse error: " << Error << '\n';
+    return 1;
+  }
+
+  outs() << "\n=== λpure ANF: the default arm is ONE join point, jumped to "
+            "from every miss path ===\n"
+         << lambda::bodyToString(*P.lookup("eval")->Body);
+
+  // Lower to the lp dialect (with reference counting, as λrc).
+  lambda::Program RC = lambda::cloneProgram(P);
+  rc::insertRC(RC);
+  Context Ctx;
+  registerAllDialects(Ctx);
+  OwningOpRef Module = lower::lowerLambdaToLp(RC, Ctx);
+  outs() << "\n=== lp dialect: lp.joinpoint / lp.jump (Figure 5-C) ===\n"
+         << printToString(lookupSymbol(Module.get(), "eval"));
+
+  // Lower join points to region values.
+  if (failed(lower::lowerLpToRgn(Module.get())))
+    return 1;
+  outs() << "\n=== rgn dialect: labels became rgn.val, jumps became rgn.run "
+            "(Figure 8-C) ===\n"
+         << printToString(lookupSymbol(Module.get(), "eval"));
+
+  // And execute the whole thing.
+  driver::RunResult R =
+      driver::runProgram(P, lower::PipelineVariant::Full);
+  if (!R.OK) {
+    errs() << "compile error: " << R.Error << '\n';
+    return 1;
+  }
+  outs() << "\neval(0,2,9), eval(0,9,2), eval(7,7,7) packed = "
+         << R.ResultDisplay << "  (expect 405060)\n";
+  return 0;
+}

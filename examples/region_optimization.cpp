@@ -1,0 +1,115 @@
+//===- region_optimization.cpp - Figure 1 A/B/C, step by step -------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Shows the three transformations of the paper's Figure 1 as real IR
+/// rewrites: dead expression elimination (DCE on rgn.val), case
+/// elimination (select fold + continuation beta), and common branch
+/// elimination (region CSE + select fold), printing the IR before and
+/// after each pass pipeline.
+///
+/// Run: build/examples/region_optimization
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "dialect/Rgn.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "rewrite/Passes.h"
+#include "support/OStream.h"
+
+using namespace lz;
+
+namespace {
+
+Value *makeConstRegion(OpBuilder &B, int64_t Value) {
+  Operation *Val = rgn::buildVal(B, {});
+  OpBuilder::InsertionGuard Guard(B);
+  B.setInsertionPointToEnd(rgn::getValBody(Val).getEntryBlock());
+  Operation *C = lp::buildInt(B, Value);
+  lp::buildReturn(B, {C->getResults().data(), 1});
+  return Val->getResult(0);
+}
+
+void optimizeAndPrint(Operation *Module, const char *Title) {
+  outs() << "--- before ---\n" << printToString(Module);
+  PassManager PM;
+  PM.addPass(createCanonicalizerPass());
+  PM.addPass(createCSEPass());
+  PM.addPass(createCanonicalizerPass());
+  PM.addPass(createDCEPass());
+  if (failed(PM.run(Module))) {
+    errs() << "pass pipeline failed for " << Title << '\n';
+    return;
+  }
+  outs() << "--- after canonicalize+cse+dce ---\n" << printToString(Module);
+}
+
+} // namespace
+
+int main() {
+  Context Ctx;
+  registerAllDialects(Ctx);
+
+  {
+    outs() << "=== Figure 1-A: Dead Expression Elimination ===\n"
+           << "   out = let x = e in y   ==>   out = y\n";
+    OwningOpRef Module = createModule(Ctx);
+    OpBuilder B(Ctx);
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), "fig1a",
+        Ctx.getFunctionType({}, {Ctx.getBoxType()}));
+    B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+    makeConstRegion(B, 3); // %x = rgn.val { e } — dead
+    Operation *Y = lp::buildInt(B, 5);
+    lp::buildReturn(B, {Y->getResults().data(), 1});
+    optimizeAndPrint(Module.get(), "fig1a");
+  }
+
+  {
+    outs() << "\n=== Figure 1-B: Case Elimination ===\n"
+           << "   out = case True of True -> e | False -> f   ==>   out = e\n";
+    OwningOpRef Module = createModule(Ctx);
+    OpBuilder B(Ctx);
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), "fig1b",
+        Ctx.getFunctionType({}, {Ctx.getBoxType()}));
+    B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+    Value *E = makeConstRegion(B, 3);
+    Value *F = makeConstRegion(B, 5);
+    Value *True = arith::buildConstant(B, Ctx.getI1(), 1)->getResult(0);
+    Value *Sel = arith::buildSelect(B, True, E, F)->getResult(0);
+    rgn::buildRun(B, Sel, {});
+    optimizeAndPrint(Module.get(), "fig1b");
+  }
+
+  {
+    outs() << "\n=== Figure 1-C: Common Branch Elimination ===\n"
+           << "   out = case x of True -> e | False -> e   ==>   out = e\n";
+    OwningOpRef Module = createModule(Ctx);
+    OpBuilder B(Ctx);
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), "fig1c",
+        Ctx.getFunctionType({Ctx.getI1()}, {Ctx.getBoxType()}));
+    Block *Entry = func::getFuncEntryBlock(Fn);
+    B.setInsertionPointToEnd(Entry);
+    Value *E1 = makeConstRegion(B, 7);
+    Value *E2 = makeConstRegion(B, 7); // identical region, different value
+    Value *Sel = arith::buildSelect(B, Entry->getArgument(0), E1, E2)
+                     ->getResult(0);
+    rgn::buildRun(B, Sel, {});
+    optimizeAndPrint(Module.get(), "fig1c");
+  }
+
+  outs() << "\nAll three functional optimizations fell out of classical\n"
+            "SSA passes applied to region values — the paper's core claim.\n";
+  return 0;
+}

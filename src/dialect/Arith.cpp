@@ -1,0 +1,358 @@
+//===- Arith.cpp - integer arithmetic dialect ------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+
+#include <functional>
+
+using namespace lz;
+using namespace lz::arith;
+
+Attribute *lz::arith::getConstantValue(Value *V) {
+  Operation *Def = V->getDefiningOp();
+  if (!Def || !Def->hasTrait(OpTrait_ConstantLike))
+    return nullptr;
+  return Def->getAttr("value");
+}
+
+namespace {
+
+/// Wraps a signed 64-bit result to the bit width of \p Ty.
+int64_t truncateToType(int64_t Value, Type *Ty) {
+  unsigned Width = cast<IntegerType>(Ty)->getWidth();
+  if (Width >= 64)
+    return Value;
+  uint64_t Mask = (1ULL << Width) - 1;
+  uint64_t Bits = static_cast<uint64_t>(Value) & Mask;
+  // Sign-extend from Width.
+  if (Bits & (1ULL << (Width - 1)))
+    Bits |= ~Mask;
+  return static_cast<int64_t>(Bits);
+}
+
+LogicalResult verifyBinary(Operation *Op) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+    return failure();
+  Type *Ty = Op->getOperand(0)->getType();
+  if (Op->getOperand(1)->getType() != Ty ||
+      Op->getResult(0)->getType() != Ty || !isa<IntegerType>(Ty))
+    return failure();
+  return success();
+}
+
+/// Registers one binary arith op with constant folding via \p Eval; the
+/// callback returns false to refuse the fold (e.g. division by zero).
+void registerBinaryOp(Context &Ctx, const char *Name,
+                      bool (*Eval)(int64_t, int64_t, int64_t &)) {
+  OpDef Def;
+  Def.Name = Name;
+  Def.Traits = OpTrait_Pure;
+  Def.Verify = verifyBinary;
+  Def.Fold = [Eval](Operation *Op,
+                    std::vector<FoldResult> &Results) -> LogicalResult {
+    auto *LHS = dyn_cast_if_present<IntegerAttr>(
+        getConstantValue(Op->getOperand(0)));
+    auto *RHS = dyn_cast_if_present<IntegerAttr>(
+        getConstantValue(Op->getOperand(1)));
+    if (!LHS || !RHS)
+      return failure();
+    int64_t Out;
+    if (!Eval(LHS->getValue(), RHS->getValue(), Out))
+      return failure();
+    Type *Ty = Op->getResult(0)->getType();
+    Results.emplace_back(
+        Op->getContext()->getIntegerAttr(Ty, truncateToType(Out, Ty)));
+    return success();
+  };
+  Ctx.registerOp(std::move(Def));
+}
+
+bool evalCmp(CmpPredicate Pred, int64_t L, int64_t R) {
+  switch (Pred) {
+  case CmpPredicate::EQ:
+    return L == R;
+  case CmpPredicate::NE:
+    return L != R;
+  case CmpPredicate::SLT:
+    return L < R;
+  case CmpPredicate::SLE:
+    return L <= R;
+  case CmpPredicate::SGT:
+    return L > R;
+  case CmpPredicate::SGE:
+    return L >= R;
+  }
+  return false;
+}
+
+} // namespace
+
+void lz::arith::registerArithDialect(Context &Ctx) {
+  // arith.constant
+  {
+    OpDef Def;
+    Def.Name = "arith.constant";
+    Def.Traits = OpTrait_Pure | OpTrait_ConstantLike;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() != 0 || Op->getNumResults() != 1)
+        return failure();
+      auto *ValueAttr = Op->getAttrOfType<IntegerAttr>("value");
+      if (!ValueAttr || ValueAttr->getType() != Op->getResult(0)->getType())
+        return failure();
+      return success();
+    };
+    Def.Fold = [](Operation *Op,
+                  std::vector<FoldResult> &Results) -> LogicalResult {
+      // Constants "fold to themselves" so CSE-by-fold can dedupe them; the
+      // greedy driver recognizes self-folds and leaves the op in place.
+      Results.emplace_back(Op->getAttr("value"));
+      return success();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  registerBinaryOp(Ctx, "arith.addi", [](int64_t L, int64_t R, int64_t &Out) {
+    Out = static_cast<int64_t>(static_cast<uint64_t>(L) +
+                               static_cast<uint64_t>(R));
+    return true;
+  });
+  registerBinaryOp(Ctx, "arith.subi", [](int64_t L, int64_t R, int64_t &Out) {
+    Out = static_cast<int64_t>(static_cast<uint64_t>(L) -
+                               static_cast<uint64_t>(R));
+    return true;
+  });
+  registerBinaryOp(Ctx, "arith.muli", [](int64_t L, int64_t R, int64_t &Out) {
+    Out = static_cast<int64_t>(static_cast<uint64_t>(L) *
+                               static_cast<uint64_t>(R));
+    return true;
+  });
+  registerBinaryOp(Ctx, "arith.divsi", [](int64_t L, int64_t R, int64_t &Out) {
+    if (R == 0 || (L == INT64_MIN && R == -1))
+      return false;
+    Out = L / R;
+    return true;
+  });
+  registerBinaryOp(Ctx, "arith.remsi", [](int64_t L, int64_t R, int64_t &Out) {
+    if (R == 0 || (L == INT64_MIN && R == -1))
+      return false;
+    Out = L % R;
+    return true;
+  });
+  registerBinaryOp(Ctx, "arith.andi", [](int64_t L, int64_t R, int64_t &Out) {
+    Out = L & R;
+    return true;
+  });
+  registerBinaryOp(Ctx, "arith.ori", [](int64_t L, int64_t R, int64_t &Out) {
+    Out = L | R;
+    return true;
+  });
+  registerBinaryOp(Ctx, "arith.xori", [](int64_t L, int64_t R, int64_t &Out) {
+    Out = L ^ R;
+    return true;
+  });
+
+  // arith.cmpi
+  {
+    OpDef Def;
+    Def.Name = "arith.cmpi";
+    Def.Traits = OpTrait_Pure;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+        return failure();
+      if (Op->getOperand(0)->getType() != Op->getOperand(1)->getType())
+        return failure();
+      auto *ResTy = dyn_cast<IntegerType>(Op->getResult(0)->getType());
+      if (!ResTy || ResTy->getWidth() != 1)
+        return failure();
+      if (!Op->getAttrOfType<IntegerAttr>("predicate"))
+        return failure();
+      return success();
+    };
+    Def.Fold = [](Operation *Op,
+                  std::vector<FoldResult> &Results) -> LogicalResult {
+      auto *LHS = dyn_cast_if_present<IntegerAttr>(
+          getConstantValue(Op->getOperand(0)));
+      auto *RHS = dyn_cast_if_present<IntegerAttr>(
+          getConstantValue(Op->getOperand(1)));
+      auto Pred = static_cast<CmpPredicate>(
+          Op->getAttrOfType<IntegerAttr>("predicate")->getValue());
+      Context *Ctx = Op->getContext();
+      if (LHS && RHS) {
+        bool Out = evalCmp(Pred, LHS->getValue(), RHS->getValue());
+        Results.emplace_back(Ctx->getBoolAttr(Out));
+        return success();
+      }
+      // x == x, x != x on identical SSA values.
+      if (Op->getOperand(0) == Op->getOperand(1)) {
+        if (Pred == CmpPredicate::EQ || Pred == CmpPredicate::SLE ||
+            Pred == CmpPredicate::SGE) {
+          Results.emplace_back(Ctx->getBoolAttr(true));
+          return success();
+        }
+        if (Pred == CmpPredicate::NE || Pred == CmpPredicate::SLT ||
+            Pred == CmpPredicate::SGT) {
+          Results.emplace_back(Ctx->getBoolAttr(false));
+          return success();
+        }
+      }
+      return failure();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // arith.select — the 2-way multiplexer. This op's folds implement the
+  // paper's "Case Elimination" (select of a constant condition) and the last
+  // step of "Common Branch Elimination" (select of two equal region values),
+  // Figure 1 B/C and Section IV-B.
+  {
+    OpDef Def;
+    Def.Name = "arith.select";
+    Def.Traits = OpTrait_Pure;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() != 3 || Op->getNumResults() != 1)
+        return failure();
+      auto *CondTy = dyn_cast<IntegerType>(Op->getOperand(0)->getType());
+      if (!CondTy || CondTy->getWidth() != 1)
+        return failure();
+      Type *Ty = Op->getOperand(1)->getType();
+      if (Op->getOperand(2)->getType() != Ty ||
+          Op->getResult(0)->getType() != Ty)
+        return failure();
+      return success();
+    };
+    Def.Fold = [](Operation *Op,
+                  std::vector<FoldResult> &Results) -> LogicalResult {
+      // select c, x, x -> x
+      if (Op->getOperand(1) == Op->getOperand(2)) {
+        Results.emplace_back(Op->getOperand(1));
+        return success();
+      }
+      // select true/false, a, b -> a/b
+      if (auto *Cond = dyn_cast_if_present<IntegerAttr>(
+              getConstantValue(Op->getOperand(0)))) {
+        Results.emplace_back(Cond->getValue() ? Op->getOperand(1)
+                                              : Op->getOperand(2));
+        return success();
+      }
+      return failure();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // arith.switch — the N-way value multiplexer.
+  {
+    OpDef Def;
+    Def.Name = "arith.switch";
+    Def.Traits = OpTrait_Pure;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() < 2 || Op->getNumResults() != 1)
+        return failure();
+      if (!isa<IntegerType>(Op->getOperand(0)->getType()))
+        return failure();
+      auto *Cases = Op->getAttrOfType<ArrayAttr>("cases");
+      if (!Cases)
+        return failure();
+      // Operands: flag, case values..., default value.
+      if (Op->getNumOperands() != Cases->size() + 2)
+        return failure();
+      Type *Ty = Op->getResult(0)->getType();
+      for (unsigned I = 1; I != Op->getNumOperands(); ++I)
+        if (Op->getOperand(I)->getType() != Ty)
+          return failure();
+      return success();
+    };
+    Def.Fold = [](Operation *Op,
+                  std::vector<FoldResult> &Results) -> LogicalResult {
+      auto *Cases = Op->getAttrOfType<ArrayAttr>("cases");
+      unsigned NumCases = static_cast<unsigned>(Cases->size());
+      // All selectable values identical -> that value.
+      bool AllSame = true;
+      for (unsigned I = 2; I != Op->getNumOperands(); ++I)
+        AllSame &= Op->getOperand(I) == Op->getOperand(1);
+      if (AllSame) {
+        Results.emplace_back(Op->getOperand(1));
+        return success();
+      }
+      // Constant flag -> matching case (or default).
+      if (auto *Flag = dyn_cast_if_present<IntegerAttr>(
+              getConstantValue(Op->getOperand(0)))) {
+        for (unsigned I = 0; I != NumCases; ++I) {
+          auto *CaseAttr = cast<IntegerAttr>(Cases->getValue()[I]);
+          if (CaseAttr->getValue() == Flag->getValue()) {
+            Results.emplace_back(Op->getOperand(1 + I));
+            return success();
+          }
+        }
+        Results.emplace_back(Op->getOperand(Op->getNumOperands() - 1));
+        return success();
+      }
+      return failure();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // Materialize folded attributes as constants. lp registers its own
+  // materializer that also understands !lp.t; it chains to this one.
+  Ctx.setConstantMaterializer(
+      [](OpBuilder &B, Attribute *Attr, Type *Ty) -> Operation * {
+        auto *IntAttr = dyn_cast<IntegerAttr>(Attr);
+        if (!IntAttr || !isa<IntegerType>(Ty))
+          return nullptr;
+        return buildConstant(B, Ty, IntAttr->getValue());
+      });
+}
+
+Operation *lz::arith::buildConstant(OpBuilder &B, Type *Ty, int64_t Value) {
+  OperationState State(B.getContext(), "arith.constant");
+  State.addAttribute("value", B.getContext().getIntegerAttr(Ty, Value));
+  State.ResultTypes.push_back(Ty);
+  return B.create(State);
+}
+
+Operation *lz::arith::buildBinary(OpBuilder &B, std::string_view Name,
+                                  Value *LHS, Value *RHS) {
+  OperationState State(B.getContext(), Name);
+  State.Operands = {LHS, RHS};
+  State.ResultTypes.push_back(LHS->getType());
+  return B.create(State);
+}
+
+Operation *lz::arith::buildCmp(OpBuilder &B, CmpPredicate Pred, Value *LHS,
+                               Value *RHS) {
+  OperationState State(B.getContext(), "arith.cmpi");
+  State.Operands = {LHS, RHS};
+  State.ResultTypes.push_back(B.getContext().getI1());
+  State.addAttribute("predicate",
+                     B.getContext().getI64Attr(static_cast<int64_t>(Pred)));
+  return B.create(State);
+}
+
+Operation *lz::arith::buildSelect(OpBuilder &B, Value *Cond, Value *TrueVal,
+                                  Value *FalseVal) {
+  OperationState State(B.getContext(), "arith.select");
+  State.Operands = {Cond, TrueVal, FalseVal};
+  State.ResultTypes.push_back(TrueVal->getType());
+  return B.create(State);
+}
+
+Operation *lz::arith::buildSwitch(OpBuilder &B, Value *Flag,
+                                  std::span<int64_t const> Cases,
+                                  std::span<Value *const> CaseValues,
+                                  Value *DefaultValue) {
+  assert(Cases.size() == CaseValues.size() && "case/value count mismatch");
+  OperationState State(B.getContext(), "arith.switch");
+  State.Operands.push_back(Flag);
+  State.Operands.insert(State.Operands.end(), CaseValues.begin(),
+                        CaseValues.end());
+  State.Operands.push_back(DefaultValue);
+  State.ResultTypes.push_back(DefaultValue->getType());
+  std::vector<Attribute *> CaseAttrs;
+  for (int64_t C : Cases)
+    CaseAttrs.push_back(B.getContext().getI64Attr(C));
+  State.addAttribute("cases", B.getContext().getArrayAttr(std::move(CaseAttrs)));
+  return B.create(State);
+}

@@ -1,0 +1,75 @@
+//===- Arith.h - integer arithmetic dialect ---------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `arith` dialect: constants, integer arithmetic, comparisons, and the
+/// two value multiplexers the paper routes region values through
+/// (Section IV: "We allow rgn.val values to be passed as operands to MLIR's
+/// select and switch instructions").
+///
+/// Ops:
+///   %c = arith.constant {value = 42 : i64} : iN
+///   %r = arith.addi/subi/muli/divsi/remsi/andi/ori/xori %a, %b : iN
+///   %b = arith.cmpi {predicate} %a, %b : i1
+///   %r = arith.select %cond, %a, %b : T        (T may be !rgn.region)
+///   %r = arith.switch %flag, %v0..%vN-1, %vdef {cases = [..]} : T
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_DIALECT_ARITH_H
+#define LZ_DIALECT_ARITH_H
+
+#include "ir/Builder.h"
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace lz::arith {
+
+/// Comparison predicates for arith.cmpi, stored as an IntegerAttr.
+enum class CmpPredicate : int64_t {
+  EQ = 0,
+  NE = 1,
+  SLT = 2,
+  SLE = 3,
+  SGT = 4,
+  SGE = 5,
+};
+
+/// Registers all arith ops with \p Ctx and installs the constant
+/// materializer used by the fold driver.
+void registerArithDialect(Context &Ctx);
+
+/// Builds `arith.constant` of \p Ty holding \p Value.
+Operation *buildConstant(OpBuilder &B, Type *Ty, int64_t Value);
+
+/// Builds a binary arithmetic op ("arith.addi" etc.).
+Operation *buildBinary(OpBuilder &B, std::string_view Name, Value *LHS,
+                       Value *RHS);
+
+/// Builds `arith.cmpi` producing i1.
+Operation *buildCmp(OpBuilder &B, CmpPredicate Pred, Value *LHS, Value *RHS);
+
+/// Builds `arith.select`.
+Operation *buildSelect(OpBuilder &B, Value *Cond, Value *TrueVal,
+                       Value *FalseVal);
+
+/// Builds `arith.switch`: picks CaseValues[i] when Flag == Cases[i], else
+/// DefaultValue. All picked values share one type.
+Operation *buildSwitch(OpBuilder &B, Value *Flag,
+                       std::span<int64_t const> Cases,
+                       std::span<Value *const> CaseValues,
+                       Value *DefaultValue);
+
+/// If \p V is produced by a ConstantLike op, returns its "value" attribute,
+/// else null. Shared helper for folders across dialects.
+Attribute *getConstantValue(Value *V);
+
+} // namespace lz::arith
+
+#endif // LZ_DIALECT_ARITH_H

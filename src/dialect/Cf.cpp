@@ -1,0 +1,96 @@
+//===- Cf.cpp - unstructured control flow dialect ---------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Cf.h"
+
+#include "dialect/Arith.h"
+
+using namespace lz;
+using namespace lz::cf;
+
+void lz::cf::registerCfDialect(Context &Ctx) {
+  {
+    OpDef Def;
+    Def.Name = "cf.br";
+    Def.Traits = OpTrait_IsTerminator;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      return success(Op->getNumSuccessors() == 1 &&
+                     Op->getNumResults() == 0 &&
+                     Op->getNumNonSuccessorOperands() == 0);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+  {
+    OpDef Def;
+    Def.Name = "cf.cond_br";
+    Def.Traits = OpTrait_IsTerminator;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumSuccessors() != 2 || Op->getNumResults() != 0 ||
+          Op->getNumNonSuccessorOperands() != 1)
+        return failure();
+      auto *CondTy = dyn_cast<IntegerType>(Op->getOperand(0)->getType());
+      return success(CondTy && CondTy->getWidth() == 1);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+  {
+    OpDef Def;
+    Def.Name = "cf.switch";
+    Def.Traits = OpTrait_IsTerminator;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumResults() != 0 || Op->getNumNonSuccessorOperands() != 1)
+        return failure();
+      if (!isa<IntegerType>(Op->getOperand(0)->getType()))
+        return failure();
+      auto *Cases = Op->getAttrOfType<ArrayAttr>("cases");
+      if (!Cases)
+        return failure();
+      // Successors: default + one per case.
+      return success(Op->getNumSuccessors() == Cases->size() + 1);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+}
+
+Operation *lz::cf::buildBr(OpBuilder &B, Block *Dest,
+                           std::span<Value *const> Args) {
+  OperationState State(B.getContext(), "cf.br");
+  State.addSuccessor(Dest, Args);
+  return B.create(State);
+}
+
+Operation *lz::cf::buildCondBr(OpBuilder &B, Value *Cond, Block *TrueDest,
+                               std::span<Value *const> TrueArgs,
+                               Block *FalseDest,
+                               std::span<Value *const> FalseArgs) {
+  OperationState State(B.getContext(), "cf.cond_br");
+  State.Operands.push_back(Cond);
+  State.addSuccessor(TrueDest, TrueArgs);
+  State.addSuccessor(FalseDest, FalseArgs);
+  return B.create(State);
+}
+
+Operation *lz::cf::buildSwitchBr(OpBuilder &B, Value *Flag,
+                                 std::span<int64_t const> Cases,
+                                 Block *DefaultDest,
+                                 std::span<Value *const> DefaultArgs,
+                                 std::span<Block *const> CaseDests,
+                                 std::span<std::vector<Value *> const> CaseArgs) {
+  assert(Cases.size() == CaseDests.size() && Cases.size() == CaseArgs.size() &&
+         "switch case arity mismatch");
+  OperationState State(B.getContext(), "cf.switch");
+  State.Operands.push_back(Flag);
+  State.addSuccessor(DefaultDest, DefaultArgs);
+  for (size_t I = 0; I != CaseDests.size(); ++I)
+    State.addSuccessor(CaseDests[I], CaseArgs[I]);
+  std::vector<Attribute *> CaseAttrs;
+  for (int64_t C : Cases)
+    CaseAttrs.push_back(B.getContext().getI64Attr(C));
+  State.addAttribute("cases",
+                     B.getContext().getArrayAttr(std::move(CaseAttrs)));
+  return B.create(State);
+}

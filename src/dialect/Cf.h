@@ -1,0 +1,50 @@
+//===- Cf.h - unstructured control flow dialect -----------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `cf` dialect: flat-CFG terminators. This is the "traditional
+/// SSA-based IR without regions" target of Section IV-C — lowering rgn to
+/// cf "forgets the extra structure" of regions: known-region runs become
+/// branches, select/switch-driven runs become conditional branches and
+/// jump tables.
+///
+/// Ops:
+///   cf.br [^dest(args)]
+///   cf.cond_br %cond [^true(args), ^false(args)]
+///   cf.switch %flag [^default(args), ^case0(args), ...] {cases = [...]}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_DIALECT_CF_H
+#define LZ_DIALECT_CF_H
+
+#include "ir/Builder.h"
+
+#include <cstdint>
+#include <span>
+
+namespace lz::cf {
+
+/// Registers cf.br / cf.cond_br / cf.switch.
+void registerCfDialect(Context &Ctx);
+
+Operation *buildBr(OpBuilder &B, Block *Dest, std::span<Value *const> Args);
+
+Operation *buildCondBr(OpBuilder &B, Value *Cond, Block *TrueDest,
+                       std::span<Value *const> TrueArgs, Block *FalseDest,
+                       std::span<Value *const> FalseArgs);
+
+/// Successor 0 is the default destination, successors 1..N the cases.
+Operation *buildSwitchBr(OpBuilder &B, Value *Flag,
+                         std::span<int64_t const> Cases, Block *DefaultDest,
+                         std::span<Value *const> DefaultArgs,
+                         std::span<Block *const> CaseDests,
+                         std::span<std::vector<Value *> const> CaseArgs);
+
+} // namespace lz::cf
+
+#endif // LZ_DIALECT_CF_H

@@ -1,0 +1,22 @@
+//===- Dialects.cpp - registration of all dialects ---------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+
+#include "dialect/Arith.h"
+#include "dialect/Cf.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "dialect/Rgn.h"
+
+void lz::registerAllDialects(Context &Ctx) {
+  arith::registerArithDialect(Ctx);
+  cf::registerCfDialect(Ctx);
+  func::registerFuncDialect(Ctx);
+  lp::registerLpDialect(Ctx);
+  rgn::registerRgnDialect(Ctx);
+}

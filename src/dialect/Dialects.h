@@ -1,0 +1,18 @@
+//===- Dialects.h - registration of all dialects ----------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_DIALECT_DIALECTS_H
+#define LZ_DIALECT_DIALECTS_H
+
+namespace lz {
+class Context;
+
+/// Registers arith, cf, func, lp and rgn with \p Ctx.
+void registerAllDialects(Context &Ctx);
+} // namespace lz
+
+#endif // LZ_DIALECT_DIALECTS_H

@@ -1,0 +1,107 @@
+//===- Func.cpp - functions, calls and returns ------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Func.h"
+
+#include "ir/Module.h"
+
+using namespace lz;
+using namespace lz::func;
+
+void lz::func::registerFuncDialect(Context &Ctx) {
+  {
+    OpDef Def;
+    Def.Name = "func.func";
+    Def.Traits = OpTrait_IsolatedFromAbove;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumRegions() != 1 || Op->getNumResults() != 0 ||
+          Op->getNumOperands() != 0)
+        return failure();
+      if (!Op->getAttrOfType<StringAttr>("sym_name"))
+        return failure();
+      auto *TyAttr = Op->getAttrOfType<TypeAttr>("function_type");
+      if (!TyAttr || !isa<FunctionType>(TyAttr->getValue()))
+        return failure();
+      auto *FnTy = cast<FunctionType>(TyAttr->getValue());
+      Region &Body = Op->getRegion(0);
+      if (Body.empty())
+        return success(); // declaration (runtime builtin)
+      Block *Entry = Body.getEntryBlock();
+      if (Entry->getNumArguments() != FnTy->getInputs().size())
+        return failure();
+      for (unsigned I = 0; I != Entry->getNumArguments(); ++I)
+        if (Entry->getArgument(I)->getType() != FnTy->getInputs()[I])
+          return failure();
+      return success();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+  {
+    OpDef Def;
+    Def.Name = "func.call";
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      return success(Op->getAttrOfType<SymbolRefAttr>("callee") != nullptr);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+  {
+    OpDef Def;
+    Def.Name = "func.return";
+    Def.Traits = OpTrait_IsTerminator;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      return success(Op->getNumResults() == 0 &&
+                     Op->getNumSuccessors() == 0);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+}
+
+Operation *lz::func::buildFunc(Context &Ctx, Operation *Module,
+                               std::string_view Name, FunctionType *Ty) {
+  OperationState State(Ctx, "func.func");
+  State.NumRegions = 1;
+  State.addAttribute("sym_name", Ctx.getStringAttr(Name));
+  State.addAttribute("function_type", Ctx.getTypeAttr(Ty));
+  Operation *FuncOp = Operation::create(State);
+  Block *Entry = FuncOp->getRegion(0).emplaceBlock();
+  for (Type *Input : Ty->getInputs())
+    Entry->addArgument(Input);
+  getModuleBody(Module)->push_back(FuncOp);
+  return FuncOp;
+}
+
+FunctionType *lz::func::getFuncType(Operation *FuncOp) {
+  return cast<FunctionType>(
+      FuncOp->getAttrOfType<TypeAttr>("function_type")->getValue());
+}
+
+std::string_view lz::func::getFuncName(Operation *FuncOp) {
+  return FuncOp->getAttrOfType<StringAttr>("sym_name")->getValue();
+}
+
+Block *lz::func::getFuncEntryBlock(Operation *FuncOp) {
+  return FuncOp->getRegion(0).getEntryBlock();
+}
+
+Operation *lz::func::buildCall(OpBuilder &B, std::string_view Callee,
+                               std::span<Value *const> Args,
+                               std::span<Type *const> ResultTypes,
+                               bool MustTail) {
+  OperationState State(B.getContext(), "func.call");
+  State.addOperands(Args);
+  State.addTypes(ResultTypes);
+  State.addAttribute("callee", B.getContext().getSymbolRefAttr(Callee));
+  if (MustTail)
+    State.addAttribute("musttail", B.getContext().getUnitAttr());
+  return B.create(State);
+}
+
+Operation *lz::func::buildReturn(OpBuilder &B, std::span<Value *const> Values) {
+  OperationState State(B.getContext(), "func.return");
+  State.addOperands(Values);
+  return B.create(State);
+}

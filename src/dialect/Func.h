@@ -1,0 +1,54 @@
+//===- Func.h - functions, calls and returns --------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `func` dialect: module-level functions, direct calls and returns.
+/// `func.call` may carry a `musttail` unit attribute — the analogue of the
+/// LLVM musttail annotation the paper relies on for guaranteed tail call
+/// elimination (Section III-E); the VM honours it by reusing the frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_DIALECT_FUNC_H
+#define LZ_DIALECT_FUNC_H
+
+#include "ir/Builder.h"
+
+#include <span>
+#include <string_view>
+
+namespace lz::func {
+
+/// Registers func.func / func.call / func.return.
+void registerFuncDialect(Context &Ctx);
+
+/// Creates a `func.func` named \p Name of type \p Ty with an entry block
+/// whose arguments mirror the inputs. The op is appended to \p Module.
+Operation *buildFunc(Context &Ctx, Operation *Module, std::string_view Name,
+                     FunctionType *Ty);
+
+/// Returns the declared type of a func.func.
+FunctionType *getFuncType(Operation *FuncOp);
+
+/// Returns the symbol name of a func.func.
+std::string_view getFuncName(Operation *FuncOp);
+
+/// Returns the body region's entry block.
+Block *getFuncEntryBlock(Operation *FuncOp);
+
+/// Builds a direct call to \p Callee. When \p MustTail is set the call is
+/// required to be a tail call (callee result feeds the enclosing return).
+Operation *buildCall(OpBuilder &B, std::string_view Callee,
+                     std::span<Value *const> Args,
+                     std::span<Type *const> ResultTypes,
+                     bool MustTail = false);
+
+Operation *buildReturn(OpBuilder &B, std::span<Value *const> Values);
+
+} // namespace lz::func
+
+#endif // LZ_DIALECT_FUNC_H

@@ -1,0 +1,409 @@
+//===- Lp.cpp - the lp dialect: lambda-pure in SSA ---------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Lp.h"
+
+#include "dialect/Arith.h"
+
+using namespace lz;
+using namespace lz::lp;
+
+namespace {
+
+bool allOperandsBoxed(Operation *Op) {
+  for (unsigned I = 0; I != Op->getNumOperands(); ++I)
+    if (!isa<BoxType>(Op->getOperand(I)->getType()))
+      return false;
+  return true;
+}
+
+LogicalResult verifySingleBoxResult(Operation *Op) {
+  return success(Op->getNumResults() == 1 &&
+                 isa<BoxType>(Op->getResult(0)->getType()));
+}
+
+} // namespace
+
+void lz::lp::registerLpDialect(Context &Ctx) {
+  // lp.int — machine-word sized integer constant (boxed scalar).
+  {
+    OpDef Def;
+    Def.Name = "lp.int";
+    Def.Traits = OpTrait_Pure | OpTrait_ConstantLike;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() != 0 ||
+          failed(verifySingleBoxResult(Op)))
+        return failure();
+      return success(Op->getAttrOfType<IntegerAttr>("value") != nullptr);
+    };
+    Def.Fold = [](Operation *Op,
+                  std::vector<FoldResult> &Results) -> LogicalResult {
+      Results.emplace_back(Op->getAttr("value"));
+      return success();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.bigint — arbitrary precision constant, lowered to runtime calls.
+  {
+    OpDef Def;
+    Def.Name = "lp.bigint";
+    Def.Traits = OpTrait_Pure | OpTrait_ConstantLike;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() != 0 || failed(verifySingleBoxResult(Op)))
+        return failure();
+      return success(Op->getAttrOfType<BigIntAttr>("value") != nullptr);
+    };
+    Def.Fold = [](Operation *Op,
+                  std::vector<FoldResult> &Results) -> LogicalResult {
+      Results.emplace_back(Op->getAttr("value"));
+      return success();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.construct — data constructor (tagged union cell). Allocation: safe
+  // to erase when dead, but NOT safe to CSE once explicit RC is present
+  // (merging two allocations would double-release one cell).
+  {
+    OpDef Def;
+    Def.Name = "lp.construct";
+    Def.Traits = OpTrait_Allocates;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (failed(verifySingleBoxResult(Op)) || !allOperandsBoxed(Op))
+        return failure();
+      return success(Op->getAttrOfType<IntegerAttr>("tag") != nullptr);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.getlabel — extract the constructor tag (pure read of an immutable
+  // header).
+  {
+    OpDef Def;
+    Def.Name = "lp.getlabel";
+    Def.Traits = OpTrait_Pure;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() != 1 || Op->getNumResults() != 1)
+        return failure();
+      if (!isa<BoxType>(Op->getOperand(0)->getType()))
+        return failure();
+      auto *ResTy = dyn_cast<IntegerType>(Op->getResult(0)->getType());
+      return success(ResTy && ResTy->getWidth() == 8);
+    };
+    // Fold: getlabel of a known construct -> its tag.
+    Def.Fold = [](Operation *Op,
+                  std::vector<FoldResult> &Results) -> LogicalResult {
+      Operation *DefOp = Op->getOperand(0)->getDefiningOp();
+      if (!DefOp || DefOp->getName() != "lp.construct")
+        return failure();
+      auto *Tag = DefOp->getAttrOfType<IntegerAttr>("tag");
+      Results.emplace_back(
+          Op->getContext()->getIntegerAttr(Op->getResult(0)->getType(),
+                                           Tag->getValue()));
+      return success();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.project — extract field #index (pure read; result is borrowed).
+  {
+    OpDef Def;
+    Def.Name = "lp.project";
+    Def.Traits = OpTrait_Pure;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() != 1 || failed(verifySingleBoxResult(Op)) ||
+          !allOperandsBoxed(Op))
+        return failure();
+      return success(Op->getAttrOfType<IntegerAttr>("index") != nullptr);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.pap — partial application: allocates a closure.
+  {
+    OpDef Def;
+    Def.Name = "lp.pap";
+    Def.Traits = OpTrait_Allocates;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (failed(verifySingleBoxResult(Op)) || !allOperandsBoxed(Op))
+        return failure();
+      return success(Op->getAttrOfType<SymbolRefAttr>("callee") != nullptr);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.papextend — extend a closure; may invoke the function if saturated,
+  // so it carries no purity traits at all.
+  {
+    OpDef Def;
+    Def.Name = "lp.papextend";
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      return success(Op->getNumOperands() >= 1 &&
+                     succeeded(verifySingleBoxResult(Op)) &&
+                     allOperandsBoxed(Op));
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.inc / lp.dec — reference count adjustments (side effects).
+  for (const char *Name : {"lp.inc", "lp.dec"}) {
+    OpDef Def;
+    Def.Name = Name;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      return success(Op->getNumOperands() == 1 && Op->getNumResults() == 0 &&
+                     allOperandsBoxed(Op));
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.return — terminator returning from the enclosing function, wherever
+  // it appears in the nested control flow.
+  {
+    OpDef Def;
+    Def.Name = "lp.return";
+    Def.Traits = OpTrait_IsTerminator;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      return success(Op->getNumResults() == 0);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.unreachable — diverging terminator for impossible match arms; the
+  // VM traps if it is ever executed.
+  {
+    OpDef Def;
+    Def.Name = "lp.unreachable";
+    Def.Traits = OpTrait_IsTerminator;
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.switch — pattern match on an integer tag. Regions are the case
+  // right-hand sides; the final region is the @default arm (Figure 2).
+  {
+    OpDef Def;
+    Def.Name = "lp.switch";
+    Def.Traits = OpTrait_IsTerminator;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() != 1 || Op->getNumResults() != 0)
+        return failure();
+      if (!isa<IntegerType>(Op->getOperand(0)->getType()))
+        return failure();
+      auto *Cases = Op->getAttrOfType<ArrayAttr>("cases");
+      if (!Cases || Op->getNumRegions() != Cases->size() + 1)
+        return failure();
+      for (unsigned I = 0; I != Op->getNumRegions(); ++I) {
+        Region &R = Op->getRegion(I);
+        if (R.empty() || R.getEntryBlock()->getNumArguments() != 0)
+          return failure();
+      }
+      return success();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.joinpoint — region 0 is the after-jump body (label target, with
+  // parameters as entry block arguments); region 1 is the pre-jump code
+  // executed first (Figure 2 / Figure 5).
+  {
+    OpDef Def;
+    Def.Name = "lp.joinpoint";
+    Def.Traits = OpTrait_IsTerminator;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumRegions() != 2 || Op->getNumResults() != 0 ||
+          Op->getNumOperands() != 0)
+        return failure();
+      if (!Op->getAttrOfType<StringAttr>("label"))
+        return failure();
+      if (Op->getRegion(0).empty() || Op->getRegion(1).empty())
+        return failure();
+      // The pre-jump region takes no arguments.
+      return success(
+          Op->getRegion(1).getEntryBlock()->getNumArguments() == 0);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // lp.jump — jump to an enclosing joinpoint's label with arguments.
+  {
+    OpDef Def;
+    Def.Name = "lp.jump";
+    Def.Traits = OpTrait_IsTerminator;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      auto *Label = Op->getAttrOfType<StringAttr>("label");
+      if (!Label || Op->getNumResults() != 0)
+        return failure();
+      // The label must name a lexically enclosing joinpoint, and arity must
+      // match its parameter list.
+      for (Operation *Parent = Op->getParentOp(); Parent;
+           Parent = Parent->getParentOp()) {
+        if (Parent->getName() != "lp.joinpoint")
+          continue;
+        auto *ParentLabel = Parent->getAttrOfType<StringAttr>("label");
+        if (!ParentLabel || ParentLabel->getValue() != Label->getValue())
+          continue;
+        Block *Target = Parent->getRegion(0).getEntryBlock();
+        return success(Target->getNumArguments() == Op->getNumOperands());
+      }
+      // Detached fragments (under construction) get a pass; the check
+      // re-runs once the op is nested in a function.
+      return success(Op->getParentOp() == nullptr);
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // Chain a materializer handling !lp.t constants on top of arith's.
+  auto Prev = Ctx.getConstantMaterializer();
+  Ctx.setConstantMaterializer(
+      [Prev](OpBuilder &B, Attribute *Attr, Type *Ty) -> Operation * {
+        if (isa<BoxType>(Ty)) {
+          if (auto *IntAttr = dyn_cast<IntegerAttr>(Attr))
+            return buildInt(B, IntAttr->getValue());
+          if (auto *Big = dyn_cast<BigIntAttr>(Attr))
+            return buildBigInt(B, Big->getValue());
+          return nullptr;
+        }
+        return Prev ? Prev(B, Attr, Ty) : nullptr;
+      });
+}
+
+//===----------------------------------------------------------------------===//
+// Builders
+//===----------------------------------------------------------------------===//
+
+Operation *lz::lp::buildInt(OpBuilder &B, int64_t Value) {
+  OperationState State(B.getContext(), "lp.int");
+  State.addAttribute("value", B.getContext().getI64Attr(Value));
+  State.ResultTypes.push_back(B.getContext().getBoxType());
+  return B.create(State);
+}
+
+Operation *lz::lp::buildBigInt(OpBuilder &B, const BigInt &Value) {
+  OperationState State(B.getContext(), "lp.bigint");
+  State.addAttribute("value", B.getContext().getBigIntAttr(Value));
+  State.ResultTypes.push_back(B.getContext().getBoxType());
+  return B.create(State);
+}
+
+Operation *lz::lp::buildConstruct(OpBuilder &B, int64_t Tag,
+                                  std::span<Value *const> Fields) {
+  OperationState State(B.getContext(), "lp.construct");
+  State.addOperands(Fields);
+  State.addAttribute("tag", B.getContext().getI64Attr(Tag));
+  State.ResultTypes.push_back(B.getContext().getBoxType());
+  return B.create(State);
+}
+
+Operation *lz::lp::buildGetLabel(OpBuilder &B, Value *V) {
+  OperationState State(B.getContext(), "lp.getlabel");
+  State.Operands.push_back(V);
+  State.ResultTypes.push_back(B.getContext().getI8());
+  return B.create(State);
+}
+
+Operation *lz::lp::buildProject(OpBuilder &B, Value *V, int64_t Index) {
+  OperationState State(B.getContext(), "lp.project");
+  State.Operands.push_back(V);
+  State.addAttribute("index", B.getContext().getI64Attr(Index));
+  State.ResultTypes.push_back(B.getContext().getBoxType());
+  return B.create(State);
+}
+
+Operation *lz::lp::buildPap(OpBuilder &B, std::string_view Callee,
+                            std::span<Value *const> Args) {
+  OperationState State(B.getContext(), "lp.pap");
+  State.addOperands(Args);
+  State.addAttribute("callee", B.getContext().getSymbolRefAttr(Callee));
+  State.ResultTypes.push_back(B.getContext().getBoxType());
+  return B.create(State);
+}
+
+Operation *lz::lp::buildPapExtend(OpBuilder &B, Value *Closure,
+                                  std::span<Value *const> Args) {
+  OperationState State(B.getContext(), "lp.papextend");
+  State.Operands.push_back(Closure);
+  State.addOperands(Args);
+  State.ResultTypes.push_back(B.getContext().getBoxType());
+  return B.create(State);
+}
+
+Operation *lz::lp::buildInc(OpBuilder &B, Value *V) {
+  OperationState State(B.getContext(), "lp.inc");
+  State.Operands.push_back(V);
+  return B.create(State);
+}
+
+Operation *lz::lp::buildDec(OpBuilder &B, Value *V) {
+  OperationState State(B.getContext(), "lp.dec");
+  State.Operands.push_back(V);
+  return B.create(State);
+}
+
+Operation *lz::lp::buildReturn(OpBuilder &B, std::span<Value *const> Values) {
+  OperationState State(B.getContext(), "lp.return");
+  State.addOperands(Values);
+  return B.create(State);
+}
+
+Operation *lz::lp::buildUnreachable(OpBuilder &B) {
+  OperationState State(B.getContext(), "lp.unreachable");
+  return B.create(State);
+}
+
+Operation *lz::lp::buildSwitch(OpBuilder &B, Value *Tag,
+                               std::span<int64_t const> Cases) {
+  OperationState State(B.getContext(), "lp.switch");
+  State.Operands.push_back(Tag);
+  State.NumRegions = static_cast<unsigned>(Cases.size()) + 1;
+  std::vector<Attribute *> CaseAttrs;
+  for (int64_t C : Cases)
+    CaseAttrs.push_back(B.getContext().getI64Attr(C));
+  State.addAttribute("cases",
+                     B.getContext().getArrayAttr(std::move(CaseAttrs)));
+  Operation *Op = B.create(State);
+  for (unsigned I = 0; I != Op->getNumRegions(); ++I)
+    Op->getRegion(I).emplaceBlock();
+  return Op;
+}
+
+Operation *lz::lp::buildJoinPoint(OpBuilder &B, std::string_view Label,
+                                  std::span<Type *const> ParamTypes) {
+  OperationState State(B.getContext(), "lp.joinpoint");
+  State.NumRegions = 2;
+  State.addAttribute("label", B.getContext().getStringAttr(Label));
+  Operation *Op = B.create(State);
+  Block *Body = Op->getRegion(0).emplaceBlock();
+  for (Type *Ty : ParamTypes)
+    Body->addArgument(Ty);
+  Op->getRegion(1).emplaceBlock();
+  return Op;
+}
+
+Operation *lz::lp::buildJump(OpBuilder &B, std::string_view Label,
+                             std::span<Value *const> Args) {
+  OperationState State(B.getContext(), "lp.jump");
+  State.addOperands(Args);
+  State.addAttribute("label", B.getContext().getStringAttr(Label));
+  return B.create(State);
+}
+
+Region &lz::lp::getSwitchCaseRegion(Operation *SwitchOp, unsigned I) {
+  assert(I + 1 < SwitchOp->getNumRegions() && "case index out of range");
+  return SwitchOp->getRegion(I);
+}
+
+Region &lz::lp::getSwitchDefaultRegion(Operation *SwitchOp) {
+  return SwitchOp->getRegion(SwitchOp->getNumRegions() - 1);
+}
+
+Region &lz::lp::getJoinPointBodyRegion(Operation *JoinPoint) {
+  return JoinPoint->getRegion(0);
+}
+
+Region &lz::lp::getJoinPointPreRegion(Operation *JoinPoint) {
+  return JoinPoint->getRegion(1);
+}

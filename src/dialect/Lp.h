@@ -1,0 +1,83 @@
+//===- Lp.h - the lp dialect: lambda-pure in SSA ----------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `lp` dialect (Figure 2 of the paper): a feature-complete SSA encoding
+/// of LEAN4's λpure/λrc intermediate representation.
+///
+///   %v = lp.int {value}                      : () -> !lp.t
+///   %v = lp.bigint {value}                   : () -> !lp.t
+///   %v = lp.construct(%f...) {tag}           : (!lp.t...) -> !lp.t
+///   %t = lp.getlabel(%v)                     : (!lp.t) -> i8
+///   %f = lp.project(%v) {index}              : (!lp.t) -> !lp.t
+///   %c = lp.pap(%a...) {callee}              : (!lp.t...) -> !lp.t
+///   %r = lp.papextend(%c, %a...)             : (!lp.t, !lp.t...) -> !lp.t
+///   lp.inc(%v) / lp.dec(%v)                  : (!lp.t) -> ()
+///   lp.switch(%tag) (rgn0, ..., default) {cases}   [terminator]
+///   lp.joinpoint (after(params), pre) {label}      [terminator]
+///   lp.jump(%args...) {label}                      [terminator]
+///   lp.return(%v...)                               [terminator]
+///
+/// Control-flow ops hold single-block regions; `lp.switch`'s last region is
+/// always the @default arm. `lp.jump` names the label of a lexically
+/// enclosing `lp.joinpoint` — the "local, named closures" of Section III-B.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_DIALECT_LP_H
+#define LZ_DIALECT_LP_H
+
+#include "ir/Builder.h"
+#include "support/BigInt.h"
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace lz::lp {
+
+/// Registers all lp ops; also extends the constant materializer so folds
+/// producing IntegerAttr/BigIntAttr of type !lp.t become lp.int/lp.bigint.
+void registerLpDialect(Context &Ctx);
+
+Operation *buildInt(OpBuilder &B, int64_t Value);
+Operation *buildBigInt(OpBuilder &B, const BigInt &Value);
+Operation *buildConstruct(OpBuilder &B, int64_t Tag,
+                          std::span<Value *const> Fields);
+Operation *buildGetLabel(OpBuilder &B, Value *V);
+Operation *buildProject(OpBuilder &B, Value *V, int64_t Index);
+Operation *buildPap(OpBuilder &B, std::string_view Callee,
+                    std::span<Value *const> Args);
+Operation *buildPapExtend(OpBuilder &B, Value *Closure,
+                          std::span<Value *const> Args);
+Operation *buildInc(OpBuilder &B, Value *V);
+Operation *buildDec(OpBuilder &B, Value *V);
+Operation *buildReturn(OpBuilder &B, std::span<Value *const> Values);
+Operation *buildUnreachable(OpBuilder &B);
+
+/// Builds `lp.switch` with `Cases.size() + 1` empty single-block regions
+/// (the final one is @default). Callers fill the regions afterwards.
+Operation *buildSwitch(OpBuilder &B, Value *Tag,
+                       std::span<int64_t const> Cases);
+
+/// Builds `lp.joinpoint @Label` with an after-jump region (entry block args
+/// of types \p ParamTypes) and an empty pre-jump region.
+Operation *buildJoinPoint(OpBuilder &B, std::string_view Label,
+                          std::span<Type *const> ParamTypes);
+
+Operation *buildJump(OpBuilder &B, std::string_view Label,
+                     std::span<Value *const> Args);
+
+/// Accessors.
+Region &getSwitchCaseRegion(Operation *SwitchOp, unsigned I);
+Region &getSwitchDefaultRegion(Operation *SwitchOp);
+Region &getJoinPointBodyRegion(Operation *JoinPoint);   // after-jump
+Region &getJoinPointPreRegion(Operation *JoinPoint);    // pre-jump
+
+} // namespace lz::lp
+
+#endif // LZ_DIALECT_LP_H

@@ -1,0 +1,114 @@
+//===- Rgn.cpp - the rgn dialect: regions as SSA values ----------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Rgn.h"
+
+using namespace lz;
+using namespace lz::rgn;
+
+void lz::rgn::registerRgnDialect(Context &Ctx) {
+  // rgn.val — region-as-value. Pure: DCE on it is the paper's Dead Region
+  // Elimination; CSE on it (with structural region equivalence) is the
+  // paper's Global Region Numbering.
+  {
+    OpDef Def;
+    Def.Name = "rgn.val";
+    Def.Traits = OpTrait_Pure;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumRegions() != 1 || Op->getNumResults() != 1 ||
+          Op->getNumOperands() != 0)
+        return failure();
+      auto *Ty = dyn_cast<RegionValType>(Op->getResult(0)->getType());
+      if (!Ty)
+        return failure();
+      Region &Body = Op->getRegion(0);
+      if (Body.empty())
+        return failure();
+      Block *Entry = Body.getEntryBlock();
+      if (Entry->getNumArguments() != Ty->getInputs().size())
+        return failure();
+      for (unsigned I = 0; I != Entry->getNumArguments(); ++I)
+        if (Entry->getArgument(I)->getType() != Ty->getInputs()[I])
+          return failure();
+      // The escape rule: uses may only be select/switch/run.
+      for (OpOperand *U = Op->getResult(0)->getFirstUse(); U;
+           U = U->getNextUse()) {
+        std::string_view UserName = U->getOwner()->getName();
+        if (UserName != "arith.select" && UserName != "arith.switch" &&
+            UserName != "rgn.run")
+          return failure();
+      }
+      return success();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+
+  // rgn.run — invoke a region value.
+  {
+    OpDef Def;
+    Def.Name = "rgn.run";
+    Def.Traits = OpTrait_IsTerminator;
+    Def.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() < 1 || Op->getNumResults() != 0)
+        return failure();
+      auto *Ty = dyn_cast<RegionValType>(Op->getOperand(0)->getType());
+      if (!Ty)
+        return failure();
+      if (Ty->getInputs().size() != Op->getNumOperands() - 1)
+        return failure();
+      for (unsigned I = 1; I != Op->getNumOperands(); ++I)
+        if (Op->getOperand(I)->getType() != Ty->getInputs()[I - 1])
+          return failure();
+      return success();
+    };
+    Ctx.registerOp(std::move(Def));
+  }
+}
+
+Operation *lz::rgn::buildVal(OpBuilder &B, std::span<Type *const> ParamTypes) {
+  OperationState State(B.getContext(), "rgn.val");
+  State.NumRegions = 1;
+  State.ResultTypes.push_back(B.getContext().getRegionValType(
+      std::vector<Type *>(ParamTypes.begin(), ParamTypes.end())));
+  Operation *Op = B.create(State);
+  Block *Entry = Op->getRegion(0).emplaceBlock();
+  for (Type *Ty : ParamTypes)
+    Entry->addArgument(Ty);
+  return Op;
+}
+
+Operation *lz::rgn::buildRun(OpBuilder &B, Value *RegionVal,
+                             std::span<Value *const> Args) {
+  OperationState State(B.getContext(), "rgn.run");
+  State.Operands.push_back(RegionVal);
+  State.addOperands(Args);
+  return B.create(State);
+}
+
+Region &lz::rgn::getValBody(Operation *ValOp) {
+  assert(ValOp->getName() == "rgn.val" && "not a rgn.val");
+  return ValOp->getRegion(0);
+}
+
+Operation *lz::rgn::resolveKnownRegion(Value *V) {
+  Operation *Def = V->getDefiningOp();
+  if (!Def)
+    return nullptr;
+  if (Def->getName() == "rgn.val")
+    return Def;
+  // select/switch with all choices identical resolve through; the select
+  // folder normally handles this first, but resolving here makes the
+  // lowering robust without a prior canonicalization run.
+  if (Def->getName() == "arith.select" || Def->getName() == "arith.switch") {
+    Value *First = Def->getOperand(1);
+    for (unsigned I = 2; I != Def->getNumOperands(); ++I)
+      if (Def->getOperand(I) != First)
+        return nullptr;
+    return resolveKnownRegion(First);
+  }
+  return nullptr;
+}

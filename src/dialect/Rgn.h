@@ -1,0 +1,59 @@
+//===- Rgn.h - the rgn dialect: regions as SSA values -----------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `rgn` dialect — the paper's key innovation (Section IV). Two ops:
+///
+///   %r = rgn.val ({ region })  : !rgn.region<(T...)>
+///       Names a region as an SSA value: a suspended sub-computation,
+///       conceptually a continuation. Pure, so classical DCE gives "dead
+///       region elimination" and region-aware CSE gives "global region
+///       numbering" for free.
+///
+///   rgn.run %r (%args...)      [terminator]
+///       Transfers control to the region named by %r, passing %args to its
+///       entry block arguments — conceptually invoking a continuation.
+///
+/// Structural constraint (enforced by the verifier): a rgn.val result may
+/// only be used by `arith.select`, `arith.switch` (whose results are again
+/// region-typed and subject to the same rule) and `rgn.run`. It may not be
+/// passed to functions, stored, or returned — this is what keeps every use
+/// statically analyzable (Section IV: "We do not allow rgn.val operations
+/// to interact with other operations").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_DIALECT_RGN_H
+#define LZ_DIALECT_RGN_H
+
+#include "ir/Builder.h"
+
+#include <span>
+
+namespace lz::rgn {
+
+/// Registers rgn.val and rgn.run.
+void registerRgnDialect(Context &Ctx);
+
+/// Builds `rgn.val` with one region containing one entry block whose
+/// arguments have \p ParamTypes; result type is !rgn.region<(ParamTypes)>.
+Operation *buildVal(OpBuilder &B, std::span<Type *const> ParamTypes);
+
+/// Builds the `rgn.run` terminator.
+Operation *buildRun(OpBuilder &B, Value *RegionVal,
+                    std::span<Value *const> Args);
+
+/// Returns the single body region of a rgn.val.
+Region &getValBody(Operation *ValOp);
+
+/// Walks through select/switch chains: if \p V is ultimately a unique
+/// rgn.val (e.g. after folding), returns that op, else null.
+Operation *resolveKnownRegion(Value *V);
+
+} // namespace lz::rgn
+
+#endif // LZ_DIALECT_RGN_H

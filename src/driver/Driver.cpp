@@ -1,0 +1,74 @@
+//===- Driver.cpp - compile-and-run convenience API ----------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "dialect/Dialects.h"
+#include "lambda/Interp.h"
+#include "lambda/MiniLean.h"
+#include "support/OStream.h"
+#include "vm/VM.h"
+
+using namespace lz;
+using namespace lz::driver;
+
+bool lz::driver::parseSource(std::string_view Source, lambda::Program &Out,
+                             std::string &Error) {
+  return succeeded(lambda::parseMiniLean(Source, Out, Error));
+}
+
+RunResult lz::driver::runProgram(const lambda::Program &P,
+                                 const lower::PipelineOptions &Opts,
+                                 std::string_view Entry) {
+  RunResult R;
+  Context Ctx;
+  registerAllDialects(Ctx);
+  lower::CompileResult CR = lower::compileProgram(P, Ctx, Opts);
+  if (!CR.OK) {
+    R.Error = CR.Error;
+    return R;
+  }
+  R.NumOps = CR.NumOps;
+
+  rt::Runtime RT;
+  StringOStream Out(R.Output);
+  vm::VM Machine(CR.Prog, RT, &Out);
+  rt::ObjRef Result = Machine.run(Entry, {});
+  R.ResultDisplay = RT.toDisplayString(Result);
+  RT.dec(Result);
+  R.LiveObjects = RT.getLiveObjects();
+  R.TotalAllocations = RT.getTotalAllocations();
+  R.Steps = Machine.getSteps();
+  R.OK = true;
+  return R;
+}
+
+RunResult lz::driver::runProgram(const lambda::Program &P,
+                                 lower::PipelineVariant Variant,
+                                 std::string_view Entry) {
+  return runProgram(P, lower::PipelineOptions::forVariant(Variant), Entry);
+}
+
+RunResult lz::driver::runOracle(const lambda::Program &P,
+                                std::string_view Entry) {
+  RunResult R;
+  lambda::OVal Result =
+      lambda::interpret(P, std::string(Entry), {}, R.Output);
+  R.ResultDisplay = lambda::displayOValue(Result);
+  R.OK = true;
+  return R;
+}
+
+RunResult lz::driver::compileAndRun(std::string_view Source,
+                                    lower::PipelineVariant Variant,
+                                    std::string_view Entry) {
+  lambda::Program P;
+  RunResult R;
+  if (!parseSource(Source, P, R.Error))
+    return R;
+  return runProgram(P, Variant, Entry);
+}

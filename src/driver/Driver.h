@@ -1,0 +1,60 @@
+//===- Driver.h - compile-and-run convenience API ---------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call helpers gluing the whole stack together: MiniLean source ->
+/// λpure -> chosen pipeline -> VM, plus the reference interpreter. Used by
+/// tests, benchmarks and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_DRIVER_DRIVER_H
+#define LZ_DRIVER_DRIVER_H
+
+#include "lower/Pipeline.h"
+
+#include <string>
+#include <string_view>
+
+namespace lz::driver {
+
+/// Result of executing a program (compiled or interpreted).
+struct RunResult {
+  bool OK = false;
+  std::string Error;
+  std::string ResultDisplay; ///< rendered return value of the entry point
+  std::string Output;        ///< accumulated lean_io_println lines
+  uint64_t LiveObjects = 0;  ///< heap cells alive after release (0 = leak-free)
+  uint64_t TotalAllocations = 0;
+  uint64_t Steps = 0;        ///< VM instructions executed
+  unsigned NumOps = 0;       ///< IR ops after lowering (compile-time stat)
+};
+
+/// Parses MiniLean source into \p Out.
+bool parseSource(std::string_view Source, lambda::Program &Out,
+                 std::string &Error);
+
+/// Compiles \p P with \p Variant and runs \p Entry (a 0-ary function).
+RunResult runProgram(const lambda::Program &P, lower::PipelineVariant Variant,
+                     std::string_view Entry = "main");
+
+/// As runProgram but with explicit pipeline options (ablations).
+RunResult runProgram(const lambda::Program &P,
+                     const lower::PipelineOptions &Opts,
+                     std::string_view Entry = "main");
+
+/// Runs \p Entry under the reference interpreter (the oracle).
+RunResult runOracle(const lambda::Program &P, std::string_view Entry = "main");
+
+/// Convenience: parse + compile + run in one call.
+RunResult compileAndRun(std::string_view Source,
+                        lower::PipelineVariant Variant,
+                        std::string_view Entry = "main");
+
+} // namespace lz::driver
+
+#endif // LZ_DRIVER_DRIVER_H

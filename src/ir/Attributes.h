@@ -1,0 +1,171 @@
+//===- Attributes.h - compile-time constant attributes ----------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniqued compile-time constants attached to operations, mirroring MLIR
+/// attributes (Section II-C-2 of the paper). Pointer equality is attribute
+/// equality after uniquing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_IR_ATTRIBUTES_H
+#define LZ_IR_ATTRIBUTES_H
+
+#include "support/BigInt.h"
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lz {
+
+class Context;
+class OStream;
+class Type;
+
+/// Base of the uniqued attribute hierarchy.
+class Attribute {
+public:
+  enum class Kind : uint8_t {
+    Integer, ///< Typed integer constant, e.g. `42 : i64`.
+    BigInt,  ///< Arbitrary precision integer, e.g. `big"9999..."`.
+    String,  ///< Quoted string.
+    SymbolRef, ///< Reference to a module-level symbol, e.g. `@foo`.
+    TypeRef, ///< A type used as an attribute.
+    Array,   ///< Ordered list of attributes.
+    Unit,    ///< Presence-only marker.
+  };
+
+  Kind getKind() const { return TheKind; }
+  Context *getContext() const { return Ctx; }
+
+  void print(OStream &OS) const;
+  std::string str() const;
+
+protected:
+  Attribute(Kind K, Context *Ctx) : TheKind(K), Ctx(Ctx) {}
+  ~Attribute() = default;
+
+private:
+  Kind TheKind;
+  Context *Ctx;
+};
+
+/// Integer constant carrying its type (e.g. `1 : i1`, `42 : i64`).
+class IntegerAttr : public Attribute {
+public:
+  int64_t getValue() const { return Value; }
+  Type *getType() const { return Ty; }
+
+  static bool classof(const Attribute *A) {
+    return A->getKind() == Kind::Integer;
+  }
+
+private:
+  friend class Context;
+  IntegerAttr(Context *Ctx, Type *Ty, int64_t Value)
+      : Attribute(Kind::Integer, Ctx), Ty(Ty), Value(Value) {}
+  Type *Ty;
+  int64_t Value;
+};
+
+/// Arbitrary-precision integer constant backing `lp.bigint`.
+class BigIntAttr : public Attribute {
+public:
+  const BigInt &getValue() const { return Value; }
+
+  static bool classof(const Attribute *A) {
+    return A->getKind() == Kind::BigInt;
+  }
+
+private:
+  friend class Context;
+  BigIntAttr(Context *Ctx, BigInt Value)
+      : Attribute(Kind::BigInt, Ctx), Value(std::move(Value)) {}
+  BigInt Value;
+};
+
+/// String constant.
+class StringAttr : public Attribute {
+public:
+  std::string_view getValue() const { return Value; }
+
+  static bool classof(const Attribute *A) {
+    return A->getKind() == Kind::String;
+  }
+
+private:
+  friend class Context;
+  StringAttr(Context *Ctx, std::string Value)
+      : Attribute(Kind::String, Ctx), Value(std::move(Value)) {}
+  std::string Value;
+};
+
+/// Reference to a symbol (function or global) by name, e.g. `@length`.
+class SymbolRefAttr : public Attribute {
+public:
+  std::string_view getValue() const { return Value; }
+
+  static bool classof(const Attribute *A) {
+    return A->getKind() == Kind::SymbolRef;
+  }
+
+private:
+  friend class Context;
+  SymbolRefAttr(Context *Ctx, std::string Value)
+      : Attribute(Kind::SymbolRef, Ctx), Value(std::move(Value)) {}
+  std::string Value;
+};
+
+/// Type wrapped as an attribute (used for function signatures).
+class TypeAttr : public Attribute {
+public:
+  Type *getValue() const { return Ty; }
+
+  static bool classof(const Attribute *A) {
+    return A->getKind() == Kind::TypeRef;
+  }
+
+private:
+  friend class Context;
+  TypeAttr(Context *Ctx, Type *Ty) : Attribute(Kind::TypeRef, Ctx), Ty(Ty) {}
+  Type *Ty;
+};
+
+/// Ordered attribute list (used for e.g. switch case values).
+class ArrayAttr : public Attribute {
+public:
+  const std::vector<Attribute *> &getValue() const { return Elements; }
+  size_t size() const { return Elements.size(); }
+  Attribute *operator[](size_t I) const { return Elements[I]; }
+
+  static bool classof(const Attribute *A) {
+    return A->getKind() == Kind::Array;
+  }
+
+private:
+  friend class Context;
+  ArrayAttr(Context *Ctx, std::vector<Attribute *> Elements)
+      : Attribute(Kind::Array, Ctx), Elements(std::move(Elements)) {}
+  std::vector<Attribute *> Elements;
+};
+
+/// Presence-only marker attribute (e.g. `musttail`).
+class UnitAttr : public Attribute {
+public:
+  static bool classof(const Attribute *A) { return A->getKind() == Kind::Unit; }
+
+private:
+  friend class Context;
+  explicit UnitAttr(Context *Ctx) : Attribute(Kind::Unit, Ctx) {}
+};
+
+} // namespace lz
+
+#endif // LZ_IR_ATTRIBUTES_H

@@ -1,0 +1,118 @@
+//===- Builder.h - IR construction helper -----------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpBuilder: insertion-point-carrying helper for constructing operations,
+/// mirroring mlir::OpBuilder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_IR_BUILDER_H
+#define LZ_IR_BUILDER_H
+
+#include "ir/IR.h"
+
+namespace lz {
+
+/// Creates operations at a movable insertion point.
+class OpBuilder {
+public:
+  explicit OpBuilder(Context &Ctx) : Ctx(&Ctx) {}
+
+  Context &getContext() const { return *Ctx; }
+
+  //===------------------------------------------------------------------===//
+  // Insertion point management
+  //===------------------------------------------------------------------===//
+
+  /// Insert at the very beginning of \p B.
+  void setInsertionPointToStart(Block *B) {
+    InsBlock = B;
+    InsBefore = B->front();
+  }
+  /// Insert at the end of \p B (after the current last op).
+  void setInsertionPointToEnd(Block *B) {
+    InsBlock = B;
+    InsBefore = nullptr;
+  }
+  /// Insert immediately before \p Op.
+  void setInsertionPoint(Operation *Op) {
+    InsBlock = Op->getBlock();
+    InsBefore = Op;
+  }
+  /// Insert immediately after \p Op.
+  void setInsertionPointAfter(Operation *Op) {
+    InsBlock = Op->getBlock();
+    InsBefore = Op->getNextNode();
+  }
+  void clearInsertionPoint() {
+    InsBlock = nullptr;
+    InsBefore = nullptr;
+  }
+
+  Block *getInsertionBlock() const { return InsBlock; }
+  Operation *getInsertionPointOp() const { return InsBefore; }
+
+  /// RAII guard saving and restoring the insertion point.
+  class InsertionGuard {
+  public:
+    explicit InsertionGuard(OpBuilder &B)
+        : Builder(B), SavedBlock(B.InsBlock), SavedBefore(B.InsBefore) {}
+    ~InsertionGuard() {
+      Builder.InsBlock = SavedBlock;
+      Builder.InsBefore = SavedBefore;
+    }
+
+  private:
+    OpBuilder &Builder;
+    Block *SavedBlock;
+    Operation *SavedBefore;
+  };
+
+  //===------------------------------------------------------------------===//
+  // Creation
+  //===------------------------------------------------------------------===//
+
+  /// Creates the operation described by \p State and inserts it at the
+  /// current insertion point (if one is set).
+  virtual Operation *create(const OperationState &State) {
+    Operation *Op = Operation::create(State);
+    insert(Op);
+    return Op;
+  }
+
+  /// Inserts a detached operation at the insertion point.
+  virtual void insert(Operation *Op) {
+    if (!InsBlock)
+      return;
+    if (InsBefore)
+      InsBlock->insertBefore(InsBefore, Op);
+    else
+      InsBlock->push_back(Op);
+  }
+
+  /// Appends a new block to \p Parent with the given argument types and
+  /// moves the insertion point to its end.
+  Block *createBlock(Region *Parent, std::span<Type *const> ArgTypes = {}) {
+    Block *B = Parent->emplaceBlock();
+    for (Type *Ty : ArgTypes)
+      B->addArgument(Ty);
+    setInsertionPointToEnd(B);
+    return B;
+  }
+
+  virtual ~OpBuilder() = default;
+
+protected:
+  Context *Ctx;
+  Block *InsBlock = nullptr;
+  Operation *InsBefore = nullptr;
+};
+
+} // namespace lz
+
+#endif // LZ_IR_BUILDER_H

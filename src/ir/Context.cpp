@@ -1,0 +1,175 @@
+//===- Context.cpp - IR context: uniquing and op registry -----------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+
+#include "ir/IR.h"
+
+#include <cassert>
+#include <map>
+
+using namespace lz;
+
+namespace {
+/// Heterogeneous key for function/region type uniquing.
+using TypeListKey = std::vector<Type *>;
+using TypePairKey = std::pair<std::vector<Type *>, std::vector<Type *>>;
+} // namespace
+
+struct Context::Impl {
+  // Op registry. std::map keeps OpDef addresses stable and lookup is not on
+  // any hot path (Operation caches the OpDef pointer).
+  std::map<std::string, OpDef, std::less<>> OpRegistry;
+
+  // Type uniquers.
+  std::map<unsigned, std::unique_ptr<IntegerType>> IntegerTypes;
+  std::unique_ptr<BoxType> TheBoxType;
+  std::unique_ptr<NoneType> TheNoneType;
+  std::map<TypeListKey, std::unique_ptr<RegionValType>> RegionTypes;
+  std::map<TypePairKey, std::unique_ptr<FunctionType>> FunctionTypes;
+
+  // Attribute uniquers.
+  std::map<std::pair<Type *, int64_t>, std::unique_ptr<IntegerAttr>> IntAttrs;
+  std::map<std::string, std::unique_ptr<BigIntAttr>, std::less<>> BigAttrs;
+  std::map<std::string, std::unique_ptr<StringAttr>, std::less<>> StrAttrs;
+  std::map<std::string, std::unique_ptr<SymbolRefAttr>, std::less<>> SymAttrs;
+  std::map<Type *, std::unique_ptr<TypeAttr>> TypeAttrs;
+  std::map<std::vector<Attribute *>, std::unique_ptr<ArrayAttr>> ArrayAttrs;
+  std::unique_ptr<UnitAttr> TheUnitAttr;
+};
+
+Context::Context() : TheImpl(std::make_unique<Impl>()) {
+  // The builtin module op: single region holding the program's symbols.
+  OpDef ModuleDef;
+  ModuleDef.Name = "builtin.module";
+  ModuleDef.Traits = OpTrait_IsolatedFromAbove | OpTrait_SymbolTable;
+  registerOp(std::move(ModuleDef));
+
+  // Forward-reference placeholder used by the textual parser.
+  OpDef PlaceholderDef;
+  PlaceholderDef.Name = "builtin.unrealized";
+  registerOp(std::move(PlaceholderDef));
+}
+
+Context::~Context() = default;
+
+const OpDef *Context::registerOp(OpDef Def) {
+  auto [It, Inserted] = TheImpl->OpRegistry.try_emplace(Def.Name);
+  assert(Inserted && "op name registered twice");
+  It->second = std::move(Def);
+  return &It->second;
+}
+
+const OpDef *Context::getOpDef(std::string_view Name) const {
+  auto It = TheImpl->OpRegistry.find(Name);
+  return It == TheImpl->OpRegistry.end() ? nullptr : &It->second;
+}
+
+void Context::forEachOpDef(
+    const std::function<void(const OpDef &)> &Fn) const {
+  for (const auto &[Name, Def] : TheImpl->OpRegistry)
+    Fn(Def);
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+IntegerType *Context::getIntegerType(unsigned Width) {
+  auto &Slot = TheImpl->IntegerTypes[Width];
+  if (!Slot)
+    Slot.reset(new IntegerType(this, Width));
+  return Slot.get();
+}
+
+BoxType *Context::getBoxType() {
+  if (!TheImpl->TheBoxType)
+    TheImpl->TheBoxType.reset(new BoxType(this));
+  return TheImpl->TheBoxType.get();
+}
+
+NoneType *Context::getNoneType() {
+  if (!TheImpl->TheNoneType)
+    TheImpl->TheNoneType.reset(new NoneType(this));
+  return TheImpl->TheNoneType.get();
+}
+
+RegionValType *Context::getRegionValType(std::vector<Type *> Inputs) {
+  auto &Slot = TheImpl->RegionTypes[Inputs];
+  if (!Slot)
+    Slot.reset(new RegionValType(this, std::move(Inputs)));
+  return Slot.get();
+}
+
+FunctionType *Context::getFunctionType(std::vector<Type *> Inputs,
+                                       std::vector<Type *> Results) {
+  auto &Slot = TheImpl->FunctionTypes[{Inputs, Results}];
+  if (!Slot)
+    Slot.reset(new FunctionType(this, std::move(Inputs), std::move(Results)));
+  return Slot.get();
+}
+
+//===----------------------------------------------------------------------===//
+// Attributes
+//===----------------------------------------------------------------------===//
+
+IntegerAttr *Context::getIntegerAttr(Type *Ty, int64_t Value) {
+  auto &Slot = TheImpl->IntAttrs[{Ty, Value}];
+  if (!Slot)
+    Slot.reset(new IntegerAttr(this, Ty, Value));
+  return Slot.get();
+}
+
+BigIntAttr *Context::getBigIntAttr(const BigInt &Value) {
+  std::string Key = Value.toString();
+  auto It = TheImpl->BigAttrs.find(Key);
+  if (It != TheImpl->BigAttrs.end())
+    return It->second.get();
+  auto *Attr = new BigIntAttr(this, Value);
+  TheImpl->BigAttrs.emplace(std::move(Key), std::unique_ptr<BigIntAttr>(Attr));
+  return Attr;
+}
+
+StringAttr *Context::getStringAttr(std::string_view Value) {
+  auto It = TheImpl->StrAttrs.find(Value);
+  if (It != TheImpl->StrAttrs.end())
+    return It->second.get();
+  auto *Attr = new StringAttr(this, std::string(Value));
+  TheImpl->StrAttrs.emplace(std::string(Value),
+                            std::unique_ptr<StringAttr>(Attr));
+  return Attr;
+}
+
+SymbolRefAttr *Context::getSymbolRefAttr(std::string_view Value) {
+  auto It = TheImpl->SymAttrs.find(Value);
+  if (It != TheImpl->SymAttrs.end())
+    return It->second.get();
+  auto *Attr = new SymbolRefAttr(this, std::string(Value));
+  TheImpl->SymAttrs.emplace(std::string(Value),
+                            std::unique_ptr<SymbolRefAttr>(Attr));
+  return Attr;
+}
+
+TypeAttr *Context::getTypeAttr(Type *Ty) {
+  auto &Slot = TheImpl->TypeAttrs[Ty];
+  if (!Slot)
+    Slot.reset(new TypeAttr(this, Ty));
+  return Slot.get();
+}
+
+ArrayAttr *Context::getArrayAttr(std::vector<Attribute *> Elements) {
+  auto &Slot = TheImpl->ArrayAttrs[Elements];
+  if (!Slot)
+    Slot.reset(new ArrayAttr(this, std::move(Elements)));
+  return Slot.get();
+}
+
+UnitAttr *Context::getUnitAttr() {
+  if (!TheImpl->TheUnitAttr)
+    TheImpl->TheUnitAttr.reset(new UnitAttr(this));
+  return TheImpl->TheUnitAttr.get();
+}

@@ -1,0 +1,160 @@
+//===- Context.h - IR context: uniquing and op registry ---------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Context owns all uniqued types and attributes and the registry of
+/// operation definitions (our analogue of MLIR's dialect registry,
+/// Section II-C-3 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_IR_CONTEXT_H
+#define LZ_IR_CONTEXT_H
+
+#include "ir/Attributes.h"
+#include "ir/Types.h"
+#include "support/LogicalResult.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lz {
+
+class Operation;
+class OpBuilder;
+class PatternSet;
+
+/// A constant-or-value produced by a folder: either an existing SSA value or
+/// an attribute to be materialized as a constant (MLIR's OpFoldResult).
+class Value;
+struct FoldResult {
+  Value *Val = nullptr;
+  Attribute *Attr = nullptr;
+
+  FoldResult() = default;
+  FoldResult(Value *V) : Val(V) {}
+  FoldResult(Attribute *A) : Attr(A) {}
+  bool isNull() const { return !Val && !Attr; }
+};
+
+/// Static properties of an operation kind (traits).
+enum OpTraits : unsigned {
+  OpTrait_None = 0,
+  /// Must appear last in a block; may have successors.
+  OpTrait_IsTerminator = 1u << 0,
+  /// No side effects: eligible for CSE and DCE. `rgn.val` carries this
+  /// trait, which is what makes "dead region elimination" plain DCE
+  /// (Section IV-B-1).
+  OpTrait_Pure = 1u << 1,
+  /// Regions may not reference values defined above (func, module).
+  OpTrait_IsolatedFromAbove = 1u << 2,
+  /// Operands commute (currently informational).
+  OpTrait_Commutative = 1u << 3,
+  /// Holds symbol operations in its single region (module).
+  OpTrait_SymbolTable = 1u << 4,
+  /// Constant-like: one result, value held in the "value" attribute.
+  OpTrait_ConstantLike = 1u << 5,
+  /// Allocates a heap object (RC-relevant; informational).
+  OpTrait_Allocates = 1u << 6,
+};
+
+/// Registered definition of an operation kind. Plays the role of MLIR's
+/// AbstractOperation: name, traits and behavioural hooks.
+struct OpDef {
+  std::string Name;
+  unsigned Traits = OpTrait_None;
+  /// Structural verification beyond the generic checks; may be null.
+  std::function<LogicalResult(Operation *)> Verify;
+  /// Local folding: fill \p Results (one per op result) and return success
+  /// to signal a fold. May be null.
+  std::function<LogicalResult(Operation *, std::vector<FoldResult> &)> Fold;
+  /// Contributes canonicalization rewrite patterns. May be null.
+  std::function<void(PatternSet &)> CanonicalizationPatterns;
+
+  bool hasTrait(OpTraits T) const { return (Traits & T) != 0; }
+};
+
+/// Owns uniqued IR objects and the op registry.
+class Context {
+public:
+  Context();
+  ~Context();
+
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Operation registry
+  //===--------------------------------------------------------------------===//
+
+  /// Registers an op definition; asserts the name is free. Returns the
+  /// stable pointer used by Operation.
+  const OpDef *registerOp(OpDef Def);
+
+  /// Looks up a registered op; returns null when unknown.
+  const OpDef *getOpDef(std::string_view Name) const;
+
+  /// Visits every registered op definition (used by the canonicalizer to
+  /// collect patterns).
+  void forEachOpDef(const std::function<void(const OpDef &)> &Fn) const;
+
+  /// Registers a constant materializer: builds a ConstantLike op producing
+  /// \p Attr with type \p Ty, used when folds produce attributes.
+  using ConstantMaterializer =
+      std::function<Operation *(OpBuilder &, Attribute *, Type *)>;
+  void setConstantMaterializer(ConstantMaterializer Fn) {
+    MaterializeConstant = std::move(Fn);
+  }
+  const ConstantMaterializer &getConstantMaterializer() const {
+    return MaterializeConstant;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  IntegerType *getIntegerType(unsigned Width);
+  IntegerType *getI1() { return getIntegerType(1); }
+  IntegerType *getI8() { return getIntegerType(8); }
+  IntegerType *getI64() { return getIntegerType(64); }
+  BoxType *getBoxType();
+  NoneType *getNoneType();
+  RegionValType *getRegionValType(std::vector<Type *> Inputs);
+  FunctionType *getFunctionType(std::vector<Type *> Inputs,
+                                std::vector<Type *> Results);
+
+  //===--------------------------------------------------------------------===//
+  // Attributes
+  //===--------------------------------------------------------------------===//
+
+  IntegerAttr *getIntegerAttr(Type *Ty, int64_t Value);
+  IntegerAttr *getI64Attr(int64_t Value) {
+    return getIntegerAttr(getI64(), Value);
+  }
+  IntegerAttr *getBoolAttr(bool Value) {
+    return getIntegerAttr(getI1(), Value);
+  }
+  BigIntAttr *getBigIntAttr(const BigInt &Value);
+  StringAttr *getStringAttr(std::string_view Value);
+  SymbolRefAttr *getSymbolRefAttr(std::string_view Value);
+  TypeAttr *getTypeAttr(Type *Ty);
+  ArrayAttr *getArrayAttr(std::vector<Attribute *> Elements);
+  UnitAttr *getUnitAttr();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> TheImpl;
+  ConstantMaterializer MaterializeConstant;
+};
+
+} // namespace lz
+
+#endif // LZ_IR_CONTEXT_H

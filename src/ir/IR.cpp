@@ -1,0 +1,556 @@
+//===- IR.cpp - SSA values, operations, blocks, regions -------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <algorithm>
+
+using namespace lz;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+bool Value::hasOneUse() const {
+  return FirstUse && FirstUse->getNextUse() == nullptr;
+}
+
+unsigned Value::getNumUses() const {
+  unsigned N = 0;
+  for (OpOperand *U = FirstUse; U; U = U->getNextUse())
+    ++N;
+  return N;
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "cannot RAUW a value with itself");
+  while (FirstUse)
+    FirstUse->set(New);
+}
+
+Operation *Value::getDefiningOp() const {
+  if (const auto *Res = dyn_cast<OpResult>(this))
+    return Res->getOwner();
+  return nullptr;
+}
+
+Block *Value::getParentBlock() const {
+  if (const auto *Res = dyn_cast<OpResult>(this))
+    return Res->getOwner()->getBlock();
+  return cast<BlockArgument>(this)->getOwner();
+}
+
+//===----------------------------------------------------------------------===//
+// OpOperand
+//===----------------------------------------------------------------------===//
+
+void OpOperand::insertIntoUseList() {
+  if (!Val)
+    return;
+  NextUse = Val->FirstUse;
+  if (NextUse)
+    NextUse->PrevLink = &NextUse;
+  PrevLink = &Val->FirstUse;
+  Val->FirstUse = this;
+}
+
+void OpOperand::removeFromUseList() {
+  if (!Val)
+    return;
+  *PrevLink = NextUse;
+  if (NextUse)
+    NextUse->PrevLink = PrevLink;
+  Val = nullptr;
+  NextUse = nullptr;
+  PrevLink = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// OperationState
+//===----------------------------------------------------------------------===//
+
+OperationState::OperationState(Context &C, std::string_view Name) : Ctx(&C) {
+  Def = C.getOpDef(Name);
+  assert(Def && "creating operation with unregistered name");
+}
+
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
+
+Operation *Operation::create(const OperationState &State) {
+  assert(State.Def && "operation state has no definition");
+  auto *Op = new Operation(State.Ctx, State.Def);
+
+  // Operands.
+  Op->NumOperands = static_cast<unsigned>(State.Operands.size());
+  if (Op->NumOperands) {
+    Op->OperandStorage = std::make_unique<OpOperand[]>(Op->NumOperands);
+    for (unsigned I = 0; I != Op->NumOperands; ++I)
+      Op->OperandStorage[I].initialize(Op, I, State.Operands[I]);
+  }
+
+  // Results (placement-new into raw storage: OpResult has no default ctor).
+  Op->NumResults = static_cast<unsigned>(State.ResultTypes.size());
+  if (Op->NumResults) {
+    Op->ResultBytes =
+        std::make_unique<char[]>(sizeof(OpResult) * Op->NumResults);
+    Op->ResultStorage = reinterpret_cast<OpResult *>(Op->ResultBytes.get());
+    for (unsigned I = 0; I != Op->NumResults; ++I)
+      new (&Op->ResultStorage[I]) OpResult(State.ResultTypes[I], Op, I);
+  }
+
+  Op->Attrs = State.Attrs;
+  for (unsigned I = 0; I != State.NumRegions; ++I)
+    Op->Regions.push_back(std::make_unique<Region>(Op));
+
+  Op->Successors = State.Successors;
+  Op->SuccessorOperandCounts = State.SuccessorOperandCounts;
+  assert(State.Successors.size() == State.SuccessorOperandCounts.size() &&
+         "successor/operand-count mismatch");
+  return Op;
+}
+
+void Operation::destroy() {
+  assert(!ParentBlock && "destroying op still linked in a block");
+  // Drop operand links first so nested-region values can be destroyed.
+  for (unsigned I = 0; I != NumOperands; ++I)
+    OperandStorage[I].removeFromUseList();
+  Regions.clear();
+  if (ResultStorage) {
+    for (unsigned I = 0; I != NumResults; ++I)
+      ResultStorage[I].~OpResult();
+    ResultStorage = nullptr;
+  }
+  delete this;
+}
+
+void Operation::erase() {
+  assert(use_empty() && "erasing op whose results still have uses");
+  removeFromParent();
+  destroy();
+}
+
+void Operation::removeFromParent() {
+  if (!ParentBlock)
+    return;
+  if (PrevInBlock)
+    PrevInBlock->NextInBlock = NextInBlock;
+  else
+    ParentBlock->FirstOp = NextInBlock;
+  if (NextInBlock)
+    NextInBlock->PrevInBlock = PrevInBlock;
+  else
+    ParentBlock->LastOp = PrevInBlock;
+  PrevInBlock = NextInBlock = nullptr;
+  ParentBlock = nullptr;
+}
+
+std::vector<Value *> Operation::getOperands() const {
+  std::vector<Value *> Result;
+  Result.reserve(NumOperands);
+  for (unsigned I = 0; I != NumOperands; ++I)
+    Result.push_back(OperandStorage[I].get());
+  return Result;
+}
+
+void Operation::setOperands(std::span<Value *const> Vals) {
+  assert((Successors.empty() || Vals.size() == NumOperands) &&
+         "cannot resize operand list of an op with successors");
+  if (Vals.size() == NumOperands) {
+    for (unsigned I = 0; I != NumOperands; ++I)
+      OperandStorage[I].set(Vals[I]);
+    return;
+  }
+  // Rebuild the storage array.
+  for (unsigned I = 0; I != NumOperands; ++I)
+    OperandStorage[I].removeFromUseList();
+  NumOperands = static_cast<unsigned>(Vals.size());
+  OperandStorage =
+      NumOperands ? std::make_unique<OpOperand[]>(NumOperands) : nullptr;
+  for (unsigned I = 0; I != NumOperands; ++I)
+    OperandStorage[I].initialize(this, I, Vals[I]);
+}
+
+std::vector<Value *> Operation::getResults() {
+  std::vector<Value *> Result;
+  Result.reserve(NumResults);
+  for (unsigned I = 0; I != NumResults; ++I)
+    Result.push_back(&ResultStorage[I]);
+  return Result;
+}
+
+bool Operation::use_empty() const {
+  for (unsigned I = 0; I != NumResults; ++I)
+    if (!ResultStorage[I].use_empty())
+      return false;
+  return true;
+}
+
+void Operation::replaceAllUsesWith(std::span<Value *const> New) {
+  assert(New.size() == NumResults && "replacement count mismatch");
+  for (unsigned I = 0; I != NumResults; ++I)
+    ResultStorage[I].replaceAllUsesWith(New[I]);
+}
+
+Attribute *Operation::getAttr(std::string_view Name) const {
+  for (const auto &[AttrName, AttrVal] : Attrs)
+    if (AttrName == Name)
+      return AttrVal;
+  return nullptr;
+}
+
+void Operation::setAttr(std::string_view Name, Attribute *A) {
+  for (auto &[AttrName, AttrVal] : Attrs) {
+    if (AttrName == Name) {
+      AttrVal = A;
+      return;
+    }
+  }
+  Attrs.emplace_back(std::string(Name), A);
+}
+
+void Operation::removeAttr(std::string_view Name) {
+  Attrs.erase(std::remove_if(Attrs.begin(), Attrs.end(),
+                             [&](const auto &P) { return P.first == Name; }),
+              Attrs.end());
+}
+
+unsigned Operation::getNumNonSuccessorOperands() const {
+  unsigned SuccOperands = 0;
+  for (unsigned C : SuccessorOperandCounts)
+    SuccOperands += C;
+  assert(SuccOperands <= NumOperands && "successor operand overflow");
+  return NumOperands - SuccOperands;
+}
+
+std::pair<unsigned, unsigned>
+Operation::getSuccessorOperandRange(unsigned I) const {
+  assert(I < Successors.size() && "successor index out of range");
+  unsigned Begin = getNumNonSuccessorOperands();
+  for (unsigned J = 0; J != I; ++J)
+    Begin += SuccessorOperandCounts[J];
+  return {Begin, Begin + SuccessorOperandCounts[I]};
+}
+
+std::vector<Value *> Operation::getSuccessorOperands(unsigned I) const {
+  auto [Begin, End] = getSuccessorOperandRange(I);
+  std::vector<Value *> Result;
+  Result.reserve(End - Begin);
+  for (unsigned J = Begin; J != End; ++J)
+    Result.push_back(getOperand(J));
+  return Result;
+}
+
+Region *Operation::getParentRegion() const {
+  return ParentBlock ? ParentBlock->getParent() : nullptr;
+}
+
+Operation *Operation::getParentOp() const {
+  Region *R = getParentRegion();
+  return R ? R->getParentOp() : nullptr;
+}
+
+bool Operation::isProperAncestor(Operation *Ancestor) const {
+  for (Operation *Op = getParentOp(); Op; Op = Op->getParentOp())
+    if (Op == Ancestor)
+      return true;
+  return false;
+}
+
+void Operation::moveBefore(Operation *Other) {
+  removeFromParent();
+  Other->getBlock()->insertBefore(Other, this);
+}
+
+void Operation::moveAfter(Operation *Other) {
+  removeFromParent();
+  if (Operation *Next = Other->getNextNode())
+    Other->getBlock()->insertBefore(Next, this);
+  else
+    Other->getBlock()->push_back(this);
+}
+
+void Operation::walk(const std::function<void(Operation *)> &Fn) {
+  for (auto &R : Regions)
+    R->walk(Fn);
+  Fn(this);
+}
+
+Operation *Operation::clone(IRMapping &Mapping) const {
+  OperationState State(*Ctx, Def->Name);
+  State.Attrs = Attrs;
+  for (unsigned I = 0; I != NumResults; ++I)
+    State.ResultTypes.push_back(
+        const_cast<Operation *>(this)->getResult(I)->getType());
+  for (unsigned I = 0; I != NumOperands; ++I)
+    State.Operands.push_back(Mapping.lookupOrDefault(OperandStorage[I].get()));
+  State.NumRegions = getNumRegions();
+  for (Block *Succ : Successors)
+    State.Successors.push_back(Mapping.lookupOrDefault(Succ));
+  State.SuccessorOperandCounts = SuccessorOperandCounts;
+
+  Operation *NewOp = Operation::create(State);
+  for (unsigned I = 0; I != NumResults; ++I)
+    Mapping.map(const_cast<OpResult *>(&ResultStorage[I]),
+                NewOp->getResult(I));
+  for (unsigned I = 0; I != getNumRegions(); ++I)
+    Regions[I]->cloneInto(NewOp->getRegion(I), Mapping);
+  return NewOp;
+}
+
+//===----------------------------------------------------------------------===//
+// Block
+//===----------------------------------------------------------------------===//
+
+Block::~Block() {
+  // Ops may reference each other cyclically (across blocks and from nested
+  // regions), so drop every operand link — including in nested ops — before
+  // destroying anything.
+  for (Operation *Op = FirstOp; Op; Op = Op->getNextNode()) {
+    Op->walk([](Operation *Nested) {
+      for (unsigned I = 0; I != Nested->getNumOperands(); ++I)
+        Nested->getOpOperand(I).removeFromUseList();
+    });
+  }
+  Operation *Op = FirstOp;
+  while (Op) {
+    Operation *Next = Op->getNextNode();
+    Op->PrevInBlock = Op->NextInBlock = nullptr;
+    Op->ParentBlock = nullptr;
+    Op->destroy();
+    Op = Next;
+  }
+}
+
+BlockArgument *Block::addArgument(Type *Ty) {
+  auto *Arg = new BlockArgument(Ty, this, getNumArguments());
+  Arguments.emplace_back(Arg);
+  return Arg;
+}
+
+std::vector<Value *> Block::getArguments() const {
+  std::vector<Value *> Result;
+  Result.reserve(Arguments.size());
+  for (const auto &A : Arguments)
+    Result.push_back(A.get());
+  return Result;
+}
+
+void Block::eraseArgument(unsigned I) {
+  assert(I < Arguments.size() && "argument index out of range");
+  assert(Arguments[I]->use_empty() && "erasing used block argument");
+  Arguments.erase(Arguments.begin() + I);
+  for (unsigned J = I; J != Arguments.size(); ++J)
+    Arguments[J]->Index = J;
+}
+
+void Block::push_back(Operation *Op) {
+  assert(!Op->ParentBlock && "op already in a block");
+  Op->ParentBlock = this;
+  Op->PrevInBlock = LastOp;
+  Op->NextInBlock = nullptr;
+  if (LastOp)
+    LastOp->NextInBlock = Op;
+  else
+    FirstOp = Op;
+  LastOp = Op;
+}
+
+void Block::push_front(Operation *Op) {
+  assert(!Op->ParentBlock && "op already in a block");
+  Op->ParentBlock = this;
+  Op->PrevInBlock = nullptr;
+  Op->NextInBlock = FirstOp;
+  if (FirstOp)
+    FirstOp->PrevInBlock = Op;
+  else
+    LastOp = Op;
+  FirstOp = Op;
+}
+
+void Block::insertBefore(Operation *Before, Operation *Op) {
+  assert(Before->ParentBlock == this && "insertion point not in this block");
+  assert(!Op->ParentBlock && "op already in a block");
+  Op->ParentBlock = this;
+  Op->NextInBlock = Before;
+  Op->PrevInBlock = Before->PrevInBlock;
+  if (Before->PrevInBlock)
+    Before->PrevInBlock->NextInBlock = Op;
+  else
+    FirstOp = Op;
+  Before->PrevInBlock = Op;
+}
+
+unsigned Block::size() const {
+  unsigned N = 0;
+  for (Operation *Op = FirstOp; Op; Op = Op->getNextNode())
+    ++N;
+  return N;
+}
+
+Operation *Block::getParentOp() const {
+  return ParentRegion ? ParentRegion->getParentOp() : nullptr;
+}
+
+void Block::erase() {
+  assert(ParentRegion && "erasing detached block");
+  ParentRegion->eraseBlock(this);
+}
+
+std::vector<Block *> Block::getPredecessors() const {
+  std::vector<Block *> Preds;
+  if (!ParentRegion)
+    return Preds;
+  for (const auto &B : *ParentRegion) {
+    if (B->empty())
+      continue;
+    Operation *Term = B->back();
+    for (unsigned I = 0; I != Term->getNumSuccessors(); ++I)
+      if (Term->getSuccessor(I) == this)
+        Preds.push_back(B.get());
+  }
+  return Preds;
+}
+
+std::vector<Block *> Block::getSuccessors() const {
+  std::vector<Block *> Succs;
+  if (empty())
+    return Succs;
+  Operation *Term = LastOp;
+  for (unsigned I = 0; I != Term->getNumSuccessors(); ++I)
+    Succs.push_back(Term->getSuccessor(I));
+  return Succs;
+}
+
+void Block::spliceInto(Block *Dest) {
+  Operation *Op = FirstOp;
+  while (Op) {
+    Operation *Next = Op->getNextNode();
+    Op->removeFromParent();
+    Dest->push_back(Op);
+    Op = Next;
+  }
+}
+
+Block *Block::splitBefore(Operation *SplitPoint) {
+  assert(SplitPoint->getBlock() == this && "split point not in this block");
+  assert(ParentRegion && "splitting a detached block");
+  auto NewBlock = std::make_unique<Block>();
+  Block *NewBlockPtr = NewBlock.get();
+  ParentRegion->insertAfter(this, std::move(NewBlock));
+  Operation *Op = SplitPoint;
+  while (Op) {
+    Operation *Next = Op->getNextNode();
+    Op->removeFromParent();
+    NewBlockPtr->push_back(Op);
+    Op = Next;
+  }
+  return NewBlockPtr;
+}
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+Region::~Region() { dropAllReferences(); }
+
+void Region::dropAllReferences() {
+  for (auto &B : Blocks) {
+    for (Operation *Op : *B) {
+      Op->walk([](Operation *Nested) {
+        for (unsigned I = 0; I != Nested->getNumOperands(); ++I)
+          Nested->getOpOperand(I).removeFromUseList();
+      });
+    }
+  }
+}
+
+Block *Region::emplaceBlock() {
+  auto B = std::make_unique<Block>();
+  B->ParentRegion = this;
+  Blocks.push_back(std::move(B));
+  return Blocks.back().get();
+}
+
+void Region::push_back(std::unique_ptr<Block> B) {
+  assert(!B->ParentRegion && "block already owned by a region");
+  B->ParentRegion = this;
+  Blocks.push_back(std::move(B));
+}
+
+void Region::insertAfter(Block *After, std::unique_ptr<Block> B) {
+  B->ParentRegion = this;
+  for (auto It = Blocks.begin(); It != Blocks.end(); ++It) {
+    if (It->get() == After) {
+      Blocks.insert(std::next(It), std::move(B));
+      return;
+    }
+  }
+  assert(false && "insertion anchor not in region");
+}
+
+std::unique_ptr<Block> Region::take(Block *B) {
+  for (auto It = Blocks.begin(); It != Blocks.end(); ++It) {
+    if (It->get() == B) {
+      std::unique_ptr<Block> Owned = std::move(*It);
+      Blocks.erase(It);
+      Owned->ParentRegion = nullptr;
+      return Owned;
+    }
+  }
+  assert(false && "block not owned by this region");
+  return nullptr;
+}
+
+void Region::eraseBlock(Block *B) {
+  for (auto It = Blocks.begin(); It != Blocks.end(); ++It) {
+    if (It->get() == B) {
+      Blocks.erase(It);
+      return;
+    }
+  }
+  assert(false && "block not owned by this region");
+}
+
+void Region::takeBlocksInto(Region &Dest) {
+  for (auto &B : Blocks) {
+    B->ParentRegion = &Dest;
+    Dest.Blocks.push_back(std::move(B));
+  }
+  Blocks.clear();
+}
+
+void Region::cloneInto(Region &Dest, IRMapping &Mapping) const {
+  // First create all blocks and arguments so successor references and
+  // cross-block value uses resolve.
+  for (const auto &B : Blocks) {
+    Block *NewB = Dest.emplaceBlock();
+    Mapping.map(B.get(), NewB);
+    for (unsigned I = 0; I != B->getNumArguments(); ++I) {
+      BlockArgument *NewArg = NewB->addArgument(B->getArgument(I)->getType());
+      Mapping.map(B->getArgument(I), NewArg);
+    }
+  }
+  for (const auto &B : Blocks) {
+    Block *NewB = Mapping.lookupOrDefault(B.get());
+    for (Operation *Op : *B)
+      NewB->push_back(Op->clone(Mapping));
+  }
+}
+
+void Region::walk(const std::function<void(Operation *)> &Fn) {
+  for (auto &B : Blocks) {
+    Operation *Op = B->front();
+    while (Op) {
+      // Grab next first: Fn may erase Op.
+      Operation *Next = Op->getNextNode();
+      Op->walk(Fn);
+      Op = Next;
+    }
+  }
+}

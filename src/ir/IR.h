@@ -1,0 +1,550 @@
+//===- IR.h - SSA values, operations, blocks, regions -----------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core SSA graph, mirroring the slice of MLIR the paper builds on
+/// (Section II): operations take SSA operands and produce SSA results,
+/// def-use chains are explicit, blocks form CFGs inside regions, and
+/// operations may carry nested single-entry regions — the construct the
+/// paper exploits to model functional sub-expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_IR_IR_H
+#define LZ_IR_IR_H
+
+#include "ir/Context.h"
+
+#include <cassert>
+#include <functional>
+#include <span>
+#include <unordered_map>
+
+namespace lz {
+
+class Block;
+class BlockArgument;
+class Operation;
+class OpResult;
+class Region;
+
+//===----------------------------------------------------------------------===//
+// Value and use-def chains
+//===----------------------------------------------------------------------===//
+
+class OpOperand;
+
+/// An SSA value: an operation result or a block argument. Maintains an
+/// intrusive list of its uses (the def-use chain that makes data flow
+/// explicit, Section II-A).
+class Value {
+public:
+  enum class Kind : uint8_t { OpResult, BlockArgument };
+
+  Kind getKind() const { return TheKind; }
+  Type *getType() const { return Ty; }
+  void setType(Type *NewTy) { Ty = NewTy; }
+
+  bool use_empty() const { return FirstUse == nullptr; }
+  bool hasOneUse() const;
+  /// Number of uses (linear walk).
+  unsigned getNumUses() const;
+
+  OpOperand *getFirstUse() const { return FirstUse; }
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+  /// The defining operation, or null for block arguments.
+  Operation *getDefiningOp() const;
+
+  /// The block that (transitively) contains the definition point.
+  Block *getParentBlock() const;
+
+protected:
+  Value(Kind K, Type *Ty) : TheKind(K), Ty(Ty) {}
+  ~Value() { assert(use_empty() && "destroying value with live uses"); }
+
+private:
+  friend class OpOperand;
+  Kind TheKind;
+  Type *Ty;
+  OpOperand *FirstUse = nullptr;
+};
+
+/// One operand slot of an operation; a node in its value's use list.
+class OpOperand {
+public:
+  OpOperand() = default;
+  ~OpOperand() { removeFromUseList(); }
+
+  OpOperand(const OpOperand &) = delete;
+  OpOperand &operator=(const OpOperand &) = delete;
+
+  Value *get() const { return Val; }
+  Operation *getOwner() const { return Owner; }
+  unsigned getOperandIndex() const { return Index; }
+
+  /// Rebinds this operand to \p NewVal, maintaining both use lists.
+  void set(Value *NewVal) {
+    removeFromUseList();
+    Val = NewVal;
+    insertIntoUseList();
+  }
+
+  OpOperand *getNextUse() const { return NextUse; }
+
+private:
+  friend class Operation;
+  friend class Block;
+  friend class Region;
+
+  void initialize(Operation *TheOwner, unsigned TheIndex, Value *TheVal) {
+    Owner = TheOwner;
+    Index = TheIndex;
+    Val = TheVal;
+    insertIntoUseList();
+  }
+
+  void insertIntoUseList();
+  void removeFromUseList();
+
+  Value *Val = nullptr;
+  Operation *Owner = nullptr;
+  unsigned Index = 0;
+  OpOperand *NextUse = nullptr;
+  OpOperand **PrevLink = nullptr;
+};
+
+/// Result #i of an operation.
+class OpResult : public Value {
+public:
+  Operation *getOwner() const { return Owner; }
+  unsigned getResultIndex() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::OpResult;
+  }
+
+private:
+  friend class Operation;
+  OpResult(Type *Ty, Operation *Owner, unsigned Index)
+      : Value(Kind::OpResult, Ty), Owner(Owner), Index(Index) {}
+  Operation *Owner;
+  unsigned Index;
+};
+
+/// Argument #i of a block (a phi in classical SSA terms).
+class BlockArgument : public Value {
+public:
+  Block *getOwner() const { return Owner; }
+  unsigned getArgIndex() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::BlockArgument;
+  }
+
+private:
+  friend class Block;
+  BlockArgument(Type *Ty, Block *Owner, unsigned Index)
+      : Value(Kind::BlockArgument, Ty), Owner(Owner), Index(Index) {}
+  Block *Owner;
+  unsigned Index;
+};
+
+//===----------------------------------------------------------------------===//
+// OperationState
+//===----------------------------------------------------------------------===//
+
+/// Aggregated description used to create an Operation.
+struct OperationState {
+  Context *Ctx = nullptr;
+  const OpDef *Def = nullptr;
+  std::vector<Value *> Operands;
+  std::vector<Type *> ResultTypes;
+  std::vector<std::pair<std::string, Attribute *>> Attrs;
+  unsigned NumRegions = 0;
+  /// Successor blocks (for CFG terminators) and, parallel to it, how many
+  /// trailing entries of Operands are passed to each successor.
+  std::vector<Block *> Successors;
+  std::vector<unsigned> SuccessorOperandCounts;
+
+  OperationState(Context &C, std::string_view Name);
+
+  void addOperands(std::span<Value *const> Vals) {
+    Operands.insert(Operands.end(), Vals.begin(), Vals.end());
+  }
+  void addTypes(std::span<Type *const> Tys) {
+    ResultTypes.insert(ResultTypes.end(), Tys.begin(), Tys.end());
+  }
+  void addAttribute(std::string_view Name, Attribute *A) {
+    Attrs.emplace_back(std::string(Name), A);
+  }
+  void addSuccessor(Block *B, std::span<Value *const> Args) {
+    Successors.push_back(B);
+    SuccessorOperandCounts.push_back(static_cast<unsigned>(Args.size()));
+    addOperands(Args);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
+
+/// Mapping from original to cloned IR objects used by Operation::clone.
+class IRMapping {
+public:
+  void map(Value *From, Value *To) { ValueMap[From] = To; }
+  void map(Block *From, Block *To) { BlockMap[From] = To; }
+
+  Value *lookupOrDefault(Value *V) const {
+    auto It = ValueMap.find(V);
+    return It == ValueMap.end() ? V : It->second;
+  }
+  Block *lookupOrDefault(Block *B) const {
+    auto It = BlockMap.find(B);
+    return It == BlockMap.end() ? B : It->second;
+  }
+  bool contains(Value *V) const { return ValueMap.count(V) != 0; }
+
+private:
+  std::unordered_map<Value *, Value *> ValueMap;
+  std::unordered_map<Block *, Block *> BlockMap;
+};
+
+/// A single SSA operation: registered kind, operands, results, attributes,
+/// nested regions, and (for terminators) successor blocks.
+class Operation {
+public:
+  /// Creates a detached operation from \p State.
+  static Operation *create(const OperationState &State);
+
+  /// Destroys this (detached) operation and its nested regions.
+  void destroy();
+
+  /// Unlinks from the parent block and destroys. Results must be unused.
+  void erase();
+
+  /// Unlinks from the parent block without destroying.
+  void removeFromParent();
+
+  const OpDef &getDef() const { return *Def; }
+  std::string_view getName() const { return Def->Name; }
+  Context *getContext() const { return Ctx; }
+  bool hasTrait(OpTraits T) const { return Def->hasTrait(T); }
+  bool isTerminator() const { return hasTrait(OpTrait_IsTerminator); }
+
+  //===------------------------------------------------------------------===//
+  // Operands
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumOperands() const { return NumOperands; }
+  Value *getOperand(unsigned I) const {
+    assert(I < NumOperands && "operand index out of range");
+    return OperandStorage[I].get();
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < NumOperands && "operand index out of range");
+    OperandStorage[I].set(V);
+  }
+  OpOperand &getOpOperand(unsigned I) {
+    assert(I < NumOperands && "operand index out of range");
+    return OperandStorage[I];
+  }
+  std::vector<Value *> getOperands() const;
+  /// Replaces the whole operand list (relinks use chains). Successor
+  /// operand segmentation is preserved only if the total count matches;
+  /// otherwise the op must have no successors.
+  void setOperands(std::span<Value *const> Vals);
+
+  //===------------------------------------------------------------------===//
+  // Results
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumResults() const { return NumResults; }
+  OpResult *getResult(unsigned I) {
+    assert(I < NumResults && "result index out of range");
+    return &ResultStorage[I];
+  }
+  std::vector<Value *> getResults();
+  bool use_empty() const;
+  /// Replaces all uses of all results with \p New (size must match).
+  void replaceAllUsesWith(std::span<Value *const> New);
+
+  //===------------------------------------------------------------------===//
+  // Attributes
+  //===------------------------------------------------------------------===//
+
+  Attribute *getAttr(std::string_view Name) const;
+  template <typename T> T *getAttrOfType(std::string_view Name) const {
+    Attribute *A = getAttr(Name);
+    return A ? dyn_cast<T>(A) : nullptr;
+  }
+  void setAttr(std::string_view Name, Attribute *A);
+  void removeAttr(std::string_view Name);
+  const std::vector<std::pair<std::string, Attribute *>> &getAttrs() const {
+    return Attrs;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Regions
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumRegions() const {
+    return static_cast<unsigned>(Regions.size());
+  }
+  Region &getRegion(unsigned I) {
+    assert(I < Regions.size() && "region index out of range");
+    return *Regions[I];
+  }
+
+  //===------------------------------------------------------------------===//
+  // Successors
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumSuccessors() const {
+    return static_cast<unsigned>(Successors.size());
+  }
+  Block *getSuccessor(unsigned I) const {
+    assert(I < Successors.size() && "successor index out of range");
+    return Successors[I];
+  }
+  void setSuccessor(unsigned I, Block *B) {
+    assert(I < Successors.size() && "successor index out of range");
+    Successors[I] = B;
+  }
+  /// Number of leading operands that are not successor arguments.
+  unsigned getNumNonSuccessorOperands() const;
+  /// Operand index range [begin, end) feeding successor \p I.
+  std::pair<unsigned, unsigned> getSuccessorOperandRange(unsigned I) const;
+  std::vector<Value *> getSuccessorOperands(unsigned I) const;
+
+  //===------------------------------------------------------------------===//
+  // Position
+  //===------------------------------------------------------------------===//
+
+  Block *getBlock() const { return ParentBlock; }
+  Region *getParentRegion() const;
+  /// The operation owning the region containing this op (null at top level).
+  Operation *getParentOp() const;
+  /// True if \p Ancestor properly contains this operation.
+  bool isProperAncestor(Operation *Ancestor) const;
+
+  Operation *getPrevNode() const { return PrevInBlock; }
+  Operation *getNextNode() const { return NextInBlock; }
+
+  void moveBefore(Operation *Other);
+  void moveAfter(Operation *Other);
+
+  //===------------------------------------------------------------------===//
+  // Traversal and cloning
+  //===------------------------------------------------------------------===//
+
+  /// Visits this op and all nested ops, innermost first (post-order).
+  void walk(const std::function<void(Operation *)> &Fn);
+
+  /// Clones this operation (and nested regions), remapping operands through
+  /// \p Mapping; results of the clone are registered in the mapping.
+  Operation *clone(IRMapping &Mapping) const;
+  Operation *clone() const {
+    IRMapping Mapping;
+    return clone(Mapping);
+  }
+
+private:
+  friend class Block;
+
+  Operation(Context *Ctx, const OpDef *Def) : Ctx(Ctx), Def(Def) {}
+  ~Operation() = default;
+
+  Context *Ctx;
+  const OpDef *Def;
+
+  std::unique_ptr<OpOperand[]> OperandStorage;
+  unsigned NumOperands = 0;
+
+  // OpResult is not default-constructible; store raw bytes.
+  std::unique_ptr<char[]> ResultBytes;
+  OpResult *ResultStorage = nullptr;
+  unsigned NumResults = 0;
+
+  std::vector<std::pair<std::string, Attribute *>> Attrs;
+  std::vector<std::unique_ptr<Region>> Regions;
+  std::vector<Block *> Successors;
+  std::vector<unsigned> SuccessorOperandCounts;
+
+  Block *ParentBlock = nullptr;
+  Operation *PrevInBlock = nullptr;
+  Operation *NextInBlock = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Block
+//===----------------------------------------------------------------------===//
+
+/// A basic block: a list of operations ending in a terminator, plus block
+/// arguments (SSA phis).
+class Block {
+public:
+  Block() = default;
+  ~Block();
+
+  Block(const Block &) = delete;
+  Block &operator=(const Block &) = delete;
+
+  //===------------------------------------------------------------------===//
+  // Arguments
+  //===------------------------------------------------------------------===//
+
+  BlockArgument *addArgument(Type *Ty);
+  unsigned getNumArguments() const {
+    return static_cast<unsigned>(Arguments.size());
+  }
+  BlockArgument *getArgument(unsigned I) const {
+    assert(I < Arguments.size() && "argument index out of range");
+    return Arguments[I].get();
+  }
+  std::vector<Value *> getArguments() const;
+  /// Erases argument \p I; it must be unused.
+  void eraseArgument(unsigned I);
+
+  //===------------------------------------------------------------------===//
+  // Operation list
+  //===------------------------------------------------------------------===//
+
+  bool empty() const { return FirstOp == nullptr; }
+  Operation *front() const { return FirstOp; }
+  Operation *back() const { return LastOp; }
+
+  void push_back(Operation *Op);
+  void push_front(Operation *Op);
+  /// Inserts \p Op before \p Before (which must be in this block).
+  void insertBefore(Operation *Before, Operation *Op);
+
+  /// The trailing terminator; asserts the block is non-empty.
+  Operation *getTerminator() const {
+    assert(LastOp && "empty block has no terminator");
+    return LastOp;
+  }
+  /// True if the block is non-empty and ends in a terminator op.
+  bool hasTerminator() const { return LastOp && LastOp->isTerminator(); }
+
+  /// Number of operations (linear).
+  unsigned size() const;
+
+  /// Simple forward iterator over operations.
+  class iterator {
+  public:
+    explicit iterator(Operation *Op) : Cur(Op) {}
+    Operation *operator*() const { return Cur; }
+    iterator &operator++() {
+      Cur = Cur->getNextNode();
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return Cur != O.Cur; }
+    bool operator==(const iterator &O) const { return Cur == O.Cur; }
+
+  private:
+    Operation *Cur;
+  };
+  iterator begin() const { return iterator(FirstOp); }
+  iterator end() const { return iterator(nullptr); }
+
+  //===------------------------------------------------------------------===//
+  // Position
+  //===------------------------------------------------------------------===//
+
+  Region *getParent() const { return ParentRegion; }
+  Operation *getParentOp() const;
+  /// Removes the block from its region and destroys it. All ops inside are
+  /// destroyed; their results must be unused from outside.
+  void erase();
+
+  /// Predecessor blocks (computed by scanning uses of this block as a
+  /// successor within the parent region).
+  std::vector<Block *> getPredecessors() const;
+
+  /// Successor blocks of the terminator (empty if none).
+  std::vector<Block *> getSuccessors() const;
+
+  /// Moves all operations of this block to the end of \p Dest.
+  void spliceInto(Block *Dest);
+
+  /// Splits this block before \p SplitPoint: ops from \p SplitPoint onward
+  /// move to a new block appended right after this one in the region.
+  Block *splitBefore(Operation *SplitPoint);
+
+private:
+  friend class Operation;
+  friend class Region;
+
+  Region *ParentRegion = nullptr;
+  std::vector<std::unique_ptr<BlockArgument>> Arguments;
+  Operation *FirstOp = nullptr;
+  Operation *LastOp = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+/// A nested, single-entry list of blocks owned by an operation — MLIR's
+/// region construct that the paper reuses to model functional
+/// sub-expressions (Section II-A).
+class Region {
+public:
+  explicit Region(Operation *Parent) : ParentOp(Parent) {}
+  ~Region();
+
+  Operation *getParentOp() const { return ParentOp; }
+
+  /// Unlinks every operand of every (transitively) nested operation.
+  /// Called before destruction so mutually-referencing blocks tear down
+  /// cleanly regardless of order.
+  void dropAllReferences();
+
+  bool empty() const { return Blocks.empty(); }
+  size_t getNumBlocks() const { return Blocks.size(); }
+  Block *getBlock(size_t I) const { return Blocks[I].get(); }
+  Block *getEntryBlock() const {
+    assert(!Blocks.empty() && "region has no entry block");
+    return Blocks.front().get();
+  }
+
+  /// Appends a fresh block and returns it.
+  Block *emplaceBlock();
+  /// Appends an existing (detached) block, taking ownership.
+  void push_back(std::unique_ptr<Block> B);
+  /// Inserts \p B after \p After.
+  void insertAfter(Block *After, std::unique_ptr<Block> B);
+  /// Releases ownership of \p B (which stays allocated) — used when
+  /// splicing blocks between regions.
+  std::unique_ptr<Block> take(Block *B);
+  /// Destroys \p B and removes it from the region.
+  void eraseBlock(Block *B);
+
+  /// Moves every block of this region to \p Dest (appended at the end).
+  void takeBlocksInto(Region &Dest);
+
+  /// Iteration over blocks in layout order.
+  auto begin() const { return Blocks.begin(); }
+  auto end() const { return Blocks.end(); }
+
+  /// Clones all blocks of this region into \p Dest using \p Mapping.
+  void cloneInto(Region &Dest, IRMapping &Mapping) const;
+
+  /// Walks all ops in the region, innermost first.
+  void walk(const std::function<void(Operation *)> &Fn);
+
+private:
+  Operation *ParentOp;
+  std::vector<std::unique_ptr<Block>> Blocks;
+};
+
+} // namespace lz
+
+#endif // LZ_IR_IR_H

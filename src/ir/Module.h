@@ -1,0 +1,91 @@
+//===- Module.h - module and symbol table helpers ---------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for the `builtin.module` container op and symbol lookup
+/// (Section II-C-1: "A Module consists of several global functions.
+/// Function names such as @foo are global").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_IR_MODULE_H
+#define LZ_IR_MODULE_H
+
+#include "ir/IR.h"
+
+#include <string_view>
+
+namespace lz {
+
+/// RAII owner for a top-level (detached) operation such as a module.
+class OwningOpRef {
+public:
+  OwningOpRef() = default;
+  explicit OwningOpRef(Operation *Op) : Op(Op) {}
+  OwningOpRef(OwningOpRef &&Other) : Op(Other.Op) { Other.Op = nullptr; }
+  OwningOpRef &operator=(OwningOpRef &&Other) {
+    if (this != &Other) {
+      reset();
+      Op = Other.Op;
+      Other.Op = nullptr;
+    }
+    return *this;
+  }
+  ~OwningOpRef() { reset(); }
+
+  OwningOpRef(const OwningOpRef &) = delete;
+  OwningOpRef &operator=(const OwningOpRef &) = delete;
+
+  Operation *get() const { return Op; }
+  Operation *operator->() const { return Op; }
+  explicit operator bool() const { return Op != nullptr; }
+
+  Operation *release() {
+    Operation *Result = Op;
+    Op = nullptr;
+    return Result;
+  }
+
+  void reset() {
+    if (Op)
+      Op->destroy();
+    Op = nullptr;
+  }
+
+private:
+  Operation *Op = nullptr;
+};
+
+/// Creates an empty `builtin.module` with one body block.
+inline OwningOpRef createModule(Context &Ctx) {
+  OperationState State(Ctx, "builtin.module");
+  State.NumRegions = 1;
+  Operation *Module = Operation::create(State);
+  Module->getRegion(0).emplaceBlock();
+  return OwningOpRef(Module);
+}
+
+/// Returns the single body block of a module-like op.
+inline Block *getModuleBody(Operation *Module) {
+  assert(Module->getNumRegions() == 1 && "module must have one region");
+  return Module->getRegion(0).getEntryBlock();
+}
+
+/// Finds the op in \p Module's body whose "sym_name" attribute equals
+/// \p Name; returns null if absent.
+inline Operation *lookupSymbol(Operation *Module, std::string_view Name) {
+  for (Operation *Op : *getModuleBody(Module)) {
+    if (auto *Sym = Op->getAttrOfType<StringAttr>("sym_name"))
+      if (Sym->getValue() == Name)
+        return Op;
+  }
+  return nullptr;
+}
+
+} // namespace lz
+
+#endif // LZ_IR_MODULE_H

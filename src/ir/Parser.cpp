@@ -1,0 +1,767 @@
+//===- Parser.cpp - textual IR parsing -------------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/IR.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <vector>
+
+using namespace lz;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokKind {
+  Eof,
+  Error,
+  PercentId, // %0, %arg0
+  CaretId,   // ^b0
+  AtId,      // @foo
+  BareId,    // identifiers/keywords: unit, big, none, i64, func.func ...
+  String,    // "..."
+  Integer,   // 42, -7
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Less,
+  Greater,
+  Comma,
+  Equal,
+  Colon,
+  Arrow, // ->
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text; // without sigil for %/^/@; unescaped for strings
+  int Line;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Src(Source) {}
+
+  Token next() {
+    skipWhitespaceAndComments();
+    if (Pos >= Src.size())
+      return {TokKind::Eof, "", Line};
+    char C = Src[Pos];
+    switch (C) {
+    case '(':
+      ++Pos;
+      return {TokKind::LParen, "(", Line};
+    case ')':
+      ++Pos;
+      return {TokKind::RParen, ")", Line};
+    case '{':
+      ++Pos;
+      return {TokKind::LBrace, "{", Line};
+    case '}':
+      ++Pos;
+      return {TokKind::RBrace, "}", Line};
+    case '[':
+      ++Pos;
+      return {TokKind::LBracket, "[", Line};
+    case ']':
+      ++Pos;
+      return {TokKind::RBracket, "]", Line};
+    case '<':
+      ++Pos;
+      return {TokKind::Less, "<", Line};
+    case '>':
+      ++Pos;
+      return {TokKind::Greater, ">", Line};
+    case ',':
+      ++Pos;
+      return {TokKind::Comma, ",", Line};
+    case '=':
+      ++Pos;
+      return {TokKind::Equal, "=", Line};
+    case ':':
+      ++Pos;
+      return {TokKind::Colon, ":", Line};
+    case '%':
+      return lexSigilId(TokKind::PercentId);
+    case '^':
+      return lexSigilId(TokKind::CaretId);
+    case '@':
+      return lexSigilId(TokKind::AtId);
+    case '"':
+      return lexString();
+    default:
+      break;
+    }
+    if (C == '-' && Pos + 1 < Src.size() && Src[Pos + 1] == '>') {
+      Pos += 2;
+      return {TokKind::Arrow, "->", Line};
+    }
+    if (C == '-' || std::isdigit(static_cast<unsigned char>(C)))
+      return lexInteger();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '!')
+      return lexBareId();
+    return {TokKind::Error, std::string(1, C), Line};
+  }
+
+private:
+  void skipWhitespaceAndComments() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  static bool isIdChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '.' || C == '$' || C == '-';
+  }
+
+  Token lexSigilId(TokKind Kind) {
+    ++Pos; // skip sigil
+    size_t Start = Pos;
+    while (Pos < Src.size() && isIdChar(Src[Pos]))
+      ++Pos;
+    return {Kind, std::string(Src.substr(Start, Pos - Start)), Line};
+  }
+
+  Token lexBareId() {
+    size_t Start = Pos;
+    if (Src[Pos] == '!')
+      ++Pos;
+    while (Pos < Src.size() && isIdChar(Src[Pos]))
+      ++Pos;
+    return {TokKind::BareId, std::string(Src.substr(Start, Pos - Start)),
+            Line};
+  }
+
+  Token lexInteger() {
+    size_t Start = Pos;
+    if (Src[Pos] == '-')
+      ++Pos;
+    while (Pos < Src.size() && std::isdigit(static_cast<unsigned char>(Src[Pos])))
+      ++Pos;
+    return {TokKind::Integer, std::string(Src.substr(Start, Pos - Start)),
+            Line};
+  }
+
+  Token lexString() {
+    ++Pos; // skip quote
+    std::string Text;
+    while (Pos < Src.size() && Src[Pos] != '"') {
+      char C = Src[Pos++];
+      if (C == '\\' && Pos < Src.size()) {
+        char E = Src[Pos++];
+        if (E == 'n')
+          Text.push_back('\n');
+        else
+          Text.push_back(E);
+      } else {
+        Text.push_back(C);
+      }
+    }
+    if (Pos >= Src.size())
+      return {TokKind::Error, "unterminated string", Line};
+    ++Pos; // closing quote
+    return {TokKind::String, std::move(Text), Line};
+  }
+
+  std::string_view Src;
+  size_t Pos = 0;
+  int Line = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  Parser(std::string_view Source, Context &Ctx, std::string &ErrorMessage)
+      : Lex(Source), Ctx(Ctx), ErrorMessage(ErrorMessage) {
+    Tok = Lex.next();
+  }
+
+  Operation *parseTopLevel() {
+    Operation *Op = parseOperation(/*ParentBlock=*/nullptr);
+    if (!Op)
+      return nullptr;
+    if (!Pending.empty()) {
+      emitError("undefined value %" + Pending.begin()->first);
+      cleanup(Op);
+      return nullptr;
+    }
+    if (Tok.Kind != TokKind::Eof) {
+      emitError("expected end of input");
+      cleanup(Op);
+      return nullptr;
+    }
+    return Op;
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Token helpers
+  //===------------------------------------------------------------------===//
+
+  void consume() { Tok = Lex.next(); }
+
+  bool expect(TokKind Kind, const char *What) {
+    if (Tok.Kind != Kind) {
+      emitError(std::string("expected ") + What + ", got '" + Tok.Text + "'");
+      return false;
+    }
+    consume();
+    return true;
+  }
+
+  bool consumeIf(TokKind Kind) {
+    if (Tok.Kind != Kind)
+      return false;
+    consume();
+    return true;
+  }
+
+  void emitError(std::string Message) {
+    if (ErrorMessage.empty())
+      ErrorMessage =
+          "line " + std::to_string(Tok.Line) + ": " + std::move(Message);
+  }
+
+  void cleanup(Operation *Root) {
+    for (auto &[Name, Op] : Pending) {
+      Op->getResult(0)->replaceAllUsesWith(makeDeadValuePlaceholder());
+      Op->destroy();
+    }
+    Pending.clear();
+    if (Root)
+      Root->destroy();
+  }
+
+  /// On error paths placeholders may still be referenced by malformed IR;
+  /// those ops are destroyed with Root. To keep Value dtor assertions
+  /// honest we park uses on a throwaway placeholder that is leaked only on
+  /// the error path.
+  Value *makeDeadValuePlaceholder() {
+    OperationState St(Ctx, "builtin.unrealized");
+    St.ResultTypes.push_back(Ctx.getNoneType());
+    Operation *Op = Operation::create(St);
+    LeakedOnError.push_back(Op);
+    return Op->getResult(0);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Types
+  //===------------------------------------------------------------------===//
+
+  Type *parseType() {
+    if (Tok.Kind == TokKind::LParen)
+      return parseFunctionType();
+    if (Tok.Kind != TokKind::BareId) {
+      emitError("expected type");
+      return nullptr;
+    }
+    std::string Name = Tok.Text;
+    if (Name == "none") {
+      consume();
+      return Ctx.getNoneType();
+    }
+    if (Name == "!lp.t") {
+      consume();
+      return Ctx.getBoxType();
+    }
+    if (Name == "!rgn.region") {
+      consume();
+      if (!expect(TokKind::Less, "'<'"))
+        return nullptr;
+      if (!expect(TokKind::LParen, "'('"))
+        return nullptr;
+      std::vector<Type *> Inputs;
+      if (!parseTypeListUntilRParen(Inputs))
+        return nullptr;
+      if (!expect(TokKind::Greater, "'>'"))
+        return nullptr;
+      return Ctx.getRegionValType(std::move(Inputs));
+    }
+    if (Name.size() > 1 && Name[0] == 'i') {
+      bool AllDigits = true;
+      for (size_t I = 1; I != Name.size(); ++I)
+        AllDigits &= std::isdigit(static_cast<unsigned char>(Name[I])) != 0;
+      if (AllDigits) {
+        consume();
+        return Ctx.getIntegerType(
+            static_cast<unsigned>(std::strtoul(Name.c_str() + 1, nullptr, 10)));
+      }
+    }
+    emitError("unknown type '" + Name + "'");
+    return nullptr;
+  }
+
+  /// Parses `(T, ...)` assuming the '(' is current, leaving after ')'.
+  bool parseTypeListUntilRParen(std::vector<Type *> &Types) {
+    if (consumeIf(TokKind::RParen))
+      return true;
+    while (true) {
+      Type *Ty = parseType();
+      if (!Ty)
+        return false;
+      Types.push_back(Ty);
+      if (consumeIf(TokKind::RParen))
+        return true;
+      if (!expect(TokKind::Comma, "','"))
+        return false;
+    }
+  }
+
+  Type *parseFunctionType() {
+    if (!expect(TokKind::LParen, "'('"))
+      return nullptr;
+    std::vector<Type *> Inputs;
+    if (!parseTypeListUntilRParen(Inputs))
+      return nullptr;
+    if (!expect(TokKind::Arrow, "'->'"))
+      return nullptr;
+    if (!expect(TokKind::LParen, "'('"))
+      return nullptr;
+    std::vector<Type *> Results;
+    if (!parseTypeListUntilRParen(Results))
+      return nullptr;
+    return Ctx.getFunctionType(std::move(Inputs), std::move(Results));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Attributes
+  //===------------------------------------------------------------------===//
+
+  Attribute *parseAttribute() {
+    switch (Tok.Kind) {
+    case TokKind::Integer: {
+      int64_t Value = std::strtoll(Tok.Text.c_str(), nullptr, 10);
+      consume();
+      Type *Ty = Ctx.getI64();
+      if (consumeIf(TokKind::Colon)) {
+        Ty = parseType();
+        if (!Ty)
+          return nullptr;
+      }
+      return Ctx.getIntegerAttr(Ty, Value);
+    }
+    case TokKind::String: {
+      std::string Text = Tok.Text;
+      consume();
+      return Ctx.getStringAttr(Text);
+    }
+    case TokKind::AtId: {
+      std::string Name = Tok.Text;
+      consume();
+      return Ctx.getSymbolRefAttr(Name);
+    }
+    case TokKind::LBracket: {
+      consume();
+      std::vector<Attribute *> Elements;
+      if (!consumeIf(TokKind::RBracket)) {
+        while (true) {
+          Attribute *A = parseAttribute();
+          if (!A)
+            return nullptr;
+          Elements.push_back(A);
+          if (consumeIf(TokKind::RBracket))
+            break;
+          if (!expect(TokKind::Comma, "','"))
+            return nullptr;
+        }
+      }
+      return Ctx.getArrayAttr(std::move(Elements));
+    }
+    case TokKind::BareId: {
+      if (Tok.Text == "unit") {
+        consume();
+        return Ctx.getUnitAttr();
+      }
+      if (Tok.Text == "big") {
+        consume();
+        if (Tok.Kind != TokKind::String) {
+          emitError("expected string after 'big'");
+          return nullptr;
+        }
+        BigInt Value = BigInt::fromString(Tok.Text);
+        consume();
+        return Ctx.getBigIntAttr(Value);
+      }
+      // Fall through to a type attribute.
+      Type *Ty = parseType();
+      if (!Ty)
+        return nullptr;
+      return Ctx.getTypeAttr(Ty);
+    }
+    case TokKind::LParen: {
+      Type *Ty = parseFunctionType();
+      if (!Ty)
+        return nullptr;
+      return Ctx.getTypeAttr(Ty);
+    }
+    default:
+      emitError("expected attribute");
+      return nullptr;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Values and blocks
+  //===------------------------------------------------------------------===//
+
+  /// Resolves %name of type \p Ty, creating a forward placeholder if the
+  /// definition has not been seen yet.
+  Value *resolveValue(const std::string &Name, Type *Ty) {
+    auto It = Values.find(Name);
+    if (It != Values.end())
+      return It->second;
+    auto PIt = Pending.find(Name);
+    if (PIt != Pending.end())
+      return PIt->second->getResult(0);
+    OperationState St(Ctx, "builtin.unrealized");
+    St.ResultTypes.push_back(Ty);
+    Operation *Placeholder = Operation::create(St);
+    Pending.emplace(Name, Placeholder);
+    return Placeholder->getResult(0);
+  }
+
+  bool defineValue(const std::string &Name, Value *V) {
+    if (Values.count(Name)) {
+      emitError("value %" + Name + " defined twice");
+      return false;
+    }
+    auto It = Pending.find(Name);
+    if (It != Pending.end()) {
+      if (It->second->getResult(0)->getType() != V->getType()) {
+        emitError("type mismatch for forward-referenced %" + Name);
+        return false;
+      }
+      It->second->getResult(0)->replaceAllUsesWith(V);
+      It->second->destroy();
+      Pending.erase(It);
+    }
+    Values.emplace(Name, V);
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Operations
+  //===------------------------------------------------------------------===//
+
+  /// Parses one operation; appends to \p ParentBlock if non-null.
+  Operation *parseOperation(Block *ParentBlock) {
+    // Optional result list.
+    std::vector<std::string> ResultNames;
+    if (Tok.Kind == TokKind::PercentId) {
+      while (Tok.Kind == TokKind::PercentId) {
+        ResultNames.push_back(Tok.Text);
+        consume();
+        if (!consumeIf(TokKind::Comma))
+          break;
+      }
+      if (!expect(TokKind::Equal, "'='"))
+        return nullptr;
+    }
+
+    if (Tok.Kind != TokKind::String) {
+      emitError("expected quoted operation name");
+      return nullptr;
+    }
+    std::string OpName = Tok.Text;
+    consume();
+    const OpDef *Def = Ctx.getOpDef(OpName);
+    if (!Def) {
+      emitError("unregistered operation '" + OpName + "'");
+      return nullptr;
+    }
+
+    // Plain operands (names only; types resolved from the trailing
+    // functional type).
+    if (!expect(TokKind::LParen, "'('"))
+      return nullptr;
+    std::vector<std::string> OperandNames;
+    if (!consumeIf(TokKind::RParen)) {
+      while (true) {
+        if (Tok.Kind != TokKind::PercentId) {
+          emitError("expected operand");
+          return nullptr;
+        }
+        OperandNames.push_back(Tok.Text);
+        consume();
+        if (consumeIf(TokKind::RParen))
+          break;
+        if (!expect(TokKind::Comma, "','"))
+          return nullptr;
+      }
+    }
+
+    // Successors.
+    std::vector<Block *> Successors;
+    std::vector<unsigned> SuccArgCounts;
+    std::vector<Value *> SuccArgs;
+    if (consumeIf(TokKind::LBracket)) {
+      while (true) {
+        if (Tok.Kind != TokKind::CaretId) {
+          emitError("expected successor block");
+          return nullptr;
+        }
+        Block *Succ = getOrCreateBlock(Tok.Text);
+        consume();
+        unsigned Count = 0;
+        if (consumeIf(TokKind::LParen)) {
+          std::vector<std::string> ArgNames;
+          while (Tok.Kind == TokKind::PercentId) {
+            ArgNames.push_back(Tok.Text);
+            consume();
+            if (!consumeIf(TokKind::Comma))
+              break;
+          }
+          if (!expect(TokKind::Colon, "':'"))
+            return nullptr;
+          std::vector<Type *> ArgTypes;
+          while (true) {
+            Type *Ty = parseType();
+            if (!Ty)
+              return nullptr;
+            ArgTypes.push_back(Ty);
+            if (!consumeIf(TokKind::Comma))
+              break;
+          }
+          if (!expect(TokKind::RParen, "')'"))
+            return nullptr;
+          if (ArgTypes.size() != ArgNames.size()) {
+            emitError("successor arg/type count mismatch");
+            return nullptr;
+          }
+          for (size_t I = 0; I != ArgNames.size(); ++I)
+            SuccArgs.push_back(resolveValue(ArgNames[I], ArgTypes[I]));
+          Count = static_cast<unsigned>(ArgNames.size());
+        }
+        Successors.push_back(Succ);
+        SuccArgCounts.push_back(Count);
+        if (consumeIf(TokKind::RBracket))
+          break;
+        if (!expect(TokKind::Comma, "','"))
+          return nullptr;
+      }
+    }
+
+    // Regions (parsed into detached region objects, moved into the op).
+    std::vector<std::unique_ptr<Region>> ParsedRegions;
+    if (Tok.Kind == TokKind::LParen) {
+      consume();
+      while (true) {
+        auto R = std::make_unique<Region>(nullptr);
+        if (!parseRegionBody(*R))
+          return nullptr;
+        ParsedRegions.push_back(std::move(R));
+        if (consumeIf(TokKind::RParen))
+          break;
+        if (!expect(TokKind::Comma, "','"))
+          return nullptr;
+      }
+    }
+
+    // Attribute dictionary.
+    std::vector<std::pair<std::string, Attribute *>> Attrs;
+    if (consumeIf(TokKind::LBrace)) {
+      if (!consumeIf(TokKind::RBrace)) {
+        while (true) {
+          if (Tok.Kind != TokKind::BareId && Tok.Kind != TokKind::String) {
+            emitError("expected attribute name");
+            return nullptr;
+          }
+          std::string Name = Tok.Text;
+          consume();
+          if (!expect(TokKind::Equal, "'='"))
+            return nullptr;
+          Attribute *A = parseAttribute();
+          if (!A)
+            return nullptr;
+          Attrs.emplace_back(std::move(Name), A);
+          if (consumeIf(TokKind::RBrace))
+            break;
+          if (!expect(TokKind::Comma, "','"))
+            return nullptr;
+        }
+      }
+    }
+
+    // Functional type.
+    if (!expect(TokKind::Colon, "':'"))
+      return nullptr;
+    Type *FnTy = parseFunctionType();
+    if (!FnTy)
+      return nullptr;
+    auto *Signature = cast<FunctionType>(FnTy);
+    if (Signature->getInputs().size() != OperandNames.size()) {
+      emitError("operand count does not match signature");
+      return nullptr;
+    }
+    if (Signature->getResults().size() != ResultNames.size()) {
+      emitError("result count does not match signature");
+      return nullptr;
+    }
+
+    OperationState State(Ctx, OpName);
+    for (size_t I = 0; I != OperandNames.size(); ++I)
+      State.Operands.push_back(
+          resolveValue(OperandNames[I], Signature->getInputs()[I]));
+    State.Operands.insert(State.Operands.end(), SuccArgs.begin(),
+                          SuccArgs.end());
+    State.ResultTypes = Signature->getResults();
+    State.Attrs = std::move(Attrs);
+    State.NumRegions = static_cast<unsigned>(ParsedRegions.size());
+    State.Successors = std::move(Successors);
+    State.SuccessorOperandCounts = std::move(SuccArgCounts);
+
+    Operation *Op = Operation::create(State);
+    for (unsigned I = 0; I != ParsedRegions.size(); ++I)
+      ParsedRegions[I]->takeBlocksInto(Op->getRegion(I));
+    if (ParentBlock)
+      ParentBlock->push_back(Op);
+
+    for (size_t I = 0; I != ResultNames.size(); ++I) {
+      if (!defineValue(ResultNames[I], Op->getResult(I))) {
+        if (!ParentBlock)
+          Op->destroy();
+        return nullptr;
+      }
+    }
+    return Op;
+  }
+
+  Block *getOrCreateBlock(const std::string &Name) {
+    auto &Slot = BlockScopes.back()[Name];
+    if (!Slot.TheBlock)
+      Slot.TheBlock = new Block();
+    return Slot.TheBlock;
+  }
+
+  /// Parses `{ ^label(args): op* ... }` into \p R. The '{' is current.
+  bool parseRegionBody(Region &R) {
+    if (!expect(TokKind::LBrace, "'{'"))
+      return false;
+    BlockScopes.emplace_back();
+    bool Ok = parseBlocks(R);
+    // Check that all referenced blocks were defined, then pop scope.
+    if (Ok) {
+      for (auto &[Name, Info] : BlockScopes.back()) {
+        if (!Info.Defined) {
+          emitError("undefined block ^" + Name);
+          Ok = false;
+        }
+      }
+    }
+    if (!Ok) {
+      for (auto &[Name, Info] : BlockScopes.back())
+        if (!Info.Defined)
+          delete Info.TheBlock;
+    }
+    BlockScopes.pop_back();
+    return Ok;
+  }
+
+  bool parseBlocks(Region &R) {
+    while (!consumeIf(TokKind::RBrace)) {
+      if (Tok.Kind != TokKind::CaretId) {
+        emitError("expected block label");
+        return false;
+      }
+      std::string Name = Tok.Text;
+      consume();
+      auto &Info = BlockScopes.back()[Name];
+      if (Info.Defined) {
+        emitError("block ^" + Name + " defined twice");
+        return false;
+      }
+      if (!Info.TheBlock)
+        Info.TheBlock = new Block();
+      Info.Defined = true;
+      Block *B = Info.TheBlock;
+      R.push_back(std::unique_ptr<Block>(B));
+
+      // Optional argument list.
+      if (consumeIf(TokKind::LParen)) {
+        if (!consumeIf(TokKind::RParen)) {
+          while (true) {
+            if (Tok.Kind != TokKind::PercentId) {
+              emitError("expected block argument");
+              return false;
+            }
+            std::string ArgName = Tok.Text;
+            consume();
+            if (!expect(TokKind::Colon, "':'"))
+              return false;
+            Type *Ty = parseType();
+            if (!Ty)
+              return false;
+            BlockArgument *Arg = B->addArgument(Ty);
+            if (!defineValue(ArgName, Arg))
+              return false;
+            if (consumeIf(TokKind::RParen))
+              break;
+            if (!expect(TokKind::Comma, "','"))
+              return false;
+          }
+        }
+      }
+      if (!expect(TokKind::Colon, "':'"))
+        return false;
+
+      // Ops until the next label or region close.
+      while (Tok.Kind != TokKind::CaretId && Tok.Kind != TokKind::RBrace) {
+        if (!parseOperation(B))
+          return false;
+      }
+    }
+    return true;
+  }
+
+  struct BlockInfo {
+    Block *TheBlock = nullptr;
+    bool Defined = false;
+  };
+
+  Lexer Lex;
+  Token Tok;
+  Context &Ctx;
+  std::string &ErrorMessage;
+  std::map<std::string, Value *> Values;
+  std::map<std::string, Operation *> Pending;
+  std::vector<std::map<std::string, BlockInfo>> BlockScopes;
+  std::vector<Operation *> LeakedOnError;
+};
+
+} // namespace
+
+Operation *lz::parseSourceString(std::string_view Source, Context &Ctx,
+                                 std::string &ErrorMessage) {
+  ErrorMessage.clear();
+  Parser P(Source, Ctx, ErrorMessage);
+  return P.parseTopLevel();
+}

@@ -1,0 +1,34 @@
+//===- Parser.h - textual IR parsing ----------------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual generic-op IR emitted by Printer.h back into in-memory
+/// IR. Together with the printer this gives the "stable textual
+/// representation" the paper lists as a benefit of building on MLIR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_IR_PARSER_H
+#define LZ_IR_PARSER_H
+
+#include <string>
+#include <string_view>
+
+namespace lz {
+
+class Context;
+class Operation;
+
+/// Parses one top-level operation (normally a builtin.module). On success
+/// returns the owning Operation pointer (caller destroys); on failure
+/// returns null and fills \p ErrorMessage.
+Operation *parseSourceString(std::string_view Source, Context &Ctx,
+                             std::string &ErrorMessage);
+
+} // namespace lz
+
+#endif // LZ_IR_PARSER_H

@@ -1,0 +1,327 @@
+//===- Printer.cpp - textual IR output ------------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/IR.h"
+#include "support/OStream.h"
+
+#include <unordered_map>
+
+using namespace lz;
+
+//===----------------------------------------------------------------------===//
+// Type and attribute printing
+//===----------------------------------------------------------------------===//
+
+void Type::print(OStream &OS) const {
+  switch (getKind()) {
+  case Kind::Integer:
+    OS << 'i' << cast<IntegerType>(this)->getWidth();
+    return;
+  case Kind::Box:
+    OS << "!lp.t";
+    return;
+  case Kind::None:
+    OS << "none";
+    return;
+  case Kind::RegionVal: {
+    OS << "!rgn.region<(";
+    const auto &Inputs = cast<RegionValType>(this)->getInputs();
+    for (size_t I = 0; I != Inputs.size(); ++I) {
+      if (I)
+        OS << ", ";
+      Inputs[I]->print(OS);
+    }
+    OS << ")>";
+    return;
+  }
+  case Kind::Function: {
+    const auto *FT = cast<FunctionType>(this);
+    OS << '(';
+    for (size_t I = 0; I != FT->getInputs().size(); ++I) {
+      if (I)
+        OS << ", ";
+      FT->getInputs()[I]->print(OS);
+    }
+    OS << ") -> (";
+    for (size_t I = 0; I != FT->getResults().size(); ++I) {
+      if (I)
+        OS << ", ";
+      FT->getResults()[I]->print(OS);
+    }
+    OS << ')';
+    return;
+  }
+  }
+}
+
+std::string Type::str() const {
+  std::string Buf;
+  StringOStream OS(Buf);
+  print(OS);
+  return Buf;
+}
+
+static void printEscapedString(OStream &OS, std::string_view Str) {
+  OS << '"';
+  for (char C : Str) {
+    if (C == '"' || C == '\\')
+      OS << '\\';
+    if (C == '\n') {
+      OS << "\\n";
+      continue;
+    }
+    OS << C;
+  }
+  OS << '"';
+}
+
+void Attribute::print(OStream &OS) const {
+  switch (getKind()) {
+  case Kind::Integer: {
+    const auto *IA = cast<IntegerAttr>(this);
+    OS << IA->getValue() << " : ";
+    IA->getType()->print(OS);
+    return;
+  }
+  case Kind::BigInt:
+    OS << "big ";
+    printEscapedString(OS, cast<BigIntAttr>(this)->getValue().toString());
+    return;
+  case Kind::String:
+    printEscapedString(OS, cast<StringAttr>(this)->getValue());
+    return;
+  case Kind::SymbolRef:
+    OS << '@' << cast<SymbolRefAttr>(this)->getValue();
+    return;
+  case Kind::TypeRef:
+    cast<TypeAttr>(this)->getValue()->print(OS);
+    return;
+  case Kind::Array: {
+    OS << '[';
+    const auto &Elems = cast<ArrayAttr>(this)->getValue();
+    for (size_t I = 0; I != Elems.size(); ++I) {
+      if (I)
+        OS << ", ";
+      Elems[I]->print(OS);
+    }
+    OS << ']';
+    return;
+  }
+  case Kind::Unit:
+    OS << "unit";
+    return;
+  }
+}
+
+std::string Attribute::str() const {
+  std::string Buf;
+  StringOStream OS(Buf);
+  print(OS);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Operation printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Printer {
+public:
+  explicit Printer(OStream &OS) : OS(OS) {}
+
+  void printTopLevel(Operation *Op) {
+    numberScope(Op);
+    printOperation(Op);
+    OS << '\n';
+  }
+
+private:
+  /// Assigns %N ids to all values in the isolated scope rooted at \p Root,
+  /// in print order, and ^bN ids to all blocks per region.
+  void numberScope(Operation *Root) {
+    for (unsigned R = 0; R != Root->getNumRegions(); ++R)
+      numberRegion(Root->getRegion(R));
+  }
+
+  void numberRegion(Region &R) {
+    unsigned BlockId = 0;
+    for (const auto &B : R) {
+      BlockIds[B.get()] = BlockId++;
+      for (unsigned I = 0; I != B->getNumArguments(); ++I)
+        ValueIds[B->getArgument(I)] = NextValueId++;
+    }
+    for (const auto &B : R) {
+      for (Operation *Op : *B) {
+        for (unsigned I = 0; I != Op->getNumResults(); ++I)
+          ValueIds[Op->getResult(I)] = NextValueId++;
+        for (unsigned I = 0; I != Op->getNumRegions(); ++I)
+          numberRegion(Op->getRegion(I));
+      }
+    }
+  }
+
+  void printValueRef(Value *V) {
+    auto It = ValueIds.find(V);
+    if (It == ValueIds.end()) {
+      // Value defined outside the printed scope (e.g. printing a detached
+      // fragment). Use a stable address-based placeholder.
+      OS << "%ext";
+      OS.writeHex(reinterpret_cast<uintptr_t>(V) & 0xffff);
+      return;
+    }
+    OS << '%' << It->second;
+  }
+
+  void printBlockRef(Block *B) {
+    auto It = BlockIds.find(B);
+    if (It == BlockIds.end()) {
+      OS << "^unknown";
+      return;
+    }
+    OS << "^b" << It->second;
+  }
+
+  void printOperation(Operation *Op) {
+    OS.indent(Indent);
+    if (unsigned NumResults = Op->getNumResults()) {
+      for (unsigned I = 0; I != NumResults; ++I) {
+        if (I)
+          OS << ", ";
+        printValueRef(Op->getResult(I));
+      }
+      OS << " = ";
+    }
+    OS << '"' << Op->getName() << '"';
+
+    // Non-successor operands.
+    OS << '(';
+    unsigned NumPlain = Op->getNumNonSuccessorOperands();
+    for (unsigned I = 0; I != NumPlain; ++I) {
+      if (I)
+        OS << ", ";
+      printValueRef(Op->getOperand(I));
+    }
+    OS << ')';
+
+    // Successors with their argument lists.
+    if (unsigned NumSucc = Op->getNumSuccessors()) {
+      OS << '[';
+      for (unsigned I = 0; I != NumSucc; ++I) {
+        if (I)
+          OS << ", ";
+        printBlockRef(Op->getSuccessor(I));
+        auto [Begin, End] = Op->getSuccessorOperandRange(I);
+        if (Begin != End) {
+          OS << '(';
+          for (unsigned J = Begin; J != End; ++J) {
+            if (J != Begin)
+              OS << ", ";
+            printValueRef(Op->getOperand(J));
+          }
+          OS << " : ";
+          for (unsigned J = Begin; J != End; ++J) {
+            if (J != Begin)
+              OS << ", ";
+            Op->getOperand(J)->getType()->print(OS);
+          }
+          OS << ')';
+        }
+      }
+      OS << ']';
+    }
+
+    // Regions.
+    if (unsigned NumRegions = Op->getNumRegions()) {
+      OS << " (";
+      for (unsigned I = 0; I != NumRegions; ++I) {
+        if (I)
+          OS << ", ";
+        printRegion(Op->getRegion(I));
+      }
+      OS << ')';
+    }
+
+    // Attributes.
+    if (!Op->getAttrs().empty()) {
+      OS << " {";
+      bool First = true;
+      for (const auto &[Name, Attr] : Op->getAttrs()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        OS << Name << " = ";
+        Attr->print(OS);
+      }
+      OS << '}';
+    }
+
+    // Functional type.
+    OS << " : (";
+    for (unsigned I = 0; I != NumPlain; ++I) {
+      if (I)
+        OS << ", ";
+      Op->getOperand(I)->getType()->print(OS);
+    }
+    OS << ") -> (";
+    for (unsigned I = 0; I != Op->getNumResults(); ++I) {
+      if (I)
+        OS << ", ";
+      Op->getResult(I)->getType()->print(OS);
+    }
+    OS << ')';
+    OS << '\n';
+  }
+
+  void printRegion(Region &R) {
+    OS << "{\n";
+    Indent += 2;
+    for (const auto &B : R) {
+      OS.indent(Indent - 1);
+      printBlockRef(B.get());
+      if (B->getNumArguments()) {
+        OS << '(';
+        for (unsigned I = 0; I != B->getNumArguments(); ++I) {
+          if (I)
+            OS << ", ";
+          printValueRef(B->getArgument(I));
+          OS << ": ";
+          B->getArgument(I)->getType()->print(OS);
+        }
+        OS << ')';
+      }
+      OS << ":\n";
+      for (Operation *Op : *B)
+        printOperation(Op);
+    }
+    Indent -= 2;
+    OS.indent(Indent);
+    OS << '}';
+  }
+
+  OStream &OS;
+  unsigned Indent = 0;
+  unsigned NextValueId = 0;
+  std::unordered_map<Value *, unsigned> ValueIds;
+  std::unordered_map<Block *, unsigned> BlockIds;
+};
+
+} // namespace
+
+void lz::printOp(Operation *Op, OStream &OS) {
+  Printer P(OS);
+  P.printTopLevel(Op);
+}
+
+std::string lz::printToString(Operation *Op) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  printOp(Op, OS);
+  return Buf;
+}

@@ -1,0 +1,38 @@
+//===- Printer.h - textual IR output ----------------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints IR in a stable, parseable textual form (the MLIR property the
+/// paper highlights in Section I: "a stable textual and in-memory
+/// representation"). The printer emits the generic operation syntax:
+///
+///   %0 = "lp.int"() {value = 42 : i64} : () -> !lp.t
+///   "lp.switch"(%tag)[^b1, ^b2] ({...}) {cases = [...]} : (i8) -> ()
+///
+/// Round-tripping through Parser.h is tested property-style.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_IR_PRINTER_H
+#define LZ_IR_PRINTER_H
+
+#include <string>
+
+namespace lz {
+
+class Operation;
+class OStream;
+
+/// Prints \p Op (and everything nested) to \p OS.
+void printOp(Operation *Op, OStream &OS);
+
+/// Convenience: returns the textual IR as a string.
+std::string printToString(Operation *Op);
+
+} // namespace lz
+
+#endif // LZ_IR_PRINTER_H

@@ -1,0 +1,131 @@
+//===- Types.h - IR type system ---------------------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniqued type hierarchy of the IR. Mirrors the slice of MLIR's type
+/// system the paper needs: builtin integers, the erased box type `!lp.t`
+/// (Section III), region-value types for `rgn.val` results (Section IV),
+/// and function types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_IR_TYPES_H
+#define LZ_IR_TYPES_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lz {
+
+class Context;
+class OStream;
+
+/// Base of the uniqued type hierarchy. Types are allocated and uniqued by
+/// the Context, so pointer equality is type equality.
+class Type {
+public:
+  enum class Kind : uint8_t {
+    Integer,  ///< iN for N in {1, 8, 16, 32, 64}.
+    Box,      ///< !lp.t — the universal boxed heap value (Section III).
+    RegionVal,///< !rgn.region<(T...)> — value naming a region (Section IV).
+    Function, ///< (T...) -> (T...).
+    None,     ///< Unit/none type.
+  };
+
+  Kind getKind() const { return TheKind; }
+  Context *getContext() const { return Ctx; }
+
+  /// Prints the type in textual IR syntax.
+  void print(OStream &OS) const;
+  std::string str() const;
+
+protected:
+  Type(Kind K, Context *Ctx) : TheKind(K), Ctx(Ctx) {}
+  ~Type() = default;
+
+private:
+  Kind TheKind;
+  Context *Ctx;
+};
+
+/// Builtin integer type iN.
+class IntegerType : public Type {
+public:
+  unsigned getWidth() const { return Width; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Integer; }
+
+private:
+  friend class Context;
+  IntegerType(Context *Ctx, unsigned Width)
+      : Type(Kind::Integer, Ctx), Width(Width) {}
+  unsigned Width;
+};
+
+/// `!lp.t` — the single type of boxed LEAN values (Section III: "the lp
+/// dialect uses a single type ... to represent values that live on the
+/// heap").
+class BoxType : public Type {
+public:
+  static bool classof(const Type *T) { return T->getKind() == Kind::Box; }
+
+private:
+  friend class Context;
+  explicit BoxType(Context *Ctx) : Type(Kind::Box, Ctx) {}
+};
+
+/// `!rgn.region<(T...)>` — type of `rgn.val` results. The parameter list is
+/// the argument signature the region expects when `rgn.run` invokes it.
+class RegionValType : public Type {
+public:
+  const std::vector<Type *> &getInputs() const { return Inputs; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == Kind::RegionVal;
+  }
+
+private:
+  friend class Context;
+  RegionValType(Context *Ctx, std::vector<Type *> Inputs)
+      : Type(Kind::RegionVal, Ctx), Inputs(std::move(Inputs)) {}
+  std::vector<Type *> Inputs;
+};
+
+/// Function type `(T...) -> (T...)`.
+class FunctionType : public Type {
+public:
+  const std::vector<Type *> &getInputs() const { return Inputs; }
+  const std::vector<Type *> &getResults() const { return Results; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Function; }
+
+private:
+  friend class Context;
+  FunctionType(Context *Ctx, std::vector<Type *> Inputs,
+               std::vector<Type *> Results)
+      : Type(Kind::Function, Ctx), Inputs(std::move(Inputs)),
+        Results(std::move(Results)) {}
+  std::vector<Type *> Inputs;
+  std::vector<Type *> Results;
+};
+
+/// Unit type for ops executed purely for effect.
+class NoneType : public Type {
+public:
+  static bool classof(const Type *T) { return T->getKind() == Kind::None; }
+
+private:
+  friend class Context;
+  explicit NoneType(Context *Ctx) : Type(Kind::None, Ctx) {}
+};
+
+} // namespace lz
+
+#endif // LZ_IR_TYPES_H

@@ -1,0 +1,294 @@
+//===- Verifier.cpp - IR structural and dominance verification ------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IR.h"
+#include "ir/Printer.h"
+#include "support/OStream.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace lz;
+
+//===----------------------------------------------------------------------===//
+// DominanceInfo
+//===----------------------------------------------------------------------===//
+
+DominanceInfo::DominanceInfo(Region &R) {
+  if (R.empty())
+    return;
+  Block *Entry = R.getEntryBlock();
+
+  // Postorder DFS from the entry block.
+  std::vector<Block *> PostOrder;
+  std::unordered_set<Block *> Visited;
+  std::vector<std::pair<Block *, unsigned>> Stack;
+  Stack.push_back({Entry, 0});
+  Visited.insert(Entry);
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    std::vector<Block *> Succs = B->getSuccessors();
+    if (NextSucc < Succs.size()) {
+      Block *S = Succs[NextSucc++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+      continue;
+    }
+    PostOrder.push_back(B);
+    Stack.pop_back();
+  }
+
+  // Reverse postorder numbering.
+  unsigned N = static_cast<unsigned>(PostOrder.size());
+  for (unsigned I = 0; I != N; ++I)
+    RPONumber[PostOrder[N - 1 - I]] = I;
+
+  // Iterative idom computation (Cooper, Harvey, Kennedy).
+  IDom[Entry] = Entry;
+  auto Intersect = [&](Block *A, Block *B) {
+    while (A != B) {
+      while (RPONumber.at(A) > RPONumber.at(B))
+        A = IDom.at(A);
+      while (RPONumber.at(B) > RPONumber.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Process in reverse postorder (skip entry).
+    for (unsigned I = N; I-- > 0;) {
+      Block *B = PostOrder[I];
+      if (B == Entry)
+        continue;
+      Block *NewIDom = nullptr;
+      for (Block *Pred : B->getPredecessors()) {
+        if (!RPONumber.count(Pred))
+          continue; // unreachable predecessor
+        if (!IDom.count(Pred))
+          continue;
+        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(B);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominanceInfo::dominates(Block *A, Block *B) const {
+  if (A == B)
+    return true;
+  auto It = IDom.find(B);
+  while (It != IDom.end()) {
+    Block *Parent = It->second;
+    if (Parent == A)
+      return true;
+    if (Parent == B)
+      return false; // reached entry (self-idom)
+    B = Parent;
+    It = IDom.find(B);
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Verifier {
+public:
+  explicit Verifier(std::vector<std::string> &Errors) : Errors(Errors) {}
+
+  void verifyOp(Operation *Op) {
+    // Null operand check.
+    for (unsigned I = 0; I != Op->getNumOperands(); ++I) {
+      if (!Op->getOperand(I)) {
+        error(Op, "null operand");
+        return;
+      }
+    }
+
+    // Placeholder ops must never survive parsing.
+    if (Op->getName() == "builtin.unrealized")
+      error(Op, "unresolved forward reference survived parsing");
+
+    // Successor argument typing.
+    for (unsigned I = 0; I != Op->getNumSuccessors(); ++I) {
+      Block *Succ = Op->getSuccessor(I);
+      std::vector<Value *> Args = Op->getSuccessorOperands(I);
+      if (Succ->getNumArguments() != Args.size()) {
+        error(Op, "successor argument count mismatch");
+        continue;
+      }
+      for (unsigned J = 0; J != Args.size(); ++J)
+        if (Args[J]->getType() != Succ->getArgument(J)->getType())
+          error(Op, "successor argument type mismatch");
+      if (Succ->getParent() != Op->getParentRegion())
+        error(Op, "successor block in a different region");
+    }
+    if (Op->getNumSuccessors() && !Op->isTerminator())
+      error(Op, "only terminators may have successors");
+
+    // Regions.
+    for (unsigned I = 0; I != Op->getNumRegions(); ++I)
+      verifyRegion(Op->getRegion(I), Op);
+
+    // Op-specific hook.
+    if (Op->getDef().Verify && failed(Op->getDef().Verify(Op)))
+      error(Op, "op-specific verification failed");
+  }
+
+  void verifyRegion(Region &R, Operation *ParentOp) {
+    bool RequiresTerminators = !ParentOp->hasTrait(OpTrait_SymbolTable);
+    for (const auto &B : R) {
+      if (RequiresTerminators) {
+        if (B->empty()) {
+          error(ParentOp, "empty block in CFG region");
+          continue;
+        }
+        if (!B->back()->isTerminator())
+          error(B->back(), "block not terminated by a terminator op");
+      }
+      for (Operation *Op : *B) {
+        if (Op->isTerminator() && Op != B->back())
+          error(Op, "terminator in the middle of a block");
+        verifyOp(Op);
+      }
+    }
+    verifyDominance(R);
+  }
+
+  void verifyDominance(Region &R) {
+    if (R.empty())
+      return;
+    DominanceInfo DomInfo(R);
+
+    // Per-block op position index for intra-block ordering queries.
+    std::unordered_map<Operation *, unsigned> Position;
+    for (const auto &B : R) {
+      unsigned Pos = 0;
+      for (Operation *Op : *B)
+        Position[Op] = Pos++;
+    }
+
+    for (const auto &B : R) {
+      if (!DomInfo.isReachable(B.get()))
+        continue;
+      for (Operation *Op : *B) {
+        for (unsigned I = 0; I != Op->getNumOperands(); ++I)
+          checkUse(Op, Op->getOperand(I), R, DomInfo, Position);
+        // Uses inside nested (non-isolated) regions of Op that reference
+        // values from R are checked when those nested ops are visited: the
+        // nested walk below resolves them against Op's position.
+        for (unsigned RI = 0; RI != Op->getNumRegions(); ++RI)
+          checkNestedUses(Op->getRegion(RI), Op, R, DomInfo, Position);
+      }
+    }
+  }
+
+  /// Checks all uses inside nested region \p Nested (recursively) whose
+  /// referenced values live in ancestor region \p R; their effective use
+  /// point is \p HoistedUser.
+  void checkNestedUses(Region &Nested, Operation *HoistedUser, Region &R,
+                       DominanceInfo &DomInfo,
+                       std::unordered_map<Operation *, unsigned> &Position) {
+    bool Isolated = HoistedUser->hasTrait(OpTrait_IsolatedFromAbove);
+    for (const auto &B : Nested) {
+      for (Operation *Op : *B) {
+        for (unsigned I = 0; I != Op->getNumOperands(); ++I) {
+          Value *V = Op->getOperand(I);
+          if (!V)
+            continue;
+          Region *DefRegion = V->getParentBlock()
+                                  ? V->getParentBlock()->getParent()
+                                  : nullptr;
+          if (DefRegion != &R)
+            continue;
+          if (Isolated) {
+            error(Op, "use of above-defined value inside IsolatedFromAbove "
+                      "operation");
+            continue;
+          }
+          checkUseAt(HoistedUser, V, R, DomInfo, Position, Op);
+        }
+        for (unsigned RI = 0; RI != Op->getNumRegions(); ++RI)
+          checkNestedUses(Op->getRegion(RI), HoistedUser, R, DomInfo,
+                          Position);
+      }
+    }
+  }
+
+  void checkUse(Operation *User, Value *V, Region &R, DominanceInfo &DomInfo,
+                std::unordered_map<Operation *, unsigned> &Position) {
+    Block *DefBlock = V->getParentBlock();
+    if (!DefBlock || DefBlock->getParent() != &R)
+      return; // defined in an enclosing scope; checked there.
+    checkUseAt(User, V, R, DomInfo, Position, User);
+  }
+
+  /// Checks that \p V (defined in region \p R) is available at
+  /// \p EffectiveUser (an op directly inside \p R); \p ReportOp is the op
+  /// blamed in diagnostics.
+  void checkUseAt(Operation *EffectiveUser, Value *V, Region &R,
+                  DominanceInfo &DomInfo,
+                  std::unordered_map<Operation *, unsigned> &Position,
+                  Operation *ReportOp) {
+    Block *DefBlock = V->getParentBlock();
+    Block *UseBlock = EffectiveUser->getBlock();
+    if (DefBlock == UseBlock) {
+      if (Operation *DefOp = V->getDefiningOp()) {
+        if (Position.at(DefOp) >= Position.at(EffectiveUser))
+          error(ReportOp, "use of value before its definition");
+      }
+      return;
+    }
+    if (!DomInfo.dominates(DefBlock, UseBlock))
+      error(ReportOp, "definition does not dominate use");
+  }
+
+  void error(Operation *Op, std::string_view Message) {
+    std::string Msg = "verifier: '";
+    Msg += Op->getName();
+    Msg += "': ";
+    Msg += Message;
+    Errors.push_back(std::move(Msg));
+  }
+
+private:
+  std::vector<std::string> &Errors;
+};
+
+} // namespace
+
+LogicalResult lz::verify(Operation *Op, std::vector<std::string> &Errors) {
+  size_t Before = Errors.size();
+  Verifier V(Errors);
+  V.verifyOp(Op);
+  return success(Errors.size() == Before);
+}
+
+LogicalResult lz::verify(Operation *Op) {
+  std::vector<std::string> Errors;
+  LogicalResult Result = verify(Op, Errors);
+  if (failed(Result)) {
+    for (const std::string &E : Errors)
+      errs() << E << '\n';
+    errs() << "in operation:\n" << printToString(Op);
+  }
+  return Result;
+}

@@ -1,0 +1,72 @@
+//===- Verifier.h - IR structural and dominance verification ----*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies the structural SSA rules the paper's reasoning relies on: every
+/// value assigned once, uses dominated by definitions (including uses inside
+/// nested regions, which see values from enclosing scopes unless an op is
+/// IsolatedFromAbove), blocks terminated properly, and per-op invariants
+/// such as "rgn.val results may only flow into select/switch/rgn.run"
+/// (Section IV).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_IR_VERIFIER_H
+#define LZ_IR_VERIFIER_H
+
+#include "support/LogicalResult.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lz {
+
+class Block;
+class Operation;
+class Region;
+
+/// Dominator-tree queries for one region's CFG (Cooper-Harvey-Kennedy).
+class DominanceInfo {
+public:
+  explicit DominanceInfo(Region &R);
+
+  /// True if \p A dominates \p B (reflexively).
+  bool dominates(Block *A, Block *B) const;
+
+  /// True if \p B is reachable from the region's entry block.
+  bool isReachable(Block *B) const { return RPONumber.count(B) != 0; }
+
+  /// Immediate dominator (entry maps to itself); null for unreachable.
+  Block *getIdom(Block *B) const {
+    auto It = IDom.find(B);
+    return It == IDom.end() ? nullptr : It->second;
+  }
+
+  /// Reachable blocks in reverse postorder (entry first).
+  std::vector<Block *> getBlocksInRPO() const {
+    std::vector<Block *> Result(RPONumber.size());
+    for (const auto &[B, N] : RPONumber)
+      Result[N] = B;
+    return Result;
+  }
+
+private:
+  std::unordered_map<Block *, Block *> IDom;
+  std::unordered_map<Block *, unsigned> RPONumber;
+};
+
+/// Verifies \p Op and all nested operations. On failure, appends messages
+/// to \p Errors and returns failure.
+LogicalResult verify(Operation *Op, std::vector<std::string> &Errors);
+
+/// Verifies and prints any errors to stderr.
+LogicalResult verify(Operation *Op);
+
+} // namespace lz
+
+#endif // LZ_IR_VERIFIER_H

@@ -1,0 +1,350 @@
+//===- Interp.cpp - reference interpreter for λpure ----------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/Interp.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <map>
+
+using namespace lz;
+using namespace lz::lambda;
+
+OVal lambda::makeOInt(const BigInt &Value) {
+  auto V = std::make_shared<OValue>();
+  V->K = OValue::Kind::Int;
+  V->I = Value;
+  return V;
+}
+
+OVal lambda::makeOInt(int64_t Value) { return makeOInt(BigInt(Value)); }
+
+std::string lambda::displayOValue(const OVal &V) {
+  switch (V->K) {
+  case OValue::Kind::Int:
+    return V->I.toString();
+  case OValue::Kind::Ctor: {
+    std::string S = "#" + std::to_string(V->Tag) + "(";
+    for (size_t I = 0; I != V->Fields.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += displayOValue(V->Fields[I]);
+    }
+    return S + ")";
+  }
+  case OValue::Kind::Closure:
+    return "<closure/" + std::to_string(V->Tag) + ">";
+  case OValue::Kind::Array: {
+    std::string S = "[";
+    for (size_t I = 0; I != V->Fields.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += displayOValue(V->Fields[I]);
+    }
+    return S + "]";
+  }
+  case OValue::Kind::Str:
+    return V->S;
+  }
+  return "<?>";
+}
+
+namespace {
+
+class Interpreter {
+public:
+  Interpreter(const Program &P, std::string &Output) : P(P), Output(Output) {}
+
+  /// Calls a function; direct tail calls are executed iteratively so the
+  /// oracle matches the compiled pipelines' guaranteed TCO (deep tail
+  /// recursion must not exhaust the host stack).
+  OVal call(std::string Name, std::vector<OVal> Args) {
+    while (true) {
+      const Function *F = P.lookup(Name);
+      if (!F) {
+        assert(false && "oracle: unknown function");
+        std::abort();
+      }
+      assert(Args.size() == F->Params.size() && "oracle: arity mismatch");
+      std::vector<OVal> Env(F->NumVars);
+      for (size_t I = 0; I != Args.size(); ++I)
+        Env[F->Params[I]] = std::move(Args[I]);
+      Outcome O = evalBody(*F, F->Body.get(), Env);
+      if (!O.IsTailCall)
+        return O.V;
+      Name = std::move(O.Fn);
+      Args = std::move(O.Args);
+    }
+  }
+
+private:
+  struct JoinDef {
+    const std::vector<VarId> *Params;
+    const FnBody *Body;
+  };
+
+  /// Either a final value or a pending direct tail call.
+  struct Outcome {
+    OVal V;
+    bool IsTailCall = false;
+    std::string Fn;
+    std::vector<OVal> Args;
+  };
+
+  /// True if executing \p B with \p R bound returns R unchanged: `ret R`,
+  /// or `jmp j(R)` where join j's body is itself a return continuation of
+  /// its sole parameter.
+  static bool isReturnContinuation(const FnBody *B, VarId R,
+                                   const std::map<JoinId, JoinDef> &Joins) {
+    for (unsigned Depth = 0; Depth != 16; ++Depth) {
+      if (B->K == FnBody::Kind::Ret)
+        return B->Var == R;
+      if (B->K != FnBody::Kind::Jmp || B->Args.size() != 1 ||
+          B->Args[0] != R)
+        return false;
+      auto It = Joins.find(B->Join);
+      if (It == Joins.end() || It->second.Params->size() != 1)
+        return false;
+      R = (*It->second.Params)[0];
+      B = It->second.Body;
+    }
+    return false;
+  }
+
+  Outcome evalBody(const Function &F, const FnBody *B, std::vector<OVal> &Env) {
+    std::map<JoinId, JoinDef> Joins;
+    while (true) {
+      switch (B->K) {
+      case FnBody::Kind::Let: {
+        // Direct tail call: let r = f(args) whose continuation — possibly
+        // through a chain of jumps to unary join points — just returns r.
+        const FnBody *Next = B->Next.get();
+        if (B->E.K == Expr::Kind::FAp && !isRuntimeBuiltin(B->E.Callee) &&
+            isReturnContinuation(Next, B->Var, Joins)) {
+          Outcome O;
+          O.IsTailCall = true;
+          O.Fn = B->E.Callee;
+          for (VarId A : B->E.Args)
+            O.Args.push_back(Env[A]);
+          return O;
+        }
+        Env[B->Var] = evalExpr(B->E, Env);
+        B = Next;
+        break;
+      }
+      case FnBody::Kind::JDecl:
+        Joins[B->Join] = {&B->Params, B->JBody.get()};
+        B = B->Next.get();
+        break;
+      case FnBody::Kind::Case: {
+        const OVal &S = Env[B->Var];
+        int64_t Tag;
+        if (S->K == OValue::Kind::Int) {
+          assert(S->I.fitsInt64() && "oracle: case on huge integer");
+          Tag = S->I.getInt64();
+        } else {
+          assert(S->K == OValue::Kind::Ctor && "oracle: case on non-data");
+          Tag = S->Tag;
+        }
+        const FnBody *Chosen = B->Default.get();
+        for (const Alt &A : B->Alts) {
+          if (A.Tag == Tag) {
+            Chosen = A.Body.get();
+            break;
+          }
+        }
+        assert(Chosen && "oracle: non-exhaustive case");
+        B = Chosen;
+        break;
+      }
+      case FnBody::Kind::Ret: {
+        Outcome O;
+        O.V = Env[B->Var];
+        return O;
+      }
+      case FnBody::Kind::Jmp: {
+        auto It = Joins.find(B->Join);
+        assert(It != Joins.end() && "oracle: jump to undeclared join");
+        const JoinDef &J = It->second;
+        assert(J.Params->size() == B->Args.size() &&
+               "oracle: join arity mismatch");
+        std::vector<OVal> Vals;
+        Vals.reserve(B->Args.size());
+        for (VarId A : B->Args)
+          Vals.push_back(Env[A]);
+        for (size_t I = 0; I != Vals.size(); ++I)
+          Env[(*J.Params)[I]] = std::move(Vals[I]);
+        B = J.Body;
+        break;
+      }
+      case FnBody::Kind::Inc:
+      case FnBody::Kind::Dec:
+        B = B->Next.get(); // shared_ptr memory management
+        break;
+      case FnBody::Kind::Unreachable:
+        assert(false && "oracle: reached unreachable");
+        std::abort();
+      }
+    }
+  }
+
+  OVal evalExpr(const Expr &E, std::vector<OVal> &Env) {
+    switch (E.K) {
+    case Expr::Kind::Lit:
+      return makeOInt(E.Tag);
+    case Expr::Kind::BigLit:
+      return makeOInt(E.Big);
+    case Expr::Kind::Var:
+      return Env[E.Args[0]];
+    case Expr::Kind::Ctor: {
+      auto V = std::make_shared<OValue>();
+      V->K = OValue::Kind::Ctor;
+      V->Tag = E.Tag;
+      for (VarId A : E.Args)
+        V->Fields.push_back(Env[A]);
+      return V;
+    }
+    case Expr::Kind::Proj:
+      return Env[E.Args[0]]->Fields.at(static_cast<size_t>(E.Tag));
+    case Expr::Kind::PAp: {
+      auto V = std::make_shared<OValue>();
+      V->K = OValue::Kind::Closure;
+      V->FnName = E.Callee;
+      V->Tag = static_cast<int64_t>(P.lookup(E.Callee)->Params.size());
+      for (VarId A : E.Args)
+        V->Fields.push_back(Env[A]);
+      return V;
+    }
+    case Expr::Kind::FAp: {
+      std::vector<OVal> Args;
+      for (VarId A : E.Args)
+        Args.push_back(Env[A]);
+      if (isRuntimeBuiltin(E.Callee))
+        return callBuiltin(E.Callee, std::move(Args));
+      return call(E.Callee, std::move(Args));
+    }
+    case Expr::Kind::VAp: {
+      OVal Closure = Env[E.Args[0]];
+      std::vector<OVal> Args;
+      for (size_t I = 1; I != E.Args.size(); ++I)
+        Args.push_back(Env[E.Args[I]]);
+      return applyClosure(std::move(Closure), std::move(Args));
+    }
+    }
+    std::abort();
+  }
+
+  OVal applyClosure(OVal Closure, std::vector<OVal> Args) {
+    assert(Closure->K == OValue::Kind::Closure && "oracle: apply non-closure");
+    size_t Arity = static_cast<size_t>(Closure->Tag);
+    std::vector<OVal> All = Closure->Fields;
+    All.insert(All.end(), Args.begin(), Args.end());
+    if (All.size() < Arity) {
+      auto V = std::make_shared<OValue>();
+      V->K = OValue::Kind::Closure;
+      V->FnName = Closure->FnName;
+      V->Tag = Closure->Tag;
+      V->Fields = std::move(All);
+      return V;
+    }
+    std::vector<OVal> CallArgs(All.begin(), All.begin() + Arity);
+    OVal Result = call(Closure->FnName, std::move(CallArgs));
+    if (All.size() == Arity)
+      return Result;
+    std::vector<OVal> Rest(All.begin() + Arity, All.end());
+    return applyClosure(std::move(Result), std::move(Rest));
+  }
+
+  OVal callBuiltin(const std::string &Name, std::vector<OVal> Args) {
+    auto IntArg = [&](size_t I) -> const BigInt & {
+      assert(Args[I]->K == OValue::Kind::Int && "oracle: non-int builtin arg");
+      return Args[I]->I;
+    };
+    if (Name == "lean_nat_add" || Name == "lean_int_add")
+      return makeOInt(IntArg(0) + IntArg(1));
+    if (Name == "lean_int_sub")
+      return makeOInt(IntArg(0) - IntArg(1));
+    if (Name == "lean_nat_sub") {
+      BigInt R = IntArg(0) - IntArg(1);
+      return makeOInt(R.isNegative() ? BigInt(0) : R);
+    }
+    if (Name == "lean_nat_mul" || Name == "lean_int_mul")
+      return makeOInt(IntArg(0) * IntArg(1));
+    if (Name == "lean_nat_div" || Name == "lean_int_div")
+      return makeOInt(IntArg(1).isZero() ? BigInt(0)
+                                         : IntArg(0) / IntArg(1));
+    if (Name == "lean_nat_mod" || Name == "lean_int_mod")
+      return makeOInt(IntArg(1).isZero() ? IntArg(0)
+                                         : IntArg(0) % IntArg(1));
+    if (Name == "lean_int_neg")
+      return makeOInt(-IntArg(0));
+    if (Name == "lean_nat_dec_eq" || Name == "lean_int_dec_eq")
+      return makeOInt(IntArg(0) == IntArg(1) ? 1 : 0);
+    if (Name == "lean_nat_dec_lt" || Name == "lean_int_dec_lt")
+      return makeOInt(IntArg(0) < IntArg(1) ? 1 : 0);
+    if (Name == "lean_nat_dec_le" || Name == "lean_int_dec_le")
+      return makeOInt(IntArg(0) <= IntArg(1) ? 1 : 0);
+    if (Name == "lean_mk_array") {
+      auto V = std::make_shared<OValue>();
+      V->K = OValue::Kind::Array;
+      assert(IntArg(0).fitsInt64() && "oracle: huge array");
+      V->Fields.assign(static_cast<size_t>(IntArg(0).getInt64()), Args[1]);
+      return V;
+    }
+    if (Name == "lean_array_get") {
+      assert(Args[0]->K == OValue::Kind::Array && "oracle: not an array");
+      return Args[0]->Fields.at(
+          static_cast<size_t>(IntArg(1).getInt64()));
+    }
+    if (Name == "lean_array_set") {
+      assert(Args[0]->K == OValue::Kind::Array && "oracle: not an array");
+      auto V = std::make_shared<OValue>();
+      V->K = OValue::Kind::Array;
+      V->Fields = Args[0]->Fields;
+      V->Fields.at(static_cast<size_t>(IntArg(1).getInt64())) = Args[2];
+      return V;
+    }
+    if (Name == "lean_array_push") {
+      assert(Args[0]->K == OValue::Kind::Array && "oracle: not an array");
+      auto V = std::make_shared<OValue>();
+      V->K = OValue::Kind::Array;
+      V->Fields = Args[0]->Fields;
+      V->Fields.push_back(Args[1]);
+      return V;
+    }
+    if (Name == "lean_array_size") {
+      assert(Args[0]->K == OValue::Kind::Array && "oracle: not an array");
+      return makeOInt(static_cast<int64_t>(Args[0]->Fields.size()));
+    }
+    if (Name == "lean_io_println") {
+      Output += displayOValue(Args[0]);
+      Output += '\n';
+      return makeOInt(0);
+    }
+    if (Name == "lean_string_append") {
+      auto V = std::make_shared<OValue>();
+      V->K = OValue::Kind::Str;
+      V->S = Args[0]->S + Args[1]->S;
+      return V;
+    }
+    if (Name == "lean_string_length")
+      return makeOInt(static_cast<int64_t>(Args[0]->S.size()));
+    assert(false && "oracle: unknown builtin");
+    std::abort();
+  }
+
+  const Program &P;
+  std::string &Output;
+};
+
+} // namespace
+
+OVal lambda::interpret(const Program &P, const std::string &Name,
+                       std::vector<OVal> Args, std::string &Output) {
+  Interpreter I(P, Output);
+  return I.call(Name, std::move(Args));
+}

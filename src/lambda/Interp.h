@@ -1,0 +1,57 @@
+//===- Interp.h - reference interpreter for λpure ---------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct, slow, obviously-correct interpreter for λpure used as the
+/// semantic oracle in differential testing (the substitute for LEAN's
+/// 648-test suite, see DESIGN.md). It shares nothing with the compilation
+/// pipeline: values are shared_ptr graphs, all integers are BigInts, and
+/// Inc/Dec statements are ignored (memory is GC'd by shared_ptr).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_LAMBDA_INTERP_H
+#define LZ_LAMBDA_INTERP_H
+
+#include "lambda/LambdaIR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lz::lambda {
+
+/// An oracle value.
+struct OValue;
+using OVal = std::shared_ptr<OValue>;
+
+struct OValue {
+  enum class Kind { Int, Ctor, Closure, Array, Str };
+  Kind K = Kind::Int;
+  BigInt I;
+  int64_t Tag = 0;
+  std::vector<OVal> Fields; ///< ctor fields / closure fixed args / array
+  std::string FnName;       ///< closure target
+  std::string S;
+};
+
+OVal makeOInt(const BigInt &Value);
+OVal makeOInt(int64_t Value);
+
+/// Renders a value in exactly the format Runtime::toDisplayString uses, so
+/// oracle and VM outputs are string-comparable.
+std::string displayOValue(const OVal &V);
+
+/// Runs \p Program's function \p Name on \p Args. \p Output collects
+/// lean_io_println lines. Aborts on stuck programs (interprets only
+/// well-formed λpure).
+OVal interpret(const Program &P, const std::string &Name,
+               std::vector<OVal> Args, std::string &Output);
+
+} // namespace lz::lambda
+
+#endif // LZ_LAMBDA_INTERP_H

@@ -1,0 +1,341 @@
+//===- LambdaIR.cpp - the λpure / λrc functional IR ---------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/LambdaIR.h"
+
+#include "vm/Builtins.h"
+
+#include <cassert>
+#include <set>
+
+using namespace lz;
+using namespace lz::lambda;
+
+FnBodyPtr lambda::makeLet(VarId X, Expr E, FnBodyPtr Next) {
+  auto B = std::make_unique<FnBody>();
+  B->K = FnBody::Kind::Let;
+  B->Var = X;
+  B->E = std::move(E);
+  B->Next = std::move(Next);
+  return B;
+}
+
+FnBodyPtr lambda::makeJDecl(JoinId J, std::vector<VarId> Params,
+                            FnBodyPtr JBody, FnBodyPtr Next) {
+  auto B = std::make_unique<FnBody>();
+  B->K = FnBody::Kind::JDecl;
+  B->Join = J;
+  B->Params = std::move(Params);
+  B->JBody = std::move(JBody);
+  B->Next = std::move(Next);
+  return B;
+}
+
+FnBodyPtr lambda::makeCase(VarId X, std::vector<Alt> Alts, FnBodyPtr Default) {
+  auto B = std::make_unique<FnBody>();
+  B->K = FnBody::Kind::Case;
+  B->Var = X;
+  B->Alts = std::move(Alts);
+  B->Default = std::move(Default);
+  return B;
+}
+
+FnBodyPtr lambda::makeRet(VarId X) {
+  auto B = std::make_unique<FnBody>();
+  B->K = FnBody::Kind::Ret;
+  B->Var = X;
+  return B;
+}
+
+FnBodyPtr lambda::makeJmp(JoinId J, std::vector<VarId> Args) {
+  auto B = std::make_unique<FnBody>();
+  B->K = FnBody::Kind::Jmp;
+  B->Join = J;
+  B->Args = std::move(Args);
+  return B;
+}
+
+FnBodyPtr lambda::makeInc(VarId X, FnBodyPtr Next) {
+  auto B = std::make_unique<FnBody>();
+  B->K = FnBody::Kind::Inc;
+  B->Var = X;
+  B->Next = std::move(Next);
+  return B;
+}
+
+FnBodyPtr lambda::makeDec(VarId X, FnBodyPtr Next) {
+  auto B = std::make_unique<FnBody>();
+  B->K = FnBody::Kind::Dec;
+  B->Var = X;
+  B->Next = std::move(Next);
+  return B;
+}
+
+FnBodyPtr lambda::makeUnreachable() {
+  auto B = std::make_unique<FnBody>();
+  B->K = FnBody::Kind::Unreachable;
+  return B;
+}
+
+FnBodyPtr lambda::cloneBody(const FnBody &B) {
+  auto R = std::make_unique<FnBody>();
+  R->K = B.K;
+  R->Var = B.Var;
+  R->E = B.E;
+  R->Join = B.Join;
+  R->Params = B.Params;
+  R->Args = B.Args;
+  if (B.JBody)
+    R->JBody = cloneBody(*B.JBody);
+  if (B.Next)
+    R->Next = cloneBody(*B.Next);
+  if (B.Default)
+    R->Default = cloneBody(*B.Default);
+  for (const Alt &A : B.Alts) {
+    Alt NA;
+    NA.Tag = A.Tag;
+    NA.Body = cloneBody(*A.Body);
+    R->Alts.push_back(std::move(NA));
+  }
+  return R;
+}
+
+namespace {
+
+/// Alpha-equivalence state: bound variables/joins of A map onto B's; free
+/// variables must be the very same ids (and must not collide with B-side
+/// binders, to keep the relation injective).
+struct AlphaState {
+  std::map<VarId, VarId> VarMap;
+  std::map<JoinId, JoinId> JoinMap;
+  std::set<VarId> BoundInB;
+  std::set<JoinId> JoinBoundInB;
+
+  void bindVar(VarId A, VarId B) {
+    VarMap[A] = B;
+    BoundInB.insert(B);
+  }
+  bool useVar(VarId A, VarId B) const {
+    auto It = VarMap.find(A);
+    if (It != VarMap.end())
+      return It->second == B;
+    return A == B && !BoundInB.count(B);
+  }
+  void bindJoin(JoinId A, JoinId B) {
+    JoinMap[A] = B;
+    JoinBoundInB.insert(B);
+  }
+  bool useJoin(JoinId A, JoinId B) const {
+    auto It = JoinMap.find(A);
+    if (It != JoinMap.end())
+      return It->second == B;
+    return A == B && !JoinBoundInB.count(B);
+  }
+};
+
+bool exprsEqualAlpha(const Expr &A, const Expr &B, const AlphaState &S) {
+  if (A.K != B.K || A.Tag != B.Tag || A.Big != B.Big ||
+      A.Callee != B.Callee || A.Args.size() != B.Args.size())
+    return false;
+  for (size_t I = 0; I != A.Args.size(); ++I)
+    if (!S.useVar(A.Args[I], B.Args[I]))
+      return false;
+  return true;
+}
+
+bool bodiesEqualAlpha(const FnBody &A, const FnBody &B, AlphaState &S) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case FnBody::Kind::Let: {
+    if (!exprsEqualAlpha(A.E, B.E, S))
+      return false;
+    S.bindVar(A.Var, B.Var);
+    return bodiesEqualAlpha(*A.Next, *B.Next, S);
+  }
+  case FnBody::Kind::JDecl: {
+    if (A.Params.size() != B.Params.size())
+      return false;
+    S.bindJoin(A.Join, B.Join);
+    for (size_t I = 0; I != A.Params.size(); ++I)
+      S.bindVar(A.Params[I], B.Params[I]);
+    return bodiesEqualAlpha(*A.JBody, *B.JBody, S) &&
+           bodiesEqualAlpha(*A.Next, *B.Next, S);
+  }
+  case FnBody::Kind::Case: {
+    if (!S.useVar(A.Var, B.Var) || A.Alts.size() != B.Alts.size())
+      return false;
+    if (static_cast<bool>(A.Default) != static_cast<bool>(B.Default))
+      return false;
+    for (size_t I = 0; I != A.Alts.size(); ++I) {
+      if (A.Alts[I].Tag != B.Alts[I].Tag ||
+          !bodiesEqualAlpha(*A.Alts[I].Body, *B.Alts[I].Body, S))
+        return false;
+    }
+    return !A.Default || bodiesEqualAlpha(*A.Default, *B.Default, S);
+  }
+  case FnBody::Kind::Ret:
+    return S.useVar(A.Var, B.Var);
+  case FnBody::Kind::Jmp: {
+    if (!S.useJoin(A.Join, B.Join) || A.Args.size() != B.Args.size())
+      return false;
+    for (size_t I = 0; I != A.Args.size(); ++I)
+      if (!S.useVar(A.Args[I], B.Args[I]))
+        return false;
+    return true;
+  }
+  case FnBody::Kind::Inc:
+  case FnBody::Kind::Dec:
+    return S.useVar(A.Var, B.Var) &&
+           bodiesEqualAlpha(*A.Next, *B.Next, S);
+  case FnBody::Kind::Unreachable:
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool lambda::bodiesEqual(const FnBody &A, const FnBody &B) {
+  AlphaState S;
+  return bodiesEqualAlpha(A, B, S);
+}
+
+Program lambda::cloneProgram(const Program &P) {
+  Program R;
+  for (const Function &F : P.Functions) {
+    Function NF;
+    NF.Name = F.Name;
+    NF.Params = F.Params;
+    NF.NumVars = F.NumVars;
+    NF.NumJoins = F.NumJoins;
+    NF.Body = cloneBody(*F.Body);
+    R.add(std::move(NF));
+  }
+  return R;
+}
+
+bool lambda::isRuntimeBuiltin(const std::string &Name) {
+  return vm::lookupBuiltin(Name) >= 0;
+}
+
+unsigned lambda::runtimeBuiltinArity(const std::string &Name) {
+  int Index = vm::lookupBuiltin(Name);
+  assert(Index >= 0 && "not a builtin");
+  return vm::getBuiltinArity(Index);
+}
+
+//===----------------------------------------------------------------------===//
+// Debug printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void printExpr(const Expr &E, std::string &Out) {
+  switch (E.K) {
+  case Expr::Kind::Ctor:
+    Out += "ctor_" + std::to_string(E.Tag) + "(";
+    break;
+  case Expr::Kind::Proj:
+    Out += "proj_" + std::to_string(E.Tag) + "(";
+    break;
+  case Expr::Kind::PAp:
+    Out += "pap " + E.Callee + "(";
+    break;
+  case Expr::Kind::FAp:
+    Out += "fap " + E.Callee + "(";
+    break;
+  case Expr::Kind::VAp:
+    Out += "vap(";
+    break;
+  case Expr::Kind::Lit:
+    Out += "lit " + std::to_string(E.Tag);
+    return;
+  case Expr::Kind::BigLit:
+    Out += "biglit " + E.Big.toString();
+    return;
+  case Expr::Kind::Var:
+    Out += "var x" + std::to_string(E.Args[0]);
+    return;
+  }
+  for (size_t I = 0; I != E.Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "x" + std::to_string(E.Args[I]);
+  }
+  Out += ")";
+}
+
+void printBody(const FnBody &B, unsigned Indent, std::string &Out) {
+  Out.append(Indent, ' ');
+  switch (B.K) {
+  case FnBody::Kind::Let:
+    Out += "let x" + std::to_string(B.Var) + " = ";
+    printExpr(B.E, Out);
+    Out += ";\n";
+    printBody(*B.Next, Indent, Out);
+    return;
+  case FnBody::Kind::JDecl: {
+    Out += "jdecl j" + std::to_string(B.Join) + "(";
+    for (size_t I = 0; I != B.Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "x" + std::to_string(B.Params[I]);
+    }
+    Out += ") {\n";
+    printBody(*B.JBody, Indent + 2, Out);
+    Out.append(Indent, ' ');
+    Out += "};\n";
+    printBody(*B.Next, Indent, Out);
+    return;
+  }
+  case FnBody::Kind::Case:
+    Out += "case x" + std::to_string(B.Var) + " of\n";
+    for (const Alt &A : B.Alts) {
+      Out.append(Indent, ' ');
+      Out += "| " + std::to_string(A.Tag) + " =>\n";
+      printBody(*A.Body, Indent + 2, Out);
+    }
+    if (B.Default) {
+      Out.append(Indent, ' ');
+      Out += "| default =>\n";
+      printBody(*B.Default, Indent + 2, Out);
+    }
+    return;
+  case FnBody::Kind::Ret:
+    Out += "ret x" + std::to_string(B.Var) + "\n";
+    return;
+  case FnBody::Kind::Jmp:
+    Out += "jmp j" + std::to_string(B.Join) + "(";
+    for (size_t I = 0; I != B.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "x" + std::to_string(B.Args[I]);
+    }
+    Out += ")\n";
+    return;
+  case FnBody::Kind::Inc:
+    Out += "inc x" + std::to_string(B.Var) + ";\n";
+    printBody(*B.Next, Indent, Out);
+    return;
+  case FnBody::Kind::Dec:
+    Out += "dec x" + std::to_string(B.Var) + ";\n";
+    printBody(*B.Next, Indent, Out);
+    return;
+  case FnBody::Kind::Unreachable:
+    Out += "unreachable\n";
+    return;
+  }
+}
+
+} // namespace
+
+std::string lambda::bodyToString(const FnBody &B) {
+  std::string Out;
+  printBody(B, 0, Out);
+  return Out;
+}

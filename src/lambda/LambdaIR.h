@@ -1,0 +1,154 @@
+//===- LambdaIR.h - the λpure / λrc functional IR ---------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LEAN4's λpure intermediate representation (Section II-B): a minimal,
+/// pure, strict, ANF-style functional IR with data constructors, pattern
+/// matching (Case on constructor tags), full and partial applications, and
+/// join points. λrc is the same IR extended with explicit `Inc`/`Dec`
+/// reference-count statements — produced by the pass in src/rc.
+///
+/// Values are variables (dense per-function VarIds). A function body is a
+/// tree of statements:
+///
+///   b ::= let x = e; b | jdecl j (params) { b }; b | case x of alts
+///       | ret x | jmp j (args) | inc x; b | dec x; b | unreachable
+///   e ::= ctor_tag(ys) | proj_i(y) | pap f (ys) | fap f (ys)
+///       | vap y (ys) | lit n | biglit | var y
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_LAMBDA_LAMBDAIR_H
+#define LZ_LAMBDA_LAMBDAIR_H
+
+#include "support/BigInt.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lz::lambda {
+
+using VarId = uint32_t;
+using JoinId = uint32_t;
+
+/// A pure right-hand side of a let binding.
+struct Expr {
+  enum class Kind : uint8_t {
+    Ctor,   ///< construct tag Tag with fields Args (always >= 1 field;
+            ///< nullary constructors are erased to Lit(tag))
+    Proj,   ///< field #Tag of Args[0] (borrowed in λrc terms)
+    PAp,    ///< partial application of function Callee to Args
+    FAp,    ///< full (saturated) application of Callee to Args; Callee may
+            ///< be a user function or a lean_* runtime builtin
+    VAp,    ///< apply closure Args[0] to Args[1..] (papextend)
+    Lit,    ///< small integer literal Tag
+    BigLit, ///< arbitrary precision literal Big
+    Var,    ///< alias of Args[0]
+  };
+
+  Kind K;
+  int64_t Tag = 0;    ///< ctor tag / projection index / literal value
+  BigInt Big;         ///< BigLit payload
+  std::string Callee; ///< PAp/FAp target
+  std::vector<VarId> Args;
+};
+
+struct FnBody;
+using FnBodyPtr = std::unique_ptr<FnBody>;
+
+/// One arm of a Case; matches constructor tag / scalar value `Tag`.
+struct Alt {
+  int64_t Tag = 0;
+  FnBodyPtr Body;
+};
+
+struct FnBody {
+  enum class Kind : uint8_t {
+    Let,         ///< let Var = E; Next
+    JDecl,       ///< jdecl Join (Params) { JBody }; Next
+    Case,        ///< case Var of Alts (| Default)
+    Ret,         ///< ret Var
+    Jmp,         ///< jmp Join (Args)
+    Inc,         ///< inc Var; Next       (λrc only)
+    Dec,         ///< dec Var; Next       (λrc only)
+    Unreachable, ///< non-exhaustive match fell through
+  };
+
+  Kind K;
+  VarId Var = 0;
+  Expr E;
+  JoinId Join = 0;
+  std::vector<VarId> Params;
+  FnBodyPtr JBody;
+  FnBodyPtr Next;
+  std::vector<Alt> Alts;
+  FnBodyPtr Default; ///< may be null when Alts are exhaustive
+  std::vector<VarId> Args;
+};
+
+/// Helpers for building FnBody nodes.
+FnBodyPtr makeLet(VarId X, Expr E, FnBodyPtr Next);
+FnBodyPtr makeJDecl(JoinId J, std::vector<VarId> Params, FnBodyPtr JBody,
+                    FnBodyPtr Next);
+FnBodyPtr makeCase(VarId X, std::vector<Alt> Alts, FnBodyPtr Default);
+FnBodyPtr makeRet(VarId X);
+FnBodyPtr makeJmp(JoinId J, std::vector<VarId> Args);
+FnBodyPtr makeInc(VarId X, FnBodyPtr Next);
+FnBodyPtr makeDec(VarId X, FnBodyPtr Next);
+FnBodyPtr makeUnreachable();
+
+/// Deep copy.
+FnBodyPtr cloneBody(const FnBody &B);
+
+/// Structural equality (exact, including variable ids) — used by the
+/// λpure simplifier's common-branch elimination.
+bool bodiesEqual(const FnBody &A, const FnBody &B);
+
+/// A λpure function.
+struct Function {
+  std::string Name;
+  std::vector<VarId> Params; ///< always 0..N-1
+  FnBodyPtr Body;
+  uint32_t NumVars = 0;  ///< dense VarId bound
+  uint32_t NumJoins = 0; ///< dense JoinId bound
+};
+
+/// A whole program.
+struct Program {
+  std::vector<Function> Functions;
+  std::map<std::string, size_t> FunctionIndex;
+
+  Function *lookup(const std::string &Name) {
+    auto It = FunctionIndex.find(Name);
+    return It == FunctionIndex.end() ? nullptr : &Functions[It->second];
+  }
+  const Function *lookup(const std::string &Name) const {
+    auto It = FunctionIndex.find(Name);
+    return It == FunctionIndex.end() ? nullptr : &Functions[It->second];
+  }
+  void add(Function F) {
+    FunctionIndex[F.Name] = Functions.size();
+    Functions.push_back(std::move(F));
+  }
+};
+
+/// Deep copy of a program (pipelines mutate their own copy).
+Program cloneProgram(const Program &P);
+
+/// Debug rendering of a function body.
+std::string bodyToString(const FnBody &B);
+
+/// True for lean_* runtime builtins; their arity is in builtinArity.
+bool isRuntimeBuiltin(const std::string &Name);
+unsigned runtimeBuiltinArity(const std::string &Name);
+
+} // namespace lz::lambda
+
+#endif // LZ_LAMBDA_LAMBDAIR_H

@@ -1,0 +1,1482 @@
+//===- MiniLean.cpp - a small strict functional surface language --------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/MiniLean.h"
+
+#include <cassert>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+using namespace lz;
+using namespace lz::lambda;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class Tok {
+  Eof,
+  Ident,
+  Int,
+  KwDef,
+  KwInductive,
+  KwLet,
+  KwMatch,
+  KwWith,
+  KwEnd,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwFun,
+  Underscore,
+  LParen,
+  RParen,
+  Comma,
+  Semi,
+  Pipe,
+  Arrow,   // =>
+  Assign,  // :=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Error,
+};
+
+struct Token {
+  Tok K;
+  std::string Text;
+  int Line;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Src) : Src(Src) {}
+
+  Token next() {
+    skip();
+    if (Pos >= Src.size())
+      return {Tok::Eof, "", Line};
+    char C = Src[Pos];
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[Pos])))
+        ++Pos;
+      return {Tok::Int, std::string(Src.substr(Start, Pos - Start)), Line};
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Src.size() && (std::isalnum(static_cast<unsigned char>(
+                                      Src[Pos])) ||
+                                  Src[Pos] == '_' || Src[Pos] == '.' ||
+                                  Src[Pos] == '\''))
+        ++Pos;
+      std::string Text(Src.substr(Start, Pos - Start));
+      if (Text == "def")
+        return {Tok::KwDef, Text, Line};
+      if (Text == "inductive")
+        return {Tok::KwInductive, Text, Line};
+      if (Text == "let")
+        return {Tok::KwLet, Text, Line};
+      if (Text == "match")
+        return {Tok::KwMatch, Text, Line};
+      if (Text == "with")
+        return {Tok::KwWith, Text, Line};
+      if (Text == "end")
+        return {Tok::KwEnd, Text, Line};
+      if (Text == "if")
+        return {Tok::KwIf, Text, Line};
+      if (Text == "fun")
+        return {Tok::KwFun, Text, Line};
+      if (Text == "then")
+        return {Tok::KwThen, Text, Line};
+      if (Text == "else")
+        return {Tok::KwElse, Text, Line};
+      if (Text == "_")
+        return {Tok::Underscore, Text, Line};
+      return {Tok::Ident, Text, Line};
+    }
+    auto Two = [&](char A, char B) {
+      return C == A && Pos + 1 < Src.size() && Src[Pos + 1] == B;
+    };
+    if (Two(':', '=')) {
+      Pos += 2;
+      return {Tok::Assign, ":=", Line};
+    }
+    if (Two('=', '>')) {
+      Pos += 2;
+      return {Tok::Arrow, "=>", Line};
+    }
+    if (Two('=', '=')) {
+      Pos += 2;
+      return {Tok::EqEq, "==", Line};
+    }
+    if (Two('!', '=')) {
+      Pos += 2;
+      return {Tok::NotEq, "!=", Line};
+    }
+    if (Two('<', '=')) {
+      Pos += 2;
+      return {Tok::Le, "<=", Line};
+    }
+    if (Two('>', '=')) {
+      Pos += 2;
+      return {Tok::Ge, ">=", Line};
+    }
+    ++Pos;
+    switch (C) {
+    case '(':
+      return {Tok::LParen, "(", Line};
+    case ')':
+      return {Tok::RParen, ")", Line};
+    case ',':
+      return {Tok::Comma, ",", Line};
+    case ';':
+      return {Tok::Semi, ";", Line};
+    case '|':
+      return {Tok::Pipe, "|", Line};
+    case '+':
+      return {Tok::Plus, "+", Line};
+    case '-':
+      return {Tok::Minus, "-", Line};
+    case '*':
+      return {Tok::Star, "*", Line};
+    case '/':
+      return {Tok::Slash, "/", Line};
+    case '%':
+      return {Tok::Percent, "%", Line};
+    case '<':
+      return {Tok::Lt, "<", Line};
+    case '>':
+      return {Tok::Gt, ">", Line};
+    default:
+      return {Tok::Error, std::string(1, C), Line};
+    }
+  }
+
+private:
+  void skip() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '-' && Pos + 1 < Src.size() && Src[Pos + 1] == '-') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view Src;
+  size_t Pos = 0;
+  int Line = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Surface AST
+//===----------------------------------------------------------------------===//
+
+struct SExpr;
+using SExprPtr = std::unique_ptr<SExpr>;
+
+struct SPattern {
+  enum class Kind { Wildcard, Var, Ctor, IntLit };
+  Kind K = Kind::Wildcard;
+  std::string Name;               // Var name / Ctor name
+  BigInt Lit;                     // IntLit
+  std::vector<SPattern> Subs;     // Ctor subpatterns
+  int Line = 0;
+};
+
+struct SMatchArm {
+  std::vector<SPattern> Pats; // one per scrutinee
+  SExprPtr Rhs;
+};
+
+struct SExpr {
+  enum class Kind { Int, Var, App, Let, Match, If, Fun };
+  Kind K;
+  int Line = 0;
+  BigInt Lit;                    // Int
+  std::string Name;              // Var / Let binder
+  SExprPtr Head;                 // App head (null when Name used) / Let value
+  std::vector<SExprPtr> Args;    // App args / Match scrutinees / If (c,t,e)
+  SExprPtr Body;                 // Let body / Fun body
+  std::vector<SMatchArm> Arms;   // Match
+  std::vector<std::string> Params; // Fun parameters
+};
+
+SExprPtr makeSExpr(SExpr::Kind K, int Line) {
+  auto E = std::make_unique<SExpr>();
+  E->K = K;
+  E->Line = Line;
+  return E;
+}
+
+struct SCtorInfo {
+  std::string Inductive;
+  int64_t Tag;
+  unsigned Arity;
+};
+
+struct SDef {
+  std::string Name;
+  std::vector<std::string> Params;
+  SExprPtr Body;
+  int Line;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  Parser(std::string_view Src, std::string &Err) : Lex(Src), Err(Err) {
+    advance();
+  }
+
+  bool parseProgram(std::vector<SDef> &Defs,
+                    std::map<std::string, SCtorInfo> &Ctors,
+                    std::map<std::string, unsigned> &InductiveSizes) {
+    while (Cur.K != Tok::Eof) {
+      if (Cur.K == Tok::KwInductive) {
+        if (!parseInductive(Ctors, InductiveSizes))
+          return false;
+      } else if (Cur.K == Tok::KwDef) {
+        if (!parseDef(Defs))
+          return false;
+      } else {
+        return error("expected 'def' or 'inductive'");
+      }
+    }
+    return true;
+  }
+
+private:
+  void advance() { Cur = Lex.next(); }
+
+  bool error(const std::string &Message) {
+    if (Err.empty())
+      Err = "line " + std::to_string(Cur.Line) + ": " + Message;
+    return false;
+  }
+
+  bool expect(Tok K, const char *What) {
+    if (Cur.K != K)
+      return error(std::string("expected ") + What + ", got '" + Cur.Text +
+                   "'");
+    advance();
+    return true;
+  }
+
+  bool parseInductive(std::map<std::string, SCtorInfo> &Ctors,
+                      std::map<std::string, unsigned> &InductiveSizes) {
+    advance(); // 'inductive'
+    if (Cur.K != Tok::Ident)
+      return error("expected inductive name");
+    std::string TypeName = Cur.Text;
+    advance();
+    if (!expect(Tok::Assign, "':='"))
+      return false;
+    int64_t Tag = 0;
+    while (Cur.K == Tok::Pipe) {
+      advance();
+      if (Cur.K != Tok::Ident)
+        return error("expected constructor name");
+      std::string CtorName = Cur.Text;
+      advance();
+      unsigned Arity = 0;
+      while (Cur.K == Tok::Ident || Cur.K == Tok::Underscore) {
+        ++Arity;
+        advance();
+      }
+      if (Ctors.count(CtorName))
+        return error("constructor '" + CtorName + "' redeclared");
+      Ctors[CtorName] = {TypeName, Tag++, Arity};
+    }
+    if (Tag == 0)
+      return error("inductive '" + TypeName + "' has no constructors");
+    InductiveSizes[TypeName] = static_cast<unsigned>(Tag);
+    return true;
+  }
+
+  bool parseDef(std::vector<SDef> &Defs) {
+    int Line = Cur.Line;
+    advance(); // 'def'
+    if (Cur.K != Tok::Ident)
+      return error("expected function name");
+    SDef D;
+    D.Name = Cur.Text;
+    D.Line = Line;
+    advance();
+    while (Cur.K == Tok::Ident) {
+      D.Params.push_back(Cur.Text);
+      advance();
+    }
+    if (!expect(Tok::Assign, "':='"))
+      return false;
+    D.Body = parseExpr();
+    if (!D.Body)
+      return false;
+    Defs.push_back(std::move(D));
+    return true;
+  }
+
+  SExprPtr parseExpr() {
+    if (Cur.K == Tok::KwLet) {
+      int Line = Cur.Line;
+      advance();
+      if (Cur.K != Tok::Ident) {
+        error("expected binder after 'let'");
+        return nullptr;
+      }
+      auto E = makeSExpr(SExpr::Kind::Let, Line);
+      E->Name = Cur.Text;
+      advance();
+      if (!expect(Tok::Assign, "':='"))
+        return nullptr;
+      E->Head = parseExpr();
+      if (!E->Head)
+        return nullptr;
+      if (!expect(Tok::Semi, "';'"))
+        return nullptr;
+      E->Body = parseExpr();
+      if (!E->Body)
+        return nullptr;
+      return E;
+    }
+    if (Cur.K == Tok::KwIf) {
+      int Line = Cur.Line;
+      advance();
+      auto E = makeSExpr(SExpr::Kind::If, Line);
+      SExprPtr C = parseExpr();
+      if (!C)
+        return nullptr;
+      if (!expect(Tok::KwThen, "'then'"))
+        return nullptr;
+      SExprPtr T = parseExpr();
+      if (!T)
+        return nullptr;
+      if (!expect(Tok::KwElse, "'else'"))
+        return nullptr;
+      SExprPtr F = parseExpr();
+      if (!F)
+        return nullptr;
+      E->Args.push_back(std::move(C));
+      E->Args.push_back(std::move(T));
+      E->Args.push_back(std::move(F));
+      return E;
+    }
+    if (Cur.K == Tok::KwMatch)
+      return parseMatch();
+    if (Cur.K == Tok::KwFun) {
+      int Line = Cur.Line;
+      advance();
+      auto E = makeSExpr(SExpr::Kind::Fun, Line);
+      while (Cur.K == Tok::Ident) {
+        E->Params.push_back(Cur.Text);
+        advance();
+      }
+      if (E->Params.empty()) {
+        error("'fun' needs at least one parameter");
+        return nullptr;
+      }
+      if (!expect(Tok::Arrow, "'=>'"))
+        return nullptr;
+      E->Body = parseExpr();
+      if (!E->Body)
+        return nullptr;
+      return E;
+    }
+    return parseCompare();
+  }
+
+  SExprPtr parseMatch() {
+    int Line = Cur.Line;
+    advance(); // 'match'
+    auto E = makeSExpr(SExpr::Kind::Match, Line);
+    while (true) {
+      SExprPtr S = parseCompare();
+      if (!S)
+        return nullptr;
+      E->Args.push_back(std::move(S));
+      if (Cur.K != Tok::Comma)
+        break;
+      advance();
+    }
+    if (!expect(Tok::KwWith, "'with'"))
+      return nullptr;
+    while (Cur.K == Tok::Pipe) {
+      advance();
+      SMatchArm Arm;
+      while (true) {
+        std::optional<SPattern> P = parsePattern(/*AllowArgs=*/true);
+        if (!P)
+          return nullptr;
+        Arm.Pats.push_back(std::move(*P));
+        if (Cur.K != Tok::Comma)
+          break;
+        advance();
+      }
+      if (Arm.Pats.size() != E->Args.size()) {
+        error("pattern arity does not match scrutinee count");
+        return nullptr;
+      }
+      if (!expect(Tok::Arrow, "'=>'"))
+        return nullptr;
+      Arm.Rhs = parseExpr();
+      if (!Arm.Rhs)
+        return nullptr;
+      E->Arms.push_back(std::move(Arm));
+    }
+    if (E->Arms.empty()) {
+      error("match with no arms");
+      return nullptr;
+    }
+    if (!expect(Tok::KwEnd, "'end'"))
+      return nullptr;
+    return E;
+  }
+
+  /// Pattern atom or (with \p AllowArgs) a constructor application.
+  std::optional<SPattern> parsePattern(bool AllowArgs) {
+    SPattern P;
+    P.Line = Cur.Line;
+    switch (Cur.K) {
+    case Tok::Underscore:
+      P.K = SPattern::Kind::Wildcard;
+      advance();
+      return P;
+    case Tok::Int:
+      P.K = SPattern::Kind::IntLit;
+      P.Lit = BigInt::fromString(Cur.Text);
+      advance();
+      return P;
+    case Tok::LParen: {
+      advance();
+      std::optional<SPattern> Inner = parsePattern(/*AllowArgs=*/true);
+      if (!Inner)
+        return std::nullopt;
+      if (!expect(Tok::RParen, "')'"))
+        return std::nullopt;
+      return Inner;
+    }
+    case Tok::Ident: {
+      P.Name = Cur.Text;
+      advance();
+      // Whether this is a variable or constructor is resolved during
+      // elaboration (the parser has no ctor table). Collect argument
+      // atoms greedily when allowed; a bare lower-case name with no args
+      // may still be a nullary constructor.
+      P.K = SPattern::Kind::Ctor; // provisional; resolver may turn to Var
+      if (AllowArgs) {
+        while (Cur.K == Tok::Underscore || Cur.K == Tok::Int ||
+               Cur.K == Tok::LParen || Cur.K == Tok::Ident) {
+          std::optional<SPattern> Sub = parsePattern(/*AllowArgs=*/false);
+          if (!Sub)
+            return std::nullopt;
+          P.Subs.push_back(std::move(*Sub));
+        }
+      }
+      return P;
+    }
+    default:
+      error("expected pattern");
+      return std::nullopt;
+    }
+  }
+
+  SExprPtr parseCompare() {
+    SExprPtr L = parseAdd();
+    if (!L)
+      return nullptr;
+    Tok K = Cur.K;
+    if (K != Tok::EqEq && K != Tok::NotEq && K != Tok::Lt && K != Tok::Le &&
+        K != Tok::Gt && K != Tok::Ge)
+      return L;
+    int Line = Cur.Line;
+    advance();
+    SExprPtr R = parseAdd();
+    if (!R)
+      return nullptr;
+    return makeCmp(K, std::move(L), std::move(R), Line);
+  }
+
+  SExprPtr makeBuiltinApp(const std::string &Name, SExprPtr A, SExprPtr B,
+                          int Line) {
+    auto E = makeSExpr(SExpr::Kind::App, Line);
+    auto H = makeSExpr(SExpr::Kind::Var, Line);
+    H->Name = Name;
+    E->Head = std::move(H);
+    E->Args.push_back(std::move(A));
+    if (B)
+      E->Args.push_back(std::move(B));
+    return E;
+  }
+
+  SExprPtr makeCmp(Tok K, SExprPtr L, SExprPtr R, int Line) {
+    switch (K) {
+    case Tok::EqEq:
+      return makeBuiltinApp("lean_nat_dec_eq", std::move(L), std::move(R),
+                            Line);
+    case Tok::Lt:
+      return makeBuiltinApp("lean_nat_dec_lt", std::move(L), std::move(R),
+                            Line);
+    case Tok::Le:
+      return makeBuiltinApp("lean_nat_dec_le", std::move(L), std::move(R),
+                            Line);
+    case Tok::Gt: // a > b  ==  b < a
+      return makeBuiltinApp("lean_nat_dec_lt", std::move(R), std::move(L),
+                            Line);
+    case Tok::Ge: // a >= b  ==  b <= a
+      return makeBuiltinApp("lean_nat_dec_le", std::move(R), std::move(L),
+                            Line);
+    case Tok::NotEq: {
+      // a != b  ==  1 - (a == b)
+      SExprPtr Eq = makeBuiltinApp("lean_nat_dec_eq", std::move(L),
+                                   std::move(R), Line);
+      auto One = makeSExpr(SExpr::Kind::Int, Line);
+      One->Lit = BigInt(1);
+      return makeBuiltinApp("lean_int_sub", std::move(One), std::move(Eq),
+                            Line);
+    }
+    default:
+      return nullptr;
+    }
+  }
+
+  SExprPtr parseAdd() {
+    SExprPtr L = parseMul();
+    if (!L)
+      return nullptr;
+    while (Cur.K == Tok::Plus || Cur.K == Tok::Minus) {
+      Tok K = Cur.K;
+      int Line = Cur.Line;
+      advance();
+      SExprPtr R = parseMul();
+      if (!R)
+        return nullptr;
+      L = makeBuiltinApp(K == Tok::Plus ? "lean_nat_add" : "lean_int_sub",
+                         std::move(L), std::move(R), Line);
+    }
+    return L;
+  }
+
+  SExprPtr parseMul() {
+    SExprPtr L = parseApp();
+    if (!L)
+      return nullptr;
+    while (Cur.K == Tok::Star || Cur.K == Tok::Slash ||
+           Cur.K == Tok::Percent) {
+      Tok K = Cur.K;
+      int Line = Cur.Line;
+      advance();
+      SExprPtr R = parseApp();
+      if (!R)
+        return nullptr;
+      const char *Name = K == Tok::Star    ? "lean_nat_mul"
+                         : K == Tok::Slash ? "lean_nat_div"
+                                           : "lean_nat_mod";
+      L = makeBuiltinApp(Name, std::move(L), std::move(R), Line);
+    }
+    return L;
+  }
+
+  SExprPtr parseApp() {
+    SExprPtr Head = parseAtom();
+    if (!Head)
+      return nullptr;
+    std::vector<SExprPtr> Args;
+    while (Cur.K == Tok::Int || Cur.K == Tok::Ident ||
+           Cur.K == Tok::LParen) {
+      SExprPtr A = parseAtom();
+      if (!A)
+        return nullptr;
+      Args.push_back(std::move(A));
+    }
+    if (Args.empty())
+      return Head;
+    auto E = makeSExpr(SExpr::Kind::App, Head->Line);
+    E->Head = std::move(Head);
+    E->Args = std::move(Args);
+    return E;
+  }
+
+  SExprPtr parseAtom() {
+    switch (Cur.K) {
+    case Tok::Int: {
+      auto E = makeSExpr(SExpr::Kind::Int, Cur.Line);
+      E->Lit = BigInt::fromString(Cur.Text);
+      advance();
+      return E;
+    }
+    case Tok::Ident: {
+      auto E = makeSExpr(SExpr::Kind::Var, Cur.Line);
+      E->Name = Cur.Text;
+      advance();
+      return E;
+    }
+    case Tok::LParen: {
+      advance();
+      SExprPtr E = parseExpr();
+      if (!E)
+        return nullptr;
+      if (!expect(Tok::RParen, "')'"))
+        return nullptr;
+      return E;
+    }
+    default:
+      error("expected expression, got '" + Cur.Text + "'");
+      return nullptr;
+    }
+  }
+
+  Lexer Lex;
+  Token Cur;
+  std::string &Err;
+};
+
+//===----------------------------------------------------------------------===//
+// Elaborator: surface AST -> λpure ANF
+//===----------------------------------------------------------------------===//
+
+/// Surface-name to runtime-builtin aliases.
+const std::pair<const char *, const char *> BuiltinAliases[] = {
+    {"println", "lean_io_println"},   {"arrayMk", "lean_mk_array"},
+    {"arrayGet", "lean_array_get"},   {"arraySet", "lean_array_set"},
+    {"arrayPush", "lean_array_push"}, {"arraySize", "lean_array_size"},
+    {"natSub", "lean_nat_sub"},       {"natDiv", "lean_nat_div"},
+    {"natMod", "lean_nat_mod"},       {"intNeg", "lean_int_neg"},
+    {"intDiv", "lean_int_div"},       {"intMod", "lean_int_mod"},
+    {"intMul", "lean_int_mul"},       {"intAdd", "lean_int_add"},
+};
+
+/// Deep copy of a surface expression (for lambda lifting).
+SExprPtr cloneSExpr(const SExpr &E) {
+  auto C = makeSExpr(E.K, E.Line);
+  C->Lit = E.Lit;
+  C->Name = E.Name;
+  C->Params = E.Params;
+  if (E.Head)
+    C->Head = cloneSExpr(*E.Head);
+  if (E.Body)
+    C->Body = cloneSExpr(*E.Body);
+  for (const SExprPtr &A : E.Args)
+    C->Args.push_back(cloneSExpr(*A));
+  for (const SMatchArm &Arm : E.Arms) {
+    SMatchArm NA;
+    NA.Pats = Arm.Pats;
+    NA.Rhs = cloneSExpr(*Arm.Rhs);
+    C->Arms.push_back(std::move(NA));
+  }
+  return C;
+}
+
+class Elaborator {
+public:
+  Elaborator(const std::map<std::string, SCtorInfo> &Ctors,
+             const std::map<std::string, unsigned> &InductiveSizes,
+             std::map<std::string, unsigned> &FnArity,
+             std::vector<SDef> &PendingDefs, std::string &Err)
+      : Ctors(Ctors), InductiveSizes(InductiveSizes), FnArity(FnArity),
+        PendingDefs(PendingDefs), Err(Err) {}
+
+  bool elaborate(const SDef &D, Function &Out) {
+    NextVar = 0;
+    NextJoin = 0;
+    Scopes.clear();
+    Scopes.emplace_back();
+    Out.Name = D.Name;
+    for (const std::string &P : D.Params) {
+      VarId V = NextVar++;
+      Out.Params.push_back(V);
+      Scopes.back()[P] = V;
+    }
+    FnBodyPtr Body =
+        lower(*D.Body, [&](VarId V) { return makeRet(V); });
+    // Errors can surface either as a null body or — when an inner
+    // continuation failed — as a recorded message with a partial tree.
+    if (!Body || !Err.empty())
+      return false;
+    Out.Body = std::move(Body);
+    Out.NumVars = NextVar;
+    Out.NumJoins = NextJoin;
+    return true;
+  }
+
+private:
+  using Cont = std::function<FnBodyPtr(VarId)>;
+
+  bool error(int Line, const std::string &Message) {
+    if (Err.empty())
+      Err = "line " + std::to_string(Line) + ": " + Message;
+    return false;
+  }
+
+  VarId fresh() { return NextVar++; }
+
+  VarId *resolveLocal(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+
+  static Expr litExpr(const BigInt &Value) {
+    Expr E;
+    if (Value.fitsInt64() && Value.getInt64() >= rtMinSmall &&
+        Value.getInt64() <= rtMaxSmall) {
+      E.K = Expr::Kind::Lit;
+      E.Tag = Value.getInt64();
+    } else {
+      E.K = Expr::Kind::BigLit;
+      E.Big = Value;
+    }
+    return E;
+  }
+
+  // Mirrors runtime scalar bounds without including the runtime header.
+  static constexpr int64_t rtMinSmall = -(1LL << 62);
+  static constexpr int64_t rtMaxSmall = (1LL << 62) - 1;
+
+  //===------------------------------------------------------------------===//
+  // Expression lowering (continuation style)
+  //===------------------------------------------------------------------===//
+
+  FnBodyPtr lower(const SExpr &E, Cont K) {
+    switch (E.K) {
+    case SExpr::Kind::Int: {
+      VarId V = fresh();
+      return makeLet(V, litExpr(E.Lit), K(V));
+    }
+    case SExpr::Kind::Var:
+      return lowerName(E, {}, std::move(K));
+    case SExpr::Kind::Let: {
+      const SExpr &Val = *E.Head;
+      const SExpr &Body = *E.Body;
+      return lower(Val, [&](VarId V) {
+        Scopes.emplace_back();
+        Scopes.back()[E.Name] = V;
+        FnBodyPtr B = lower(Body, K);
+        Scopes.pop_back();
+        return B;
+      });
+    }
+    case SExpr::Kind::App: {
+      // Evaluate the head if it is not a plain name.
+      if (E.Head->K == SExpr::Kind::Var)
+        return lowerName(*E.Head, E.Args, std::move(K));
+      return lower(*E.Head, [&](VarId H) {
+        return lowerArgs(E.Args, 0, {}, [&, H](std::vector<VarId> ArgIds) {
+          Expr AppE;
+          AppE.K = Expr::Kind::VAp;
+          AppE.Args.push_back(H);
+          AppE.Args.insert(AppE.Args.end(), ArgIds.begin(), ArgIds.end());
+          VarId V = fresh();
+          return makeLet(V, std::move(AppE), K(V));
+        });
+      });
+    }
+    case SExpr::Kind::If: {
+      const SExpr &CondE = *E.Args[0];
+      const SExpr &ThenE = *E.Args[1];
+      const SExpr &ElseE = *E.Args[2];
+      return lower(CondE, [&](VarId C) {
+        return withJoinSink(std::move(K), [&](const Cont &Sink) {
+          // case c of 0 => else | default => then
+          std::vector<Alt> Alts;
+          Alt A0;
+          A0.Tag = 0;
+          A0.Body = lower(ElseE, Sink);
+          if (!A0.Body)
+            return FnBodyPtr();
+          Alts.push_back(std::move(A0));
+          FnBodyPtr Then = lower(ThenE, Sink);
+          if (!Then)
+            return FnBodyPtr();
+          return makeCase(C, std::move(Alts), std::move(Then));
+        });
+      });
+    }
+    case SExpr::Kind::Match:
+      return lowerMatch(E, std::move(K));
+    case SExpr::Kind::Fun:
+      return lowerFun(E, std::move(K));
+    }
+    return nullptr;
+  }
+
+  /// Lambda lifting (the process λrc's frontend performs before our IR
+  /// sees the program, Section III-D / Figure 7): hoist the body to a
+  /// fresh top-level function whose leading parameters are the captured
+  /// locals, and materialize the lambda as a partial application over
+  /// them — `fun x => e` becomes `lp.pap @_lambdaN(captured...)`.
+  FnBodyPtr lowerFun(const SExpr &E, Cont K) {
+    // Captured locals: free surface names of the body that resolve to
+    // variables in the current scope, minus the lambda's own parameters.
+    std::vector<std::string> Captured;
+    std::set<std::string> Seen(E.Params.begin(), E.Params.end());
+    collectCapturedNames(*E.Body, Seen, Captured);
+
+    std::string LiftedName = "_lambda" + std::to_string(NextLambda++);
+    SDef Lifted;
+    Lifted.Name = LiftedName;
+    Lifted.Line = E.Line;
+    Lifted.Params = Captured;
+    Lifted.Params.insert(Lifted.Params.end(), E.Params.begin(),
+                         E.Params.end());
+    Lifted.Body = cloneSExpr(*E.Body);
+    FnArity[LiftedName] = static_cast<unsigned>(Lifted.Params.size());
+    PendingDefs.push_back(std::move(Lifted));
+
+    Expr Pap;
+    Pap.K = Expr::Kind::PAp;
+    Pap.Callee = LiftedName;
+    for (const std::string &N : Captured) {
+      VarId *V = resolveLocal(N);
+      assert(V && "captured name does not resolve");
+      Pap.Args.push_back(*V);
+    }
+    VarId V = fresh();
+    return makeLet(V, std::move(Pap), K(V));
+  }
+
+  /// Collects free identifiers of \p E (in occurrence order) that resolve
+  /// to locals of the *enclosing* function scope; \p Bound tracks names
+  /// bound inside the lambda itself.
+  void collectCapturedNames(const SExpr &E, std::set<std::string> &Bound,
+                            std::vector<std::string> &Out) {
+    auto Consider = [&](const std::string &Name) {
+      if (Bound.count(Name) || !resolveLocal(Name))
+        return;
+      for (const std::string &Existing : Out)
+        if (Existing == Name)
+          return;
+      Out.push_back(Name);
+    };
+    switch (E.K) {
+    case SExpr::Kind::Int:
+      return;
+    case SExpr::Kind::Var:
+      Consider(E.Name);
+      return;
+    case SExpr::Kind::App:
+      collectCapturedNames(*E.Head, Bound, Out);
+      for (const SExprPtr &A : E.Args)
+        collectCapturedNames(*A, Bound, Out);
+      return;
+    case SExpr::Kind::Let: {
+      collectCapturedNames(*E.Head, Bound, Out);
+      bool Inserted = Bound.insert(E.Name).second;
+      collectCapturedNames(*E.Body, Bound, Out);
+      if (Inserted)
+        Bound.erase(E.Name);
+      return;
+    }
+    case SExpr::Kind::If:
+      for (const SExprPtr &A : E.Args)
+        collectCapturedNames(*A, Bound, Out);
+      return;
+    case SExpr::Kind::Match: {
+      for (const SExprPtr &S : E.Args)
+        collectCapturedNames(*S, Bound, Out);
+      for (const SMatchArm &Arm : E.Arms) {
+        std::vector<std::string> ArmVars;
+        for (SPattern P : Arm.Pats) { // copy: resolve without mutating
+          resolvePattern(P);
+          collectPatternVars(P, ArmVars);
+        }
+        std::vector<std::string> NewlyBound;
+        for (const std::string &N : ArmVars)
+          if (Bound.insert(N).second)
+            NewlyBound.push_back(N);
+        collectCapturedNames(*Arm.Rhs, Bound, Out);
+        for (const std::string &N : NewlyBound)
+          Bound.erase(N);
+      }
+      return;
+    }
+    case SExpr::Kind::Fun: {
+      std::vector<std::string> NewlyBound;
+      for (const std::string &N : E.Params)
+        if (Bound.insert(N).second)
+          NewlyBound.push_back(N);
+      collectCapturedNames(*E.Body, Bound, Out);
+      for (const std::string &N : NewlyBound)
+        Bound.erase(N);
+      return;
+    }
+    }
+  }
+
+  /// Wraps \p K in a join point when the construct has multiple exits, so
+  /// each exit jumps instead of duplicating the continuation.
+  FnBodyPtr withJoinSink(Cont K,
+                         const std::function<FnBodyPtr(const Cont &)> &Gen) {
+    JoinId J = NextJoin++;
+    VarId Param = fresh();
+    Cont Sink = [J](VarId V) { return makeJmp(J, {V}); };
+    FnBodyPtr Body = Gen(Sink);
+    if (!Body)
+      return nullptr;
+    return makeJDecl(J, {Param}, K(Param), std::move(Body));
+  }
+
+  /// Lowers a chain of argument expressions, then calls \p Done.
+  FnBodyPtr lowerArgs(const std::vector<SExprPtr> &Args, size_t Index,
+                      std::vector<VarId> Acc,
+                      const std::function<FnBodyPtr(std::vector<VarId>)> &Done) {
+    if (Index == Args.size())
+      return Done(std::move(Acc));
+    return lower(*Args[Index], [&](VarId V) {
+      std::vector<VarId> NextAcc = Acc;
+      NextAcc.push_back(V);
+      return lowerArgs(Args, Index + 1, std::move(NextAcc), Done);
+    });
+  }
+
+  /// Lowers an application (or bare reference) of a *named* head.
+  FnBodyPtr lowerName(const SExpr &Head, const std::vector<SExprPtr> &Args,
+                      Cont K) {
+    const std::string &Name = Head.Name;
+    int Line = Head.Line;
+
+    // Local variable.
+    if (VarId *Local = resolveLocal(Name)) {
+      VarId H = *Local;
+      if (Args.empty())
+        return K(H);
+      return lowerArgs(Args, 0, {}, [&](std::vector<VarId> ArgIds) {
+        Expr E;
+        E.K = Expr::Kind::VAp;
+        E.Args.push_back(H);
+        E.Args.insert(E.Args.end(), ArgIds.begin(), ArgIds.end());
+        VarId V = fresh();
+        return makeLet(V, std::move(E), K(V));
+      });
+    }
+
+    // Constructor.
+    auto CtorIt = Ctors.find(Name);
+    if (CtorIt != Ctors.end()) {
+      const SCtorInfo &Info = CtorIt->second;
+      if (Args.size() != Info.Arity) {
+        error(Line, "constructor '" + Name + "' expects " +
+                        std::to_string(Info.Arity) + " arguments");
+        return nullptr;
+      }
+      if (Info.Arity == 0) {
+        // Nullary constructors are erased to scalar tags (as in LEAN).
+        VarId V = fresh();
+        return makeLet(V, litExpr(BigInt(Info.Tag)), K(V));
+      }
+      return lowerArgs(Args, 0, {}, [&](std::vector<VarId> ArgIds) {
+        Expr E;
+        E.K = Expr::Kind::Ctor;
+        E.Tag = Info.Tag;
+        E.Args = std::move(ArgIds);
+        VarId V = fresh();
+        return makeLet(V, std::move(E), K(V));
+      });
+    }
+
+    // Runtime builtin (surface alias or direct lean_* name).
+    std::string Builtin;
+    for (auto [Alias, Target] : BuiltinAliases)
+      if (Name == Alias)
+        Builtin = Target;
+    if (Builtin.empty() && isRuntimeBuiltin(Name))
+      Builtin = Name;
+    if (!Builtin.empty()) {
+      unsigned Arity = runtimeBuiltinArity(Builtin);
+      if (Args.size() != Arity) {
+        error(Line, "builtin '" + Name + "' expects " +
+                        std::to_string(Arity) + " arguments");
+        return nullptr;
+      }
+      return lowerArgs(Args, 0, {}, [&](std::vector<VarId> ArgIds) {
+        Expr E;
+        E.K = Expr::Kind::FAp;
+        E.Callee = Builtin;
+        E.Args = std::move(ArgIds);
+        VarId V = fresh();
+        return makeLet(V, std::move(E), K(V));
+      });
+    }
+
+    // User function.
+    auto FnIt = FnArity.find(Name);
+    if (FnIt == FnArity.end()) {
+      error(Line, "unknown identifier '" + Name + "'");
+      return nullptr;
+    }
+    unsigned Arity = FnIt->second;
+    return lowerArgs(Args, 0, {}, [&](std::vector<VarId> ArgIds) {
+      if (ArgIds.size() < Arity) {
+        // Partial application builds a closure (lp.pap).
+        Expr E;
+        E.K = Expr::Kind::PAp;
+        E.Callee = Name;
+        E.Args = std::move(ArgIds);
+        VarId V = fresh();
+        return makeLet(V, std::move(E), K(V));
+      }
+      // Saturated call, possibly with surplus arguments applied to the
+      // returned closure.
+      std::vector<VarId> CallArgs(ArgIds.begin(), ArgIds.begin() + Arity);
+      Expr E;
+      E.K = Expr::Kind::FAp;
+      E.Callee = Name;
+      E.Args = std::move(CallArgs);
+      VarId V = fresh();
+      if (ArgIds.size() == Arity)
+        return makeLet(V, std::move(E), K(V));
+      Expr Over;
+      Over.K = Expr::Kind::VAp;
+      Over.Args.push_back(V);
+      Over.Args.insert(Over.Args.end(), ArgIds.begin() + Arity,
+                       ArgIds.end());
+      VarId V2 = fresh();
+      return makeLet(V, std::move(E),
+                     makeLet(V2, std::move(Over), K(V2)));
+    });
+  }
+
+  //===------------------------------------------------------------------===//
+  // Match compilation (Maranget-style matrix, join point per arm)
+  //===------------------------------------------------------------------===//
+
+  struct Row {
+    std::vector<SPattern> Pats;   // one per live occurrence
+    size_t ArmIndex;
+    std::map<std::string, VarId> Binds;
+  };
+
+  FnBodyPtr lowerMatch(const SExpr &E, Cont K) {
+    return lowerArgs(E.Args, 0, {}, [&](std::vector<VarId> Occs) {
+      return withJoinSink(std::move(K), [&](const Cont &Sink) {
+        return compileArms(E, Occs, Sink);
+      });
+    });
+  }
+
+  /// Creates one join point per arm (the paper's Figure 5 deduplication),
+  /// then compiles the pattern matrix whose leaves jump to them.
+  FnBodyPtr compileArms(const SExpr &E, const std::vector<VarId> &Occs,
+                        const Cont &Sink) {
+    struct ArmInfo {
+      JoinId Join;
+      std::vector<std::string> VarNames; // parameter order
+    };
+    std::vector<ArmInfo> Arms;
+    std::vector<FnBodyPtr> ArmBodies;
+    std::vector<std::vector<VarId>> ArmParams;
+
+    for (const SMatchArm &Arm : E.Arms) {
+      ArmInfo Info;
+      Info.Join = NextJoin++;
+      // Resolve provisional constructor/variable patterns up front so the
+      // right-hand side sees its pattern variables.
+      for (SPattern &P : const_cast<SMatchArm &>(Arm).Pats)
+        resolvePattern(P);
+      for (const SPattern &P : Arm.Pats)
+        collectPatternVars(P, Info.VarNames);
+      // Elaborate the right-hand side with parameters in scope.
+      Scopes.emplace_back();
+      std::vector<VarId> Params;
+      for (const std::string &N : Info.VarNames) {
+        VarId V = fresh();
+        Params.push_back(V);
+        Scopes.back()[N] = V;
+      }
+      FnBodyPtr Rhs = lower(*Arm.Rhs, Sink);
+      Scopes.pop_back();
+      if (!Rhs)
+        return nullptr;
+      ArmBodies.push_back(std::move(Rhs));
+      ArmParams.push_back(std::move(Params));
+      Arms.push_back(std::move(Info));
+    }
+
+    // Matrix rows.
+    std::vector<Row> Rows;
+    for (size_t I = 0; I != E.Arms.size(); ++I) {
+      Row R;
+      R.Pats = clonePatterns(E.Arms[I].Pats);
+      R.ArmIndex = I;
+      Rows.push_back(std::move(R));
+    }
+
+    std::vector<ArmInfo> &ArmsRef = Arms;
+    FnBodyPtr Tree = compileMatrix(Occs, std::move(Rows),
+                                   [&](size_t ArmIndex,
+                                       const std::map<std::string, VarId> &B)
+                                       -> FnBodyPtr {
+      std::vector<VarId> Args;
+      for (const std::string &N : ArmsRef[ArmIndex].VarNames) {
+        auto It = B.find(N);
+        assert(It != B.end() && "pattern variable not bound at leaf");
+        Args.push_back(It->second);
+      }
+      return makeJmp(ArmsRef[ArmIndex].Join, std::move(Args));
+    });
+    if (!Tree)
+      return nullptr;
+
+    // jdecl a_n ... jdecl a_0 ... tree (declared outermost-first so later
+    // arms can be jumped to from anywhere in the tree).
+    FnBodyPtr Result = std::move(Tree);
+    for (size_t I = Arms.size(); I-- > 0;) {
+      Result = makeJDecl(Arms[I].Join, std::move(ArmParams[I]),
+                         std::move(ArmBodies[I]), std::move(Result));
+    }
+    return Result;
+  }
+
+  static void collectPatternVars(const SPattern &P,
+                                 std::vector<std::string> &Out) {
+    if (P.K == SPattern::Kind::Var) {
+      Out.push_back(P.Name);
+      return;
+    }
+    if (P.K == SPattern::Kind::Ctor)
+      for (const SPattern &S : P.Subs)
+        collectPatternVars(S, Out);
+  }
+
+  static std::vector<SPattern> clonePatterns(const std::vector<SPattern> &Ps) {
+    return Ps; // SPattern is value-copyable
+  }
+
+  /// Resolves provisional Ctor patterns: names that are not declared
+  /// constructors become variables.
+  void resolvePattern(SPattern &P) {
+    if (P.K != SPattern::Kind::Ctor)
+      return;
+    if (!Ctors.count(P.Name)) {
+      assert(P.Subs.empty() && "application of non-constructor in pattern");
+      P.K = SPattern::Kind::Var;
+      return;
+    }
+    for (SPattern &S : P.Subs)
+      resolvePattern(S);
+  }
+
+  static bool isWildcardLike(const SPattern &P) {
+    return P.K == SPattern::Kind::Wildcard || P.K == SPattern::Kind::Var;
+  }
+
+  using LeafFn =
+      std::function<FnBodyPtr(size_t, const std::map<std::string, VarId> &)>;
+
+  FnBodyPtr compileMatrix(std::vector<VarId> Occs, std::vector<Row> Rows,
+                          const LeafFn &Leaf) {
+    if (Rows.empty())
+      return makeUnreachable();
+
+    for (Row &R : Rows)
+      for (SPattern &P : R.Pats)
+        resolvePattern(P);
+
+    // First row irrefutable -> bind its variables and jump to its arm.
+    Row &First = Rows.front();
+    bool AllWild = true;
+    for (const SPattern &P : First.Pats)
+      AllWild &= isWildcardLike(P);
+    if (AllWild) {
+      for (size_t C = 0; C != First.Pats.size(); ++C)
+        if (First.Pats[C].K == SPattern::Kind::Var)
+          First.Binds[First.Pats[C].Name] = Occs[C];
+      return Leaf(First.ArmIndex, First.Binds);
+    }
+
+    // Pick the leftmost column with a refutable pattern.
+    size_t Col = 0;
+    for (; Col != First.Pats.size(); ++Col)
+      if (!isWildcardLike(First.Pats[Col]))
+        break;
+    // (some row has a refutable pattern in Col — at least the first)
+
+    bool HasCtor = false, HasInt = false;
+    for (const Row &R : Rows) {
+      if (R.Pats[Col].K == SPattern::Kind::Ctor)
+        HasCtor = true;
+      if (R.Pats[Col].K == SPattern::Kind::IntLit)
+        HasInt = true;
+    }
+    if (HasCtor && HasInt) {
+      Err = "mixed integer and constructor patterns in one column";
+      return nullptr;
+    }
+    if (HasInt)
+      return compileIntColumn(std::move(Occs), std::move(Rows), Col, Leaf);
+    return compileCtorColumn(std::move(Occs), std::move(Rows), Col, Leaf);
+  }
+
+  FnBodyPtr compileCtorColumn(std::vector<VarId> Occs, std::vector<Row> Rows,
+                              size_t Col, const LeafFn &Leaf) {
+    // Group rows by head constructor (declaration-tag order for output).
+    std::map<int64_t, const SCtorInfo *> Heads;
+    std::string Inductive;
+    for (const Row &R : Rows) {
+      if (R.Pats[Col].K != SPattern::Kind::Ctor)
+        continue;
+      const SCtorInfo &Info = Ctors.at(R.Pats[Col].Name);
+      Heads.emplace(Info.Tag, &Info);
+      Inductive = Info.Inductive;
+    }
+
+    VarId Scrut = Occs[Col];
+    std::vector<Alt> Alts;
+    for (auto &[Tag, Info] : Heads) {
+      // Fresh variables for the constructor fields.
+      std::vector<VarId> Fields;
+      for (unsigned I = 0; I != Info->Arity; ++I)
+        Fields.push_back(fresh());
+
+      // Specialized occurrence vector.
+      std::vector<VarId> SubOccs;
+      for (size_t C = 0; C != Occs.size(); ++C) {
+        if (C == Col)
+          SubOccs.insert(SubOccs.end(), Fields.begin(), Fields.end());
+        else
+          SubOccs.push_back(Occs[C]);
+      }
+
+      // Specialized rows.
+      std::vector<Row> SubRows;
+      for (const Row &R : Rows) {
+        const SPattern &P = R.Pats[Col];
+        Row NR;
+        NR.ArmIndex = R.ArmIndex;
+        NR.Binds = R.Binds;
+        if (P.K == SPattern::Kind::Ctor) {
+          if (Ctors.at(P.Name).Tag != Tag)
+            continue;
+          for (size_t C = 0; C != R.Pats.size(); ++C) {
+            if (C == Col)
+              NR.Pats.insert(NR.Pats.end(), P.Subs.begin(), P.Subs.end());
+            else
+              NR.Pats.push_back(R.Pats[C]);
+          }
+        } else { // wildcard-like row participates in every group
+          if (P.K == SPattern::Kind::Var)
+            NR.Binds[P.Name] = Scrut;
+          for (size_t C = 0; C != R.Pats.size(); ++C) {
+            if (C == Col) {
+              for (unsigned I = 0; I != Info->Arity; ++I)
+                NR.Pats.push_back(SPattern());
+            } else {
+              NR.Pats.push_back(R.Pats[C]);
+            }
+          }
+        }
+        SubRows.push_back(std::move(NR));
+      }
+
+      FnBodyPtr SubTree = compileMatrix(SubOccs, std::move(SubRows), Leaf);
+      if (!SubTree)
+        return nullptr;
+      // Prefix with the field projections.
+      for (size_t I = Fields.size(); I-- > 0;) {
+        Expr Proj;
+        Proj.K = Expr::Kind::Proj;
+        Proj.Tag = static_cast<int64_t>(I);
+        Proj.Args.push_back(Scrut);
+        SubTree = makeLet(Fields[I], std::move(Proj), std::move(SubTree));
+      }
+      Alt A;
+      A.Tag = Tag;
+      A.Body = std::move(SubTree);
+      Alts.push_back(std::move(A));
+    }
+
+    // Default: rows with wildcard-like patterns in this column.
+    FnBodyPtr Default;
+    bool Exhaustive =
+        !Inductive.empty() && Heads.size() == InductiveSizes.at(Inductive);
+    std::vector<Row> DefaultRows;
+    for (const Row &R : Rows) {
+      const SPattern &P = R.Pats[Col];
+      if (!isWildcardLike(P))
+        continue;
+      Row NR;
+      NR.ArmIndex = R.ArmIndex;
+      NR.Binds = R.Binds;
+      if (P.K == SPattern::Kind::Var)
+        NR.Binds[P.Name] = Scrut;
+      for (size_t C = 0; C != R.Pats.size(); ++C)
+        if (C != Col)
+          NR.Pats.push_back(R.Pats[C]);
+      DefaultRows.push_back(std::move(NR));
+    }
+    if (!Exhaustive || !DefaultRows.empty()) {
+      std::vector<VarId> DefOccs;
+      for (size_t C = 0; C != Occs.size(); ++C)
+        if (C != Col)
+          DefOccs.push_back(Occs[C]);
+      Default = compileMatrix(std::move(DefOccs), std::move(DefaultRows),
+                              Leaf);
+      if (!Default)
+        return nullptr;
+    }
+    if (!Default) {
+      // Exhaustive over the inductive: the last alternative becomes the
+      // default arm (lp.switch always carries an @default region).
+      Default = std::move(Alts.back().Body);
+      Alts.pop_back();
+    }
+    return makeCase(Scrut, std::move(Alts), std::move(Default));
+  }
+
+  FnBodyPtr compileIntColumn(std::vector<VarId> Occs, std::vector<Row> Rows,
+                             size_t Col, const LeafFn &Leaf) {
+    // Staged integer matching (paper Figure 4): test literals one by one
+    // with @lean_nat_dec_eq, falling through to the remaining matrix.
+    const SPattern &P = Rows.front().Pats[Col];
+    if (isWildcardLike(P)) {
+      // First row is irrefutable in this column but refutable elsewhere;
+      // fall back to the generic splitter on another column by rotating:
+      // compileMatrix picks the first refutable column of row 0, which is
+      // not Col — so simply re-enter.
+      return compileMatrix(std::move(Occs), std::move(Rows), Leaf);
+    }
+    BigInt Lit = P.Lit;
+
+    // Specialized matrix: rows whose Col is Lit or wildcard-like.
+    std::vector<Row> EqRows;
+    std::vector<Row> RestRows;
+    VarId Scrut = Occs[Col];
+    for (const Row &R : Rows) {
+      const SPattern &RP = R.Pats[Col];
+      if (RP.K == SPattern::Kind::IntLit && RP.Lit == Lit) {
+        Row NR;
+        NR.ArmIndex = R.ArmIndex;
+        NR.Binds = R.Binds;
+        for (size_t C = 0; C != R.Pats.size(); ++C)
+          if (C != Col)
+            NR.Pats.push_back(R.Pats[C]);
+        EqRows.push_back(std::move(NR));
+      } else if (isWildcardLike(RP)) {
+        Row NR;
+        NR.ArmIndex = R.ArmIndex;
+        NR.Binds = R.Binds;
+        if (RP.K == SPattern::Kind::Var)
+          NR.Binds[RP.Name] = Scrut;
+        for (size_t C = 0; C != R.Pats.size(); ++C)
+          if (C != Col)
+            NR.Pats.push_back(R.Pats[C]);
+        EqRows.push_back(std::move(NR));
+        RestRows.push_back(R);
+      } else {
+        RestRows.push_back(R);
+      }
+    }
+
+    std::vector<VarId> EqOccs;
+    for (size_t C = 0; C != Occs.size(); ++C)
+      if (C != Col)
+        EqOccs.push_back(Occs[C]);
+
+    FnBodyPtr EqTree = compileMatrix(std::move(EqOccs), std::move(EqRows),
+                                     Leaf);
+    if (!EqTree)
+      return nullptr;
+    FnBodyPtr RestTree = compileMatrix(Occs, std::move(RestRows), Leaf);
+    if (!RestTree)
+      return nullptr;
+
+    VarId LitVar = fresh();
+    VarId TestVar = fresh();
+    Expr TestE;
+    TestE.K = Expr::Kind::FAp;
+    TestE.Callee = "lean_nat_dec_eq";
+    TestE.Args = {Scrut, LitVar};
+
+    std::vector<Alt> Alts;
+    Alt A0;
+    A0.Tag = 0; // not equal
+    A0.Body = std::move(RestTree);
+    Alts.push_back(std::move(A0));
+    FnBodyPtr CaseB =
+        makeCase(TestVar, std::move(Alts), std::move(EqTree));
+    return makeLet(LitVar, litExpr(Lit),
+                   makeLet(TestVar, std::move(TestE), std::move(CaseB)));
+  }
+
+  const std::map<std::string, SCtorInfo> &Ctors;
+  const std::map<std::string, unsigned> &InductiveSizes;
+  std::map<std::string, unsigned> &FnArity;
+  std::vector<SDef> &PendingDefs;
+  std::string &Err;
+
+  uint32_t NextVar = 0;
+  uint32_t NextJoin = 0;
+  uint32_t NextLambda = 0;
+  std::vector<std::map<std::string, VarId>> Scopes;
+};
+
+} // namespace
+
+LogicalResult lambda::parseMiniLean(std::string_view Source, Program &Out,
+                                    std::string &ErrorMessage) {
+  ErrorMessage.clear();
+  std::vector<SDef> Defs;
+  std::map<std::string, SCtorInfo> Ctors;
+  std::map<std::string, unsigned> InductiveSizes;
+  Parser P(Source, ErrorMessage);
+  if (!P.parseProgram(Defs, Ctors, InductiveSizes))
+    return failure();
+
+  std::map<std::string, unsigned> FnArity;
+  for (const SDef &D : Defs) {
+    if (FnArity.count(D.Name)) {
+      ErrorMessage = "function '" + D.Name + "' defined twice";
+      return failure();
+    }
+    FnArity[D.Name] = static_cast<unsigned>(D.Params.size());
+  }
+
+  // Lambda lifting appends fresh definitions while elaborating, so the
+  // worklist grows; lifted functions are elaborated like any other.
+  std::vector<SDef> Pending;
+  Elaborator E(Ctors, InductiveSizes, FnArity, Pending, ErrorMessage);
+  std::vector<SDef> Work = std::move(Defs);
+  for (size_t I = 0; I != Work.size(); ++I) {
+    Function F;
+    if (!E.elaborate(Work[I], F))
+      return failure();
+    Out.add(std::move(F));
+    for (SDef &L : Pending)
+      Work.push_back(std::move(L));
+    Pending.clear();
+  }
+  return success();
+}

@@ -1,0 +1,57 @@
+//===- MiniLean.h - a small strict functional surface language --*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniLean substitutes for the LEAN4 frontend (DESIGN.md): a strict,
+/// type-erased functional language with algebraic data types, nested
+/// pattern matching, let bindings, partial application and arbitrary
+/// precision integers, compiled to λpure ANF. The match compiler is
+/// matrix-based (Maranget style) and binds every right-hand side to a join
+/// point, reproducing the deduplication structure of the paper's Figure 5.
+///
+/// Syntax sketch:
+///
+///   inductive List := | Nil | Cons h t
+///
+///   def length xs :=
+///     match xs with
+///     | Nil => 0
+///     | Cons h t => 1 + length t
+///     end
+///
+///   def main := println (length (Cons 1 (Cons 2 Nil)))
+///
+/// Operators: + * / % (Nat-style, overflow to bignum), - (integer),
+/// == != < <= > >= (decidable comparisons producing 0/1 scalars),
+/// if/then/else, multi-scrutinee match `match a, b with | p, q => ...`,
+/// and anonymous functions `fun x y => e` (lambda-lifted to fresh
+/// top-level definitions over their captured locals, as LEAN's frontend
+/// does before λrc — Figure 7 of the paper).
+/// Builtins: println, arrayMk, arrayGet, arraySet, arrayPush, arraySize,
+/// natSub, natDiv, natMod, intNeg.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_LAMBDA_MINILEAN_H
+#define LZ_LAMBDA_MINILEAN_H
+
+#include "lambda/LambdaIR.h"
+#include "support/LogicalResult.h"
+
+#include <string>
+#include <string_view>
+
+namespace lz::lambda {
+
+/// Parses and elaborates \p Source into \p Out. On failure returns failure
+/// with a line-numbered message in \p ErrorMessage.
+LogicalResult parseMiniLean(std::string_view Source, Program &Out,
+                            std::string &ErrorMessage);
+
+} // namespace lz::lambda
+
+#endif // LZ_LAMBDA_MINILEAN_H

@@ -1,0 +1,442 @@
+//===- Simplify.cpp - the baseline λpure simplifier ---------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/Simplify.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+
+using namespace lz;
+using namespace lz::lambda;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Use counting
+//===----------------------------------------------------------------------===//
+
+void countVarUses(const FnBody &B, std::map<VarId, unsigned> &Counts) {
+  auto Use = [&](VarId V) { ++Counts[V]; };
+  switch (B.K) {
+  case FnBody::Kind::Let:
+    for (VarId A : B.E.Args)
+      Use(A);
+    countVarUses(*B.Next, Counts);
+    return;
+  case FnBody::Kind::JDecl:
+    countVarUses(*B.JBody, Counts);
+    countVarUses(*B.Next, Counts);
+    return;
+  case FnBody::Kind::Case:
+    Use(B.Var);
+    for (const Alt &A : B.Alts)
+      countVarUses(*A.Body, Counts);
+    if (B.Default)
+      countVarUses(*B.Default, Counts);
+    return;
+  case FnBody::Kind::Ret:
+    Use(B.Var);
+    return;
+  case FnBody::Kind::Jmp:
+    for (VarId A : B.Args)
+      Use(A);
+    return;
+  case FnBody::Kind::Inc:
+  case FnBody::Kind::Dec:
+    Use(B.Var);
+    countVarUses(*B.Next, Counts);
+    return;
+  case FnBody::Kind::Unreachable:
+    return;
+  }
+}
+
+unsigned countJmps(const FnBody &B, JoinId J) {
+  switch (B.K) {
+  case FnBody::Kind::Let:
+  case FnBody::Kind::Inc:
+  case FnBody::Kind::Dec:
+    return countJmps(*B.Next, J);
+  case FnBody::Kind::JDecl:
+    return countJmps(*B.JBody, J) + countJmps(*B.Next, J);
+  case FnBody::Kind::Case: {
+    unsigned N = 0;
+    for (const Alt &A : B.Alts)
+      N += countJmps(*A.Body, J);
+    if (B.Default)
+      N += countJmps(*B.Default, J);
+    return N;
+  }
+  case FnBody::Kind::Jmp:
+    return B.Join == J ? 1 : 0;
+  case FnBody::Kind::Ret:
+  case FnBody::Kind::Unreachable:
+    return 0;
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Freshening clone (for join inlining)
+//===----------------------------------------------------------------------===//
+
+FnBodyPtr freshenClone(const FnBody &B, std::map<VarId, VarId> &VarMap,
+                       std::map<JoinId, JoinId> &JoinMap, uint32_t &NextVar,
+                       uint32_t &NextJoin) {
+  auto MapUse = [&](VarId V) {
+    auto It = VarMap.find(V);
+    return It == VarMap.end() ? V : It->second;
+  };
+  auto MapDef = [&](VarId V) {
+    VarId N = NextVar++;
+    VarMap[V] = N;
+    return N;
+  };
+
+  auto R = std::make_unique<FnBody>();
+  R->K = B.K;
+  switch (B.K) {
+  case FnBody::Kind::Let: {
+    R->E = B.E;
+    for (VarId &A : R->E.Args)
+      A = MapUse(A);
+    R->Var = MapDef(B.Var);
+    R->Next = freshenClone(*B.Next, VarMap, JoinMap, NextVar, NextJoin);
+    return R;
+  }
+  case FnBody::Kind::JDecl: {
+    JoinId NJ = NextJoin++;
+    JoinMap[B.Join] = NJ;
+    R->Join = NJ;
+    for (VarId P : B.Params)
+      R->Params.push_back(MapDef(P));
+    R->JBody = freshenClone(*B.JBody, VarMap, JoinMap, NextVar, NextJoin);
+    R->Next = freshenClone(*B.Next, VarMap, JoinMap, NextVar, NextJoin);
+    return R;
+  }
+  case FnBody::Kind::Case:
+    R->Var = MapUse(B.Var);
+    for (const Alt &A : B.Alts) {
+      Alt NA;
+      NA.Tag = A.Tag;
+      NA.Body = freshenClone(*A.Body, VarMap, JoinMap, NextVar, NextJoin);
+      R->Alts.push_back(std::move(NA));
+    }
+    if (B.Default)
+      R->Default = freshenClone(*B.Default, VarMap, JoinMap, NextVar,
+                                NextJoin);
+    return R;
+  case FnBody::Kind::Ret:
+    R->Var = MapUse(B.Var);
+    return R;
+  case FnBody::Kind::Jmp: {
+    auto It = JoinMap.find(B.Join);
+    R->Join = It == JoinMap.end() ? B.Join : It->second;
+    for (VarId A : B.Args)
+      R->Args.push_back(MapUse(A));
+    return R;
+  }
+  case FnBody::Kind::Inc:
+  case FnBody::Kind::Dec:
+    R->Var = MapUse(B.Var);
+    R->Next = freshenClone(*B.Next, VarMap, JoinMap, NextVar, NextJoin);
+    return R;
+  case FnBody::Kind::Unreachable:
+    return R;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// The rewriter
+//===----------------------------------------------------------------------===//
+
+class Simplifier {
+public:
+  Simplifier(Function &F, const SimplifyOptions &Opts) : F(F), Opts(Opts) {}
+
+  bool run() {
+    bool Any = false;
+    for (unsigned Round = 0; Round != Opts.MaxRounds; ++Round) {
+      Changed = false;
+      Subst.clear();
+      KnownDefs.clear();
+      Joins.clear();
+      F.Body = rewrite(std::move(F.Body));
+      Any |= Changed;
+      if (!Changed)
+        break;
+    }
+    return Any;
+  }
+
+private:
+  VarId resolve(VarId V) const {
+    auto It = Subst.find(V);
+    while (It != Subst.end()) {
+      V = It->second;
+      It = Subst.find(V);
+    }
+    return V;
+  }
+
+  void resolveExprArgs(Expr &E) {
+    for (VarId &A : E.Args)
+      A = resolve(A);
+  }
+
+  const Expr *knownDef(VarId V) const {
+    auto It = KnownDefs.find(V);
+    return It == KnownDefs.end() ? nullptr : &It->second;
+  }
+
+  static bool isPureExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::Ctor:
+    case Expr::Kind::Proj:
+    case Expr::Kind::Lit:
+    case Expr::Kind::BigLit:
+    case Expr::Kind::Var:
+    case Expr::Kind::PAp:
+      return true;
+    case Expr::Kind::FAp:
+    case Expr::Kind::VAp:
+      return false;
+    }
+    return false;
+  }
+
+  /// Constant folds builtin arithmetic on literal operands.
+  bool tryConstFold(Expr &E) {
+    if (E.K != Expr::Kind::FAp || E.Args.size() != 2)
+      return false;
+    const Expr *L = knownDef(E.Args[0]);
+    const Expr *R = knownDef(E.Args[1]);
+    auto LitOf = [](const Expr *D) -> std::optional<BigInt> {
+      if (!D)
+        return std::nullopt;
+      if (D->K == Expr::Kind::Lit)
+        return BigInt(D->Tag);
+      if (D->K == Expr::Kind::BigLit)
+        return D->Big;
+      return std::nullopt;
+    };
+    std::optional<BigInt> LV = LitOf(L), RV = LitOf(R);
+    if (!LV || !RV)
+      return false;
+    BigInt Out;
+    const std::string &N = E.Callee;
+    if (N == "lean_nat_add" || N == "lean_int_add")
+      Out = *LV + *RV;
+    else if (N == "lean_int_sub")
+      Out = *LV - *RV;
+    else if (N == "lean_nat_sub") {
+      Out = *LV - *RV;
+      if (Out.isNegative())
+        Out = BigInt(0);
+    } else if (N == "lean_nat_mul" || N == "lean_int_mul")
+      Out = *LV * *RV;
+    else if (N == "lean_nat_div" || N == "lean_int_div")
+      Out = RV->isZero() ? BigInt(0) : *LV / *RV;
+    else if (N == "lean_nat_mod" || N == "lean_int_mod")
+      Out = RV->isZero() ? *LV : *LV % *RV;
+    else if (N == "lean_nat_dec_eq" || N == "lean_int_dec_eq")
+      Out = BigInt(*LV == *RV ? 1 : 0);
+    else if (N == "lean_nat_dec_lt" || N == "lean_int_dec_lt")
+      Out = BigInt(*LV < *RV ? 1 : 0);
+    else if (N == "lean_nat_dec_le" || N == "lean_int_dec_le")
+      Out = BigInt(*LV <= *RV ? 1 : 0);
+    else
+      return false;
+    Expr NewE;
+    if (Out.fitsInt64()) {
+      NewE.K = Expr::Kind::Lit;
+      NewE.Tag = Out.getInt64();
+    } else {
+      NewE.K = Expr::Kind::BigLit;
+      NewE.Big = Out;
+    }
+    E = std::move(NewE);
+    return true;
+  }
+
+  FnBodyPtr rewrite(FnBodyPtr B) {
+    switch (B->K) {
+    case FnBody::Kind::Let: {
+      resolveExprArgs(B->E);
+
+      // Copy propagation.
+      if (Opts.CopyProp && B->E.K == Expr::Kind::Var) {
+        Subst[B->Var] = B->E.Args[0];
+        Changed = true;
+        return rewrite(std::move(B->Next));
+      }
+      // Projection of a known constructor forwards the field.
+      if (Opts.CopyProp && B->E.K == Expr::Kind::Proj) {
+        if (const Expr *D = knownDef(B->E.Args[0])) {
+          if (D->K == Expr::Kind::Ctor) {
+            Subst[B->Var] = D->Args[static_cast<size_t>(B->E.Tag)];
+            Changed = true;
+            return rewrite(std::move(B->Next));
+          }
+        }
+      }
+      if (Opts.ConstFold && tryConstFold(B->E))
+        Changed = true;
+
+      if (B->E.K == Expr::Kind::Ctor || B->E.K == Expr::Kind::Lit ||
+          B->E.K == Expr::Kind::BigLit)
+        KnownDefs[B->Var] = B->E;
+
+      B->Next = rewrite(std::move(B->Next));
+
+      // Dead let elimination.
+      if (Opts.DeadLet && isPureExpr(B->E)) {
+        std::map<VarId, unsigned> Counts;
+        countVarUses(*B->Next, Counts);
+        if (Counts[B->Var] == 0) {
+          Changed = true;
+          return std::move(B->Next);
+        }
+      }
+      return B;
+    }
+
+    case FnBody::Kind::JDecl: {
+      B->JBody = rewrite(std::move(B->JBody));
+      // Register for potential inlining before rewriting the continuation,
+      // so Jmp sites seen below can splice the body in.
+      unsigned Uses = countJmps(*B->Next, B->Join);
+      bool Small = B->JBody->K == FnBody::Kind::Ret ||
+                   B->JBody->K == FnBody::Kind::Jmp ||
+                   B->JBody->K == FnBody::Kind::Unreachable;
+      bool Inline = Opts.InlineJoins && (Uses <= 1 || Small);
+      if (Inline)
+        Joins[B->Join] = {&B->Params, B->JBody.get()};
+      B->Next = rewrite(std::move(B->Next));
+      if (Inline)
+        Joins.erase(B->Join);
+
+      if (Opts.InlineJoins) {
+        unsigned RemainingUses = countJmps(*B->Next, B->Join);
+        if (RemainingUses == 0) {
+          Changed = true;
+          return std::move(B->Next);
+        }
+      }
+      return B;
+    }
+
+    case FnBody::Kind::Case: {
+      B->Var = resolve(B->Var);
+
+      // simp_case: case of a known constructor or literal.
+      if (Opts.SimpCase) {
+        if (const Expr *D = knownDef(B->Var)) {
+          int64_t Tag = -1;
+          bool Known = false;
+          if (D->K == Expr::Kind::Ctor || D->K == Expr::Kind::Lit) {
+            Tag = D->Tag;
+            Known = true;
+          }
+          if (Known) {
+            FnBodyPtr Chosen;
+            for (Alt &A : B->Alts)
+              if (A.Tag == Tag)
+                Chosen = std::move(A.Body);
+            if (!Chosen && B->Default)
+              Chosen = std::move(B->Default);
+            if (Chosen) {
+              Changed = true;
+              return rewrite(std::move(Chosen));
+            }
+          }
+        }
+      }
+
+      for (Alt &A : B->Alts)
+        A.Body = rewrite(std::move(A.Body));
+      if (B->Default)
+        B->Default = rewrite(std::move(B->Default));
+
+      // Common branch elimination: all arms identical.
+      if (Opts.CommonBranch && !B->Alts.empty()) {
+        bool AllSame = true;
+        for (const Alt &A : B->Alts)
+          AllSame &= bodiesEqual(*A.Body, *B->Alts.front().Body);
+        if (B->Default)
+          AllSame &= bodiesEqual(*B->Default, *B->Alts.front().Body);
+        if (AllSame) {
+          Changed = true;
+          return std::move(B->Alts.front().Body);
+        }
+      }
+      return B;
+    }
+
+    case FnBody::Kind::Ret:
+      B->Var = resolve(B->Var);
+      return B;
+
+    case FnBody::Kind::Jmp: {
+      for (VarId &A : B->Args)
+        A = resolve(A);
+      auto It = Joins.find(B->Join);
+      if (It == Joins.end())
+        return B;
+      // Inline the join body with parameters substituted by arguments.
+      const JoinDef &J = It->second;
+      std::map<VarId, VarId> VarMap;
+      std::map<JoinId, JoinId> JoinMap;
+      FnBodyPtr Clone =
+          freshenClone(*J.Body, VarMap, JoinMap, F.NumVars, F.NumJoins);
+      for (size_t I = 0; I != J.Params->size(); ++I) {
+        auto PIt = VarMap.find((*J.Params)[I]);
+        VarId ParamVar =
+            PIt == VarMap.end() ? (*J.Params)[I] : PIt->second;
+        Subst[ParamVar] = B->Args[I];
+      }
+      Changed = true;
+      return rewrite(std::move(Clone));
+    }
+
+    case FnBody::Kind::Inc:
+    case FnBody::Kind::Dec:
+      B->Var = resolve(B->Var);
+      B->Next = rewrite(std::move(B->Next));
+      return B;
+
+    case FnBody::Kind::Unreachable:
+      return B;
+    }
+    return B;
+  }
+
+  struct JoinDef {
+    const std::vector<VarId> *Params;
+    const FnBody *Body;
+  };
+
+  Function &F;
+  const SimplifyOptions &Opts;
+  bool Changed = false;
+  std::map<VarId, VarId> Subst;
+  std::map<VarId, Expr> KnownDefs;
+  std::map<JoinId, JoinDef> Joins;
+};
+
+} // namespace
+
+bool lambda::simplifyProgram(Program &P, const SimplifyOptions &Opts) {
+  bool Any = false;
+  for (Function &F : P.Functions) {
+    Simplifier S(F, Opts);
+    Any |= S.run();
+  }
+  return Any;
+}

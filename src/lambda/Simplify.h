@@ -1,0 +1,49 @@
+//===- Simplify.h - the baseline λpure simplifier ---------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hand-written λpure simplifier standing in for LEAN4's λrc
+/// simplifier — the *baseline* optimizer of the paper's Figure 10
+/// experiment. It implements, as ad-hoc IR-tree transformations, exactly
+/// the optimizations the rgn dialect recovers through classical SSA
+/// reasoning:
+///
+///   * simp_case: case-of-known-constructor selection (the pass the paper
+///     disables for variant (b): "we disable LEAN's simpcase pass which
+///     performs rgn style switch simplification"),
+///   * dead let elimination,
+///   * case-with-identical-arms fusion (common branch elimination),
+///   * copy propagation, constant folding of builtin arithmetic,
+///   * single-use / trivial join point inlining, dead join removal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_LAMBDA_SIMPLIFY_H
+#define LZ_LAMBDA_SIMPLIFY_H
+
+#include "lambda/LambdaIR.h"
+
+namespace lz::lambda {
+
+/// Simplifier pass selection, for ablations and the Fig. 10 variants.
+struct SimplifyOptions {
+  bool SimpCase = true;      ///< case-of-known-constructor
+  bool DeadLet = true;       ///< drop unused pure lets
+  bool CommonBranch = true;  ///< fuse identical case arms
+  bool CopyProp = true;      ///< let x = var y substitution
+  bool ConstFold = true;     ///< fold builtin arithmetic on literals
+  bool InlineJoins = true;   ///< inline single-use joins, drop dead ones
+  unsigned MaxRounds = 8;
+};
+
+/// Runs the simplifier over every function in \p P to a fixpoint (bounded
+/// by MaxRounds). Returns true if anything changed.
+bool simplifyProgram(Program &P, const SimplifyOptions &Opts = {});
+
+} // namespace lz::lambda
+
+#endif // LZ_LAMBDA_SIMPLIFY_H

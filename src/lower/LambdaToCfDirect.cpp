@@ -1,0 +1,197 @@
+//===- LambdaToCfDirect.cpp - the leanc-style direct backend -------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The stand-in for LEAN4's stock C backend (the `leanc` baseline of
+/// Figure 9): λrc is translated straight to a flat CFG the way the C
+/// backend emits switch statements and labeled gotos — Case becomes
+/// lp.getlabel + cf.switch over per-arm blocks, join points become blocks
+/// with arguments, jumps become branches. No lp/rgn structure, no region
+/// optimizations; both backends share the data ops and the VM.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Cf.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "lower/Lowering.h"
+
+#include <unordered_map>
+
+using namespace lz;
+using namespace lz::lambda;
+using namespace lz::lower;
+
+namespace {
+
+class DirectLowerer {
+public:
+  DirectLowerer(const Program &P, Context &Ctx, Operation *Module)
+      : Ctx(Ctx), Module(Module), Builder(Ctx) {}
+
+  void lowerFunction(const Function &F) {
+    std::vector<Type *> Inputs(F.Params.size(), Ctx.getBoxType());
+    FunctionType *FT =
+        Ctx.getFunctionType(std::move(Inputs), {Ctx.getBoxType()});
+    Operation *FuncOp = func::buildFunc(Ctx, Module, F.Name, FT);
+    FnRegion = &FuncOp->getRegion(0);
+    Block *Entry = func::getFuncEntryBlock(FuncOp);
+    VarMap.clear();
+    Joins.clear();
+    for (size_t I = 0; I != F.Params.size(); ++I)
+      VarMap[F.Params[I]] = Entry->getArgument(static_cast<unsigned>(I));
+    Builder.setInsertionPointToEnd(Entry);
+    lowerBody(F.Body.get());
+  }
+
+private:
+  Value *var(VarId V) const {
+    auto It = VarMap.find(V);
+    assert(It != VarMap.end() && "use of unlowered variable");
+    return It->second;
+  }
+
+  std::vector<Value *> vars(const std::vector<VarId> &Vs) const {
+    std::vector<Value *> Out;
+    Out.reserve(Vs.size());
+    for (VarId V : Vs)
+      Out.push_back(var(V));
+    return Out;
+  }
+
+  void lowerBody(const FnBody *B) {
+    switch (B->K) {
+    case FnBody::Kind::Let:
+      VarMap[B->Var] = lowerExpr(B->E);
+      lowerBody(B->Next.get());
+      return;
+
+    case FnBody::Kind::JDecl: {
+      // A join point is simply a labeled block with arguments — exactly a
+      // C label whose "arguments" are mutable locals.
+      Block *JoinBlock = FnRegion->emplaceBlock();
+      for (size_t I = 0; I != B->Params.size(); ++I)
+        VarMap[B->Params[I]] =
+            JoinBlock->addArgument(Ctx.getBoxType());
+      Joins[B->Join] = JoinBlock;
+      {
+        OpBuilder::InsertionGuard Guard(Builder);
+        Builder.setInsertionPointToEnd(JoinBlock);
+        lowerBody(B->JBody.get());
+      }
+      lowerBody(B->Next.get());
+      return;
+    }
+
+    case FnBody::Kind::Case: {
+      Value *Tag = lp::buildGetLabel(Builder, var(B->Var))->getResult(0);
+      size_t NumCaseAlts = B->Alts.size() - (B->Default ? 0 : 1);
+      std::vector<int64_t> CaseValues;
+      std::vector<Block *> CaseBlocks;
+      std::vector<std::vector<Value *>> CaseArgs;
+      for (size_t I = 0; I != NumCaseAlts; ++I) {
+        CaseValues.push_back(B->Alts[I].Tag);
+        CaseBlocks.push_back(FnRegion->emplaceBlock());
+        CaseArgs.emplace_back();
+      }
+      Block *DefaultBlock = FnRegion->emplaceBlock();
+      cf::buildSwitchBr(Builder, Tag, CaseValues, DefaultBlock, {},
+                        CaseBlocks, CaseArgs);
+      for (size_t I = 0; I != NumCaseAlts; ++I) {
+        OpBuilder::InsertionGuard Guard(Builder);
+        Builder.setInsertionPointToEnd(CaseBlocks[I]);
+        lowerBody(B->Alts[I].Body.get());
+      }
+      {
+        OpBuilder::InsertionGuard Guard(Builder);
+        Builder.setInsertionPointToEnd(DefaultBlock);
+        lowerBody(B->Default ? B->Default.get()
+                             : B->Alts.back().Body.get());
+      }
+      return;
+    }
+
+    case FnBody::Kind::Ret: {
+      Value *V = var(B->Var);
+      func::buildReturn(Builder, {&V, 1});
+      return;
+    }
+
+    case FnBody::Kind::Jmp: {
+      auto It = Joins.find(B->Join);
+      assert(It != Joins.end() && "jmp before jdecl");
+      std::vector<Value *> Args = vars(B->Args);
+      cf::buildBr(Builder, It->second, Args);
+      return;
+    }
+
+    case FnBody::Kind::Inc:
+      lp::buildInc(Builder, var(B->Var));
+      lowerBody(B->Next.get());
+      return;
+    case FnBody::Kind::Dec:
+      lp::buildDec(Builder, var(B->Var));
+      lowerBody(B->Next.get());
+      return;
+
+    case FnBody::Kind::Unreachable:
+      lp::buildUnreachable(Builder);
+      return;
+    }
+  }
+
+  Value *lowerExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::Lit:
+      return lp::buildInt(Builder, E.Tag)->getResult(0);
+    case Expr::Kind::BigLit:
+      return lp::buildBigInt(Builder, E.Big)->getResult(0);
+    case Expr::Kind::Var:
+      return var(E.Args[0]);
+    case Expr::Kind::Ctor: {
+      std::vector<Value *> Fields = vars(E.Args);
+      return lp::buildConstruct(Builder, E.Tag, Fields)->getResult(0);
+    }
+    case Expr::Kind::Proj:
+      return lp::buildProject(Builder, var(E.Args[0]), E.Tag)->getResult(0);
+    case Expr::Kind::PAp: {
+      std::vector<Value *> Args = vars(E.Args);
+      return lp::buildPap(Builder, E.Callee, Args)->getResult(0);
+    }
+    case Expr::Kind::FAp: {
+      std::vector<Value *> Args = vars(E.Args);
+      Type *Box = Ctx.getBoxType();
+      return func::buildCall(Builder, E.Callee, Args, {&Box, 1})
+          ->getResult(0);
+    }
+    case Expr::Kind::VAp: {
+      std::vector<Value *> Args = vars(E.Args);
+      Value *Closure = Args.front();
+      std::vector<Value *> Rest(Args.begin() + 1, Args.end());
+      return lp::buildPapExtend(Builder, Closure, Rest)->getResult(0);
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return nullptr;
+  }
+
+  Context &Ctx;
+  Operation *Module;
+  OpBuilder Builder;
+  Region *FnRegion = nullptr;
+  std::unordered_map<VarId, Value *> VarMap;
+  std::unordered_map<JoinId, Block *> Joins;
+};
+
+} // namespace
+
+OwningOpRef lower::lowerLambdaToCfDirect(const Program &P, Context &Ctx) {
+  OwningOpRef Module = createModule(Ctx);
+  DirectLowerer L(P, Ctx, Module.get());
+  for (const Function &F : P.Functions)
+    L.lowerFunction(F);
+  return Module;
+}

@@ -1,0 +1,188 @@
+//===- LambdaToLp.cpp - λrc to the lp dialect ----------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "lower/Lowering.h"
+
+#include <unordered_map>
+
+using namespace lz;
+using namespace lz::lambda;
+using namespace lz::lower;
+
+namespace {
+
+class LpLowerer {
+public:
+  LpLowerer(const Program &P, Context &Ctx, Operation *Module)
+      : P(P), Ctx(Ctx), Module(Module), Builder(Ctx) {}
+
+  void lowerFunction(const Function &F) {
+    std::vector<Type *> Inputs(F.Params.size(), Ctx.getBoxType());
+    FunctionType *FT = Ctx.getFunctionType(
+        std::move(Inputs), {Ctx.getBoxType()});
+    Operation *FuncOp = func::buildFunc(Ctx, Module, F.Name, FT);
+    Block *Entry = func::getFuncEntryBlock(FuncOp);
+    VarMap.clear();
+    for (size_t I = 0; I != F.Params.size(); ++I)
+      VarMap[F.Params[I]] = Entry->getArgument(static_cast<unsigned>(I));
+    Builder.setInsertionPointToEnd(Entry);
+    lowerBody(F.Body.get());
+  }
+
+private:
+  Value *var(VarId V) const {
+    auto It = VarMap.find(V);
+    assert(It != VarMap.end() && "use of unlowered variable");
+    return It->second;
+  }
+
+  std::vector<Value *> vars(const std::vector<VarId> &Vs) const {
+    std::vector<Value *> Out;
+    Out.reserve(Vs.size());
+    for (VarId V : Vs)
+      Out.push_back(var(V));
+    return Out;
+  }
+
+  /// Lowers the statement tree into the current insertion block, always
+  /// ending with a terminator.
+  void lowerBody(const FnBody *B) {
+    switch (B->K) {
+    case FnBody::Kind::Let:
+      VarMap[B->Var] = lowerExpr(B->E);
+      lowerBody(B->Next.get());
+      return;
+
+    case FnBody::Kind::JDecl: {
+      std::string Label = "j" + std::to_string(B->Join);
+      std::vector<Type *> ParamTypes(B->Params.size(), Ctx.getBoxType());
+      Operation *JP = lp::buildJoinPoint(Builder, Label, ParamTypes);
+      Block *BodyEntry = lp::getJoinPointBodyRegion(JP).getEntryBlock();
+      Block *PreEntry = lp::getJoinPointPreRegion(JP).getEntryBlock();
+      for (size_t I = 0; I != B->Params.size(); ++I)
+        VarMap[B->Params[I]] =
+            BodyEntry->getArgument(static_cast<unsigned>(I));
+      {
+        OpBuilder::InsertionGuard Guard(Builder);
+        Builder.setInsertionPointToEnd(BodyEntry);
+        lowerBody(B->JBody.get());
+      }
+      {
+        OpBuilder::InsertionGuard Guard(Builder);
+        Builder.setInsertionPointToEnd(PreEntry);
+        lowerBody(B->Next.get());
+      }
+      return;
+    }
+
+    case FnBody::Kind::Case: {
+      // case x of ...  ==>  %tag = lp.getlabel %x; lp.switch %tag
+      Value *Tag = lp::buildGetLabel(Builder, var(B->Var))->getResult(0);
+      // With an explicit default, every alt is a case; otherwise the last
+      // alt plays the @default role (lp.switch always has one).
+      std::vector<int64_t> CaseTags;
+      size_t NumCaseAlts = B->Alts.size() - (B->Default ? 0 : 1);
+      for (size_t I = 0; I != NumCaseAlts; ++I)
+        CaseTags.push_back(B->Alts[I].Tag);
+      Operation *Switch = lp::buildSwitch(Builder, Tag, CaseTags);
+      for (size_t I = 0; I != NumCaseAlts; ++I) {
+        OpBuilder::InsertionGuard Guard(Builder);
+        Builder.setInsertionPointToEnd(
+            lp::getSwitchCaseRegion(Switch, static_cast<unsigned>(I))
+                .getEntryBlock());
+        lowerBody(B->Alts[I].Body.get());
+      }
+      {
+        OpBuilder::InsertionGuard Guard(Builder);
+        Builder.setInsertionPointToEnd(
+            lp::getSwitchDefaultRegion(Switch).getEntryBlock());
+        lowerBody(B->Default ? B->Default.get()
+                             : B->Alts.back().Body.get());
+      }
+      return;
+    }
+
+    case FnBody::Kind::Ret: {
+      Value *V = var(B->Var);
+      lp::buildReturn(Builder, {&V, 1});
+      return;
+    }
+
+    case FnBody::Kind::Jmp: {
+      std::vector<Value *> Args = vars(B->Args);
+      lp::buildJump(Builder, "j" + std::to_string(B->Join), Args);
+      return;
+    }
+
+    case FnBody::Kind::Inc:
+      lp::buildInc(Builder, var(B->Var));
+      lowerBody(B->Next.get());
+      return;
+    case FnBody::Kind::Dec:
+      lp::buildDec(Builder, var(B->Var));
+      lowerBody(B->Next.get());
+      return;
+
+    case FnBody::Kind::Unreachable:
+      lp::buildUnreachable(Builder);
+      return;
+    }
+  }
+
+  Value *lowerExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::Lit:
+      return lp::buildInt(Builder, E.Tag)->getResult(0);
+    case Expr::Kind::BigLit:
+      return lp::buildBigInt(Builder, E.Big)->getResult(0);
+    case Expr::Kind::Var:
+      return var(E.Args[0]);
+    case Expr::Kind::Ctor: {
+      std::vector<Value *> Fields = vars(E.Args);
+      return lp::buildConstruct(Builder, E.Tag, Fields)->getResult(0);
+    }
+    case Expr::Kind::Proj:
+      return lp::buildProject(Builder, var(E.Args[0]), E.Tag)->getResult(0);
+    case Expr::Kind::PAp: {
+      std::vector<Value *> Args = vars(E.Args);
+      return lp::buildPap(Builder, E.Callee, Args)->getResult(0);
+    }
+    case Expr::Kind::FAp: {
+      std::vector<Value *> Args = vars(E.Args);
+      Type *Box = Ctx.getBoxType();
+      return func::buildCall(Builder, E.Callee, Args, {&Box, 1})
+          ->getResult(0);
+    }
+    case Expr::Kind::VAp: {
+      std::vector<Value *> Args = vars(E.Args);
+      Value *Closure = Args.front();
+      std::vector<Value *> Rest(Args.begin() + 1, Args.end());
+      return lp::buildPapExtend(Builder, Closure, Rest)->getResult(0);
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return nullptr;
+  }
+
+  const Program &P;
+  Context &Ctx;
+  Operation *Module;
+  OpBuilder Builder;
+  std::unordered_map<VarId, Value *> VarMap;
+};
+
+} // namespace
+
+OwningOpRef lower::lowerLambdaToLp(const Program &P, Context &Ctx) {
+  OwningOpRef Module = createModule(Ctx);
+  LpLowerer L(P, Ctx, Module.get());
+  for (const Function &F : P.Functions)
+    L.lowerFunction(F);
+  return Module;
+}

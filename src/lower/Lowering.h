@@ -1,0 +1,57 @@
+//===- Lowering.h - lowering stages between the IRs -------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lowering stages of Figure 3:
+///
+///   λrc --(lowerLambdaToLp)--> lp --(lowerLpToRgn)--> rgn
+///       --(lowerRgnToCf)--> flat CFG --(markTailCalls)--> VM bytecode
+///
+/// plus lowerLambdaToCfDirect, the substitute for the stock `leanc` C
+/// backend (Figure 9's baseline): a straightforward λrc -> flat-CFG
+/// translation that never goes through lp/rgn, mirroring how the C backend
+/// compiles case/join-point control flow directly to gotos.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_LOWER_LOWERING_H
+#define LZ_LOWER_LOWERING_H
+
+#include "ir/Module.h"
+#include "lambda/LambdaIR.h"
+#include "support/LogicalResult.h"
+
+namespace lz::lower {
+
+/// λrc -> lp: one func.func per λrc function; Case becomes
+/// lp.getlabel + lp.switch, JDecl/Jmp become lp.joinpoint/lp.jump,
+/// applications become func.call / lp.pap / lp.papextend (Section III).
+OwningOpRef lowerLambdaToLp(const lambda::Program &P, Context &Ctx);
+
+/// lp -> rgn (Figure 8): every lp.switch right-hand side becomes a
+/// rgn.val; 2-way switches select via arith.select, N-way via
+/// arith.switch; lp.joinpoint becomes a rgn.val bound to the label and
+/// lp.jump becomes rgn.run.
+LogicalResult lowerLpToRgn(Operation *Module);
+
+/// rgn -> cf (Section IV-C): "lowering is driven entirely by rgn.run" —
+/// a run of a known region becomes a branch to its (cloned) body; a run
+/// of a select/switch becomes cond_br / a jump table. Dead rgn.vals are
+/// dropped. Also rewrites lp.return to func.return.
+LogicalResult lowerRgnToCf(Operation *Module);
+
+/// Marks direct self/sibling calls in tail position with `musttail`
+/// (Section III-E); the VM compiles these to frame-reusing tail calls.
+void markTailCalls(Operation *Module);
+
+/// The baseline backend: λrc -> flat CFG directly (no lp/rgn), the way
+/// the LEAN C backend emits switches and labels.
+OwningOpRef lowerLambdaToCfDirect(const lambda::Program &P, Context &Ctx);
+
+} // namespace lz::lower
+
+#endif // LZ_LOWER_LOWERING_H

@@ -1,0 +1,169 @@
+//===- LpToRgn.cpp - lp control flow to regions-as-values (Figure 8) ----------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The Figure 8 lowering:
+///   A) 2-way lp.switch:  rhs regions become rgn.vals; an arith.cmpi +
+///      arith.select picks one; rgn.run executes it.
+///   B) N-way lp.switch:  same with arith.switch.
+///   C) lp.joinpoint:     the after-jump region becomes a rgn.val bound to
+///      the label; the pre-jump region is spliced in place of the
+///      joinpoint; every lp.jump to the label becomes rgn.run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "dialect/Rgn.h"
+#include "lower/Lowering.h"
+
+#include <map>
+
+using namespace lz;
+using namespace lz::lower;
+
+namespace {
+
+class RgnLowerer {
+public:
+  explicit RgnLowerer(Context &Ctx) : Builder(Ctx) {}
+
+  void lowerFunction(Operation *FuncOp) {
+    Labels.clear();
+    if (FuncOp->getRegion(0).empty())
+      return;
+    processBlock(FuncOp->getRegion(0).getEntryBlock());
+  }
+
+private:
+  /// Rewrites the terminator of \p B (recursively processing any region
+  /// bodies it introduces).
+  void processBlock(Block *B) {
+    assert(B->hasTerminator() && "lp block without terminator");
+    Operation *Term = B->getTerminator();
+    std::string_view Name = Term->getName();
+
+    if (Name == "lp.switch") {
+      lowerSwitch(B, Term);
+      return;
+    }
+    if (Name == "lp.joinpoint") {
+      lowerJoinPoint(B, Term);
+      return;
+    }
+    if (Name == "lp.jump") {
+      lowerJump(B, Term);
+      return;
+    }
+    // lp.return / lp.unreachable / already-lowered terminators: done.
+  }
+
+  void lowerSwitch(Block *B, Operation *Switch) {
+    Context &Ctx = Builder.getContext();
+    Builder.setInsertionPoint(Switch);
+    Value *Tag = Switch->getOperand(0);
+    auto *Cases = Switch->getAttrOfType<ArrayAttr>("cases");
+    unsigned NumCases = static_cast<unsigned>(Cases->size());
+
+    // Each right-hand side becomes a rgn.val (paper: "converting every
+    // right hand side of a pattern match to a rgn.val").
+    std::vector<Value *> RegionVals;
+    std::vector<Block *> Bodies;
+    for (unsigned I = 0; I != Switch->getNumRegions(); ++I) {
+      Operation *Val = rgn::buildVal(Builder, {});
+      Block *ValEntry = rgn::getValBody(Val).getEntryBlock();
+      Switch->getRegion(I).getEntryBlock()->spliceInto(ValEntry);
+      RegionVals.push_back(Val->getResult(0));
+      Bodies.push_back(ValEntry);
+    }
+
+    Value *Chosen;
+    if (NumCases == 1) {
+      // 2-way switch lowers through select (Figure 8-A).
+      Value *CaseConst =
+          arith::buildConstant(
+              Builder, Tag->getType(),
+              cast<IntegerAttr>(Cases->getValue()[0])->getValue())
+              ->getResult(0);
+      Value *Cond =
+          arith::buildCmp(Builder, arith::CmpPredicate::EQ, Tag, CaseConst)
+              ->getResult(0);
+      Chosen = arith::buildSelect(Builder, Cond, RegionVals[0],
+                                  RegionVals[1])
+                   ->getResult(0);
+    } else {
+      // N-way switch lowers through arith.switch (Figure 8-B).
+      std::vector<int64_t> CaseValues;
+      for (unsigned I = 0; I != NumCases; ++I)
+        CaseValues.push_back(
+            cast<IntegerAttr>(Cases->getValue()[I])->getValue());
+      std::vector<Value *> CaseVals(RegionVals.begin(),
+                                    RegionVals.end() - 1);
+      Chosen = arith::buildSwitch(Builder, Tag, CaseValues, CaseVals,
+                                  RegionVals.back())
+                   ->getResult(0);
+    }
+    rgn::buildRun(Builder, Chosen, {});
+    Switch->erase();
+    (void)Ctx;
+
+    for (Block *Body : Bodies)
+      processBlock(Body);
+  }
+
+  void lowerJoinPoint(Block *B, Operation *JP) {
+    Builder.setInsertionPoint(JP);
+    std::string Label(JP->getAttrOfType<StringAttr>("label")->getValue());
+
+    Block *OldBody = lp::getJoinPointBodyRegion(JP).getEntryBlock();
+    std::vector<Type *> ParamTypes;
+    for (unsigned I = 0; I != OldBody->getNumArguments(); ++I)
+      ParamTypes.push_back(OldBody->getArgument(I)->getType());
+
+    // The label's region becomes a first-class region value
+    // (Figure 8-C: "converting the jump target to a rgn.val").
+    Operation *Val = rgn::buildVal(Builder, ParamTypes);
+    Block *NewBody = rgn::getValBody(Val).getEntryBlock();
+    for (unsigned I = 0; I != OldBody->getNumArguments(); ++I)
+      OldBody->getArgument(I)->replaceAllUsesWith(NewBody->getArgument(I));
+    OldBody->spliceInto(NewBody);
+    Labels[Label] = Val->getResult(0);
+
+    // Splice the pre-jump code in place of the joinpoint terminator.
+    Block *Pre = lp::getJoinPointPreRegion(JP).getEntryBlock();
+    Pre->spliceInto(B);
+    JP->erase();
+
+    processBlock(NewBody);
+    processBlock(B);
+  }
+
+  void lowerJump(Block *B, Operation *Jump) {
+    std::string Label(Jump->getAttrOfType<StringAttr>("label")->getValue());
+    auto It = Labels.find(Label);
+    assert(It != Labels.end() && "lp.jump to an unlowered label");
+    Builder.setInsertionPoint(Jump);
+    std::vector<Value *> Args = Jump->getOperands();
+    // "replacing the joinpoint by the region that is to be executed before
+    //  the jump" — the jump itself becomes invoking the continuation.
+    rgn::buildRun(Builder, It->second, Args);
+    Jump->erase();
+  }
+
+  OpBuilder Builder;
+  std::map<std::string, Value *> Labels;
+};
+
+} // namespace
+
+LogicalResult lower::lowerLpToRgn(Operation *Module) {
+  RgnLowerer L(*Module->getContext());
+  for (Operation *Op : *getModuleBody(Module))
+    if (Op->getName() == "func.func")
+      L.lowerFunction(Op);
+  return success();
+}

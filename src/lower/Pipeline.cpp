@@ -1,0 +1,138 @@
+//===- Pipeline.cpp - end-to-end compilation pipelines -------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/Pipeline.h"
+
+#include "ir/Verifier.h"
+#include "lambda/Simplify.h"
+#include "lower/Lowering.h"
+#include "rc/RCInsert.h"
+#include "rewrite/Passes.h"
+#include "vm/Compiler.h"
+
+using namespace lz;
+using namespace lz::lower;
+
+const char *lz::lower::pipelineVariantName(PipelineVariant V) {
+  switch (V) {
+  case PipelineVariant::Leanc:
+    return "leanc";
+  case PipelineVariant::Full:
+    return "full";
+  case PipelineVariant::SimpOnly:
+    return "simp-only";
+  case PipelineVariant::RgnOnly:
+    return "rgn-only";
+  case PipelineVariant::NoOpt:
+    return "no-opt";
+  }
+  return "?";
+}
+
+PipelineOptions PipelineOptions::forVariant(PipelineVariant V) {
+  PipelineOptions O;
+  switch (V) {
+  case PipelineVariant::Leanc:
+    O.UseRgnBackend = false;
+    O.RunCanonicalize = O.RunCSE = O.RunDCE = false;
+    break;
+  case PipelineVariant::Full:
+    break;
+  case PipelineVariant::SimpOnly:
+    O.RunCanonicalize = O.RunCSE = O.RunDCE = false;
+    break;
+  case PipelineVariant::RgnOnly:
+    O.RunLambdaSimplifier = false;
+    break;
+  case PipelineVariant::NoOpt:
+    O.RunLambdaSimplifier = false;
+    O.RunCanonicalize = O.RunCSE = O.RunDCE = false;
+    break;
+  }
+  return O;
+}
+
+CompileResult lz::lower::compileProgram(const lambda::Program &Src,
+                                        Context &Ctx,
+                                        const PipelineOptions &Opts) {
+  CompileResult Result;
+
+  // Frontend: (optional) λpure simplifier, then reference counting.
+  lambda::Program P = lambda::cloneProgram(Src);
+  if (Opts.RunLambdaSimplifier)
+    lambda::simplifyProgram(P);
+  rc::RCOptions RCOpts;
+  RCOpts.BorrowInference = Opts.BorrowInference;
+  rc::insertRC(P, RCOpts);
+
+  // Backend.
+  OwningOpRef Module;
+  if (!Opts.UseRgnBackend) {
+    Module = lowerLambdaToCfDirect(P, Ctx);
+    if (Opts.VerifyEach && failed(verify(Module.get()))) {
+      Result.Error = "direct backend produced invalid IR";
+      return Result;
+    }
+  } else {
+    Module = lowerLambdaToLp(P, Ctx);
+    if (Opts.VerifyEach && failed(verify(Module.get()))) {
+      Result.Error = "lambda->lp lowering produced invalid IR";
+      return Result;
+    }
+    if (failed(lowerLpToRgn(Module.get()))) {
+      Result.Error = "lp->rgn lowering failed";
+      return Result;
+    }
+    if (Opts.VerifyEach && failed(verify(Module.get()))) {
+      Result.Error = "lp->rgn lowering produced invalid IR";
+      return Result;
+    }
+
+    // The rgn optimization pipeline (Section IV-B).
+    PassManager PM;
+    PM.setVerifyEach(Opts.VerifyEach);
+    if (Opts.RunCanonicalize)
+      PM.addPass(createCanonicalizerPass());
+    if (Opts.RunCSE)
+      PM.addPass(createCSEPass());
+    if (Opts.RunCanonicalize)
+      PM.addPass(createCanonicalizerPass()); // fold selects CSE exposed
+    if (Opts.RunInliner)
+      PM.addPass(createInlinerPass());
+    if (Opts.RunDCE)
+      PM.addPass(createDCEPass());
+    if (failed(PM.run(Module.get()))) {
+      Result.Error = "rgn optimization pipeline failed";
+      return Result;
+    }
+
+    if (failed(lowerRgnToCf(Module.get()))) {
+      Result.Error = "rgn->cf lowering failed";
+      return Result;
+    }
+    if (Opts.VerifyEach && failed(verify(Module.get()))) {
+      Result.Error = "rgn->cf lowering produced invalid IR";
+      return Result;
+    }
+  }
+
+  markTailCalls(Module.get());
+
+  unsigned NumOps = 0;
+  for (unsigned I = 0; I != Module->getNumRegions(); ++I)
+    Module->getRegion(I).walk([&](Operation *) { ++NumOps; });
+  Result.NumOps = NumOps;
+
+  std::string Err;
+  if (failed(vm::compileModule(Module.get(), Result.Prog, Err))) {
+    Result.Error = Err;
+    return Result;
+  }
+  Result.Module = std::move(Module);
+  Result.OK = true;
+  return Result;
+}

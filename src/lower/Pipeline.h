@@ -1,0 +1,84 @@
+//===- Pipeline.h - end-to-end compilation pipelines ------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline variants the evaluation compares (Sections V-B, Figures 9
+/// and 10):
+///
+///   Leanc      — λpure simplifier + direct λrc->CFG backend. The stand-in
+///                for the stock LEAN C backend (Figure 9's baseline).
+///   Full       — λpure simplifier + lp -> rgn -> rgn optimizations ->
+///                CFG. "Our backend" in Figure 9.
+///   SimpOnly   — Figure 10 (a): simplifier-optimized input, rgn
+///                optimizations disabled.
+///   RgnOnly    — Figure 10 (b): unsimplified input (simp_case et al.
+///                disabled), rgn optimizations enabled.
+///   NoOpt      — Figure 10 (c): unsimplified and unoptimized.
+///
+/// All variants execute on the same VM, so runtime ratios measure the IR
+/// pipelines, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_LOWER_PIPELINE_H
+#define LZ_LOWER_PIPELINE_H
+
+#include "ir/Module.h"
+#include "lambda/LambdaIR.h"
+#include "vm/Bytecode.h"
+
+#include <string>
+
+namespace lz::lower {
+
+enum class PipelineVariant {
+  Leanc,
+  Full,
+  SimpOnly,
+  RgnOnly,
+  NoOpt,
+};
+
+const char *pipelineVariantName(PipelineVariant V);
+
+/// Fine-grained switches for ablation studies; derived from the variant by
+/// default.
+struct PipelineOptions {
+  bool RunLambdaSimplifier = true;
+  bool UseRgnBackend = true; ///< false = direct leanc-style backend
+  bool RunCanonicalize = true;
+  bool RunCSE = true;
+  bool RunDCE = true;
+  bool RunInliner = false;
+  bool BorrowInference = true; ///< beans-style borrowed parameters
+  bool VerifyEach = true;
+
+  static PipelineOptions forVariant(PipelineVariant V);
+};
+
+struct CompileResult {
+  bool OK = false;
+  std::string Error;
+  vm::Program Prog;
+  /// The final module (flat CFG) for inspection; may be empty on failure.
+  OwningOpRef Module;
+  /// Op statistics for reporting: ops in the module after lowering.
+  unsigned NumOps = 0;
+};
+
+/// Compiles \p Src (λpure, no RC ops) through the selected pipeline.
+CompileResult compileProgram(const lambda::Program &Src, Context &Ctx,
+                             const PipelineOptions &Opts);
+
+inline CompileResult compileProgram(const lambda::Program &Src, Context &Ctx,
+                                    PipelineVariant V) {
+  return compileProgram(Src, Ctx, PipelineOptions::forVariant(V));
+}
+
+} // namespace lz::lower
+
+#endif // LZ_LOWER_PIPELINE_H

@@ -1,0 +1,244 @@
+//===- RgnToCf.cpp - flattening regions to a classical CFG (Section IV-C) -----===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// "Since the semantics of rgn is given entirely by adding extra structure
+///  to flat CFGs, rgn can be lowered by forgetting this extra structure.
+///  The lowering is driven entirely by rgn.run. (1) A rgn.run of a known
+///  rgn.val is compiled to a branch of the region that is run, (2) a
+///  rgn.run of a switch (or select) is compiled to a jump-table. Finally,
+///  dead rgn.val instructions are entirely dropped."
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Cf.h"
+#include "dialect/Func.h"
+#include "dialect/Rgn.h"
+#include "lower/Lowering.h"
+
+#include <unordered_map>
+
+using namespace lz;
+using namespace lz::lower;
+
+namespace {
+
+class CfLowerer {
+public:
+  explicit CfLowerer(Context &Ctx) : Builder(Ctx) {}
+
+  LogicalResult lowerFunction(Operation *FuncOp) {
+    Region &Body = FuncOp->getRegion(0);
+    if (Body.empty())
+      return success();
+    Targets.clear();
+
+    // Drive from rgn.run terminators until none remain. New blocks are
+    // appended, so iterate by index over a growing list.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t I = 0; I != Body.getNumBlocks(); ++I) {
+        Block *B = Body.getBlock(I);
+        if (!B->hasTerminator())
+          continue;
+        Operation *Term = B->getTerminator();
+        if (Term->getName() != "rgn.run")
+          continue;
+        if (failed(lowerRun(Body, B, Term)))
+          return failure();
+        Changed = true;
+      }
+    }
+
+    sweepDeadRegionOps(Body);
+    rewriteLpReturns(Body);
+    return success();
+  }
+
+private:
+  /// Materializes a CFG block that runs the region chosen by \p V when
+  /// branched to with the region's arguments. Memoized per value so
+  /// several run sites share one block.
+  Block *materializeTarget(Region &FnBody, Value *V) {
+    auto It = Targets.find(V);
+    if (It != Targets.end())
+      return It->second;
+
+    auto *Ty = dyn_cast<RegionValType>(V->getType());
+    assert(Ty && "materializing a non-region value");
+    Operation *Def = V->getDefiningOp();
+    assert(Def && "region value without defining op");
+
+    Block *NewBlock = FnBody.emplaceBlock();
+    for (Type *ArgTy : Ty->getInputs())
+      NewBlock->addArgument(ArgTy);
+    Targets[V] = NewBlock;
+
+    if (Def->getName() == "rgn.val") {
+      // (1) Known region: clone its single-block body; entry arguments map
+      // to the new block's arguments.
+      Block *Entry = rgn::getValBody(Def).getEntryBlock();
+      IRMapping Mapping;
+      for (unsigned I = 0; I != Entry->getNumArguments(); ++I)
+        Mapping.map(Entry->getArgument(I), NewBlock->getArgument(I));
+      for (Operation *Op : *Entry)
+        NewBlock->push_back(Op->clone(Mapping));
+      return NewBlock;
+    }
+
+    std::vector<Value *> Args = NewBlock->getArguments();
+    if (Def->getName() == "arith.select") {
+      // (2) Dispatch on the select condition.
+      Block *TrueDest = materializeTarget(FnBody, Def->getOperand(1));
+      Block *FalseDest = materializeTarget(FnBody, Def->getOperand(2));
+      Builder.setInsertionPointToEnd(NewBlock);
+      cf::buildCondBr(Builder, Def->getOperand(0), TrueDest, Args,
+                      FalseDest, Args);
+      return NewBlock;
+    }
+    if (Def->getName() == "arith.switch") {
+      auto *Cases = Def->getAttrOfType<ArrayAttr>("cases");
+      std::vector<int64_t> CaseValues;
+      std::vector<Block *> CaseDests;
+      std::vector<std::vector<Value *>> CaseArgs;
+      for (size_t I = 0; I != Cases->size(); ++I) {
+        CaseValues.push_back(
+            cast<IntegerAttr>(Cases->getValue()[I])->getValue());
+        CaseDests.push_back(materializeTarget(
+            FnBody, Def->getOperand(1 + static_cast<unsigned>(I))));
+        CaseArgs.push_back(Args);
+      }
+      Block *DefaultDest = materializeTarget(
+          FnBody, Def->getOperand(Def->getNumOperands() - 1));
+      Builder.setInsertionPointToEnd(NewBlock);
+      cf::buildSwitchBr(Builder, Def->getOperand(0), CaseValues,
+                        DefaultDest, Args, CaseDests, CaseArgs);
+      return NewBlock;
+    }
+    assert(false && "region value outside select/switch/rgn.val");
+    return NewBlock;
+  }
+
+  LogicalResult lowerRun(Region &FnBody, Block *B, Operation *Run) {
+    Value *RegionVal = Run->getOperand(0);
+    std::vector<Value *> Args;
+    for (unsigned I = 1; I != Run->getNumOperands(); ++I)
+      Args.push_back(Run->getOperand(I));
+    Builder.setInsertionPoint(Run);
+
+    // Emit the top-level dispatch inline so a select becomes a cond_br in
+    // this very block (letting the VM's compare-and-branch instruction
+    // selection fuse it, as LLVM would) and a switch becomes a jump table
+    // directly.
+    Operation *Def = RegionVal->getDefiningOp();
+    assert(Def && "region value without defining op");
+    if (Def->getName() == "arith.select") {
+      Block *TrueDest = materializeTarget(FnBody, Def->getOperand(1));
+      Block *FalseDest = materializeTarget(FnBody, Def->getOperand(2));
+      cf::buildCondBr(Builder, Def->getOperand(0), TrueDest, Args, FalseDest,
+                      Args);
+    } else if (Def->getName() == "arith.switch") {
+      auto *Cases = Def->getAttrOfType<ArrayAttr>("cases");
+      std::vector<int64_t> CaseValues;
+      std::vector<Block *> CaseDests;
+      std::vector<std::vector<Value *>> CaseArgs;
+      for (size_t I = 0; I != Cases->size(); ++I) {
+        CaseValues.push_back(
+            cast<IntegerAttr>(Cases->getValue()[I])->getValue());
+        CaseDests.push_back(materializeTarget(
+            FnBody, Def->getOperand(1 + static_cast<unsigned>(I))));
+        CaseArgs.push_back(Args);
+      }
+      Block *DefaultDest = materializeTarget(
+          FnBody, Def->getOperand(Def->getNumOperands() - 1));
+      cf::buildSwitchBr(Builder, Def->getOperand(0), CaseValues, DefaultDest,
+                        Args, CaseDests, CaseArgs);
+    } else {
+      Block *Target = materializeTarget(FnBody, RegionVal);
+      cf::buildBr(Builder, Target, Args);
+    }
+    Run->erase();
+    return success();
+  }
+
+  /// Erases now-unreferenced region machinery: rgn.val, and select/switch
+  /// over region values. Other dead ops are left for the optimizer (the
+  /// NoOpt pipeline intentionally keeps them).
+  void sweepDeadRegionOps(Region &FnBody) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t I = 0; I != FnBody.getNumBlocks(); ++I) {
+        Block *B = FnBody.getBlock(I);
+        Operation *Op = B->front();
+        while (Op) {
+          Operation *Next = Op->getNextNode();
+          bool RegionTyped = Op->getNumResults() == 1 &&
+                             isa<RegionValType>(Op->getResult(0)->getType());
+          if (RegionTyped && Op->use_empty()) {
+            Op->erase();
+            Changed = true;
+          }
+          Op = Next;
+        }
+      }
+    }
+  }
+
+  void rewriteLpReturns(Region &FnBody) {
+    for (size_t I = 0; I != FnBody.getNumBlocks(); ++I) {
+      Block *B = FnBody.getBlock(I);
+      if (!B->hasTerminator())
+        continue;
+      Operation *Term = B->getTerminator();
+      if (Term->getName() != "lp.return")
+        continue;
+      Builder.setInsertionPoint(Term);
+      std::vector<Value *> Operands = Term->getOperands();
+      func::buildReturn(Builder, Operands);
+      Term->erase();
+    }
+  }
+
+  OpBuilder Builder;
+  std::unordered_map<Value *, Block *> Targets;
+};
+
+} // namespace
+
+LogicalResult lower::lowerRgnToCf(Operation *Module) {
+  CfLowerer L(*Module->getContext());
+  for (Operation *Op : *getModuleBody(Module))
+    if (Op->getName() == "func.func")
+      if (failed(L.lowerFunction(Op)))
+        return failure();
+  return success();
+}
+
+void lower::markTailCalls(Operation *Module) {
+  Context &Ctx = *Module->getContext();
+  for (Operation *Fn : *getModuleBody(Module)) {
+    if (Fn->getName() != "func.func")
+      continue;
+    Fn->getRegion(0).walk([&](Operation *Op) {
+      if (Op->getName() != "func.call" || Op->getNumResults() != 1)
+        return;
+      Operation *Next = Op->getNextNode();
+      if (!Next || Next->getName() != "func.return" ||
+          Next->getNumOperands() != 1 ||
+          Next->getOperand(0) != Op->getResult(0))
+        return;
+      if (!Op->getResult(0)->hasOneUse())
+        return;
+      auto *Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
+      Operation *Target = lookupSymbol(Module, Callee->getValue());
+      if (!Target || Target->getRegion(0).empty())
+        return; // builtins are not tail-callable frames
+      Op->setAttr("musttail", Ctx.getUnitAttr());
+    });
+  }
+}

@@ -1,0 +1,313 @@
+//===- Programs.cpp - the LEAN benchmark suite in MiniLean --------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+#include <cassert>
+
+using namespace lz;
+using namespace lz::programs;
+
+namespace {
+
+// binarytrees — "a purely functional binary tree lookup, insert, and
+// delete benchmark" (CLBG style): repeatedly build complete trees and sum
+// their checksums. Exercises constructor allocation/deallocation churn.
+const char *BinaryTrees = R"(
+inductive Tree := | Leaf | Node l r
+
+def mkTree d :=
+  if d == 0 then Leaf
+  else Node (mkTree (d - 1)) (mkTree (d - 1))
+
+def check t := match t with
+  | Leaf => 1
+  | Node l r => 1 + check l + check r
+end
+
+def iter i d acc :=
+  if i == 0 then acc
+  else iter (i - 1) d (acc + check (mkTree d))
+
+def main := iter 40 @N@ 0
+)";
+
+// binarytrees-int — nodes carry integers; checksum sums payloads.
+const char *BinaryTreesInt = R"(
+inductive Tree := | Leaf | Node v l r
+
+def mkTree n d :=
+  if d == 0 then Leaf
+  else Node n (mkTree (2 * n) (d - 1)) (mkTree (2 * n + 1) (d - 1))
+
+def sumTree t := match t with
+  | Leaf => 0
+  | Node v l r => v + sumTree l + sumTree r
+end
+
+def iter i d acc :=
+  if i == 0 then acc
+  else iter (i - 1) d (acc + sumTree (mkTree i d))
+
+def main := iter 40 @N@ 0
+)";
+
+// const_fold — constant folding over an expression AST: the nested-match
+// workload the paper's case/common-branch optimizations target.
+const char *ConstFold = R"(
+inductive Expr := | Num n | Var | Add a b | Mul a b
+
+def mkExpr d v :=
+  if d == 0 then (if v % 3 == 0 then Var else Num v)
+  else Add (Mul (mkExpr (d - 1) (v + 1)) (Num 2))
+           (mkExpr (d - 1) (v + 2))
+
+def fold e := match e with
+  | Num n => Num n
+  | Var => Var
+  | Add a b =>
+    let fa := fold a;
+    let fb := fold b;
+    (match fa, fb with
+     | Num x, Num y => Num (x + y)
+     | _, _ => Add fa fb
+    end)
+  | Mul a b =>
+    let fa := fold a;
+    let fb := fold b;
+    (match fa, fb with
+     | Num x, Num y => Num (x * y)
+     | _, _ => Mul fa fb
+    end)
+end
+
+def size e := match e with
+  | Num n => 1
+  | Var => 1
+  | Add a b => 1 + size a + size b
+  | Mul a b => 1 + size a + size b
+end
+
+def iter i acc :=
+  if i == 0 then acc
+  else iter (i - 1) (acc + size (fold (mkExpr @N@ i)))
+
+def main := iter 10 0
+)";
+
+// deriv — symbolic differentiation of expression trees.
+const char *Deriv = R"(
+inductive Expr := | Num n | X | Add a b | Mul a b
+
+def deriv e := match e with
+  | Num n => Num 0
+  | X => Num 1
+  | Add a b => Add (deriv a) (deriv b)
+  | Mul a b => Add (Mul (deriv a) b) (Mul a (deriv b))
+end
+
+def mkExpr d :=
+  if d == 0 then X
+  else Mul (mkExpr (d - 1)) (Add X (Num d))
+
+def size e := match e with
+  | Num n => 1
+  | X => 1
+  | Add a b => 1 + size a + size b
+  | Mul a b => 1 + size a + size b
+end
+
+def main := size (deriv (deriv (deriv (mkExpr @N@))))
+)";
+
+// filter — predicate filtering over a linked list; higher-order: the
+// predicate travels as a closure.
+const char *Filter = R"(
+inductive List := | Nil | Cons h t
+
+def range n := if n == 0 then Nil else Cons n (range (n - 1))
+
+def filter p xs := match xs with
+  | Nil => Nil
+  | Cons h t => if p h then Cons h (filter p t) else filter p t
+end
+
+def sum xs := match xs with
+  | Nil => 0
+  | Cons h t => h + sum t
+end
+
+def isEven x := x % 2 == 0
+def divisibleBy k x := x % k == 0
+
+def main :=
+  let xs := range @N@;
+  sum (filter isEven xs) + sum (filter (divisibleBy 3) xs)
+)";
+
+// qsort — "real in-place quicksort using LEAN's arrays": the RC==1
+// destructive array update path.
+const char *Qsort = R"(
+inductive Pair := | MkPair a b
+
+def fill a i n s :=
+  if i == n then a
+  else fill (arrayPush a (s % 10007)) (i + 1) n ((s * 1103515245 + 12345) % 2147483648)
+
+def swap a i j :=
+  let x := arrayGet a i;
+  let y := arrayGet a j;
+  arraySet (arraySet a i y) j x
+
+def partLoop a i j hi pivot :=
+  if j == hi then MkPair (swap a i hi) i
+  else if arrayGet a j < pivot
+       then partLoop (swap a i j) (i + 1) (j + 1) hi pivot
+       else partLoop a i (j + 1) hi pivot
+
+def qsortGo a lo hi :=
+  if hi <= lo then a
+  else match partLoop a lo lo hi (arrayGet a hi) with
+       | MkPair a2 p =>
+         qsortGo (qsortGo a2 lo (if p == 0 then 0 else p - 1)) (p + 1) hi
+end
+
+def checksum a i n acc :=
+  if i == n then acc
+  else checksum a (i + 1) n ((acc * 31 + arrayGet a i) % 1000000007)
+
+def main :=
+  let a := fill (arrayMk 0 0) 0 @N@ 42;
+  let sorted := qsortGo a 0 (@N@ - 1);
+  checksum sorted 0 @N@ 0
+)";
+
+// rbmap_checkpoint — Okasaki-style red-black tree insertion with periodic
+// lookup checkpoints; deeply nested patterns stress the match compiler's
+// join points.
+const char *RBMap = R"(
+inductive Color := | Red | Black
+inductive Tree := | Leaf | Node c l k v r
+
+def balance c l k v r := match c, l, r with
+  | Black, Node Red (Node Red a kx vx b) ky vy c2, r2 =>
+      Node Red (Node Black a kx vx b) ky vy (Node Black c2 k v r2)
+  | Black, Node Red a kx vx (Node Red b ky vy c2), r2 =>
+      Node Red (Node Black a kx vx b) ky vy (Node Black c2 k v r2)
+  | Black, l2, Node Red (Node Red b ky vy c2) kz vz d =>
+      Node Red (Node Black l2 k v b) ky vy (Node Black c2 kz vz d)
+  | Black, l2, Node Red b ky vy (Node Red c2 kz vz d) =>
+      Node Red (Node Black l2 k v b) ky vy (Node Black c2 kz vz d)
+  | c3, l2, r2 => Node c3 l2 k v r2
+end
+
+def ins t k v := match t with
+  | Leaf => Node Red Leaf k v Leaf
+  | Node c2 l kx vx r =>
+    if k < kx then balance c2 (ins l k v) kx vx r
+    else if kx < k then balance c2 l kx vx (ins r k v)
+    else Node c2 l k v r
+end
+
+def blacken t := match t with
+  | Node _ l k v r => Node Black l k v r
+  | t2 => t2
+end
+
+def insert t k v := blacken (ins t k v)
+
+def lookup t k := match t with
+  | Leaf => 0
+  | Node _ l kx vx r =>
+    if k < kx then lookup l k
+    else if kx < k then lookup r k
+    else vx
+end
+
+def build t i n s :=
+  if i == n then t
+  else build (insert t (s % 65536) i) (i + 1) n ((s * 1103515245 + 12345) % 2147483648)
+
+def probe t i acc :=
+  if i == 0 then acc
+  else probe t (i - 1) (acc + lookup t (i * 7 % 65536))
+
+def main :=
+  let t := build Leaf 0 @N@ 42;
+  probe t 1000 0
+)";
+
+// unionfind — Tarjan's union-find over arrays (find with halving-free
+// simple chase; union by overwrite), as in the LEAN suite's version.
+const char *UnionFind = R"(
+def initArr a i n :=
+  if i == n then a
+  else initArr (arrayPush a i) (i + 1) n
+
+def find uf i :=
+  let p := arrayGet uf i;
+  if p == i then i else find uf p
+
+def union uf a b :=
+  let ra := find uf a;
+  let rb := find uf b;
+  if ra == rb then uf else arraySet uf ra rb
+
+def loop uf i n s :=
+  if i == n then uf
+  else
+    let x := s % n;
+    let y := (s / 7 + i) % n;
+    loop (union uf x y) (i + 1) n ((s * 1103515245 + 12345) % 2147483648)
+
+def countRoots uf i n acc :=
+  if i == n then acc
+  else countRoots uf (i + 1) n (acc + (if find uf i == i then 1 else 0))
+
+def main :=
+  let uf := initArr (arrayMk 0 0) 0 @N@;
+  let uf2 := loop uf 0 @N@ 42;
+  countRoots uf2 0 @N@ 0
+)";
+
+std::vector<BenchProgram> makeSuite() {
+  return {
+      {"binarytrees", BinaryTrees, /*BenchSize=*/12, /*TestSize=*/5},
+      {"binarytrees-int", BinaryTreesInt, 12, 5},
+      {"const_fold", ConstFold, 13, 5},
+      {"deriv", Deriv, 10, 4},
+      {"filter", Filter, 30000, 200},
+      {"qsort", Qsort, 10000, 150},
+      {"rbmap_checkpoint", RBMap, 30000, 300},
+      {"unionfind", UnionFind, 6000, 300},
+  };
+}
+
+} // namespace
+
+const std::vector<BenchProgram> &lz::programs::getBenchmarkSuite() {
+  static std::vector<BenchProgram> Suite = makeSuite();
+  return Suite;
+}
+
+const BenchProgram &lz::programs::getBenchmark(const std::string &Name) {
+  for (const BenchProgram &P : getBenchmarkSuite())
+    if (Name == P.Name)
+      return P;
+  assert(false && "unknown benchmark");
+  static BenchProgram Dummy{};
+  return Dummy;
+}
+
+std::string lz::programs::instantiate(const BenchProgram &P, long Size) {
+  std::string Src = P.SourceTemplate;
+  std::string SizeStr = std::to_string(Size);
+  size_t Pos;
+  while ((Pos = Src.find("@N@")) != std::string::npos)
+    Src.replace(Pos, 3, SizeStr);
+  return Src;
+}

@@ -1,0 +1,46 @@
+//===- Programs.h - the LEAN benchmark suite in MiniLean --------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniLean ports of the LEAN benchmark suite used in the paper's
+/// evaluation (Section V-B): binarytrees, binarytrees-int, const_fold,
+/// deriv, filter, qsort, rbmap_checkpoint, unionfind. Each program is a
+/// template with one size parameter; tests run them at small sizes against
+/// the oracle, benchmarks at large sizes for timing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_PROGRAMS_PROGRAMS_H
+#define LZ_PROGRAMS_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+namespace lz::programs {
+
+struct BenchProgram {
+  const char *Name;
+  /// MiniLean source with a single `@N@` placeholder for the size.
+  const char *SourceTemplate;
+  /// Size used by the timing harness.
+  long BenchSize;
+  /// Size used by correctness tests (small enough for the oracle).
+  long TestSize;
+};
+
+/// All eight benchmark programs, in the order of the paper's figures.
+const std::vector<BenchProgram> &getBenchmarkSuite();
+
+/// Looks up one by name; asserts on unknown names.
+const BenchProgram &getBenchmark(const std::string &Name);
+
+/// Instantiates the source template with the given size.
+std::string instantiate(const BenchProgram &P, long Size);
+
+} // namespace lz::programs
+
+#endif // LZ_PROGRAMS_PROGRAMS_H

@@ -1,0 +1,231 @@
+//===- Borrow.cpp - borrow inference for reference counting --------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rc/Borrow.h"
+
+#include <functional>
+#include <set>
+
+using namespace lz;
+using namespace lz::lambda;
+using namespace lz::rc;
+
+namespace {
+
+/// One demotion sweep over a single function under the current borrow
+/// assumptions. Computes the borrowed-local set (derived through Var and
+/// Proj from borrowed parameters) on the fly, and records every parameter
+/// (function or join) that must be demoted to owned.
+class DemotionSweep {
+public:
+  DemotionSweep(const Function &F, const BorrowInfo &Info) : F(F), Info(Info) {}
+
+  /// Returns the set of consumed vars and fills \p DemotedJoins with join
+  /// params that received a non-borrowed argument at some site.
+  void run(std::set<VarId> &ConsumedOut,
+           std::map<JoinId, std::set<size_t>> &DemotedJoinParams) {
+    Borrowed.clear();
+    Consumed.clear();
+    JoinDemotions.clear();
+    for (size_t I = 0; I != F.Params.size(); ++I)
+      if (Info.fnParamBorrowed(F.Name, I))
+        Borrowed.insert(F.Params[I]);
+    walk(*F.Body);
+    ConsumedOut = std::move(Consumed);
+    DemotedJoinParams = std::move(JoinDemotions);
+  }
+
+private:
+  void consume(VarId V) { Consumed.insert(V); }
+  bool isBorrowed(VarId V) const { return Borrowed.count(V) != 0; }
+
+  void walkExpr(VarId Target, const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::Ctor:
+    case Expr::Kind::PAp:
+    case Expr::Kind::VAp:
+      for (VarId A : E.Args)
+        consume(A);
+      return;
+    case Expr::Kind::Proj:
+    case Expr::Kind::Var:
+      // Borrow-neutral; the result inherits borrowedness.
+      if (isBorrowed(E.Args[0]))
+        Borrowed.insert(Target);
+      return;
+    case Expr::Kind::FAp:
+      for (size_t I = 0; I != E.Args.size(); ++I)
+        if (!Info.fnParamBorrowed(E.Callee, I))
+          consume(E.Args[I]);
+      return;
+    case Expr::Kind::Lit:
+    case Expr::Kind::BigLit:
+      return;
+    }
+  }
+
+  void walk(const FnBody &B) {
+    switch (B.K) {
+    case FnBody::Kind::Let:
+      walkExpr(B.Var, B.E);
+      walk(*B.Next);
+      return;
+    case FnBody::Kind::JDecl: {
+      // Mark borrowed join params before walking the body.
+      for (size_t I = 0; I != B.Params.size(); ++I)
+        if (Info.joinParamBorrowed(F.Name, B.Join, I))
+          Borrowed.insert(B.Params[I]);
+      walk(*B.JBody);
+      walk(*B.Next);
+      return;
+    }
+    case FnBody::Kind::Case:
+      for (const Alt &A : B.Alts)
+        walk(*A.Body);
+      if (B.Default)
+        walk(*B.Default);
+      return;
+    case FnBody::Kind::Ret:
+      consume(B.Var);
+      return;
+    case FnBody::Kind::Jmp:
+      for (size_t I = 0; I != B.Args.size(); ++I) {
+        if (!Info.joinParamBorrowed(F.Name, B.Join, I)) {
+          consume(B.Args[I]);
+          continue;
+        }
+        // Borrowed join position: sound only when the argument itself is
+        // borrowed — a join body never returns control, so nobody could
+        // release an owned argument afterwards.
+        if (!isBorrowed(B.Args[I]))
+          JoinDemotions[B.Join].insert(I);
+      }
+      return;
+    case FnBody::Kind::Inc:
+    case FnBody::Kind::Dec:
+      walk(*B.Next);
+      return;
+    case FnBody::Kind::Unreachable:
+      return;
+    }
+  }
+
+  const Function &F;
+  const BorrowInfo &Info;
+  std::set<VarId> Borrowed;
+  std::set<VarId> Consumed;
+  std::map<JoinId, std::set<size_t>> JoinDemotions;
+};
+
+/// Closure targets must keep the owned calling convention.
+std::set<std::string> collectPapTargets(const Program &P) {
+  std::set<std::string> Targets;
+  std::function<void(const FnBody &)> Walk = [&](const FnBody &B) {
+    if (B.K == FnBody::Kind::Let && B.E.K == Expr::Kind::PAp)
+      Targets.insert(B.E.Callee);
+    if (B.JBody)
+      Walk(*B.JBody);
+    if (B.Next)
+      Walk(*B.Next);
+    if (B.Default)
+      Walk(*B.Default);
+    for (const Alt &A : B.Alts)
+      Walk(*A.Body);
+  };
+  for (const Function &F : P.Functions)
+    Walk(*F.Body);
+  return Targets;
+}
+
+void collectJoinParams(const FnBody &B,
+                       std::map<JoinId, size_t> &ParamCounts) {
+  if (B.K == FnBody::Kind::JDecl)
+    ParamCounts[B.Join] = B.Params.size();
+  if (B.JBody)
+    collectJoinParams(*B.JBody, ParamCounts);
+  if (B.Next)
+    collectJoinParams(*B.Next, ParamCounts);
+  if (B.Default)
+    collectJoinParams(*B.Default, ParamCounts);
+  for (const Alt &A : B.Alts)
+    collectJoinParams(*A.Body, ParamCounts);
+}
+
+} // namespace
+
+BorrowInfo lz::rc::inferBorrowedParams(const Program &P) {
+  BorrowInfo Info;
+  std::set<std::string> PapTargets = collectPapTargets(P);
+
+  // Optimistic initialization.
+  for (const Function &F : P.Functions) {
+    bool ForceOwned = PapTargets.count(F.Name) != 0;
+    Info.Fn[F.Name] = std::vector<bool>(F.Params.size(), !ForceOwned);
+    std::map<JoinId, size_t> JoinParams;
+    collectJoinParams(*F.Body, JoinParams);
+    for (auto [J, N] : JoinParams)
+      Info.Joins[F.Name][J] = std::vector<bool>(N, true);
+  }
+
+  // Monotone demotion to the greatest fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Function &F : P.Functions) {
+      std::set<VarId> Consumed;
+      std::map<JoinId, std::set<size_t>> DemotedJoinParams;
+      DemotionSweep Sweep(F, Info);
+      Sweep.run(Consumed, DemotedJoinParams);
+
+      std::vector<bool> &FnSig = Info.Fn[F.Name];
+      for (size_t I = 0; I != F.Params.size(); ++I) {
+        if (FnSig[I] && Consumed.count(F.Params[I])) {
+          FnSig[I] = false;
+          Changed = true;
+        }
+      }
+      auto &JoinSigs = Info.Joins[F.Name];
+      for (auto &[J, Sig] : JoinSigs) {
+        for (size_t I = 0; I != Sig.size(); ++I) {
+          bool Demote = DemotedJoinParams.count(J) &&
+                        DemotedJoinParams.at(J).count(I);
+          // A join parameter consumed in its own body is owned too.
+          // (Its VarId is in Consumed like any other variable.)
+          if (Sig[I] && Demote) {
+            Sig[I] = false;
+            Changed = true;
+          }
+        }
+      }
+      // Consumed join params: map VarIds back to signatures.
+      std::map<JoinId, size_t> JoinParamCounts;
+      collectJoinParams(*F.Body, JoinParamCounts);
+      std::function<void(const FnBody &)> DemoteConsumedParams =
+          [&](const FnBody &B) {
+            if (B.K == FnBody::Kind::JDecl) {
+              std::vector<bool> &Sig = JoinSigs[B.Join];
+              for (size_t I = 0; I != B.Params.size(); ++I) {
+                if (Sig[I] && Consumed.count(B.Params[I])) {
+                  Sig[I] = false;
+                  Changed = true;
+                }
+              }
+            }
+            if (B.JBody)
+              DemoteConsumedParams(*B.JBody);
+            if (B.Next)
+              DemoteConsumedParams(*B.Next);
+            if (B.Default)
+              DemoteConsumedParams(*B.Default);
+            for (const Alt &A : B.Alts)
+              DemoteConsumedParams(*A.Body);
+          };
+      DemoteConsumedParams(*F.Body);
+    }
+  }
+  return Info;
+}

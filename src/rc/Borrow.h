@@ -1,0 +1,66 @@
+//===- Borrow.h - borrow inference for reference counting -------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Borrow inference in the style of "Counting Immutable Beans" §4 (the
+/// refinement LEAN4's λrc ships with): a parameter is *borrowed* when the
+/// function only inspects it — case scrutiny, projections, passing it on
+/// at borrowed positions — and never consumes it (stores it in a
+/// constructor or closure, returns it, or passes it at an owned
+/// position). Callers of a borrowed position retain ownership, so the
+/// recursion spine of e.g. `length` carries no inc/dec at all.
+///
+/// Join points participate with their own borrow signatures (the match
+/// compiler routes all control flow through them); a join parameter can
+/// only be borrowed if every jump site passes a value that is itself
+/// borrowed, since a join body never returns control to the frame that
+/// could otherwise release an owned argument.
+///
+/// Functions appearing as `pap` targets keep all parameters owned: the
+/// closure calling convention passes owned arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_RC_BORROW_H
+#define LZ_RC_BORROW_H
+
+#include "lambda/LambdaIR.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lz::rc {
+
+/// Borrow signatures for one program.
+struct BorrowInfo {
+  /// Fn[f][i]: parameter i of function f is borrowed.
+  std::map<std::string, std::vector<bool>> Fn;
+  /// Joins[f][j][i]: parameter i of join j in function f is borrowed.
+  std::map<std::string, std::map<lambda::JoinId, std::vector<bool>>> Joins;
+
+  bool fnParamBorrowed(const std::string &F, size_t I) const {
+    auto It = Fn.find(F);
+    return It != Fn.end() && I < It->second.size() && It->second[I];
+  }
+  bool joinParamBorrowed(const std::string &F, lambda::JoinId J,
+                         size_t I) const {
+    auto FIt = Joins.find(F);
+    if (FIt == Joins.end())
+      return false;
+    auto JIt = FIt->second.find(J);
+    return JIt != FIt->second.end() && I < JIt->second.size() &&
+           JIt->second[I];
+  }
+};
+
+/// Infers borrowed parameters for every function and join point in \p P.
+BorrowInfo inferBorrowedParams(const lambda::Program &P);
+
+} // namespace lz::rc
+
+#endif // LZ_RC_BORROW_H

@@ -1,0 +1,377 @@
+//===- RCInsert.cpp - reference count insertion (λpure -> λrc) ----------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rc/RCInsert.h"
+
+#include "rc/Borrow.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace lz;
+using namespace lz::lambda;
+using namespace lz::rc;
+
+namespace {
+
+using VarSet = std::set<VarId>;
+
+class RCInserter {
+public:
+  RCInserter(Function &F, const BorrowInfo &Info) : F(F), Info(Info) {}
+
+  void run() {
+    VarSet Owned;
+    for (size_t I = 0; I != F.Params.size(); ++I) {
+      if (Info.fnParamBorrowed(F.Name, I))
+        Borrowed.insert(F.Params[I]);
+      else
+        Owned.insert(F.Params[I]);
+    }
+    F.Body = go(std::move(F.Body), std::move(Owned));
+  }
+
+private:
+  bool isBorrowed(VarId V) const { return Borrowed.count(V) != 0; }
+
+  //===------------------------------------------------------------------===//
+  // Free variables (with join captures folded into jmp)
+  //===------------------------------------------------------------------===//
+
+  const VarSet &fv(const FnBody *B) {
+    auto It = FVCache.find(B);
+    if (It != FVCache.end())
+      return It->second;
+    VarSet S;
+    switch (B->K) {
+    case FnBody::Kind::Let: {
+      S = fv(B->Next.get());
+      S.erase(B->Var);
+      for (VarId A : B->E.Args)
+        S.insert(A);
+      break;
+    }
+    case FnBody::Kind::JDecl: {
+      // Body first so captured[j] is known before Next's jmps query it.
+      VarSet BodyFV = fv(B->JBody.get());
+      for (VarId P : B->Params)
+        BodyFV.erase(P);
+      Captured[B->Join] = BodyFV;
+      S = fv(B->Next.get());
+      break;
+    }
+    case FnBody::Kind::Case: {
+      for (const Alt &A : B->Alts) {
+        const VarSet &AS = fv(A.Body.get());
+        S.insert(AS.begin(), AS.end());
+      }
+      if (B->Default) {
+        const VarSet &DS = fv(B->Default.get());
+        S.insert(DS.begin(), DS.end());
+      }
+      S.insert(B->Var);
+      break;
+    }
+    case FnBody::Kind::Ret:
+      S.insert(B->Var);
+      break;
+    case FnBody::Kind::Jmp: {
+      for (VarId A : B->Args)
+        S.insert(A);
+      auto CIt = Captured.find(B->Join);
+      assert(CIt != Captured.end() && "jmp before jdecl in fv traversal");
+      S.insert(CIt->second.begin(), CIt->second.end());
+      break;
+    }
+    case FnBody::Kind::Inc:
+    case FnBody::Kind::Dec:
+      assert(false && "RC insertion on a program that already has RC ops");
+      break;
+    case FnBody::Kind::Unreachable:
+      break;
+    }
+    return FVCache.emplace(B, std::move(S)).first->second;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Transformation
+  //===------------------------------------------------------------------===//
+
+  /// Transforms \p B given that exactly the variables in \p Owned are
+  /// owned-and-live on entry (borrowed variables are never owned). Owned
+  /// variables no longer needed die here with a dec.
+  FnBodyPtr go(FnBodyPtr B, VarSet Owned) {
+    const VarSet &Live = fv(B.get());
+    std::vector<VarId> Dead;
+    for (VarId V : Owned)
+      if (!Live.count(V))
+        Dead.push_back(V);
+    for (VarId V : Dead)
+      Owned.erase(V);
+
+    FnBodyPtr Result = goLive(std::move(B), std::move(Owned));
+    for (VarId V : Dead)
+      Result = makeDec(V, std::move(Result));
+    return Result;
+  }
+
+  /// Number of *consuming* occurrences of each argument of \p E, given
+  /// the borrow signatures for calls.
+  std::map<VarId, unsigned> consumingMultiplicity(const Expr &E) const {
+    std::map<VarId, unsigned> Mult;
+    switch (E.K) {
+    case Expr::Kind::Ctor:
+    case Expr::Kind::PAp:
+    case Expr::Kind::VAp:
+      for (VarId A : E.Args)
+        ++Mult[A];
+      break;
+    case Expr::Kind::Var:
+      ++Mult[E.Args[0]];
+      break;
+    case Expr::Kind::FAp:
+      for (size_t I = 0; I != E.Args.size(); ++I)
+        if (!Info.fnParamBorrowed(E.Callee, I))
+          ++Mult[E.Args[I]];
+      break;
+    case Expr::Kind::Proj: // handled separately
+    case Expr::Kind::Lit:
+    case Expr::Kind::BigLit:
+      break;
+    }
+    return Mult;
+  }
+
+  /// \pre Owned == fv(B) ∩ owned variables.
+  FnBodyPtr goLive(FnBodyPtr B, VarSet Owned) {
+    switch (B->K) {
+    case FnBody::Kind::Let: {
+      const VarSet &NextLive = fv(B->Next.get());
+      VarId X = B->Var;
+      bool XLive = NextLive.count(X) != 0;
+
+      // Borrow-propagating bindings: alias of / projection from a
+      // borrowed value yields a borrowed value — no RC traffic at all.
+      if ((B->E.K == Expr::Kind::Proj || B->E.K == Expr::Kind::Var) &&
+          isBorrowed(B->E.Args[0])) {
+        Borrowed.insert(X);
+        B->Next = go(std::move(B->Next), std::move(Owned));
+        return B;
+      }
+
+      if (B->E.K == Expr::Kind::Proj) {
+        // let x = proj_i y with owned y: borrow y, re-own the field.
+        VarId Y = B->E.Args[0];
+        bool YLive = NextLive.count(Y) != 0;
+        VarSet NextOwned = Owned;
+        if (XLive)
+          NextOwned.insert(X);
+        if (!YLive)
+          NextOwned.erase(Y);
+        FnBodyPtr Next = go(std::move(B->Next), std::move(NextOwned));
+        if (!YLive)
+          Next = makeDec(Y, std::move(Next));
+        if (XLive)
+          Next = makeInc(X, std::move(Next));
+        B->Next = std::move(Next);
+        return B;
+      }
+
+      // Pay for consuming uses with incs up front.
+      std::map<VarId, unsigned> Mult = consumingMultiplicity(B->E);
+      std::vector<VarId> Incs;
+      VarSet NextOwned = Owned;
+      for (auto [Y, MC] : Mult) {
+        if (isBorrowed(Y)) {
+          // We own zero references: buy one per consuming use.
+          for (unsigned I = 0; I != MC; ++I)
+            Incs.push_back(Y);
+          continue;
+        }
+        bool LiveAfter = NextLive.count(Y) != 0;
+        bool Keep = LiveAfter || MC == 0;
+        unsigned Needed = MC + (Keep ? 1 : 0);
+        assert(Needed >= 1 && "owned variable with no demand");
+        for (unsigned I = 1; I < Needed; ++I)
+          Incs.push_back(Y);
+        if (!Keep)
+          NextOwned.erase(Y);
+      }
+      // Owned arguments only passed at borrowed positions (MC == 0 and
+      // absent from Mult entirely): they simply stay owned; the entry
+      // cleanup of the continuation releases them when they die.
+
+      bool NeedDecX = !XLive && producesOwned(B->E);
+      if (XLive)
+        NextOwned.insert(X);
+
+      FnBodyPtr Next = go(std::move(B->Next), std::move(NextOwned));
+      if (NeedDecX)
+        Next = makeDec(X, std::move(Next));
+      B->Next = std::move(Next);
+      FnBodyPtr Result = std::move(B);
+      for (VarId Y : Incs)
+        Result = makeInc(Y, std::move(Result));
+      return Result;
+    }
+
+    case FnBody::Kind::JDecl: {
+      const VarSet &Cap = Captured.at(B->Join);
+      VarSet BodyOwned;
+      for (size_t I = 0; I != B->Params.size(); ++I) {
+        if (Info.joinParamBorrowed(F.Name, B->Join, I))
+          Borrowed.insert(B->Params[I]);
+        else
+          BodyOwned.insert(B->Params[I]);
+      }
+      for (VarId C : Cap)
+        if (!isBorrowed(C))
+          BodyOwned.insert(C);
+      B->JBody = go(std::move(B->JBody), std::move(BodyOwned));
+      B->Next = go(std::move(B->Next), std::move(Owned));
+      return B;
+    }
+
+    case FnBody::Kind::Case: {
+      for (Alt &A : B->Alts)
+        A.Body = go(std::move(A.Body), Owned);
+      if (B->Default)
+        B->Default = go(std::move(B->Default), Owned);
+      return B;
+    }
+
+    case FnBody::Kind::Ret: {
+      // The return transfers one reference; a borrowed value must be
+      // re-owned first. (Read Var before moving B: evaluation order of
+      // function arguments is unspecified.)
+      VarId RetVar = B->Var;
+      if (isBorrowed(RetVar))
+        return makeInc(RetVar, std::move(B));
+      return B;
+    }
+
+    case FnBody::Kind::Jmp: {
+      const VarSet &Cap = Captured.at(B->Join);
+      std::map<VarId, unsigned> Mult;
+      for (size_t I = 0; I != B->Args.size(); ++I)
+        if (!Info.joinParamBorrowed(F.Name, B->Join, I))
+          ++Mult[B->Args[I]];
+      // Captured owned variables transfer one reference implicitly.
+      for (VarId C : Cap)
+        if (!isBorrowed(C))
+          ++Mult[C];
+
+      std::vector<VarId> Incs;
+      for (auto [Y, MC] : Mult) {
+        if (isBorrowed(Y)) {
+          for (unsigned I = 0; I != MC; ++I)
+            Incs.push_back(Y);
+          continue;
+        }
+        assert(MC >= 1 && "owned var at jmp with no ownership demand");
+        for (unsigned I = 1; I < MC; ++I)
+          Incs.push_back(Y);
+      }
+      // Owned variables passed exclusively at borrowed positions cannot
+      // occur: borrow inference demotes such join parameters.
+      for (size_t I = 0; I != B->Args.size(); ++I) {
+        assert((Mult.count(B->Args[I]) || isBorrowed(B->Args[I])) &&
+               "owned argument at borrowed join position");
+      }
+      FnBodyPtr Result = std::move(B);
+      for (VarId Y : Incs)
+        Result = makeInc(Y, std::move(Result));
+      return Result;
+    }
+
+    case FnBody::Kind::Inc:
+    case FnBody::Kind::Dec:
+      assert(false && "RC insertion is not idempotent");
+      return B;
+
+    case FnBody::Kind::Unreachable:
+      return B;
+    }
+    return B;
+  }
+
+  /// True if the binding owns the expression result and must release it
+  /// when dead.
+  static bool producesOwned(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::Ctor:
+    case Expr::Kind::PAp:
+    case Expr::Kind::FAp:
+    case Expr::Kind::VAp:
+    case Expr::Kind::BigLit:
+    case Expr::Kind::Var:
+      return true;
+    case Expr::Kind::Lit:
+      return false;
+    case Expr::Kind::Proj:
+      return false; // handled separately
+    }
+    return false;
+  }
+
+  Function &F;
+  const BorrowInfo &Info;
+  VarSet Borrowed;
+  std::map<const FnBody *, VarSet> FVCache;
+  std::map<JoinId, VarSet> Captured;
+};
+
+} // namespace
+
+void rc::insertRC(lambda::Program &P, const RCOptions &Opts) {
+  BorrowInfo Info;
+  if (Opts.BorrowInference)
+    Info = inferBorrowedParams(P);
+  for (Function &F : P.Functions) {
+    RCInserter I(F, Info);
+    I.run();
+  }
+}
+
+bool rc::hasRCOps(const lambda::Function &F) {
+  bool Found = false;
+  std::function<void(const FnBody &)> Walk = [&](const FnBody &B) {
+    if (B.K == FnBody::Kind::Inc || B.K == FnBody::Kind::Dec)
+      Found = true;
+    if (B.JBody)
+      Walk(*B.JBody);
+    if (B.Next)
+      Walk(*B.Next);
+    if (B.Default)
+      Walk(*B.Default);
+    for (const Alt &A : B.Alts)
+      Walk(*A.Body);
+  };
+  Walk(*F.Body);
+  return Found;
+}
+
+unsigned rc::countRCOps(const lambda::Program &P) {
+  unsigned N = 0;
+  std::function<void(const FnBody &)> Walk = [&](const FnBody &B) {
+    if (B.K == FnBody::Kind::Inc || B.K == FnBody::Kind::Dec)
+      ++N;
+    if (B.JBody)
+      Walk(*B.JBody);
+    if (B.Next)
+      Walk(*B.Next);
+    if (B.Default)
+      Walk(*B.Default);
+    for (const Alt &A : B.Alts)
+      Walk(*A.Body);
+  };
+  for (const lambda::Function &F : P.Functions)
+    Walk(*F.Body);
+  return N;
+}

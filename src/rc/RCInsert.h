@@ -1,0 +1,57 @@
+//===- RCInsert.h - reference count insertion (λpure -> λrc) ----*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inserts explicit Inc/Dec statements, turning λpure into λrc
+/// (Section II-B: "λrc, an extension of λpure with reference counting").
+/// The algorithm is the owned-reference discipline of Ullrich & de Moura's
+/// "Counting Immutable Beans" (simplified: every parameter and binding is
+/// owned; borrow inference is not performed — projections borrow and
+/// re-own their result explicitly):
+///
+///   * every variable holds exactly one reference at its binding point;
+///   * a use that packages or passes the variable consumes the reference,
+///     extra uses are paid for with `inc` ahead of time;
+///   * a variable that dies without being consumed gets a `dec` at the
+///     earliest point on the path where it is no longer live;
+///   * `proj` borrows its argument: the result is `inc`ed to become owned
+///     and the parent is `dec`ed when dead;
+///   * join points own their parameters and their captured variables; a
+///     `jmp` transfers ownership of both.
+///
+/// Leak-freedom and double-free-freedom are verified end-to-end by the
+/// differential tests via the runtime's allocation accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_RC_RCINSERT_H
+#define LZ_RC_RCINSERT_H
+
+#include "lambda/LambdaIR.h"
+
+namespace lz::rc {
+
+struct RCOptions {
+  /// Run Counting-Immutable-Beans-style borrow inference first, so
+  /// read-only parameters carry no RC traffic (see Borrow.h). Disable to
+  /// get the naive all-owned discipline (used by ablations).
+  bool BorrowInference = true;
+};
+
+/// Rewrites every function of \p P in place from λpure to λrc. Input must
+/// not already contain Inc/Dec nodes.
+void insertRC(lambda::Program &P, const RCOptions &Opts = {});
+
+/// True if any Inc/Dec appears in \p F (for test assertions).
+bool hasRCOps(const lambda::Function &F);
+
+/// Total number of Inc/Dec statements in \p P (for tests/ablations).
+unsigned countRCOps(const lambda::Program &P);
+
+} // namespace lz::rc
+
+#endif // LZ_RC_RCINSERT_H

@@ -1,0 +1,137 @@
+//===- CSE.cpp - CSE with global region numbering -----------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Dominance-scoped common subexpression elimination extended with the
+/// paper's Global Region Numbering (Section IV-B-2): op keys include a
+/// rolling structural hash of nested regions, so two `rgn.val` ops whose
+/// regions compute the same thing collapse into one. Combined with the
+/// select folder this performs the paper's Common Branch Elimination:
+///
+///   %x = rgn.val { return 7 }          %w = rgn.val { return 7 }
+///   %y = rgn.val { return 7 }    =>    %z = select %b, %w, %w
+///   %z = select %b, %x, %y             (then select folds to %w)
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "ir/Verifier.h"
+#include "rewrite/Equivalence.h"
+#include "rewrite/Passes.h"
+
+#include <unordered_map>
+
+using namespace lz;
+
+namespace {
+
+class CSEDriver {
+public:
+  bool runOnRegionTree(Region &R) {
+    processRegionScope(R);
+    return Changed;
+  }
+
+private:
+  /// One CSE scope: a region processed along its dominator tree. Nested
+  /// regions are processed in fresh scopes (conservative, like MLIR CSE).
+  void processRegionScope(Region &R) {
+    if (R.empty())
+      return;
+    DominanceInfo Dom(R);
+
+    // Dominator-tree children.
+    std::unordered_map<Block *, std::vector<Block *>> Children;
+    for (Block *B : Dom.getBlocksInRPO()) {
+      Block *Idom = Dom.getIdom(B);
+      if (Idom && Idom != B)
+        Children[Idom].push_back(B);
+    }
+    processBlock(R.getEntryBlock(), Children);
+    Table.clear();
+  }
+
+  void processBlock(
+      Block *B,
+      std::unordered_map<Block *, std::vector<Block *>> &Children) {
+    std::vector<std::pair<uint64_t, Operation *>> Inserted;
+
+    Operation *Op = B->front();
+    while (Op) {
+      Operation *Next = Op->getNextNode();
+      // Nested scopes first so region bodies are in canonical form before
+      // the enclosing op is numbered. A fresh driver keeps the nested
+      // scope's table from clobbering this one.
+      for (unsigned I = 0; I != Op->getNumRegions(); ++I) {
+        CSEDriver Nested;
+        Changed |= Nested.runOnRegionTree(Op->getRegion(I));
+      }
+
+      if (isCSECandidate(Op)) {
+        uint64_t H = computeOpHash(Op);
+        auto &Bucket = Table[H];
+        Operation *Existing = nullptr;
+        for (Operation *Cand : Bucket) {
+          if (isStructurallyEquivalent(Cand, Op)) {
+            Existing = Cand;
+            break;
+          }
+        }
+        if (Existing) {
+          for (unsigned I = 0; I != Op->getNumResults(); ++I)
+            Op->getResult(I)->replaceAllUsesWith(Existing->getResult(I));
+          Op->erase();
+          Changed = true;
+        } else {
+          Bucket.push_back(Op);
+          Inserted.emplace_back(H, Op);
+        }
+      }
+      Op = Next;
+    }
+
+    for (Block *Child : Children[B])
+      processBlock(Child, Children);
+
+    // Pop this block's scope.
+    for (auto &[H, InsertedOp] : Inserted) {
+      auto &Bucket = Table[H];
+      for (auto It = Bucket.begin(); It != Bucket.end(); ++It) {
+        if (*It == InsertedOp) {
+          Bucket.erase(It);
+          break;
+        }
+      }
+    }
+  }
+
+  static bool isCSECandidate(Operation *Op) {
+    // Only side-effect-free ops; allocations are excluded because merging
+    // two allocations breaks explicit reference counting.
+    return Op->hasTrait(OpTrait_Pure) && Op->getNumResults() >= 1 &&
+           Op->getNumSuccessors() == 0 && !Op->isTerminator();
+  }
+
+  std::unordered_map<uint64_t, std::vector<Operation *>> Table;
+  bool Changed = false;
+};
+
+class CSEPass : public Pass {
+public:
+  std::string_view getName() const override { return "cse"; }
+  LogicalResult run(Operation *Root) override {
+    CSEDriver Driver;
+    for (unsigned I = 0; I != Root->getNumRegions(); ++I)
+      Driver.runOnRegionTree(Root->getRegion(I));
+    return success();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lz::createCSEPass() {
+  return std::make_unique<CSEPass>();
+}

@@ -1,0 +1,47 @@
+//===- Canonicalize.cpp - fold + pattern canonicalization ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The canonicalizer drives every registered op's folds and
+/// canonicalization patterns (plus the rgn patterns) to fixpoint. With the
+/// rgn dialect loaded this implements the optimization chains of
+/// Section IV-B, e.g. Figure 1-B Case Elimination:
+///
+///   %x = rgn.val { return 3 }              (select const-folds)
+///   %y = rgn.val { return 5 }         =>   (run-of-known-region inlines)
+///   %z = select true, %x, %y               (dead rgn.vals erased)
+///   rgn.run %z                        =>   return 3
+///
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Passes.h"
+
+#include "rewrite/Pattern.h"
+
+using namespace lz;
+
+namespace {
+
+class CanonicalizerPass : public Pass {
+public:
+  std::string_view getName() const override { return "canonicalize"; }
+
+  LogicalResult run(Operation *Root) override {
+    PatternSet Patterns;
+    Root->getContext()->forEachOpDef([&](const OpDef &Def) {
+      if (Def.CanonicalizationPatterns)
+        Def.CanonicalizationPatterns(Patterns);
+    });
+    populateRgnPatterns(Patterns);
+    return applyPatternsGreedily(Root, Patterns);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lz::createCanonicalizerPass() {
+  return std::make_unique<CanonicalizerPass>();
+}

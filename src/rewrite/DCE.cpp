@@ -1,0 +1,103 @@
+//===- DCE.cpp - dead code and unreachable block elimination ------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Iteratively erases unused pure/allocating ops. Because `rgn.val` is
+/// pure, this single classical pass is the paper's Dead Region Elimination
+/// (Section IV-B-1: "If a region value is never referenced, then it is
+/// never executed. It is thus dead and can safely be removed") and, via lp
+/// constants, Figure 1-A's Dead Expression Elimination.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "ir/Verifier.h"
+#include "rewrite/Passes.h"
+
+#include <unordered_set>
+
+using namespace lz;
+
+namespace {
+
+bool isTriviallyDead(Operation *Op) {
+  if (Op->getNumResults() == 0 || !Op->use_empty())
+    return false;
+  return Op->hasTrait(OpTrait_Pure) || Op->hasTrait(OpTrait_Allocates);
+}
+
+/// One bottom-up sweep over all ops nested under \p Root. Post-order means
+/// a chain of dead ops dies in a single sweep.
+bool sweepDeadOps(Operation *Root) {
+  bool Changed = false;
+  for (unsigned I = 0; I != Root->getNumRegions(); ++I) {
+    Root->getRegion(I).walk([&](Operation *Op) {
+      if (isTriviallyDead(Op)) {
+        Op->erase();
+        Changed = true;
+      }
+    });
+  }
+  return Changed;
+}
+
+/// Removes blocks unreachable from their region's entry.
+bool eraseUnreachableBlocks(Region &R) {
+  if (R.getNumBlocks() <= 1)
+    return false;
+  DominanceInfo Dom(R);
+  std::vector<Block *> Dead;
+  for (const auto &B : R)
+    if (!Dom.isReachable(B.get()))
+      Dead.push_back(B.get());
+  if (Dead.empty())
+    return false;
+
+  // Drop all operand links (including in nested ops) first: unreachable
+  // blocks may reference each other and reachable code cyclically.
+  for (Block *B : Dead) {
+    for (Operation *Op : *B) {
+      Op->walk([](Operation *Nested) {
+        for (unsigned I = 0; I != Nested->getNumOperands(); ++I)
+          Nested->getOpOperand(I).set(nullptr);
+      });
+    }
+  }
+  for (Block *B : Dead)
+    R.eraseBlock(B);
+  return true;
+}
+
+bool sweepUnreachable(Operation *Root) {
+  bool Changed = false;
+  for (unsigned I = 0; I != Root->getNumRegions(); ++I) {
+    Region &R = Root->getRegion(I);
+    Changed |= eraseUnreachableBlocks(R);
+    for (const auto &B : R)
+      for (Operation *Op : *B)
+        Changed |= sweepUnreachable(Op);
+  }
+  return Changed;
+}
+
+class DCEPass : public Pass {
+public:
+  std::string_view getName() const override { return "dce"; }
+  LogicalResult run(Operation *Root) override {
+    bool Changed = true;
+    while (Changed) {
+      Changed = sweepUnreachable(Root);
+      Changed |= sweepDeadOps(Root);
+    }
+    return success();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lz::createDCEPass() {
+  return std::make_unique<DCEPass>();
+}

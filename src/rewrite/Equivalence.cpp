@@ -1,0 +1,189 @@
+//===- Equivalence.cpp - structural op equivalence & region numbering --------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Equivalence.h"
+
+#include "ir/IR.h"
+#include "support/Hashing.h"
+
+#include <unordered_map>
+
+using namespace lz;
+
+namespace {
+
+/// Assigns dense local numbers to values defined inside the op being
+/// hashed/compared; values not in the map are external.
+class LocalNumbering {
+public:
+  void define(Value *V) { Numbers.emplace(V, NextNumber++); }
+
+  /// Returns (isLocal, number-or-zero).
+  std::pair<bool, uint64_t> lookup(Value *V) const {
+    auto It = Numbers.find(V);
+    if (It == Numbers.end())
+      return {false, 0};
+    return {true, It->second};
+  }
+
+private:
+  std::unordered_map<Value *, uint64_t> Numbers;
+  uint64_t NextNumber = 1;
+};
+
+void hashAttr(RollingHash &H, Attribute *A) {
+  // Attributes are uniqued per context: the pointer identifies the value
+  // within a run, which is all a hash table needs.
+  H.add(reinterpret_cast<uintptr_t>(A));
+}
+
+void hashOpInto(Operation *Op, RollingHash &H, LocalNumbering &Local);
+
+void hashRegionInto(Region &R, RollingHash &H, LocalNumbering &Local) {
+  // Number all block arguments first, then instructions in layout order —
+  // the rolling hash over the instruction sequence.
+  std::unordered_map<Block *, uint64_t> BlockNumbers;
+  uint64_t NextBlock = 1;
+  for (const auto &B : R) {
+    BlockNumbers.emplace(B.get(), NextBlock++);
+    H.add(B->getNumArguments());
+    for (unsigned I = 0; I != B->getNumArguments(); ++I) {
+      Local.define(B->getArgument(I));
+      H.add(reinterpret_cast<uintptr_t>(B->getArgument(I)->getType()));
+    }
+  }
+  for (const auto &B : R) {
+    for (Operation *Op : *B) {
+      hashOpInto(Op, H, Local);
+      // Successor block structure participates in the region's number.
+      for (unsigned I = 0; I != Op->getNumSuccessors(); ++I)
+        H.add(BlockNumbers.at(Op->getSuccessor(I)));
+    }
+  }
+}
+
+void hashOpInto(Operation *Op, RollingHash &H, LocalNumbering &Local) {
+  H.addBytes(Op->getName());
+  for (const auto &[Name, Attr] : Op->getAttrs()) {
+    H.addBytes(Name);
+    hashAttr(H, Attr);
+  }
+  for (unsigned I = 0; I != Op->getNumOperands(); ++I) {
+    Value *V = Op->getOperand(I);
+    auto [IsLocal, Number] = Local.lookup(V);
+    if (IsLocal) {
+      H.add(0xA11CE);
+      H.add(Number);
+    } else {
+      H.add(0xB0B);
+      H.add(reinterpret_cast<uintptr_t>(V));
+    }
+  }
+  for (unsigned I = 0; I != Op->getNumResults(); ++I) {
+    Local.define(Op->getResult(I));
+    H.add(reinterpret_cast<uintptr_t>(Op->getResult(I)->getType()));
+  }
+  H.add(Op->getNumRegions());
+  for (unsigned I = 0; I != Op->getNumRegions(); ++I)
+    hashRegionInto(Op->getRegion(I), H, Local);
+}
+
+//===----------------------------------------------------------------------===//
+// Equivalence
+//===----------------------------------------------------------------------===//
+
+/// Maps values local to A onto values local to B.
+using ValueCorrespondence = std::unordered_map<Value *, Value *>;
+
+bool equivalentOps(Operation *A, Operation *B, ValueCorrespondence &Map);
+
+bool equivalentRegions(Region &RA, Region &RB, ValueCorrespondence &Map) {
+  if (RA.getNumBlocks() != RB.getNumBlocks())
+    return false;
+  // Pair blocks positionally and pre-map their arguments.
+  std::unordered_map<Block *, Block *> BlockMap;
+  for (size_t I = 0; I != RA.getNumBlocks(); ++I) {
+    Block *BA = RA.getBlock(I);
+    Block *BB = RB.getBlock(I);
+    BlockMap.emplace(BA, BB);
+    if (BA->getNumArguments() != BB->getNumArguments())
+      return false;
+    for (unsigned J = 0; J != BA->getNumArguments(); ++J) {
+      if (BA->getArgument(J)->getType() != BB->getArgument(J)->getType())
+        return false;
+      Map.emplace(BA->getArgument(J), BB->getArgument(J));
+    }
+  }
+  for (size_t I = 0; I != RA.getNumBlocks(); ++I) {
+    Block *BA = RA.getBlock(I);
+    Block *BB = RB.getBlock(I);
+    auto ItA = BA->begin(), EndA = BA->end();
+    auto ItB = BB->begin(), EndB = BB->end();
+    for (; ItA != EndA && ItB != EndB; ++ItA, ++ItB) {
+      Operation *OA = *ItA;
+      Operation *OB = *ItB;
+      if (!equivalentOps(OA, OB, Map))
+        return false;
+      if (OA->getNumSuccessors() != OB->getNumSuccessors())
+        return false;
+      for (unsigned S = 0; S != OA->getNumSuccessors(); ++S)
+        if (BlockMap.at(OA->getSuccessor(S)) != OB->getSuccessor(S))
+          return false;
+    }
+    if (ItA != EndA || ItB != EndB)
+      return false;
+  }
+  return true;
+}
+
+bool equivalentOps(Operation *A, Operation *B, ValueCorrespondence &Map) {
+  if (A->getName() != B->getName())
+    return false;
+  if (A->getAttrs() != B->getAttrs())
+    return false;
+  if (A->getNumOperands() != B->getNumOperands() ||
+      A->getNumResults() != B->getNumResults() ||
+      A->getNumRegions() != B->getNumRegions())
+    return false;
+  for (unsigned I = 0; I != A->getNumOperands(); ++I) {
+    Value *VA = A->getOperand(I);
+    Value *VB = B->getOperand(I);
+    auto It = Map.find(VA);
+    if (It != Map.end()) {
+      if (It->second != VB)
+        return false;
+    } else if (VA != VB) {
+      // External operands must be the very same SSA value.
+      return false;
+    }
+  }
+  for (unsigned I = 0; I != A->getNumResults(); ++I) {
+    if (A->getResult(I)->getType() != B->getResult(I)->getType())
+      return false;
+    Map.emplace(A->getResult(I), B->getResult(I));
+  }
+  for (unsigned I = 0; I != A->getNumRegions(); ++I)
+    if (!equivalentRegions(A->getRegion(I), B->getRegion(I), Map))
+      return false;
+  return true;
+}
+
+} // namespace
+
+uint64_t lz::computeOpHash(Operation *Op) {
+  RollingHash H;
+  LocalNumbering Local;
+  hashOpInto(Op, H, Local);
+  return H.get();
+}
+
+bool lz::isStructurallyEquivalent(Operation *A, Operation *B) {
+  if (A == B)
+    return true;
+  ValueCorrespondence Map;
+  return equivalentOps(A, B, Map);
+}

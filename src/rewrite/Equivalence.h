@@ -1,0 +1,47 @@
+//===- Equivalence.h - structural op equivalence & region numbering -*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural hashing and equivalence of operations *including their nested
+/// regions* — the paper's "Global Region Numbering" (Section IV-B-2):
+///
+///   "the value number of the region is defined as a rolling hash of the
+///    value numbers of all instructions within the region. Two regions ...
+///    have the same value number if and only if the sequence of
+///    instructions in the two regions have the same value numbers in
+///    identical order."
+///
+/// Values defined outside the op under comparison are numbered by pointer
+/// identity; values defined inside are numbered positionally. MLIR itself
+/// did not provide this ("MLIR does not perform global value numbering as
+/// it is unclear how to define value numbers for instructions with
+/// regions" — paper footnote 2); this module is the extension the paper
+/// contributes, and the CSE pass consumes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_REWRITE_EQUIVALENCE_H
+#define LZ_REWRITE_EQUIVALENCE_H
+
+#include <cstdint>
+
+namespace lz {
+
+class Operation;
+
+/// Rolling structural hash of \p Op: name, attributes, result types,
+/// operand numbering, and recursively the regions' instruction sequences.
+uint64_t computeOpHash(Operation *Op);
+
+/// True if \p A and \p B are structurally equivalent: same op name,
+/// attributes, types, externally-identical / internally-isomorphic
+/// operands, and pairwise-equivalent regions.
+bool isStructurallyEquivalent(Operation *A, Operation *B);
+
+} // namespace lz
+
+#endif // LZ_REWRITE_EQUIVALENCE_H

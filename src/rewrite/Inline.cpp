@@ -1,0 +1,108 @@
+//===- Inline.cpp - simple function inliner ------------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Inlines `func.call` sites whose callee is a small, non-recursive,
+/// single-block function ending in `func.return`. This is the "Inliner:
+/// MLIR builtin" row of the paper's Figure 11 ecosystem table; join-point
+/// inlining is separate (it happens through rgn.run beta reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Func.h"
+#include "ir/Module.h"
+#include "rewrite/Passes.h"
+
+using namespace lz;
+
+namespace {
+
+/// True if \p FuncOp (a single-block function) contains a call to itself.
+bool isDirectlyRecursive(Operation *FuncOp) {
+  std::string_view Name = func::getFuncName(FuncOp);
+  bool Recursive = false;
+  FuncOp->getRegion(0).walk([&](Operation *Op) {
+    if (Op->getName() != "func.call")
+      return;
+    auto *Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
+    if (Callee && Callee->getValue() == Name)
+      Recursive = true;
+  });
+  return Recursive;
+}
+
+class InlinerPass : public Pass {
+public:
+  explicit InlinerPass(unsigned MaxCalleeOps) : MaxCalleeOps(MaxCalleeOps) {}
+
+  std::string_view getName() const override { return "inline"; }
+
+  LogicalResult run(Operation *Module) override {
+    bool Changed = true;
+    unsigned Rounds = 0;
+    while (Changed && Rounds++ < 4) {
+      Changed = false;
+      std::vector<Operation *> Calls;
+      for (Operation *Fn : *getModuleBody(Module))
+        Fn->walk([&](Operation *Op) {
+          if (Op->getName() == "func.call")
+            Calls.push_back(Op);
+        });
+      for (Operation *Call : Calls)
+        Changed |= tryInline(Module, Call);
+    }
+    return success();
+  }
+
+private:
+  bool tryInline(Operation *Module, Operation *Call) {
+    auto *CalleeAttr = Call->getAttrOfType<SymbolRefAttr>("callee");
+    Operation *Callee = lookupSymbol(Module, CalleeAttr->getValue());
+    if (!Callee || Callee->getName() != "func.func")
+      return false;
+    Region &Body = Callee->getRegion(0);
+    if (Body.empty() || Body.getNumBlocks() != 1)
+      return false;
+    Block *Entry = Body.getEntryBlock();
+    if (Entry->size() > MaxCalleeOps)
+      return false;
+    if (!Entry->hasTerminator() ||
+        Entry->getTerminator()->getName() != "func.return")
+      return false;
+    if (isDirectlyRecursive(Callee))
+      return false;
+    // Self-inlining a call inside the callee's own body is covered by the
+    // recursion check above.
+
+    IRMapping Mapping;
+    for (unsigned I = 0; I != Entry->getNumArguments(); ++I)
+      Mapping.map(Entry->getArgument(I), Call->getOperand(I));
+
+    Block *CallBlock = Call->getBlock();
+    Operation *Ret = nullptr;
+    for (Operation *BodyOp : *Entry) {
+      if (BodyOp == Entry->getTerminator()) {
+        Ret = BodyOp;
+        break;
+      }
+      CallBlock->insertBefore(Call, BodyOp->clone(Mapping));
+    }
+    assert(Ret && "callee had no terminator");
+    for (unsigned I = 0; I != Call->getNumResults(); ++I)
+      Call->getResult(I)->replaceAllUsesWith(
+          Mapping.lookupOrDefault(Ret->getOperand(I)));
+    Call->erase();
+    return true;
+  }
+
+  unsigned MaxCalleeOps;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lz::createInlinerPass(unsigned MaxCalleeOps) {
+  return std::make_unique<InlinerPass>(MaxCalleeOps);
+}

@@ -1,0 +1,33 @@
+//===- Pass.cpp - pass and pass manager ---------------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Pass.h"
+
+#include "ir/Verifier.h"
+#include "support/OStream.h"
+
+using namespace lz;
+
+LogicalResult PassManager::run(Operation *Root) {
+  RanPasses.clear();
+  if (VerifyEach && failed(verify(Root))) {
+    errs() << "pass manager: IR invalid before pipeline\n";
+    return failure();
+  }
+  for (auto &P : Passes) {
+    if (failed(P->run(Root))) {
+      errs() << "pass '" << P->getName() << "' failed\n";
+      return failure();
+    }
+    RanPasses.emplace_back(P->getName());
+    if (VerifyEach && failed(verify(Root))) {
+      errs() << "pass '" << P->getName() << "' produced invalid IR\n";
+      return failure();
+    }
+  }
+  return success();
+}

@@ -1,0 +1,59 @@
+//===- Pass.h - pass and pass manager ---------------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal pass manager in the MLIR mold: passes run over a root op
+/// (normally the module), and the manager re-verifies the IR after each
+/// pass so a broken transformation is caught at its source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_REWRITE_PASS_H
+#define LZ_REWRITE_PASS_H
+
+#include "support/LogicalResult.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lz {
+
+class Operation;
+
+/// A unit of IR transformation.
+class Pass {
+public:
+  virtual ~Pass() = default;
+  virtual std::string_view getName() const = 0;
+  virtual LogicalResult run(Operation *Root) = 0;
+};
+
+/// Runs a pipeline of passes with inter-pass verification.
+class PassManager {
+public:
+  void addPass(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  /// When disabled, skips the verifier between passes (benchmarking).
+  void setVerifyEach(bool Enable) { VerifyEach = Enable; }
+
+  /// Runs all passes over \p Root; stops at the first failure.
+  LogicalResult run(Operation *Root);
+
+  /// Names of passes that ran (for testing/reporting).
+  const std::vector<std::string> &getRanPasses() const { return RanPasses; }
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+  std::vector<std::string> RanPasses;
+  bool VerifyEach = true;
+};
+
+} // namespace lz
+
+#endif // LZ_REWRITE_PASS_H

@@ -1,0 +1,54 @@
+//===- Passes.h - the standard pass set -------------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factories for the passes the paper uses (Figure 11's "MLIR builtin"
+/// rows plus the rgn-specific extensions):
+///
+///   * Canonicalizer — folds + canonicalization patterns to fixpoint;
+///     with the rgn patterns registered this performs the paper's Case
+///     Elimination and the select-folding steps of Section IV-B.
+///   * CSE — dominance-scoped common subexpression elimination extended
+///     with Global Region Numbering, so identical rgn.val regions merge
+///     (Common Branch Elimination).
+///   * DCE — deletes unused pure/allocating ops (Dead Region / Dead
+///     Expression Elimination) and unreachable blocks.
+///   * Inliner — inlines small non-recursive straight-line callees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_REWRITE_PASSES_H
+#define LZ_REWRITE_PASSES_H
+
+#include "rewrite/Pass.h"
+
+#include <memory>
+
+namespace lz {
+
+class PatternSet;
+
+/// Canonicalizer over the whole module: collects every registered op's
+/// canonicalization patterns plus \p Extra (may be null).
+std::unique_ptr<Pass> createCanonicalizerPass();
+
+/// Adds the rgn-dialect rewrite patterns (run-of-known-region inlining) to
+/// \p Patterns; exposed for ablation studies.
+void populateRgnPatterns(PatternSet &Patterns);
+
+/// Dominance-scoped CSE with structural region numbering.
+std::unique_ptr<Pass> createCSEPass();
+
+/// Dead code elimination (iterative) + unreachable block removal.
+std::unique_ptr<Pass> createDCEPass();
+
+/// Inlines calls to small single-block non-recursive functions.
+std::unique_ptr<Pass> createInlinerPass(unsigned MaxCalleeOps = 16);
+
+} // namespace lz
+
+#endif // LZ_REWRITE_PASSES_H

@@ -1,0 +1,234 @@
+//===- Pattern.cpp - rewrite patterns and the greedy driver ------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Pattern.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+using namespace lz;
+
+//===----------------------------------------------------------------------===//
+// PatternRewriter
+//===----------------------------------------------------------------------===//
+
+void PatternRewriter::replaceOp(Operation *Op,
+                                std::span<Value *const> NewValues) {
+  assert(NewValues.size() == Op->getNumResults() &&
+         "replacement value count mismatch");
+  for (unsigned I = 0; I != Op->getNumResults(); ++I)
+    replaceAllUsesWith(Op->getResult(I), NewValues[I]);
+  eraseOp(Op);
+}
+
+void PatternRewriter::eraseOp(Operation *Op) {
+  assert(Op->use_empty() && "erasing op with live uses");
+  if (Listener) {
+    // Notify for nested ops as well, so worklists drop them.
+    Op->walk([&](Operation *Nested) { Listener->notifyErased(Nested); });
+  }
+  Op->erase();
+}
+
+void PatternRewriter::replaceAllUsesWith(Value *From, Value *To) {
+  if (Listener) {
+    for (OpOperand *U = From->getFirstUse(); U; U = U->getNextUse())
+      Listener->notifyChanged(U->getOwner());
+  }
+  From->replaceAllUsesWith(To);
+}
+
+//===----------------------------------------------------------------------===//
+// Folding
+//===----------------------------------------------------------------------===//
+
+LogicalResult lz::tryFold(Operation *Op, PatternRewriter &Rewriter) {
+  const OpDef &Def = Op->getDef();
+  if (!Def.Fold || Op->getNumResults() == 0 || Op->isTerminator())
+    return failure();
+
+  std::vector<FoldResult> Results;
+  if (failed(Def.Fold(Op, Results)))
+    return failure();
+  assert(Results.size() == Op->getNumResults() && "fold arity mismatch");
+
+  // A ConstantLike op folding to its own value attribute is a no-op signal
+  // (used by CSE-style deduplication elsewhere).
+  if (Op->hasTrait(OpTrait_ConstantLike))
+    return failure();
+
+  // Materialize attribute results as constants right before Op.
+  std::vector<Value *> Replacements;
+  Replacements.reserve(Results.size());
+  Context &Ctx = Rewriter.getContext();
+  for (unsigned I = 0; I != Results.size(); ++I) {
+    FoldResult &R = Results[I];
+    if (R.Val) {
+      Replacements.push_back(R.Val);
+      continue;
+    }
+    assert(R.Attr && "empty fold result");
+    const auto &Materialize = Ctx.getConstantMaterializer();
+    if (!Materialize)
+      return failure();
+    OpBuilder::InsertionGuard Guard(Rewriter);
+    Rewriter.setInsertionPoint(Op);
+    Operation *Const =
+        Materialize(Rewriter, R.Attr, Op->getResult(I)->getType());
+    if (!Const)
+      return failure();
+    Replacements.push_back(Const->getResult(0));
+  }
+  Rewriter.replaceOp(Op, Replacements);
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Greedy driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Worklist that tolerates op erasure: erased ops are dropped from the
+/// membership set; stale vector entries are skipped at pop time by checking
+/// membership (pointers are never dereferenced once removed).
+class Worklist : public RewriteListener {
+public:
+  void push(Operation *Op) {
+    if (InList.insert(Op).second)
+      List.push_back(Op);
+  }
+
+  Operation *pop() {
+    while (!List.empty()) {
+      Operation *Op = List.back();
+      List.pop_back();
+      if (InList.erase(Op))
+        return Op;
+    }
+    return nullptr;
+  }
+
+  bool empty() const { return InList.empty(); }
+
+  void notifyCreated(Operation *Op) override {
+    push(Op);
+    AnyChange = true;
+  }
+  void notifyErased(Operation *Op) override {
+    InList.erase(Op);
+    AnyChange = true;
+  }
+  void notifyChanged(Operation *Op) override {
+    push(Op);
+    AnyChange = true;
+  }
+
+  bool AnyChange = false;
+
+private:
+  std::vector<Operation *> List;
+  std::unordered_set<Operation *> InList;
+};
+
+/// True if \p Op can be erased when its results are unused: pure ops and
+/// pure allocations (lp.construct / lp.pap). This is the paper's Dead
+/// Region Elimination when applied to rgn.val (Section IV-B-1).
+bool isTriviallyDeadWhenUnused(Operation *Op) {
+  if (Op->getNumResults() == 0)
+    return false;
+  return Op->hasTrait(OpTrait_Pure) || Op->hasTrait(OpTrait_Allocates);
+}
+
+} // namespace
+
+LogicalResult lz::applyPatternsGreedily(Operation *Scope,
+                                        const PatternSet &Patterns,
+                                        bool *Changed) {
+  Context *Ctx = Scope->getContext();
+  PatternRewriter Rewriter(*Ctx);
+  Worklist WL;
+  Rewriter.setListener(&WL);
+
+  // Index patterns by anchor op name; benefit-descending order.
+  std::vector<const RewritePattern *> AnyPatterns;
+  std::unordered_map<std::string_view, std::vector<const RewritePattern *>>
+      ByName;
+  for (const auto &P : Patterns.get()) {
+    if (P->getOpName().empty())
+      AnyPatterns.push_back(P.get());
+    else
+      ByName[P->getOpName()].push_back(P.get());
+  }
+  auto ByBenefit = [](const RewritePattern *A, const RewritePattern *B) {
+    return A->getBenefit() > B->getBenefit();
+  };
+  for (auto &[Name, Vec] : ByName)
+    std::stable_sort(Vec.begin(), Vec.end(), ByBenefit);
+  std::stable_sort(AnyPatterns.begin(), AnyPatterns.end(), ByBenefit);
+
+  // Seed with all nested ops (post-order so uses simplify before defs).
+  for (unsigned I = 0; I != Scope->getNumRegions(); ++I)
+    Scope->getRegion(I).walk([&](Operation *Op) { WL.push(Op); });
+
+  constexpr int MaxRewrites = 1 << 22; // fixpoint budget / cycle breaker
+  int Budget = MaxRewrites;
+  bool AnyChange = false;
+
+  while (Operation *Op = WL.pop()) {
+    if (--Budget == 0)
+      return failure();
+
+    // Integrated trivial DCE.
+    if (isTriviallyDeadWhenUnused(Op) && Op->use_empty()) {
+      std::vector<Value *> Operands = Op->getOperands();
+      Rewriter.eraseOp(Op);
+      AnyChange = true;
+      for (Value *V : Operands)
+        if (Operation *Def = V->getDefiningOp())
+          WL.push(Def);
+      continue;
+    }
+
+    // Folding.
+    {
+      std::vector<Value *> Operands = Op->getOperands();
+      if (succeeded(tryFold(Op, Rewriter))) {
+        AnyChange = true;
+        for (Value *V : Operands)
+          if (Operation *Def = V->getDefiningOp())
+            WL.push(Def);
+        continue;
+      }
+    }
+
+    // Patterns.
+    auto TryPatterns =
+        [&](const std::vector<const RewritePattern *> &List) -> bool {
+      for (const RewritePattern *P : List) {
+        WL.AnyChange = false;
+        if (succeeded(P->matchAndRewrite(Op, Rewriter)))
+          return true;
+        assert(!WL.AnyChange && "pattern mutated IR but reported failure");
+      }
+      return false;
+    };
+
+    bool Matched = false;
+    auto It = ByName.find(Op->getName());
+    if (It != ByName.end())
+      Matched = TryPatterns(It->second);
+    if (!Matched)
+      Matched = TryPatterns(AnyPatterns);
+    AnyChange |= Matched;
+  }
+
+  if (Changed)
+    *Changed = AnyChange;
+  return success();
+}

@@ -1,0 +1,137 @@
+//===- Pattern.h - rewrite patterns and the greedy driver -------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pattern-based peephole rewriting, mirroring MLIR's RewritePattern /
+/// applyPatternsAndFoldGreedily — the "sophisticated infrastructure for
+/// parallel peephole rewriting" the paper leans on (Section I), minus the
+/// parallelism. The greedy driver interleaves:
+///   * op folds (OpDef::Fold) with constant materialization,
+///   * trivial dead code elimination of pure/allocating ops,
+///   * the supplied rewrite patterns,
+/// until a fixpoint is reached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_REWRITE_PATTERN_H
+#define LZ_REWRITE_PATTERN_H
+
+#include "ir/Builder.h"
+#include "support/LogicalResult.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lz {
+
+class PatternRewriter;
+
+/// A rewrite anchored on one op name (empty = matches any operation).
+class RewritePattern {
+public:
+  RewritePattern(std::string OpName, unsigned Benefit = 1)
+      : OpName(std::move(OpName)), Benefit(Benefit) {}
+  virtual ~RewritePattern() = default;
+
+  std::string_view getOpName() const { return OpName; }
+  unsigned getBenefit() const { return Benefit; }
+
+  /// Attempts to match \p Op and rewrite through \p Rewriter. Must perform
+  /// no IR mutation unless it returns success.
+  virtual LogicalResult matchAndRewrite(Operation *Op,
+                                        PatternRewriter &Rewriter) const = 0;
+
+private:
+  std::string OpName;
+  unsigned Benefit;
+};
+
+/// An owning list of patterns.
+class PatternSet {
+public:
+  template <typename T, typename... Args> void add(Args &&...ArgValues) {
+    Patterns.push_back(std::make_unique<T>(std::forward<Args>(ArgValues)...));
+  }
+  void add(std::unique_ptr<RewritePattern> P) {
+    Patterns.push_back(std::move(P));
+  }
+
+  const std::vector<std::unique_ptr<RewritePattern>> &get() const {
+    return Patterns;
+  }
+
+private:
+  std::vector<std::unique_ptr<RewritePattern>> Patterns;
+};
+
+/// Callbacks letting a driver track IR changes made by patterns.
+class RewriteListener {
+public:
+  virtual ~RewriteListener() = default;
+  virtual void notifyCreated(Operation *Op) {}
+  virtual void notifyErased(Operation *Op) {}
+  /// \p Op had operands replaced or was otherwise modified in place.
+  virtual void notifyChanged(Operation *Op) {}
+};
+
+/// Builder with mutation helpers that keep a listener informed. All pattern
+/// rewrites must go through this interface so the driver's worklist stays
+/// consistent.
+class PatternRewriter : public OpBuilder {
+public:
+  explicit PatternRewriter(Context &Ctx) : OpBuilder(Ctx) {}
+
+  void setListener(RewriteListener *L) { Listener = L; }
+
+  Operation *create(const OperationState &State) override {
+    Operation *Op = OpBuilder::create(State);
+    if (Listener)
+      Listener->notifyCreated(Op);
+    return Op;
+  }
+
+  void insert(Operation *Op) override {
+    OpBuilder::insert(Op);
+    if (Listener)
+      Listener->notifyCreated(Op);
+  }
+
+  /// Replaces all uses of \p Op's results with \p NewValues and erases it.
+  void replaceOp(Operation *Op, std::span<Value *const> NewValues);
+
+  /// Erases \p Op (results must be unused) and any nested ops.
+  void eraseOp(Operation *Op);
+
+  /// Replaces uses of \p From with \p To, notifying users' change.
+  void replaceAllUsesWith(Value *From, Value *To);
+
+  /// Notifies that \p Op was modified in place.
+  void markChanged(Operation *Op) {
+    if (Listener)
+      Listener->notifyChanged(Op);
+  }
+
+private:
+  RewriteListener *Listener = nullptr;
+};
+
+/// Applies folds + patterns greedily until fixpoint over all ops nested
+/// under \p Scope (exclusive). Returns success if a fixpoint was reached
+/// within the iteration budget; sets \p Changed if any rewrite happened.
+LogicalResult applyPatternsGreedily(Operation *Scope,
+                                    const PatternSet &Patterns,
+                                    bool *Changed = nullptr);
+
+/// Folds \p Op if possible: on success results' uses are replaced (and
+/// constants materialized); the op itself is erased unless it folded to its
+/// own attribute (ConstantLike self-fold). Returns success on any change.
+LogicalResult tryFold(Operation *Op, PatternRewriter &Rewriter);
+
+} // namespace lz
+
+#endif // LZ_REWRITE_PATTERN_H

@@ -1,0 +1,69 @@
+//===- RegionOpt.cpp - rgn-specific rewrite patterns --------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The rgn rewrite patterns of Section IV-B. The heavy lifting of select/
+/// switch folding lives in the arith folders and region CSE lives in the
+/// CSE pass; what remains is the beta-rule for continuations:
+///
+///   rgn.run (rgn.val { body }) args  ==>  body[params := args]
+///
+/// which, chained after the folds, yields the paper's Case Elimination
+/// (Figure 1-B), Common Branch Elimination (Figure 1-C) and the worked
+/// examples of Section IV-B-1/2.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Rgn.h"
+#include "rewrite/Passes.h"
+#include "rewrite/Pattern.h"
+
+using namespace lz;
+
+namespace {
+
+/// Inlines `rgn.run` of a statically-known single-block region by cloning
+/// the region body in place of the terminator. The rgn.val itself is left
+/// for trivial DCE once its uses disappear.
+class RunKnownRegionPattern : public RewritePattern {
+public:
+  RunKnownRegionPattern() : RewritePattern("rgn.run") {}
+
+  LogicalResult matchAndRewrite(Operation *Op,
+                                PatternRewriter &Rewriter) const override {
+    Operation *Val = rgn::resolveKnownRegion(Op->getOperand(0));
+    if (!Val)
+      return failure();
+    Region &Body = rgn::getValBody(Val);
+    if (Body.getNumBlocks() != 1)
+      return failure();
+    Block *Entry = Body.getEntryBlock();
+    assert(Entry->getNumArguments() == Op->getNumOperands() - 1 &&
+           "rgn.run arity mismatch survived verification");
+
+    // Do not inline a region into itself (a run nested inside the same
+    // rgn.val's body referencing it would loop forever).
+    if (Op->isProperAncestor(Val))
+      return failure();
+
+    // Clone the body with parameters bound to the run arguments.
+    IRMapping Mapping;
+    for (unsigned I = 0; I != Entry->getNumArguments(); ++I)
+      Mapping.map(Entry->getArgument(I), Op->getOperand(I + 1));
+
+    Rewriter.setInsertionPoint(Op);
+    for (Operation *BodyOp : *Entry)
+      Rewriter.insert(BodyOp->clone(Mapping));
+    Rewriter.eraseOp(Op);
+    return success();
+  }
+};
+
+} // namespace
+
+void lz::populateRgnPatterns(PatternSet &Patterns) {
+  Patterns.add<RunKnownRegionPattern>();
+}

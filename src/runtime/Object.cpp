@@ -1,0 +1,436 @@
+//===- Object.cpp - LEAN-style runtime object model ----------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Object.h"
+
+#include <cstdlib>
+#include <new>
+
+using namespace lz;
+using namespace lz::rt;
+
+//===----------------------------------------------------------------------===//
+// Allocation / destruction
+//===----------------------------------------------------------------------===//
+
+ObjRef Runtime::allocCtor(uint8_t Tag, std::span<const ObjRef> Fields) {
+  void *Mem =
+      std::malloc(sizeof(CtorObject) + Fields.size() * sizeof(ObjRef));
+  auto *O = new (Mem) CtorObject();
+  O->RC = 1;
+  O->Kind = ObjKind::Ctor;
+  O->Tag = Tag;
+  O->NumFields = static_cast<uint16_t>(Fields.size());
+  for (size_t I = 0; I != Fields.size(); ++I)
+    O->fields()[I] = Fields[I];
+  noteAlloc();
+  return makeRef(O);
+}
+
+ObjRef Runtime::allocBigNum(BigInt Value) {
+  auto *O = new BigNumObject();
+  O->RC = 1;
+  O->Kind = ObjKind::BigNum;
+  O->Tag = 0;
+  O->NumFields = 0;
+  O->Value = std::move(Value);
+  noteAlloc();
+  return makeRef(O);
+}
+
+ObjRef Runtime::makeBigInt(const BigInt &Value) {
+  if (Value.fitsInt64()) {
+    int64_t V = Value.getInt64();
+    if (V >= MinSmallInt && V <= MaxSmallInt)
+      return boxScalar(V);
+  }
+  return allocBigNum(Value);
+}
+
+ObjRef Runtime::allocClosure(uint32_t FnIndex, uint16_t Arity,
+                             std::span<const ObjRef> Fixed) {
+  assert(Fixed.size() <= Arity && "over-saturated closure allocation");
+  void *Mem =
+      std::malloc(sizeof(ClosureObject) + Arity * sizeof(ObjRef));
+  auto *O = new (Mem) ClosureObject();
+  O->RC = 1;
+  O->Kind = ObjKind::Closure;
+  O->Tag = 0;
+  O->NumFields = static_cast<uint16_t>(Fixed.size());
+  O->FnIndex = FnIndex;
+  O->Arity = Arity;
+  for (size_t I = 0; I != Fixed.size(); ++I)
+    O->args()[I] = Fixed[I];
+  noteAlloc();
+  return makeRef(O);
+}
+
+ObjRef Runtime::allocArray(size_t Size, ObjRef Fill) {
+  auto *O = new ArrayObject();
+  O->RC = 1;
+  O->Kind = ObjKind::Array;
+  O->Tag = 0;
+  O->NumFields = 0;
+  O->Elems.assign(Size, Fill);
+  // Fill is owned once; each extra slot needs its own reference.
+  for (size_t I = 1; I < Size; ++I)
+    inc(Fill);
+  if (Size == 0)
+    dec(Fill);
+  noteAlloc();
+  return makeRef(O);
+}
+
+ObjRef Runtime::allocString(std::string Value) {
+  auto *O = new StringObject();
+  O->RC = 1;
+  O->Kind = ObjKind::String;
+  O->Tag = 0;
+  O->NumFields = 0;
+  O->Value = std::move(Value);
+  noteAlloc();
+  return makeRef(O);
+}
+
+void Runtime::destroy(Object *O) {
+  switch (O->Kind) {
+  case ObjKind::Ctor: {
+    auto *C = static_cast<CtorObject *>(O);
+    for (unsigned I = 0; I != C->NumFields; ++I)
+      dec(C->fields()[I]);
+    C->~CtorObject();
+    std::free(C);
+    break;
+  }
+  case ObjKind::BigNum:
+    delete static_cast<BigNumObject *>(O);
+    break;
+  case ObjKind::Closure: {
+    auto *C = static_cast<ClosureObject *>(O);
+    for (unsigned I = 0; I != C->NumFields; ++I)
+      dec(C->args()[I]);
+    C->~ClosureObject();
+    std::free(C);
+    break;
+  }
+  case ObjKind::Array: {
+    auto *A = static_cast<ArrayObject *>(O);
+    for (ObjRef E : A->Elems)
+      dec(E);
+    delete A;
+    break;
+  }
+  case ObjKind::String:
+    delete static_cast<StringObject *>(O);
+    break;
+  }
+  noteFree();
+}
+
+//===----------------------------------------------------------------------===//
+// Integer arithmetic
+//===----------------------------------------------------------------------===//
+
+BigInt Runtime::getIntValue(ObjRef Ref) const {
+  if (isScalar(Ref))
+    return BigInt(unboxScalar(Ref));
+  const Object *O = asObject(Ref);
+  assert(O->Kind == ObjKind::BigNum && "not an integer object");
+  return static_cast<const BigNumObject *>(O)->Value;
+}
+
+namespace {
+/// True if both refs are unboxed scalars (the fast path the LEAN runtime
+/// also takes).
+bool bothScalar(ObjRef A, ObjRef B) { return isScalar(A) && isScalar(B); }
+} // namespace
+
+ObjRef Runtime::natAdd(ObjRef A, ObjRef B) {
+  if (bothScalar(A, B)) {
+    int64_t R;
+    if (!__builtin_add_overflow(unboxScalar(A), unboxScalar(B), &R))
+      return makeInt(R);
+  }
+  BigInt Result = getIntValue(A) + getIntValue(B);
+  dec(A);
+  dec(B);
+  return makeBigInt(Result);
+}
+
+ObjRef Runtime::natSub(ObjRef A, ObjRef B) {
+  if (bothScalar(A, B)) {
+    int64_t R = unboxScalar(A) - unboxScalar(B);
+    return makeInt(R < 0 ? 0 : R);
+  }
+  BigInt Result = getIntValue(A) - getIntValue(B);
+  dec(A);
+  dec(B);
+  if (Result.isNegative())
+    return boxScalar(0);
+  return makeBigInt(Result);
+}
+
+ObjRef Runtime::natMul(ObjRef A, ObjRef B) {
+  if (bothScalar(A, B)) {
+    int64_t R;
+    if (!__builtin_mul_overflow(unboxScalar(A), unboxScalar(B), &R))
+      return makeInt(R);
+  }
+  BigInt Result = getIntValue(A) * getIntValue(B);
+  dec(A);
+  dec(B);
+  return makeBigInt(Result);
+}
+
+ObjRef Runtime::natDiv(ObjRef A, ObjRef B) {
+  if (bothScalar(A, B)) {
+    int64_t BV = unboxScalar(B);
+    return makeInt(BV == 0 ? 0 : unboxScalar(A) / BV);
+  }
+  BigInt BV = getIntValue(B);
+  BigInt Result = BV.isZero() ? BigInt() : getIntValue(A) / BV;
+  dec(A);
+  dec(B);
+  return makeBigInt(Result);
+}
+
+ObjRef Runtime::natMod(ObjRef A, ObjRef B) {
+  if (bothScalar(A, B)) {
+    int64_t BV = unboxScalar(B);
+    return makeInt(BV == 0 ? unboxScalar(A) : unboxScalar(A) % BV);
+  }
+  BigInt AV = getIntValue(A);
+  BigInt BV = getIntValue(B);
+  BigInt Result = BV.isZero() ? AV : AV % BV;
+  dec(A);
+  dec(B);
+  return makeBigInt(Result);
+}
+
+ObjRef Runtime::intAdd(ObjRef A, ObjRef B) { return natAdd(A, B); }
+
+ObjRef Runtime::intSub(ObjRef A, ObjRef B) {
+  if (bothScalar(A, B)) {
+    int64_t R;
+    if (!__builtin_sub_overflow(unboxScalar(A), unboxScalar(B), &R))
+      return makeInt(R);
+  }
+  BigInt Result = getIntValue(A) - getIntValue(B);
+  dec(A);
+  dec(B);
+  return makeBigInt(Result);
+}
+
+ObjRef Runtime::intMul(ObjRef A, ObjRef B) { return natMul(A, B); }
+
+ObjRef Runtime::intDiv(ObjRef A, ObjRef B) {
+  if (bothScalar(A, B)) {
+    int64_t BV = unboxScalar(B);
+    if (BV != 0 && !(unboxScalar(A) == INT64_MIN && BV == -1))
+      return makeInt(BV == 0 ? 0 : unboxScalar(A) / BV);
+    if (BV == 0)
+      return boxScalar(0);
+  }
+  BigInt BV = getIntValue(B);
+  BigInt Result = BV.isZero() ? BigInt() : getIntValue(A) / BV;
+  dec(A);
+  dec(B);
+  return makeBigInt(Result);
+}
+
+ObjRef Runtime::intMod(ObjRef A, ObjRef B) {
+  if (bothScalar(A, B)) {
+    int64_t BV = unboxScalar(B);
+    if (BV != 0 && !(unboxScalar(A) == INT64_MIN && BV == -1))
+      return makeInt(unboxScalar(A) % BV);
+    if (BV == 0)
+      return A;
+  }
+  BigInt AV = getIntValue(A);
+  BigInt BV = getIntValue(B);
+  BigInt Result = BV.isZero() ? AV : AV % BV;
+  dec(A);
+  dec(B);
+  return makeBigInt(Result);
+}
+
+ObjRef Runtime::intNeg(ObjRef A) {
+  if (isScalar(A)) {
+    int64_t V = unboxScalar(A);
+    if (V != INT64_MIN)
+      return makeInt(-V);
+  }
+  BigInt Result = -getIntValue(A);
+  dec(A);
+  return makeBigInt(Result);
+}
+
+int64_t Runtime::intCmp(ObjRef A, ObjRef B) {
+  if (bothScalar(A, B)) {
+    int64_t AV = unboxScalar(A), BV = unboxScalar(B);
+    return AV < BV ? -1 : (AV > BV ? 1 : 0);
+  }
+  int Result = getIntValue(A).compare(getIntValue(B));
+  dec(A);
+  dec(B);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Closures
+//===----------------------------------------------------------------------===//
+
+ObjRef Runtime::apply(ApplyHandler &Handler, ObjRef Closure,
+                      std::span<const ObjRef> Args) {
+  Object *O = asObject(Closure);
+  assert(O->Kind == ObjKind::Closure && "apply of a non-closure");
+  auto *C = static_cast<ClosureObject *>(O);
+  unsigned Fixed = C->NumFields;
+  unsigned Total = Fixed + static_cast<unsigned>(Args.size());
+
+  if (Total < C->Arity) {
+    // Still unsaturated: build an extended closure.
+    std::vector<ObjRef> NewFixed(C->args(), C->args() + Fixed);
+    for (ObjRef A : NewFixed)
+      inc(A);
+    NewFixed.insert(NewFixed.end(), Args.begin(), Args.end());
+    ObjRef Result = allocClosure(C->FnIndex, C->Arity, NewFixed);
+    dec(Closure);
+    return Result;
+  }
+
+  unsigned Arity = C->Arity;
+  unsigned Needed = Arity - Fixed;
+  std::vector<ObjRef> CallArgs(C->args(), C->args() + Fixed);
+  for (ObjRef A : CallArgs)
+    inc(A);
+  CallArgs.insert(CallArgs.end(), Args.begin(), Args.begin() + Needed);
+  uint32_t FnIndex = C->FnIndex;
+  dec(Closure);
+  ObjRef Result = Handler.callFunction(FnIndex, CallArgs);
+
+  if (Total == Arity)
+    return Result;
+  // Over-application: the result must itself be a closure.
+  std::span<const ObjRef> Rest(Args.begin() + Needed, Args.end());
+  return apply(Handler, Result, Rest);
+}
+
+//===----------------------------------------------------------------------===//
+// Arrays
+//===----------------------------------------------------------------------===//
+
+namespace {
+ArrayObject *asArray(ObjRef Ref) {
+  Object *O = asObject(Ref);
+  assert(O->Kind == ObjKind::Array && "not an array");
+  return static_cast<ArrayObject *>(O);
+}
+} // namespace
+
+ObjRef Runtime::arrayGet(ObjRef Arr, ObjRef Index) {
+  ArrayObject *A = asArray(Arr);
+  size_t I = static_cast<size_t>(unboxScalar(Index));
+  assert(I < A->Elems.size() && "array index out of bounds");
+  ObjRef E = A->Elems[I];
+  inc(E);
+  return E;
+}
+
+ObjRef Runtime::arraySet(ObjRef Arr, ObjRef Index, ObjRef Val) {
+  ArrayObject *A = asArray(Arr);
+  size_t I = static_cast<size_t>(unboxScalar(Index));
+  assert(I < A->Elems.size() && "array index out of bounds");
+  if (A->RC == 1) {
+    // Destructive update on exclusive arrays: the LEAN trick that makes
+    // functional qsort run in place.
+    dec(A->Elems[I]);
+    A->Elems[I] = Val;
+    return Arr;
+  }
+  std::vector<ObjRef> Copy = A->Elems;
+  for (ObjRef E : Copy)
+    inc(E);
+  dec(Copy[I]);
+  Copy[I] = Val;
+  auto *New = new ArrayObject();
+  New->RC = 1;
+  New->Kind = ObjKind::Array;
+  New->Tag = 0;
+  New->NumFields = 0;
+  New->Elems = std::move(Copy);
+  noteAlloc();
+  dec(Arr);
+  return makeRef(New);
+}
+
+ObjRef Runtime::arrayPush(ObjRef Arr, ObjRef Val) {
+  ArrayObject *A = asArray(Arr);
+  if (A->RC == 1) {
+    A->Elems.push_back(Val);
+    return Arr;
+  }
+  std::vector<ObjRef> Copy = A->Elems;
+  for (ObjRef E : Copy)
+    inc(E);
+  Copy.push_back(Val);
+  auto *New = new ArrayObject();
+  New->RC = 1;
+  New->Kind = ObjKind::Array;
+  New->Tag = 0;
+  New->NumFields = 0;
+  New->Elems = std::move(Copy);
+  noteAlloc();
+  dec(Arr);
+  return makeRef(New);
+}
+
+ObjRef Runtime::arraySize(ObjRef Arr) {
+  return boxScalar(static_cast<int64_t>(asArray(Arr)->Elems.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Display
+//===----------------------------------------------------------------------===//
+
+std::string Runtime::toDisplayString(ObjRef Ref) const {
+  if (isScalar(Ref))
+    return std::to_string(unboxScalar(Ref));
+  const Object *O = asObject(Ref);
+  switch (O->Kind) {
+  case ObjKind::BigNum:
+    return static_cast<const BigNumObject *>(O)->Value.toString();
+  case ObjKind::Ctor: {
+    const auto *C = static_cast<const CtorObject *>(O);
+    std::string S = "#" + std::to_string(C->Tag) + "(";
+    for (unsigned I = 0; I != C->NumFields; ++I) {
+      if (I)
+        S += ", ";
+      S += toDisplayString(C->fields()[I]);
+    }
+    return S + ")";
+  }
+  case ObjKind::Closure:
+    return "<closure/" +
+           std::to_string(
+               static_cast<const ClosureObject *>(O)->Arity) +
+           ">";
+  case ObjKind::Array: {
+    const auto *A = static_cast<const ArrayObject *>(O);
+    std::string S = "[";
+    for (size_t I = 0; I != A->Elems.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += toDisplayString(A->Elems[I]);
+    }
+    return S + "]";
+  }
+  case ObjKind::String:
+    return static_cast<const StringObject *>(O)->Value;
+  }
+  return "<?>";
+}

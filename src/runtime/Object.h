@@ -1,0 +1,277 @@
+//===- Object.h - LEAN-style runtime object model ---------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime object model substituting for LEAN4's libleanrt
+/// (Section III-G): reference-counted heap cells behind a uniform boxed
+/// representation.
+///
+///  * ObjRef with LSB tagging: odd values are unboxed machine scalars
+///    ("LEAN guarantees that small integers are represented by a machine
+///    word", Section III-A); even values point to heap Objects.
+///  * Object kinds: constructor cells (tag + fields), big integers,
+///    closures (PAPs), arrays (with RC==1 destructive update — what makes
+///    the paper's `qsort` benchmark "real in-place"), and strings.
+///  * Explicit inc/dec reference counting with allocation accounting so
+///    tests can assert leak-freedom of the RC insertion pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_RUNTIME_OBJECT_H
+#define LZ_RUNTIME_OBJECT_H
+
+#include "support/BigInt.h"
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lz::rt {
+
+/// A runtime value: either an unboxed scalar (LSB set) or an Object*.
+using ObjRef = uint64_t;
+
+/// Boxes a small integer into an unboxed scalar reference. The value must
+/// fit in 63 bits (the frontend routes larger literals through bignums).
+inline ObjRef boxScalar(int64_t Value) {
+  return (static_cast<uint64_t>(Value) << 1) | 1;
+}
+
+inline bool isScalar(ObjRef Ref) { return (Ref & 1) != 0; }
+
+inline int64_t unboxScalar(ObjRef Ref) {
+  assert(isScalar(Ref) && "unboxing a heap reference");
+  return static_cast<int64_t>(Ref) >> 1;
+}
+
+/// Smallest/largest integers representable as unboxed scalars.
+constexpr int64_t MinSmallInt = -(1LL << 62);
+constexpr int64_t MaxSmallInt = (1LL << 62) - 1;
+
+enum class ObjKind : uint8_t { Ctor, BigNum, Closure, Array, String };
+
+/// Common heap object header.
+struct Object {
+  uint32_t RC;
+  ObjKind Kind;
+  uint8_t Tag;        ///< Constructor tag (Ctor only).
+  uint16_t NumFields; ///< Constructor field count / closure arg count.
+};
+
+inline Object *asObject(ObjRef Ref) {
+  assert(!isScalar(Ref) && Ref != 0 && "not a heap reference");
+  return reinterpret_cast<Object *>(Ref);
+}
+
+inline ObjRef makeRef(Object *O) { return reinterpret_cast<uint64_t>(O); }
+
+/// Constructor cell: header followed by NumFields ObjRefs.
+struct CtorObject : Object {
+  ObjRef *fields() { return reinterpret_cast<ObjRef *>(this + 1); }
+  const ObjRef *fields() const {
+    return reinterpret_cast<const ObjRef *>(this + 1);
+  }
+};
+
+/// Arbitrary-precision integer cell (the GMP substitution).
+struct BigNumObject : Object {
+  BigInt Value;
+};
+
+/// Partial application: function index + arity + fixed arguments.
+struct ClosureObject : Object {
+  uint32_t FnIndex;
+  uint16_t Arity;
+  // NumFields = number of fixed args currently held.
+  ObjRef *args() { return reinterpret_cast<ObjRef *>(this + 1); }
+  const ObjRef *args() const {
+    return reinterpret_cast<const ObjRef *>(this + 1);
+  }
+};
+
+/// Dynamic array (LEAN's Array type).
+struct ArrayObject : Object {
+  std::vector<ObjRef> Elems;
+};
+
+/// Immutable string.
+struct StringObject : Object {
+  std::string Value;
+};
+
+/// Host hook used by `apply` to invoke a compiled function; implemented by
+/// the VM (and by the reference interpreter in tests).
+class ApplyHandler {
+public:
+  virtual ~ApplyHandler() = default;
+  /// Calls function \p FnIndex with owned \p Args; returns an owned result.
+  virtual ObjRef callFunction(uint32_t FnIndex, std::span<ObjRef> Args) = 0;
+};
+
+/// The runtime: allocation, reference counting and the LEAN builtin
+/// operations. One Runtime instance per executing program; the allocation
+/// counters let tests assert that compiled programs free every cell.
+class Runtime {
+public:
+  Runtime() = default;
+  ~Runtime() = default;
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  //===------------------------------------------------------------------===//
+  // Accounting
+  //===------------------------------------------------------------------===//
+
+  uint64_t getLiveObjects() const { return LiveObjects; }
+  uint64_t getTotalAllocations() const { return TotalAllocations; }
+
+  //===------------------------------------------------------------------===//
+  // Reference counting
+  //===------------------------------------------------------------------===//
+
+  void inc(ObjRef Ref) {
+    if (isScalar(Ref))
+      return;
+    ++asObject(Ref)->RC;
+  }
+
+  void dec(ObjRef Ref) {
+    if (isScalar(Ref))
+      return;
+    Object *O = asObject(Ref);
+    assert(O->RC > 0 && "dec of a freed object");
+    if (--O->RC == 0)
+      destroy(O);
+  }
+
+  /// True if the cell is uniquely referenced (enables in-place update).
+  bool isExclusive(ObjRef Ref) const {
+    return !isScalar(Ref) && asObject(Ref)->RC == 1;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Constructors
+  //===------------------------------------------------------------------===//
+
+  /// Allocates a constructor cell; takes ownership of \p Fields.
+  ObjRef allocCtor(uint8_t Tag, std::span<const ObjRef> Fields);
+
+  /// The constructor tag; scalars carry their value as the "tag" so that
+  /// e.g. Bool/Nat-like enums (all-nullary inductives are erased to
+  /// scalars) can be switched on uniformly.
+  int64_t getTag(ObjRef Ref) const {
+    if (isScalar(Ref))
+      return unboxScalar(Ref);
+    const Object *O = asObject(Ref);
+    return O->Tag;
+  }
+
+  /// Borrowed field access.
+  ObjRef getField(ObjRef Ref, unsigned Index) const {
+    Object *O = asObject(Ref);
+    assert(O->Kind == ObjKind::Ctor && Index < O->NumFields &&
+           "bad projection");
+    return static_cast<CtorObject *>(O)->fields()[Index];
+  }
+
+  //===------------------------------------------------------------------===//
+  // Integers (Nat/Int share one signed representation, Section III-A)
+  //===------------------------------------------------------------------===//
+
+  ObjRef makeInt(int64_t Value) {
+    if (Value >= MinSmallInt && Value <= MaxSmallInt)
+      return boxScalar(Value);
+    return allocBigNum(BigInt(Value));
+  }
+  ObjRef makeBigInt(const BigInt &Value);
+
+  /// Reads any integer object into a BigInt (borrow).
+  BigInt getIntValue(ObjRef Ref) const;
+
+  // Arithmetic: owned args, owned result.
+  ObjRef natAdd(ObjRef A, ObjRef B);
+  ObjRef natSub(ObjRef A, ObjRef B); ///< truncated at 0 (LEAN Nat.sub)
+  ObjRef natMul(ObjRef A, ObjRef B);
+  ObjRef natDiv(ObjRef A, ObjRef B); ///< x/0 = 0 (LEAN convention)
+  ObjRef natMod(ObjRef A, ObjRef B); ///< x%0 = x (LEAN convention)
+  ObjRef intAdd(ObjRef A, ObjRef B);
+  ObjRef intSub(ObjRef A, ObjRef B);
+  ObjRef intMul(ObjRef A, ObjRef B);
+  ObjRef intDiv(ObjRef A, ObjRef B); ///< truncated, x/0 = 0
+  ObjRef intMod(ObjRef A, ObjRef B);
+  ObjRef intNeg(ObjRef A);
+
+  /// Comparisons return an i8-style 0/1 scalar, mirroring
+  /// @lean_nat_dec_eq's i8 result (Section III-A).
+  int64_t intCmp(ObjRef A, ObjRef B); ///< -1/0/1; consumes both
+  ObjRef decEq(ObjRef A, ObjRef B) { return boxScalar(intCmp(A, B) == 0); }
+  ObjRef decLt(ObjRef A, ObjRef B) { return boxScalar(intCmp(A, B) < 0); }
+  ObjRef decLe(ObjRef A, ObjRef B) { return boxScalar(intCmp(A, B) <= 0); }
+
+  //===------------------------------------------------------------------===//
+  // Closures
+  //===------------------------------------------------------------------===//
+
+  /// Allocates a closure over function \p FnIndex of \p Arity with
+  /// \p Fixed already-supplied (owned) arguments.
+  ObjRef allocClosure(uint32_t FnIndex, uint16_t Arity,
+                      std::span<const ObjRef> Fixed);
+
+  /// LEAN's lean_apply_n: extends \p Closure (owned) with \p Args (owned);
+  /// invokes through \p Handler on saturation; over-application re-applies
+  /// the result. \p Closure must be a Closure object.
+  ObjRef apply(ApplyHandler &Handler, ObjRef Closure,
+               std::span<const ObjRef> Args);
+
+  //===------------------------------------------------------------------===//
+  // Arrays
+  //===------------------------------------------------------------------===//
+
+  ObjRef allocArray(size_t Size, ObjRef Fill);
+  ObjRef arrayGet(ObjRef Arr, ObjRef Index);       ///< borrows Arr; owned result
+  ObjRef arraySet(ObjRef Arr, ObjRef Index, ObjRef Val); ///< owned Arr/Val
+  ObjRef arrayPush(ObjRef Arr, ObjRef Val);
+  ObjRef arraySize(ObjRef Arr); ///< borrows
+
+  //===------------------------------------------------------------------===//
+  // Strings
+  //===------------------------------------------------------------------===//
+
+  ObjRef allocString(std::string Value);
+  const std::string &getString(ObjRef Ref) const {
+    const Object *O = asObject(Ref);
+    assert(O->Kind == ObjKind::String && "not a string");
+    return static_cast<const StringObject *>(O)->Value;
+  }
+
+  /// Renders any value for printing / test comparison: scalars and bignums
+  /// as decimal, ctors as `#tag(fields...)`, arrays as `[e, ...]`.
+  std::string toDisplayString(ObjRef Ref) const;
+
+private:
+  ObjRef allocBigNum(BigInt Value);
+  void destroy(Object *O);
+
+  void noteAlloc() {
+    ++LiveObjects;
+    ++TotalAllocations;
+  }
+  void noteFree() {
+    assert(LiveObjects > 0 && "free without matching alloc");
+    --LiveObjects;
+  }
+
+  uint64_t LiveObjects = 0;
+  uint64_t TotalAllocations = 0;
+};
+
+} // namespace lz::rt
+
+#endif // LZ_RUNTIME_OBJECT_H

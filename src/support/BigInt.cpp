@@ -1,0 +1,287 @@
+//===- BigInt.cpp - arbitrary precision integers --------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lz;
+
+BigInt::BigInt(int64_t Value) {
+  Negative = Value < 0;
+  // Careful with INT64_MIN: negate in unsigned arithmetic.
+  uint64_t Mag = Negative ? (~static_cast<uint64_t>(Value) + 1)
+                          : static_cast<uint64_t>(Value);
+  if (Mag != 0)
+    Limbs.push_back(static_cast<uint32_t>(Mag));
+  if (Mag >> 32)
+    Limbs.push_back(static_cast<uint32_t>(Mag >> 32));
+}
+
+BigInt BigInt::fromUnsigned(uint64_t Value) {
+  BigInt R;
+  if (Value != 0)
+    R.Limbs.push_back(static_cast<uint32_t>(Value));
+  if (Value >> 32)
+    R.Limbs.push_back(static_cast<uint32_t>(Value >> 32));
+  return R;
+}
+
+void BigInt::trim() {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+  if (Limbs.empty())
+    Negative = false;
+}
+
+BigInt BigInt::fromString(std::string_view Text) {
+  assert(!Text.empty() && "empty bigint literal");
+  bool Neg = false;
+  size_t I = 0;
+  if (Text[0] == '-') {
+    Neg = true;
+    I = 1;
+  }
+  assert(I < Text.size() && "sign-only bigint literal");
+  BigInt R;
+  for (; I < Text.size(); ++I) {
+    char C = Text[I];
+    assert(C >= '0' && C <= '9' && "non-digit in bigint literal");
+    // R = R * 10 + digit, performed limb-wise.
+    uint64_t Carry = static_cast<uint64_t>(C - '0');
+    for (uint32_t &Limb : R.Limbs) {
+      uint64_t Cur = static_cast<uint64_t>(Limb) * 10 + Carry;
+      Limb = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+    }
+    if (Carry)
+      R.Limbs.push_back(static_cast<uint32_t>(Carry));
+  }
+  R.Negative = Neg && !R.Limbs.empty();
+  return R;
+}
+
+std::string BigInt::toString() const {
+  if (Limbs.empty())
+    return "0";
+  std::vector<uint32_t> Mag = Limbs;
+  std::string Digits;
+  while (!Mag.empty()) {
+    // Divide magnitude by 10^9 and emit the remainder.
+    uint64_t Rem = 0;
+    for (size_t I = Mag.size(); I-- > 0;) {
+      uint64_t Cur = (Rem << 32) | Mag[I];
+      Mag[I] = static_cast<uint32_t>(Cur / 1000000000ULL);
+      Rem = Cur % 1000000000ULL;
+    }
+    while (!Mag.empty() && Mag.back() == 0)
+      Mag.pop_back();
+    for (int I = 0; I != 9; ++I) {
+      Digits.push_back(static_cast<char>('0' + Rem % 10));
+      Rem /= 10;
+    }
+  }
+  while (Digits.size() > 1 && Digits.back() == '0')
+    Digits.pop_back();
+  if (Negative)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+bool BigInt::fitsInt64() const {
+  if (Limbs.size() > 2)
+    return false;
+  uint64_t Mag = 0;
+  if (!Limbs.empty())
+    Mag = Limbs[0];
+  if (Limbs.size() == 2)
+    Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
+  if (Negative)
+    return Mag <= (1ULL << 63);
+  return Mag < (1ULL << 63);
+}
+
+int64_t BigInt::getInt64() const {
+  assert(fitsInt64() && "value does not fit in int64");
+  uint64_t Mag = 0;
+  if (!Limbs.empty())
+    Mag = Limbs[0];
+  if (Limbs.size() == 2)
+    Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
+  return Negative ? static_cast<int64_t>(~Mag + 1) : static_cast<int64_t>(Mag);
+}
+
+int BigInt::compareMagnitude(const BigInt &LHS, const BigInt &RHS) {
+  if (LHS.Limbs.size() != RHS.Limbs.size())
+    return LHS.Limbs.size() < RHS.Limbs.size() ? -1 : 1;
+  for (size_t I = LHS.Limbs.size(); I-- > 0;)
+    if (LHS.Limbs[I] != RHS.Limbs[I])
+      return LHS.Limbs[I] < RHS.Limbs[I] ? -1 : 1;
+  return 0;
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Negative != RHS.Negative)
+    return Negative ? -1 : 1;
+  int MagCmp = compareMagnitude(*this, RHS);
+  return Negative ? -MagCmp : MagCmp;
+}
+
+BigInt BigInt::addMagnitude(const BigInt &LHS, const BigInt &RHS) {
+  BigInt R;
+  size_t N = std::max(LHS.Limbs.size(), RHS.Limbs.size());
+  R.Limbs.reserve(N + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I != N; ++I) {
+    uint64_t Sum = Carry;
+    if (I < LHS.Limbs.size())
+      Sum += LHS.Limbs[I];
+    if (I < RHS.Limbs.size())
+      Sum += RHS.Limbs[I];
+    R.Limbs.push_back(static_cast<uint32_t>(Sum));
+    Carry = Sum >> 32;
+  }
+  if (Carry)
+    R.Limbs.push_back(static_cast<uint32_t>(Carry));
+  return R;
+}
+
+BigInt BigInt::subMagnitude(const BigInt &LHS, const BigInt &RHS) {
+  assert(compareMagnitude(LHS, RHS) >= 0 && "subMagnitude requires |L|>=|R|");
+  BigInt R;
+  R.Limbs.reserve(LHS.Limbs.size());
+  int64_t Borrow = 0;
+  for (size_t I = 0; I != LHS.Limbs.size(); ++I) {
+    int64_t Cur = static_cast<int64_t>(LHS.Limbs[I]) - Borrow;
+    if (I < RHS.Limbs.size())
+      Cur -= RHS.Limbs[I];
+    Borrow = 0;
+    if (Cur < 0) {
+      Cur += (1LL << 32);
+      Borrow = 1;
+    }
+    R.Limbs.push_back(static_cast<uint32_t>(Cur));
+  }
+  R.trim();
+  return R;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  if (Negative == RHS.Negative) {
+    BigInt R = addMagnitude(*this, RHS);
+    R.Negative = Negative && !R.Limbs.empty();
+    return R;
+  }
+  int MagCmp = compareMagnitude(*this, RHS);
+  if (MagCmp == 0)
+    return BigInt();
+  if (MagCmp > 0) {
+    BigInt R = subMagnitude(*this, RHS);
+    R.Negative = Negative && !R.Limbs.empty();
+    return R;
+  }
+  BigInt R = subMagnitude(RHS, *this);
+  R.Negative = RHS.Negative && !R.Limbs.empty();
+  return R;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt R = *this;
+  if (!R.Limbs.empty())
+    R.Negative = !R.Negative;
+  return R;
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  if (isZero() || RHS.isZero())
+    return BigInt();
+  BigInt R;
+  R.Limbs.assign(Limbs.size() + RHS.Limbs.size(), 0);
+  for (size_t I = 0; I != Limbs.size(); ++I) {
+    uint64_t Carry = 0;
+    for (size_t J = 0; J != RHS.Limbs.size(); ++J) {
+      uint64_t Cur = static_cast<uint64_t>(Limbs[I]) * RHS.Limbs[J] +
+                     R.Limbs[I + J] + Carry;
+      R.Limbs[I + J] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+    }
+    size_t K = I + RHS.Limbs.size();
+    while (Carry) {
+      uint64_t Cur = R.Limbs[K] + Carry;
+      R.Limbs[K] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+      ++K;
+    }
+  }
+  R.trim();
+  R.Negative = (Negative != RHS.Negative) && !R.Limbs.empty();
+  return R;
+}
+
+void BigInt::divModMagnitude(const BigInt &Num, const BigInt &Den,
+                             BigInt &Quot, BigInt &Rem) {
+  assert(!Den.isZero() && "division by zero");
+  Quot = BigInt();
+  Rem = BigInt();
+  if (compareMagnitude(Num, Den) < 0) {
+    Rem = Num;
+    Rem.Negative = false;
+    return;
+  }
+  // Binary long division over the magnitude bits, MSB first. Simple and
+  // clearly correct; performance is irrelevant for constant folding and the
+  // rare Nat overflow path.
+  size_t TotalBits = Num.Limbs.size() * 32;
+  Quot.Limbs.assign(Num.Limbs.size(), 0);
+  for (size_t BitIdx = TotalBits; BitIdx-- > 0;) {
+    // Rem = (Rem << 1) | bit.
+    uint32_t Carry = (Num.Limbs[BitIdx / 32] >> (BitIdx % 32)) & 1;
+    for (uint32_t &Limb : Rem.Limbs) {
+      uint32_t Next = Limb >> 31;
+      Limb = (Limb << 1) | Carry;
+      Carry = Next;
+    }
+    if (Carry)
+      Rem.Limbs.push_back(Carry);
+    BigInt DenAbs = Den;
+    DenAbs.Negative = false;
+    if (compareMagnitude(Rem, DenAbs) >= 0) {
+      Rem = subMagnitude(Rem, DenAbs);
+      Quot.Limbs[BitIdx / 32] |= (1U << (BitIdx % 32));
+    }
+  }
+  Quot.trim();
+  Rem.trim();
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const {
+  BigInt Quot, Rem;
+  divModMagnitude(*this, RHS, Quot, Rem);
+  Quot.Negative = (Negative != RHS.Negative) && !Quot.Limbs.empty();
+  return Quot;
+}
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  BigInt Quot, Rem;
+  divModMagnitude(*this, RHS, Quot, Rem);
+  Rem.Negative = Negative && !Rem.Limbs.empty();
+  return Rem;
+}
+
+uint64_t BigInt::hash() const {
+  RollingHash H;
+  H.add(Negative ? 1 : 0);
+  for (uint32_t Limb : Limbs)
+    H.add(Limb);
+  return H.get();
+}

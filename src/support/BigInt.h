@@ -1,0 +1,88 @@
+//===- BigInt.h - arbitrary precision integers ------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sign-magnitude arbitrary-precision integers. LEAN4's runtime delegates
+/// big-number arithmetic to GMP; GMP is unavailable offline, so this class
+/// is the substitution documented in DESIGN.md. It backs `lp.bigint`
+/// constants and the Nat/Int runtime overflow escape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_SUPPORT_BIGINT_H
+#define LZ_SUPPORT_BIGINT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lz {
+
+/// Arbitrary-precision signed integer.
+///
+/// Representation: little-endian base-2^32 magnitude plus a sign flag.
+/// Zero is canonically {Limbs empty, Negative false}.
+class BigInt {
+public:
+  BigInt() = default;
+  BigInt(int64_t Value);
+  static BigInt fromUnsigned(uint64_t Value);
+
+  /// Parses a decimal string with optional leading '-'. Asserts on
+  /// malformed input (constants come from the compiler, not users).
+  static BigInt fromString(std::string_view Text);
+
+  /// Decimal rendering, with leading '-' when negative.
+  std::string toString() const;
+
+  bool isZero() const { return Limbs.empty(); }
+  bool isNegative() const { return Negative; }
+
+  /// True if the value fits in a signed 64-bit integer.
+  bool fitsInt64() const;
+  /// Value as int64; asserts fitsInt64().
+  int64_t getInt64() const;
+
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+  /// Truncated division (C semantics). Asserts RHS != 0.
+  BigInt operator/(const BigInt &RHS) const;
+  /// Remainder with the sign of the dividend (C semantics).
+  BigInt operator%(const BigInt &RHS) const;
+  BigInt operator-() const;
+
+  /// Three-way comparison: negative, zero or positive.
+  int compare(const BigInt &RHS) const;
+
+  bool operator==(const BigInt &RHS) const { return compare(RHS) == 0; }
+  bool operator!=(const BigInt &RHS) const { return compare(RHS) != 0; }
+  bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const BigInt &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
+
+  /// Stable hash for attribute uniquing.
+  uint64_t hash() const;
+
+private:
+  static int compareMagnitude(const BigInt &LHS, const BigInt &RHS);
+  static BigInt addMagnitude(const BigInt &LHS, const BigInt &RHS);
+  /// Requires |LHS| >= |RHS|.
+  static BigInt subMagnitude(const BigInt &LHS, const BigInt &RHS);
+  static void divModMagnitude(const BigInt &Num, const BigInt &Den,
+                              BigInt &Quot, BigInt &Rem);
+  void trim();
+
+  std::vector<uint32_t> Limbs;
+  bool Negative = false;
+};
+
+} // namespace lz
+
+#endif // LZ_SUPPORT_BIGINT_H

@@ -1,0 +1,65 @@
+//===- Hashing.h - hash combinators -----------------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash combinators used for type/attribute uniquing and for the paper's
+/// "global region numbering": region value numbers are rolling hashes of the
+/// value numbers of the instructions inside the region (Section IV.B.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_SUPPORT_HASHING_H
+#define LZ_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace lz {
+
+/// 64-bit FNV-1a style mixing of a single value into a running hash.
+inline uint64_t hashMix(uint64_t Seed, uint64_t Value) {
+  // Derived from boost::hash_combine with a 64-bit golden-ratio constant.
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
+  return Seed;
+}
+
+/// Hashes a range of byte data.
+inline uint64_t hashBytes(std::string_view Bytes, uint64_t Seed = 0xcbf29ce484222325ULL) {
+  uint64_t H = Seed;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Variadic hash_combine over hashable values.
+inline uint64_t hashCombine() { return 0x9e3779b97f4a7c15ULL; }
+
+template <typename T, typename... Ts>
+uint64_t hashCombine(const T &First, const Ts &...Rest) {
+  uint64_t H = std::hash<T>{}(First);
+  return hashMix(hashCombine(Rest...), H);
+}
+
+/// Accumulator for rolling hashes (order sensitive), used by region
+/// value numbering.
+class RollingHash {
+public:
+  void add(uint64_t Value) { State = hashMix(State, Value); }
+  void addBytes(std::string_view Bytes) { State = hashBytes(Bytes, State); }
+  uint64_t get() const { return State; }
+
+private:
+  uint64_t State = 0xcbf29ce484222325ULL;
+};
+
+} // namespace lz
+
+#endif // LZ_SUPPORT_HASHING_H

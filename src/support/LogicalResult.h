@@ -1,0 +1,50 @@
+//===- LogicalResult.h - success/failure result type ------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-state result type mirroring mlir::LogicalResult, used by verifiers,
+/// parsers and rewrite drivers where the error itself has already been
+/// reported through a diagnostic channel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_SUPPORT_LOGICALRESULT_H
+#define LZ_SUPPORT_LOGICALRESULT_H
+
+namespace lz {
+
+/// Success-or-failure; contextual conversion to bool is intentionally absent
+/// (use succeeded()/failed()) to avoid inverted-sense bugs.
+class LogicalResult {
+public:
+  static LogicalResult success(bool IsSuccess = true) {
+    return LogicalResult(IsSuccess);
+  }
+  static LogicalResult failure(bool IsFailure = true) {
+    return LogicalResult(!IsFailure);
+  }
+
+  bool succeeded() const { return IsSuccess; }
+  bool failed() const { return !IsSuccess; }
+
+private:
+  explicit LogicalResult(bool IsSuccess) : IsSuccess(IsSuccess) {}
+  bool IsSuccess;
+};
+
+inline LogicalResult success(bool IsSuccess = true) {
+  return LogicalResult::success(IsSuccess);
+}
+inline LogicalResult failure(bool IsFailure = true) {
+  return LogicalResult::failure(IsFailure);
+}
+inline bool succeeded(LogicalResult R) { return R.succeeded(); }
+inline bool failed(LogicalResult R) { return R.failed(); }
+
+} // namespace lz
+
+#endif // LZ_SUPPORT_LOGICALRESULT_H

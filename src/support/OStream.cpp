@@ -1,0 +1,58 @@
+//===- OStream.cpp - lightweight output streams --------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OStream.h"
+
+#include <cinttypes>
+#include <cstring>
+
+using namespace lz;
+
+OStream::~OStream() = default;
+
+OStream &OStream::operator<<(long long N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%lld", N);
+  write(Buf, Len);
+  return *this;
+}
+
+OStream &OStream::operator<<(unsigned long long N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%llu", N);
+  write(Buf, Len);
+  return *this;
+}
+
+OStream &OStream::operator<<(double D) {
+  char Buf[40];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  write(Buf, Len);
+  return *this;
+}
+
+void OStream::writeHex(uint64_t N) {
+  char Buf[20];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIx64, N);
+  write(Buf, Len);
+}
+
+OStream &OStream::indent(unsigned Count, char C) {
+  for (unsigned I = 0; I != Count; ++I)
+    write(&C, 1);
+  return *this;
+}
+
+OStream &lz::outs() {
+  static FileOStream Stream(stdout);
+  return Stream;
+}
+
+OStream &lz::errs() {
+  static FileOStream Stream(stderr);
+  return Stream;
+}

@@ -1,0 +1,97 @@
+//===- OStream.h - lightweight output streams -------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal clone of llvm::raw_ostream. Library code writes through this
+/// interface instead of <iostream> (which injects static constructors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_SUPPORT_OSTREAM_H
+#define LZ_SUPPORT_OSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lz {
+
+/// Abstract character sink with formatting operators for the types the
+/// compiler prints (integers, strings, chars).
+class OStream {
+public:
+  virtual ~OStream();
+
+  OStream &operator<<(std::string_view Str) {
+    write(Str.data(), Str.size());
+    return *this;
+  }
+  OStream &operator<<(const char *Str) { return *this << std::string_view(Str); }
+  OStream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+  OStream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  OStream &operator<<(long long N);
+  OStream &operator<<(unsigned long long N);
+  OStream &operator<<(int N) { return *this << static_cast<long long>(N); }
+  OStream &operator<<(unsigned N) {
+    return *this << static_cast<unsigned long long>(N);
+  }
+  OStream &operator<<(long N) { return *this << static_cast<long long>(N); }
+  OStream &operator<<(unsigned long N) {
+    return *this << static_cast<unsigned long long>(N);
+  }
+  OStream &operator<<(double D);
+  OStream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+
+  /// Writes \p N in hexadecimal (no 0x prefix).
+  void writeHex(uint64_t N);
+
+  /// Writes \p Count copies of \p C (used for indentation).
+  OStream &indent(unsigned Count, char C = ' ');
+
+  virtual void write(const char *Data, size_t Size) = 0;
+  virtual void flush() {}
+};
+
+/// Stream that appends to a std::string owned by the caller.
+class StringOStream : public OStream {
+public:
+  explicit StringOStream(std::string &Buffer) : Buffer(Buffer) {}
+  void write(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+
+private:
+  std::string &Buffer;
+};
+
+/// Stream over a C FILE handle (used for stdout/stderr).
+class FileOStream : public OStream {
+public:
+  explicit FileOStream(std::FILE *File) : File(File) {}
+  void write(const char *Data, size_t Size) override {
+    std::fwrite(Data, 1, Size, File);
+  }
+  void flush() override { std::fflush(File); }
+
+private:
+  std::FILE *File;
+};
+
+/// Returns a stream attached to stdout. Not thread safe; tools only.
+OStream &outs();
+/// Returns a stream attached to stderr. Not thread safe; tools only.
+OStream &errs();
+
+} // namespace lz
+
+#endif // LZ_SUPPORT_OSTREAM_H

@@ -1,0 +1,154 @@
+//===- Builtins.cpp - LEAN runtime builtin registry ---------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Builtins.h"
+
+#include "support/OStream.h"
+
+#include <map>
+#include <vector>
+
+using namespace lz;
+using namespace lz::vm;
+using rt::ObjRef;
+
+namespace {
+
+struct BuiltinEntry {
+  const char *Name;
+  unsigned Arity;
+  BuiltinFn Fn;
+};
+
+ObjRef natAdd(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.natAdd(A[0], A[1]);
+}
+ObjRef natSub(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.natSub(A[0], A[1]);
+}
+ObjRef natMul(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.natMul(A[0], A[1]);
+}
+ObjRef natDiv(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.natDiv(A[0], A[1]);
+}
+ObjRef natMod(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.natMod(A[0], A[1]);
+}
+ObjRef natDecEq(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.decEq(A[0], A[1]);
+}
+ObjRef natDecLt(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.decLt(A[0], A[1]);
+}
+ObjRef natDecLe(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.decLe(A[0], A[1]);
+}
+ObjRef intAdd(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.intAdd(A[0], A[1]);
+}
+ObjRef intSub(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.intSub(A[0], A[1]);
+}
+ObjRef intMul(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.intMul(A[0], A[1]);
+}
+ObjRef intDiv(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.intDiv(A[0], A[1]);
+}
+ObjRef intMod(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.intMod(A[0], A[1]);
+}
+ObjRef intNeg(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.intNeg(A[0]);
+}
+ObjRef mkArray(BuiltinContext &C, std::span<ObjRef> A) {
+  size_t N = static_cast<size_t>(rt::unboxScalar(A[0]));
+  return C.RT.allocArray(N, A[1]);
+}
+ObjRef arrayGet(BuiltinContext &C, std::span<ObjRef> A) {
+  ObjRef R = C.RT.arrayGet(A[0], A[1]);
+  C.RT.dec(A[0]); // owned array arg consumed
+  return R;
+}
+ObjRef arraySet(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.arraySet(A[0], A[1], A[2]);
+}
+ObjRef arrayPush(BuiltinContext &C, std::span<ObjRef> A) {
+  return C.RT.arrayPush(A[0], A[1]);
+}
+ObjRef arraySize(BuiltinContext &C, std::span<ObjRef> A) {
+  ObjRef R = C.RT.arraySize(A[0]);
+  C.RT.dec(A[0]);
+  return R;
+}
+ObjRef ioPrintln(BuiltinContext &C, std::span<ObjRef> A) {
+  if (C.Out)
+    *C.Out << C.RT.toDisplayString(A[0]) << '\n';
+  C.RT.dec(A[0]);
+  return rt::boxScalar(0);
+}
+ObjRef stringAppend(BuiltinContext &C, std::span<ObjRef> A) {
+  std::string S = C.RT.getString(A[0]) + C.RT.getString(A[1]);
+  C.RT.dec(A[0]);
+  C.RT.dec(A[1]);
+  return C.RT.allocString(std::move(S));
+}
+ObjRef stringLength(BuiltinContext &C, std::span<ObjRef> A) {
+  int64_t N = static_cast<int64_t>(C.RT.getString(A[0]).size());
+  C.RT.dec(A[0]);
+  return rt::boxScalar(N);
+}
+
+const BuiltinEntry Table[] = {
+    {"lean_nat_add", 2, natAdd},
+    {"lean_nat_sub", 2, natSub},
+    {"lean_nat_mul", 2, natMul},
+    {"lean_nat_div", 2, natDiv},
+    {"lean_nat_mod", 2, natMod},
+    {"lean_nat_dec_eq", 2, natDecEq},
+    {"lean_nat_dec_lt", 2, natDecLt},
+    {"lean_nat_dec_le", 2, natDecLe},
+    {"lean_int_add", 2, intAdd},
+    {"lean_int_sub", 2, intSub},
+    {"lean_int_mul", 2, intMul},
+    {"lean_int_div", 2, intDiv},
+    {"lean_int_mod", 2, intMod},
+    {"lean_int_neg", 1, intNeg},
+    {"lean_int_dec_eq", 2, natDecEq},
+    {"lean_int_dec_lt", 2, natDecLt},
+    {"lean_int_dec_le", 2, natDecLe},
+    {"lean_mk_array", 2, mkArray},
+    {"lean_array_get", 2, arrayGet},
+    {"lean_array_set", 3, arraySet},
+    {"lean_array_push", 2, arrayPush},
+    {"lean_array_size", 1, arraySize},
+    {"lean_io_println", 1, ioPrintln},
+    {"lean_string_append", 2, stringAppend},
+    {"lean_string_length", 1, stringLength},
+};
+
+} // namespace
+
+int lz::vm::lookupBuiltin(std::string_view Name) {
+  for (size_t I = 0; I != std::size(Table); ++I)
+    if (Table[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+BuiltinFn lz::vm::getBuiltin(int Index) {
+  assert(Index >= 0 && static_cast<size_t>(Index) < std::size(Table) &&
+         "builtin index out of range");
+  return Table[Index].Fn;
+}
+
+unsigned lz::vm::getBuiltinArity(int Index) {
+  assert(Index >= 0 && static_cast<size_t>(Index) < std::size(Table) &&
+         "builtin index out of range");
+  return Table[Index].Arity;
+}

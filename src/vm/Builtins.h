@@ -1,0 +1,51 @@
+//===- Builtins.h - LEAN runtime builtin registry ---------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named runtime entry points callable from IR via `func.call` — the
+/// analogue of linking against libleanrt (Section III-G). The hot Nat
+/// operations additionally get dedicated opcodes in the VM compiler; the
+/// registry serves everything else (Int ops, arrays, IO, strings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_VM_BUILTINS_H
+#define LZ_VM_BUILTINS_H
+
+#include "runtime/Object.h"
+
+#include <functional>
+#include <span>
+#include <string_view>
+
+namespace lz {
+class OStream;
+}
+
+namespace lz::vm {
+
+/// Execution context handed to builtins.
+struct BuiltinContext {
+  rt::Runtime &RT;
+  rt::ApplyHandler &Apply;
+  OStream *Out; ///< destination of lean_io_println (may be null)
+};
+
+using BuiltinFn = rt::ObjRef (*)(BuiltinContext &, std::span<rt::ObjRef>);
+
+/// Returns the index of builtin \p Name, or -1 when unknown.
+int lookupBuiltin(std::string_view Name);
+
+/// Returns the handler for builtin index \p Index.
+BuiltinFn getBuiltin(int Index);
+
+/// Declared arity of builtin \p Index (for closure creation over builtins).
+unsigned getBuiltinArity(int Index);
+
+} // namespace lz::vm
+
+#endif // LZ_VM_BUILTINS_H

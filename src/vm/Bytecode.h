@@ -1,0 +1,106 @@
+//===- Bytecode.h - register bytecode for the execution substrate -*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register bytecode the VM executes. This is the substitution for the
+/// paper's LLVM backend (DESIGN.md): every pipeline variant lowers to the
+/// same flat-CFG IR and is compiled to this bytecode, so measured speedups
+/// isolate the effect of the IR-level optimizers, exactly as the paper's
+/// relative numbers do.
+///
+/// Register convention: registers hold either raw machine integers (IR
+/// type iN) or runtime ObjRefs (IR type !lp.t); the compiler picks opcodes
+/// from static types, so no runtime tagging of registers is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_VM_BYTECODE_H
+#define LZ_VM_BYTECODE_H
+
+#include "support/BigInt.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lz::vm {
+
+enum class Opcode : uint8_t {
+  // Constants and moves.
+  IConst,   ///< r[A] = ImmPool[B]                        (raw)
+  BoxConst, ///< r[A] = boxScalar(ImmPool[B])             (boxed)
+  BigConst, ///< r[A] = makeBigInt(BigPool[B])            (boxed)
+  Move,     ///< r[A] = r[B]
+
+  // Raw integer arithmetic (arith dialect).
+  Add, Sub, Mul, Div, Rem, And, Or, Xor, ///< r[A] = r[B] op r[C]
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe, ///< r[A] = r[B] cmp r[C]
+  Select, ///< r[A] = r[B] ? r[Aux[C]] : r[Aux[C+1]]      (raw operands)
+
+  // lp data operations.
+  Construct, ///< r[A] = ctor(tag=Aux[C], fields r[Aux[C+1..C+1+B]])
+  GetTag,    ///< r[A] = tag(r[B])                        (raw result)
+  Project,   ///< r[A] = field #C of r[B]                 (borrowed)
+  Pap,       ///< r[A] = closure(fn=Aux[C], arity=Aux[C+1], args Aux[C+2..+B])
+  Apply,     ///< r[A] = apply(r[B], Aux[C]=n args at Aux[C+1..])
+  Inc,       ///< rc++ of r[A]
+  Dec,       ///< rc-- of r[A]
+
+  // Fast-path LEAN runtime calls (boxed operands/results).
+  NatAdd, NatSub, NatMul, NatDiv, NatMod, ///< r[A] = op(r[B], r[C])
+  DecEq, DecLt, DecLe,                    ///< r[A] = boxed 0/1
+  Unbox,                                  ///< r[A] = unboxScalar(r[B])
+  Box,                                    ///< r[A] = boxScalar(r[B])
+
+  // Calls.
+  Call,        ///< r[A] = call fn=B, Aux[C]=n args at Aux[C+1..]
+  TailCall,    ///< tail call fn=B, Aux[C]=n args (reuses the frame)
+  CallBuiltin, ///< r[A] = builtin #B, Aux[C]=n args at Aux[C+1..]
+
+  // Control flow.
+  Ret,      ///< return r[A]
+  Br,       ///< pc = B
+  CondBr,   ///< pc = (r[A] != 0) ? B : C
+  /// Fused compare-and-branch (instruction selection for cmpi+cond_br,
+  /// mirroring what LLVM/C codegen does for the paper's backends).
+  /// Aux[B]: pred, rhsIsImm, rhsRegOrImmIdx, truePc, falsePc; lhs r[A].
+  CmpBr,
+  SwitchBr, ///< Aux[B]: n, (value, pc) * n, defaultPc; scrutinee raw r[A]
+  Trap,     ///< abort: unreachable executed
+};
+
+struct Instr {
+  Opcode Op;
+  int32_t A = 0, B = 0, C = 0;
+};
+
+/// One compiled function.
+struct CompiledFunction {
+  std::string Name;
+  uint32_t NumParams = 0;
+  uint32_t NumRegs = 0;
+  std::vector<Instr> Code;
+  std::vector<int32_t> Aux;     ///< variable-length operand lists
+  std::vector<int64_t> ImmPool; ///< integer immediates
+  std::vector<BigInt> BigPool;  ///< bigint immediates
+};
+
+/// A compiled module plus its function symbol table.
+struct Program {
+  std::vector<CompiledFunction> Functions;
+  std::unordered_map<std::string, uint32_t> FunctionIndex;
+
+  const CompiledFunction *lookup(const std::string &Name) const {
+    auto It = FunctionIndex.find(Name);
+    return It == FunctionIndex.end() ? nullptr : &Functions[It->second];
+  }
+};
+
+} // namespace lz::vm
+
+#endif // LZ_VM_BYTECODE_H

@@ -1,0 +1,539 @@
+//===- Compiler.cpp - flat-CFG IR to bytecode ----------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Compiler.h"
+
+#include "dialect/Func.h"
+#include "ir/Module.h"
+#include "vm/Builtins.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace lz;
+using namespace lz::vm;
+
+namespace {
+
+class FunctionCompiler {
+public:
+  FunctionCompiler(Operation *FuncOp, CompiledFunction &Out,
+                   const std::unordered_map<std::string, uint32_t> &FnIndex,
+                   const std::unordered_map<std::string, uint32_t> &FnArity,
+                   std::string &Err)
+      : FuncOp(FuncOp), Out(Out), FnIndex(FnIndex), FnArity(FnArity),
+        Err(Err) {}
+
+  LogicalResult compile() {
+    Region &Body = FuncOp->getRegion(0);
+    Block *Entry = Body.getEntryBlock();
+    Out.NumParams = Entry->getNumArguments();
+
+    // Assign registers: all block arguments and op results, layout order.
+    for (const auto &B : Body) {
+      for (unsigned I = 0; I != B->getNumArguments(); ++I)
+        defineReg(B->getArgument(I));
+      for (Operation *Op : *B)
+        for (unsigned I = 0; I != Op->getNumResults(); ++I)
+          defineReg(Op->getResult(I));
+    }
+
+    for (const auto &B : Body) {
+      planTerminatorFusion(B.get());
+      BlockPC[B.get()] = static_cast<int32_t>(Out.Code.size());
+      for (Operation *Op : *B) {
+        if (SkipOps.count(Op))
+          continue;
+        if (failed(compileOp(Op)))
+          return failure();
+        if (DoneWithBlock)
+          break;
+      }
+      DoneWithBlock = false;
+    }
+
+    emitTrampolines();
+    applyFixups();
+    Out.NumRegs = NextReg;
+    return success();
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Registers, immediates, aux
+  //===------------------------------------------------------------------===//
+
+  int32_t defineReg(Value *V) {
+    auto [It, Inserted] = Regs.emplace(V, NextReg);
+    if (Inserted)
+      ++NextReg;
+    return It->second;
+  }
+
+  int32_t reg(Value *V) {
+    auto It = Regs.find(V);
+    assert(It != Regs.end() && "use of unregistered value");
+    return It->second;
+  }
+
+  int32_t freshReg() { return static_cast<int32_t>(NextReg++); }
+
+  int32_t imm(int64_t Value) {
+    Out.ImmPool.push_back(Value);
+    return static_cast<int32_t>(Out.ImmPool.size() - 1);
+  }
+
+  int32_t aux(std::span<const int32_t> Values) {
+    int32_t Offset = static_cast<int32_t>(Out.Aux.size());
+    Out.Aux.insert(Out.Aux.end(), Values.begin(), Values.end());
+    return Offset;
+  }
+
+  size_t emit(Opcode Op, int32_t A = 0, int32_t B = 0, int32_t C = 0) {
+    Out.Code.push_back({Op, A, B, C});
+    return Out.Code.size() - 1;
+  }
+
+  LogicalResult error(std::string Message) {
+    if (Err.empty())
+      Err = "vm compiler: " + std::move(Message) + " (in function " +
+            std::string(func::getFuncName(FuncOp)) + ")";
+    return failure();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Branch plumbing
+  //===------------------------------------------------------------------===//
+
+  /// Requests that field \p Field ('B' or 'C') of \p InstrIdx be patched
+  /// with the PC of \p Target once known.
+  void fixupBranch(size_t InstrIdx, char Field, Block *Target) {
+    Fixups.push_back({InstrIdx, Field, Target, -1});
+  }
+
+  /// Requests a patch to a trampoline that moves \p ArgRegs into
+  /// \p Target's argument registers, then branches to it.
+  void fixupViaTrampoline(size_t InstrIdx, char Field, Block *Target,
+                          std::vector<int32_t> ArgRegs) {
+    if (ArgRegs.empty()) {
+      fixupBranch(InstrIdx, Field, Target);
+      return;
+    }
+    int32_t Id = static_cast<int32_t>(Trampolines.size());
+    Trampolines.push_back({Target, std::move(ArgRegs), -1});
+    Fixups.push_back({InstrIdx, Field, nullptr, Id});
+  }
+
+  /// Emits the two-phase parallel move then a branch. Used both inline
+  /// (cf.br) and for trampolines.
+  void emitMovesAndBr(Block *Target, std::span<const int32_t> ArgRegs) {
+    // Phase 1: sources into fresh temporaries (safe under any overlap).
+    std::vector<int32_t> Temps;
+    for (int32_t Src : ArgRegs) {
+      int32_t T = freshReg();
+      emit(Opcode::Move, T, Src);
+      Temps.push_back(T);
+    }
+    // Phase 2: temporaries into block argument registers.
+    for (size_t I = 0; I != Temps.size(); ++I)
+      emit(Opcode::Move, reg(Target->getArgument(static_cast<unsigned>(I))),
+           Temps[I]);
+    size_t BrIdx = emit(Opcode::Br);
+    fixupBranch(BrIdx, 'B', Target);
+  }
+
+  void emitTrampolines() {
+    for (auto &T : Trampolines) {
+      T.PC = static_cast<int32_t>(Out.Code.size());
+      emitMovesAndBr(T.Target, T.ArgRegs);
+    }
+  }
+
+  void applyFixups() {
+    for (const auto &F : Fixups) {
+      int32_t PC =
+          F.Target ? BlockPC.at(F.Target) : Trampolines[F.TrampolineId].PC;
+      Instr &I = Out.Code[F.InstrIdx];
+      if (F.Field == 'B')
+        I.B = PC;
+      else
+        I.C = PC;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Per-op compilation
+  //===------------------------------------------------------------------===//
+
+  LogicalResult compileOp(Operation *Op) {
+    std::string_view Name = Op->getName();
+
+    if (Name == "arith.constant") {
+      emit(Opcode::IConst, defineReg(Op->getResult(0)),
+           imm(Op->getAttrOfType<IntegerAttr>("value")->getValue()));
+      return success();
+    }
+    if (Name == "lp.int") {
+      emit(Opcode::BoxConst, reg(Op->getResult(0)),
+           imm(Op->getAttrOfType<IntegerAttr>("value")->getValue()));
+      return success();
+    }
+    if (Name == "lp.bigint") {
+      Out.BigPool.push_back(
+          Op->getAttrOfType<BigIntAttr>("value")->getValue());
+      emit(Opcode::BigConst, reg(Op->getResult(0)),
+           static_cast<int32_t>(Out.BigPool.size() - 1));
+      return success();
+    }
+
+    // Raw integer arithmetic.
+    static const std::pair<std::string_view, Opcode> Binaries[] = {
+        {"arith.addi", Opcode::Add},  {"arith.subi", Opcode::Sub},
+        {"arith.muli", Opcode::Mul},  {"arith.divsi", Opcode::Div},
+        {"arith.remsi", Opcode::Rem}, {"arith.andi", Opcode::And},
+        {"arith.ori", Opcode::Or},    {"arith.xori", Opcode::Xor},
+    };
+    for (auto [BinName, BinOp] : Binaries) {
+      if (Name == BinName) {
+        emit(BinOp, reg(Op->getResult(0)), reg(Op->getOperand(0)),
+             reg(Op->getOperand(1)));
+        return success();
+      }
+    }
+    if (Name == "arith.cmpi") {
+      static const Opcode ByPred[] = {Opcode::CmpEq, Opcode::CmpNe,
+                                      Opcode::CmpLt, Opcode::CmpLe,
+                                      Opcode::CmpGt, Opcode::CmpGe};
+      int64_t Pred = Op->getAttrOfType<IntegerAttr>("predicate")->getValue();
+      assert(Pred >= 0 && Pred < 6 && "bad cmp predicate");
+      emit(ByPred[Pred], reg(Op->getResult(0)), reg(Op->getOperand(0)),
+           reg(Op->getOperand(1)));
+      return success();
+    }
+    if (Name == "arith.select") {
+      if (!isa<IntegerType>(Op->getResult(0)->getType()))
+        return error("arith.select on a non-integer type reached the VM");
+      int32_t TF[] = {reg(Op->getOperand(1)), reg(Op->getOperand(2))};
+      emit(Opcode::Select, reg(Op->getResult(0)), reg(Op->getOperand(0)),
+           aux(TF));
+      return success();
+    }
+
+    // lp data ops.
+    if (Name == "lp.construct") {
+      std::vector<int32_t> A;
+      A.push_back(
+          static_cast<int32_t>(Op->getAttrOfType<IntegerAttr>("tag")->getValue()));
+      for (unsigned I = 0; I != Op->getNumOperands(); ++I)
+        A.push_back(reg(Op->getOperand(I)));
+      emit(Opcode::Construct, reg(Op->getResult(0)),
+           static_cast<int32_t>(Op->getNumOperands()), aux(A));
+      return success();
+    }
+    if (Name == "lp.getlabel") {
+      emit(Opcode::GetTag, reg(Op->getResult(0)), reg(Op->getOperand(0)));
+      return success();
+    }
+    if (Name == "lp.project") {
+      emit(Opcode::Project, reg(Op->getResult(0)), reg(Op->getOperand(0)),
+           static_cast<int32_t>(
+               Op->getAttrOfType<IntegerAttr>("index")->getValue()));
+      return success();
+    }
+    if (Name == "lp.pap") {
+      std::string Callee(
+          Op->getAttrOfType<SymbolRefAttr>("callee")->getValue());
+      auto FnIt = FnIndex.find(Callee);
+      if (FnIt == FnIndex.end())
+        return error("lp.pap of unknown function '" + Callee + "'");
+      std::vector<int32_t> A = {static_cast<int32_t>(FnIt->second),
+                                static_cast<int32_t>(FnArity.at(Callee))};
+      for (unsigned I = 0; I != Op->getNumOperands(); ++I)
+        A.push_back(reg(Op->getOperand(I)));
+      emit(Opcode::Pap, reg(Op->getResult(0)),
+           static_cast<int32_t>(Op->getNumOperands()), aux(A));
+      return success();
+    }
+    if (Name == "lp.papextend") {
+      std::vector<int32_t> A = {
+          static_cast<int32_t>(Op->getNumOperands() - 1)};
+      for (unsigned I = 1; I != Op->getNumOperands(); ++I)
+        A.push_back(reg(Op->getOperand(I)));
+      emit(Opcode::Apply, reg(Op->getResult(0)), reg(Op->getOperand(0)),
+           aux(A));
+      return success();
+    }
+    if (Name == "lp.unreachable") {
+      emit(Opcode::Trap);
+      return success();
+    }
+    if (Name == "lp.inc") {
+      emit(Opcode::Inc, reg(Op->getOperand(0)));
+      return success();
+    }
+    if (Name == "lp.dec") {
+      emit(Opcode::Dec, reg(Op->getOperand(0)));
+      return success();
+    }
+
+    // Calls.
+    if (Name == "func.call")
+      return compileCall(Op);
+
+    if (Name == "func.return") {
+      if (Op->getNumOperands() == 0)
+        return error("void returns are not used by the lp pipeline");
+      emit(Opcode::Ret, reg(Op->getOperand(0)));
+      return success();
+    }
+
+    // Terminators.
+    if (Name == "cf.br") {
+      Block *Dest = Op->getSuccessor(0);
+      std::vector<int32_t> ArgRegs;
+      for (Value *V : Op->getSuccessorOperands(0))
+        ArgRegs.push_back(reg(V));
+      emitMovesAndBr(Dest, ArgRegs);
+      return success();
+    }
+    if (Name == "cf.cond_br") {
+      std::vector<int32_t> TrueRegs, FalseRegs;
+      for (Value *V : Op->getSuccessorOperands(0))
+        TrueRegs.push_back(reg(V));
+      for (Value *V : Op->getSuccessorOperands(1))
+        FalseRegs.push_back(reg(V));
+
+      // Fused compare-and-branch when the condition is a single-use cmpi
+      // in the same block (see planTerminatorFusion).
+      if (Operation *Cmp = FusedCmp) {
+        FusedCmp = nullptr;
+        int64_t Pred =
+            Cmp->getAttrOfType<IntegerAttr>("predicate")->getValue();
+        int32_t RhsIsImm = 0, RhsVal;
+        Operation *RhsDef = Cmp->getOperand(1)->getDefiningOp();
+        if (SkipOps.count(RhsDef)) {
+          RhsIsImm = 1;
+          RhsVal =
+              imm(RhsDef->getAttrOfType<IntegerAttr>("value")->getValue());
+        } else {
+          RhsVal = reg(Cmp->getOperand(1));
+        }
+        int32_t A[] = {static_cast<int32_t>(Pred), RhsIsImm, RhsVal, -1, -1};
+        int32_t Offset = aux(A);
+        emit(Opcode::CmpBr, reg(Cmp->getOperand(0)), Offset);
+        SwitchFixups.push_back(
+            {Offset + 3, Op->getSuccessor(0), std::move(TrueRegs)});
+        SwitchFixups.push_back(
+            {Offset + 4, Op->getSuccessor(1), std::move(FalseRegs)});
+        return success();
+      }
+
+      size_t Idx = emit(Opcode::CondBr, reg(Op->getOperand(0)));
+      fixupViaTrampoline(Idx, 'B', Op->getSuccessor(0), std::move(TrueRegs));
+      fixupViaTrampoline(Idx, 'C', Op->getSuccessor(1), std::move(FalseRegs));
+      return success();
+    }
+    if (Name == "cf.switch") {
+      auto *Cases = Op->getAttrOfType<ArrayAttr>("cases");
+      unsigned NumCases = static_cast<unsigned>(Cases->size());
+      // Aux layout: n, (value, pc)*n, defaultPc. PCs patched afterwards via
+      // SwitchFixups (they live in Aux, not instruction fields).
+      std::vector<int32_t> A;
+      A.push_back(static_cast<int32_t>(NumCases));
+      for (unsigned I = 0; I != NumCases; ++I) {
+        A.push_back(static_cast<int32_t>(
+            cast<IntegerAttr>(Cases->getValue()[I])->getValue()));
+        A.push_back(-1); // pc placeholder
+      }
+      A.push_back(-1); // default pc placeholder
+      int32_t Offset = aux(A);
+      emit(Opcode::SwitchBr, reg(Op->getOperand(0)), Offset);
+
+      // Successor 0 is the default; 1..N the cases.
+      for (unsigned I = 0; I != NumCases + 1; ++I) {
+        std::vector<int32_t> ArgRegs;
+        for (Value *V : Op->getSuccessorOperands(I))
+          ArgRegs.push_back(reg(V));
+        int32_t AuxSlot =
+            (I == 0) ? Offset + 1 + static_cast<int32_t>(NumCases) * 2
+                     : Offset + 2 + static_cast<int32_t>(I - 1) * 2;
+        SwitchFixups.push_back(
+            {AuxSlot, Op->getSuccessor(I), std::move(ArgRegs)});
+      }
+      return success();
+    }
+
+    return error("unsupported op '" + std::string(Name) + "' reached the VM");
+  }
+
+  LogicalResult compileCall(Operation *Op) {
+    std::string Callee(
+        Op->getAttrOfType<SymbolRefAttr>("callee")->getValue());
+    std::vector<int32_t> ArgRegs;
+    ArgRegs.push_back(static_cast<int32_t>(Op->getNumOperands()));
+    for (unsigned I = 0; I != Op->getNumOperands(); ++I)
+      ArgRegs.push_back(reg(Op->getOperand(I)));
+
+    auto FnIt = FnIndex.find(Callee);
+    if (FnIt != FnIndex.end()) {
+      // Guaranteed tail call: `musttail` call immediately returned.
+      bool MustTail = Op->getAttr("musttail") != nullptr;
+      Operation *Next = Op->getNextNode();
+      if (MustTail && Next && Next->getName() == "func.return" &&
+          Next->getNumOperands() == 1 &&
+          Next->getOperand(0) == Op->getResult(0)) {
+        emit(Opcode::TailCall, 0, static_cast<int32_t>(FnIt->second),
+             aux(ArgRegs));
+        DoneWithBlock = true;
+        return success();
+      }
+      emit(Opcode::Call, reg(Op->getResult(0)),
+           static_cast<int32_t>(FnIt->second), aux(ArgRegs));
+      return success();
+    }
+
+    // Runtime builtins; the hot Nat path gets dedicated opcodes.
+    static const std::pair<std::string_view, Opcode> FastOps[] = {
+        {"lean_nat_add", Opcode::NatAdd},    {"lean_nat_sub", Opcode::NatSub},
+        {"lean_nat_mul", Opcode::NatMul},    {"lean_nat_div", Opcode::NatDiv},
+        {"lean_nat_mod", Opcode::NatMod},    {"lean_nat_dec_eq", Opcode::DecEq},
+        {"lean_nat_dec_lt", Opcode::DecLt},  {"lean_nat_dec_le", Opcode::DecLe},
+    };
+    int32_t Dest = Op->getNumResults() ? reg(Op->getResult(0)) : freshReg();
+    for (auto [FastName, FastOp] : FastOps) {
+      if (Callee == FastName && Op->getNumOperands() == 2) {
+        emit(FastOp, Dest, reg(Op->getOperand(0)), reg(Op->getOperand(1)));
+        maybeUnboxResult(Op, Dest);
+        return success();
+      }
+    }
+    int BI = lookupBuiltin(Callee);
+    if (BI < 0)
+      return error("call to unknown function '" + Callee + "'");
+    emit(Opcode::CallBuiltin, Dest, BI, aux(ArgRegs));
+    maybeUnboxResult(Op, Dest);
+    return success();
+  }
+
+  /// Builtins return boxed values; when the IR declares an integer result
+  /// type (e.g. the i8 of @lean_nat_dec_eq, Section III-A), unbox in place.
+  void maybeUnboxResult(Operation *Op, int32_t Dest) {
+    if (Op->getNumResults() &&
+        isa<IntegerType>(Op->getResult(0)->getType()))
+      emit(Opcode::Unbox, Dest, Dest);
+  }
+
+  /// Instruction selection: if \p B ends in cond_br fed by a single-use
+  /// arith.cmpi from the same block, plan to fuse them (and fold a
+  /// single-use constant right-hand side into an immediate).
+  void planTerminatorFusion(Block *B) {
+    FusedCmp = nullptr;
+    if (B->empty())
+      return;
+    Operation *Term = B->back();
+    if (Term->getName() != "cf.cond_br")
+      return;
+    Value *Cond = Term->getOperand(0);
+    Operation *Cmp = Cond->getDefiningOp();
+    if (!Cmp || Cmp->getName() != "arith.cmpi" || !Cond->hasOneUse() ||
+        Cmp->getBlock() != B)
+      return;
+    FusedCmp = Cmp;
+    SkipOps.insert(Cmp);
+    Operation *RhsDef = Cmp->getOperand(1)->getDefiningOp();
+    if (RhsDef && RhsDef->getName() == "arith.constant" &&
+        RhsDef->getResult(0)->hasOneUse() && RhsDef->getBlock() == B)
+      SkipOps.insert(RhsDef);
+  }
+
+  struct Fixup {
+    size_t InstrIdx;
+    char Field;
+    Block *Target;       // non-null: direct block target
+    int32_t TrampolineId; // used when Target is null
+  };
+  struct Trampoline {
+    Block *Target;
+    std::vector<int32_t> ArgRegs;
+    int32_t PC;
+  };
+  struct SwitchFixup {
+    int32_t AuxSlot;
+    Block *Target;
+    std::vector<int32_t> ArgRegs;
+  };
+
+  Operation *FuncOp;
+  CompiledFunction &Out;
+  const std::unordered_map<std::string, uint32_t> &FnIndex;
+  const std::unordered_map<std::string, uint32_t> &FnArity;
+  std::string &Err;
+
+  std::unordered_map<Value *, int32_t> Regs;
+  uint32_t NextReg = 0;
+  std::unordered_map<Block *, int32_t> BlockPC;
+  std::vector<Fixup> Fixups;
+  std::vector<Trampoline> Trampolines;
+  std::vector<SwitchFixup> SwitchFixups;
+  std::unordered_set<Operation *> SkipOps;
+  Operation *FusedCmp = nullptr;
+  bool DoneWithBlock = false;
+
+public:
+  /// Switch targets need trampolines too; resolve them after layout.
+  void resolveSwitchFixups() {
+    for (auto &F : SwitchFixups) {
+      int32_t PC;
+      if (F.ArgRegs.empty()) {
+        PC = BlockPC.at(F.Target);
+      } else {
+        PC = static_cast<int32_t>(Out.Code.size());
+        emitMovesAndBr(F.Target, F.ArgRegs);
+        // emitMovesAndBr registered a direct fixup; apply it now.
+        applyFixups();
+        Fixups.clear();
+      }
+      Out.Aux[F.AuxSlot] = PC;
+    }
+    Out.NumRegs = NextReg;
+  }
+};
+
+} // namespace
+
+LogicalResult lz::vm::compileModule(Operation *Module, Program &Out,
+                                    std::string &ErrorMessage) {
+  Out.Functions.clear();
+  Out.FunctionIndex.clear();
+
+  std::unordered_map<std::string, uint32_t> FnArity;
+  std::vector<Operation *> Funcs;
+  for (Operation *Op : *getModuleBody(Module)) {
+    if (Op->getName() != "func.func")
+      continue;
+    Region &Body = Op->getRegion(0);
+    if (Body.empty())
+      continue; // declaration: resolved as a builtin at call sites
+    std::string Name(func::getFuncName(Op));
+    Out.FunctionIndex[Name] = static_cast<uint32_t>(Funcs.size());
+    FnArity[Name] =
+        static_cast<uint32_t>(func::getFuncType(Op)->getInputs().size());
+    Funcs.push_back(Op);
+  }
+
+  Out.Functions.resize(Funcs.size());
+  for (size_t I = 0; I != Funcs.size(); ++I) {
+    CompiledFunction &CF = Out.Functions[I];
+    CF.Name = func::getFuncName(Funcs[I]);
+    FunctionCompiler FC(Funcs[I], CF, Out.FunctionIndex, FnArity,
+                        ErrorMessage);
+    if (failed(FC.compile()))
+      return failure();
+    FC.resolveSwitchFixups();
+  }
+  return success();
+}

@@ -1,0 +1,38 @@
+//===- Compiler.h - flat-CFG IR to bytecode ---------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a fully lowered module (func + cf + arith + lp data ops; no
+/// regions except function bodies, no rgn/lp control flow) to VM bytecode.
+/// Block arguments become register moves on the edges; `musttail` calls
+/// compile to the frame-reusing TailCall opcode, which is how the VM
+/// delivers the guaranteed tail call elimination of Section III-E.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_VM_COMPILER_H
+#define LZ_VM_COMPILER_H
+
+#include "support/LogicalResult.h"
+#include "vm/Bytecode.h"
+
+#include <string>
+
+namespace lz {
+class Operation;
+}
+
+namespace lz::vm {
+
+/// Compiles \p Module into \p Out. On failure returns failure and fills
+/// \p ErrorMessage.
+LogicalResult compileModule(Operation *Module, Program &Out,
+                            std::string &ErrorMessage);
+
+} // namespace lz::vm
+
+#endif // LZ_VM_COMPILER_H

@@ -1,0 +1,59 @@
+//===- VM.h - bytecode interpreter ------------------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register VM executing compiled programs. Frames live on an explicit
+/// stack; TailCall reuses the current frame, which guarantees O(1) stack
+/// for tail recursion (the musttail guarantee of Section III-E — tested by
+/// million-deep tail recursion). Closure application re-enters the
+/// interpreter through the ApplyHandler hook.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_VM_VM_H
+#define LZ_VM_VM_H
+
+#include "runtime/Object.h"
+#include "vm/Bytecode.h"
+
+#include <span>
+#include <string_view>
+
+namespace lz {
+class OStream;
+}
+
+namespace lz::vm {
+
+class VM : public rt::ApplyHandler {
+public:
+  /// \p Out receives lean_io_println output (may be null to discard).
+  VM(const Program &Prog, rt::Runtime &RT, OStream *Out = nullptr)
+      : Prog(Prog), RT(RT), Out(Out) {}
+
+  /// Runs the named function with owned \p Args; returns an owned result.
+  rt::ObjRef run(std::string_view Name, std::span<rt::ObjRef> Args);
+
+  /// ApplyHandler: lets the runtime's `apply` call back into bytecode.
+  rt::ObjRef callFunction(uint32_t FnIndex,
+                          std::span<rt::ObjRef> Args) override;
+
+  /// Executed instruction count (all nested invocations).
+  uint64_t getSteps() const { return Steps; }
+
+private:
+  rt::ObjRef execute(uint32_t FnIndex, std::span<rt::ObjRef> Args);
+
+  const Program &Prog;
+  rt::Runtime &RT;
+  OStream *Out;
+  uint64_t Steps = 0;
+};
+
+} // namespace lz::vm
+
+#endif // LZ_VM_VM_H

@@ -1,0 +1,239 @@
+//===- DialectOpTest.cpp - per-op verifier and builder tests --------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Cf.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "dialect/Rgn.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class DialectOpTest : public ::testing::Test {
+protected:
+  DialectOpTest() { registerAllDialects(Ctx); }
+
+  /// Verifies a single (detached-from-module) op via its hook.
+  bool opVerifies(Operation *Op) {
+    const OpDef &Def = Op->getDef();
+    return !Def.Verify || succeeded(Def.Verify(Op));
+  }
+
+  Block *makeBoxFunc(const char *Name, unsigned NumArgs) {
+    std::vector<Type *> Inputs(NumArgs, Ctx.getBoxType());
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), Name,
+        Ctx.getFunctionType(Inputs, {Ctx.getBoxType()}));
+    B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+    return func::getFuncEntryBlock(Fn);
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+  OpBuilder B{Ctx};
+};
+
+TEST_F(DialectOpTest, LpIntWellFormed) {
+  makeBoxFunc("f", 0);
+  Operation *Op = lp::buildInt(B, 42);
+  EXPECT_TRUE(opVerifies(Op));
+  EXPECT_TRUE(Op->hasTrait(OpTrait_ConstantLike));
+  EXPECT_TRUE(Op->hasTrait(OpTrait_Pure));
+  EXPECT_EQ(Op->getAttrOfType<IntegerAttr>("value")->getValue(), 42);
+  lp::buildReturn(B, {Op->getResults().data(), 1});
+}
+
+TEST_F(DialectOpTest, LpIntRejectsMissingValue) {
+  makeBoxFunc("f", 0);
+  Operation *Op = lp::buildInt(B, 1);
+  Op->removeAttr("value");
+  EXPECT_FALSE(opVerifies(Op));
+  Op->setAttr("value", Ctx.getI64Attr(1));
+  EXPECT_TRUE(opVerifies(Op));
+  lp::buildReturn(B, {Op->getResults().data(), 1});
+}
+
+TEST_F(DialectOpTest, LpConstructTagAndFields) {
+  Block *E = makeBoxFunc("f", 2);
+  Value *A0 = E->getArgument(0), *A1 = E->getArgument(1);
+  Operation *Op = lp::buildConstruct(B, 7, {{A0, A1}});
+  EXPECT_TRUE(opVerifies(Op));
+  EXPECT_TRUE(Op->hasTrait(OpTrait_Allocates));
+  EXPECT_FALSE(Op->hasTrait(OpTrait_Pure)) << "allocations must not CSE";
+  lp::buildReturn(B, {Op->getResults().data(), 1});
+}
+
+TEST_F(DialectOpTest, LpProjectRequiresIndex) {
+  Block *E = makeBoxFunc("f", 1);
+  Operation *Op = lp::buildProject(B, E->getArgument(0), 1);
+  EXPECT_TRUE(opVerifies(Op));
+  Op->removeAttr("index");
+  EXPECT_FALSE(opVerifies(Op));
+  Op->setAttr("index", Ctx.getI64Attr(0));
+  lp::buildReturn(B, {Op->getResults().data(), 1});
+}
+
+TEST_F(DialectOpTest, LpGetLabelProducesI8) {
+  Block *E = makeBoxFunc("f", 1);
+  Operation *Op = lp::buildGetLabel(B, E->getArgument(0));
+  EXPECT_TRUE(opVerifies(Op));
+  auto *Ty = dyn_cast<IntegerType>(Op->getResult(0)->getType());
+  ASSERT_NE(Ty, nullptr);
+  EXPECT_EQ(Ty->getWidth(), 8u);
+  Value *R = E->getArgument(0);
+  lp::buildReturn(B, {&R, 1});
+}
+
+TEST_F(DialectOpTest, LpPapRequiresCallee) {
+  Block *E = makeBoxFunc("f", 1);
+  Value *A = E->getArgument(0);
+  Operation *Op = lp::buildPap(B, "callee", {&A, 1});
+  EXPECT_TRUE(opVerifies(Op));
+  Op->removeAttr("callee");
+  EXPECT_FALSE(opVerifies(Op));
+  Op->setAttr("callee", Ctx.getSymbolRefAttr("callee"));
+  lp::buildReturn(B, {Op->getResults().data(), 1});
+}
+
+TEST_F(DialectOpTest, LpSwitchRegionCountMatchesCases) {
+  Block *E = makeBoxFunc("f", 1);
+  Value *Tag = lp::buildGetLabel(B, E->getArgument(0))->getResult(0);
+  int64_t Cases[] = {0, 1};
+  Operation *Switch = lp::buildSwitch(B, Tag, Cases);
+  // 2 cases + 1 default region.
+  EXPECT_EQ(Switch->getNumRegions(), 3u);
+  // Fill the regions so the op verifies.
+  for (unsigned I = 0; I != 3; ++I) {
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(Switch->getRegion(I).getEntryBlock());
+    Operation *C = lp::buildInt(B, I);
+    lp::buildReturn(B, {C->getResults().data(), 1});
+  }
+  EXPECT_TRUE(opVerifies(Switch));
+  EXPECT_TRUE(Switch->isTerminator());
+}
+
+TEST_F(DialectOpTest, RgnValTypeMirrorsParams) {
+  makeBoxFunc("f", 0);
+  std::vector<Type *> Params = {Ctx.getBoxType(), Ctx.getI64()};
+  Operation *Val = rgn::buildVal(B, Params);
+  auto *Ty = dyn_cast<RegionValType>(Val->getResult(0)->getType());
+  ASSERT_NE(Ty, nullptr);
+  ASSERT_EQ(Ty->getInputs().size(), 2u);
+  EXPECT_EQ(Ty->getInputs()[0], Ctx.getBoxType());
+  EXPECT_EQ(Ty->getInputs()[1], Ctx.getI64());
+  Block *Body = rgn::getValBody(Val).getEntryBlock();
+  EXPECT_EQ(Body->getNumArguments(), 2u);
+  {
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(Body);
+    Value *P0 = Body->getArgument(0);
+    lp::buildReturn(B, {&P0, 1});
+  }
+  EXPECT_TRUE(opVerifies(Val));
+  // Anchor so module verification would also pass.
+  Operation *C = lp::buildInt(B, 0);
+  Value *Arg = C->getResult(0);
+  Value *I = arith::buildConstant(B, Ctx.getI64(), 0)->getResult(0);
+  rgn::buildRun(B, Val->getResult(0), {{Arg, I}});
+}
+
+TEST_F(DialectOpTest, ResolveKnownRegionThroughSelects) {
+  makeBoxFunc("f", 0);
+  Operation *V1 = rgn::buildVal(B, {});
+  {
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(rgn::getValBody(V1).getEntryBlock());
+    Operation *C = lp::buildInt(B, 1);
+    lp::buildReturn(B, {C->getResults().data(), 1});
+  }
+  Value *Cond = arith::buildConstant(B, Ctx.getI1(), 1)->getResult(0);
+  // select c, v, v resolves through to the rgn.val.
+  Value *Sel = arith::buildSelect(B, Cond, V1->getResult(0),
+                                  V1->getResult(0))
+                   ->getResult(0);
+  EXPECT_EQ(rgn::resolveKnownRegion(Sel), V1);
+  // A select of two *different* regions does not resolve.
+  Operation *V2 = rgn::buildVal(B, {});
+  {
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(rgn::getValBody(V2).getEntryBlock());
+    Operation *C = lp::buildInt(B, 2);
+    lp::buildReturn(B, {C->getResults().data(), 1});
+  }
+  Value *Sel2 = arith::buildSelect(B, Cond, V1->getResult(0),
+                                   V2->getResult(0))
+                    ->getResult(0);
+  EXPECT_EQ(rgn::resolveKnownRegion(Sel2), nullptr);
+  rgn::buildRun(B, Sel, {});
+}
+
+TEST_F(DialectOpTest, ArithConstantTypeMustMatch) {
+  makeBoxFunc("f", 0);
+  Operation *C = arith::buildConstant(B, Ctx.getI64(), 5);
+  EXPECT_TRUE(opVerifies(C));
+  // Mismatched attribute type is rejected.
+  C->setAttr("value", Ctx.getIntegerAttr(Ctx.getI8(), 5));
+  EXPECT_FALSE(opVerifies(C));
+  C->setAttr("value", Ctx.getI64Attr(5));
+  Operation *R = lp::buildInt(B, 0);
+  lp::buildReturn(B, {R->getResults().data(), 1});
+}
+
+TEST_F(DialectOpTest, CfCondBrRequiresI1) {
+  Block *E = makeBoxFunc("f", 1);
+  Region *R = E->getParent();
+  Block *T = R->emplaceBlock();
+  Block *F = R->emplaceBlock();
+  Value *NotBool = lp::buildGetLabel(B, E->getArgument(0))->getResult(0);
+  Operation *Bad = cf::buildCondBr(B, NotBool, T, {}, F, {});
+  EXPECT_FALSE(opVerifies(Bad)); // i8 condition
+  Value *Bool =
+      arith::buildCmp(B, arith::CmpPredicate::EQ, NotBool, NotBool)
+          ->getResult(0);
+  Bad->erase();
+  Operation *Good = cf::buildCondBr(B, Bool, T, {}, F, {});
+  EXPECT_TRUE(opVerifies(Good));
+  for (Block *Blk : {T, F}) {
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(Blk);
+    Operation *C = lp::buildInt(B, 0);
+    lp::buildReturn(B, {C->getResults().data(), 1});
+  }
+}
+
+TEST_F(DialectOpTest, FuncCallRequiresCalleeAttr) {
+  Block *E = makeBoxFunc("f", 1);
+  Value *A = E->getArgument(0);
+  Operation *Call =
+      func::buildCall(B, "g", {&A, 1}, {{Ctx.getBoxType()}});
+  EXPECT_TRUE(opVerifies(Call));
+  Call->removeAttr("callee");
+  EXPECT_FALSE(opVerifies(Call));
+  Call->setAttr("callee", Ctx.getSymbolRefAttr("g"));
+  lp::buildReturn(B, {Call->getResults().data(), 1});
+}
+
+TEST_F(DialectOpTest, MustTailAttrIsUnit) {
+  Block *E = makeBoxFunc("f", 1);
+  Value *A = E->getArgument(0);
+  Operation *Call = func::buildCall(B, "f", {&A, 1}, {{Ctx.getBoxType()}},
+                                    /*MustTail=*/true);
+  EXPECT_NE(Call->getAttr("musttail"), nullptr);
+  EXPECT_TRUE(isa<UnitAttr>(Call->getAttr("musttail")));
+  lp::buildReturn(B, {Call->getResults().data(), 1});
+}
+
+} // namespace

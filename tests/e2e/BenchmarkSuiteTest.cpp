@@ -1,0 +1,74 @@
+//===- BenchmarkSuiteTest.cpp - differential tests over the bench suite -------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The correctness counterpart of the paper's Section V-A: every benchmark
+/// program, at a small size, must produce identical results through the
+/// oracle and all five pipelines, and must free every heap cell.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::driver;
+using namespace lz::programs;
+using lower::PipelineVariant;
+
+namespace {
+
+struct SuiteCase {
+  std::string BenchName;
+  PipelineVariant Variant;
+};
+
+class BenchmarkSuiteTest : public ::testing::TestWithParam<SuiteCase> {};
+
+std::string caseName(const ::testing::TestParamInfo<SuiteCase> &Info) {
+  std::string N = Info.param.BenchName + "_" +
+                  lower::pipelineVariantName(Info.param.Variant);
+  for (char &C : N)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return N;
+}
+
+TEST_P(BenchmarkSuiteTest, MatchesOracleAndLeakFree) {
+  const SuiteCase &C = GetParam();
+  const BenchProgram &B = getBenchmark(C.BenchName);
+  std::string Source = instantiate(B, B.TestSize);
+
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(parseSource(Source, P, Error)) << Error;
+
+  RunResult Oracle = runOracle(P);
+  RunResult R = runProgram(P, C.Variant);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.ResultDisplay, Oracle.ResultDisplay);
+  EXPECT_EQ(R.Output, Oracle.Output);
+  EXPECT_EQ(R.LiveObjects, 0u) << "leaked heap cells";
+}
+
+std::vector<SuiteCase> allCases() {
+  const PipelineVariant Variants[] = {
+      PipelineVariant::Leanc, PipelineVariant::Full,
+      PipelineVariant::SimpOnly, PipelineVariant::RgnOnly,
+      PipelineVariant::NoOpt};
+  std::vector<SuiteCase> Cases;
+  for (const BenchProgram &B : getBenchmarkSuite())
+    for (PipelineVariant V : Variants)
+      Cases.push_back({B.Name, V});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, BenchmarkSuiteTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace

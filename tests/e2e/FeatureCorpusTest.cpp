@@ -1,0 +1,180 @@
+//===- FeatureCorpusTest.cpp - hand-written differential corpus ----------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A curated corpus of programs each stressing one language/runtime
+/// feature, run through every pipeline against the oracle with leak
+/// accounting — the fine-grained end of our Section V-A substitute.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::driver;
+
+namespace {
+
+struct Case {
+  const char *Name;
+  const char *Source;
+};
+
+const Case Corpus[] = {
+    {"ackermann_small",
+     "def ack m n := if m == 0 then n + 1\n"
+     "  else if n == 0 then ack (m - 1) 1\n"
+     "  else ack (m - 1) (ack m (n - 1))\n"
+     "def main := ack 2 3"},
+    {"fibonacci_naive",
+     "def fib n := if n < 2 then n else fib (n - 1) + fib (n - 2)\n"
+     "def main := fib 15"},
+    {"mutual_recursion_data",
+     "inductive L := | Nil | Cons h t\n"
+     "def evens xs := match xs with | Nil => Nil\n"
+     "  | Cons h t => Cons h (odds t) end\n"
+     "def odds xs := match xs with | Nil => Nil\n"
+     "  | Cons _ t => evens t end\n"
+     "def sum xs := match xs with | Nil => 0 | Cons h t => h + sum t end\n"
+     "def range n := if n == 0 then Nil else Cons n (range (n - 1))\n"
+     "def main := sum (evens (range 10))"},
+    {"map_compose_closures",
+     "inductive L := | Nil | Cons h t\n"
+     "def map f xs := match xs with | Nil => Nil\n"
+     "  | Cons h t => Cons (f h) (map f t) end\n"
+     "def comp f g x := f (g x)\n"
+     "def addc a b := a + b\n"
+     "def mulc a b := a * b\n"
+     "def sum xs := match xs with | Nil => 0 | Cons h t => h + sum t end\n"
+     "def main := sum (map (comp (addc 1) (mulc 2))\n"
+     "  (Cons 1 (Cons 2 (Cons 3 Nil))))"},
+    {"fold_via_closure",
+     "inductive L := | Nil | Cons h t\n"
+     "def foldl f acc xs := match xs with | Nil => acc\n"
+     "  | Cons h t => foldl f (f acc h) t end\n"
+     "def addc a b := a + b\n"
+     "def range n := if n == 0 then Nil else Cons n (range (n - 1))\n"
+     "def main := foldl addc 0 (range 20)"},
+    {"deep_pattern_match",
+     "inductive T := | L | N a b\n"
+     "def spine t := match t with\n"
+     "  | N (N (N a _) _) _ => 3 + spine a\n"
+     "  | N (N a _) _ => 2 + spine a\n"
+     "  | N a _ => 1 + spine a\n"
+     "  | L => 0\n"
+     "end\n"
+     "def chain n := if n == 0 then L else N (chain (n - 1)) L\n"
+     "def main := spine (chain 10)"},
+    {"guard_chain_integers",
+     "def classify n := match n with\n"
+     "  | 0 => 100 | 1 => 200 | 2 => 300 | 41 => 400 | 42 => 500\n"
+     "  | _ => 999 end\n"
+     "def main := classify 0 + classify 2 + classify 42 + classify 7"},
+    {"nat_truncation_vs_int",
+     "def main := natSub 3 10 * 1000 + (10 - 3)"},
+    {"division_conventions",
+     "def main := (7 / 0) * 100000 + (7 % 0) * 1000 + (17 / 5) * 10 + 17 % 5"},
+    {"bignum_fibonacci",
+     "def fib n a b := if n == 0 then a else fib (n - 1) b (a + b)\n"
+     "def main := fib 150 0 1"},
+    {"bignum_factorial_digits",
+     "def fact n := if n == 0 then 1 else n * fact (n - 1)\n"
+     "def main := fact 30 % 1000000007"},
+    {"array_reverse_inplace",
+     "def fill a i n := if i == n then a else fill (arrayPush a (i * i)) "
+     "(i + 1) n\n"
+     "def rev a i j := if j <= i then a else\n"
+     "  let x := arrayGet a i;\n"
+     "  let y := arrayGet a j;\n"
+     "  rev (arraySet (arraySet a i y) j x) (i + 1) (j - 1)\n"
+     "def sum a i n acc := if i == n then acc\n"
+     "  else sum a (i + 1) n (acc + arrayGet a i * (i + 1))\n"
+     "def main :=\n"
+     "  let a := fill (arrayMk 0 0) 0 12;\n"
+     "  sum (rev a 0 11) 0 12 0"},
+    {"shared_array_copy_on_write",
+     "def main :=\n"
+     "  let a := arrayMk 4 7;\n"
+     "  let b := arraySet a 0 100;\n"
+     "  arrayGet a 0 * 1000 + arrayGet b 0"},
+    {"println_sequence",
+     "def main :=\n"
+     "  let u1 := println 1;\n"
+     "  let u2 := println (2 + 3);\n"
+     "  let u3 := println 99999999999999999999;\n"
+     "  0"},
+    {"large_literal_patterns",
+     "def f n := match n with\n"
+     "  | 1000000 => 1\n"
+     "  | _ => 2 end\n"
+     "def main := f 1000000 * 10 + f 3"},
+    {"curried_pipeline",
+     "def add3 a b c := a + b + c\n"
+     "def main :=\n"
+     "  let f := add3 100;\n"
+     "  let g := f 20;\n"
+     "  g 3 + g 4"},
+    {"closure_in_data",
+     "inductive P := | MkP a b\n"
+     "def apply2 p x := match p with | MkP f g => f (g x) end\n"
+     "def inc a := a + 1\n"
+     "def dbl a := a * 2\n"
+     "def main := apply2 (MkP inc dbl) 20"},
+    {"shadowing_and_scopes",
+     "def f x := let x := x + 1; let x := x * 2; x\n"
+     "def main := f 5"},
+    {"lambda_lifting_capture",
+     "inductive L := | Nil | Cons h t\n"
+     "def map f xs := match xs with | Nil => Nil\n"
+     "  | Cons h t => Cons (f h) (map f t) end\n"
+     "def sum xs := match xs with | Nil => 0 | Cons h t => h + sum t end\n"
+     "def range n := if n == 0 then Nil else Cons n (range (n - 1))\n"
+     "def main := let k := 7;\n"
+     "  sum (map (fun x => x * k) (range 10))"},
+    {"lambda_returning_lambda",
+     "def apply f x := f x\n"
+     "def main := apply (apply (fun a => fun b => a * 100 + b) 9) 42"},
+    {"lambda_capturing_heap_value",
+     "inductive P := | MkP a b\n"
+     "def apply f x := f x\n"
+     "def getA p := match p with | MkP a _ => a end\n"
+     "def main := let cell := MkP 30 40;\n"
+     "  apply (fun extra => getA cell + extra) 12"},
+};
+
+class FeatureCorpusTest
+    : public ::testing::TestWithParam<Case> {};
+
+std::string caseName(const ::testing::TestParamInfo<Case> &Info) {
+  return Info.param.Name;
+}
+
+TEST_P(FeatureCorpusTest, AllPipelinesMatchOracle) {
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(parseSource(GetParam().Source, P, Error)) << Error;
+  RunResult Oracle = runOracle(P);
+
+  const lower::PipelineVariant Variants[] = {
+      lower::PipelineVariant::Leanc, lower::PipelineVariant::Full,
+      lower::PipelineVariant::SimpOnly, lower::PipelineVariant::RgnOnly,
+      lower::PipelineVariant::NoOpt};
+  for (auto V : Variants) {
+    RunResult R = runProgram(P, V);
+    ASSERT_TRUE(R.OK) << lower::pipelineVariantName(V) << ": " << R.Error;
+    EXPECT_EQ(R.ResultDisplay, Oracle.ResultDisplay)
+        << lower::pipelineVariantName(V);
+    EXPECT_EQ(R.Output, Oracle.Output) << lower::pipelineVariantName(V);
+    EXPECT_EQ(R.LiveObjects, 0u) << lower::pipelineVariantName(V);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FeatureCorpusTest,
+                         ::testing::ValuesIn(Corpus), caseName);
+
+} // namespace

@@ -1,0 +1,138 @@
+//===- SmokeTest.cpp - first end-to-end pipeline checks -----------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::driver;
+using lower::PipelineVariant;
+
+namespace {
+
+const PipelineVariant AllVariants[] = {
+    PipelineVariant::Leanc, PipelineVariant::Full, PipelineVariant::SimpOnly,
+    PipelineVariant::RgnOnly, PipelineVariant::NoOpt};
+
+/// Runs \p Source through the oracle and every pipeline variant; expects
+/// identical result/output everywhere and zero leaked heap cells.
+void checkAllVariants(const std::string &Source,
+                      const std::string &ExpectedResult) {
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(parseSource(Source, P, Error)) << Error;
+
+  RunResult Oracle = runOracle(P);
+  EXPECT_EQ(Oracle.ResultDisplay, ExpectedResult) << "oracle mismatch";
+
+  for (PipelineVariant V : AllVariants) {
+    RunResult R = runProgram(P, V);
+    ASSERT_TRUE(R.OK) << pipelineVariantName(V) << ": " << R.Error;
+    EXPECT_EQ(R.ResultDisplay, ExpectedResult) << pipelineVariantName(V);
+    EXPECT_EQ(R.Output, Oracle.Output) << pipelineVariantName(V);
+    EXPECT_EQ(R.LiveObjects, 0u)
+        << pipelineVariantName(V) << ": leaked heap cells";
+  }
+}
+
+TEST(Smoke, ConstantFunction) {
+  checkAllVariants("def main := 42", "42");
+}
+
+TEST(Smoke, Arithmetic) {
+  checkAllVariants("def main := 2 + 3 * 4 - 1", "13");
+}
+
+TEST(Smoke, LetBindings) {
+  checkAllVariants("def main := let x := 10; let y := x * x; y + x", "110");
+}
+
+TEST(Smoke, IfThenElse) {
+  checkAllVariants("def main := if 2 < 3 then 1 else 0", "1");
+  checkAllVariants("def main := if 3 < 2 then 1 else 0", "0");
+}
+
+TEST(Smoke, FunctionCall) {
+  checkAllVariants("def double x := x + x\n"
+                   "def main := double (double 5)",
+                   "20");
+}
+
+TEST(Smoke, Recursion) {
+  checkAllVariants("def fact n := if n == 0 then 1 else n * fact (n - 1)\n"
+                   "def main := fact 10",
+                   "3628800");
+}
+
+TEST(Smoke, BigIntOverflow) {
+  // 2^70 via repeated multiplication exceeds the 63-bit scalar range.
+  checkAllVariants("def pow2 n := if n == 0 then 1 else 2 * pow2 (n - 1)\n"
+                   "def main := pow2 70",
+                   "1180591620717411303424");
+}
+
+TEST(Smoke, DataTypes) {
+  checkAllVariants("inductive List := | Nil | Cons h t\n"
+                   "def length xs := match xs with\n"
+                   "  | Nil => 0\n"
+                   "  | Cons h t => 1 + length t\n"
+                   "end\n"
+                   "def main := length (Cons 10 (Cons 20 (Cons 30 Nil)))",
+                   "3");
+}
+
+TEST(Smoke, NestedPatterns) {
+  checkAllVariants("inductive List := | Nil | Cons h t\n"
+                   "def second xs := match xs with\n"
+                   "  | Cons _ (Cons y _) => y\n"
+                   "  | _ => 0\n"
+                   "end\n"
+                   "def main := second (Cons 1 (Cons 2 Nil))",
+                   "2");
+}
+
+TEST(Smoke, Figure5Eval) {
+  // The paper's Figure 5 motivating example for join points.
+  checkAllVariants("def eval x y z := match x, y, z with\n"
+                   "  | 0, 2, _ => 40\n"
+                   "  | 0, _, 2 => 50\n"
+                   "  | _, _, _ => 60\n"
+                   "end\n"
+                   "def main := eval 0 2 9 + eval 0 9 2 + eval 7 7 7",
+                   "150");
+}
+
+TEST(Smoke, Closures) {
+  checkAllVariants("def k x y := x\n"
+                   "def ap42 f := f 42\n"
+                   "def main := ap42 (k 10)",
+                   "10");
+}
+
+TEST(Smoke, Println) {
+  checkAllVariants("def main := println (1 + 2)", "0");
+}
+
+TEST(Smoke, Arrays) {
+  checkAllVariants("def main :=\n"
+                   "  let a := arrayMk 3 7;\n"
+                   "  let b := arraySet a 1 99;\n"
+                   "  arrayGet b 0 + arrayGet b 1 + arraySize b",
+                   "109");
+}
+
+TEST(Smoke, TailRecursionDeep) {
+  // One million iterations of a tail call: only the guaranteed TCO path
+  // (Section III-E) survives this without exhausting the frame stack.
+  checkAllVariants("def loop n acc := if n == 0 then acc\n"
+                   "                  else loop (n - 1) (acc + 1)\n"
+                   "def main := loop 1000000 0",
+                   "1000000");
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===- DominanceTest.cpp - dominator tree unit tests ---------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Cf.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class DominanceTest : public ::testing::Test {
+protected:
+  DominanceTest() { registerAllDialects(Ctx); }
+
+  /// Builds the classic diamond: entry -> {L, R} -> join, plus an
+  /// unreachable block U.
+  void buildDiamond() {
+    Fn = func::buildFunc(Ctx, Module.get(), "f",
+                         Ctx.getFunctionType({Ctx.getI1()}, {Ctx.getI64()}));
+    Region &R = Fn->getRegion(0);
+    Entry = func::getFuncEntryBlock(Fn);
+    Left = R.emplaceBlock();
+    Right = R.emplaceBlock();
+    Join = R.emplaceBlock();
+    Unreachable = R.emplaceBlock();
+
+    OpBuilder B(Ctx);
+    B.setInsertionPointToEnd(Entry);
+    cf::buildCondBr(B, Entry->getArgument(0), Left, {}, Right, {});
+    B.setInsertionPointToEnd(Left);
+    cf::buildBr(B, Join, {});
+    B.setInsertionPointToEnd(Right);
+    cf::buildBr(B, Join, {});
+    for (Block *Blk : {Join, Unreachable}) {
+      B.setInsertionPointToEnd(Blk);
+      Value *C = arith::buildConstant(B, Ctx.getI64(), 0)->getResult(0);
+      func::buildReturn(B, {&C, 1});
+    }
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+  Operation *Fn = nullptr;
+  Block *Entry = nullptr, *Left = nullptr, *Right = nullptr,
+        *Join = nullptr, *Unreachable = nullptr;
+};
+
+TEST_F(DominanceTest, DiamondDominators) {
+  buildDiamond();
+  DominanceInfo Dom(Fn->getRegion(0));
+
+  // Reflexivity.
+  EXPECT_TRUE(Dom.dominates(Entry, Entry));
+  EXPECT_TRUE(Dom.dominates(Join, Join));
+
+  // The entry dominates everything reachable.
+  EXPECT_TRUE(Dom.dominates(Entry, Left));
+  EXPECT_TRUE(Dom.dominates(Entry, Right));
+  EXPECT_TRUE(Dom.dominates(Entry, Join));
+
+  // Neither diamond arm dominates the join.
+  EXPECT_FALSE(Dom.dominates(Left, Join));
+  EXPECT_FALSE(Dom.dominates(Right, Join));
+  EXPECT_FALSE(Dom.dominates(Left, Right));
+
+  // Nothing (but itself) is dominated by the join.
+  EXPECT_FALSE(Dom.dominates(Join, Entry));
+  EXPECT_FALSE(Dom.dominates(Join, Left));
+}
+
+TEST_F(DominanceTest, ImmediateDominators) {
+  buildDiamond();
+  DominanceInfo Dom(Fn->getRegion(0));
+  EXPECT_EQ(Dom.getIdom(Entry), Entry); // root maps to itself
+  EXPECT_EQ(Dom.getIdom(Left), Entry);
+  EXPECT_EQ(Dom.getIdom(Right), Entry);
+  EXPECT_EQ(Dom.getIdom(Join), Entry); // not Left/Right
+}
+
+TEST_F(DominanceTest, UnreachableBlocks) {
+  buildDiamond();
+  DominanceInfo Dom(Fn->getRegion(0));
+  EXPECT_TRUE(Dom.isReachable(Entry));
+  EXPECT_TRUE(Dom.isReachable(Join));
+  EXPECT_FALSE(Dom.isReachable(Unreachable));
+  EXPECT_EQ(Dom.getIdom(Unreachable), nullptr);
+}
+
+TEST_F(DominanceTest, RPOOrderStartsAtEntry) {
+  buildDiamond();
+  DominanceInfo Dom(Fn->getRegion(0));
+  std::vector<Block *> RPO = Dom.getBlocksInRPO();
+  ASSERT_EQ(RPO.size(), 4u); // unreachable excluded
+  EXPECT_EQ(RPO.front(), Entry);
+  EXPECT_EQ(RPO.back(), Join);
+}
+
+TEST_F(DominanceTest, LoopBackEdge) {
+  // entry -> header <-> body; header -> exit.
+  Operation *F = func::buildFunc(
+      Ctx, Module.get(), "g",
+      Ctx.getFunctionType({Ctx.getI1()}, {Ctx.getI64()}));
+  Region &R = F->getRegion(0);
+  Block *E = func::getFuncEntryBlock(F);
+  Block *Header = R.emplaceBlock();
+  Block *Body = R.emplaceBlock();
+  Block *Exit = R.emplaceBlock();
+
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(E);
+  cf::buildBr(B, Header, {});
+  B.setInsertionPointToEnd(Header);
+  cf::buildCondBr(B, E->getArgument(0), Body, {}, Exit, {});
+  B.setInsertionPointToEnd(Body);
+  cf::buildBr(B, Header, {});
+  B.setInsertionPointToEnd(Exit);
+  Value *C = arith::buildConstant(B, Ctx.getI64(), 0)->getResult(0);
+  func::buildReturn(B, {&C, 1});
+
+  DominanceInfo Dom(R);
+  EXPECT_TRUE(Dom.dominates(Header, Body));
+  EXPECT_TRUE(Dom.dominates(Header, Exit));
+  EXPECT_FALSE(Dom.dominates(Body, Header));
+  EXPECT_FALSE(Dom.dominates(Body, Exit));
+  EXPECT_EQ(Dom.getIdom(Body), Header);
+  EXPECT_EQ(Dom.getIdom(Exit), Header);
+}
+
+} // namespace

@@ -1,0 +1,242 @@
+//===- IRCoreTest.cpp - SSA graph data structure tests -------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Cf.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "dialect/Rgn.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class IRCoreTest : public ::testing::Test {
+protected:
+  IRCoreTest() { registerAllDialects(Ctx); }
+
+  Operation *makeFunc(const char *Name, unsigned NumArgs = 0) {
+    std::vector<Type *> Inputs(NumArgs, Ctx.getI64());
+    return func::buildFunc(Ctx, Module.get(), Name,
+                           Ctx.getFunctionType(Inputs, {Ctx.getI64()}));
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+};
+
+TEST_F(IRCoreTest, TypeUniquing) {
+  EXPECT_EQ(Ctx.getI64(), Ctx.getIntegerType(64));
+  EXPECT_EQ(Ctx.getBoxType(), Ctx.getBoxType());
+  EXPECT_NE(static_cast<Type *>(Ctx.getI64()),
+            static_cast<Type *>(Ctx.getI8()));
+  Type *R1 = Ctx.getRegionValType({Ctx.getBoxType()});
+  Type *R2 = Ctx.getRegionValType({Ctx.getBoxType()});
+  Type *R3 = Ctx.getRegionValType({});
+  EXPECT_EQ(R1, R2);
+  EXPECT_NE(R1, R3);
+  EXPECT_EQ(Ctx.getFunctionType({Ctx.getI64()}, {Ctx.getI64()}),
+            Ctx.getFunctionType({Ctx.getI64()}, {Ctx.getI64()}));
+}
+
+TEST_F(IRCoreTest, AttributeUniquing) {
+  EXPECT_EQ(Ctx.getI64Attr(42), Ctx.getI64Attr(42));
+  EXPECT_NE(Ctx.getI64Attr(42), Ctx.getI64Attr(43));
+  EXPECT_NE(static_cast<Attribute *>(Ctx.getI64Attr(1)),
+            static_cast<Attribute *>(Ctx.getIntegerAttr(Ctx.getI1(), 1)));
+  EXPECT_EQ(Ctx.getStringAttr("foo"), Ctx.getStringAttr("foo"));
+  EXPECT_EQ(Ctx.getSymbolRefAttr("f"), Ctx.getSymbolRefAttr("f"));
+  EXPECT_EQ(Ctx.getArrayAttr({Ctx.getI64Attr(1)}),
+            Ctx.getArrayAttr({Ctx.getI64Attr(1)}));
+  EXPECT_EQ(Ctx.getBigIntAttr(BigInt(7)), Ctx.getBigIntAttr(BigInt(7)));
+}
+
+TEST_F(IRCoreTest, UseListMaintenance) {
+  Operation *Fn = makeFunc("f");
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Value *C1 = arith::buildConstant(B, Ctx.getI64(), 1)->getResult(0);
+  Value *C2 = arith::buildConstant(B, Ctx.getI64(), 2)->getResult(0);
+  Operation *Add = arith::buildBinary(B, "arith.addi", C1, C1);
+
+  EXPECT_EQ(C1->getNumUses(), 2u);
+  EXPECT_TRUE(C2->use_empty());
+  EXPECT_FALSE(C1->hasOneUse());
+
+  // RAUW moves all uses over.
+  C1->replaceAllUsesWith(C2);
+  EXPECT_TRUE(C1->use_empty());
+  EXPECT_EQ(C2->getNumUses(), 2u);
+  EXPECT_EQ(Add->getOperand(0), C2);
+  EXPECT_EQ(Add->getOperand(1), C2);
+
+  // setOperand updates a single slot.
+  Add->setOperand(0, C1);
+  EXPECT_EQ(C1->getNumUses(), 1u);
+  EXPECT_TRUE(C1->hasOneUse());
+  EXPECT_EQ(C2->getNumUses(), 1u);
+}
+
+TEST_F(IRCoreTest, OperandIteration) {
+  Operation *Fn = makeFunc("f");
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Value *C = arith::buildConstant(B, Ctx.getI64(), 5)->getResult(0);
+  arith::buildBinary(B, "arith.addi", C, C);
+  arith::buildBinary(B, "arith.muli", C, C);
+
+  unsigned Count = 0;
+  for (OpOperand *U = C->getFirstUse(); U; U = U->getNextUse()) {
+    EXPECT_EQ(U->get(), C);
+    ++Count;
+  }
+  EXPECT_EQ(Count, 4u);
+}
+
+TEST_F(IRCoreTest, BlockOpListManipulation) {
+  Operation *Fn = makeFunc("f");
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(Entry);
+  Operation *A = arith::buildConstant(B, Ctx.getI64(), 1);
+  Operation *C = arith::buildConstant(B, Ctx.getI64(), 3);
+  B.setInsertionPoint(C);
+  Operation *Mid = arith::buildConstant(B, Ctx.getI64(), 2);
+
+  EXPECT_EQ(Entry->front(), A);
+  EXPECT_EQ(Entry->back(), C);
+  EXPECT_EQ(A->getNextNode(), Mid);
+  EXPECT_EQ(Mid->getNextNode(), C);
+  EXPECT_EQ(C->getPrevNode(), Mid);
+  EXPECT_EQ(Entry->size(), 3u);
+
+  Mid->moveBefore(A);
+  EXPECT_EQ(Entry->front(), Mid);
+  EXPECT_EQ(Mid->getNextNode(), A);
+
+  Mid->moveAfter(C);
+  EXPECT_EQ(Entry->back(), Mid);
+
+  Mid->erase();
+  EXPECT_EQ(Entry->size(), 2u);
+  EXPECT_EQ(A->getNextNode(), C);
+}
+
+TEST_F(IRCoreTest, SplitAndSplice) {
+  Operation *Fn = makeFunc("f");
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(Entry);
+  arith::buildConstant(B, Ctx.getI64(), 1);
+  Operation *Second = arith::buildConstant(B, Ctx.getI64(), 2);
+  arith::buildConstant(B, Ctx.getI64(), 3);
+
+  Block *Tail = Entry->splitBefore(Second);
+  EXPECT_EQ(Entry->size(), 1u);
+  EXPECT_EQ(Tail->size(), 2u);
+  EXPECT_EQ(Tail->front(), Second);
+  EXPECT_EQ(Fn->getRegion(0).getNumBlocks(), 2u);
+
+  Tail->spliceInto(Entry);
+  EXPECT_EQ(Entry->size(), 3u);
+  EXPECT_TRUE(Tail->empty());
+}
+
+TEST_F(IRCoreTest, CloneRemapsOperandsAndRegions) {
+  Operation *Fn = makeFunc("f");
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Value *C = arith::buildConstant(B, Ctx.getI64(), 7)->getResult(0);
+
+  // A rgn.val whose body uses both a captured value and its own argument.
+  Operation *Val = rgn::buildVal(B, {{Ctx.getI64()}});
+  Block *Body = rgn::getValBody(Val).getEntryBlock();
+  {
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(Body);
+    Operation *Add =
+        arith::buildBinary(B, "arith.addi", C, Body->getArgument(0));
+    lp::buildReturn(B, {Add->getResults().data(), 1});
+  }
+
+  IRMapping Mapping;
+  Operation *Clone = Val->clone(Mapping);
+  ASSERT_EQ(Clone->getNumRegions(), 1u);
+  Block *CloneBody = Clone->getRegion(0).getEntryBlock();
+  ASSERT_EQ(CloneBody->size(), 2u);
+  Operation *CloneAdd = CloneBody->front();
+  // Captured value still points at the original constant...
+  EXPECT_EQ(CloneAdd->getOperand(0), C);
+  // ...while the block argument was remapped to the clone's own.
+  EXPECT_EQ(CloneAdd->getOperand(1), CloneBody->getArgument(0));
+  EXPECT_EQ(C->getNumUses(), 2u);
+  Clone->destroy();
+  EXPECT_EQ(C->getNumUses(), 1u);
+}
+
+TEST_F(IRCoreTest, SymbolLookup) {
+  makeFunc("alpha");
+  makeFunc("beta");
+  EXPECT_NE(lookupSymbol(Module.get(), "alpha"), nullptr);
+  EXPECT_NE(lookupSymbol(Module.get(), "beta"), nullptr);
+  EXPECT_EQ(lookupSymbol(Module.get(), "gamma"), nullptr);
+  EXPECT_EQ(func::getFuncName(lookupSymbol(Module.get(), "beta")), "beta");
+}
+
+TEST_F(IRCoreTest, WalkVisitsNestedPostOrder) {
+  Operation *Fn = makeFunc("f");
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Operation *Val = rgn::buildVal(B, {});
+  {
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(rgn::getValBody(Val).getEntryBlock());
+    Operation *C = lp::buildInt(B, 1);
+    lp::buildReturn(B, {C->getResults().data(), 1});
+  }
+  std::vector<std::string> Names;
+  Fn->walk([&](Operation *Op) { Names.emplace_back(Op->getName()); });
+  // Innermost (the rgn.val body) first, the func itself last.
+  ASSERT_EQ(Names.size(), 4u);
+  EXPECT_EQ(Names[0], "lp.int");
+  EXPECT_EQ(Names[1], "lp.return");
+  EXPECT_EQ(Names[2], "rgn.val");
+  EXPECT_EQ(Names[3], "func.func");
+}
+
+TEST_F(IRCoreTest, SuccessorOperandSegments) {
+  Operation *Fn = makeFunc("f", 1);
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Block *B1 = Fn->getRegion(0).emplaceBlock();
+  B1->addArgument(Ctx.getI64());
+  Block *B2 = Fn->getRegion(0).emplaceBlock();
+  B2->addArgument(Ctx.getI64());
+
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(Entry);
+  Value *Arg = Entry->getArgument(0);
+  Value *Cond = arith::buildCmp(B, arith::CmpPredicate::EQ, Arg, Arg)
+                    ->getResult(0);
+  Operation *CondBr =
+      cf::buildCondBr(B, Cond, B1, {&Arg, 1}, B2, {&Arg, 1});
+
+  EXPECT_EQ(CondBr->getNumSuccessors(), 2u);
+  EXPECT_EQ(CondBr->getNumNonSuccessorOperands(), 1u);
+  EXPECT_EQ(CondBr->getSuccessorOperands(0).size(), 1u);
+  EXPECT_EQ(CondBr->getSuccessorOperands(1)[0], Arg);
+  auto [Begin0, End0] = CondBr->getSuccessorOperandRange(0);
+  EXPECT_EQ(Begin0, 1u);
+  EXPECT_EQ(End0, 2u);
+}
+
+} // namespace

@@ -1,0 +1,286 @@
+//===- MiniLeanTest.cpp - surface language and match compiler tests ------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lambda/Interp.h"
+#include "lambda/MiniLean.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::lambda;
+
+namespace {
+
+Program mustParse(const std::string &Source) {
+  Program P;
+  std::string Error;
+  EXPECT_TRUE(succeeded(parseMiniLean(Source, P, Error))) << Error;
+  return P;
+}
+
+std::string evalMain(const Program &P) {
+  std::string Output;
+  OVal V = interpret(P, "main", {}, Output);
+  return displayOValue(V);
+}
+
+void expectParseError(const std::string &Source,
+                      const std::string &Fragment) {
+  Program P;
+  std::string Error;
+  EXPECT_TRUE(failed(parseMiniLean(Source, P, Error))) << Source;
+  EXPECT_NE(Error.find(Fragment), std::string::npos)
+      << "error was: " << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing and precedence
+//===----------------------------------------------------------------------===//
+
+TEST(MiniLean, OperatorPrecedence) {
+  EXPECT_EQ(evalMain(mustParse("def main := 2 + 3 * 4")), "14");
+  EXPECT_EQ(evalMain(mustParse("def main := (2 + 3) * 4")), "20");
+  EXPECT_EQ(evalMain(mustParse("def main := 10 - 2 - 3")), "5");
+  EXPECT_EQ(evalMain(mustParse("def main := 17 % 5 + 10 / 3")), "5");
+}
+
+TEST(MiniLean, ComparisonDesugaring) {
+  EXPECT_EQ(evalMain(mustParse("def main := 1 < 2")), "1");
+  EXPECT_EQ(evalMain(mustParse("def main := 2 < 1")), "0");
+  EXPECT_EQ(evalMain(mustParse("def main := 2 <= 2")), "1");
+  EXPECT_EQ(evalMain(mustParse("def main := 3 > 2")), "1");
+  EXPECT_EQ(evalMain(mustParse("def main := 2 >= 3")), "0");
+  EXPECT_EQ(evalMain(mustParse("def main := 2 == 2")), "1");
+  EXPECT_EQ(evalMain(mustParse("def main := 2 != 2")), "0");
+  EXPECT_EQ(evalMain(mustParse("def main := 2 != 3")), "1");
+}
+
+TEST(MiniLean, NegativeResultsViaIntSub) {
+  // `-` is integer subtraction (not LEAN's truncating Nat.sub)...
+  EXPECT_EQ(evalMain(mustParse("def main := 3 - 5")), "-2");
+  // ...while natSub truncates at zero.
+  EXPECT_EQ(evalMain(mustParse("def main := natSub 3 5")), "0");
+}
+
+TEST(MiniLean, Comments) {
+  EXPECT_EQ(evalMain(mustParse("-- a comment\n"
+                               "def main := 1 -- trailing\n")),
+            "1");
+}
+
+TEST(MiniLean, LetShadowing) {
+  EXPECT_EQ(evalMain(mustParse("def main := let x := 1; let x := x + 1; x")),
+            "2");
+}
+
+TEST(MiniLean, BigLiterals) {
+  EXPECT_EQ(evalMain(mustParse(
+                "def main := 123456789012345678901234567890 + 1")),
+            "123456789012345678901234567891");
+}
+
+//===----------------------------------------------------------------------===//
+// Inductives and matching
+//===----------------------------------------------------------------------===//
+
+TEST(MiniLean, NullaryCtorsAreScalarTags) {
+  Program P = mustParse("inductive B := | F | T\n"
+                        "def main := match T with | F => 10 | T => 20 end");
+  EXPECT_EQ(evalMain(P), "20");
+}
+
+TEST(MiniLean, CtorFieldsAndProjections) {
+  Program P = mustParse(
+      "inductive Pair := | MkPair a b\n"
+      "def swap p := match p with | MkPair a b => MkPair b a end\n"
+      "def main := match swap (MkPair 1 2) with | MkPair a b => a * 10 + b "
+      "end");
+  EXPECT_EQ(evalMain(P), "21");
+}
+
+TEST(MiniLean, NestedPatternCompilation) {
+  Program P = mustParse(
+      "inductive L := | Nil | Cons h t\n"
+      "def f xs := match xs with\n"
+      "  | Cons 1 (Cons y Nil) => y\n"
+      "  | Cons _ _ => 100\n"
+      "  | Nil => 200\n"
+      "end\n"
+      "def main := f (Cons 1 (Cons 42 Nil)) + f (Cons 2 Nil) + f Nil");
+  EXPECT_EQ(evalMain(P), "342");
+}
+
+TEST(MiniLean, IntLiteralPatterns) {
+  // Staged integer matching (paper Figure 4).
+  Program P = mustParse("def f n := match n with\n"
+                        "  | 42 => 1\n"
+                        "  | 7 => 2\n"
+                        "  | _ => 3\n"
+                        "end\n"
+                        "def main := f 42 * 100 + f 7 * 10 + f 0");
+  EXPECT_EQ(evalMain(P), "123");
+}
+
+TEST(MiniLean, MultiScrutineeMatch) {
+  // The Figure 5 example verbatim.
+  Program P = mustParse("def eval x y z := match x, y, z with\n"
+                        "  | 0, 2, _ => 40\n"
+                        "  | 0, _, 2 => 50\n"
+                        "  | _, _, _ => 60\n"
+                        "end\n"
+                        "def main := eval 0 2 0 * 10000 + eval 0 0 2 * 100 "
+                        "+ eval 1 2 2");
+  // 40*10000 + 50*100 + 60 = 405060.
+  EXPECT_EQ(evalMain(P), "405060");
+}
+
+TEST(MiniLean, MatchArmOrderRespected) {
+  // Overlapping patterns pick the first matching row.
+  Program P = mustParse("def f x := match x with\n"
+                        "  | 1 => 10\n"
+                        "  | _ => 20\n"
+                        "end\n"
+                        "def g x := match x with\n"
+                        "  | _ => 20\n"
+                        "  | 1 => 10\n"
+                        "end\n"
+                        "def main := f 1 * 100 + g 1");
+  EXPECT_EQ(evalMain(P), "1020");
+}
+
+TEST(MiniLean, MatchCompilerEmitsJoinPoints) {
+  // The shared default of Figure 5 must become a single join point, not
+  // duplicated right-hand sides: count JDecl nodes.
+  Program P = mustParse("def eval x y z := match x, y, z with\n"
+                        "  | 0, 2, _ => 40\n"
+                        "  | 0, _, 2 => 50\n"
+                        "  | _, _, _ => 60\n"
+                        "end");
+  const Function *F = P.lookup("eval");
+  ASSERT_NE(F, nullptr);
+  unsigned JDecls = 0, Jmps = 0;
+  std::function<void(const FnBody &)> Walk = [&](const FnBody &B) {
+    if (B.K == FnBody::Kind::JDecl)
+      ++JDecls;
+    if (B.K == FnBody::Kind::Jmp)
+      ++Jmps;
+    if (B.JBody)
+      Walk(*B.JBody);
+    if (B.Next)
+      Walk(*B.Next);
+    if (B.Default)
+      Walk(*B.Default);
+    for (const Alt &A : B.Alts)
+      Walk(*A.Body);
+  };
+  Walk(*F->Body);
+  // One result join + three arm joins.
+  EXPECT_EQ(JDecls, 4u);
+  // The default arm is *referenced* multiple times but declared once;
+  // there must be more jumps than declarations (sharing, not copying).
+  EXPECT_GT(Jmps, JDecls);
+}
+
+//===----------------------------------------------------------------------===//
+// Applications and closures
+//===----------------------------------------------------------------------===//
+
+TEST(MiniLean, PartialApplication) {
+  Program P = mustParse("def add3 a b c := a + b + c\n"
+                        "def main := let f := add3 1; let g := f 2; g 3");
+  EXPECT_EQ(evalMain(P), "6");
+}
+
+TEST(MiniLean, OverApplication) {
+  // `const2` returns a closure which is immediately applied again.
+  Program P = mustParse("def inner x y := x * 10 + y\n"
+                        "def outer a := inner a\n"
+                        "def main := outer 4 2");
+  EXPECT_EQ(evalMain(P), "42");
+}
+
+TEST(MiniLean, ClosuresCaptureArguments) {
+  Program P = mustParse("def scale k x := k * x\n"
+                        "def map f xs := match xs with\n"
+                        "  | 0 => 0\n"
+                        "  | _ => f xs\n"
+                        "end\n"
+                        "def main := map (scale 3) 5");
+  EXPECT_EQ(evalMain(P), "15");
+}
+
+//===----------------------------------------------------------------------===//
+// Anonymous functions (lambda lifting, Section III-D / Figure 7)
+//===----------------------------------------------------------------------===//
+
+TEST(MiniLean, LambdaWithoutCapture) {
+  Program P = mustParse("def apply f x := f x\n"
+                        "def main := apply (fun y => y * 3) 7");
+  EXPECT_EQ(evalMain(P), "21");
+  // The lifted function exists as a real top-level definition.
+  EXPECT_NE(P.lookup("_lambda0"), nullptr);
+}
+
+TEST(MiniLean, LambdaCapturesLocals) {
+  Program P = mustParse("def apply f x := f x\n"
+                        "def main := let k := 100; let j := 20;\n"
+                        "  apply (fun y => k + j + y) 3");
+  EXPECT_EQ(evalMain(P), "123");
+}
+
+TEST(MiniLean, LambdaMultipleParams) {
+  Program P = mustParse("def apply2 f a b := f a b\n"
+                        "def main := apply2 (fun x y => x * 10 + y) 4 2");
+  EXPECT_EQ(evalMain(P), "42");
+}
+
+TEST(MiniLean, NestedLambdasCapture) {
+  // The inner lambda captures both the outer lambda's parameter and an
+  // enclosing local.
+  Program P = mustParse("def apply f x := f x\n"
+                        "def main := let base := 1000;\n"
+                        "  apply (apply (fun a => fun b => base + a * 10 + b)"
+                        " 4) 2");
+  EXPECT_EQ(evalMain(P), "1042");
+}
+
+TEST(MiniLean, LambdaShadowingDoesNotCapture) {
+  Program P = mustParse("def apply f x := f x\n"
+                        "def main := let y := 999;\n"
+                        "  apply (fun y => y + 1) 5");
+  EXPECT_EQ(evalMain(P), "6");
+}
+
+TEST(MiniLean, LambdaOverDataStructures) {
+  Program P = mustParse(
+      "inductive L := | Nil | Cons h t\n"
+      "def map f xs := match xs with | Nil => Nil\n"
+      "  | Cons h t => Cons (f h) (map f t) end\n"
+      "def sum xs := match xs with | Nil => 0 | Cons h t => h + sum t end\n"
+      "def main := let scale := 3;\n"
+      "  sum (map (fun v => v * scale) (Cons 1 (Cons 2 (Cons 3 Nil))))");
+  EXPECT_EQ(evalMain(P), "18");
+}
+
+//===----------------------------------------------------------------------===//
+// Error reporting
+//===----------------------------------------------------------------------===//
+
+TEST(MiniLean, Errors) {
+  expectParseError("def main := nosuch 1", "unknown identifier");
+  expectParseError("inductive L := | C a\ndef main := C 1 2",
+                   "expects 1 arguments");
+  expectParseError("def main := println 1 2", "expects 1 arguments");
+  expectParseError("def f x := x\ndef f y := y", "defined twice");
+  expectParseError("inductive L := | C | C", "redeclared");
+  expectParseError("def main := match 1 with end", "match with no arms");
+  expectParseError("def main := (1 + ", "expected expression");
+  expectParseError("def main := match 1, 2 with | 1 => 0 end",
+                   "pattern arity");
+}
+
+} // namespace

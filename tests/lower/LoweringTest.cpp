@@ -1,0 +1,186 @@
+//===- LoweringTest.cpp - Figure 8 / Section IV-C lowering shape tests ---------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Golden structural tests for the lowering stages: 2-way lp.switch must
+/// become cmpi+select (Figure 8-A), N-way must become arith.switch
+/// (Figure 8-B), joinpoints must become rgn.val + rgn.run (Figure 8-C),
+/// and rgn must flatten to branches / jump tables (Section IV-C). Also
+/// covers musttail marking (Section III-E).
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "lambda/MiniLean.h"
+#include "lower/Lowering.h"
+#include "rc/RCInsert.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class LoweringTest : public ::testing::Test {
+protected:
+  /// Parses + RC-inserts + lowers to lp, leaving Module populated.
+  void toLp(const std::string &Source) {
+    lambda::Program P;
+    std::string Error;
+    ASSERT_TRUE(succeeded(lambda::parseMiniLean(Source, P, Error))) << Error;
+    rc::insertRC(P);
+    registerAllDialects(Ctx);
+    Module = lower::lowerLambdaToLp(P, Ctx);
+    ASSERT_TRUE(succeeded(verify(Module.get())));
+  }
+
+  void toRgn() {
+    ASSERT_TRUE(succeeded(lower::lowerLpToRgn(Module.get())));
+    ASSERT_TRUE(succeeded(verify(Module.get())));
+  }
+
+  void toCf() {
+    ASSERT_TRUE(succeeded(lower::lowerRgnToCf(Module.get())));
+    lower::markTailCalls(Module.get());
+    ASSERT_TRUE(succeeded(verify(Module.get())));
+  }
+
+  unsigned countOps(std::string_view Name) {
+    unsigned N = 0;
+    Module->getRegion(0).walk([&](Operation *Op) {
+      if (Op->getName() == Name)
+        ++N;
+    });
+    return N;
+  }
+
+  Context Ctx;
+  OwningOpRef Module;
+};
+
+TEST_F(LoweringTest, TwoWaySwitchLowersToSelect) {
+  // An if/else is a 2-way lp.switch; Figure 8-A prescribes cmpi + select.
+  toLp("def f x := if x == 0 then 1 else 2\ndef main := f 0");
+  EXPECT_EQ(countOps("lp.switch"), 1u);
+  toRgn();
+  EXPECT_EQ(countOps("lp.switch"), 0u);
+  EXPECT_GE(countOps("arith.select"), 1u);
+  EXPECT_EQ(countOps("arith.switch"), 0u);
+  EXPECT_GE(countOps("rgn.val"), 2u);
+  EXPECT_GE(countOps("rgn.run"), 1u);
+}
+
+TEST_F(LoweringTest, NWaySwitchLowersToArithSwitch) {
+  toLp("inductive C := | R | G | B2 | K\n"
+       "def f x := match x with | R => 1 | G => 2 | B2 => 3 | K => 4 end\n"
+       "def main := f R");
+  toRgn();
+  // Four constructors: one arith.switch multiplexer (Figure 8-B).
+  EXPECT_GE(countOps("arith.switch"), 1u);
+  EXPECT_EQ(countOps("arith.select"), 0u);
+}
+
+TEST_F(LoweringTest, JoinPointsLowerToRegionValues) {
+  // Figure 5's eval has shared join points; Figure 8-C maps each
+  // lp.joinpoint to a rgn.val whose runs are the jumps.
+  toLp("def eval x y z := match x, y, z with\n"
+       "  | 0, 2, _ => 40 | 0, _, 2 => 50 | _, _, _ => 60 end\n"
+       "def main := eval 0 2 3");
+  unsigned JoinPoints = countOps("lp.joinpoint");
+  unsigned Jumps = countOps("lp.jump");
+  EXPECT_GE(JoinPoints, 3u); // result join + arm joins
+  EXPECT_GT(Jumps, JoinPoints);
+  toRgn();
+  EXPECT_EQ(countOps("lp.joinpoint"), 0u);
+  EXPECT_EQ(countOps("lp.jump"), 0u);
+  EXPECT_GE(countOps("rgn.val"), JoinPoints);
+  EXPECT_GE(countOps("rgn.run"), Jumps);
+}
+
+TEST_F(LoweringTest, RgnFlattensToBranchesAndJumpTables) {
+  toLp("inductive C := | R | G | B2\n"
+       "def f x y := match x with | R => (if y == 0 then 1 else 2)\n"
+       "  | G => 3 | B2 => 4 end\n"
+       "def main := f R 0");
+  toRgn();
+  toCf();
+  // No region machinery survives; control flow is cf branches.
+  EXPECT_EQ(countOps("rgn.val"), 0u);
+  EXPECT_EQ(countOps("rgn.run"), 0u);
+  EXPECT_EQ(countOps("arith.switch"), 0u);
+  EXPECT_GE(countOps("cf.switch") + countOps("cf.cond_br") +
+                countOps("cf.br"),
+            1u);
+  EXPECT_EQ(countOps("lp.return"), 0u); // rewritten to func.return
+  EXPECT_GE(countOps("func.return"), 1u);
+}
+
+TEST_F(LoweringTest, MustTailMarkedOnTailCalls) {
+  toLp("def loop n := if n == 0 then 0 else loop (n - 1)\n"
+       "def main := loop 5");
+  toRgn();
+  toCf();
+  bool FoundMustTail = false;
+  Module->getRegion(0).walk([&](Operation *Op) {
+    if (Op->getName() == "func.call" && Op->getAttr("musttail"))
+      FoundMustTail = true;
+  });
+  EXPECT_TRUE(FoundMustTail);
+}
+
+TEST_F(LoweringTest, BuiltinCallsNeverMustTail) {
+  toLp("def f x := x + 1\ndef main := f 1");
+  toRgn();
+  toCf();
+  Module->getRegion(0).walk([&](Operation *Op) {
+    if (Op->getName() != "func.call" || !Op->getAttr("musttail"))
+      return;
+    auto *Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
+    EXPECT_NE(Callee->getValue().substr(0, 5), std::string_view("lean_"))
+        << "musttail on runtime call " << Callee->getValue();
+  });
+}
+
+TEST_F(LoweringTest, DirectBackendProducesNoLpControlFlow) {
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(succeeded(lambda::parseMiniLean(
+      "inductive L := | Nil | Cons h t\n"
+      "def len xs := match xs with | Nil => 0 | Cons _ t => 1 + len t end\n"
+      "def main := len (Cons 1 Nil)",
+      P, Error)));
+  rc::insertRC(P);
+  registerAllDialects(Ctx);
+  Module = lower::lowerLambdaToCfDirect(P, Ctx);
+  ASSERT_TRUE(succeeded(verify(Module.get())));
+  EXPECT_EQ(countOps("lp.switch"), 0u);
+  EXPECT_EQ(countOps("lp.joinpoint"), 0u);
+  EXPECT_EQ(countOps("rgn.val"), 0u);
+  EXPECT_GE(countOps("cf.switch"), 1u);
+  // Data ops are shared between backends.
+  EXPECT_GE(countOps("lp.project"), 1u);
+}
+
+TEST_F(LoweringTest, RcOpsSurviveAllStages) {
+  // inc/dec inserted at the λrc level must reach the flat CFG untouched.
+  toLp("inductive P := | MkP a b\n"
+       "def dup x := MkP x x\n"
+       "def main := match dup (MkP 1 2) with | MkP a _ => "
+       "(match a with | MkP u v => u + v end) end");
+  unsigned IncsBefore = countOps("lp.inc");
+  unsigned DecsBefore = countOps("lp.dec");
+  EXPECT_GE(IncsBefore, 1u);
+  toRgn();
+  toCf();
+  // Region cloning may duplicate RC ops onto exclusive paths, but never
+  // lose them.
+  EXPECT_GE(countOps("lp.inc"), IncsBefore);
+  EXPECT_GE(countOps("lp.dec"), DecsBefore);
+}
+
+} // namespace

@@ -1,0 +1,361 @@
+//===- PassTest.cpp - CSE/DCE/canonicalize/inline pass tests -------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Cf.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "rewrite/Equivalence.h"
+#include "rewrite/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class PassTest : public ::testing::Test {
+protected:
+  PassTest() { registerAllDialects(Ctx); }
+
+  Operation *makeFunc(const char *Name, unsigned NumArgs = 0) {
+    std::vector<Type *> Inputs(NumArgs, Ctx.getI64());
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), Name, Ctx.getFunctionType(Inputs, {Ctx.getI64()}));
+    B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+    return Fn;
+  }
+
+  unsigned countOps(std::string_view Name) {
+    unsigned N = 0;
+    Module->getRegion(0).walk([&](Operation *Op) {
+      if (Op->getName() == Name)
+        ++N;
+    });
+    return N;
+  }
+
+  LogicalResult run(std::unique_ptr<Pass> P) {
+    PassManager PM;
+    PM.addPass(std::move(P));
+    return PM.run(Module.get());
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+  OpBuilder B{Ctx};
+};
+
+//===----------------------------------------------------------------------===//
+// Structural equivalence / hashing
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassTest, EquivalenceOnPlainOps) {
+  Operation *Fn = makeFunc("f", 2);
+  Block *E = func::getFuncEntryBlock(Fn);
+  Value *A = E->getArgument(0), *C = E->getArgument(1);
+  Operation *Add1 = arith::buildBinary(B, "arith.addi", A, C);
+  Operation *Add2 = arith::buildBinary(B, "arith.addi", A, C);
+  Operation *Add3 = arith::buildBinary(B, "arith.addi", C, A);
+  Value *V1 = Add1->getResult(0);
+  func::buildReturn(B, {&V1, 1});
+
+  EXPECT_TRUE(isStructurallyEquivalent(Add1, Add2));
+  EXPECT_EQ(computeOpHash(Add1), computeOpHash(Add2));
+  EXPECT_FALSE(isStructurallyEquivalent(Add1, Add3)); // operand order
+}
+
+TEST_F(PassTest, EquivalenceRollingHashOrderSensitive) {
+  // Two regions with the same ops in different order must differ —
+  // "the same value numbers in identical order" (Section IV-B-2).
+  Operation *Fn = makeFunc("f", 0);
+  auto MakeVal = [&](bool Swapped) {
+    OperationState St(Ctx, "rgn.val");
+    St.NumRegions = 1;
+    St.ResultTypes.push_back(Ctx.getRegionValType({}));
+    Operation *Val = B.create(St);
+    Block *Body = Val->getRegion(0).emplaceBlock();
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(Body);
+    Operation *C1 = lp::buildInt(B, Swapped ? 2 : 1);
+    lp::buildInt(B, Swapped ? 1 : 2);
+    lp::buildReturn(B, {C1->getResults().data(), 1});
+    return Val;
+  };
+  Operation *V1 = MakeVal(false);
+  Operation *V2 = MakeVal(true);
+  Value *R1 = V1->getResult(0);
+  (void)Fn;
+  EXPECT_FALSE(isStructurallyEquivalent(V1, V2));
+  EXPECT_NE(computeOpHash(V1), computeOpHash(V2));
+  // Anchor to keep the verifier quiet about the test function.
+  OperationState Run(Ctx, "rgn.run");
+  Run.Operands.push_back(R1);
+  B.create(Run);
+}
+
+//===----------------------------------------------------------------------===//
+// CSE
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassTest, CSEMergesIdenticalPureOps) {
+  Operation *Fn = makeFunc("f", 2);
+  Block *E = func::getFuncEntryBlock(Fn);
+  Value *A = E->getArgument(0), *C = E->getArgument(1);
+  Operation *Add1 = arith::buildBinary(B, "arith.addi", A, C);
+  Operation *Add2 = arith::buildBinary(B, "arith.addi", A, C);
+  Operation *Sum = arith::buildBinary(B, "arith.muli", Add1->getResult(0),
+                                      Add2->getResult(0));
+  Value *V = Sum->getResult(0);
+  func::buildReturn(B, {&V, 1});
+
+  ASSERT_TRUE(succeeded(run(createCSEPass())));
+  EXPECT_EQ(countOps("arith.addi"), 1u);
+  EXPECT_EQ(Sum->getOperand(0), Sum->getOperand(1));
+}
+
+TEST_F(PassTest, CSEIsDominanceScoped) {
+  // Identical ops in sibling blocks must NOT merge.
+  Operation *Fn = makeFunc("f", 1);
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *L = R.emplaceBlock();
+  Block *Rt = R.emplaceBlock();
+
+  Value *A = Entry->getArgument(0);
+  Value *Cond =
+      arith::buildCmp(B, arith::CmpPredicate::EQ, A, A)->getResult(0);
+  cf::buildCondBr(B, Cond, L, {}, Rt, {});
+  B.setInsertionPointToEnd(L);
+  Operation *AddL = arith::buildBinary(B, "arith.addi", A, A);
+  Value *VL = AddL->getResult(0);
+  func::buildReturn(B, {&VL, 1});
+  B.setInsertionPointToEnd(Rt);
+  Operation *AddR = arith::buildBinary(B, "arith.addi", A, A);
+  Value *VR = AddR->getResult(0);
+  func::buildReturn(B, {&VR, 1});
+
+  ASSERT_TRUE(succeeded(run(createCSEPass())));
+  EXPECT_EQ(countOps("arith.addi"), 2u);
+}
+
+TEST_F(PassTest, CSEAcrossDominatingBlocks) {
+  // An op in the entry block is visible to dominated blocks.
+  Operation *Fn = makeFunc("f", 1);
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Next = R.emplaceBlock();
+
+  Value *A = Entry->getArgument(0);
+  arith::buildBinary(B, "arith.addi", A, A);
+  cf::buildBr(B, Next, {});
+  B.setInsertionPointToEnd(Next);
+  Operation *Add2 = arith::buildBinary(B, "arith.addi", A, A);
+  Value *V = Add2->getResult(0);
+  func::buildReturn(B, {&V, 1});
+
+  ASSERT_TRUE(succeeded(run(createCSEPass())));
+  EXPECT_EQ(countOps("arith.addi"), 1u);
+}
+
+TEST_F(PassTest, CSENeverMergesAllocations) {
+  // Merging lp.construct would break explicit reference counting.
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "g",
+      Ctx.getFunctionType({Ctx.getBoxType()}, {Ctx.getBoxType()}));
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Value *A = func::getFuncEntryBlock(Fn)->getArgument(0);
+  Operation *C1 = lp::buildConstruct(B, 1, {&A, 1});
+  Operation *C2 = lp::buildConstruct(B, 1, {&A, 1});
+  Value *V1 = C1->getResult(0);
+  Value *V2 = C2->getResult(0);
+  Operation *Pair = lp::buildConstruct(B, 0, {{V1, V2}});
+  Value *P = Pair->getResult(0);
+  lp::buildReturn(B, {&P, 1});
+
+  ASSERT_TRUE(succeeded(run(createCSEPass())));
+  EXPECT_EQ(countOps("lp.construct"), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassTest, DCERemovesDeadChains) {
+  Operation *Fn = makeFunc("f", 1);
+  Value *A = func::getFuncEntryBlock(Fn)->getArgument(0);
+  Operation *Dead1 = arith::buildBinary(B, "arith.addi", A, A);
+  arith::buildBinary(B, "arith.muli", Dead1->getResult(0), A);
+  func::buildReturn(B, {&A, 1});
+
+  ASSERT_TRUE(succeeded(run(createDCEPass())));
+  EXPECT_EQ(countOps("arith.addi"), 0u);
+  EXPECT_EQ(countOps("arith.muli"), 0u);
+}
+
+TEST_F(PassTest, DCEKeepsSideEffects) {
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "g",
+      Ctx.getFunctionType({Ctx.getBoxType()}, {Ctx.getBoxType()}));
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Value *A = func::getFuncEntryBlock(Fn)->getArgument(0);
+  lp::buildInc(B, A);
+  lp::buildDec(B, A);
+  func::buildCall(B, "lean_io_println", {&A, 1}, {{Ctx.getBoxType()}});
+  lp::buildReturn(B, {&A, 1});
+
+  ASSERT_TRUE(succeeded(run(createDCEPass())));
+  EXPECT_EQ(countOps("lp.inc"), 1u);
+  EXPECT_EQ(countOps("lp.dec"), 1u);
+  EXPECT_EQ(countOps("func.call"), 1u);
+}
+
+TEST_F(PassTest, DCERemovesUnreachableBlocks) {
+  Operation *Fn = makeFunc("f", 1);
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Value *A = Entry->getArgument(0);
+  func::buildReturn(B, {&A, 1});
+
+  // An unreachable block (no predecessors).
+  Block *Dead = R.emplaceBlock();
+  B.setInsertionPointToEnd(Dead);
+  Operation *C = arith::buildConstant(B, Ctx.getI64(), 1);
+  Value *V = C->getResult(0);
+  func::buildReturn(B, {&V, 1});
+
+  EXPECT_EQ(R.getNumBlocks(), 2u);
+  ASSERT_TRUE(succeeded(run(createDCEPass())));
+  EXPECT_EQ(R.getNumBlocks(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalizer folds
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassTest, FoldsConstantArithmetic) {
+  Operation *Fn = makeFunc("f", 0);
+  Value *C2 = arith::buildConstant(B, Ctx.getI64(), 2)->getResult(0);
+  Value *C3 = arith::buildConstant(B, Ctx.getI64(), 3)->getResult(0);
+  Operation *Add = arith::buildBinary(B, "arith.addi", C2, C3);
+  Operation *Mul =
+      arith::buildBinary(B, "arith.muli", Add->getResult(0), C2);
+  Value *V = Mul->getResult(0);
+  func::buildReturn(B, {&V, 1});
+  (void)Fn;
+
+  ASSERT_TRUE(succeeded(run(createCanonicalizerPass())));
+  EXPECT_EQ(countOps("arith.addi"), 0u);
+  EXPECT_EQ(countOps("arith.muli"), 0u);
+  std::string Text = printToString(Module.get());
+  EXPECT_NE(Text.find("value = 10"), std::string::npos) << Text;
+}
+
+TEST_F(PassTest, FoldRefusesDivisionByZero) {
+  Operation *Fn = makeFunc("f", 0);
+  Value *C1 = arith::buildConstant(B, Ctx.getI64(), 1)->getResult(0);
+  Value *C0 = arith::buildConstant(B, Ctx.getI64(), 0)->getResult(0);
+  Operation *Div = arith::buildBinary(B, "arith.divsi", C1, C0);
+  Value *V = Div->getResult(0);
+  func::buildReturn(B, {&V, 1});
+  (void)Fn;
+
+  ASSERT_TRUE(succeeded(run(createCanonicalizerPass())));
+  EXPECT_EQ(countOps("arith.divsi"), 1u); // must not fold
+}
+
+TEST_F(PassTest, FoldsCmpAndGetlabel) {
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "g",
+      Ctx.getFunctionType({Ctx.getBoxType()}, {Ctx.getBoxType()}));
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Value *A = func::getFuncEntryBlock(Fn)->getArgument(0);
+  // getlabel of a known construct folds to its tag.
+  Operation *Ctor = lp::buildConstruct(B, 3, {&A, 1});
+  Value *CtorV = Ctor->getResult(0);
+  Operation *Label = lp::buildGetLabel(B, CtorV);
+  // cmp of equal constants folds.
+  Value *C3 = arith::buildConstant(B, Ctx.getI8(), 3)->getResult(0);
+  arith::buildCmp(B, arith::CmpPredicate::EQ, Label->getResult(0), C3);
+  lp::buildReturn(B, {&CtorV, 1});
+
+  ASSERT_TRUE(succeeded(run(createCanonicalizerPass())));
+  EXPECT_EQ(countOps("lp.getlabel"), 0u);
+  EXPECT_EQ(countOps("arith.cmpi"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Inliner
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassTest, InlinesSmallCallee) {
+  // callee: g(x) = x + x
+  Operation *G = makeFunc("g", 1);
+  Value *GX = func::getFuncEntryBlock(G)->getArgument(0);
+  Operation *Add = arith::buildBinary(B, "arith.addi", GX, GX);
+  Value *GV = Add->getResult(0);
+  func::buildReturn(B, {&GV, 1});
+
+  // caller: f(y) = g(y) * 2
+  Operation *F = makeFunc("f", 1);
+  Value *FY = func::getFuncEntryBlock(F)->getArgument(0);
+  Operation *Call = func::buildCall(B, "g", {&FY, 1}, {{Ctx.getI64()}});
+  Value *C2 = arith::buildConstant(B, Ctx.getI64(), 2)->getResult(0);
+  Operation *Mul =
+      arith::buildBinary(B, "arith.muli", Call->getResult(0), C2);
+  Value *FV = Mul->getResult(0);
+  func::buildReturn(B, {&FV, 1});
+
+  ASSERT_TRUE(succeeded(run(createInlinerPass())));
+  EXPECT_EQ(countOps("func.call"), 0u);
+  EXPECT_EQ(countOps("arith.addi"), 2u); // one in g, one inlined into f
+}
+
+TEST_F(PassTest, InlinerSkipsRecursiveCallee) {
+  Operation *G = makeFunc("g", 1);
+  Value *GX = func::getFuncEntryBlock(G)->getArgument(0);
+  Operation *Call = func::buildCall(B, "g", {&GX, 1}, {{Ctx.getI64()}});
+  Value *GV = Call->getResult(0);
+  func::buildReturn(B, {&GV, 1});
+
+  Operation *F = makeFunc("f", 1);
+  Value *FY = func::getFuncEntryBlock(F)->getArgument(0);
+  Operation *Call2 = func::buildCall(B, "g", {&FY, 1}, {{Ctx.getI64()}});
+  Value *FV = Call2->getResult(0);
+  func::buildReturn(B, {&FV, 1});
+
+  ASSERT_TRUE(succeeded(run(createInlinerPass())));
+  EXPECT_EQ(countOps("func.call"), 2u); // untouched
+}
+
+//===----------------------------------------------------------------------===//
+// Pass manager behavior
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassTest, PassManagerReportsRanPasses) {
+  makeFunc("f", 1);
+  Value *A = func::getFuncEntryBlock(lookupSymbol(Module.get(), "f"))
+                 ->getArgument(0);
+  func::buildReturn(B, {&A, 1});
+
+  PassManager PM;
+  PM.addPass(createCanonicalizerPass());
+  PM.addPass(createCSEPass());
+  PM.addPass(createDCEPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  ASSERT_EQ(PM.getRanPasses().size(), 3u);
+  EXPECT_EQ(PM.getRanPasses()[0], "canonicalize");
+  EXPECT_EQ(PM.getRanPasses()[1], "cse");
+  EXPECT_EQ(PM.getRanPasses()[2], "dce");
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- BorrowTest.cpp - borrow inference tests ---------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "lambda/MiniLean.h"
+#include "rc/Borrow.h"
+#include "rc/RCInsert.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::lambda;
+using namespace lz::rc;
+
+namespace {
+
+Program mustParse(const std::string &Source) {
+  Program P;
+  std::string Error;
+  EXPECT_TRUE(succeeded(parseMiniLean(Source, P, Error))) << Error;
+  return P;
+}
+
+TEST(Borrow, ReadOnlyParameterIsBorrowed) {
+  Program P = mustParse("inductive L := | Nil | Cons h t\n"
+                        "def length xs := match xs with\n"
+                        "  | Nil => 0\n"
+                        "  | Cons _ t => 1 + length t\n"
+                        "end\n"
+                        "def main := length Nil");
+  BorrowInfo Info = inferBorrowedParams(P);
+  EXPECT_TRUE(Info.fnParamBorrowed("length", 0));
+}
+
+TEST(Borrow, ReturnedParameterIsOwned) {
+  Program P = mustParse("def id x := x\ndef main := id 1");
+  BorrowInfo Info = inferBorrowedParams(P);
+  EXPECT_FALSE(Info.fnParamBorrowed("id", 0));
+}
+
+TEST(Borrow, StoredParameterIsOwned) {
+  Program P = mustParse("inductive P := | MkP a b\n"
+                        "def box x := MkP x x\n"
+                        "def main := box 1");
+  BorrowInfo Info = inferBorrowedParams(P);
+  EXPECT_FALSE(Info.fnParamBorrowed("box", 0));
+}
+
+TEST(Borrow, MixedParameters) {
+  // xs only scrutinized (borrowed); v stored in the result (owned).
+  Program P = mustParse("inductive L := | Nil | Cons h t\n"
+                        "def headOr xs v := match xs with\n"
+                        "  | Cons h _ => h + v\n"
+                        "  | Nil => v\n"
+                        "end\n"
+                        "def main := headOr (Cons 1 Nil) 9");
+  BorrowInfo Info = inferBorrowedParams(P);
+  EXPECT_TRUE(Info.fnParamBorrowed("headOr", 0));
+  // v is consumed (by + / as result) — owned.
+  EXPECT_FALSE(Info.fnParamBorrowed("headOr", 1));
+}
+
+TEST(Borrow, PapTargetKeepsOwnedConvention) {
+  // f is only ever inspected, but it is a closure target: owned.
+  Program P = mustParse("inductive L := | Nil | Cons h t\n"
+                        "def probe xs y := match xs with\n"
+                        "  | Nil => 0 | Cons _ _ => 1 end\n"
+                        "def use g := g (Cons 1 Nil) 2\n"
+                        "def main := use (probe)");
+  BorrowInfo Info = inferBorrowedParams(P);
+  EXPECT_FALSE(Info.fnParamBorrowed("probe", 0));
+  EXPECT_FALSE(Info.fnParamBorrowed("probe", 1));
+}
+
+TEST(Borrow, TransitiveDemotionThroughCalls) {
+  // g passes its parameter to a consuming position of h: both owned.
+  Program P = mustParse("inductive P := | MkP a b\n"
+                        "def h x := MkP x x\n"
+                        "def g y := h y\n"
+                        "def main := g 1");
+  BorrowInfo Info = inferBorrowedParams(P);
+  EXPECT_FALSE(Info.fnParamBorrowed("h", 0));
+  EXPECT_FALSE(Info.fnParamBorrowed("g", 0));
+}
+
+TEST(Borrow, TransitiveBorrowThroughCalls) {
+  // g forwards to h which only inspects: both borrowed.
+  Program P = mustParse("inductive L := | Nil | Cons h t\n"
+                        "def isNil xs := match xs with | Nil => 1 "
+                        "| Cons _ _ => 0 end\n"
+                        "def g ys := isNil ys\n"
+                        "def main := g Nil");
+  BorrowInfo Info = inferBorrowedParams(P);
+  EXPECT_TRUE(Info.fnParamBorrowed("isNil", 0));
+  EXPECT_TRUE(Info.fnParamBorrowed("g", 0));
+}
+
+TEST(Borrow, RecursionSpineCarriesNoRC) {
+  // The headline effect: `length` under borrow inference contains zero
+  // inc/dec statements.
+  Program P = mustParse("inductive L := | Nil | Cons h t\n"
+                        "def length xs := match xs with\n"
+                        "  | Nil => 0\n"
+                        "  | Cons _ t => 1 + length t\n"
+                        "end\n"
+                        "def main := length (Cons 1 (Cons 2 Nil))");
+  rc::insertRC(P);
+  EXPECT_FALSE(rc::hasRCOps(*P.lookup("length")));
+}
+
+TEST(Borrow, ReducesRCTrafficGlobally) {
+  const char *Src = "inductive T := | Leaf | Node l r\n"
+                    "def mk d := if d == 0 then Leaf "
+                    "else Node (mk (d - 1)) (mk (d - 1))\n"
+                    "def chk t := match t with | Leaf => 1 "
+                    "| Node l r => 1 + chk l + chk r end\n"
+                    "def main := chk (mk 4)";
+  Program Borrowing = mustParse(Src);
+  rc::insertRC(Borrowing);
+  Program Owned = mustParse(Src);
+  rc::RCOptions NoBorrow;
+  NoBorrow.BorrowInference = false;
+  rc::insertRC(Owned, NoBorrow);
+  EXPECT_LT(rc::countRCOps(Borrowing), rc::countRCOps(Owned));
+}
+
+/// Behavioral equivalence and leak freedom of both disciplines over a
+/// corpus of heap-heavy programs.
+class BorrowSemantics : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BorrowSemantics, BothDisciplinesAgreeAndAreLeakFree) {
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::parseSource(GetParam(), P, Error)) << Error;
+  driver::RunResult Oracle = driver::runOracle(P);
+
+  lower::PipelineOptions Opts =
+      lower::PipelineOptions::forVariant(lower::PipelineVariant::Full);
+  driver::RunResult WithBorrow = driver::runProgram(P, Opts);
+  ASSERT_TRUE(WithBorrow.OK) << WithBorrow.Error;
+  EXPECT_EQ(WithBorrow.ResultDisplay, Oracle.ResultDisplay);
+  EXPECT_EQ(WithBorrow.LiveObjects, 0u);
+}
+
+const char *SemanticsPrograms[] = {
+    "inductive L := | Nil | Cons h t\n"
+    "def len xs := match xs with | Nil => 0 | Cons _ t => 1 + len t end\n"
+    "def app xs ys := match xs with | Nil => ys "
+    "| Cons h t => Cons h (app t ys) end\n"
+    "def main := len (app (Cons 1 (Cons 2 Nil)) (Cons 3 Nil))",
+    "inductive T := | Leaf | Node l r\n"
+    "def mk d := if d == 0 then Leaf else Node (mk (d - 1)) (mk (d - 1))\n"
+    "def chk t := match t with | Leaf => 1 | Node l r => 1 + chk l + chk r "
+    "end\n"
+    "def main := chk (mk 5) + chk (mk 3)",
+    "inductive P := | MkP a b\n"
+    "def shuffle p := match p with | MkP a b => MkP b a end\n"
+    "def getA p := match p with | MkP a _ => a end\n"
+    "def main := getA (shuffle (shuffle (MkP 1 2)))",
+    "inductive L := | Nil | Cons h t\n"
+    "def tails xs := match xs with | Nil => 0 "
+    "| Cons _ t => 1 + tails t end\n"
+    "def use2 xs := tails xs + tails xs\n"
+    "def main := use2 (Cons 1 (Cons 2 (Cons 3 Nil)))",
+};
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BorrowSemantics,
+                         ::testing::ValuesIn(SemanticsPrograms));
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- RCInsertTest.cpp - reference count insertion tests ----------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "lambda/MiniLean.h"
+#include "rc/RCInsert.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::lambda;
+
+namespace {
+
+Program mustParse(const std::string &Source) {
+  Program P;
+  std::string Error;
+  EXPECT_TRUE(succeeded(parseMiniLean(Source, P, Error))) << Error;
+  return P;
+}
+
+unsigned countKind(const FnBody &B, FnBody::Kind K) {
+  unsigned N = (B.K == K) ? 1 : 0;
+  if (B.JBody)
+    N += countKind(*B.JBody, K);
+  if (B.Next)
+    N += countKind(*B.Next, K);
+  if (B.Default)
+    N += countKind(*B.Default, K);
+  for (const Alt &A : B.Alts)
+    N += countKind(*A.Body, K);
+  return N;
+}
+
+TEST(RCInsert, ProducesRCOps) {
+  Program P = mustParse("inductive L := | Nil | Cons h t\n"
+                        "def dup x := Cons x (Cons x Nil)\n"
+                        "def main := dup 1");
+  rc::insertRC(P);
+  // `x` used twice in dup: at least one inc must appear.
+  const Function *Dup = P.lookup("dup");
+  EXPECT_TRUE(rc::hasRCOps(*Dup));
+  EXPECT_GE(countKind(*Dup->Body, FnBody::Kind::Inc), 1u);
+}
+
+TEST(RCInsert, UnusedParameterGetsDecWhenOwned) {
+  // Under the naive all-owned discipline, the dead parameter y must be
+  // released inside k.
+  Program P = mustParse("def k x y := x\ndef main := k 1 2");
+  rc::RCOptions NoBorrow;
+  NoBorrow.BorrowInference = false;
+  rc::insertRC(P, NoBorrow);
+  const Function *K = P.lookup("k");
+  EXPECT_EQ(countKind(*K->Body, FnBody::Kind::Dec), 1u);
+  EXPECT_EQ(countKind(*K->Body, FnBody::Kind::Inc), 0u);
+}
+
+TEST(RCInsert, UnusedParameterBorrowedUnderInference) {
+  // With borrow inference the unused parameter is borrowed: the caller
+  // keeps ownership and k carries no RC traffic for it.
+  Program P = mustParse("def k x y := x\ndef main := k 1 2");
+  rc::insertRC(P);
+  const Function *K = P.lookup("k");
+  EXPECT_EQ(countKind(*K->Body, FnBody::Kind::Dec), 0u);
+  EXPECT_EQ(countKind(*K->Body, FnBody::Kind::Inc), 0u);
+}
+
+TEST(RCInsert, LinearUseNeedsNoRC) {
+  // Every variable used exactly once in a consuming position.
+  Program P = mustParse("inductive P := | MkP a b\n"
+                        "def pair a b := MkP a b\n"
+                        "def main := pair 1 2");
+  rc::insertRC(P);
+  const Function *Pair = P.lookup("pair");
+  EXPECT_EQ(countKind(*Pair->Body, FnBody::Kind::Inc), 0u);
+  EXPECT_EQ(countKind(*Pair->Body, FnBody::Kind::Dec), 0u);
+}
+
+TEST(RCInsert, ProjectionsReownTheirResult) {
+  Program P = mustParse("inductive P := | MkP a b\n"
+                        "def first p := match p with | MkP a b => a end\n"
+                        "def main := first (MkP 1 2)");
+  rc::RCOptions NoBorrow;
+  NoBorrow.BorrowInference = false;
+  rc::insertRC(P, NoBorrow);
+  const Function *First = P.lookup("first");
+  // All-owned discipline: the projected field is inc'ed to become owned,
+  // the parent dec'ed.
+  EXPECT_GE(countKind(*First->Body, FnBody::Kind::Inc), 1u);
+  EXPECT_GE(countKind(*First->Body, FnBody::Kind::Dec), 1u);
+}
+
+TEST(RCInsert, ScrutineeDecInUnusedBranches) {
+  Program P = mustParse("inductive L := | Nil | Cons h t\n"
+                        "def isNil xs := match xs with\n"
+                        "  | Nil => 1\n"
+                        "  | Cons _ _ => 0\n"
+                        "end\n"
+                        "def main := isNil Nil");
+  rc::RCOptions NoBorrow;
+  NoBorrow.BorrowInference = false;
+  rc::insertRC(P, NoBorrow);
+  const Function *F = P.lookup("isNil");
+  // All-owned discipline: xs must be released in both arms.
+  EXPECT_GE(countKind(*F->Body, FnBody::Kind::Dec), 2u);
+
+  // Borrowed discipline: xs is read-only, so isNil needs no RC at all.
+  Program P2 = mustParse("inductive L := | Nil | Cons h t\n"
+                         "def isNil xs := match xs with\n"
+                         "  | Nil => 1\n"
+                         "  | Cons _ _ => 0\n"
+                         "end\n"
+                         "def main := isNil Nil");
+  rc::insertRC(P2);
+  EXPECT_FALSE(rc::hasRCOps(*P2.lookup("isNil")));
+}
+
+/// The decisive property: every compiled program must free every cell.
+/// (Each pipeline run re-runs RC insertion on a fresh clone.)
+class RCLeakFreedom : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RCLeakFreedom, NoLeaksNoDoubleFrees) {
+  driver::RunResult R =
+      driver::compileAndRun(GetParam(), lower::PipelineVariant::NoOpt);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.LiveObjects, 0u);
+  driver::RunResult R2 =
+      driver::compileAndRun(GetParam(), lower::PipelineVariant::Full);
+  ASSERT_TRUE(R2.OK) << R2.Error;
+  EXPECT_EQ(R2.LiveObjects, 0u);
+  EXPECT_EQ(R.ResultDisplay, R2.ResultDisplay);
+}
+
+const char *LeakPrograms[] = {
+    // Value dropped on one branch only.
+    "inductive L := | Nil | Cons h t\n"
+    "def pick b xs ys := if b == 1 then xs else ys\n"
+    "def main := match pick 1 (Cons 1 Nil) (Cons 2 Nil) with\n"
+    "  | Cons h _ => h | Nil => 0 end",
+    // Aliasing via let.
+    "inductive L := | Nil | Cons h t\n"
+    "def main := let xs := Cons 7 Nil; let ys := xs;\n"
+    "  (match xs with | Cons h _ => h | Nil => 0 end) +\n"
+    "  (match ys with | Cons h _ => h | Nil => 0 end)",
+    // Value consumed twice via explicit duplication.
+    "inductive P := | MkP a b\n"
+    "def dup x := MkP x x\n"
+    "def main := match dup (MkP 1 2) with | MkP a _ =>\n"
+    "  match a with | MkP x y => x + y end end",
+    // Join points capturing heap values.
+    "inductive L := | Nil | Cons h t\n"
+    "def f xs b := match b with\n"
+    "  | 0 => (match xs with | Cons h _ => h | Nil => 7 end)\n"
+    "  | _ => (match xs with | Cons _ t => (match t with | Cons h _ => h "
+    "| Nil => 8 end) | Nil => 9 end)\n"
+    "end\n"
+    "def main := f (Cons 1 (Cons 2 Nil)) 0 + f (Cons 3 Nil) 1 + f Nil 5",
+    // Closure holding the last reference.
+    "def apply f x := f x\n"
+    "def addK k x := k + x\n"
+    "def main := apply (addK 5) 10",
+    // Unused call result (println returns a value nobody reads).
+    "def main := let u := println 5; let v := println 6; 0",
+    // Big integers on the heap.
+    "def main := let big := 99999999999999999999999999 * 2; 1",
+    // Arrays with copy-on-shared-write.
+    "def main := let a := arrayMk 3 0;\n"
+    "  let b := arraySet a 0 5;\n"
+    "  arrayGet b 0",
+};
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RCLeakFreedom,
+                         ::testing::ValuesIn(LeakPrograms));
+
+} // namespace

@@ -1,0 +1,239 @@
+//===- RuntimeTest.cpp - LEAN-style runtime object model tests -----------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Object.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::rt;
+
+namespace {
+
+TEST(Runtime, ScalarBoxing) {
+  EXPECT_TRUE(isScalar(boxScalar(0)));
+  EXPECT_TRUE(isScalar(boxScalar(-1)));
+  EXPECT_EQ(unboxScalar(boxScalar(42)), 42);
+  EXPECT_EQ(unboxScalar(boxScalar(-42)), -42);
+  EXPECT_EQ(unboxScalar(boxScalar(MaxSmallInt)), MaxSmallInt);
+  EXPECT_EQ(unboxScalar(boxScalar(MinSmallInt)), MinSmallInt);
+}
+
+TEST(Runtime, ScalarRCOpsAreNoOps) {
+  Runtime RT;
+  ObjRef S = boxScalar(5);
+  RT.inc(S);
+  RT.dec(S);
+  RT.dec(S); // would double-free a heap cell; scalars don't care
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+TEST(Runtime, CtorLifecycle) {
+  Runtime RT;
+  ObjRef A = boxScalar(1), B = boxScalar(2);
+  ObjRef C = RT.allocCtor(3, {{A, B}});
+  EXPECT_EQ(RT.getLiveObjects(), 1u);
+  EXPECT_EQ(RT.getTag(C), 3);
+  EXPECT_EQ(unboxScalar(RT.getField(C, 0)), 1);
+  EXPECT_EQ(unboxScalar(RT.getField(C, 1)), 2);
+  RT.dec(C);
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+TEST(Runtime, NestedCtorRecursiveRelease) {
+  Runtime RT;
+  ObjRef Inner = RT.allocCtor(1, {{boxScalar(1)}});
+  ObjRef Outer = RT.allocCtor(2, {{Inner}});
+  EXPECT_EQ(RT.getLiveObjects(), 2u);
+  RT.dec(Outer); // must cascade into Inner
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+TEST(Runtime, SharedFieldSurvivesParent) {
+  Runtime RT;
+  ObjRef Inner = RT.allocCtor(1, {{boxScalar(1)}});
+  RT.inc(Inner); // our own extra reference
+  ObjRef Outer = RT.allocCtor(2, {{Inner}});
+  RT.dec(Outer);
+  EXPECT_EQ(RT.getLiveObjects(), 1u); // Inner still alive
+  EXPECT_EQ(RT.getTag(Inner), 1);
+  RT.dec(Inner);
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+TEST(Runtime, ScalarTagsMatchCtorTags) {
+  // Nullary constructors are erased to scalars of their tag; getTag must
+  // treat both uniformly (Section III's boxed/unboxed duality).
+  Runtime RT;
+  EXPECT_EQ(RT.getTag(boxScalar(0)), 0);
+  EXPECT_EQ(RT.getTag(boxScalar(7)), 7);
+  ObjRef C = RT.allocCtor(7, {{boxScalar(1)}});
+  EXPECT_EQ(RT.getTag(C), 7);
+  RT.dec(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Integer arithmetic: small scalars with bignum escape
+//===----------------------------------------------------------------------===//
+
+TEST(Runtime, NatAddOverflowEscapesToBigNum) {
+  Runtime RT;
+  ObjRef A = RT.makeInt(MaxSmallInt);
+  ObjRef B = RT.makeInt(1);
+  ObjRef Sum = RT.natAdd(A, B);
+  EXPECT_FALSE(isScalar(Sum));
+  EXPECT_EQ(RT.toDisplayString(Sum), "4611686018427387904");
+  RT.dec(Sum);
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+TEST(Runtime, NatSubTruncatesAtZero) {
+  Runtime RT;
+  ObjRef R = RT.natSub(boxScalar(3), boxScalar(5));
+  EXPECT_EQ(unboxScalar(R), 0);
+  ObjRef R2 = RT.natSub(boxScalar(5), boxScalar(3));
+  EXPECT_EQ(unboxScalar(R2), 2);
+}
+
+TEST(Runtime, IntSubGoesNegative) {
+  Runtime RT;
+  EXPECT_EQ(unboxScalar(RT.intSub(boxScalar(3), boxScalar(5))), -2);
+}
+
+TEST(Runtime, DivModLeanConventions) {
+  Runtime RT;
+  EXPECT_EQ(unboxScalar(RT.natDiv(boxScalar(7), boxScalar(0))), 0);
+  EXPECT_EQ(unboxScalar(RT.natMod(boxScalar(7), boxScalar(0))), 7);
+  EXPECT_EQ(unboxScalar(RT.natDiv(boxScalar(7), boxScalar(2))), 3);
+  EXPECT_EQ(unboxScalar(RT.natMod(boxScalar(7), boxScalar(2))), 1);
+}
+
+TEST(Runtime, MixedScalarBigNumComparison) {
+  Runtime RT;
+  ObjRef Big = RT.makeBigInt(BigInt::fromString("99999999999999999999"));
+  ObjRef Small = boxScalar(5);
+  EXPECT_EQ(unboxScalar(RT.decLt(Small, Big)), 1);
+  EXPECT_EQ(RT.getLiveObjects(), 0u); // decLt consumed both
+}
+
+TEST(Runtime, BigNumArithmeticConsumesOperands) {
+  Runtime RT;
+  ObjRef A = RT.makeBigInt(BigInt::fromString("12345678901234567890"));
+  ObjRef B = RT.makeBigInt(BigInt::fromString("98765432109876543210"));
+  ObjRef Sum = RT.natAdd(A, B);
+  EXPECT_EQ(RT.toDisplayString(Sum), "111111111011111111100");
+  RT.dec(Sum);
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Arrays: RC==1 in-place update (the qsort enabler)
+//===----------------------------------------------------------------------===//
+
+TEST(Runtime, ArraySetInPlaceWhenExclusive) {
+  Runtime RT;
+  ObjRef A = RT.allocArray(3, boxScalar(0));
+  ObjRef B = RT.arraySet(A, boxScalar(1), boxScalar(42));
+  EXPECT_EQ(B, A) << "exclusive array must be updated in place";
+  EXPECT_EQ(RT.getLiveObjects(), 1u);
+  RT.dec(B);
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+TEST(Runtime, ArraySetCopiesWhenShared) {
+  Runtime RT;
+  ObjRef A = RT.allocArray(3, boxScalar(0));
+  RT.inc(A); // simulate a second owner
+  ObjRef B = RT.arraySet(A, boxScalar(1), boxScalar(42));
+  EXPECT_NE(B, A) << "shared array must be copied";
+  ObjRef Old = RT.arrayGet(A, boxScalar(1));
+  ObjRef New = RT.arrayGet(B, boxScalar(1));
+  EXPECT_EQ(unboxScalar(Old), 0);
+  EXPECT_EQ(unboxScalar(New), 42);
+  RT.dec(A);
+  RT.dec(B);
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+TEST(Runtime, ArrayPushGrowsInPlaceWhenExclusive) {
+  Runtime RT;
+  ObjRef A = RT.allocArray(0, boxScalar(0));
+  for (int I = 0; I != 100; ++I)
+    A = RT.arrayPush(A, boxScalar(I));
+  EXPECT_EQ(unboxScalar(RT.arraySize(A)), 100);
+  ObjRef E = RT.arrayGet(A, boxScalar(99));
+  EXPECT_EQ(unboxScalar(E), 99);
+  RT.dec(A);
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+TEST(Runtime, ArrayHoldsHeapElements) {
+  Runtime RT;
+  ObjRef Cell = RT.allocCtor(1, {{boxScalar(5)}});
+  ObjRef A = RT.allocArray(2, Cell); // both slots reference Cell
+  EXPECT_EQ(RT.getLiveObjects(), 2u);
+  RT.dec(A);
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Closures and apply
+//===----------------------------------------------------------------------===//
+
+/// Handler that "calls" by summing all arguments plus the function index.
+class SumHandler : public ApplyHandler {
+public:
+  explicit SumHandler(Runtime &RT) : RT(RT) {}
+  ObjRef callFunction(uint32_t FnIndex, std::span<ObjRef> Args) override {
+    int64_t Sum = FnIndex;
+    for (ObjRef A : Args) {
+      Sum += unboxScalar(A);
+      RT.dec(A);
+    }
+    return boxScalar(Sum);
+  }
+  Runtime &RT;
+};
+
+TEST(Runtime, ApplyUndersaturatedExtends) {
+  Runtime RT;
+  SumHandler H(RT);
+  ObjRef C = RT.allocClosure(/*FnIndex=*/0, /*Arity=*/3,
+                             {{boxScalar(1)}});
+  ObjRef Args[] = {boxScalar(2)};
+  ObjRef C2 = RT.apply(H, C, Args);
+  EXPECT_FALSE(isScalar(C2)); // still a closure
+  ObjRef Args2[] = {boxScalar(3)};
+  ObjRef R = RT.apply(H, C2, Args2);
+  EXPECT_EQ(unboxScalar(R), 6);
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+TEST(Runtime, ApplyExactlySaturatedCalls) {
+  Runtime RT;
+  SumHandler H(RT);
+  ObjRef C = RT.allocClosure(0, 2, {{boxScalar(10)}});
+  ObjRef Args[] = {boxScalar(20)};
+  EXPECT_EQ(unboxScalar(RT.apply(H, C, Args)), 30);
+  EXPECT_EQ(RT.getLiveObjects(), 0u);
+}
+
+TEST(Runtime, DisplayFormats) {
+  Runtime RT;
+  EXPECT_EQ(RT.toDisplayString(boxScalar(-7)), "-7");
+  ObjRef C = RT.allocCtor(1, {{boxScalar(2), boxScalar(3)}});
+  EXPECT_EQ(RT.toDisplayString(C), "#1(2, 3)");
+  RT.dec(C);
+  ObjRef A = RT.allocArray(2, boxScalar(9));
+  EXPECT_EQ(RT.toDisplayString(A), "[9, 9]");
+  RT.dec(A);
+  ObjRef Cl = RT.allocClosure(0, 4, {});
+  EXPECT_EQ(RT.toDisplayString(Cl), "<closure/4>");
+  RT.dec(Cl);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- BigIntTest.cpp - arbitrary precision integer tests ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using lz::BigInt;
+
+namespace {
+
+TEST(BigInt, ZeroBasics) {
+  BigInt Z;
+  EXPECT_TRUE(Z.isZero());
+  EXPECT_FALSE(Z.isNegative());
+  EXPECT_EQ(Z.toString(), "0");
+  EXPECT_TRUE(Z.fitsInt64());
+  EXPECT_EQ(Z.getInt64(), 0);
+  EXPECT_EQ((-Z).toString(), "0");
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (int64_t V : {int64_t(0), int64_t(1), int64_t(-1), int64_t(42),
+                    int64_t(-12345678901234LL), INT64_MAX, INT64_MIN}) {
+    BigInt B(V);
+    EXPECT_TRUE(B.fitsInt64()) << V;
+    EXPECT_EQ(B.getInt64(), V);
+    EXPECT_EQ(B.toString(), std::to_string(V));
+  }
+}
+
+TEST(BigInt, StringRoundTrip) {
+  const char *Cases[] = {"0",
+                         "1",
+                         "-1",
+                         "999999999999999999999999999999",
+                         "-170141183460469231731687303715884105728",
+                         "123456789012345678901234567890123456789"};
+  for (const char *S : Cases)
+    EXPECT_EQ(BigInt::fromString(S).toString(), S);
+}
+
+TEST(BigInt, LeadingZerosNormalize) {
+  EXPECT_EQ(BigInt::fromString("000123").toString(), "123");
+  EXPECT_EQ(BigInt::fromString("-000").toString(), "0");
+}
+
+TEST(BigInt, FitsInt64Boundaries) {
+  EXPECT_TRUE(BigInt::fromString("9223372036854775807").fitsInt64());
+  EXPECT_FALSE(BigInt::fromString("9223372036854775808").fitsInt64());
+  EXPECT_TRUE(BigInt::fromString("-9223372036854775808").fitsInt64());
+  EXPECT_FALSE(BigInt::fromString("-9223372036854775809").fitsInt64());
+}
+
+/// Property sweep: arithmetic on BigInt agrees with __int128 arithmetic
+/// for a grid of interesting values.
+class BigIntArithTest : public ::testing::TestWithParam<int> {};
+
+std::vector<int64_t> interestingValues() {
+  return {0,
+          1,
+          -1,
+          7,
+          -13,
+          1000,
+          -99999,
+          (1LL << 31),
+          -(1LL << 31) + 3,
+          (1LL << 62),
+          -(1LL << 62),
+          INT64_MAX / 3,
+          INT64_MIN / 3};
+}
+
+std::string i128ToString(__int128 V) {
+  if (V == 0)
+    return "0";
+  bool Neg = V < 0;
+  std::string S;
+  while (V != 0) {
+    int Digit = static_cast<int>(V % 10);
+    S.push_back(static_cast<char>('0' + (Digit < 0 ? -Digit : Digit)));
+    V /= 10;
+  }
+  if (Neg)
+    S.push_back('-');
+  std::reverse(S.begin(), S.end());
+  return S;
+}
+
+TEST_P(BigIntArithTest, MatchesInt128) {
+  std::vector<int64_t> Vs = interestingValues();
+  int64_t A = Vs[GetParam() % Vs.size()];
+  for (int64_t B : Vs) {
+    BigInt BA(A), BB(B);
+    EXPECT_EQ((BA + BB).toString(),
+              i128ToString(static_cast<__int128>(A) + B));
+    EXPECT_EQ((BA - BB).toString(),
+              i128ToString(static_cast<__int128>(A) - B));
+    EXPECT_EQ((BA * BB).toString(),
+              i128ToString(static_cast<__int128>(A) * B));
+    if (B != 0) {
+      EXPECT_EQ((BA / BB).toString(),
+                i128ToString(static_cast<__int128>(A) / B));
+      EXPECT_EQ((BA % BB).toString(),
+                i128ToString(static_cast<__int128>(A) % B));
+    }
+    int Cmp = BA.compare(BB);
+    EXPECT_EQ(Cmp < 0, A < B);
+    EXPECT_EQ(Cmp == 0, A == B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BigIntArithTest, ::testing::Range(0, 13));
+
+TEST(BigInt, LargeMultiplyDivideInverse) {
+  BigInt A = BigInt::fromString("123456789123456789123456789");
+  BigInt B = BigInt::fromString("987654321987654321");
+  BigInt P = A * B;
+  EXPECT_EQ((P / B).toString(), A.toString());
+  EXPECT_EQ((P % B).toString(), "0");
+  BigInt PPlus1 = P + BigInt(1);
+  EXPECT_EQ((PPlus1 % B).toString(), "1");
+}
+
+TEST(BigInt, TruncatedDivisionSigns) {
+  // C semantics: quotient truncates toward zero; remainder follows the
+  // dividend's sign.
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).toString(), "-3");
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).toString(), "1");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).toString(), "-3");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).toString(), "-1");
+}
+
+TEST(BigInt, PowerOfTwoChain) {
+  BigInt V(1);
+  for (int I = 0; I != 200; ++I)
+    V = V * BigInt(2);
+  EXPECT_EQ(V.toString(), "160693804425899027554196209234116260252220299378"
+                          "2792835301376");
+  for (int I = 0; I != 200; ++I)
+    V = V / BigInt(2);
+  EXPECT_EQ(V.toString(), "1");
+}
+
+TEST(BigInt, HashDistinguishes) {
+  EXPECT_NE(BigInt(1).hash(), BigInt(2).hash());
+  EXPECT_NE(BigInt(1).hash(), BigInt(-1).hash());
+  EXPECT_EQ(BigInt::fromString("12345678901234567890").hash(),
+            BigInt::fromString("12345678901234567890").hash());
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+//===- VMTest.cpp - bytecode compiler and interpreter tests --------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Cf.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "driver/Driver.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "vm/Compiler.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+/// Builds IR by hand, compiles to bytecode and runs — below the lambda
+/// frontend, so VM behavior is pinned independently.
+class VMTest : public ::testing::Test {
+protected:
+  VMTest() { registerAllDialects(Ctx); }
+
+  vm::Program compile() {
+    EXPECT_TRUE(succeeded(verify(Module.get())));
+    vm::Program Prog;
+    std::string Error;
+    EXPECT_TRUE(succeeded(vm::compileModule(Module.get(), Prog, Error)))
+        << Error;
+    return Prog;
+  }
+
+  rt::ObjRef run(const vm::Program &Prog, std::string_view Fn,
+                 std::vector<rt::ObjRef> Args = {}) {
+    vm::VM Machine(Prog, RT, nullptr);
+    return Machine.run(Fn, Args);
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+  OpBuilder B{Ctx};
+  rt::Runtime RT;
+};
+
+TEST_F(VMTest, ReturnsBoxedConstant) {
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "f", Ctx.getFunctionType({}, {Ctx.getBoxType()}));
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Operation *C = lp::buildInt(B, 42);
+  lp::buildReturn(B, {C->getResults().data(), 1});
+  // lp.return is rewritten by the pipeline normally; rewrite by hand here.
+  Operation *Ret = func::getFuncEntryBlock(Fn)->getTerminator();
+  B.setInsertionPoint(Ret);
+  std::vector<Value *> Ops = Ret->getOperands();
+  func::buildReturn(B, Ops);
+  Ret->erase();
+
+  vm::Program Prog = compile();
+  EXPECT_EQ(rt::unboxScalar(run(Prog, "f")), 42);
+}
+
+TEST_F(VMTest, RawArithmeticAndSelect) {
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "f",
+      Ctx.getFunctionType({Ctx.getI64(), Ctx.getI64()}, {Ctx.getI64()}));
+  Block *E = func::getFuncEntryBlock(Fn);
+  B.setInsertionPointToEnd(E);
+  Value *A = E->getArgument(0), *C = E->getArgument(1);
+  Value *Sum = arith::buildBinary(B, "arith.addi", A, C)->getResult(0);
+  Value *Prod = arith::buildBinary(B, "arith.muli", A, C)->getResult(0);
+  Value *Cmp =
+      arith::buildCmp(B, arith::CmpPredicate::SLT, A, C)->getResult(0);
+  Value *Sel = arith::buildSelect(B, Cmp, Sum, Prod)->getResult(0);
+  func::buildReturn(B, {&Sel, 1});
+
+  vm::Program Prog = compile();
+  // a < c: returns a + c; else a * c. (Raw registers, not boxed.)
+  std::vector<rt::ObjRef> Args1 = {2, 5};
+  EXPECT_EQ(run(Prog, "f", Args1), 7u);
+  std::vector<rt::ObjRef> Args2 = {5, 2};
+  EXPECT_EQ(run(Prog, "f", Args2), 10u);
+}
+
+TEST_F(VMTest, SwitchBrJumpTable) {
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "f",
+      Ctx.getFunctionType({Ctx.getI64()}, {Ctx.getI64()}));
+  Block *E = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *B10 = R.emplaceBlock();
+  Block *B20 = R.emplaceBlock();
+  Block *BDef = R.emplaceBlock();
+
+  B.setInsertionPointToEnd(E);
+  int64_t Cases[] = {1, 2};
+  Block *Dests[] = {B10, B20};
+  std::vector<std::vector<Value *>> CaseArgs = {{}, {}};
+  cf::buildSwitchBr(B, E->getArgument(0), Cases, BDef, {}, Dests, CaseArgs);
+  for (auto [Blk, Val] : {std::pair{B10, 10}, {B20, 20}, {BDef, 99}}) {
+    B.setInsertionPointToEnd(Blk);
+    Value *C = arith::buildConstant(B, Ctx.getI64(), Val)->getResult(0);
+    func::buildReturn(B, {&C, 1});
+  }
+
+  vm::Program Prog = compile();
+  std::vector<rt::ObjRef> A1 = {1}, A2 = {2}, A9 = {9};
+  EXPECT_EQ(run(Prog, "f", A1), 10u);
+  EXPECT_EQ(run(Prog, "f", A2), 20u);
+  EXPECT_EQ(run(Prog, "f", A9), 99u);
+}
+
+TEST_F(VMTest, BlockArgumentsActAsPhis) {
+  // Loop computing sum 1..n through block arguments.
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "f",
+      Ctx.getFunctionType({Ctx.getI64()}, {Ctx.getI64()}));
+  Block *E = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Loop = R.emplaceBlock();
+  Loop->addArgument(Ctx.getI64()); // i
+  Loop->addArgument(Ctx.getI64()); // acc
+  Block *Exit = R.emplaceBlock();
+  Exit->addArgument(Ctx.getI64());
+
+  B.setInsertionPointToEnd(E);
+  Value *N = E->getArgument(0);
+  Value *Zero = arith::buildConstant(B, Ctx.getI64(), 0)->getResult(0);
+  cf::buildBr(B, Loop, {{N, Zero}});
+
+  B.setInsertionPointToEnd(Loop);
+  Value *I = Loop->getArgument(0);
+  Value *Acc = Loop->getArgument(1);
+  Value *IsZero =
+      arith::buildCmp(B, arith::CmpPredicate::EQ, I, Zero)->getResult(0);
+  Value *One = arith::buildConstant(B, Ctx.getI64(), 1)->getResult(0);
+  Value *IMinus1 = arith::buildBinary(B, "arith.subi", I, One)->getResult(0);
+  Value *Acc2 = arith::buildBinary(B, "arith.addi", Acc, I)->getResult(0);
+  cf::buildCondBr(B, IsZero, Exit, {&Acc, 1}, Loop, {{IMinus1, Acc2}});
+
+  B.setInsertionPointToEnd(Exit);
+  Value *Res = Exit->getArgument(0);
+  func::buildReturn(B, {&Res, 1});
+
+  vm::Program Prog = compile();
+  std::vector<rt::ObjRef> A = {10};
+  EXPECT_EQ(run(Prog, "f", A), 55u);
+}
+
+TEST_F(VMTest, SwappingBlockArgumentsIsParallel) {
+  // jump ^loop(b, a) — the classic parallel-copy hazard.
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "f",
+      Ctx.getFunctionType({Ctx.getI64(), Ctx.getI64()}, {Ctx.getI64()}));
+  Block *E = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Swapped = R.emplaceBlock();
+  Swapped->addArgument(Ctx.getI64());
+  Swapped->addArgument(Ctx.getI64());
+
+  B.setInsertionPointToEnd(E);
+  cf::buildBr(B, Swapped, {{E->getArgument(1), E->getArgument(0)}});
+  B.setInsertionPointToEnd(Swapped);
+  Value *Ten = arith::buildConstant(B, Ctx.getI64(), 10)->getResult(0);
+  Value *Hi =
+      arith::buildBinary(B, "arith.muli", Swapped->getArgument(0), Ten)
+          ->getResult(0);
+  Value *Out = arith::buildBinary(B, "arith.addi", Hi,
+                                  Swapped->getArgument(1))
+                   ->getResult(0);
+  func::buildReturn(B, {&Out, 1});
+
+  vm::Program Prog = compile();
+  std::vector<rt::ObjRef> A = {3, 4};
+  EXPECT_EQ(run(Prog, "f", A), 43u); // swapped: 4*10 + 3
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end VM behaviors via the driver
+//===----------------------------------------------------------------------===//
+
+TEST(VMBehavior, TailCallsReuseFrames) {
+  // 3M tail-recursive iterations: without frame reuse, the register stack
+  // would need gigabytes. Success within memory bounds is the check.
+  driver::RunResult R = driver::compileAndRun(
+      "def loop n acc := if n == 0 then acc else loop (n - 1) (acc + n)\n"
+      "def main := loop 3000000 0",
+      lower::PipelineVariant::Full);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.ResultDisplay, "4500001500000");
+}
+
+TEST(VMBehavior, MutualTailRecursion) {
+  driver::RunResult R = driver::compileAndRun(
+      "def isEven n := if n == 0 then 1 else isOdd (n - 1)\n"
+      "def isOdd n := if n == 0 then 0 else isEven (n - 1)\n"
+      "def main := isEven 1000001",
+      lower::PipelineVariant::Full);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.ResultDisplay, "0");
+}
+
+TEST(VMBehavior, NonTailRecursionUsesHeapFrames) {
+  // 50k-deep non-tail recursion: fine on the VM's heap frame stack even
+  // though a C stack would likely overflow.
+  driver::RunResult R = driver::compileAndRun(
+      "def sum n := if n == 0 then 0 else n + sum (n - 1)\n"
+      "def main := sum 50000",
+      lower::PipelineVariant::Full);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.ResultDisplay, "1250025000");
+}
+
+TEST(VMBehavior, ApplyReentrancy) {
+  // Closure application re-enters the interpreter (runtime -> VM hook).
+  driver::RunResult R = driver::compileAndRun(
+      "def twice f x := f (f x)\n"
+      "def addN n x := n + x\n"
+      "def main := twice (addN 3) 10",
+      lower::PipelineVariant::Full);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.ResultDisplay, "16");
+}
+
+TEST(VMBehavior, UnreachableTrapsOnlyWhenExecuted) {
+  // Non-exhaustive matches compile (lp.unreachable) and work as long as
+  // the default path is never taken.
+  driver::RunResult R = driver::compileAndRun(
+      "inductive L := | Nil | Cons h t\n"
+      "def head xs := match xs with | Cons h _ => h end\n"
+      "def main := head (Cons 5 Nil)",
+      lower::PipelineVariant::Full);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.ResultDisplay, "5");
+}
+
+TEST(VMBehavior, StepCountingIsDeterministic) {
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::parseSource("def main := 1 + 2 * 3", P, Error));
+  driver::RunResult R1 = driver::runProgram(P, lower::PipelineVariant::Full);
+  driver::RunResult R2 = driver::runProgram(P, lower::PipelineVariant::Full);
+  EXPECT_EQ(R1.Steps, R2.Steps);
+  EXPECT_GT(R1.Steps, 0u);
+}
+
+} // namespace
