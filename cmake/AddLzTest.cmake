@@ -1,0 +1,31 @@
+# Helper functions for registering the two kinds of tests this repo uses:
+# gtest unit-test binaries and lz-filecheck golden tests.
+
+# add_lz_gtest(<name> <source>...)
+#
+# Builds one gtest binary linked against lzssa + system GoogleTest and
+# registers its individual test cases with CTest.
+function(add_lz_gtest name)
+  add_executable(${name} ${ARGN})
+  target_link_libraries(${name} PRIVATE lzssa GTest::gtest GTest::gtest_main
+                        lz_warnings)
+  gtest_discover_tests(${name} DISCOVERY_TIMEOUT 60)
+endfunction()
+
+# add_lz_filecheck_tests(<dir>)
+#
+# Registers one CTest per *.lz file in <dir>. Each test invokes
+# lz-filecheck in driver mode: it reads the file's `RUN:` lines,
+# substitutes %s with the test-file path and the standalone token
+# `lz-opt` (or `%lz-opt`) with the driver binary, executes them, and
+# matches the output against the file's CHECK lines.
+function(add_lz_filecheck_tests dir)
+  file(GLOB cases CONFIGURE_DEPENDS ${CMAKE_CURRENT_SOURCE_DIR}/${dir}/*.lz)
+  foreach(case ${cases})
+    get_filename_component(case_name ${case} NAME_WE)
+    add_test(NAME filecheck.${case_name}
+             COMMAND lz-filecheck --opt $<TARGET_FILE:lz-opt> ${case})
+    set_tests_properties(filecheck.${case_name} PROPERTIES
+                         LABELS "filecheck" TIMEOUT 60)
+  endforeach()
+endfunction()

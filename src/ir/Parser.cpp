@@ -50,6 +50,7 @@ struct Token {
   TokKind Kind;
   std::string Text; // without sigil for %/^/@; unescaped for strings
   int Line;
+  int Col = 1; // 1-based column of the token's first character
 };
 
 class Lexer {
@@ -58,6 +59,14 @@ public:
 
   Token next() {
     skipWhitespaceAndComments();
+    int StartCol = static_cast<int>(Pos - LineStart) + 1;
+    Token T = lexToken();
+    T.Col = StartCol;
+    return T;
+  }
+
+private:
+  Token lexToken() {
     if (Pos >= Src.size())
       return {TokKind::Eof, "", Line};
     char C = Src[Pos];
@@ -117,13 +126,13 @@ public:
     return {TokKind::Error, std::string(1, C), Line};
   }
 
-private:
   void skipWhitespaceAndComments() {
     while (Pos < Src.size()) {
       char C = Src[Pos];
       if (C == '\n') {
         ++Line;
         ++Pos;
+        LineStart = Pos;
       } else if (std::isspace(static_cast<unsigned char>(C))) {
         ++Pos;
       } else if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
@@ -169,28 +178,42 @@ private:
   }
 
   Token lexString() {
+    int StartLine = Line;
     ++Pos; // skip quote
     std::string Text;
     while (Pos < Src.size() && Src[Pos] != '"') {
       char C = Src[Pos++];
+      if (C == '\n') {
+        // Keep positions accurate for diagnostics after a multi-line string.
+        ++Line;
+        LineStart = Pos;
+        Text.push_back(C);
+        continue;
+      }
       if (C == '\\' && Pos < Src.size()) {
         char E = Src[Pos++];
-        if (E == 'n')
-          Text.push_back('\n');
-        else
+        if (E == '\n') {
+          ++Line;
+          LineStart = Pos;
           Text.push_back(E);
+        } else if (E == 'n') {
+          Text.push_back('\n');
+        } else {
+          Text.push_back(E);
+        }
       } else {
         Text.push_back(C);
       }
     }
     if (Pos >= Src.size())
-      return {TokKind::Error, "unterminated string", Line};
+      return {TokKind::Error, "unterminated string", StartLine};
     ++Pos; // closing quote
-    return {TokKind::String, std::move(Text), Line};
+    return {TokKind::String, std::move(Text), StartLine};
   }
 
   std::string_view Src;
   size_t Pos = 0;
+  size_t LineStart = 0;
   int Line = 1;
 };
 
@@ -246,9 +269,13 @@ private:
   }
 
   void emitError(std::string Message) {
+    emitErrorAt(Tok.Line, Tok.Col, std::move(Message));
+  }
+
+  void emitErrorAt(int Line, int Col, std::string Message) {
     if (ErrorMessage.empty())
-      ErrorMessage =
-          "line " + std::to_string(Tok.Line) + ": " + std::move(Message);
+      ErrorMessage = "line " + std::to_string(Line) + ", col " +
+                     std::to_string(Col) + ": " + std::move(Message);
   }
 
   void cleanup(Operation *Root) {
@@ -492,10 +519,12 @@ private:
       return nullptr;
     }
     std::string OpName = Tok.Text;
+    int OpNameLine = Tok.Line, OpNameCol = Tok.Col;
     consume();
     const OpDef *Def = Ctx.getOpDef(OpName);
     if (!Def) {
-      emitError("unregistered operation '" + OpName + "'");
+      emitErrorAt(OpNameLine, OpNameCol,
+                  "unregistered operation '" + OpName + "'");
       return nullptr;
     }
 

@@ -244,7 +244,7 @@ public:
   /// Checks that \p V (defined in region \p R) is available at
   /// \p EffectiveUser (an op directly inside \p R); \p ReportOp is the op
   /// blamed in diagnostics.
-  void checkUseAt(Operation *EffectiveUser, Value *V, Region &R,
+  void checkUseAt(Operation *EffectiveUser, Value *V, Region & /*R*/,
                   DominanceInfo &DomInfo,
                   std::unordered_map<Operation *, unsigned> &Position,
                   Operation *ReportOp) {

@@ -115,7 +115,8 @@ private:
     return false;
   }
 
-  Outcome evalBody(const Function &F, const FnBody *B, std::vector<OVal> &Env) {
+  Outcome evalBody(const Function & /*F*/, const FnBody *B,
+                   std::vector<OVal> &Env) {
     std::map<JoinId, JoinDef> Joins;
     while (true) {
       switch (B->K) {

@@ -29,7 +29,7 @@ namespace {
 
 class DirectLowerer {
 public:
-  DirectLowerer(const Program &P, Context &Ctx, Operation *Module)
+  DirectLowerer(const Program & /*P*/, Context &Ctx, Operation *Module)
       : Ctx(Ctx), Module(Module), Builder(Ctx) {}
 
   void lowerFunction(const Function &F) {

@@ -62,7 +62,7 @@ private:
     // lp.return / lp.unreachable / already-lowered terminators: done.
   }
 
-  void lowerSwitch(Block *B, Operation *Switch) {
+  void lowerSwitch(Block * /*B*/, Operation *Switch) {
     Context &Ctx = Builder.getContext();
     Builder.setInsertionPoint(Switch);
     Value *Tag = Switch->getOperand(0);
@@ -142,7 +142,7 @@ private:
     processBlock(B);
   }
 
-  void lowerJump(Block *B, Operation *Jump) {
+  void lowerJump(Block * /*B*/, Operation *Jump) {
     std::string Label(Jump->getAttrOfType<StringAttr>("label")->getValue());
     auto It = Labels.find(Label);
     assert(It != Labels.end() && "lp.jump to an unlowered label");

@@ -123,7 +123,7 @@ private:
     return NewBlock;
   }
 
-  LogicalResult lowerRun(Region &FnBody, Block *B, Operation *Run) {
+  LogicalResult lowerRun(Region &FnBody, Block * /*B*/, Operation *Run) {
     Value *RegionVal = Run->getOperand(0);
     std::vector<Value *> Args;
     for (unsigned I = 1; I != Run->getNumOperands(); ++I)

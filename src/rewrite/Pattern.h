@@ -73,10 +73,10 @@ private:
 class RewriteListener {
 public:
   virtual ~RewriteListener() = default;
-  virtual void notifyCreated(Operation *Op) {}
-  virtual void notifyErased(Operation *Op) {}
+  virtual void notifyCreated(Operation * /*Op*/) {}
+  virtual void notifyErased(Operation * /*Op*/) {}
   /// \p Op had operands replaced or was otherwise modified in place.
-  virtual void notifyChanged(Operation *Op) {}
+  virtual void notifyChanged(Operation * /*Op*/) {}
 };
 
 /// Builder with mutation helpers that keep a listener informed. All pattern

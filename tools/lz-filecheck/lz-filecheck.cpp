@@ -1,0 +1,459 @@
+//===- lz-filecheck.cpp - FileCheck-style golden-test checker -------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// An in-tree analogue of llvm-lit + FileCheck, the testing harness the
+/// paper's Figure 11 credits to the MLIR ecosystem. Two modes:
+///
+///   Driver mode (used by CTest):
+///     lz-filecheck --opt /path/to/lz-opt test.lz
+///   reads the test file's `; RUN: ...` lines, substitutes %s with the test
+///   file path and the token `lz-opt` with the --opt path, executes each
+///   command through the shell, and matches the concatenated output against
+///   the file's CHECK directives.
+///
+///   Filter mode (classic FileCheck):
+///     lz-opt test.lz --pass=cse | lz-filecheck test.lz
+///   matches stdin against the file's CHECK directives.
+///
+/// Supported directives (written anywhere in a line, normally after `;`):
+///
+///   CHECK:      scan forward for a line containing the pattern
+///   CHECK-NEXT: the immediately following line must contain the pattern
+///   CHECK-NOT:  the pattern must not appear before the next positive match
+///   CHECK-DAG:  consecutive CHECK-DAGs match in any order
+///
+/// Patterns are literal substrings except for `{{...}}` blocks, which hold
+/// ECMAScript regexes, e.g. `CHECK: %{{[0-9]+}} = "lp.int"`.
+///
+/// A RUN command prefixed with `not ` is expected to exit non-zero (its
+/// output is still collected, so error messages can be CHECKed).
+///
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+enum class CheckKind { Plain, Next, Not, Dag };
+
+struct CheckDirective {
+  CheckKind Kind;
+  std::string Pattern; // raw pattern text, may contain {{...}} regex blocks
+  int Line;            // 1-based line in the test file, for diagnostics
+};
+
+struct RunLine {
+  std::string Command;
+  bool ExpectFailure; // `not ` prefix
+  int Line;
+};
+
+int usage() {
+  std::cerr << "usage: lz-filecheck [--opt <lz-opt-path>] <test-file>\n"
+            << "  with --opt: execute the file's RUN lines and check them\n"
+            << "  without:    check stdin against the file's CHECK lines\n";
+  return 2;
+}
+
+std::string escapeRegex(const std::string &Literal) {
+  static const std::string Special = R"(\^$.|?*+()[]{})";
+  std::string Out;
+  for (char C : Literal) {
+    if (Special.find(C) != std::string::npos)
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+/// Compiles a CHECK pattern into a regex: literal text is escaped, `{{...}}`
+/// blocks pass through verbatim. Returns nullopt (with a message) on a bad
+/// user regex.
+std::optional<std::regex> compilePattern(const CheckDirective &D,
+                                         std::string &Error) {
+  std::string Rx;
+  size_t Pos = 0;
+  while (Pos < D.Pattern.size()) {
+    size_t Open = D.Pattern.find("{{", Pos);
+    if (Open == std::string::npos) {
+      Rx += escapeRegex(D.Pattern.substr(Pos));
+      break;
+    }
+    size_t Close = D.Pattern.find("}}", Open + 2);
+    if (Close == std::string::npos) {
+      Error = "unterminated {{...}} block";
+      return std::nullopt;
+    }
+    Rx += escapeRegex(D.Pattern.substr(Pos, Open - Pos));
+    Rx += "(?:" + D.Pattern.substr(Open + 2, Close - Open - 2) + ")";
+    Pos = Close + 2;
+  }
+  try {
+    return std::regex(Rx, std::regex::ECMAScript);
+  } catch (const std::regex_error &E) {
+    Error = E.what();
+    return std::nullopt;
+  }
+}
+
+bool lineMatches(const std::string &Line, const std::regex &Rx) {
+  return std::regex_search(Line, Rx);
+}
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return S.substr(B, E - B + 1);
+}
+
+/// Extracts RUN and CHECK directives from the test file.
+bool parseTestFile(const std::string &Path, std::vector<RunLine> &Runs,
+                   std::vector<CheckDirective> &Checks) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "lz-filecheck: cannot open '" << Path << "'\n";
+    return false;
+  }
+  static const std::pair<const char *, CheckKind> Prefixes[] = {
+      {"CHECK-NEXT:", CheckKind::Next},
+      {"CHECK-NOT:", CheckKind::Not},
+      {"CHECK-DAG:", CheckKind::Dag},
+      {"CHECK:", CheckKind::Plain},
+  };
+  std::string Line;
+  int LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (size_t RunPos = Line.find("RUN:"); RunPos != std::string::npos) {
+      std::string Cmd = trim(Line.substr(RunPos + 4));
+      bool Negated = Cmd.rfind("not ", 0) == 0;
+      if (Negated)
+        Cmd = trim(Cmd.substr(4));
+      if (!Cmd.empty())
+        Runs.push_back({Cmd, Negated, LineNo});
+      continue;
+    }
+    for (const auto &[Prefix, Kind] : Prefixes) {
+      size_t Pos = Line.find(Prefix);
+      if (Pos == std::string::npos)
+        continue;
+      Checks.push_back({Kind, trim(Line.substr(Pos + strlen(Prefix))), LineNo});
+      break;
+    }
+  }
+  return true;
+}
+
+void replaceAll(std::string &Haystack, const std::string &Needle,
+                const std::string &Replacement) {
+  size_t Pos = 0;
+  while ((Pos = Haystack.find(Needle, Pos)) != std::string::npos) {
+    Haystack.replace(Pos, Needle.size(), Replacement);
+    Pos += Replacement.size();
+  }
+}
+
+/// Substitutes the tool name in a RUN command: `%lz-opt` anywhere, or the
+/// bare word `lz-opt` when it stands alone (not inside a path like
+/// /home/lz-opt-checkout/...). One left-to-right pass, so occurrences of
+/// "lz-opt" inside the substituted binary path are never rescanned.
+void substituteToolPath(std::string &Cmd, const std::string &OptPath) {
+  static const std::string Word = "lz-opt";
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Cmd.size()) {
+    size_t Hit = Cmd.find(Word, Pos);
+    if (Hit == std::string::npos) {
+      Out += Cmd.substr(Pos);
+      break;
+    }
+    bool Sigiled = Hit > 0 && Cmd[Hit - 1] == '%';
+    size_t TokenBegin = Sigiled ? Hit - 1 : Hit;
+    char Before = TokenBegin > 0 ? Cmd[TokenBegin - 1] : ' ';
+    char After = Hit + Word.size() < Cmd.size() ? Cmd[Hit + Word.size()] : ' ';
+    bool Standalone = (std::isspace(static_cast<unsigned char>(Before)) ||
+                       Before == '\'' || Before == '"' || Before == '(' ||
+                       Before == '|' || Before == ';') &&
+                      (std::isspace(static_cast<unsigned char>(After)) ||
+                       After == '\'' || After == '"' || After == ')' ||
+                       After == '|' || After == ';');
+    if (Sigiled || Standalone) {
+      Out += Cmd.substr(Pos, TokenBegin - Pos);
+      Out += OptPath;
+    } else {
+      Out += Cmd.substr(Pos, Hit + Word.size() - Pos);
+    }
+    Pos = Hit + Word.size();
+  }
+  Cmd = std::move(Out);
+}
+
+/// Runs a shell command, capturing stdout+stderr. Returns the exit code,
+/// or -1 if the command could not be started. A command killed by a signal
+/// sets \p Crashed: a crash is a test failure even under `not`, matching
+/// LLVM's `not` (which requires `not --crash` to accept one).
+int runCommand(const std::string &Command, std::string &Output,
+               bool &Crashed) {
+  Crashed = false;
+  std::string Wrapped = "{ " + Command + " ; } 2>&1";
+  FILE *Pipe = popen(Wrapped.c_str(), "r");
+  if (!Pipe)
+    return -1;
+  char Buffer[4096];
+  size_t N;
+  while ((N = fread(Buffer, 1, sizeof(Buffer), Pipe)) > 0)
+    Output.append(Buffer, N);
+  int Status = pclose(Pipe);
+  if (Status == -1)
+    return -1;
+  if (WIFSIGNALED(Status)) {
+    Crashed = true;
+    return 128 + WTERMSIG(Status);
+  }
+  int Exit = WIFEXITED(Status) ? WEXITSTATUS(Status) : 128;
+  // The command runs under `sh`, which reports a signal-killed child as
+  // exit 128+N rather than dying of the signal itself.
+  if (Exit > 128)
+    Crashed = true;
+  return Exit;
+}
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+void printContext(const std::vector<std::string> &Lines, size_t Around) {
+  size_t Begin = Around >= 3 ? Around - 3 : 0;
+  size_t End = std::min(Lines.size(), Around + 4);
+  for (size_t I = Begin; I < End; ++I)
+    std::cerr << "  | " << Lines[I] << "\n";
+}
+
+/// Matches the CHECK directives against the output. Returns true on success;
+/// prints a diagnostic naming the failing directive's file line otherwise.
+bool checkOutput(const std::string &TestPath,
+                 const std::vector<CheckDirective> &Checks,
+                 const std::vector<std::string> &Lines) {
+  auto fail = [&](const CheckDirective &D, const std::string &Why,
+                  std::optional<size_t> At = std::nullopt) {
+    std::cerr << TestPath << ":" << D.Line << ": error: " << Why << "\n"
+              << "  directive: CHECK"
+              << (D.Kind == CheckKind::Next    ? "-NEXT"
+                  : D.Kind == CheckKind::Not   ? "-NOT"
+                  : D.Kind == CheckKind::Dag   ? "-DAG"
+                                               : "")
+              << ": " << D.Pattern << "\n";
+    if (At) {
+      std::cerr << "  output context (line " << *At + 1 << "):\n";
+      printContext(Lines, *At);
+    }
+    return false;
+  };
+
+  // Cursor: index of the next unmatched output line.
+  size_t Cursor = 0;
+  size_t I = 0;
+  while (I < Checks.size()) {
+    const CheckDirective &D = Checks[I];
+    std::string RxError;
+
+    if (D.Kind == CheckKind::Dag) {
+      // Collect the whole consecutive DAG group and match in any order,
+      // scanning forward from the cursor.
+      size_t GroupEnd = I;
+      while (GroupEnd < Checks.size() && Checks[GroupEnd].Kind == CheckKind::Dag)
+        ++GroupEnd;
+      size_t FurthestMatch = Cursor;
+      std::vector<bool> LineUsed(Lines.size(), false);
+      for (size_t J = I; J < GroupEnd; ++J) {
+        auto Rx = compilePattern(Checks[J], RxError);
+        if (!Rx)
+          return fail(Checks[J], "bad pattern: " + RxError);
+        bool Found = false;
+        for (size_t L = Cursor; L < Lines.size(); ++L) {
+          if (!LineUsed[L] && lineMatches(Lines[L], *Rx)) {
+            LineUsed[L] = true;
+            FurthestMatch = std::max(FurthestMatch, L + 1);
+            Found = true;
+            break;
+          }
+        }
+        if (!Found)
+          return fail(Checks[J], "CHECK-DAG pattern not found", Cursor);
+      }
+      Cursor = FurthestMatch;
+      I = GroupEnd;
+      continue;
+    }
+
+    if (D.Kind == CheckKind::Not) {
+      // Forbidden between here and the next positive match (or EOF if this
+      // is the last positive-scope). Find the next non-NOT directive.
+      size_t NextPositive = I;
+      while (NextPositive < Checks.size() &&
+             Checks[NextPositive].Kind == CheckKind::Not)
+        ++NextPositive;
+
+      size_t ScopeEnd = Lines.size();
+      std::optional<std::regex> PositiveRx;
+      if (NextPositive < Checks.size()) {
+        PositiveRx = compilePattern(Checks[NextPositive], RxError);
+        if (!PositiveRx)
+          return fail(Checks[NextPositive], "bad pattern: " + RxError);
+        for (size_t L = Cursor; L < Lines.size(); ++L) {
+          if (lineMatches(Lines[L], *PositiveRx)) {
+            ScopeEnd = L;
+            break;
+          }
+        }
+      }
+      for (size_t J = I; J < NextPositive; ++J) {
+        auto Rx = compilePattern(Checks[J], RxError);
+        if (!Rx)
+          return fail(Checks[J], "bad pattern: " + RxError);
+        for (size_t L = Cursor; L < ScopeEnd; ++L)
+          if (lineMatches(Lines[L], *Rx))
+            return fail(Checks[J], "forbidden pattern found", L);
+      }
+      I = NextPositive;
+      continue;
+    }
+
+    auto Rx = compilePattern(D, RxError);
+    if (!Rx)
+      return fail(D, "bad pattern: " + RxError);
+
+    if (D.Kind == CheckKind::Next) {
+      if (Cursor >= Lines.size())
+        return fail(D, "expected a next line, but output ended");
+      if (!lineMatches(Lines[Cursor], *Rx))
+        return fail(D, "CHECK-NEXT did not match the next line", Cursor);
+      ++Cursor;
+      ++I;
+      continue;
+    }
+
+    // Plain CHECK: scan forward.
+    bool Found = false;
+    for (size_t L = Cursor; L < Lines.size(); ++L) {
+      if (lineMatches(Lines[L], *Rx)) {
+        Cursor = L + 1;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return fail(D, "pattern not found in remaining output",
+                  std::min(Cursor, Lines.size() ? Lines.size() - 1 : 0));
+    ++I;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OptPath;
+  std::string TestPath;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--opt") {
+      if (++I >= argc)
+        return usage();
+      OptPath = argv[I];
+    } else if (Arg.rfind("--opt=", 0) == 0) {
+      OptPath = Arg.substr(6);
+    } else if (TestPath.empty()) {
+      TestPath = Arg;
+    } else {
+      return usage();
+    }
+  }
+  if (TestPath.empty())
+    return usage();
+
+  std::vector<RunLine> Runs;
+  std::vector<CheckDirective> Checks;
+  if (!parseTestFile(TestPath, Runs, Checks))
+    return 2;
+  if (Checks.empty()) {
+    std::cerr << TestPath << ": error: no CHECK directives found\n";
+    return 2;
+  }
+
+  std::string Output;
+  if (!OptPath.empty()) {
+    // Driver mode: execute the RUN lines.
+    if (Runs.empty()) {
+      std::cerr << TestPath << ": error: no RUN lines found\n";
+      return 2;
+    }
+    for (const RunLine &R : Runs) {
+      std::string Cmd = R.Command;
+      substituteToolPath(Cmd, OptPath);
+      replaceAll(Cmd, "%s", TestPath);
+      std::string CmdOutput;
+      bool Crashed = false;
+      int Exit = runCommand(Cmd, CmdOutput, Crashed);
+      Output += CmdOutput;
+      if (Exit < 0) {
+        std::cerr << TestPath << ":" << R.Line
+                  << ": error: could not execute RUN command\n";
+        return 2;
+      }
+      if (Crashed) {
+        std::cerr << TestPath << ":" << R.Line
+                  << ": error: RUN command crashed (exit " << Exit
+                  << "); a crash fails the test even under 'not'\n"
+                  << "  command: " << Cmd << "\n  output:\n";
+        for (const std::string &L : splitLines(CmdOutput))
+          std::cerr << "  | " << L << "\n";
+        return 1;
+      }
+      if (!R.ExpectFailure && Exit != 0) {
+        std::cerr << TestPath << ":" << R.Line << ": error: RUN command "
+                  << "exited with status " << Exit << "\n  command: " << Cmd
+                  << "\n  output:\n";
+        for (const std::string &L : splitLines(CmdOutput))
+          std::cerr << "  | " << L << "\n";
+        return 1;
+      }
+      if (R.ExpectFailure && Exit == 0) {
+        std::cerr << TestPath << ":" << R.Line
+                  << ": error: RUN command marked 'not' but succeeded\n";
+        return 1;
+      }
+    }
+  } else {
+    // Filter mode: check stdin.
+    std::stringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Output = Buffer.str();
+  }
+
+  if (!checkOutput(TestPath, Checks, splitLines(Output)))
+    return 1;
+  return 0;
+}

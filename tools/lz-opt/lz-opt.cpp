@@ -1,0 +1,182 @@
+//===- lz-opt.cpp - textual IR pass driver (mlir-opt analogue) ------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reads textual IR (or MiniLean surface syntax with --minilean), runs a
+/// pass pipeline, prints the result — the FileCheck-style testing workflow
+/// the paper's Figure 11 credits to the MLIR ecosystem ("Testing harness:
+/// FileCheck, llvm-lit"):
+///
+///   lz-opt input.lz --pass=canonicalize --pass=cse --pass=dce
+///   lz-opt input.lz --lower-rgn-to-cf
+///   lz-opt prog.ml --minilean --lower-lp-to-rgn --pass=canonicalize
+///   echo '...' | lz-opt -
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "lambda/MiniLean.h"
+#include "lambda/Simplify.h"
+#include "lower/Lowering.h"
+#include "rc/RCInsert.h"
+#include "rewrite/Passes.h"
+#include "support/OStream.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+using namespace lz;
+
+namespace {
+
+const char *const UsageText =
+    "usage: lz-opt <file|-> [options]\n"
+            "  --minilean            parse input as MiniLean surface syntax,\n"
+            "                        simplify, insert RC ops, lower to lp\n"
+            "  --no-simplify         with --minilean: skip simplification\n"
+            "  --no-rc               with --minilean: skip RC insertion\n"
+            "  --pass=NAME           run a pass (canonicalize|cse|dce|inline);\n"
+            "                        repeatable, runs in the order given\n"
+    "  --lower-lp-to-rgn     lower lp switches/joinpoints to rgn\n"
+    "  --lower-rgn-to-cf     lower rgn to a flat CFG (+ tail calls)\n"
+    "  --verify-only         parse + verify, print 'ok'\n";
+
+int usage() {
+  errs() << UsageText;
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr;
+  std::vector<std::string> Passes;
+  bool MiniLean = false;
+  bool Simplify = true;
+  bool RC = true;
+  bool LowerLp = false;
+  bool LowerRgn = false;
+  bool VerifyOnly = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--pass=", 0) == 0)
+      Passes.push_back(Arg.substr(7));
+    else if (Arg == "--minilean")
+      MiniLean = true;
+    else if (Arg == "--no-simplify")
+      Simplify = false;
+    else if (Arg == "--no-rc")
+      RC = false;
+    else if (Arg == "--lower-lp-to-rgn")
+      LowerLp = true;
+    else if (Arg == "--lower-rgn-to-cf")
+      LowerRgn = true;
+    else if (Arg == "--verify-only")
+      VerifyOnly = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      outs() << UsageText;
+      return 0;
+    }
+    else if (!Path && (Arg == "-" || Arg[0] != '-'))
+      Path = argv[I];
+    else
+      return usage();
+  }
+  if (!Path)
+    return usage();
+
+  std::string Source;
+  if (std::string(Path) == "-") {
+    std::stringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Source = Buffer.str();
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      errs() << "error: cannot open '" << Path << "'\n";
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  }
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  OwningOpRef Owner;
+
+  if (MiniLean) {
+    lambda::Program P;
+    std::string Error;
+    if (failed(lambda::parseMiniLean(Source, P, Error))) {
+      errs() << "parse error: " << Error << '\n';
+      return 1;
+    }
+    if (Simplify)
+      lambda::simplifyProgram(P);
+    if (RC)
+      rc::insertRC(P);
+    Owner = lower::lowerLambdaToLp(P, Ctx);
+  } else {
+    std::string Error;
+    Operation *Root = parseSourceString(Source, Ctx, Error);
+    if (!Root) {
+      errs() << "parse error: " << Error << '\n';
+      return 1;
+    }
+    Owner = OwningOpRef(Root);
+  }
+
+  if (failed(verify(Owner.get())))
+    return 1;
+  if (VerifyOnly) {
+    outs() << "ok\n";
+    return 0;
+  }
+
+  PassManager PM;
+  for (const std::string &Name : Passes) {
+    if (Name == "canonicalize")
+      PM.addPass(createCanonicalizerPass());
+    else if (Name == "cse")
+      PM.addPass(createCSEPass());
+    else if (Name == "dce")
+      PM.addPass(createDCEPass());
+    else if (Name == "inline")
+      PM.addPass(createInlinerPass());
+    else {
+      errs() << "unknown pass '" << Name << "'\n";
+      return usage();
+    }
+  }
+  if (failed(PM.run(Owner.get())))
+    return 1;
+
+  if (LowerLp) {
+    if (failed(lower::lowerLpToRgn(Owner.get())))
+      return 1;
+    if (failed(verify(Owner.get())))
+      return 1;
+  }
+
+  if (LowerRgn) {
+    if (failed(lower::lowerRgnToCf(Owner.get())))
+      return 1;
+    lower::markTailCalls(Owner.get());
+    if (failed(verify(Owner.get())))
+      return 1;
+  }
+
+  outs() << printToString(Owner.get());
+  return 0;
+}
