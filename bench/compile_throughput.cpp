@@ -1,0 +1,183 @@
+//===- compile_throughput.cpp - compiler front-to-back throughput -------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Google-Benchmark suite timing the compiler itself (not the compiled
+/// programs): MiniLean parsing, the canonicalize/CSE/DCE middle-end, and
+/// the full lambda -> lp -> rgn -> cf pipeline over the paper's benchmark
+/// suite (src/programs/). This is the repo's compile-throughput yardstick:
+/// run it before and after IR-core changes and diff the numbers
+/// (tools/bench-json.sh writes BENCH_compile.json at the repo root).
+///
+///   compile_parse/<prog>     MiniLean text -> lambda::Program
+///   compile_opt/<prog>       clone of the rgn-form module +
+///                            canonicalize/CSE/canonicalize/DCE
+///   compile_pipeline/<prog>  parse + full compileProgram (Full variant,
+///                            verification on, bytecode emission included)
+///   compile_pipeline/suite   all eight programs back to back -- the
+///                            headline number for perf PRs
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "ir/Module.h"
+#include "lambda/MiniLean.h"
+#include "lower/Lowering.h"
+#include "lower/Pipeline.h"
+#include "programs/Programs.h"
+#include "rewrite/Passes.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace lz;
+
+namespace {
+
+std::string sourceFor(const programs::BenchProgram &P) {
+  return programs::instantiate(P, P.TestSize);
+}
+
+lambda::Program parseOrDie(const std::string &Source, const char *Name) {
+  lambda::Program P;
+  std::string Error;
+  if (failed(lambda::parseMiniLean(Source, P, Error))) {
+    std::fprintf(stderr, "compile_throughput: parse error in %s: %s\n", Name,
+                 Error.c_str());
+    std::abort();
+  }
+  return P;
+}
+
+/// Parse throughput: MiniLean text -> lambda::Program.
+void benchParse(benchmark::State &State, const programs::BenchProgram &Prog) {
+  std::string Source = sourceFor(Prog);
+  uint64_t Bytes = 0;
+  for (auto _ : State) {
+    (void)_;
+    lambda::Program P = parseOrDie(Source, Prog.Name);
+    benchmark::DoNotOptimize(P.Functions.data());
+    Bytes += Source.size();
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(Bytes));
+}
+
+/// Middle-end throughput: clone the rgn-form module, then run the standard
+/// canonicalize/CSE/canonicalize/DCE pipeline on the clone. The clone is
+/// deliberately inside the timed region: it exercises Operation::create for
+/// every op in the module, which is exactly the hot path this benchmark
+/// guards.
+void benchOpt(benchmark::State &State, const programs::BenchProgram &Prog) {
+  std::string Source = sourceFor(Prog);
+  lambda::Program P = parseOrDie(Source, Prog.Name);
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  OwningOpRef Module = lower::lowerLambdaToLp(P, Ctx);
+  if (failed(lower::lowerLpToRgn(Module.get()))) {
+    std::fprintf(stderr, "compile_throughput: lp->rgn failed for %s\n",
+                 Prog.Name);
+    std::abort();
+  }
+
+  for (auto _ : State) {
+    (void)_;
+    OwningOpRef Clone(Module->clone());
+    PassManager PM;
+    PM.setVerifyEach(false);
+    PM.addPass(createCanonicalizerPass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createCanonicalizerPass());
+    PM.addPass(createDCEPass());
+    if (failed(PM.run(Clone.get()))) {
+      std::fprintf(stderr, "compile_throughput: opt pipeline failed for %s\n",
+                   Prog.Name);
+      std::abort();
+    }
+    benchmark::DoNotOptimize(Clone.get());
+  }
+}
+
+/// End-to-end throughput: parse + the Full pipeline (simplifier, RC
+/// insertion, lambda->lp->rgn lowering, canonicalize/CSE/DCE, rgn->cf,
+/// verification between stages, bytecode emission) -- what `lz-opt` and the
+/// e2e tests do per program.
+void benchPipeline(benchmark::State &State,
+                   const programs::BenchProgram &Prog) {
+  std::string Source = sourceFor(Prog);
+  Context Ctx;
+  registerAllDialects(Ctx);
+  uint64_t Ops = 0;
+  for (auto _ : State) {
+    (void)_;
+    lambda::Program P = parseOrDie(Source, Prog.Name);
+    lower::CompileResult CR =
+        lower::compileProgram(P, Ctx, lower::PipelineVariant::Full);
+    if (!CR.OK) {
+      std::fprintf(stderr, "compile_throughput: pipeline failed for %s: %s\n",
+                   Prog.Name, CR.Error.c_str());
+      std::abort();
+    }
+    Ops += CR.NumOps;
+    benchmark::DoNotOptimize(CR.Prog.Functions.data());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Ops));
+}
+
+/// The headline number: every benchmark program through the Full pipeline,
+/// back to back, in one iteration.
+void benchSuite(benchmark::State &State) {
+  std::vector<std::pair<const programs::BenchProgram *, std::string>> Sources;
+  for (const programs::BenchProgram &Prog : programs::getBenchmarkSuite())
+    Sources.emplace_back(&Prog, sourceFor(Prog));
+  Context Ctx;
+  registerAllDialects(Ctx);
+  uint64_t Ops = 0;
+  for (auto _ : State) {
+    (void)_;
+    for (const auto &[Prog, Source] : Sources) {
+      lambda::Program P = parseOrDie(Source, Prog->Name);
+      lower::CompileResult CR =
+          lower::compileProgram(P, Ctx, lower::PipelineVariant::Full);
+      if (!CR.OK) {
+        std::fprintf(stderr, "compile_throughput: suite failed for %s: %s\n",
+                     Prog->Name, CR.Error.c_str());
+        std::abort();
+      }
+      Ops += CR.NumOps;
+      benchmark::DoNotOptimize(CR.Prog.Functions.data());
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Ops));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const programs::BenchProgram &Prog : programs::getBenchmarkSuite()) {
+    benchmark::RegisterBenchmark(
+        (std::string("compile_parse/") + Prog.Name).c_str(),
+        [&Prog](benchmark::State &S) { benchParse(S, Prog); });
+    benchmark::RegisterBenchmark(
+        (std::string("compile_opt/") + Prog.Name).c_str(),
+        [&Prog](benchmark::State &S) { benchOpt(S, Prog); });
+    benchmark::RegisterBenchmark(
+        (std::string("compile_pipeline/") + Prog.Name).c_str(),
+        [&Prog](benchmark::State &S) { benchPipeline(S, Prog); });
+  }
+  benchmark::RegisterBenchmark("compile_pipeline/suite", benchSuite);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

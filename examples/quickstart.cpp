@@ -51,7 +51,7 @@ int main() {
     OpBuilder::InsertionGuard Guard(B);
     B.setInsertionPointToEnd(rgn::getValBody(Val).getEntryBlock());
     Operation *C = lp::buildInt(B, Value);
-    lp::buildReturn(B, {C->getResults().data(), 1});
+    lp::buildReturn(B, values(C->getResult(0)));
     return Val->getResult(0);
   };
   Value *ThreeRegion = MakeRegion(3);

@@ -35,7 +35,7 @@ Value *makeConstRegion(OpBuilder &B, int64_t Value) {
   OpBuilder::InsertionGuard Guard(B);
   B.setInsertionPointToEnd(rgn::getValBody(Val).getEntryBlock());
   Operation *C = lp::buildInt(B, Value);
-  lp::buildReturn(B, {C->getResults().data(), 1});
+  lp::buildReturn(B, values(C->getResult(0)));
   return Val->getResult(0);
 }
 
@@ -70,7 +70,7 @@ int main() {
     B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
     makeConstRegion(B, 3); // %x = rgn.val { e } — dead
     Operation *Y = lp::buildInt(B, 5);
-    lp::buildReturn(B, {Y->getResults().data(), 1});
+    lp::buildReturn(B, values(Y->getResult(0)));
     optimizeAndPrint(Module.get(), "fig1a");
   }
 

@@ -8,37 +8,96 @@
 #include "ir/Context.h"
 
 #include "ir/IR.h"
+#include "support/Hashing.h"
 
 #include <cassert>
-#include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace lz;
 
 namespace {
-/// Heterogeneous key for function/region type uniquing.
+
+/// Transparent string hashing so string-keyed uniquers accept
+/// std::string_view lookups without materializing a std::string.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view S) const {
+    return static_cast<size_t>(hashBytes(S));
+  }
+  size_t operator()(const std::string &S) const {
+    return operator()(std::string_view(S));
+  }
+};
+
+struct PtrVectorHash {
+  template <typename T> size_t operator()(const std::vector<T *> &V) const {
+    uint64_t H = 0x9e3779b97f4a7c15ULL;
+    for (T *P : V)
+      H = hashMix(H, reinterpret_cast<uintptr_t>(P));
+    return static_cast<size_t>(H);
+  }
+};
+
+struct TypePairHash {
+  size_t operator()(const std::pair<Type *, int64_t> &K) const {
+    return static_cast<size_t>(hashMix(reinterpret_cast<uintptr_t>(K.first),
+                                       static_cast<uint64_t>(K.second)));
+  }
+};
+
 using TypeListKey = std::vector<Type *>;
 using TypePairKey = std::pair<std::vector<Type *>, std::vector<Type *>>;
+
+struct TypeListPairHash {
+  size_t operator()(const TypePairKey &K) const {
+    PtrVectorHash H;
+    return static_cast<size_t>(hashMix(H(K.first), H(K.second)));
+  }
+};
+
 } // namespace
 
 struct Context::Impl {
-  // Op registry. std::map keeps OpDef addresses stable and lookup is not on
-  // any hot path (Operation caches the OpDef pointer).
-  std::map<std::string, OpDef, std::less<>> OpRegistry;
+  /// The string intern pool backing Identifier. unordered_set is node-based,
+  /// so element addresses are stable across rehashing.
+  std::unordered_set<std::string, StringHash, std::equal_to<>> InternPool;
+
+  // Op registry: interned-name keyed; OpDefs are heap nodes so their
+  // addresses stay stable (Operation caches the OpDef pointer).
+  // RegistrationOrder preserves deterministic iteration for forEachOpDef —
+  // canonicalization pattern collection order must not depend on hashing.
+  std::unordered_map<Identifier, std::unique_ptr<OpDef>> OpRegistry;
+  std::vector<const OpDef *> RegistrationOrder;
 
   // Type uniquers.
-  std::map<unsigned, std::unique_ptr<IntegerType>> IntegerTypes;
+  std::unordered_map<unsigned, std::unique_ptr<IntegerType>> IntegerTypes;
   std::unique_ptr<BoxType> TheBoxType;
   std::unique_ptr<NoneType> TheNoneType;
-  std::map<TypeListKey, std::unique_ptr<RegionValType>> RegionTypes;
-  std::map<TypePairKey, std::unique_ptr<FunctionType>> FunctionTypes;
+  std::unordered_map<TypeListKey, std::unique_ptr<RegionValType>,
+                     PtrVectorHash>
+      RegionTypes;
+  std::unordered_map<TypePairKey, std::unique_ptr<FunctionType>,
+                     TypeListPairHash>
+      FunctionTypes;
 
   // Attribute uniquers.
-  std::map<std::pair<Type *, int64_t>, std::unique_ptr<IntegerAttr>> IntAttrs;
-  std::map<std::string, std::unique_ptr<BigIntAttr>, std::less<>> BigAttrs;
-  std::map<std::string, std::unique_ptr<StringAttr>, std::less<>> StrAttrs;
-  std::map<std::string, std::unique_ptr<SymbolRefAttr>, std::less<>> SymAttrs;
-  std::map<Type *, std::unique_ptr<TypeAttr>> TypeAttrs;
-  std::map<std::vector<Attribute *>, std::unique_ptr<ArrayAttr>> ArrayAttrs;
+  std::unordered_map<std::pair<Type *, int64_t>, std::unique_ptr<IntegerAttr>,
+                     TypePairHash>
+      IntAttrs;
+  std::unordered_map<std::string, std::unique_ptr<BigIntAttr>, StringHash,
+                     std::equal_to<>>
+      BigAttrs;
+  std::unordered_map<std::string, std::unique_ptr<StringAttr>, StringHash,
+                     std::equal_to<>>
+      StrAttrs;
+  std::unordered_map<std::string, std::unique_ptr<SymbolRefAttr>, StringHash,
+                     std::equal_to<>>
+      SymAttrs;
+  std::unordered_map<Type *, std::unique_ptr<TypeAttr>> TypeAttrs;
+  std::unordered_map<std::vector<Attribute *>, std::unique_ptr<ArrayAttr>,
+                     PtrVectorHash>
+      ArrayAttrs;
   std::unique_ptr<UnitAttr> TheUnitAttr;
 };
 
@@ -57,22 +116,37 @@ Context::Context() : TheImpl(std::make_unique<Impl>()) {
 
 Context::~Context() = default;
 
+Identifier Context::getIdentifier(std::string_view Str) {
+  auto It = TheImpl->InternPool.find(Str);
+  if (It == TheImpl->InternPool.end())
+    It = TheImpl->InternPool.emplace(Str).first;
+  return Identifier(&*It);
+}
+
 const OpDef *Context::registerOp(OpDef Def) {
-  auto [It, Inserted] = TheImpl->OpRegistry.try_emplace(Def.Name);
+  Def.NameId = getIdentifier(Def.Name);
+  auto [It, Inserted] = TheImpl->OpRegistry.try_emplace(
+      Def.NameId, std::make_unique<OpDef>(std::move(Def)));
   assert(Inserted && "op name registered twice");
-  It->second = std::move(Def);
-  return &It->second;
+  if (!Inserted) // release builds: keep the first definition, registered once
+    return It->second.get();
+  TheImpl->RegistrationOrder.push_back(It->second.get());
+  return It->second.get();
 }
 
 const OpDef *Context::getOpDef(std::string_view Name) const {
-  auto It = TheImpl->OpRegistry.find(Name);
-  return It == TheImpl->OpRegistry.end() ? nullptr : &It->second;
+  // Interning the queried name is one string hash; the registry probe after
+  // it is pointer-keyed. Unknown names intern a pool entry, which is
+  // harmless (parsers query a small, mostly-registered name set).
+  Identifier Id = const_cast<Context *>(this)->getIdentifier(Name);
+  auto It = TheImpl->OpRegistry.find(Id);
+  return It == TheImpl->OpRegistry.end() ? nullptr : It->second.get();
 }
 
 void Context::forEachOpDef(
     const std::function<void(const OpDef &)> &Fn) const {
-  for (const auto &[Name, Def] : TheImpl->OpRegistry)
-    Fn(Def);
+  for (const OpDef *Def : TheImpl->RegistrationOrder)
+    Fn(*Def);
 }
 
 //===----------------------------------------------------------------------===//

@@ -16,11 +16,11 @@
 #define LZ_IR_CONTEXT_H
 
 #include "ir/Attributes.h"
+#include "ir/Identifier.h"
 #include "ir/Types.h"
 #include "support/LogicalResult.h"
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -70,6 +70,10 @@ enum OpTraits : unsigned {
 /// AbstractOperation: name, traits and behavioural hooks.
 struct OpDef {
   std::string Name;
+  /// The interned name, filled in by Context::registerOp. Lets clients key
+  /// hash tables on the op kind without hashing the name string (the greedy
+  /// driver's per-op pattern dispatch does this).
+  Identifier NameId;
   unsigned Traits = OpTrait_None;
   /// Structural verification beyond the generic checks; may be null.
   std::function<LogicalResult(Operation *)> Verify;
@@ -90,6 +94,14 @@ public:
 
   Context(const Context &) = delete;
   Context &operator=(const Context &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Identifiers
+  //===--------------------------------------------------------------------===//
+
+  /// Interns \p Str in this context's string pool. The same spelling always
+  /// yields the same Identifier, so equality/hash are pointer operations.
+  Identifier getIdentifier(std::string_view Str);
 
   //===--------------------------------------------------------------------===//
   // Operation registry

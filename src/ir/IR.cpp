@@ -8,6 +8,7 @@
 #include "ir/IR.h"
 
 #include <algorithm>
+#include <new>
 
 using namespace lz;
 
@@ -82,36 +83,74 @@ OperationState::OperationState(Context &C, std::string_view Name) : Ctx(&C) {
 // Operation
 //===----------------------------------------------------------------------===//
 
+// The trailing arrays are laid out back to back without padding until the
+// Region array (which re-aligns itself); that only works if each earlier
+// array's element size is a multiple of the next array's alignment.
+static_assert(sizeof(Operation) % alignof(OpOperand) == 0,
+              "operand storage would be misaligned");
+static_assert(sizeof(OpOperand) % alignof(OpResult) == 0,
+              "result storage would be misaligned");
+static_assert(sizeof(OpResult) % alignof(Block *) == 0,
+              "successor storage would be misaligned");
+static_assert(sizeof(Block *) % alignof(unsigned) == 0,
+              "successor count storage would be misaligned");
+
+/// Size of the single allocation backing an Operation: the header plus all
+/// trailing arrays. Mirrors the get*Storage accessors in IR.h.
+static size_t computeAllocSize(unsigned NumOperands, unsigned NumResults,
+                               unsigned NumSuccessors, unsigned NumRegions) {
+  size_t Size = sizeof(Operation);
+  Size += sizeof(OpOperand) * NumOperands;
+  Size += sizeof(OpResult) * NumResults;
+  Size += sizeof(Block *) * NumSuccessors;
+  Size += sizeof(unsigned) * NumSuccessors;
+  if (NumRegions) {
+    Size = (Size + alignof(Region) - 1) & ~(alignof(Region) - 1);
+    Size += sizeof(Region) * NumRegions;
+  }
+  return Size;
+}
+
 Operation *Operation::create(const OperationState &State) {
   assert(State.Def && "operation state has no definition");
-  auto *Op = new Operation(State.Ctx, State.Def);
-
-  // Operands.
-  Op->NumOperands = static_cast<unsigned>(State.Operands.size());
-  if (Op->NumOperands) {
-    Op->OperandStorage = std::make_unique<OpOperand[]>(Op->NumOperands);
-    for (unsigned I = 0; I != Op->NumOperands; ++I)
-      Op->OperandStorage[I].initialize(Op, I, State.Operands[I]);
-  }
-
-  // Results (placement-new into raw storage: OpResult has no default ctor).
-  Op->NumResults = static_cast<unsigned>(State.ResultTypes.size());
-  if (Op->NumResults) {
-    Op->ResultBytes =
-        std::make_unique<char[]>(sizeof(OpResult) * Op->NumResults);
-    Op->ResultStorage = reinterpret_cast<OpResult *>(Op->ResultBytes.get());
-    for (unsigned I = 0; I != Op->NumResults; ++I)
-      new (&Op->ResultStorage[I]) OpResult(State.ResultTypes[I], Op, I);
-  }
-
-  Op->Attrs = State.Attrs;
-  for (unsigned I = 0; I != State.NumRegions; ++I)
-    Op->Regions.push_back(std::make_unique<Region>(Op));
-
-  Op->Successors = State.Successors;
-  Op->SuccessorOperandCounts = State.SuccessorOperandCounts;
   assert(State.Successors.size() == State.SuccessorOperandCounts.size() &&
          "successor/operand-count mismatch");
+
+  const auto NumOperands = static_cast<unsigned>(State.Operands.size());
+  const auto NumResults = static_cast<unsigned>(State.ResultTypes.size());
+  const auto NumSuccessors = static_cast<unsigned>(State.Successors.size());
+  const unsigned NumRegions = State.NumRegions;
+
+  // The one allocation: header + operands + results + successors (+ counts)
+  // + regions. (Attributes, when present, live in a growable side vector
+  // because setAttr may extend them after creation.)
+  void *Mem = ::operator new(
+      computeAllocSize(NumOperands, NumResults, NumSuccessors, NumRegions));
+  auto *Op = new (Mem) Operation(State.Ctx, State.Def, NumOperands,
+                                 NumResults, NumSuccessors, NumRegions);
+
+  Op->Operands = Op->getInlineOperandStorage();
+  for (unsigned I = 0; I != NumOperands; ++I) {
+    new (Op->Operands + I) OpOperand();
+    Op->Operands[I].initialize(Op, I, State.Operands[I]);
+  }
+
+  OpResult *Results = Op->getResultStorage();
+  for (unsigned I = 0; I != NumResults; ++I)
+    new (Results + I) OpResult(State.ResultTypes[I], Op, I);
+
+  Block **Succs = Op->getSuccessorStorage();
+  unsigned *SuccCounts = Op->getSuccessorCountStorage();
+  for (unsigned I = 0; I != NumSuccessors; ++I) {
+    Succs[I] = State.Successors[I];
+    SuccCounts[I] = State.SuccessorOperandCounts[I];
+  }
+
+  Region *Regions = Op->getRegionStorage();
+  for (unsigned I = 0; I != NumRegions; ++I)
+    new (Regions + I) Region(Op);
+
+  Op->Attrs = State.Attrs;
   return Op;
 }
 
@@ -119,14 +158,28 @@ void Operation::destroy() {
   assert(!ParentBlock && "destroying op still linked in a block");
   // Drop operand links first so nested-region values can be destroyed.
   for (unsigned I = 0; I != NumOperands; ++I)
-    OperandStorage[I].removeFromUseList();
-  Regions.clear();
-  if (ResultStorage) {
-    for (unsigned I = 0; I != NumResults; ++I)
-      ResultStorage[I].~OpResult();
-    ResultStorage = nullptr;
-  }
-  delete this;
+    Operands[I].removeFromUseList();
+
+  // Regions next (reverse order), before the results they may not
+  // reference but whose storage we are about to reuse.
+  Region *Regions = getRegionStorage();
+  for (unsigned I = NumRegionsCount; I-- > 0;)
+    Regions[I].~Region();
+
+  OpResult *Results = getResultStorage();
+  for (unsigned I = NumResults; I-- > 0;)
+    Results[I].~OpResult();
+
+  // Operand slots: a heap array if the list outgrew the inline capacity,
+  // plus the (always constructed) inline slots.
+  if (!operandsAreInline())
+    delete[] Operands;
+  OpOperand *Inline = getInlineOperandStorage();
+  for (unsigned I = OperandCapacityInline; I-- > 0;)
+    Inline[I].~OpOperand();
+
+  this->~Operation();
+  ::operator delete(static_cast<void *>(this));
 }
 
 void Operation::erase() {
@@ -150,100 +203,80 @@ void Operation::removeFromParent() {
   ParentBlock = nullptr;
 }
 
-std::vector<Value *> Operation::getOperands() const {
-  std::vector<Value *> Result;
-  Result.reserve(NumOperands);
-  for (unsigned I = 0; I != NumOperands; ++I)
-    Result.push_back(OperandStorage[I].get());
-  return Result;
-}
-
 void Operation::setOperands(std::span<Value *const> Vals) {
-  assert((Successors.empty() || Vals.size() == NumOperands) &&
+  assert((NumSuccessorsCount == 0 || Vals.size() == NumOperands) &&
          "cannot resize operand list of an op with successors");
   if (Vals.size() == NumOperands) {
     for (unsigned I = 0; I != NumOperands; ++I)
-      OperandStorage[I].set(Vals[I]);
+      Operands[I].set(Vals[I]);
     return;
   }
-  // Rebuild the storage array.
   for (unsigned I = 0; I != NumOperands; ++I)
-    OperandStorage[I].removeFromUseList();
-  NumOperands = static_cast<unsigned>(Vals.size());
-  OperandStorage =
-      NumOperands ? std::make_unique<OpOperand[]>(NumOperands) : nullptr;
+    Operands[I].removeFromUseList();
+  const auto NewSize = static_cast<unsigned>(Vals.size());
+  if (NewSize > OperandCapacity) {
+    // Outgrew the current storage: move to (or reallocate) a heap array.
+    // The inline slots stay constructed-but-unlinked until destroy().
+    if (!operandsAreInline())
+      delete[] Operands;
+    Operands = new OpOperand[NewSize];
+    OperandCapacity = NewSize;
+  }
+  NumOperands = NewSize;
   for (unsigned I = 0; I != NumOperands; ++I)
-    OperandStorage[I].initialize(this, I, Vals[I]);
-}
-
-std::vector<Value *> Operation::getResults() {
-  std::vector<Value *> Result;
-  Result.reserve(NumResults);
-  for (unsigned I = 0; I != NumResults; ++I)
-    Result.push_back(&ResultStorage[I]);
-  return Result;
+    Operands[I].initialize(this, I, Vals[I]);
 }
 
 bool Operation::use_empty() const {
+  const OpResult *Results = getResultStorage();
   for (unsigned I = 0; I != NumResults; ++I)
-    if (!ResultStorage[I].use_empty())
+    if (!Results[I].use_empty())
       return false;
   return true;
 }
 
 void Operation::replaceAllUsesWith(std::span<Value *const> New) {
   assert(New.size() == NumResults && "replacement count mismatch");
+  OpResult *Results = getResultStorage();
   for (unsigned I = 0; I != NumResults; ++I)
-    ResultStorage[I].replaceAllUsesWith(New[I]);
+    Results[I].replaceAllUsesWith(New[I]);
 }
 
-Attribute *Operation::getAttr(std::string_view Name) const {
-  for (const auto &[AttrName, AttrVal] : Attrs)
-    if (AttrName == Name)
-      return AttrVal;
-  return nullptr;
-}
-
-void Operation::setAttr(std::string_view Name, Attribute *A) {
+void Operation::setAttr(Identifier Name, Attribute *A) {
   for (auto &[AttrName, AttrVal] : Attrs) {
     if (AttrName == Name) {
       AttrVal = A;
       return;
     }
   }
-  Attrs.emplace_back(std::string(Name), A);
+  Attrs.emplace_back(Name, A);
 }
 
-void Operation::removeAttr(std::string_view Name) {
-  Attrs.erase(std::remove_if(Attrs.begin(), Attrs.end(),
-                             [&](const auto &P) { return P.first == Name; }),
-              Attrs.end());
+void Operation::removeAttr(Identifier Name) {
+  unsigned Out = 0;
+  for (unsigned I = 0; I != Attrs.size(); ++I)
+    if (Attrs[I].first != Name)
+      Attrs[Out++] = Attrs[I];
+  Attrs.truncate(Out);
 }
 
 unsigned Operation::getNumNonSuccessorOperands() const {
+  const unsigned *Counts = getSuccessorCountStorage();
   unsigned SuccOperands = 0;
-  for (unsigned C : SuccessorOperandCounts)
-    SuccOperands += C;
+  for (unsigned I = 0; I != NumSuccessorsCount; ++I)
+    SuccOperands += Counts[I];
   assert(SuccOperands <= NumOperands && "successor operand overflow");
   return NumOperands - SuccOperands;
 }
 
 std::pair<unsigned, unsigned>
 Operation::getSuccessorOperandRange(unsigned I) const {
-  assert(I < Successors.size() && "successor index out of range");
+  assert(I < NumSuccessorsCount && "successor index out of range");
+  const unsigned *Counts = getSuccessorCountStorage();
   unsigned Begin = getNumNonSuccessorOperands();
   for (unsigned J = 0; J != I; ++J)
-    Begin += SuccessorOperandCounts[J];
-  return {Begin, Begin + SuccessorOperandCounts[I]};
-}
-
-std::vector<Value *> Operation::getSuccessorOperands(unsigned I) const {
-  auto [Begin, End] = getSuccessorOperandRange(I);
-  std::vector<Value *> Result;
-  Result.reserve(End - Begin);
-  for (unsigned J = Begin; J != End; ++J)
-    Result.push_back(getOperand(J));
-  return Result;
+    Begin += Counts[J];
+  return {Begin, Begin + Counts[I]};
 }
 
 Region *Operation::getParentRegion() const {
@@ -262,6 +295,14 @@ bool Operation::isProperAncestor(Operation *Ancestor) const {
   return false;
 }
 
+bool Operation::isBeforeInBlock(const Operation *Other) const {
+  assert(ParentBlock && ParentBlock == Other->ParentBlock &&
+         "ops must share a block for ordering queries");
+  if (!ParentBlock->OpOrderValid)
+    ParentBlock->recomputeOpOrder();
+  return OrderIndex < Other->OrderIndex;
+}
+
 void Operation::moveBefore(Operation *Other) {
   removeFromParent();
   Other->getBlock()->insertBefore(Other, this);
@@ -275,31 +316,29 @@ void Operation::moveAfter(Operation *Other) {
     Other->getBlock()->push_back(this);
 }
 
-void Operation::walk(const std::function<void(Operation *)> &Fn) {
-  for (auto &R : Regions)
-    R->walk(Fn);
-  Fn(this);
-}
-
 Operation *Operation::clone(IRMapping &Mapping) const {
-  OperationState State(*Ctx, Def->Name);
+  OperationState State(*Ctx, Def); // no name re-lookup on the clone path
   State.Attrs = Attrs;
+  auto *Self = const_cast<Operation *>(this);
+  State.ResultTypes.reserve(NumResults);
   for (unsigned I = 0; I != NumResults; ++I)
-    State.ResultTypes.push_back(
-        const_cast<Operation *>(this)->getResult(I)->getType());
+    State.ResultTypes.push_back(Self->getResult(I)->getType());
+  State.Operands.reserve(NumOperands);
   for (unsigned I = 0; I != NumOperands; ++I)
-    State.Operands.push_back(Mapping.lookupOrDefault(OperandStorage[I].get()));
-  State.NumRegions = getNumRegions();
-  for (Block *Succ : Successors)
+    State.Operands.push_back(Mapping.lookupOrDefault(Operands[I].get()));
+  State.NumRegions = NumRegionsCount;
+  State.Successors.reserve(NumSuccessorsCount);
+  for (Block *Succ : getSuccessors())
     State.Successors.push_back(Mapping.lookupOrDefault(Succ));
-  State.SuccessorOperandCounts = SuccessorOperandCounts;
+  State.SuccessorOperandCounts.assign(
+      getSuccessorCountStorage(),
+      getSuccessorCountStorage() + NumSuccessorsCount);
 
   Operation *NewOp = Operation::create(State);
   for (unsigned I = 0; I != NumResults; ++I)
-    Mapping.map(const_cast<OpResult *>(&ResultStorage[I]),
-                NewOp->getResult(I));
-  for (unsigned I = 0; I != getNumRegions(); ++I)
-    Regions[I]->cloneInto(NewOp->getRegion(I), Mapping);
+    Mapping.map(Self->getResult(I), NewOp->getResult(I));
+  for (unsigned I = 0; I != NumRegionsCount; ++I)
+    Self->getRegion(I).cloneInto(NewOp->getRegion(I), Mapping);
   return NewOp;
 }
 
@@ -307,15 +346,24 @@ Operation *Operation::clone(IRMapping &Mapping) const {
 // Block
 //===----------------------------------------------------------------------===//
 
+/// Unlinks all operand use-list entries in \p Root's subtree and marks the
+/// nested regions dropped so their own destructors skip the walk.
+static void unlinkSubtreeReferences(Operation *Root) {
+  Root->walk([](Operation *Nested) {
+    for (unsigned I = 0; I != Nested->getNumOperands(); ++I)
+      Nested->getOpOperand(I).set(nullptr);
+    for (unsigned I = 0; I != Nested->getNumRegions(); ++I)
+      Nested->getRegion(I).markReferencesDropped();
+  });
+}
+
 Block::~Block() {
   // Ops may reference each other cyclically (across blocks and from nested
   // regions), so drop every operand link — including in nested ops — before
-  // destroying anything.
-  for (Operation *Op = FirstOp; Op; Op = Op->getNextNode()) {
-    Op->walk([](Operation *Nested) {
-      for (unsigned I = 0; I != Nested->getNumOperands(); ++I)
-        Nested->getOpOperand(I).removeFromUseList();
-    });
+  // destroying anything. Skipped when an enclosing region drop already did.
+  if (!(ParentRegion && ParentRegion->referencesDropped())) {
+    for (Operation *Op = FirstOp; Op; Op = Op->getNextNode())
+      unlinkSubtreeReferences(Op);
   }
   Operation *Op = FirstOp;
   while (Op) {
@@ -331,14 +379,6 @@ BlockArgument *Block::addArgument(Type *Ty) {
   auto *Arg = new BlockArgument(Ty, this, getNumArguments());
   Arguments.emplace_back(Arg);
   return Arg;
-}
-
-std::vector<Value *> Block::getArguments() const {
-  std::vector<Value *> Result;
-  Result.reserve(Arguments.size());
-  for (const auto &A : Arguments)
-    Result.push_back(A.get());
-  return Result;
 }
 
 void Block::eraseArgument(unsigned I) {
@@ -359,6 +399,9 @@ void Block::push_back(Operation *Op) {
   else
     FirstOp = Op;
   LastOp = Op;
+  OpOrderValid = false;
+  if (ParentRegion)
+    ParentRegion->resetReferencesDropped();
 }
 
 void Block::push_front(Operation *Op) {
@@ -371,6 +414,9 @@ void Block::push_front(Operation *Op) {
   else
     LastOp = Op;
   FirstOp = Op;
+  OpOrderValid = false;
+  if (ParentRegion)
+    ParentRegion->resetReferencesDropped();
 }
 
 void Block::insertBefore(Operation *Before, Operation *Op) {
@@ -384,6 +430,16 @@ void Block::insertBefore(Operation *Before, Operation *Op) {
   else
     FirstOp = Op;
   Before->PrevInBlock = Op;
+  OpOrderValid = false;
+  if (ParentRegion)
+    ParentRegion->resetReferencesDropped();
+}
+
+void Block::recomputeOpOrder() const {
+  unsigned Index = 0;
+  for (Operation *Op = FirstOp; Op; Op = Op->getNextNode())
+    Op->OrderIndex = Index++;
+  OpOrderValid = true;
 }
 
 unsigned Block::size() const {
@@ -410,21 +466,17 @@ std::vector<Block *> Block::getPredecessors() const {
     if (B->empty())
       continue;
     Operation *Term = B->back();
-    for (unsigned I = 0; I != Term->getNumSuccessors(); ++I)
-      if (Term->getSuccessor(I) == this)
+    for (Block *Succ : Term->getSuccessors())
+      if (Succ == this)
         Preds.push_back(B.get());
   }
   return Preds;
 }
 
-std::vector<Block *> Block::getSuccessors() const {
-  std::vector<Block *> Succs;
+std::span<Block *const> Block::getSuccessors() const {
   if (empty())
-    return Succs;
-  Operation *Term = LastOp;
-  for (unsigned I = 0; I != Term->getNumSuccessors(); ++I)
-    Succs.push_back(Term->getSuccessor(I));
-  return Succs;
+    return {};
+  return LastOp->getSuccessors();
 }
 
 void Block::spliceInto(Block *Dest) {
@@ -459,21 +511,28 @@ Block *Block::splitBefore(Operation *SplitPoint) {
 
 Region::~Region() { dropAllReferences(); }
 
-void Region::dropAllReferences() {
-  for (auto &B : Blocks) {
-    for (Operation *Op : *B) {
-      Op->walk([](Operation *Nested) {
-        for (unsigned I = 0; I != Nested->getNumOperands(); ++I)
-          Nested->getOpOperand(I).removeFromUseList();
-      });
-    }
+void Region::resetReferencesDropped() {
+  for (Region *R = this; R && R->RefsDropped;) {
+    R->RefsDropped = false;
+    Operation *Parent = R->getParentOp();
+    R = Parent ? Parent->getParentRegion() : nullptr;
   }
+}
+
+void Region::dropAllReferences() {
+  if (RefsDropped)
+    return;
+  RefsDropped = true;
+  for (auto &B : Blocks)
+    for (Operation *Op : *B)
+      unlinkSubtreeReferences(Op);
 }
 
 Block *Region::emplaceBlock() {
   auto B = std::make_unique<Block>();
   B->ParentRegion = this;
   Blocks.push_back(std::move(B));
+  resetReferencesDropped();
   return Blocks.back().get();
 }
 
@@ -481,10 +540,12 @@ void Region::push_back(std::unique_ptr<Block> B) {
   assert(!B->ParentRegion && "block already owned by a region");
   B->ParentRegion = this;
   Blocks.push_back(std::move(B));
+  resetReferencesDropped();
 }
 
 void Region::insertAfter(Block *After, std::unique_ptr<Block> B) {
   B->ParentRegion = this;
+  resetReferencesDropped();
   for (auto It = Blocks.begin(); It != Blocks.end(); ++It) {
     if (It->get() == After) {
       Blocks.insert(std::next(It), std::move(B));
@@ -518,6 +579,7 @@ void Region::eraseBlock(Block *B) {
 }
 
 void Region::takeBlocksInto(Region &Dest) {
+  Dest.resetReferencesDropped();
   for (auto &B : Blocks) {
     B->ParentRegion = &Dest;
     Dest.Blocks.push_back(std::move(B));
@@ -540,17 +602,5 @@ void Region::cloneInto(Region &Dest, IRMapping &Mapping) const {
     Block *NewB = Mapping.lookupOrDefault(B.get());
     for (Operation *Op : *B)
       NewB->push_back(Op->clone(Mapping));
-  }
-}
-
-void Region::walk(const std::function<void(Operation *)> &Fn) {
-  for (auto &B : Blocks) {
-    Operation *Op = B->front();
-    while (Op) {
-      // Grab next first: Fn may erase Op.
-      Operation *Next = Op->getNextNode();
-      Op->walk(Fn);
-      Op = Next;
-    }
   }
 }

@@ -12,15 +12,27 @@
 /// operations may carry nested single-entry regions — the construct the
 /// paper exploits to model functional sub-expressions.
 ///
+/// Memory layout: an Operation and all its fixed-arity payload live in ONE
+/// heap allocation (MLIR's TrailingObjects idiom). Operation::create sizes
+/// a single block for the header plus trailing OpOperand[], OpResult[],
+/// Block*[] successor, successor operand-count, and Region[] arrays.
+/// Traversal accessors (getOperands / getResults / getSuccessorOperands /
+/// Block::getArguments) return lightweight non-owning ranges, so hot loops
+/// (the greedy rewrite driver, CSE, clone, printing) never materialize
+/// temporary std::vectors.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LZ_IR_IR_H
 #define LZ_IR_IR_H
 
 #include "ir/Context.h"
+#include "support/SmallVector.h"
 
+#include <array>
 #include <cassert>
-#include <functional>
+#include <cstddef>
+#include <iterator>
 #include <span>
 #include <unordered_map>
 
@@ -157,23 +169,172 @@ private:
 };
 
 //===----------------------------------------------------------------------===//
+// Lightweight value ranges
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+/// CRTP base for the non-owning random-access views over an operation's or
+/// block's trailing arrays. \p Derived supplies one static hook,
+/// `ElemT deref(StorageT *)`, mapping a storage slot to the element the
+/// range yields. Views are invalidated by resizing/destroying the
+/// underlying list; call vec() to take a snapshot before mutating.
+template <typename Derived, typename StorageT, typename ElemT>
+class IndexedRange {
+public:
+  IndexedRange() = default;
+  IndexedRange(StorageT *Base, unsigned Count) : Base(Base), Count(Count) {}
+
+  class iterator {
+  public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = ElemT;
+    using difference_type = std::ptrdiff_t;
+    using pointer = ElemT const *;
+    using reference = ElemT;
+
+    iterator() = default;
+    explicit iterator(StorageT *Cur) : Cur(Cur) {}
+    ElemT operator*() const { return Derived::deref(Cur); }
+    ElemT operator[](difference_type N) const {
+      return Derived::deref(Cur + N);
+    }
+    iterator &operator++() {
+      ++Cur;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator Tmp = *this;
+      ++Cur;
+      return Tmp;
+    }
+    iterator &operator--() {
+      --Cur;
+      return *this;
+    }
+    iterator operator--(int) {
+      iterator Tmp = *this;
+      --Cur;
+      return Tmp;
+    }
+    iterator &operator+=(difference_type N) {
+      Cur += N;
+      return *this;
+    }
+    iterator &operator-=(difference_type N) {
+      Cur -= N;
+      return *this;
+    }
+    iterator operator+(difference_type N) const { return iterator(Cur + N); }
+    friend iterator operator+(difference_type N, iterator I) { return I + N; }
+    iterator operator-(difference_type N) const { return iterator(Cur - N); }
+    difference_type operator-(iterator O) const { return Cur - O.Cur; }
+    bool operator==(const iterator &O) const { return Cur == O.Cur; }
+    bool operator!=(const iterator &O) const { return Cur != O.Cur; }
+    bool operator<(const iterator &O) const { return Cur < O.Cur; }
+    bool operator>(const iterator &O) const { return Cur > O.Cur; }
+    bool operator<=(const iterator &O) const { return Cur <= O.Cur; }
+    bool operator>=(const iterator &O) const { return Cur >= O.Cur; }
+
+  private:
+    StorageT *Cur = nullptr;
+  };
+
+  iterator begin() const { return iterator(Base); }
+  iterator end() const { return iterator(Base + Count); }
+  unsigned size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  ElemT operator[](unsigned I) const {
+    assert(I < Count && "range index out of range");
+    return Derived::deref(Base + I);
+  }
+  ElemT front() const { return (*this)[0]; }
+  ElemT back() const { return (*this)[Count - 1]; }
+
+  /// Materializes the range — use when the IR behind the view is about to
+  /// be mutated or erased.
+  std::vector<Value *> vec() const {
+    return std::vector<Value *>(begin(), end());
+  }
+
+private:
+  StorageT *Base = nullptr;
+  unsigned Count = 0;
+};
+
+} // namespace detail
+
+/// View over an operation's operand slots, yielding the operand Values.
+class OperandRange
+    : public detail::IndexedRange<OperandRange, const OpOperand, Value *> {
+public:
+  using IndexedRange::IndexedRange;
+  static Value *deref(const OpOperand *Slot) { return Slot->get(); }
+};
+
+/// View over an operation's results, yielding OpResult* (usable as Value*).
+class ResultRange
+    : public detail::IndexedRange<ResultRange, OpResult, OpResult *> {
+public:
+  using IndexedRange::IndexedRange;
+  static OpResult *deref(OpResult *Slot) { return Slot; }
+};
+
+/// View over a block's arguments, yielding BlockArgument*.
+class BlockArgumentRange
+    : public detail::IndexedRange<BlockArgumentRange,
+                                  const std::unique_ptr<BlockArgument>,
+                                  BlockArgument *> {
+public:
+  using IndexedRange::IndexedRange;
+  static BlockArgument *deref(const std::unique_ptr<BlockArgument> *Slot) {
+    return Slot->get();
+  }
+};
+
+/// Builds a fixed-size value list on the stack for builder APIs that take
+/// std::span<Value *const>, e.g. lp::buildReturn(B, values(Op->getResult(0))).
+template <typename... ValueTs>
+std::array<Value *, sizeof...(ValueTs)> values(ValueTs *...Vs) {
+  return {static_cast<Value *>(Vs)...};
+}
+
+//===----------------------------------------------------------------------===//
 // OperationState
 //===----------------------------------------------------------------------===//
 
-/// Aggregated description used to create an Operation.
+/// One attribute-list entry. A plain aggregate (pair-compatible member
+/// names) so AttrList elements stay trivially copyable — std::pair is not.
+struct NamedAttribute {
+  Identifier first;   ///< interned attribute name
+  Attribute *second;  ///< attribute value
+  bool operator==(const NamedAttribute &) const = default;
+};
+
+/// An operation's attribute list: usually 0–2 entries, inline-stored.
+using AttrList = SmallVector<NamedAttribute, 1>;
+
+/// Aggregated description used to create an Operation. The list fields use
+/// inline small-vector storage so building a typical op touches the heap
+/// exactly once (in Operation::create).
 struct OperationState {
   Context *Ctx = nullptr;
   const OpDef *Def = nullptr;
-  std::vector<Value *> Operands;
-  std::vector<Type *> ResultTypes;
-  std::vector<std::pair<std::string, Attribute *>> Attrs;
+  SmallVector<Value *, 8> Operands;
+  SmallVector<Type *, 2> ResultTypes;
+  AttrList Attrs;
   unsigned NumRegions = 0;
   /// Successor blocks (for CFG terminators) and, parallel to it, how many
   /// trailing entries of Operands are passed to each successor.
-  std::vector<Block *> Successors;
-  std::vector<unsigned> SuccessorOperandCounts;
+  SmallVector<Block *, 2> Successors;
+  SmallVector<unsigned, 2> SuccessorOperandCounts;
 
   OperationState(Context &C, std::string_view Name);
+  /// Creation from an already-resolved definition — skips the name lookup
+  /// (used by Operation::clone and other def-preserving paths).
+  OperationState(Context &C, const OpDef *TheDef) : Ctx(&C), Def(TheDef) {
+    assert(TheDef && "null op definition");
+  }
 
   void addOperands(std::span<Value *const> Vals) {
     Operands.insert(Operands.end(), Vals.begin(), Vals.end());
@@ -182,7 +343,10 @@ struct OperationState {
     ResultTypes.insert(ResultTypes.end(), Tys.begin(), Tys.end());
   }
   void addAttribute(std::string_view Name, Attribute *A) {
-    Attrs.emplace_back(std::string(Name), A);
+    Attrs.emplace_back(Ctx->getIdentifier(Name), A);
+  }
+  void addAttribute(Identifier Name, Attribute *A) {
+    Attrs.emplace_back(Name, A);
   }
   void addSuccessor(Block *B, std::span<Value *const> Args) {
     Successors.push_back(B);
@@ -218,9 +382,22 @@ private:
 
 /// A single SSA operation: registered kind, operands, results, attributes,
 /// nested regions, and (for terminators) successor blocks.
+///
+/// Created through Operation::create, which performs exactly ONE heap
+/// allocation holding the header and, immediately after it, the trailing
+/// arrays in this order:
+///
+///   [Operation][OpOperand x capacity][OpResult x results]
+///   [Block* x successors][unsigned x successors][Region x regions]
+///
+/// Results, successors and regions are fixed for the op's lifetime. The
+/// operand list may be resized via setOperands: shrinking and growing
+/// within the original capacity reuse the trailing storage; growing past it
+/// moves the operands to a separate heap array (the only case where an op
+/// owns a second allocation).
 class Operation {
 public:
-  /// Creates a detached operation from \p State.
+  /// Creates a detached operation from \p State with a single allocation.
   static Operation *create(const OperationState &State);
 
   /// Destroys this (detached) operation and its nested regions.
@@ -234,6 +411,8 @@ public:
 
   const OpDef &getDef() const { return *Def; }
   std::string_view getName() const { return Def->Name; }
+  /// Interned op name: hash-table-friendly kind key.
+  Identifier getNameId() const { return Def->NameId; }
   Context *getContext() const { return Ctx; }
   bool hasTrait(OpTraits T) const { return Def->hasTrait(T); }
   bool isTerminator() const { return hasTrait(OpTrait_IsTerminator); }
@@ -245,17 +424,20 @@ public:
   unsigned getNumOperands() const { return NumOperands; }
   Value *getOperand(unsigned I) const {
     assert(I < NumOperands && "operand index out of range");
-    return OperandStorage[I].get();
+    return Operands[I].get();
   }
   void setOperand(unsigned I, Value *V) {
     assert(I < NumOperands && "operand index out of range");
-    OperandStorage[I].set(V);
+    Operands[I].set(V);
   }
   OpOperand &getOpOperand(unsigned I) {
     assert(I < NumOperands && "operand index out of range");
-    return OperandStorage[I];
+    return Operands[I];
   }
-  std::vector<Value *> getOperands() const;
+  /// Allocation-free view of the operand values.
+  OperandRange getOperands() const {
+    return OperandRange(Operands, NumOperands);
+  }
   /// Replaces the whole operand list (relinks use chains). Successor
   /// operand segmentation is preserved only if the total count matches;
   /// otherwise the op must have no successors.
@@ -268,9 +450,12 @@ public:
   unsigned getNumResults() const { return NumResults; }
   OpResult *getResult(unsigned I) {
     assert(I < NumResults && "result index out of range");
-    return &ResultStorage[I];
+    return getResultStorage() + I;
   }
-  std::vector<Value *> getResults();
+  /// Allocation-free view of the result values.
+  ResultRange getResults() {
+    return ResultRange(getResultStorage(), NumResults);
+  }
   bool use_empty() const;
   /// Replaces all uses of all results with \p New (size must match).
   void replaceAllUsesWith(std::span<Value *const> New);
@@ -279,49 +464,74 @@ public:
   // Attributes
   //===------------------------------------------------------------------===//
 
-  Attribute *getAttr(std::string_view Name) const;
+  using AttrList = lz::AttrList;
+
+  /// Pointer-compare scan over the (typically 0–2 entry) attribute list.
+  Attribute *getAttr(Identifier Name) const {
+    for (const auto &[AttrName, AttrVal] : Attrs)
+      if (AttrName == Name)
+        return AttrVal;
+    return nullptr;
+  }
+  Attribute *getAttr(std::string_view Name) const {
+    // Fast path: most ops carry no attributes at all — skip the intern hash.
+    if (Attrs.empty())
+      return nullptr;
+    return getAttr(Ctx->getIdentifier(Name));
+  }
+  template <typename T> T *getAttrOfType(Identifier Name) const {
+    Attribute *A = getAttr(Name);
+    return A ? dyn_cast<T>(A) : nullptr;
+  }
   template <typename T> T *getAttrOfType(std::string_view Name) const {
     Attribute *A = getAttr(Name);
     return A ? dyn_cast<T>(A) : nullptr;
   }
-  void setAttr(std::string_view Name, Attribute *A);
-  void removeAttr(std::string_view Name);
-  const std::vector<std::pair<std::string, Attribute *>> &getAttrs() const {
-    return Attrs;
+  void setAttr(Identifier Name, Attribute *A);
+  void setAttr(std::string_view Name, Attribute *A) {
+    setAttr(Ctx->getIdentifier(Name), A);
   }
+  void removeAttr(Identifier Name);
+  void removeAttr(std::string_view Name) {
+    if (Attrs.empty())
+      return;
+    removeAttr(Ctx->getIdentifier(Name));
+  }
+  const AttrList &getAttrs() const { return Attrs; }
 
   //===------------------------------------------------------------------===//
   // Regions
   //===------------------------------------------------------------------===//
 
-  unsigned getNumRegions() const {
-    return static_cast<unsigned>(Regions.size());
-  }
-  Region &getRegion(unsigned I) {
-    assert(I < Regions.size() && "region index out of range");
-    return *Regions[I];
-  }
+  unsigned getNumRegions() const { return NumRegionsCount; }
+  Region &getRegion(unsigned I);
 
   //===------------------------------------------------------------------===//
   // Successors
   //===------------------------------------------------------------------===//
 
-  unsigned getNumSuccessors() const {
-    return static_cast<unsigned>(Successors.size());
-  }
+  unsigned getNumSuccessors() const { return NumSuccessorsCount; }
   Block *getSuccessor(unsigned I) const {
-    assert(I < Successors.size() && "successor index out of range");
-    return Successors[I];
+    assert(I < NumSuccessorsCount && "successor index out of range");
+    return getSuccessorStorage()[I];
   }
   void setSuccessor(unsigned I, Block *B) {
-    assert(I < Successors.size() && "successor index out of range");
-    Successors[I] = B;
+    assert(I < NumSuccessorsCount && "successor index out of range");
+    getSuccessorStorage()[I] = B;
+  }
+  /// Allocation-free view of the successor blocks.
+  std::span<Block *const> getSuccessors() const {
+    return {getSuccessorStorage(), NumSuccessorsCount};
   }
   /// Number of leading operands that are not successor arguments.
   unsigned getNumNonSuccessorOperands() const;
   /// Operand index range [begin, end) feeding successor \p I.
   std::pair<unsigned, unsigned> getSuccessorOperandRange(unsigned I) const;
-  std::vector<Value *> getSuccessorOperands(unsigned I) const;
+  /// Allocation-free view of the operands forwarded to successor \p I.
+  OperandRange getSuccessorOperands(unsigned I) const {
+    auto [Begin, End] = getSuccessorOperandRange(I);
+    return OperandRange(Operands + Begin, End - Begin);
+  }
 
   //===------------------------------------------------------------------===//
   // Position
@@ -337,6 +547,12 @@ public:
   Operation *getPrevNode() const { return PrevInBlock; }
   Operation *getNextNode() const { return NextInBlock; }
 
+  /// True if this op is strictly before \p Other in their (shared) block.
+  /// O(1) via per-block order indices, lazily renumbered after insertions
+  /// (erasures keep the remaining indices monotonic, so they don't
+  /// invalidate).
+  bool isBeforeInBlock(const Operation *Other) const;
+
   void moveBefore(Operation *Other);
   void moveAfter(Operation *Other);
 
@@ -345,7 +561,9 @@ public:
   //===------------------------------------------------------------------===//
 
   /// Visits this op and all nested ops, innermost first (post-order).
-  void walk(const std::function<void(Operation *)> &Fn);
+  /// Templated on the callable so hot traversals don't pay for a
+  /// std::function indirection (or its possible allocation).
+  template <typename FnT> void walk(FnT &&Fn);
 
   /// Clones this operation (and nested regions), remapping operands through
   /// \p Mapping; results of the clone are registered in the mapping.
@@ -358,28 +576,62 @@ public:
 private:
   friend class Block;
 
-  Operation(Context *Ctx, const OpDef *Def) : Ctx(Ctx), Def(Def) {}
+  Operation(Context *Ctx, const OpDef *Def, unsigned NumOperands,
+            unsigned NumResults, unsigned NumSuccessors, unsigned NumRegions)
+      : Ctx(Ctx), Def(Def), NumOperands(NumOperands),
+        OperandCapacity(NumOperands), OperandCapacityInline(NumOperands),
+        NumResults(NumResults), NumSuccessorsCount(NumSuccessors),
+        NumRegionsCount(NumRegions) {}
   ~Operation() = default;
+
+  /// True when the operand array still lives in the trailing storage.
+  bool operandsAreInline() const {
+    return Operands == getInlineOperandStorage();
+  }
+
+  // Trailing-array accessors. The layout (and thus these offsets) is
+  // mirrored in computeAllocSize in IR.cpp; keep them in sync.
+  OpOperand *getInlineOperandStorage() const {
+    return reinterpret_cast<OpOperand *>(
+        reinterpret_cast<char *>(const_cast<Operation *>(this)) +
+        sizeof(Operation));
+  }
+  OpResult *getResultStorage() const {
+    return reinterpret_cast<OpResult *>(getInlineOperandStorage() +
+                                        OperandCapacityInline);
+  }
+  Block **getSuccessorStorage() const {
+    return reinterpret_cast<Block **>(getResultStorage() + NumResults);
+  }
+  unsigned *getSuccessorCountStorage() const {
+    return reinterpret_cast<unsigned *>(getSuccessorStorage() +
+                                        NumSuccessorsCount);
+  }
+  Region *getRegionStorage() const; // defined after Region below
 
   Context *Ctx;
   const OpDef *Def;
 
-  std::unique_ptr<OpOperand[]> OperandStorage;
-  unsigned NumOperands = 0;
+  /// Active operand array: the trailing storage, or a heap array after the
+  /// operand list outgrew the creation-time capacity.
+  OpOperand *Operands = nullptr;
+  unsigned NumOperands;
+  /// Constructed slots in the active array (>= NumOperands).
+  unsigned OperandCapacity;
+  /// Slots in the trailing storage (fixed at creation).
+  unsigned OperandCapacityInline;
+  unsigned NumResults;
+  unsigned NumSuccessorsCount;
+  unsigned NumRegionsCount;
 
-  // OpResult is not default-constructible; store raw bytes.
-  std::unique_ptr<char[]> ResultBytes;
-  OpResult *ResultStorage = nullptr;
-  unsigned NumResults = 0;
-
-  std::vector<std::pair<std::string, Attribute *>> Attrs;
-  std::vector<std::unique_ptr<Region>> Regions;
-  std::vector<Block *> Successors;
-  std::vector<unsigned> SuccessorOperandCounts;
+  AttrList Attrs;
 
   Block *ParentBlock = nullptr;
   Operation *PrevInBlock = nullptr;
   Operation *NextInBlock = nullptr;
+  /// Position in ParentBlock; meaningful only while the block's order cache
+  /// is valid (see Block::OpOrderValid).
+  mutable unsigned OrderIndex = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -408,7 +660,11 @@ public:
     assert(I < Arguments.size() && "argument index out of range");
     return Arguments[I].get();
   }
-  std::vector<Value *> getArguments() const;
+  /// Allocation-free view of the block arguments.
+  BlockArgumentRange getArguments() const {
+    return BlockArgumentRange(Arguments.data(),
+                              static_cast<unsigned>(Arguments.size()));
+  }
   /// Erases argument \p I; it must be unused.
   void eraseArgument(unsigned I);
 
@@ -468,8 +724,9 @@ public:
   /// successor within the parent region).
   std::vector<Block *> getPredecessors() const;
 
-  /// Successor blocks of the terminator (empty if none).
-  std::vector<Block *> getSuccessors() const;
+  /// Successor blocks of the terminator (empty if none): a view into the
+  /// terminator's successor array.
+  std::span<Block *const> getSuccessors() const;
 
   /// Moves all operations of this block to the end of \p Dest.
   void spliceInto(Block *Dest);
@@ -482,10 +739,15 @@ private:
   friend class Operation;
   friend class Region;
 
+  /// Renumbers all ops and marks the order cache valid.
+  void recomputeOpOrder() const;
+
   Region *ParentRegion = nullptr;
   std::vector<std::unique_ptr<BlockArgument>> Arguments;
   Operation *FirstOp = nullptr;
   Operation *LastOp = nullptr;
+  /// Whether every op's OrderIndex reflects the current list order.
+  mutable bool OpOrderValid = false;
 };
 
 //===----------------------------------------------------------------------===//
@@ -500,12 +762,25 @@ public:
   explicit Region(Operation *Parent) : ParentOp(Parent) {}
   ~Region();
 
+  Region(const Region &) = delete;
+  Region &operator=(const Region &) = delete;
+
   Operation *getParentOp() const { return ParentOp; }
 
   /// Unlinks every operand of every (transitively) nested operation.
   /// Called before destruction so mutually-referencing blocks tear down
-  /// cleanly regardless of order.
+  /// cleanly regardless of order. Idempotent: the region and everything
+  /// nested in it remember the drop, so the destructor cascade unlinks each
+  /// subtree exactly once instead of once per nesting level.
   void dropAllReferences();
+
+  /// True once dropAllReferences has run. Cleared again whenever an op or
+  /// block is inserted into the region, so a drop followed by further
+  /// mutation still tears down correctly.
+  bool referencesDropped() const { return RefsDropped; }
+  /// Marks this region dropped without walking it — used when an enclosing
+  /// drop already unlinked everything inside.
+  void markReferencesDropped() { RefsDropped = true; }
 
   bool empty() const { return Blocks.empty(); }
   size_t getNumBlocks() const { return Blocks.size(); }
@@ -537,13 +812,60 @@ public:
   /// Clones all blocks of this region into \p Dest using \p Mapping.
   void cloneInto(Region &Dest, IRMapping &Mapping) const;
 
-  /// Walks all ops in the region, innermost first.
-  void walk(const std::function<void(Operation *)> &Fn);
+  /// Walks all ops in the region, innermost first. Erase-safe for the op
+  /// being visited. Templated to keep the greedy driver's seeding and
+  /// erase-notification paths free of std::function overhead.
+  template <typename FnT> void walk(FnT &&Fn);
 
 private:
+  friend class Block;
+  /// Clears the drop latch on this region AND every dropped ancestor: an
+  /// enclosing drop marks the whole subtree, so an insertion anywhere
+  /// inside must re-arm the unlink walk all the way up. Stops at the first
+  /// un-dropped region (its ancestors are then un-dropped too — any path
+  /// that could leave one stale passes through an insertion that reset it).
+  void resetReferencesDropped();
+
   Operation *ParentOp;
   std::vector<std::unique_ptr<Block>> Blocks;
+  bool RefsDropped = false;
 };
+
+//===----------------------------------------------------------------------===//
+// Out-of-line definitions needing complete Block/Region types
+//===----------------------------------------------------------------------===//
+
+inline Region *Operation::getRegionStorage() const {
+  // Regions trail the successor-count array; round up to Region alignment.
+  uintptr_t Raw =
+      reinterpret_cast<uintptr_t>(getSuccessorCountStorage() +
+                                  NumSuccessorsCount);
+  uintptr_t Aligned = (Raw + alignof(Region) - 1) & ~uintptr_t(alignof(Region) - 1);
+  return reinterpret_cast<Region *>(Aligned);
+}
+
+inline Region &Operation::getRegion(unsigned I) {
+  assert(I < NumRegionsCount && "region index out of range");
+  return getRegionStorage()[I];
+}
+
+template <typename FnT> void Operation::walk(FnT &&Fn) {
+  for (unsigned I = 0; I != NumRegionsCount; ++I)
+    getRegion(I).walk(Fn);
+  Fn(this);
+}
+
+template <typename FnT> void Region::walk(FnT &&Fn) {
+  for (auto &B : Blocks) {
+    Operation *Op = B->front();
+    while (Op) {
+      // Grab next first: Fn may erase Op.
+      Operation *Next = Op->getNextNode();
+      Op->walk(Fn);
+      Op = Next;
+    }
+  }
+}
 
 } // namespace lz
 

@@ -1,0 +1,72 @@
+//===- Identifier.h - context-interned strings ------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier: a string interned in a Context's string pool, used for
+/// operation names and attribute keys. Because every distinct spelling is
+/// stored exactly once, equality is pointer equality and hashing is pointer
+/// hashing — no per-query string traversal on the hot paths (attribute
+/// lookup, op-name dispatch in the greedy driver). The MLIR analogue is
+/// mlir::StringAttr in its Identifier role.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_IR_IDENTIFIER_H
+#define LZ_IR_IDENTIFIER_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace lz {
+
+class Context;
+
+/// A pooled string: one word wide, trivially copyable, compared by pointer.
+/// Obtain via Context::getIdentifier; a default-constructed Identifier is
+/// the null sentinel (empty, equal only to itself).
+class Identifier {
+public:
+  Identifier() = default;
+
+  std::string_view str() const {
+    return Entry ? std::string_view(*Entry) : std::string_view();
+  }
+  operator std::string_view() const { return str(); }
+
+  bool empty() const { return !Entry || Entry->empty(); }
+  size_t size() const { return Entry ? Entry->size() : 0; }
+
+  /// Stable opaque key for hashing (the pool node address).
+  const void *getAsOpaquePointer() const { return Entry; }
+
+  bool operator==(Identifier Other) const { return Entry == Other.Entry; }
+  bool operator!=(Identifier Other) const { return Entry != Other.Entry; }
+  /// Convenience comparison against a spelling (linear; not for hot paths).
+  bool operator==(std::string_view S) const { return str() == S; }
+
+  explicit operator bool() const { return Entry != nullptr; }
+
+private:
+  friend class Context;
+  explicit Identifier(const std::string *Entry) : Entry(Entry) {}
+
+  /// Points into the owning Context's intern pool; the pool is node-based,
+  /// so the address is stable for the Context's lifetime.
+  const std::string *Entry = nullptr;
+};
+
+} // namespace lz
+
+template <> struct std::hash<lz::Identifier> {
+  size_t operator()(lz::Identifier Id) const {
+    return std::hash<const void *>{}(Id.getAsOpaquePointer());
+  }
+};
+
+#endif // LZ_IR_IDENTIFIER_H

@@ -616,7 +616,7 @@ private:
     }
 
     // Attribute dictionary.
-    std::vector<std::pair<std::string, Attribute *>> Attrs;
+    AttrList Attrs;
     if (consumeIf(TokKind::LBrace)) {
       if (!consumeIf(TokKind::RBrace)) {
         while (true) {
@@ -624,14 +624,14 @@ private:
             emitError("expected attribute name");
             return nullptr;
           }
-          std::string Name = Tok.Text;
+          Identifier Name = Ctx.getIdentifier(Tok.Text);
           consume();
           if (!expect(TokKind::Equal, "'='"))
             return nullptr;
           Attribute *A = parseAttribute();
           if (!A)
             return nullptr;
-          Attrs.emplace_back(std::move(Name), A);
+          Attrs.emplace_back(Name, A);
           if (consumeIf(TokKind::RBrace))
             break;
           if (!expect(TokKind::Comma, "','"))

@@ -12,6 +12,7 @@
 #include "support/OStream.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 using namespace lz;
@@ -33,7 +34,7 @@ DominanceInfo::DominanceInfo(Region &R) {
   Visited.insert(Entry);
   while (!Stack.empty()) {
     auto &[B, NextSucc] = Stack.back();
-    std::vector<Block *> Succs = B->getSuccessors();
+    std::span<Block *const> Succs = B->getSuccessors();
     if (NextSucc < Succs.size()) {
       Block *S = Succs[NextSucc++];
       if (Visited.insert(S).second)
@@ -46,8 +47,22 @@ DominanceInfo::DominanceInfo(Region &R) {
 
   // Reverse postorder numbering.
   unsigned N = static_cast<unsigned>(PostOrder.size());
-  for (unsigned I = 0; I != N; ++I)
-    RPONumber[PostOrder[N - 1 - I]] = I;
+  RPO.resize(N);
+  RPONumber.reserve(N);
+  for (unsigned I = 0; I != N; ++I) {
+    RPO[I] = PostOrder[N - 1 - I];
+    RPONumber[RPO[I]] = I;
+  }
+
+  // Reachable predecessor lists, computed once from the terminators (the
+  // fixpoint below may iterate several times; Block::getPredecessors would
+  // rescan the region and allocate on every visit).
+  std::unordered_map<Block *, std::vector<Block *>> Preds;
+  Preds.reserve(N);
+  for (Block *B : RPO)
+    for (Block *Succ : B->getSuccessors())
+      if (RPONumber.count(Succ))
+        Preds[Succ].push_back(B);
 
   // Iterative idom computation (Cooper, Harvey, Kennedy).
   IDom[Entry] = Entry;
@@ -70,9 +85,7 @@ DominanceInfo::DominanceInfo(Region &R) {
       if (B == Entry)
         continue;
       Block *NewIDom = nullptr;
-      for (Block *Pred : B->getPredecessors()) {
-        if (!RPONumber.count(Pred))
-          continue; // unreachable predecessor
+      for (Block *Pred : Preds[B]) {
         if (!IDom.count(Pred))
           continue;
         NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
@@ -85,6 +98,13 @@ DominanceInfo::DominanceInfo(Region &R) {
         Changed = true;
       }
     }
+  }
+
+  // Dominator-tree child lists, for tree walkers (CSE scopes).
+  for (Block *B : RPO) {
+    Block *Idom = getIdom(B);
+    if (Idom && Idom != B)
+      DomChildren[Idom].push_back(B);
   }
 }
 
@@ -110,6 +130,11 @@ bool DominanceInfo::dominates(Block *A, Block *B) const {
 
 namespace {
 
+/// Verifies structure and dominance in one pass over the IR. A stack of
+/// region scopes (dominator info, built once per region) lets every use be
+/// checked exactly once, by climbing from the use to the op hoisted into
+/// the defining region — instead of re-scanning all nested operations once
+/// per ancestor region, which was quadratic in nesting depth.
 class Verifier {
 public:
   explicit Verifier(std::vector<std::string> &Errors) : Errors(Errors) {}
@@ -130,7 +155,7 @@ public:
     // Successor argument typing.
     for (unsigned I = 0; I != Op->getNumSuccessors(); ++I) {
       Block *Succ = Op->getSuccessor(I);
-      std::vector<Value *> Args = Op->getSuccessorOperands(I);
+      OperandRange Args = Op->getSuccessorOperands(I);
       if (Succ->getNumArguments() != Args.size()) {
         error(Op, "successor argument count mismatch");
         continue;
@@ -144,6 +169,11 @@ public:
     if (Op->getNumSuccessors() && !Op->isTerminator())
       error(Op, "only terminators may have successors");
 
+    // Use/def dominance for each operand (skipped for detached/top-level
+    // ops, which have no enclosing scope).
+    if (!Scopes.empty())
+      checkOperandDominance(Op);
+
     // Regions.
     for (unsigned I = 0; I != Op->getNumRegions(); ++I)
       verifyRegion(Op->getRegion(I), Op);
@@ -154,6 +184,7 @@ public:
   }
 
   void verifyRegion(Region &R, Operation *ParentOp) {
+    pushScope(R);
     bool RequiresTerminators = !ParentOp->hasTrait(OpTrait_SymbolTable);
     for (const auto &B : R) {
       if (RequiresTerminators) {
@@ -170,95 +201,81 @@ public:
         verifyOp(Op);
       }
     }
-    verifyDominance(R);
+    Scopes.pop_back();
   }
 
-  void verifyDominance(Region &R) {
-    if (R.empty())
-      return;
-    DominanceInfo DomInfo(R);
+private:
+  /// Per-region verification context, alive while ops of the region (and
+  /// anything nested in them) are being verified. Intra-block ordering
+  /// queries go through Operation::isBeforeInBlock (cached order indices),
+  /// so no per-scope position table is needed.
+  struct RegionScope {
+    Region *R = nullptr;
+    /// Dominator tree; absent for single-block regions (the common case —
+    /// every rgn.val body), where intra-block positions decide everything.
+    std::optional<DominanceInfo> Dom;
+  };
 
-    // Per-block op position index for intra-block ordering queries.
-    std::unordered_map<Operation *, unsigned> Position;
-    for (const auto &B : R) {
-      unsigned Pos = 0;
-      for (Operation *Op : *B)
-        Position[Op] = Pos++;
-    }
+  void pushScope(Region &R) {
+    RegionScope &S = Scopes.emplace_back();
+    S.R = &R;
+    if (R.getNumBlocks() > 1)
+      S.Dom.emplace(R);
+  }
 
-    for (const auto &B : R) {
-      if (!DomInfo.isReachable(B.get()))
+  /// Note: the returned pointer is only valid until the next pushScope
+  /// (the stack is a plain vector); callers consume it immediately.
+  RegionScope *findScope(Region *R) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It)
+      if (It->R == R)
+        return &*It;
+    return nullptr;
+  }
+
+  /// Checks every operand of \p Op against its definition: climbs from the
+  /// use to the ancestor op directly inside the defining region (reporting
+  /// IsolatedFromAbove violations along the way), then applies the
+  /// intra-block position or dominator-tree test of that region's scope.
+  void checkOperandDominance(Operation *Op) {
+    for (unsigned I = 0; I != Op->getNumOperands(); ++I) {
+      Value *V = Op->getOperand(I);
+      Block *DefBlock = V->getParentBlock();
+      Region *DefRegion = DefBlock ? DefBlock->getParent() : nullptr;
+      if (!DefRegion)
+        continue; // detached definition; nothing to anchor the check to.
+
+      Operation *EffectiveUser = Op;
+      bool CrossedIsolation = false;
+      while (EffectiveUser && EffectiveUser->getParentRegion() != DefRegion) {
+        Operation *Parent = EffectiveUser->getParentOp();
+        if (Parent && Parent->hasTrait(OpTrait_IsolatedFromAbove))
+          CrossedIsolation = true;
+        EffectiveUser = Parent;
+      }
+      if (!EffectiveUser)
+        continue; // defined outside the verified scope; checked there.
+      if (CrossedIsolation) {
+        error(Op, "use of above-defined value inside IsolatedFromAbove "
+                  "operation");
         continue;
-      for (Operation *Op : *B) {
-        for (unsigned I = 0; I != Op->getNumOperands(); ++I)
-          checkUse(Op, Op->getOperand(I), R, DomInfo, Position);
-        // Uses inside nested (non-isolated) regions of Op that reference
-        // values from R are checked when those nested ops are visited: the
-        // nested walk below resolves them against Op's position.
-        for (unsigned RI = 0; RI != Op->getNumRegions(); ++RI)
-          checkNestedUses(Op->getRegion(RI), Op, R, DomInfo, Position);
       }
-    }
-  }
 
-  /// Checks all uses inside nested region \p Nested (recursively) whose
-  /// referenced values live in ancestor region \p R; their effective use
-  /// point is \p HoistedUser.
-  void checkNestedUses(Region &Nested, Operation *HoistedUser, Region &R,
-                       DominanceInfo &DomInfo,
-                       std::unordered_map<Operation *, unsigned> &Position) {
-    bool Isolated = HoistedUser->hasTrait(OpTrait_IsolatedFromAbove);
-    for (const auto &B : Nested) {
-      for (Operation *Op : *B) {
-        for (unsigned I = 0; I != Op->getNumOperands(); ++I) {
-          Value *V = Op->getOperand(I);
-          if (!V)
-            continue;
-          Region *DefRegion = V->getParentBlock()
-                                  ? V->getParentBlock()->getParent()
-                                  : nullptr;
-          if (DefRegion != &R)
-            continue;
-          if (Isolated) {
-            error(Op, "use of above-defined value inside IsolatedFromAbove "
-                      "operation");
-            continue;
-          }
-          checkUseAt(HoistedUser, V, R, DomInfo, Position, Op);
+      RegionScope *S = findScope(DefRegion);
+      if (!S)
+        continue;
+      Block *UseBlock = EffectiveUser->getBlock();
+      if (S->Dom && !S->Dom->isReachable(UseBlock))
+        continue; // uses in unreachable code are not dominance-checked.
+      if (DefBlock == UseBlock) {
+        if (Operation *DefOp = V->getDefiningOp()) {
+          if (!DefOp->isBeforeInBlock(EffectiveUser))
+            error(Op, "use of value before its definition");
         }
-        for (unsigned RI = 0; RI != Op->getNumRegions(); ++RI)
-          checkNestedUses(Op->getRegion(RI), HoistedUser, R, DomInfo,
-                          Position);
+        continue;
       }
+      if (!S->Dom || !S->Dom->dominates(DefBlock, UseBlock))
+        error(Op, "definition does not dominate use");
     }
-  }
-
-  void checkUse(Operation *User, Value *V, Region &R, DominanceInfo &DomInfo,
-                std::unordered_map<Operation *, unsigned> &Position) {
-    Block *DefBlock = V->getParentBlock();
-    if (!DefBlock || DefBlock->getParent() != &R)
-      return; // defined in an enclosing scope; checked there.
-    checkUseAt(User, V, R, DomInfo, Position, User);
-  }
-
-  /// Checks that \p V (defined in region \p R) is available at
-  /// \p EffectiveUser (an op directly inside \p R); \p ReportOp is the op
-  /// blamed in diagnostics.
-  void checkUseAt(Operation *EffectiveUser, Value *V, Region & /*R*/,
-                  DominanceInfo &DomInfo,
-                  std::unordered_map<Operation *, unsigned> &Position,
-                  Operation *ReportOp) {
-    Block *DefBlock = V->getParentBlock();
-    Block *UseBlock = EffectiveUser->getBlock();
-    if (DefBlock == UseBlock) {
-      if (Operation *DefOp = V->getDefiningOp()) {
-        if (Position.at(DefOp) >= Position.at(EffectiveUser))
-          error(ReportOp, "use of value before its definition");
-      }
-      return;
-    }
-    if (!DomInfo.dominates(DefBlock, UseBlock))
-      error(ReportOp, "definition does not dominate use");
   }
 
   void error(Operation *Op, std::string_view Message) {
@@ -269,8 +286,8 @@ public:
     Errors.push_back(std::move(Msg));
   }
 
-private:
   std::vector<std::string> &Errors;
+  std::vector<RegionScope> Scopes;
 };
 
 } // namespace

@@ -47,17 +47,23 @@ public:
     return It == IDom.end() ? nullptr : It->second;
   }
 
-  /// Reachable blocks in reverse postorder (entry first).
-  std::vector<Block *> getBlocksInRPO() const {
-    std::vector<Block *> Result(RPONumber.size());
-    for (const auto &[B, N] : RPONumber)
-      Result[N] = B;
-    return Result;
+  /// Reachable blocks in reverse postorder (entry first). Computed once at
+  /// construction; no per-query materialization.
+  const std::vector<Block *> &getBlocksInRPO() const { return RPO; }
+
+  /// Dominator-tree children of \p B (computed once at construction, so
+  /// tree walkers like CSE don't rebuild the child map per visit).
+  const std::vector<Block *> &getChildren(Block *B) const {
+    static const std::vector<Block *> Empty;
+    auto It = DomChildren.find(B);
+    return It == DomChildren.end() ? Empty : It->second;
   }
 
 private:
+  std::vector<Block *> RPO;
   std::unordered_map<Block *, Block *> IDom;
   std::unordered_map<Block *, unsigned> RPONumber;
+  std::unordered_map<Block *, std::vector<Block *>> DomChildren;
 };
 
 /// Verifies \p Op and all nested operations. On failure, appends messages

@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <map>
+#include <unordered_map>
 #include <optional>
 
 using namespace lz;
@@ -20,7 +21,7 @@ namespace {
 // Use counting
 //===----------------------------------------------------------------------===//
 
-void countVarUses(const FnBody &B, std::map<VarId, unsigned> &Counts) {
+void countVarUses(const FnBody &B, std::unordered_map<VarId, unsigned> &Counts) {
   auto Use = [&](VarId V) { ++Counts[V]; };
   switch (B.K) {
   case FnBody::Kind::Let:
@@ -297,7 +298,7 @@ private:
 
       // Dead let elimination.
       if (Opts.DeadLet && isPureExpr(B->E)) {
-        std::map<VarId, unsigned> Counts;
+        std::unordered_map<VarId, unsigned> Counts;
         countVarUses(*B->Next, Counts);
         if (Counts[B->Var] == 0) {
           Changed = true;

@@ -147,7 +147,8 @@ private:
     auto It = Labels.find(Label);
     assert(It != Labels.end() && "lp.jump to an unlowered label");
     Builder.setInsertionPoint(Jump);
-    std::vector<Value *> Args = Jump->getOperands();
+    // Snapshot: the view would dangle across the erase below.
+    std::vector<Value *> Args = Jump->getOperands().vec();
     // "replacing the joinpoint by the region that is to be executed before
     //  the jump" — the jump itself becomes invoking the continuation.
     rgn::buildRun(Builder, It->second, Args);

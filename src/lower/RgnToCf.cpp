@@ -90,7 +90,7 @@ private:
       return NewBlock;
     }
 
-    std::vector<Value *> Args = NewBlock->getArguments();
+    std::vector<Value *> Args = NewBlock->getArguments().vec();
     if (Def->getName() == "arith.select") {
       // (2) Dispatch on the select condition.
       Block *TrueDest = materializeTarget(FnBody, Def->getOperand(1));
@@ -198,7 +198,8 @@ private:
       if (Term->getName() != "lp.return")
         continue;
       Builder.setInsertionPoint(Term);
-      std::vector<Value *> Operands = Term->getOperands();
+      // Snapshot: the view would dangle across the erase below.
+      std::vector<Value *> Operands = Term->getOperands().vec();
       func::buildReturn(Builder, Operands);
       Term->erase();
     }

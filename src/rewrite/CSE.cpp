@@ -36,39 +36,44 @@ public:
   }
 
 private:
-  /// One CSE scope: a region processed along its dominator tree. Nested
-  /// regions are processed in fresh scopes (conservative, like MLIR CSE).
+  using TableTy = std::unordered_map<uint64_t, std::vector<Operation *>>;
+
+  /// One CSE scope: a region processed along its dominator tree (computed
+  /// once per scope; DominanceInfo exposes the child lists directly, so
+  /// nothing is rebuilt inside the recursion). Nested regions are processed
+  /// in fresh scopes (conservative, like MLIR CSE) — implemented by
+  /// swapping in a pooled table rather than spinning up a new driver, so
+  /// bucket arrays are reused across sibling scopes. Single-block regions
+  /// (the common case: rgn.val bodies) skip dominance entirely.
   void processRegionScope(Region &R) {
     if (R.empty())
       return;
-    DominanceInfo Dom(R);
+    TableTy Saved = std::move(Table);
+    Table = takeTableFromPool();
+    // Capacity estimate: a handful of CSE candidates per block.
+    Table.reserve(R.getNumBlocks() * 8);
 
-    // Dominator-tree children.
-    std::unordered_map<Block *, std::vector<Block *>> Children;
-    for (Block *B : Dom.getBlocksInRPO()) {
-      Block *Idom = Dom.getIdom(B);
-      if (Idom && Idom != B)
-        Children[Idom].push_back(B);
+    if (R.getNumBlocks() == 1) {
+      processBlock(R.getEntryBlock(), /*Dom=*/nullptr);
+    } else {
+      DominanceInfo Dom(R);
+      processBlock(R.getEntryBlock(), &Dom);
     }
-    processBlock(R.getEntryBlock(), Children);
-    Table.clear();
+
+    returnTableToPool(std::move(Table));
+    Table = std::move(Saved);
   }
 
-  void processBlock(
-      Block *B,
-      std::unordered_map<Block *, std::vector<Block *>> &Children) {
+  void processBlock(Block *B, DominanceInfo *Dom) {
     std::vector<std::pair<uint64_t, Operation *>> Inserted;
 
     Operation *Op = B->front();
     while (Op) {
       Operation *Next = Op->getNextNode();
       // Nested scopes first so region bodies are in canonical form before
-      // the enclosing op is numbered. A fresh driver keeps the nested
-      // scope's table from clobbering this one.
-      for (unsigned I = 0; I != Op->getNumRegions(); ++I) {
-        CSEDriver Nested;
-        Changed |= Nested.runOnRegionTree(Op->getRegion(I));
-      }
+      // the enclosing op is numbered.
+      for (unsigned I = 0; I != Op->getNumRegions(); ++I)
+        processRegionScope(Op->getRegion(I));
 
       if (isCSECandidate(Op)) {
         uint64_t H = computeOpHash(Op);
@@ -93,8 +98,9 @@ private:
       Op = Next;
     }
 
-    for (Block *Child : Children[B])
-      processBlock(Child, Children);
+    if (Dom)
+      for (Block *Child : Dom->getChildren(B))
+        processBlock(Child, Dom);
 
     // Pop this block's scope.
     for (auto &[H, InsertedOp] : Inserted) {
@@ -115,7 +121,21 @@ private:
            Op->getNumSuccessors() == 0 && !Op->isTerminator();
   }
 
-  std::unordered_map<uint64_t, std::vector<Operation *>> Table;
+  TableTy takeTableFromPool() {
+    if (TablePool.empty())
+      return TableTy();
+    TableTy T = std::move(TablePool.back());
+    TablePool.pop_back();
+    return T;
+  }
+
+  void returnTableToPool(TableTy T) {
+    T.clear(); // keeps the bucket array for the next scope
+    TablePool.push_back(std::move(T));
+  }
+
+  TableTy Table;
+  std::vector<TableTy> TablePool;
   bool Changed = false;
 };
 

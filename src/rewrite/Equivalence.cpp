@@ -43,6 +43,39 @@ void hashAttr(RollingHash &H, Attribute *A) {
 
 void hashOpInto(Operation *Op, RollingHash &H, LocalNumbering &Local);
 
+/// Hashes one op's shallow payload (kind, attrs, operands, result types,
+/// region count) — the single encoding shared by the general numbered path
+/// and computeOpHash's region-free fast path. \p Local may be null when no
+/// local definitions can exist (top-level hashing of a region-free op):
+/// every operand then hashes as external and results need no numbering.
+void hashOpPayload(Operation *Op, RollingHash &H, LocalNumbering *Local) {
+  // The op kind and attribute keys are context-interned: their pool
+  // addresses identify them within a run, which is all a hash table needs.
+  H.add(reinterpret_cast<uintptr_t>(Op->getNameId().getAsOpaquePointer()));
+  for (const auto &[Name, Attr] : Op->getAttrs()) {
+    H.add(reinterpret_cast<uintptr_t>(Name.getAsOpaquePointer()));
+    hashAttr(H, Attr);
+  }
+  for (unsigned I = 0; I != Op->getNumOperands(); ++I) {
+    Value *V = Op->getOperand(I);
+    auto [IsLocal, Number] =
+        Local ? Local->lookup(V) : std::pair<bool, uint64_t>{false, 0};
+    if (IsLocal) {
+      H.add(0xA11CE);
+      H.add(Number);
+    } else {
+      H.add(0xB0B);
+      H.add(reinterpret_cast<uintptr_t>(V));
+    }
+  }
+  for (unsigned I = 0; I != Op->getNumResults(); ++I) {
+    if (Local)
+      Local->define(Op->getResult(I));
+    H.add(reinterpret_cast<uintptr_t>(Op->getResult(I)->getType()));
+  }
+  H.add(Op->getNumRegions());
+}
+
 void hashRegionInto(Region &R, RollingHash &H, LocalNumbering &Local) {
   // Number all block arguments first, then instructions in layout order —
   // the rolling hash over the instruction sequence.
@@ -67,27 +100,7 @@ void hashRegionInto(Region &R, RollingHash &H, LocalNumbering &Local) {
 }
 
 void hashOpInto(Operation *Op, RollingHash &H, LocalNumbering &Local) {
-  H.addBytes(Op->getName());
-  for (const auto &[Name, Attr] : Op->getAttrs()) {
-    H.addBytes(Name);
-    hashAttr(H, Attr);
-  }
-  for (unsigned I = 0; I != Op->getNumOperands(); ++I) {
-    Value *V = Op->getOperand(I);
-    auto [IsLocal, Number] = Local.lookup(V);
-    if (IsLocal) {
-      H.add(0xA11CE);
-      H.add(Number);
-    } else {
-      H.add(0xB0B);
-      H.add(reinterpret_cast<uintptr_t>(V));
-    }
-  }
-  for (unsigned I = 0; I != Op->getNumResults(); ++I) {
-    Local.define(Op->getResult(I));
-    H.add(reinterpret_cast<uintptr_t>(Op->getResult(I)->getType()));
-  }
-  H.add(Op->getNumRegions());
+  hashOpPayload(Op, H, &Local);
   for (unsigned I = 0; I != Op->getNumRegions(); ++I)
     hashRegionInto(Op->getRegion(I), H, Local);
 }
@@ -141,7 +154,7 @@ bool equivalentRegions(Region &RA, Region &RB, ValueCorrespondence &Map) {
 }
 
 bool equivalentOps(Operation *A, Operation *B, ValueCorrespondence &Map) {
-  if (A->getName() != B->getName())
+  if (A->getNameId() != B->getNameId())
     return false;
   if (A->getAttrs() != B->getAttrs())
     return false;
@@ -176,6 +189,13 @@ bool equivalentOps(Operation *A, Operation *B, ValueCorrespondence &Map) {
 
 uint64_t lz::computeOpHash(Operation *Op) {
   RollingHash H;
+  // Region-free ops (the common CSE candidate) need no local numbering: the
+  // top-level numbering starts empty, so every operand hashes as external
+  // and the defined results are never looked up — skip the map allocation.
+  if (Op->getNumRegions() == 0) {
+    hashOpPayload(Op, H, /*Local=*/nullptr);
+    return H.get();
+  }
   LocalNumbering Local;
   hashOpInto(Op, H, Local);
   return H.get();

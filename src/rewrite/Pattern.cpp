@@ -155,15 +155,15 @@ LogicalResult lz::applyPatternsGreedily(Operation *Scope,
   Worklist WL;
   Rewriter.setListener(&WL);
 
-  // Index patterns by anchor op name; benefit-descending order.
+  // Index patterns by interned anchor op name (pointer-hashed lookups in
+  // the pop loop); benefit-descending order.
   std::vector<const RewritePattern *> AnyPatterns;
-  std::unordered_map<std::string_view, std::vector<const RewritePattern *>>
-      ByName;
+  std::unordered_map<Identifier, std::vector<const RewritePattern *>> ByName;
   for (const auto &P : Patterns.get()) {
     if (P->getOpName().empty())
       AnyPatterns.push_back(P.get());
     else
-      ByName[P->getOpName()].push_back(P.get());
+      ByName[Ctx->getIdentifier(P->getOpName())].push_back(P.get());
   }
   auto ByBenefit = [](const RewritePattern *A, const RewritePattern *B) {
     return A->getBenefit() > B->getBenefit();
@@ -180,31 +180,38 @@ LogicalResult lz::applyPatternsGreedily(Operation *Scope,
   int Budget = MaxRewrites;
   bool AnyChange = false;
 
+  // Reused scratch for the operand-defining ops that must be revisited
+  // after an erase/fold invalidates the operand views (capacity amortizes
+  // to zero allocations across the whole fixpoint loop).
+  std::vector<Operation *> DefScratch;
+  auto collectDefs = [&DefScratch](Operation *Op) {
+    DefScratch.clear();
+    for (Value *V : Op->getOperands())
+      if (Operation *Def = V->getDefiningOp())
+        DefScratch.push_back(Def);
+  };
+
   while (Operation *Op = WL.pop()) {
     if (--Budget == 0)
       return failure();
 
     // Integrated trivial DCE.
     if (isTriviallyDeadWhenUnused(Op) && Op->use_empty()) {
-      std::vector<Value *> Operands = Op->getOperands();
+      collectDefs(Op);
       Rewriter.eraseOp(Op);
       AnyChange = true;
-      for (Value *V : Operands)
-        if (Operation *Def = V->getDefiningOp())
-          WL.push(Def);
+      for (Operation *Def : DefScratch)
+        WL.push(Def);
       continue;
     }
 
     // Folding.
-    {
-      std::vector<Value *> Operands = Op->getOperands();
-      if (succeeded(tryFold(Op, Rewriter))) {
-        AnyChange = true;
-        for (Value *V : Operands)
-          if (Operation *Def = V->getDefiningOp())
-            WL.push(Def);
-        continue;
-      }
+    collectDefs(Op);
+    if (succeeded(tryFold(Op, Rewriter))) {
+      AnyChange = true;
+      for (Operation *Def : DefScratch)
+        WL.push(Def);
+      continue;
     }
 
     // Patterns.
@@ -220,7 +227,7 @@ LogicalResult lz::applyPatternsGreedily(Operation *Scope,
     };
 
     bool Matched = false;
-    auto It = ByName.find(Op->getName());
+    auto It = ByName.find(Op->getNameId());
     if (It != ByName.end())
       Matched = TryPatterns(It->second);
     if (!Matched)

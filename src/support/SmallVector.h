@@ -1,0 +1,238 @@
+//===- SmallVector.h - small-buffer-optimized vector ------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with inline storage for the first N elements, restricted to
+/// trivially copyable element types (which covers the IR's hot aggregates:
+/// Value*/Type*/Block* lists and attribute key/value pairs). Keeping the
+/// common small cases on the stack removes the per-Operation::create heap
+/// churn that std::vector-based OperationState fields caused.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_SUPPORT_SMALLVECTOR_H
+#define LZ_SUPPORT_SMALLVECTOR_H
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <new>
+#include <type_traits>
+
+namespace lz {
+
+template <typename T, unsigned N> class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> Init) { assign(Init.begin(), Init.end()); }
+
+  SmallVector(const SmallVector &Other) { assign(Other.begin(), Other.end()); }
+  SmallVector &operator=(const SmallVector &Other) {
+    if (this != &Other)
+      assign(Other.begin(), Other.end());
+    return *this;
+  }
+
+  SmallVector(SmallVector &&Other) noexcept { takeFrom(Other); }
+  SmallVector &operator=(SmallVector &&Other) noexcept {
+    if (this != &Other) {
+      if (!isInline())
+        std::free(Ptr);
+      takeFrom(Other);
+    }
+    return *this;
+  }
+
+  /// Cross-capacity copies (e.g. an OperationState attr list into the
+  /// operation's own list).
+  template <unsigned M> SmallVector(const SmallVector<T, M> &Other) {
+    assign(Other.begin(), Other.end());
+  }
+  template <unsigned M> SmallVector &operator=(const SmallVector<T, M> &Other) {
+    assign(Other.begin(), Other.end());
+    return *this;
+  }
+
+  /// Copy-assignment from any contiguous container of T (std::vector etc.).
+  template <typename Container,
+            typename = decltype(std::declval<const Container &>().data())>
+  SmallVector &operator=(const Container &C) {
+    assign(C.data(), C.data() + C.size());
+    return *this;
+  }
+  SmallVector &operator=(std::initializer_list<T> Init) {
+    assign(Init.begin(), Init.end());
+    return *this;
+  }
+
+  ~SmallVector() {
+    if (!isInline())
+      std::free(Ptr);
+  }
+
+  T *data() { return Ptr; }
+  const T *data() const { return Ptr; }
+  unsigned size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  unsigned capacity() const { return Cap; }
+
+  iterator begin() { return Ptr; }
+  iterator end() { return Ptr + Size; }
+  const_iterator begin() const { return Ptr; }
+  const_iterator end() const { return Ptr + Size; }
+
+  T &operator[](unsigned I) {
+    assert(I < Size && "index out of range");
+    return Ptr[I];
+  }
+  const T &operator[](unsigned I) const {
+    assert(I < Size && "index out of range");
+    return Ptr[I];
+  }
+  T &front() { return (*this)[0]; }
+  T &back() { return (*this)[Size - 1]; }
+  const T &front() const { return (*this)[0]; }
+  const T &back() const { return (*this)[Size - 1]; }
+
+  void push_back(const T &V) {
+    if (Size == Cap) {
+      // Copy first: V may alias an element of this vector, and grow()
+      // frees the old buffer (std::vector guarantees this pattern works).
+      T Copied = V;
+      grow(Size + 1);
+      Ptr[Size++] = Copied;
+      return;
+    }
+    Ptr[Size++] = V;
+  }
+  template <typename... Args> T &emplace_back(Args &&...ArgValues) {
+    push_back(T(std::forward<Args>(ArgValues)...));
+    return back();
+  }
+  void pop_back() {
+    assert(Size && "pop from empty vector");
+    --Size;
+  }
+
+  template <typename It> void append(It First, It Last) {
+    auto Count = static_cast<unsigned>(std::distance(First, Last));
+    if (Size + Count > Cap) {
+      // The range may alias this vector's storage (same contract as
+      // push_back): copy the source into the new buffer before freeing the
+      // old one, so no staging allocation is needed.
+      unsigned NewCap = Cap * 2 < Size + Count ? Size + Count : Cap * 2;
+      T *NewPtr = static_cast<T *>(std::malloc(sizeof(T) * NewCap));
+      if (!NewPtr)
+        throw std::bad_alloc();
+      std::memcpy(NewPtr, Ptr, Size * sizeof(T));
+      T *Out = NewPtr + Size;
+      for (; First != Last; ++First)
+        *Out++ = *First;
+      if (!isInline())
+        std::free(Ptr);
+      Ptr = NewPtr;
+      Cap = NewCap;
+      Size += Count;
+      return;
+    }
+    for (; First != Last; ++First)
+      Ptr[Size++] = *First;
+  }
+  /// std::vector-compatible spelling for appends at the end.
+  template <typename It> void insert(iterator Pos, It First, It Last) {
+    assert(Pos == end() && "only end() insertion is supported");
+    (void)Pos;
+    append(First, Last);
+  }
+
+  template <typename It> void assign(It First, It Last) {
+    Size = 0;
+    append(First, Last);
+  }
+
+  void reserve(unsigned NewCap) {
+    if (NewCap > Cap)
+      grow(NewCap);
+  }
+  void resize(unsigned NewSize) {
+    if (NewSize > Cap)
+      grow(NewSize);
+    for (unsigned I = Size; I < NewSize; ++I)
+      Ptr[I] = T();
+    Size = NewSize;
+  }
+  /// Drops elements from the end without touching capacity.
+  void truncate(unsigned NewSize) {
+    assert(NewSize <= Size && "truncate cannot grow");
+    Size = NewSize;
+  }
+  void clear() { Size = 0; }
+
+  bool operator==(const SmallVector &Other) const {
+    if (Size != Other.Size)
+      return false;
+    for (unsigned I = 0; I != Size; ++I)
+      if (!(Ptr[I] == Other.Ptr[I]))
+        return false;
+    return true;
+  }
+  bool operator!=(const SmallVector &Other) const { return !(*this == Other); }
+
+private:
+  bool isInline() const {
+    return Ptr == reinterpret_cast<const T *>(Inline);
+  }
+
+  void takeFrom(SmallVector &Other) {
+    if (Other.isInline()) {
+      Ptr = reinterpret_cast<T *>(Inline);
+      Cap = N;
+      Size = Other.Size;
+      std::memcpy(Inline, Other.Inline, Other.Size * sizeof(T));
+    } else {
+      Ptr = Other.Ptr;
+      Cap = Other.Cap;
+      Size = Other.Size;
+      Other.Ptr = reinterpret_cast<T *>(Other.Inline);
+      Other.Cap = N;
+    }
+    Other.Size = 0;
+  }
+
+  void grow(unsigned MinCap) {
+    unsigned NewCap = Cap * 2;
+    if (NewCap < MinCap)
+      NewCap = MinCap;
+    T *NewPtr = static_cast<T *>(std::malloc(sizeof(T) * NewCap));
+    if (!NewPtr)
+      throw std::bad_alloc();
+    std::memcpy(NewPtr, Ptr, Size * sizeof(T));
+    if (!isInline())
+      std::free(Ptr);
+    Ptr = NewPtr;
+    Cap = NewCap;
+  }
+
+  T *Ptr = reinterpret_cast<T *>(Inline);
+  unsigned Size = 0;
+  unsigned Cap = N;
+  alignas(T) unsigned char Inline[sizeof(T) * N];
+};
+
+} // namespace lz
+
+#endif // LZ_SUPPORT_SMALLVECTOR_H

@@ -52,7 +52,7 @@ TEST_F(DialectOpTest, LpIntWellFormed) {
   EXPECT_TRUE(Op->hasTrait(OpTrait_ConstantLike));
   EXPECT_TRUE(Op->hasTrait(OpTrait_Pure));
   EXPECT_EQ(Op->getAttrOfType<IntegerAttr>("value")->getValue(), 42);
-  lp::buildReturn(B, {Op->getResults().data(), 1});
+  lp::buildReturn(B, values(Op->getResult(0)));
 }
 
 TEST_F(DialectOpTest, LpIntRejectsMissingValue) {
@@ -62,7 +62,7 @@ TEST_F(DialectOpTest, LpIntRejectsMissingValue) {
   EXPECT_FALSE(opVerifies(Op));
   Op->setAttr("value", Ctx.getI64Attr(1));
   EXPECT_TRUE(opVerifies(Op));
-  lp::buildReturn(B, {Op->getResults().data(), 1});
+  lp::buildReturn(B, values(Op->getResult(0)));
 }
 
 TEST_F(DialectOpTest, LpConstructTagAndFields) {
@@ -72,7 +72,7 @@ TEST_F(DialectOpTest, LpConstructTagAndFields) {
   EXPECT_TRUE(opVerifies(Op));
   EXPECT_TRUE(Op->hasTrait(OpTrait_Allocates));
   EXPECT_FALSE(Op->hasTrait(OpTrait_Pure)) << "allocations must not CSE";
-  lp::buildReturn(B, {Op->getResults().data(), 1});
+  lp::buildReturn(B, values(Op->getResult(0)));
 }
 
 TEST_F(DialectOpTest, LpProjectRequiresIndex) {
@@ -82,7 +82,7 @@ TEST_F(DialectOpTest, LpProjectRequiresIndex) {
   Op->removeAttr("index");
   EXPECT_FALSE(opVerifies(Op));
   Op->setAttr("index", Ctx.getI64Attr(0));
-  lp::buildReturn(B, {Op->getResults().data(), 1});
+  lp::buildReturn(B, values(Op->getResult(0)));
 }
 
 TEST_F(DialectOpTest, LpGetLabelProducesI8) {
@@ -104,7 +104,7 @@ TEST_F(DialectOpTest, LpPapRequiresCallee) {
   Op->removeAttr("callee");
   EXPECT_FALSE(opVerifies(Op));
   Op->setAttr("callee", Ctx.getSymbolRefAttr("callee"));
-  lp::buildReturn(B, {Op->getResults().data(), 1});
+  lp::buildReturn(B, values(Op->getResult(0)));
 }
 
 TEST_F(DialectOpTest, LpSwitchRegionCountMatchesCases) {
@@ -119,7 +119,7 @@ TEST_F(DialectOpTest, LpSwitchRegionCountMatchesCases) {
     OpBuilder::InsertionGuard Guard(B);
     B.setInsertionPointToEnd(Switch->getRegion(I).getEntryBlock());
     Operation *C = lp::buildInt(B, I);
-    lp::buildReturn(B, {C->getResults().data(), 1});
+    lp::buildReturn(B, values(C->getResult(0)));
   }
   EXPECT_TRUE(opVerifies(Switch));
   EXPECT_TRUE(Switch->isTerminator());
@@ -157,7 +157,7 @@ TEST_F(DialectOpTest, ResolveKnownRegionThroughSelects) {
     OpBuilder::InsertionGuard Guard(B);
     B.setInsertionPointToEnd(rgn::getValBody(V1).getEntryBlock());
     Operation *C = lp::buildInt(B, 1);
-    lp::buildReturn(B, {C->getResults().data(), 1});
+    lp::buildReturn(B, values(C->getResult(0)));
   }
   Value *Cond = arith::buildConstant(B, Ctx.getI1(), 1)->getResult(0);
   // select c, v, v resolves through to the rgn.val.
@@ -171,7 +171,7 @@ TEST_F(DialectOpTest, ResolveKnownRegionThroughSelects) {
     OpBuilder::InsertionGuard Guard(B);
     B.setInsertionPointToEnd(rgn::getValBody(V2).getEntryBlock());
     Operation *C = lp::buildInt(B, 2);
-    lp::buildReturn(B, {C->getResults().data(), 1});
+    lp::buildReturn(B, values(C->getResult(0)));
   }
   Value *Sel2 = arith::buildSelect(B, Cond, V1->getResult(0),
                                    V2->getResult(0))
@@ -189,7 +189,7 @@ TEST_F(DialectOpTest, ArithConstantTypeMustMatch) {
   EXPECT_FALSE(opVerifies(C));
   C->setAttr("value", Ctx.getI64Attr(5));
   Operation *R = lp::buildInt(B, 0);
-  lp::buildReturn(B, {R->getResults().data(), 1});
+  lp::buildReturn(B, values(R->getResult(0)));
 }
 
 TEST_F(DialectOpTest, CfCondBrRequiresI1) {
@@ -210,7 +210,7 @@ TEST_F(DialectOpTest, CfCondBrRequiresI1) {
     OpBuilder::InsertionGuard Guard(B);
     B.setInsertionPointToEnd(Blk);
     Operation *C = lp::buildInt(B, 0);
-    lp::buildReturn(B, {C->getResults().data(), 1});
+    lp::buildReturn(B, values(C->getResult(0)));
   }
 }
 
@@ -223,7 +223,7 @@ TEST_F(DialectOpTest, FuncCallRequiresCalleeAttr) {
   Call->removeAttr("callee");
   EXPECT_FALSE(opVerifies(Call));
   Call->setAttr("callee", Ctx.getSymbolRefAttr("g"));
-  lp::buildReturn(B, {Call->getResults().data(), 1});
+  lp::buildReturn(B, values(Call->getResult(0)));
 }
 
 TEST_F(DialectOpTest, MustTailAttrIsUnit) {
@@ -233,7 +233,7 @@ TEST_F(DialectOpTest, MustTailAttrIsUnit) {
                                     /*MustTail=*/true);
   EXPECT_NE(Call->getAttr("musttail"), nullptr);
   EXPECT_TRUE(isa<UnitAttr>(Call->getAttr("musttail")));
-  lp::buildReturn(B, {Call->getResults().data(), 1});
+  lp::buildReturn(B, values(Call->getResult(0)));
 }
 
 } // namespace

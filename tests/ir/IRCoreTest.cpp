@@ -166,7 +166,7 @@ TEST_F(IRCoreTest, CloneRemapsOperandsAndRegions) {
     B.setInsertionPointToEnd(Body);
     Operation *Add =
         arith::buildBinary(B, "arith.addi", C, Body->getArgument(0));
-    lp::buildReturn(B, {Add->getResults().data(), 1});
+    lp::buildReturn(B, values(Add->getResult(0)));
   }
 
   IRMapping Mapping;
@@ -202,7 +202,7 @@ TEST_F(IRCoreTest, WalkVisitsNestedPostOrder) {
     OpBuilder::InsertionGuard Guard(B);
     B.setInsertionPointToEnd(rgn::getValBody(Val).getEntryBlock());
     Operation *C = lp::buildInt(B, 1);
-    lp::buildReturn(B, {C->getResults().data(), 1});
+    lp::buildReturn(B, values(C->getResult(0)));
   }
   std::vector<std::string> Names;
   Fn->walk([&](Operation *Op) { Names.emplace_back(Op->getName()); });

@@ -1,0 +1,377 @@
+//===- OpLayoutTest.cpp - single-allocation Operation layout tests ------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Exercises the one-malloc Operation layout: creation performs exactly one
+/// heap allocation for header + operands + results + successors (+ regions),
+/// trailing arrays round-trip, operand lists shrink and grow correctly
+/// (including the spill-to-heap path past the inline capacity), clone and
+/// erase behave with live nested regions, and the Context string interner
+/// provides pointer-equality Identifier semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+using namespace lz;
+
+//===----------------------------------------------------------------------===//
+// Global allocation counter (replaceable allocation functions)
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<size_t> GlobalAllocCount{0};
+} // namespace
+
+void *operator new(std::size_t Size) {
+  ++GlobalAllocCount;
+  if (void *P = std::malloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+
+namespace {
+
+/// Runs \p Fn and returns how many heap allocations it performed.
+template <typename FnT> size_t countAllocs(FnT &&Fn) {
+  size_t Before = GlobalAllocCount.load(std::memory_order_relaxed);
+  Fn();
+  return GlobalAllocCount.load(std::memory_order_relaxed) - Before;
+}
+
+class OpLayoutTest : public ::testing::Test {
+protected:
+  OpLayoutTest() {
+    OpDef Producer;
+    Producer.Name = "test.producer";
+    ProducerDef = Ctx.registerOp(std::move(Producer));
+
+    OpDef Consumer;
+    Consumer.Name = "test.consumer";
+    ConsumerDef = Ctx.registerOp(std::move(Consumer));
+
+    OpDef Branch;
+    Branch.Name = "test.br";
+    Branch.Traits = OpTrait_IsTerminator;
+    BranchDef = Ctx.registerOp(std::move(Branch));
+
+    OpDef Holder;
+    Holder.Name = "test.holder";
+    HolderDef = Ctx.registerOp(std::move(Holder));
+  }
+
+  /// Builds a detached producer op with \p NumResults i64 results.
+  Operation *makeProducer(unsigned NumResults) {
+    OperationState State(Ctx, ProducerDef);
+    for (unsigned I = 0; I != NumResults; ++I)
+      State.ResultTypes.push_back(Ctx.getI64());
+    return Operation::create(State);
+  }
+
+  Context Ctx;
+  const OpDef *ProducerDef = nullptr;
+  const OpDef *ConsumerDef = nullptr;
+  const OpDef *BranchDef = nullptr;
+  const OpDef *HolderDef = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Single allocation
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpLayoutTest, CreateIsOneAllocation) {
+  Operation *P = makeProducer(3);
+
+  OperationState State(Ctx, ConsumerDef);
+  State.Operands = {P->getResult(0), P->getResult(1), P->getResult(2)};
+  State.ResultTypes = {Ctx.getI64(), Ctx.getI1()};
+
+  Operation *Op = nullptr;
+  size_t Allocs = countAllocs([&] { Op = Operation::create(State); });
+  EXPECT_EQ(Allocs, 1u) << "header + operands + results must be one malloc";
+
+  EXPECT_EQ(Op->getNumOperands(), 3u);
+  EXPECT_EQ(Op->getNumResults(), 2u);
+  Op->destroy();
+  P->destroy();
+}
+
+TEST_F(OpLayoutTest, CreateWithSuccessorsAndRegionIsOneAllocation) {
+  Operation *P = makeProducer(2);
+
+  // A holder op gives us a region with blocks to branch to.
+  OperationState HolderState(Ctx, HolderDef);
+  HolderState.NumRegions = 1;
+  Operation *Holder = Operation::create(HolderState);
+  Block *B0 = Holder->getRegion(0).emplaceBlock();
+  Block *B1 = Holder->getRegion(0).emplaceBlock();
+  B1->addArgument(Ctx.getI64());
+
+  OperationState State(Ctx, BranchDef);
+  State.addSuccessor(B0, {});
+  State.addSuccessor(B1, values(P->getResult(0)));
+  State.NumRegions = 2;
+
+  Operation *Br = nullptr;
+  size_t Allocs = countAllocs([&] { Br = Operation::create(State); });
+  EXPECT_EQ(Allocs, 1u)
+      << "successor and region arrays must live in the op's allocation";
+
+  EXPECT_EQ(Br->getNumSuccessors(), 2u);
+  EXPECT_EQ(Br->getSuccessor(0), B0);
+  EXPECT_EQ(Br->getSuccessor(1), B1);
+  EXPECT_EQ(Br->getNumRegions(), 2u);
+  EXPECT_TRUE(Br->getRegion(0).empty());
+  EXPECT_EQ(Br->getSuccessorOperands(0).size(), 0u);
+  ASSERT_EQ(Br->getSuccessorOperands(1).size(), 1u);
+  EXPECT_EQ(Br->getSuccessorOperands(1)[0], P->getResult(0));
+
+  Br->destroy();
+  Holder->destroy();
+  P->destroy();
+}
+
+//===----------------------------------------------------------------------===//
+// Trailing-array round-trips
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpLayoutTest, OperandAndResultRoundTrip) {
+  Operation *P = makeProducer(4);
+  OperationState State(Ctx, ConsumerDef);
+  for (unsigned I = 0; I != 4; ++I)
+    State.Operands.push_back(P->getResult(I));
+  State.ResultTypes = {Ctx.getI64()};
+  Operation *Op = Operation::create(State);
+
+  // Ranges are views over the trailing arrays.
+  unsigned I = 0;
+  for (Value *V : Op->getOperands())
+    EXPECT_EQ(V, P->getResult(I++));
+  EXPECT_EQ(I, 4u);
+  EXPECT_EQ(Op->getOperands()[2], P->getResult(2));
+  EXPECT_EQ(Op->getResults().size(), 1u);
+  EXPECT_EQ(Op->getResults()[0], Op->getResult(0));
+  EXPECT_EQ(Op->getResult(0)->getOwner(), Op);
+  EXPECT_EQ(Op->getResult(0)->getResultIndex(), 0u);
+
+  // Use chains link through the trailing OpOperand slots.
+  EXPECT_TRUE(P->getResult(0)->hasOneUse());
+  EXPECT_EQ(P->getResult(0)->getFirstUse()->getOwner(), Op);
+
+  Op->destroy();
+  EXPECT_TRUE(P->use_empty());
+  P->destroy();
+}
+
+TEST_F(OpLayoutTest, SetOperandsShrinkAndRegrowInPlace) {
+  Operation *P = makeProducer(4);
+  OperationState State(Ctx, ConsumerDef);
+  State.Operands = {P->getResult(0), P->getResult(1), P->getResult(2)};
+  Operation *Op = Operation::create(State);
+
+  // Shrinking reuses the inline slots and fixes up use lists.
+  Value *Shrunk[] = {P->getResult(3)};
+  Op->setOperands(Shrunk);
+  EXPECT_EQ(Op->getNumOperands(), 1u);
+  EXPECT_EQ(Op->getOperand(0), P->getResult(3));
+  EXPECT_TRUE(P->getResult(0)->use_empty());
+  EXPECT_TRUE(P->getResult(1)->use_empty());
+  EXPECT_TRUE(P->getResult(2)->use_empty());
+
+  // Growing back within the creation-time capacity allocates nothing.
+  Value *Regrown[] = {P->getResult(0), P->getResult(1), P->getResult(2)};
+  size_t Allocs = countAllocs([&] { Op->setOperands(Regrown); });
+  EXPECT_EQ(Allocs, 0u) << "regrowth within inline capacity must not allocate";
+  EXPECT_EQ(Op->getNumOperands(), 3u);
+  EXPECT_EQ(Op->getOperand(1), P->getResult(1));
+  EXPECT_TRUE(P->getResult(3)->use_empty());
+
+  Op->destroy();
+  P->destroy();
+}
+
+TEST_F(OpLayoutTest, SetOperandsGrowthPastInlineCapacity) {
+  Operation *P = makeProducer(6);
+  OperationState State(Ctx, ConsumerDef);
+  State.Operands = {P->getResult(0), P->getResult(1)};
+  Operation *Op = Operation::create(State);
+
+  // Growing past the creation-time capacity spills to a heap array; the op
+  // keeps working and use lists stay consistent.
+  std::vector<Value *> Grown;
+  for (unsigned I = 0; I != 6; ++I)
+    Grown.push_back(P->getResult(I));
+  Op->setOperands(Grown);
+  EXPECT_EQ(Op->getNumOperands(), 6u);
+  for (unsigned I = 0; I != 6; ++I) {
+    EXPECT_EQ(Op->getOperand(I), P->getResult(I));
+    EXPECT_TRUE(P->getResult(I)->hasOneUse());
+  }
+
+  // And shrinking from the heap array works too.
+  Value *Back[] = {P->getResult(5)};
+  Op->setOperands(Back);
+  EXPECT_EQ(Op->getNumOperands(), 1u);
+  for (unsigned I = 0; I != 5; ++I)
+    EXPECT_TRUE(P->getResult(I)->use_empty());
+
+  Op->destroy();
+  EXPECT_TRUE(P->use_empty());
+  P->destroy();
+}
+
+//===----------------------------------------------------------------------===//
+// Clone and erase with nested regions
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpLayoutTest, CloneCopiesTrailingPayload) {
+  Operation *P = makeProducer(2);
+  OperationState State(Ctx, ConsumerDef);
+  State.Operands = {P->getResult(0), P->getResult(1)};
+  State.ResultTypes = {Ctx.getI64()};
+  State.addAttribute("tag", Ctx.getI64Attr(7));
+  Operation *Op = Operation::create(State);
+
+  Operation *Clone = Op->clone();
+  EXPECT_EQ(Clone->getNumOperands(), 2u);
+  EXPECT_EQ(Clone->getOperand(0), P->getResult(0));
+  EXPECT_EQ(Clone->getNumResults(), 1u);
+  EXPECT_EQ(Clone->getAttr("tag"), Ctx.getI64Attr(7));
+  EXPECT_EQ(P->getResult(0)->getNumUses(), 2u);
+
+  Clone->destroy();
+  Op->destroy();
+  P->destroy();
+}
+
+TEST_F(OpLayoutTest, DestroyWithLiveNestedRegions) {
+  Operation *Outer = makeProducer(1);
+
+  OperationState HolderState(Ctx, HolderDef);
+  HolderState.NumRegions = 1;
+  Operation *Holder = Operation::create(HolderState);
+  Block *Body = Holder->getRegion(0).emplaceBlock();
+
+  // Nested ops: one consuming the outer value, one consuming a sibling's
+  // result — both unlinked cleanly when the holder is destroyed.
+  OperationState InnerState(Ctx, ConsumerDef);
+  InnerState.Operands = {Outer->getResult(0)};
+  InnerState.ResultTypes = {Ctx.getI64()};
+  Operation *Inner = Operation::create(InnerState);
+  Body->push_back(Inner);
+
+  OperationState Inner2State(Ctx, ConsumerDef);
+  Inner2State.Operands = {Inner->getResult(0), Outer->getResult(0)};
+  Body->push_back(Operation::create(Inner2State));
+
+  EXPECT_EQ(Outer->getResult(0)->getNumUses(), 2u);
+  Holder->destroy();
+  EXPECT_TRUE(Outer->use_empty())
+      << "destroying an op must unlink uses inside its nested regions";
+  Outer->destroy();
+}
+
+//===----------------------------------------------------------------------===//
+// Identifier interner
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpLayoutTest, IdentifierPointerEquality) {
+  Identifier A = Ctx.getIdentifier("value");
+  Identifier B = Ctx.getIdentifier(std::string("val") + "ue");
+  Identifier C = Ctx.getIdentifier("callee");
+
+  EXPECT_EQ(A, B) << "same spelling must intern to the same pool entry";
+  EXPECT_EQ(A.getAsOpaquePointer(), B.getAsOpaquePointer());
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.str(), "value");
+  EXPECT_TRUE(A == std::string_view("value"));
+  EXPECT_FALSE(A.empty());
+  EXPECT_EQ(Identifier(), Identifier());
+  EXPECT_TRUE(Identifier().empty());
+}
+
+TEST_F(OpLayoutTest, IdentifierStableAcrossContextLifetime) {
+  // Identifiers stay valid for the whole life of their Context, across
+  // arbitrary later interning (node-based pool: no reallocation moves).
+  Identifier Early = Ctx.getIdentifier("early-bird");
+  for (int I = 0; I != 2000; ++I)
+    Ctx.getIdentifier("filler-" + std::to_string(I));
+  EXPECT_EQ(Early, Ctx.getIdentifier("early-bird"));
+  EXPECT_EQ(Early.str(), "early-bird");
+
+  // Distinct contexts intern independently: equal spellings, different pools.
+  Context Other;
+  Identifier Foreign = Other.getIdentifier("early-bird");
+  EXPECT_EQ(Foreign.str(), Early.str());
+  EXPECT_NE(Foreign.getAsOpaquePointer(), Early.getAsOpaquePointer());
+}
+
+//===----------------------------------------------------------------------===//
+// Attribute fast paths
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpLayoutTest, AttrPointerCompareScans) {
+  Operation *Op = makeProducer(1);
+  EXPECT_EQ(Op->getAttr("missing"), nullptr) << "0-attr fast path";
+
+  Op->setAttr("value", Ctx.getI64Attr(1));
+  Op->setAttr("callee", Ctx.getSymbolRefAttr("f"));
+  EXPECT_EQ(Op->getAttr("value"), Ctx.getI64Attr(1));
+  EXPECT_EQ(Op->getAttr(Ctx.getIdentifier("callee")),
+            Ctx.getSymbolRefAttr("f"));
+  EXPECT_EQ(Op->getAttr("other"), nullptr);
+
+  // Overwrite keeps the list deduplicated.
+  Op->setAttr("value", Ctx.getI64Attr(2));
+  EXPECT_EQ(Op->getAttrs().size(), 2u);
+  EXPECT_EQ(Op->getAttrOfType<IntegerAttr>("value")->getValue(), 2);
+
+  Op->removeAttr("value");
+  EXPECT_EQ(Op->getAttr("value"), nullptr);
+  EXPECT_EQ(Op->getAttrs().size(), 1u);
+  Op->removeAttr("not-present");
+  EXPECT_EQ(Op->getAttrs().size(), 1u);
+
+  Op->destroy();
+}
+
+//===----------------------------------------------------------------------===//
+// Intra-block ordering cache
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpLayoutTest, IsBeforeInBlockTracksInsertions) {
+  OperationState HolderState(Ctx, HolderDef);
+  HolderState.NumRegions = 1;
+  Operation *Holder = Operation::create(HolderState);
+  Block *Body = Holder->getRegion(0).emplaceBlock();
+
+  Operation *A = makeProducer(0);
+  Operation *B = makeProducer(0);
+  Operation *C = makeProducer(0);
+  Body->push_back(A);
+  Body->push_back(B);
+  EXPECT_TRUE(A->isBeforeInBlock(B));
+  EXPECT_FALSE(B->isBeforeInBlock(A));
+
+  // Insertion invalidates the cached order and renumbers lazily.
+  Body->insertBefore(B, C);
+  EXPECT_TRUE(A->isBeforeInBlock(C));
+  EXPECT_TRUE(C->isBeforeInBlock(B));
+
+  Holder->destroy();
+}
+
+} // namespace

@@ -167,13 +167,13 @@ TEST_F(VerifierTest, EnforcesRgnEscapeRule) {
     OpBuilder::InsertionGuard Guard(B);
     B.setInsertionPointToEnd(rgn::getValBody(Val).getEntryBlock());
     Operation *C = lp::buildInt(B, 1);
-    lp::buildReturn(B, {C->getResults().data(), 1});
+    lp::buildReturn(B, values(C->getResult(0)));
   }
   // Passing the region value to a function call escapes it: invalid.
   Value *V = Val->getResult(0);
   func::buildCall(B, "g", {&V, 1}, {{Ctx.getBoxType()}});
   Operation *C2 = lp::buildInt(B, 0);
-  lp::buildReturn(B, {C2->getResults().data(), 1});
+  lp::buildReturn(B, values(C2->getResult(0)));
   EXPECT_FALSE(isValid());
 }
 
@@ -203,7 +203,7 @@ TEST_F(VerifierTest, LpJumpLabelResolution) {
     OpBuilder::InsertionGuard Guard(B);
     B.setInsertionPointToEnd(lp::getJoinPointBodyRegion(JP).getEntryBlock());
     Operation *C = lp::buildInt(B, 1);
-    lp::buildReturn(B, {C->getResults().data(), 1});
+    lp::buildReturn(B, values(C->getResult(0)));
   }
   {
     OpBuilder::InsertionGuard Guard(B);

@@ -88,7 +88,7 @@ TEST_F(PassTest, EquivalenceRollingHashOrderSensitive) {
     B.setInsertionPointToEnd(Body);
     Operation *C1 = lp::buildInt(B, Swapped ? 2 : 1);
     lp::buildInt(B, Swapped ? 1 : 2);
-    lp::buildReturn(B, {C1->getResults().data(), 1});
+    lp::buildReturn(B, values(C1->getResult(0)));
     return Val;
   };
   Operation *V1 = MakeVal(false);

@@ -53,7 +53,7 @@ protected:
     OpBuilder::InsertionGuard Guard(B);
     B.setInsertionPointToEnd(rgn::getValBody(Val).getEntryBlock());
     Operation *C = lp::buildInt(B, Value);
-    lp::buildReturn(B, {C->getResults().data(), 1});
+    lp::buildReturn(B, values(C->getResult(0)));
     return Val->getResult(0);
   }
 
@@ -94,7 +94,7 @@ TEST_F(RegionOptTest, Fig1A_DeadExpressionElimination) {
   makeTestFunc();
   makeConstRegion(3); // %x = rgn.val { e } — never referenced
   Operation *Y = lp::buildInt(B, 5);
-  lp::buildReturn(B, {Y->getResults().data(), 1});
+  lp::buildReturn(B, values(Y->getResult(0)));
 
   EXPECT_EQ(countOps("rgn.val"), 1u);
   ASSERT_TRUE(succeeded(runPasses(/*Canon=*/false, /*CSE=*/false,

@@ -54,11 +54,11 @@ TEST_F(VMTest, ReturnsBoxedConstant) {
       Ctx, Module.get(), "f", Ctx.getFunctionType({}, {Ctx.getBoxType()}));
   B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
   Operation *C = lp::buildInt(B, 42);
-  lp::buildReturn(B, {C->getResults().data(), 1});
+  lp::buildReturn(B, values(C->getResult(0)));
   // lp.return is rewritten by the pipeline normally; rewrite by hand here.
   Operation *Ret = func::getFuncEntryBlock(Fn)->getTerminator();
   B.setInsertionPoint(Ret);
-  std::vector<Value *> Ops = Ret->getOperands();
+  std::vector<Value *> Ops = Ret->getOperands().vec();
   func::buildReturn(B, Ops);
   Ret->erase();
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+#===- tools/bench-json.sh - compile-throughput bench -> BENCH_compile.json -===//
+#
+# Runs bench_compile_throughput and writes BENCH_compile.json at the repo
+# root so the perf trajectory has a machine-readable datapoint per change.
+#
+# Usage:
+#   tools/bench-json.sh [--baseline OLD.json] [--out FILE] [-- <bench args>]
+#
+#   --baseline OLD.json   a previous raw Google-Benchmark JSON (from
+#                         --benchmark_out); before->after speedups are
+#                         computed against it and embedded in the output.
+#   --out FILE            output path (default: BENCH_compile.json at the
+#                         repo root).
+#   BUILD_DIR=<dir>       build tree containing bench/ (default: build).
+#
+# Typical perf-PR flow:
+#   git stash && cmake --build build -j && \
+#     build/bench/bench_compile_throughput \
+#       --benchmark_out=/tmp/before.json --benchmark_out_format=json
+#   git stash pop && cmake --build build -j && \
+#     tools/bench-json.sh --baseline /tmp/before.json
+#
+#===----------------------------------------------------------------------===//
+set -euo pipefail
+
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${BUILD_DIR:-"$REPO_ROOT/build"}
+BIN="$BUILD_DIR/bench/bench_compile_throughput"
+OUT="$REPO_ROOT/BENCH_compile.json"
+BASELINE=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --baseline) BASELINE="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    --) shift; break ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_compile_throughput)" >&2
+  exit 1
+fi
+
+RAW=$(mktemp /tmp/bench_compile.XXXXXX.json)
+trap 'rm -f "$RAW"' EXIT
+
+"$BIN" --benchmark_out="$RAW" --benchmark_out_format=json "$@"
+
+# Emits the BENCH_compile.json schema: {bench, generated_by, date, host,
+# before?, after, speedup_cpu_time_before_over_after?, summary?}.
+python3 - "$RAW" "$OUT" "$BASELINE" <<'PYEOF'
+import json, sys, datetime, statistics
+
+raw_path, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def load_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        times[b["name"]] = {
+            "real_time_ns": b["real_time"],
+            "cpu_time_ns": b["cpu_time"],
+            "iterations": b["iterations"],
+        }
+    return data.get("context", {}), times
+
+context, after = load_times(raw_path)
+result = {
+    "bench": "compile_throughput",
+    "generated_by": "tools/bench-json.sh",
+    "date": datetime.date.today().isoformat(),
+    "host": {k: context.get(k) for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type") if k in context},
+}
+
+if baseline_path:
+    _, before = load_times(baseline_path)
+    result["before"] = {"results": before}
+    result["after"] = {"results": after}
+    speedups = {}
+    for name, cur in after.items():
+        base = before.get(name)
+        if base and cur["cpu_time_ns"] > 0:
+            speedups[name] = round(base["cpu_time_ns"] / cur["cpu_time_ns"], 3)
+    result["speedup_cpu_time_before_over_after"] = speedups
+    pipe = [v for k, v in speedups.items()
+            if k.startswith("compile_pipeline/") and k != "compile_pipeline/suite"]
+    opt = [v for k, v in speedups.items() if k.startswith("compile_opt/")]
+    summary = {}
+    if "compile_pipeline/suite" in speedups:
+        summary["pipeline_suite_speedup"] = speedups["compile_pipeline/suite"]
+    if pipe:
+        summary["pipeline_per_program_geomean"] = round(statistics.geometric_mean(pipe), 3)
+    if opt:
+        summary["opt_geomean"] = round(statistics.geometric_mean(opt), 3)
+    result["summary"] = summary
+else:
+    result["after"] = {"results": after}
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path}")
+PYEOF
