@@ -19,6 +19,11 @@
 ///                            verification on, bytecode emission included)
 ///   compile_pipeline/suite   all eight programs back to back -- the
 ///                            headline number for perf PRs
+///   compile_pipeline/per_pass  the suite with the pass-manager timing +
+///                            statistics instrumentation attached; exports
+///                            per-phase/per-pass seconds and pass counters
+///                            as benchmark counters (bench-json.sh folds
+///                            them into BENCH_compile.json)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,12 +33,15 @@
 #include "lower/Lowering.h"
 #include "lower/Pipeline.h"
 #include "programs/Programs.h"
+#include "rewrite/Pass.h"
 #include "rewrite/Passes.h"
+#include "support/Timing.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -159,6 +167,60 @@ void benchSuite(benchmark::State &State) {
   State.SetItemsProcessed(static_cast<int64_t>(Ops));
 }
 
+/// Per-pass attribution: the suite through the Full pipeline with timing
+/// and statistics instrumentation attached. The aggregated timing tree and
+/// statistic rows are exported as per-iteration counters
+/// (`time.<phase>[.<pass>]` in seconds, `stat.<pass>.<counter>` in ops), so
+/// the recorded BENCH_compile.json attributes suite time to passes instead
+/// of one opaque number.
+void benchPerPass(benchmark::State &State) {
+  std::vector<std::pair<const programs::BenchProgram *, std::string>> Sources;
+  for (const programs::BenchProgram &Prog : programs::getBenchmarkSuite())
+    Sources.emplace_back(&Prog, sourceFor(Prog));
+  Context Ctx;
+  registerAllDialects(Ctx);
+
+  TimingManager TM;
+  StatisticsReport Stats;
+  lower::PipelineOptions Opts =
+      lower::PipelineOptions::forVariant(lower::PipelineVariant::Full);
+  Opts.Instrument.Timing = &TM;
+  Opts.Instrument.Statistics = &Stats;
+
+  uint64_t Iters = 0;
+  for (auto _ : State) {
+    (void)_;
+    for (const auto &[Prog, Source] : Sources) {
+      lambda::Program P = parseOrDie(Source, Prog->Name);
+      lower::CompileResult CR = lower::compileProgram(P, Ctx, Opts);
+      if (!CR.OK) {
+        std::fprintf(stderr, "compile_throughput: per_pass failed for %s: %s\n",
+                     Prog->Name, CR.Error.c_str());
+        std::abort();
+      }
+      benchmark::DoNotOptimize(CR.Prog.Functions.data());
+    }
+    ++Iters;
+  }
+
+  double N = static_cast<double>(Iters ? Iters : 1);
+  std::function<void(const Timer &, const std::string &)> Export =
+      [&](const Timer &T, const std::string &Prefix) {
+        std::string Path =
+            Prefix.empty() ? std::string(T.getName())
+                           : Prefix + "." + std::string(T.getName());
+        State.counters["time." + Path] =
+            benchmark::Counter(T.getSeconds() / N);
+        for (const auto &Child : T.getChildren())
+          Export(*Child, Path);
+      };
+  for (const auto &Child : TM.getRootTimer().getChildren())
+    Export(*Child, "");
+  for (const StatisticsReport::Row &Row : Stats.getRows())
+    State.counters["stat." + Row.PassName + "." + Row.StatName] =
+        benchmark::Counter(static_cast<double>(Row.Value) / N);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -174,6 +236,7 @@ int main(int argc, char **argv) {
         [&Prog](benchmark::State &S) { benchPipeline(S, Prog); });
   }
   benchmark::RegisterBenchmark("compile_pipeline/suite", benchSuite);
+  benchmark::RegisterBenchmark("compile_pipeline/per_pass", benchPerPass);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

@@ -34,32 +34,6 @@ const lower::PipelineVariant AllVariants[] = {
     lower::PipelineVariant::SimpOnly, lower::PipelineVariant::RgnOnly,
     lower::PipelineVariant::NoOpt};
 
-/// Feature-coverage programs beyond the benchmark suite.
-const char *FeaturePrograms[] = {
-    "def main := 42",
-    "def main := let x := 7; x * x",
-    "def f x y z := x + y * z\ndef main := f 1 2 3",
-    "def main := if 1 <= 2 then 10 else 20",
-    "def pow b n := if n == 0 then 1 else b * pow b (n - 1)\n"
-    "def main := pow 3 40",
-    "inductive P := | MkP a b\n"
-    "def fst p := match p with | MkP a _ => a end\n"
-    "def snd p := match p with | MkP _ b => b end\n"
-    "def main := fst (MkP 1 2) + snd (MkP 3 4)",
-    "def compose f g x := f (g x)\n"
-    "def inc x := x + 1\n"
-    "def dbl x := x * 2\n"
-    "def main := compose inc dbl 10",
-    "def main := println 1",
-    "def eval x y z := match x, y, z with\n"
-    "  | 0, 2, _ => 40 | 0, _, 2 => 50 | _, _, _ => 60 end\n"
-    "def main := eval 0 2 1 + eval 0 1 2 + eval 1 1 1",
-    "def main := let a := arrayPush (arrayPush (arrayMk 0 0) 5) 7;\n"
-    "            arrayGet a 0 * arrayGet a 1",
-    "def f x := x - 100\ndef main := f 3",
-    "def main := 123456789123456789 * 987654321987654321",
-};
-
 struct Totals {
   unsigned Passed = 0;
   unsigned Failed = 0;
@@ -92,8 +66,10 @@ void runCase(const std::string &Source, Totals &T) {
 
 Totals runAll() {
   Totals T;
-  for (const char *Src : FeaturePrograms)
-    runCase(Src, T);
+  // The feature corpus lives in src/programs so tests/e2e/DifferentialTest
+  // exercises the identical programs under CTest.
+  for (const auto &F : programs::getFeatureCorpus())
+    runCase(F.Source, T);
   for (const auto &B : programs::getBenchmarkSuite())
     runCase(programs::instantiate(B, B.TestSize), T);
   return T;

@@ -70,6 +70,11 @@ struct Context::Impl {
   std::unordered_map<Identifier, std::unique_ptr<OpDef>> OpRegistry;
   std::vector<const OpDef *> RegistrationOrder;
 
+  // Canonicalization patterns cached by the canonicalizer pass; cleared on
+  // every op registration so late dialect loads rebuild the set. The
+  // control block carries the deleter, so PatternSet stays incomplete here.
+  std::shared_ptr<const PatternSet> CanonicalizationPatterns;
+
   // Type uniquers.
   std::unordered_map<unsigned, std::unique_ptr<IntegerType>> IntegerTypes;
   std::unique_ptr<BoxType> TheBoxType;
@@ -124,6 +129,7 @@ Identifier Context::getIdentifier(std::string_view Str) {
 }
 
 const OpDef *Context::registerOp(OpDef Def) {
+  TheImpl->CanonicalizationPatterns.reset();
   Def.NameId = getIdentifier(Def.Name);
   auto [It, Inserted] = TheImpl->OpRegistry.try_emplace(
       Def.NameId, std::make_unique<OpDef>(std::move(Def)));
@@ -147,6 +153,16 @@ void Context::forEachOpDef(
     const std::function<void(const OpDef &)> &Fn) const {
   for (const OpDef *Def : TheImpl->RegistrationOrder)
     Fn(*Def);
+}
+
+std::shared_ptr<const PatternSet>
+Context::getCachedCanonicalizationPatterns() const {
+  return TheImpl->CanonicalizationPatterns;
+}
+
+void Context::setCachedCanonicalizationPatterns(
+    std::shared_ptr<const PatternSet> Patterns) {
+  TheImpl->CanonicalizationPatterns = std::move(Patterns);
 }
 
 //===----------------------------------------------------------------------===//

@@ -118,6 +118,15 @@ public:
   /// collect patterns).
   void forEachOpDef(const std::function<void(const OpDef &)> &Fn) const;
 
+  /// The canonicalization PatternSet cached on this context, or null when
+  /// no pass has built it yet — or when an op registered after the last
+  /// build invalidated it. The canonicalizer builds the set once per
+  /// context instead of once per run; shared ownership keeps an in-flight
+  /// run safe if registration invalidates the cache mid-pass.
+  std::shared_ptr<const PatternSet> getCachedCanonicalizationPatterns() const;
+  void
+  setCachedCanonicalizationPatterns(std::shared_ptr<const PatternSet> Patterns);
+
   /// Registers a constant materializer: builds a ConstantLike op producing
   /// \p Attr with type \p Ty, used when folds produce attributes.
   using ConstantMaterializer =

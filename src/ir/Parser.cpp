@@ -286,17 +286,21 @@ private:
     Pending.clear();
     if (Root)
       Root->destroy();
+    // Root's destruction dropped every use of the parked placeholders, so
+    // they can be reclaimed now.
+    for (Operation *Op : Placeholders)
+      Op->destroy();
+    Placeholders.clear();
   }
 
-  /// On error paths placeholders may still be referenced by malformed IR;
-  /// those ops are destroyed with Root. To keep Value dtor assertions
-  /// honest we park uses on a throwaway placeholder that is leaked only on
-  /// the error path.
+  /// On error paths placeholders may still be referenced by malformed IR
+  /// until Root is destroyed. To keep Value dtor assertions honest we park
+  /// uses on a throwaway placeholder that cleanup reclaims after Root.
   Value *makeDeadValuePlaceholder() {
     OperationState St(Ctx, "builtin.unrealized");
     St.ResultTypes.push_back(Ctx.getNoneType());
     Operation *Op = Operation::create(St);
-    LeakedOnError.push_back(Op);
+    Placeholders.push_back(Op);
     return Op->getResult(0);
   }
 
@@ -783,7 +787,7 @@ private:
   std::map<std::string, Value *> Values;
   std::map<std::string, Operation *> Pending;
   std::vector<std::map<std::string, BlockInfo>> BlockScopes;
-  std::vector<Operation *> LeakedOnError;
+  std::vector<Operation *> Placeholders;
 };
 
 } // namespace

@@ -12,6 +12,7 @@
 #include "lower/Lowering.h"
 #include "rc/RCInsert.h"
 #include "rewrite/Passes.h"
+#include "support/Timing.h"
 #include "vm/Compiler.h"
 
 using namespace lz;
@@ -61,40 +62,71 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
                                         const PipelineOptions &Opts) {
   CompileResult Result;
 
+  // All phase scopes nest under the timing root; inactive (free) when no
+  // TimingManager was supplied.
+  TimingScope Total(Opts.Instrument.Timing
+                        ? &Opts.Instrument.Timing->getRootTimer()
+                        : nullptr);
+  auto VerifyTimed = [&](Operation *Root) {
+    TimingScope S = Total.nest("(verify)");
+    return verify(Root);
+  };
+
   // Frontend: (optional) λpure simplifier, then reference counting.
   lambda::Program P = lambda::cloneProgram(Src);
-  if (Opts.RunLambdaSimplifier)
-    lambda::simplifyProgram(P);
-  rc::RCOptions RCOpts;
-  RCOpts.BorrowInference = Opts.BorrowInference;
-  rc::insertRC(P, RCOpts);
+  {
+    TimingScope Frontend = Total.nest("frontend");
+    if (Opts.RunLambdaSimplifier) {
+      TimingScope S = Frontend.nest("simplify");
+      lambda::simplifyProgram(P);
+    }
+    rc::RCOptions RCOpts;
+    RCOpts.BorrowInference = Opts.BorrowInference;
+    TimingScope S = Frontend.nest("rc-insert");
+    rc::insertRC(P, RCOpts);
+  }
 
   // Backend.
   OwningOpRef Module;
   if (!Opts.UseRgnBackend) {
-    Module = lowerLambdaToCfDirect(P, Ctx);
-    if (Opts.VerifyEach && failed(verify(Module.get()))) {
+    {
+      TimingScope S = Total.nest("lower-direct");
+      Module = lowerLambdaToCfDirect(P, Ctx);
+    }
+    if (Opts.VerifyEach && failed(VerifyTimed(Module.get()))) {
       Result.Error = "direct backend produced invalid IR";
       return Result;
     }
   } else {
-    Module = lowerLambdaToLp(P, Ctx);
-    if (Opts.VerifyEach && failed(verify(Module.get()))) {
+    {
+      TimingScope S = Total.nest("lower-lambda-to-lp");
+      Module = lowerLambdaToLp(P, Ctx);
+    }
+    if (Opts.VerifyEach && failed(VerifyTimed(Module.get()))) {
       Result.Error = "lambda->lp lowering produced invalid IR";
       return Result;
     }
-    if (failed(lowerLpToRgn(Module.get()))) {
-      Result.Error = "lp->rgn lowering failed";
-      return Result;
+    {
+      TimingScope S = Total.nest("lower-lp-to-rgn");
+      if (failed(lowerLpToRgn(Module.get()))) {
+        Result.Error = "lp->rgn lowering failed";
+        return Result;
+      }
     }
-    if (Opts.VerifyEach && failed(verify(Module.get()))) {
+    if (Opts.VerifyEach && failed(VerifyTimed(Module.get()))) {
       Result.Error = "lp->rgn lowering produced invalid IR";
       return Result;
     }
 
-    // The rgn optimization pipeline (Section IV-B).
+    // The rgn optimization pipeline (Section IV-B), with per-pass timing,
+    // IR snapshots and statistics when requested.
     PassManager PM;
     PM.setVerifyEach(Opts.VerifyEach);
+    TimingScope RgnOpt = Total.nest("rgn-opt");
+    if (RgnOpt.isActive())
+      PM.enableTiming(*RgnOpt.getTimer());
+    if (Opts.Instrument.IRPrint)
+      PM.enableIRPrinting(*Opts.Instrument.IRPrint);
     if (Opts.RunCanonicalize)
       PM.addPass(createCanonicalizerPass());
     if (Opts.RunCSE)
@@ -105,21 +137,29 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       PM.addPass(createInlinerPass());
     if (Opts.RunDCE)
       PM.addPass(createDCEPass());
-    if (failed(PM.run(Module.get()))) {
+    LogicalResult PMResult = PM.run(Module.get());
+    if (Opts.Instrument.Statistics)
+      PM.mergeStatisticsInto(*Opts.Instrument.Statistics);
+    RgnOpt.stop();
+    if (failed(PMResult)) {
       Result.Error = "rgn optimization pipeline failed";
       return Result;
     }
 
-    if (failed(lowerRgnToCf(Module.get()))) {
-      Result.Error = "rgn->cf lowering failed";
-      return Result;
+    {
+      TimingScope S = Total.nest("lower-rgn-to-cf");
+      if (failed(lowerRgnToCf(Module.get()))) {
+        Result.Error = "rgn->cf lowering failed";
+        return Result;
+      }
     }
-    if (Opts.VerifyEach && failed(verify(Module.get()))) {
+    if (Opts.VerifyEach && failed(VerifyTimed(Module.get()))) {
       Result.Error = "rgn->cf lowering produced invalid IR";
       return Result;
     }
   }
 
+  TimingScope Emit = Total.nest("vm-emit");
   markTailCalls(Module.get());
 
   unsigned NumOps = 0;

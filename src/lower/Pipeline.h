@@ -33,6 +33,12 @@
 
 #include <string>
 
+namespace lz {
+class StatisticsReport;
+class TimingManager;
+struct IRPrintConfig;
+} // namespace lz
+
 namespace lz::lower {
 
 enum class PipelineVariant {
@@ -45,6 +51,19 @@ enum class PipelineVariant {
 
 const char *pipelineVariantName(PipelineVariant V);
 
+/// Optional observers threaded through compileProgram. All-null by default
+/// so an uninstrumented compile pays nothing.
+struct PipelineInstrumentation {
+  /// Per-phase (frontend / lowering stages / rgn-opt / vm-emit) and
+  /// per-pass wall-clock times accumulate into this manager's tree.
+  TimingManager *Timing = nullptr;
+  /// IR snapshots around the rgn optimization passes
+  /// (--print-ir-before/-after/-after-all).
+  const IRPrintConfig *IRPrint = nullptr;
+  /// Per-pass statistic counters, merged into this report once per compile.
+  StatisticsReport *Statistics = nullptr;
+};
+
 /// Fine-grained switches for ablation studies; derived from the variant by
 /// default.
 struct PipelineOptions {
@@ -56,6 +75,7 @@ struct PipelineOptions {
   bool RunInliner = false;
   bool BorrowInference = true; ///< beans-style borrowed parameters
   bool VerifyEach = true;
+  PipelineInstrumentation Instrument;
 
   static PipelineOptions forVariant(PipelineVariant V);
 };

@@ -294,6 +294,39 @@ const std::vector<BenchProgram> &lz::programs::getBenchmarkSuite() {
   return Suite;
 }
 
+const std::vector<FeatureProgram> &lz::programs::getFeatureCorpus() {
+  static std::vector<FeatureProgram> Corpus = {
+      {"const", "def main := 42"},
+      {"let_binding", "def main := let x := 7; x * x"},
+      {"multi_arg", "def f x y z := x + y * z\ndef main := f 1 2 3"},
+      {"if_cmp", "def main := if 1 <= 2 then 10 else 20"},
+      {"pow_bigint",
+       "def pow b n := if n == 0 then 1 else b * pow b (n - 1)\n"
+       "def main := pow 3 40"},
+      {"pair_projections",
+       "inductive P := | MkP a b\n"
+       "def fst p := match p with | MkP a _ => a end\n"
+       "def snd p := match p with | MkP _ b => b end\n"
+       "def main := fst (MkP 1 2) + snd (MkP 3 4)"},
+      {"compose_closures",
+       "def compose f g x := f (g x)\n"
+       "def inc x := x + 1\n"
+       "def dbl x := x * 2\n"
+       "def main := compose inc dbl 10"},
+      {"println", "def main := println 1"},
+      {"multi_column_match",
+       "def eval x y z := match x, y, z with\n"
+       "  | 0, 2, _ => 40 | 0, _, 2 => 50 | _, _, _ => 60 end\n"
+       "def main := eval 0 2 1 + eval 0 1 2 + eval 1 1 1"},
+      {"array_ops",
+       "def main := let a := arrayPush (arrayPush (arrayMk 0 0) 5) 7;\n"
+       "            arrayGet a 0 * arrayGet a 1"},
+      {"nat_sub_clamp", "def f x := x - 100\ndef main := f 3"},
+      {"bigint_mul", "def main := 123456789123456789 * 987654321987654321"},
+  };
+  return Corpus;
+}
+
 const BenchProgram &lz::programs::getBenchmark(const std::string &Name) {
   for (const BenchProgram &P : getBenchmarkSuite())
     if (Name == P.Name)

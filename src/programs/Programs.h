@@ -41,6 +41,17 @@ const BenchProgram &getBenchmark(const std::string &Name);
 /// Instantiates the source template with the given size.
 std::string instantiate(const BenchProgram &P, long Size);
 
+/// A feature-coverage program: fixed source, no size parameter.
+struct FeatureProgram {
+  const char *Name;
+  const char *Source;
+};
+
+/// Small programs each stressing one language/runtime feature, used by the
+/// differential correctness suites (bench/tab_correctness and
+/// tests/e2e/DifferentialTest) beyond the benchmark programs.
+const std::vector<FeatureProgram> &getFeatureCorpus();
+
 } // namespace lz::programs
 
 #endif // LZ_PROGRAMS_PROGRAMS_H

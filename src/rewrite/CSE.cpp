@@ -35,6 +35,8 @@ public:
     return Changed;
   }
 
+  uint64_t getNumCSEd() const { return NumCSEd; }
+
 private:
   using TableTy = std::unordered_map<uint64_t, std::vector<Operation *>>;
 
@@ -90,6 +92,7 @@ private:
             Op->getResult(I)->replaceAllUsesWith(Existing->getResult(I));
           Op->erase();
           Changed = true;
+          ++NumCSEd;
         } else {
           Bucket.push_back(Op);
           Inserted.emplace_back(H, Op);
@@ -137,6 +140,7 @@ private:
   TableTy Table;
   std::vector<TableTy> TablePool;
   bool Changed = false;
+  uint64_t NumCSEd = 0;
 };
 
 class CSEPass : public Pass {
@@ -146,8 +150,12 @@ public:
     CSEDriver Driver;
     for (unsigned I = 0; I != Root->getNumRegions(); ++I)
       Driver.runOnRegionTree(Root->getRegion(I));
+    OpsCSEd += Driver.getNumCSEd();
     return success();
   }
+
+private:
+  Statistic OpsCSEd{this, "num-cse'd", "Number of operations CSE'd"};
 };
 
 } // namespace

@@ -30,14 +30,39 @@ public:
   std::string_view getName() const override { return "canonicalize"; }
 
   LogicalResult run(Operation *Root) override {
-    PatternSet Patterns;
-    Root->getContext()->forEachOpDef([&](const OpDef &Def) {
-      if (Def.CanonicalizationPatterns)
-        Def.CanonicalizationPatterns(Patterns);
-    });
-    populateRgnPatterns(Patterns);
-    return applyPatternsGreedily(Root, Patterns);
+    Context *Ctx = Root->getContext();
+    // The pattern set is built once per context and cached there; any op
+    // registration after the build invalidates the cache, so late dialect
+    // loads still contribute their patterns. Holding the shared_ptr keeps
+    // the set alive through this run even across such an invalidation.
+    std::shared_ptr<const PatternSet> Patterns =
+        Ctx->getCachedCanonicalizationPatterns();
+    if (!Patterns) {
+      auto Set = std::make_shared<PatternSet>();
+      Ctx->forEachOpDef([&](const OpDef &Def) {
+        if (Def.CanonicalizationPatterns)
+          Def.CanonicalizationPatterns(*Set);
+      });
+      populateRgnPatterns(*Set);
+      Patterns = std::move(Set);
+      Ctx->setCachedCanonicalizationPatterns(Patterns);
+    }
+
+    GreedyRewriteStats Stats;
+    LogicalResult Result =
+        applyPatternsGreedily(Root, *Patterns, /*Changed=*/nullptr, &Stats);
+    PatternsApplied += Stats.PatternsApplied;
+    OpsFolded += Stats.OpsFolded;
+    OpsErased += Stats.OpsErased;
+    return Result;
   }
+
+private:
+  Statistic PatternsApplied{this, "patterns-applied",
+                            "Number of rewrite patterns applied"};
+  Statistic OpsFolded{this, "ops-folded", "Number of operations folded"};
+  Statistic OpsErased{this, "ops-erased",
+                      "Number of trivially dead operations erased"};
 };
 
 } // namespace

@@ -30,31 +30,31 @@ bool isTriviallyDead(Operation *Op) {
 }
 
 /// One bottom-up sweep over all ops nested under \p Root. Post-order means
-/// a chain of dead ops dies in a single sweep.
-bool sweepDeadOps(Operation *Root) {
-  bool Changed = false;
+/// a chain of dead ops dies in a single sweep. Returns the erase count.
+unsigned sweepDeadOps(Operation *Root) {
+  unsigned Erased = 0;
   for (unsigned I = 0; I != Root->getNumRegions(); ++I) {
     Root->getRegion(I).walk([&](Operation *Op) {
       if (isTriviallyDead(Op)) {
         Op->erase();
-        Changed = true;
+        ++Erased;
       }
     });
   }
-  return Changed;
+  return Erased;
 }
 
-/// Removes blocks unreachable from their region's entry.
-bool eraseUnreachableBlocks(Region &R) {
+/// Removes blocks unreachable from their region's entry; returns how many.
+unsigned eraseUnreachableBlocks(Region &R) {
   if (R.getNumBlocks() <= 1)
-    return false;
+    return 0;
   DominanceInfo Dom(R);
   std::vector<Block *> Dead;
   for (const auto &B : R)
     if (!Dom.isReachable(B.get()))
       Dead.push_back(B.get());
   if (Dead.empty())
-    return false;
+    return 0;
 
   // Drop all operand links (including in nested ops) first: unreachable
   // blocks may reference each other and reachable code cyclically.
@@ -68,19 +68,19 @@ bool eraseUnreachableBlocks(Region &R) {
   }
   for (Block *B : Dead)
     R.eraseBlock(B);
-  return true;
+  return static_cast<unsigned>(Dead.size());
 }
 
-bool sweepUnreachable(Operation *Root) {
-  bool Changed = false;
+unsigned sweepUnreachable(Operation *Root) {
+  unsigned Erased = 0;
   for (unsigned I = 0; I != Root->getNumRegions(); ++I) {
     Region &R = Root->getRegion(I);
-    Changed |= eraseUnreachableBlocks(R);
+    Erased += eraseUnreachableBlocks(R);
     for (const auto &B : R)
       for (Operation *Op : *B)
-        Changed |= sweepUnreachable(Op);
+        Erased += sweepUnreachable(Op);
   }
-  return Changed;
+  return Erased;
 }
 
 class DCEPass : public Pass {
@@ -89,11 +89,19 @@ public:
   LogicalResult run(Operation *Root) override {
     bool Changed = true;
     while (Changed) {
-      Changed = sweepUnreachable(Root);
-      Changed |= sweepDeadOps(Root);
+      unsigned Blocks = sweepUnreachable(Root);
+      unsigned Ops = sweepDeadOps(Root);
+      BlocksErased += Blocks;
+      OpsErased += Ops;
+      Changed = Blocks != 0 || Ops != 0;
     }
     return success();
   }
+
+private:
+  Statistic OpsErased{this, "ops-erased", "Number of dead operations erased"};
+  Statistic BlocksErased{this, "blocks-erased",
+                         "Number of unreachable blocks erased"};
 };
 
 } // namespace

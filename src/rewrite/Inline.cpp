@@ -52,12 +52,17 @@ public:
             Calls.push_back(Op);
         });
       for (Operation *Call : Calls)
-        Changed |= tryInline(Module, Call);
+        if (tryInline(Module, Call)) {
+          Changed = true;
+          ++CalleesInlined;
+        }
     }
     return success();
   }
 
 private:
+  Statistic CalleesInlined{this, "callees-inlined",
+                           "Number of call sites inlined"};
   bool tryInline(Operation *Module, Operation *Call) {
     auto *CalleeAttr = Call->getAttrOfType<SymbolRefAttr>("callee");
     Operation *Callee = lookupSymbol(Module, CalleeAttr->getValue());

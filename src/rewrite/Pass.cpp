@@ -1,4 +1,4 @@
-//===- Pass.cpp - pass and pass manager ---------------------------------------===//
+//===- Pass.cpp - pass manager, instrumentation, statistics -------------------===//
 //
 // Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
 // (CGO 2022). MIT license.
@@ -7,24 +7,214 @@
 
 #include "rewrite/Pass.h"
 
+#include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "support/OStream.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cstdio>
 
 using namespace lz;
 
+//===----------------------------------------------------------------------===//
+// Statistic
+//===----------------------------------------------------------------------===//
+
+Statistic::Statistic(Pass *Owner, std::string_view Name, std::string_view Desc)
+    : Name(Name), Desc(Desc) {
+  Owner->Statistics.push_back(this);
+}
+
+//===----------------------------------------------------------------------===//
+// PassInstrumentation implementations
+//===----------------------------------------------------------------------===//
+
+PassInstrumentation::~PassInstrumentation() = default;
+
+namespace {
+
+/// Prints IR snapshots around passes per an IRPrintConfig.
+class IRPrinterInstrumentation : public PassInstrumentation {
+public:
+  explicit IRPrinterInstrumentation(IRPrintConfig Config)
+      : Config(std::move(Config)) {}
+
+  void runBeforePass(Pass &P, Operation *Root) override {
+    if (Config.BeforeAll || listed(Config.Before, P.getName()))
+      dump("IR Dump Before ", P.getName(), Root);
+  }
+  void runAfterPass(Pass &P, Operation *Root) override {
+    if (Config.AfterAll || listed(Config.After, P.getName()))
+      dump("IR Dump After ", P.getName(), Root);
+  }
+  void runAfterPassFailed(Pass &P, Operation *Root) override {
+    if (Config.AfterAll || listed(Config.After, P.getName()))
+      dump("IR Dump After (failed) ", P.getName(), Root);
+  }
+
+private:
+  static bool listed(const std::vector<std::string> &Names,
+                     std::string_view Name) {
+    return std::find(Names.begin(), Names.end(), Name) != Names.end();
+  }
+
+  void dump(std::string_view Header, std::string_view PassName,
+            Operation *Root) {
+    OStream &OS = Config.OS ? *Config.OS : errs();
+    OS << "// -----// " << Header << PassName << " //----- //\n";
+    printOp(Root, OS);
+    OS.flush();
+  }
+
+  IRPrintConfig Config;
+};
+
+/// Times each pass as an aggregated child of a parent timer. Passes run
+/// strictly sequentially, so a stack of open scopes suffices (and pairs
+/// correctly even if a pass manager were nested inside a pass).
+class TimingInstrumentation : public PassInstrumentation {
+public:
+  explicit TimingInstrumentation(Timer &Parent) : Parent(Parent) {}
+
+  void runBeforePass(Pass &P, Operation *) override {
+    Open.emplace_back(&Parent.getOrCreateChild(P.getName()));
+  }
+  void runAfterPass(Pass &, Operation *) override { pop(); }
+  void runAfterPassFailed(Pass &, Operation *) override { pop(); }
+
+private:
+  void pop() {
+    if (!Open.empty())
+      Open.pop_back(); // ~TimingScope records the interval
+  }
+
+  Timer &Parent;
+  std::vector<TimingScope> Open;
+};
+
+} // namespace
+
+std::unique_ptr<PassInstrumentation>
+lz::createIRPrinterInstrumentation(IRPrintConfig Config) {
+  return std::make_unique<IRPrinterInstrumentation>(std::move(Config));
+}
+
+std::unique_ptr<PassInstrumentation>
+lz::createTimingInstrumentation(Timer &Parent) {
+  return std::make_unique<TimingInstrumentation>(Parent);
+}
+
+//===----------------------------------------------------------------------===//
+// StatisticsReport
+//===----------------------------------------------------------------------===//
+
+void StatisticsReport::add(std::string_view PassName, std::string_view StatName,
+                           std::string_view Desc, uint64_t Value) {
+  for (Row &R : Rows) {
+    if (R.PassName == PassName && R.StatName == StatName) {
+      R.Value += Value;
+      return;
+    }
+  }
+  Rows.push_back(
+      {std::string(PassName), std::string(StatName), std::string(Desc), Value});
+}
+
+namespace {
+
+const char *const ReportBar =
+    "===------------------------------------------------------------------"
+    "----===\n";
+
+/// Prints rows grouped by pass name, preserving row order within a group.
+void printStatRows(OStream &OS, const std::vector<StatisticsReport::Row> &Rows) {
+  OS << ReportBar;
+  OS << "                         ... Pass statistics report ...\n";
+  OS << ReportBar;
+  std::vector<bool> Printed(Rows.size(), false);
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    if (Printed[I])
+      continue;
+    OS << Rows[I].PassName << '\n';
+    for (size_t J = I; J != Rows.size(); ++J) {
+      if (Printed[J] || Rows[J].PassName != Rows[I].PassName)
+        continue;
+      Printed[J] = true;
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "  (S) %8llu ",
+                    static_cast<unsigned long long>(Rows[J].Value));
+      OS << Buf << Rows[J].StatName << " - " << Rows[J].Desc << '\n';
+    }
+  }
+}
+
+} // namespace
+
+void StatisticsReport::print(OStream &OS) const { printStatRows(OS, Rows); }
+
+//===----------------------------------------------------------------------===//
+// PassManager
+//===----------------------------------------------------------------------===//
+
+PassManager::PassManager() = default;
+PassManager::~PassManager() = default;
+
+void PassManager::addInstrumentation(std::unique_ptr<PassInstrumentation> PI) {
+  Instrumentations.push_back(std::move(PI));
+}
+
+void PassManager::enableTiming(Timer &Parent) {
+  TimingParent = &Parent;
+  addInstrumentation(createTimingInstrumentation(Parent));
+}
+
+void PassManager::enableIRPrinting(IRPrintConfig Config) {
+  addInstrumentation(createIRPrinterInstrumentation(std::move(Config)));
+}
+
+void PassManager::mergeStatisticsInto(StatisticsReport &Report) const {
+  for (const auto &P : Passes)
+    for (const Statistic *S : P->getStatistics())
+      Report.add(P->getName(), S->getName(), S->getDesc(), S->getValue());
+}
+
+void PassManager::printStatistics(OStream &OS) const {
+  StatisticsReport Report;
+  mergeStatisticsInto(Report);
+  Report.print(OS);
+}
+
 LogicalResult PassManager::run(Operation *Root) {
   RanPasses.clear();
-  if (VerifyEach && failed(verify(Root))) {
+
+  // The inter-pass verifier gets its own timing row so pass times stay
+  // honest under --pass-timing.
+  auto VerifyTimed = [&]() -> LogicalResult {
+    TimingScope S(TimingParent ? &TimingParent->getOrCreateChild("(verify)")
+                               : nullptr);
+    return verify(Root);
+  };
+
+  if (VerifyEach && failed(VerifyTimed())) {
     errs() << "pass manager: IR invalid before pipeline\n";
     return failure();
   }
   for (auto &P : Passes) {
+    for (auto &PI : Instrumentations)
+      PI->runBeforePass(*P, Root);
     if (failed(P->run(Root))) {
+      for (auto It = Instrumentations.rbegin(); It != Instrumentations.rend();
+           ++It)
+        (*It)->runAfterPassFailed(*P, Root);
       errs() << "pass '" << P->getName() << "' failed\n";
       return failure();
     }
+    for (auto It = Instrumentations.rbegin(); It != Instrumentations.rend();
+         ++It)
+      (*It)->runAfterPass(*P, Root);
     RanPasses.emplace_back(P->getName());
-    if (VerifyEach && failed(verify(Root))) {
+    if (VerifyEach && failed(VerifyTimed())) {
       errs() << "pass '" << P->getName() << "' produced invalid IR\n";
       return failure();
     }

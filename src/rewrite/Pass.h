@@ -1,4 +1,4 @@
-//===- Pass.h - pass and pass manager ---------------------------*- C++ -*-===//
+//===- Pass.h - pass manager, instrumentation, statistics -------*- C++ -*-===//
 //
 // Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
 // (CGO 2022). MIT license.
@@ -6,9 +6,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal pass manager in the MLIR mold: passes run over a root op
-/// (normally the module), and the manager re-verifies the IR after each
-/// pass so a broken transformation is caught at its source.
+/// The pass-manager subsystem in the MLIR mold. Beyond running passes over
+/// a root op with inter-pass verification, the manager supports:
+///
+///   * PassInstrumentation — runBeforePass / runAfterPass /
+///     runAfterPassFailed callbacks around every pass execution;
+///   * per-pass Statistic counters, printable as an `-mlir-pass-statistics`
+///     style report and mergeable into a StatisticsReport that survives the
+///     manager (the pipeline aggregates per-compile stats through this);
+///   * wall-clock timing of each pass (and the inter-pass verifier) into a
+///     caller-supplied Timer tree (see support/Timing.h) — the
+///     `-mlir-timing` analogue;
+///   * IR snapshot printing before/after selected passes or all passes —
+///     `--print-ir-before/-after/-after-all`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +27,7 @@
 
 #include "support/LogicalResult.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -24,7 +35,37 @@
 
 namespace lz {
 
+class OStream;
 class Operation;
+class Pass;
+class Timer;
+
+/// A named counter owned by a pass. Declare as a member and it registers
+/// itself with the owning pass; values accumulate across runs (a reused
+/// pass object keeps counting) and are only cleared explicitly.
+class Statistic {
+public:
+  Statistic(Pass *Owner, std::string_view Name, std::string_view Desc);
+
+  Statistic &operator+=(uint64_t N) {
+    Value += N;
+    return *this;
+  }
+  Statistic &operator++() {
+    ++Value;
+    return *this;
+  }
+
+  uint64_t getValue() const { return Value; }
+  std::string_view getName() const { return Name; }
+  std::string_view getDesc() const { return Desc; }
+  void reset() { Value = 0; }
+
+private:
+  std::string Name;
+  std::string Desc;
+  uint64_t Value = 0;
+};
 
 /// A unit of IR transformation.
 class Pass {
@@ -32,25 +73,128 @@ public:
   virtual ~Pass() = default;
   virtual std::string_view getName() const = 0;
   virtual LogicalResult run(Operation *Root) = 0;
+
+  /// The statistics registered by this pass's Statistic members.
+  const std::vector<Statistic *> &getStatistics() const { return Statistics; }
+
+private:
+  friend class Statistic;
+  std::vector<Statistic *> Statistics;
 };
 
-/// Runs a pipeline of passes with inter-pass verification.
+/// Observer of pass execution. Instrumentations are invoked in registration
+/// order before each pass and in reverse registration order after it (so
+/// nesting instrumentations pair up like scopes).
+class PassInstrumentation {
+public:
+  virtual ~PassInstrumentation();
+  virtual void runBeforePass(Pass & /*P*/, Operation * /*Root*/) {}
+  virtual void runAfterPass(Pass & /*P*/, Operation * /*Root*/) {}
+  virtual void runAfterPassFailed(Pass & /*P*/, Operation * /*Root*/) {}
+};
+
+/// Configuration for IR snapshot printing around passes.
+struct IRPrintConfig {
+  bool BeforeAll = false;
+  bool AfterAll = false;
+  /// Pass names to snapshot before/after (exact match on Pass::getName).
+  std::vector<std::string> Before;
+  std::vector<std::string> After;
+  /// Destination; when null the snapshots go to errs().
+  OStream *OS = nullptr;
+};
+
+/// Creates the instrumentation implementing IRPrintConfig. Snapshots are
+/// printed with `// -----// IR Dump After <pass> //----- //` headers
+/// (before-dumps and failure-dumps say so in the header).
+std::unique_ptr<PassInstrumentation>
+createIRPrinterInstrumentation(IRPrintConfig Config);
+
+/// Creates an instrumentation that times each pass as an aggregated child
+/// of \p Parent. Two runs of `canonicalize` under the same parent fold
+/// into one timer with count 2.
+std::unique_ptr<PassInstrumentation> createTimingInstrumentation(Timer &Parent);
+
+/// Aggregated (pass name, statistic name) -> value rows, merged from one or
+/// more pass managers. Unlike the statistics living on pass objects, a
+/// report outlives the manager, so per-compile pipelines can accumulate
+/// into a caller-owned report across many compiles.
+class StatisticsReport {
+public:
+  struct Row {
+    std::string PassName;
+    std::string StatName;
+    std::string Desc;
+    uint64_t Value = 0;
+  };
+
+  /// Adds \p Value into the row keyed (PassName, StatName), creating it on
+  /// first use. Row order is first-merge order (deterministic reports).
+  void add(std::string_view PassName, std::string_view StatName,
+           std::string_view Desc, uint64_t Value);
+
+  const std::vector<Row> &getRows() const { return Rows; }
+
+  /// Prints the same `(S) <value> <name> - <desc>` shape as
+  /// PassManager::printStatistics.
+  void print(OStream &OS) const;
+
+private:
+  std::vector<Row> Rows;
+};
+
+/// Runs a pipeline of passes with inter-pass verification and optional
+/// instrumentation.
 class PassManager {
 public:
+  PassManager();
+  ~PassManager();
+
   void addPass(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
 
   /// When disabled, skips the verifier between passes (benchmarking).
   void setVerifyEach(bool Enable) { VerifyEach = Enable; }
 
+  /// Registers \p PI; see PassInstrumentation for invocation order.
+  void addInstrumentation(std::unique_ptr<PassInstrumentation> PI);
+
+  /// Times every pass as a child of \p Parent; the inter-pass verifier is
+  /// attributed to a "(verify)" child so pass rows stay honest.
+  void enableTiming(Timer &Parent);
+
+  /// Prints IR snapshots around passes per \p Config.
+  void enableIRPrinting(IRPrintConfig Config);
+
   /// Runs all passes over \p Root; stops at the first failure.
   LogicalResult run(Operation *Root);
+
+  const std::vector<std::unique_ptr<Pass>> &getPasses() const {
+    return Passes;
+  }
 
   /// Names of passes that ran (for testing/reporting).
   const std::vector<std::string> &getRanPasses() const { return RanPasses; }
 
+  /// Adds every pass's statistics into \p Report, merging same-named passes
+  /// (the standard pipeline runs canonicalize twice). Call once per manager
+  /// lifetime or deltas will double-count.
+  void mergeStatisticsInto(StatisticsReport &Report) const;
+
+  /// Prints an MLIR-style `-pass-statistics` report over this manager's
+  /// passes (same-named passes merged):
+  ///
+  ///   ===----------------------------------------------------------===
+  ///                  ... Pass statistics report ...
+  ///   ===----------------------------------------------------------===
+  ///   canonicalize
+  ///     (S)       12 patterns-applied - Number of rewrite patterns applied
+  void printStatistics(OStream &OS) const;
+
 private:
   std::vector<std::unique_ptr<Pass>> Passes;
+  std::vector<std::unique_ptr<PassInstrumentation>> Instrumentations;
   std::vector<std::string> RanPasses;
+  Timer *TimingParent = nullptr;
   bool VerifyEach = true;
 };
 

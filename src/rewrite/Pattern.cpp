@@ -149,7 +149,11 @@ bool isTriviallyDeadWhenUnused(Operation *Op) {
 
 LogicalResult lz::applyPatternsGreedily(Operation *Scope,
                                         const PatternSet &Patterns,
-                                        bool *Changed) {
+                                        bool *Changed,
+                                        GreedyRewriteStats *Stats) {
+  GreedyRewriteStats LocalStats;
+  if (!Stats)
+    Stats = &LocalStats;
   Context *Ctx = Scope->getContext();
   PatternRewriter Rewriter(*Ctx);
   Worklist WL;
@@ -200,6 +204,7 @@ LogicalResult lz::applyPatternsGreedily(Operation *Scope,
       collectDefs(Op);
       Rewriter.eraseOp(Op);
       AnyChange = true;
+      ++Stats->OpsErased;
       for (Operation *Def : DefScratch)
         WL.push(Def);
       continue;
@@ -209,6 +214,7 @@ LogicalResult lz::applyPatternsGreedily(Operation *Scope,
     collectDefs(Op);
     if (succeeded(tryFold(Op, Rewriter))) {
       AnyChange = true;
+      ++Stats->OpsFolded;
       for (Operation *Def : DefScratch)
         WL.push(Def);
       continue;
@@ -232,6 +238,8 @@ LogicalResult lz::applyPatternsGreedily(Operation *Scope,
       Matched = TryPatterns(It->second);
     if (!Matched)
       Matched = TryPatterns(AnyPatterns);
+    if (Matched)
+      ++Stats->PatternsApplied;
     AnyChange |= Matched;
   }
 

@@ -120,12 +120,22 @@ private:
   RewriteListener *Listener = nullptr;
 };
 
+/// Counters filled by the greedy driver (feeds the canonicalizer's pass
+/// statistics).
+struct GreedyRewriteStats {
+  uint64_t PatternsApplied = 0; ///< successful RewritePattern applications
+  uint64_t OpsFolded = 0;       ///< ops removed or replaced by folding
+  uint64_t OpsErased = 0;       ///< trivially dead ops erased by the driver
+};
+
 /// Applies folds + patterns greedily until fixpoint over all ops nested
 /// under \p Scope (exclusive). Returns success if a fixpoint was reached
-/// within the iteration budget; sets \p Changed if any rewrite happened.
+/// within the iteration budget; sets \p Changed if any rewrite happened and
+/// accumulates counters into \p Stats when non-null.
 LogicalResult applyPatternsGreedily(Operation *Scope,
                                     const PatternSet &Patterns,
-                                    bool *Changed = nullptr);
+                                    bool *Changed = nullptr,
+                                    GreedyRewriteStats *Stats = nullptr);
 
 /// Folds \p Op if possible: on success results' uses are replaced (and
 /// constants materialized); the op itself is erased unless it folded to its

@@ -1,0 +1,76 @@
+//===- Timing.cpp - nested wall-clock timing ----------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timing.h"
+
+#include "support/OStream.h"
+
+#include <cstdio>
+
+using namespace lz;
+
+Timer *Timer::findChild(std::string_view ChildName) const {
+  for (const auto &C : Children)
+    if (C->getName() == ChildName)
+      return C.get();
+  return nullptr;
+}
+
+Timer &Timer::getOrCreateChild(std::string_view ChildName) {
+  if (Timer *Existing = findChild(ChildName))
+    return *Existing;
+  Children.push_back(std::make_unique<Timer>(std::string(ChildName)));
+  return *Children.back();
+}
+
+double TimingManager::getTotalSeconds() const {
+  if (Root.getCount() != 0)
+    return Root.getSeconds();
+  double Sum = 0.0;
+  for (const auto &C : Root.getChildren())
+    Sum += C->getSeconds();
+  return Sum;
+}
+
+namespace {
+
+void printTimerRow(OStream &OS, const Timer &T, double Total,
+                   unsigned Depth) {
+  double Pct = Total > 0.0 ? 100.0 * T.getSeconds() / Total : 0.0;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "  %8.4f (%5.1f%%)  ", T.getSeconds(), Pct);
+  OS << Buf;
+  OS.indent(2 * Depth);
+  OS << T.getName();
+  if (T.getCount() > 1)
+    OS << " (" << T.getCount() << "x)";
+  OS << '\n';
+  for (const auto &C : T.getChildren())
+    printTimerRow(OS, *C, Total, Depth + 1);
+}
+
+} // namespace
+
+void TimingManager::print(OStream &OS) const {
+  double Total = getTotalSeconds();
+  const char *Bar =
+      "===-------------------------------------------------------------------"
+      "---===\n";
+  OS << Bar;
+  OS << "                         ... Execution time report ...\n";
+  OS << Bar;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "  Total Execution Time: %.4f seconds\n\n",
+                Total);
+  OS << Buf;
+  OS << "  ----Wall Time----  ----Name----\n";
+  for (const auto &C : Root.getChildren())
+    printTimerRow(OS, *C, Total, 0);
+  // The synthetic total row closes the table like MLIR's report does.
+  std::snprintf(Buf, sizeof(Buf), "  %8.4f (100.0%%)  total\n", Total);
+  OS << Buf;
+}

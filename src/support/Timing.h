@@ -1,0 +1,157 @@
+//===- Timing.h - nested wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hierarchical wall-clock timing facility in the spirit of MLIR's
+/// `-mlir-timing`: a TimingManager owns a tree of named Timers, and RAII
+/// TimingScopes open (aggregated) children of the currently running timer.
+/// Repeated scopes with the same name under the same parent accumulate into
+/// a single Timer, so a pass that runs twice shows up as one row with an
+/// invocation count. The report printer renders the tree with per-row
+/// percentages of the total.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_SUPPORT_TIMING_H
+#define LZ_SUPPORT_TIMING_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lz {
+
+class OStream;
+
+/// One node of the timing tree: a named accumulator of wall-clock seconds
+/// plus the number of times it was started.
+class Timer {
+public:
+  explicit Timer(std::string Name) : Name(std::move(Name)) {}
+
+  std::string_view getName() const { return Name; }
+  double getSeconds() const { return Seconds; }
+  uint64_t getCount() const { return Count; }
+
+  /// Adds one timed interval to this node.
+  void record(double IntervalSeconds) {
+    Seconds += IntervalSeconds;
+    ++Count;
+  }
+
+  /// Finds the child named \p ChildName, or null. Children are few (pass
+  /// names within a phase), so a linear scan beats a map.
+  Timer *findChild(std::string_view ChildName) const;
+
+  /// Finds or creates the child named \p ChildName. Creation order is
+  /// preserved, so the report lists phases in first-execution order.
+  Timer &getOrCreateChild(std::string_view ChildName);
+
+  const std::vector<std::unique_ptr<Timer>> &getChildren() const {
+    return Children;
+  }
+
+private:
+  std::string Name;
+  double Seconds = 0.0;
+  uint64_t Count = 0;
+  std::vector<std::unique_ptr<Timer>> Children;
+};
+
+/// Owns the root of a timing tree and prints the aggregate report.
+class TimingManager {
+public:
+  TimingManager() : Root("total") {}
+
+  Timer &getRootTimer() { return Root; }
+  const Timer &getRootTimer() const { return Root; }
+
+  /// Total seconds attributed to the root: its own recorded time if any
+  /// scope timed the root directly, otherwise the sum of its children.
+  double getTotalSeconds() const;
+
+  /// Prints an MLIR-style nested execution time report:
+  ///
+  ///   ===-------------------------------------------------------------===
+  ///                     ... Execution time report ...
+  ///   ===-------------------------------------------------------------===
+  ///     Total Execution Time: 0.0123 seconds
+  ///
+  ///     ----Wall Time----  ----Name----
+  ///     0.0034 ( 27.6%)    frontend
+  ///     0.0089 ( 72.4%)    rgn-opt
+  ///     0.0041 ( 33.3%)      canonicalize (2x)
+  void print(OStream &OS) const;
+
+private:
+  Timer Root;
+};
+
+/// RAII handle over one running interval of a Timer. A default-constructed
+/// scope is inactive: nest() returns further inactive scopes and stop() is
+/// a no-op, so instrumentation call sites need no branching when timing is
+/// disabled.
+class TimingScope {
+public:
+  TimingScope() = default;
+
+  /// Starts timing \p T (may be null for an inactive scope).
+  explicit TimingScope(Timer *T) : TheTimer(T) {
+    if (TheTimer)
+      Start = std::chrono::steady_clock::now();
+  }
+
+  /// Starts timing \p TM's root timer.
+  explicit TimingScope(TimingManager &TM) : TimingScope(&TM.getRootTimer()) {}
+
+  TimingScope(TimingScope &&Other) noexcept
+      : TheTimer(Other.TheTimer), Start(Other.Start) {
+    Other.TheTimer = nullptr;
+  }
+  TimingScope &operator=(TimingScope &&Other) noexcept {
+    if (this != &Other) {
+      stop();
+      TheTimer = Other.TheTimer;
+      Start = Other.Start;
+      Other.TheTimer = nullptr;
+    }
+    return *this;
+  }
+  TimingScope(const TimingScope &) = delete;
+  TimingScope &operator=(const TimingScope &) = delete;
+
+  ~TimingScope() { stop(); }
+
+  /// Opens an aggregated child scope; inactive when this scope is.
+  TimingScope nest(std::string_view Name) {
+    return TimingScope(TheTimer ? &TheTimer->getOrCreateChild(Name) : nullptr);
+  }
+
+  /// Records the elapsed interval and deactivates the scope.
+  void stop() {
+    if (!TheTimer)
+      return;
+    std::chrono::duration<double> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+    TheTimer->record(Elapsed.count());
+    TheTimer = nullptr;
+  }
+
+  bool isActive() const { return TheTimer != nullptr; }
+  Timer *getTimer() { return TheTimer; }
+
+private:
+  Timer *TheTimer = nullptr;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace lz
+
+#endif // LZ_SUPPORT_TIMING_H

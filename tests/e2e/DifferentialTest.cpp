@@ -1,0 +1,126 @@
+//===- DifferentialTest.cpp - Interp-vs-VM over every program × variant -------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The registered-CTest promotion of bench/tab_correctness's spot-check:
+/// every program shipped in src/programs — the eight benchmark programs at
+/// their test size plus the feature corpus — must produce the λpure
+/// interpreter's result, output and a leak-free heap through ALL five
+/// pipeline variants. Per "The Denotational Semantics of SSA" the observable
+/// behavior is the equational ground truth, so one case per
+/// (program, variant) pins every pipeline to it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "programs/Programs.h"
+#include "rewrite/Pass.h"
+#include "support/OStream.h"
+#include "support/Timing.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::driver;
+using namespace lz::programs;
+using lower::PipelineVariant;
+
+namespace {
+
+const PipelineVariant AllVariants[] = {
+    PipelineVariant::Leanc, PipelineVariant::Full, PipelineVariant::SimpOnly,
+    PipelineVariant::RgnOnly, PipelineVariant::NoOpt};
+
+struct DiffCase {
+  std::string Name;
+  std::string Source;
+  PipelineVariant Variant;
+};
+
+std::vector<DiffCase> allCases() {
+  std::vector<DiffCase> Cases;
+  for (const BenchProgram &B : getBenchmarkSuite())
+    for (PipelineVariant V : AllVariants)
+      Cases.push_back({B.Name, instantiate(B, B.TestSize), V});
+  for (const FeatureProgram &F : getFeatureCorpus())
+    for (PipelineVariant V : AllVariants)
+      Cases.push_back({F.Name, F.Source, V});
+  return Cases;
+}
+
+std::string caseName(const ::testing::TestParamInfo<DiffCase> &Info) {
+  std::string N = Info.param.Name + "_" +
+                  lower::pipelineVariantName(Info.param.Variant);
+  for (char &C : N)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return N;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(DifferentialTest, VMMatchesInterp) {
+  const DiffCase &C = GetParam();
+
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(parseSource(C.Source, P, Error)) << Error;
+
+  RunResult Interp = runOracle(P);
+  ASSERT_TRUE(Interp.OK) << Interp.Error;
+  RunResult VM = runProgram(P, C.Variant);
+  ASSERT_TRUE(VM.OK) << VM.Error;
+  EXPECT_EQ(VM.ResultDisplay, Interp.ResultDisplay);
+  EXPECT_EQ(VM.Output, Interp.Output);
+  EXPECT_EQ(VM.LiveObjects, 0u) << "leaked heap cells";
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, DifferentialTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+// Attaching the full instrumentation stack (timing, statistics, IR
+// snapshots into a sink) must not change what any program computes.
+TEST(DifferentialInstrumented, InstrumentationPreservesSemantics) {
+  for (const BenchProgram &B : getBenchmarkSuite()) {
+    std::string Source = instantiate(B, B.TestSize);
+    lambda::Program P;
+    std::string Error;
+    ASSERT_TRUE(parseSource(Source, P, Error)) << B.Name << ": " << Error;
+
+    RunResult Interp = runOracle(P);
+    ASSERT_TRUE(Interp.OK) << B.Name << ": " << Interp.Error;
+
+    TimingManager TM;
+    StatisticsReport Stats;
+    std::string Snapshots;
+    StringOStream SnapshotSink(Snapshots);
+    IRPrintConfig PrintConfig;
+    PrintConfig.AfterAll = true;
+    PrintConfig.OS = &SnapshotSink;
+
+    lower::PipelineOptions Opts =
+        lower::PipelineOptions::forVariant(PipelineVariant::Full);
+    Opts.Instrument.Timing = &TM;
+    Opts.Instrument.Statistics = &Stats;
+    Opts.Instrument.IRPrint = &PrintConfig;
+
+    RunResult VM = runProgram(P, Opts);
+    ASSERT_TRUE(VM.OK) << B.Name << ": " << VM.Error;
+    EXPECT_EQ(VM.ResultDisplay, Interp.ResultDisplay) << B.Name;
+    EXPECT_EQ(VM.Output, Interp.Output) << B.Name;
+    EXPECT_EQ(VM.LiveObjects, 0u) << B.Name;
+
+    // The instrumentation observed the compile: phases were timed, the
+    // rgn-opt passes dumped snapshots, and statistics rows exist.
+    EXPECT_NE(TM.getRootTimer().findChild("frontend"), nullptr) << B.Name;
+    EXPECT_NE(TM.getRootTimer().findChild("rgn-opt"), nullptr) << B.Name;
+    EXPECT_NE(Snapshots.find("IR Dump After canonicalize"), std::string::npos)
+        << B.Name;
+    EXPECT_FALSE(Stats.getRows().empty()) << B.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,375 @@
+//===- PassInstrumentationTest.cpp - instrumentation subsystem tests -----------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Covers the pass-manager instrumentation subsystem: callback ordering
+/// (including runAfterPassFailed), statistic accumulation across repeated
+/// runs, timing-tree nesting and aggregation, IR snapshot filtering, and
+/// invalidation of the context-cached canonicalization pattern set.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "rewrite/Passes.h"
+#include "rewrite/Pattern.h"
+#include "support/OStream.h"
+#include "support/Timing.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class PassInstrumentationTest : public ::testing::Test {
+protected:
+  PassInstrumentationTest() { registerAllDialects(Ctx); }
+
+  /// Builds `f(x) = return x` with \p NumDeadAdds unused x+x ops.
+  Operation *makeFuncWithDeadOps(const char *Name, unsigned NumDeadAdds) {
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), Name,
+        Ctx.getFunctionType({Ctx.getI64()}, {Ctx.getI64()}));
+    B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+    Value *A = func::getFuncEntryBlock(Fn)->getArgument(0);
+    for (unsigned I = 0; I != NumDeadAdds; ++I)
+      arith::buildBinary(B, "arith.addi", A, A);
+    func::buildReturn(B, {&A, 1});
+    return Fn;
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+  OpBuilder B{Ctx};
+};
+
+/// Records every callback as "tag:event:pass".
+class RecordingInstrumentation : public PassInstrumentation {
+public:
+  RecordingInstrumentation(std::string Tag, std::vector<std::string> &Log)
+      : Tag(std::move(Tag)), Log(Log) {}
+
+  void runBeforePass(Pass &P, Operation *) override {
+    Log.push_back(Tag + ":before:" + std::string(P.getName()));
+  }
+  void runAfterPass(Pass &P, Operation *) override {
+    Log.push_back(Tag + ":after:" + std::string(P.getName()));
+  }
+  void runAfterPassFailed(Pass &P, Operation *) override {
+    Log.push_back(Tag + ":failed:" + std::string(P.getName()));
+  }
+
+private:
+  std::string Tag;
+  std::vector<std::string> &Log;
+};
+
+/// A pass that always fails without touching the IR.
+class FailingPass : public Pass {
+public:
+  std::string_view getName() const override { return "boom"; }
+  LogicalResult run(Operation *) override { return failure(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Callback ordering
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassInstrumentationTest, CallbacksWrapEveryPassInOrder) {
+  makeFuncWithDeadOps("f", 1);
+  std::vector<std::string> Log;
+  PassManager PM;
+  PM.addInstrumentation(
+      std::make_unique<RecordingInstrumentation>("A", Log));
+  PM.addInstrumentation(
+      std::make_unique<RecordingInstrumentation>("B", Log));
+  PM.addPass(createCSEPass());
+  PM.addPass(createDCEPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  // Before-callbacks run in registration order, after-callbacks in reverse,
+  // so instrumentations nest like scopes.
+  std::vector<std::string> Expected = {
+      "A:before:cse", "B:before:cse", "B:after:cse", "A:after:cse",
+      "A:before:dce", "B:before:dce", "B:after:dce", "A:after:dce",
+  };
+  EXPECT_EQ(Log, Expected);
+}
+
+TEST_F(PassInstrumentationTest, RunAfterPassFailedFiresAndStopsPipeline) {
+  makeFuncWithDeadOps("f", 1);
+  std::vector<std::string> Log;
+  PassManager PM;
+  PM.addInstrumentation(
+      std::make_unique<RecordingInstrumentation>("A", Log));
+  PM.addPass(createCSEPass());
+  PM.addPass(std::make_unique<FailingPass>());
+  PM.addPass(createDCEPass()); // must never run
+  EXPECT_TRUE(failed(PM.run(Module.get())));
+
+  std::vector<std::string> Expected = {
+      "A:before:cse", "A:after:cse", "A:before:boom", "A:failed:boom"};
+  EXPECT_EQ(Log, Expected);
+  ASSERT_EQ(PM.getRanPasses().size(), 1u);
+  EXPECT_EQ(PM.getRanPasses()[0], "cse");
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassInstrumentationTest, StatisticsAccumulateAcrossRepeatedRuns) {
+  makeFuncWithDeadOps("f", 2);
+  PassManager PM;
+  PM.addPass(createDCEPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  const Pass &DCE = *PM.getPasses()[0];
+  ASSERT_FALSE(DCE.getStatistics().empty());
+  const Statistic *OpsErased = DCE.getStatistics()[0];
+  EXPECT_EQ(OpsErased->getName(), "ops-erased");
+  EXPECT_EQ(OpsErased->getValue(), 2u);
+
+  // A second run over now-clean IR adds nothing but must not reset.
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  EXPECT_EQ(OpsErased->getValue(), 2u);
+
+  // New dead ops in a later run keep accumulating on the same counter.
+  makeFuncWithDeadOps("g", 3);
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  EXPECT_EQ(OpsErased->getValue(), 5u);
+}
+
+TEST_F(PassInstrumentationTest, ReportMergesSameNamedPassesAndManagers) {
+  makeFuncWithDeadOps("f", 2);
+  PassManager PM;
+  PM.addPass(createDCEPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  StatisticsReport Report;
+  PM.mergeStatisticsInto(Report);
+  // A second manager's stats merge into the same rows (the pipeline calls
+  // this once per compile).
+  makeFuncWithDeadOps("g", 1);
+  PassManager PM2;
+  PM2.addPass(createDCEPass());
+  ASSERT_TRUE(succeeded(PM2.run(Module.get())));
+  PM2.mergeStatisticsInto(Report);
+
+  uint64_t OpsErased = 0;
+  for (const StatisticsReport::Row &R : Report.getRows())
+    if (R.PassName == "dce" && R.StatName == "ops-erased")
+      OpsErased += R.Value;
+  EXPECT_EQ(OpsErased, 3u);
+
+  std::string Text;
+  StringOStream OS(Text);
+  Report.print(OS);
+  EXPECT_NE(Text.find("Pass statistics report"), std::string::npos);
+  EXPECT_NE(Text.find("ops-erased - Number of dead operations erased"),
+            std::string::npos);
+}
+
+TEST_F(PassInstrumentationTest, CanonicalizerCountsFoldsAndPatterns) {
+  // 2+3 folds; the resulting constants become trivially dead and are erased.
+  Operation *Fn = func::buildFunc(Ctx, Module.get(), "f",
+                                  Ctx.getFunctionType({}, {Ctx.getI64()}));
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Value *C2 = arith::buildConstant(B, Ctx.getI64(), 2)->getResult(0);
+  Value *C3 = arith::buildConstant(B, Ctx.getI64(), 3)->getResult(0);
+  Operation *Add = arith::buildBinary(B, "arith.addi", C2, C3);
+  Value *V = Add->getResult(0);
+  func::buildReturn(B, {&V, 1});
+
+  PassManager PM;
+  PM.addPass(createCanonicalizerPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  uint64_t Folded = 0, Erased = 0;
+  for (const Statistic *S : PM.getPasses()[0]->getStatistics()) {
+    if (S->getName() == "ops-folded")
+      Folded = S->getValue();
+    if (S->getName() == "ops-erased")
+      Erased = S->getValue();
+  }
+  EXPECT_GE(Folded, 1u);
+  EXPECT_GE(Erased, 2u); // both source constants die after the fold
+}
+
+//===----------------------------------------------------------------------===//
+// Timing
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassInstrumentationTest, TimingScopesNestAndAggregate) {
+  TimingManager TM;
+  {
+    TimingScope Root(TM);
+    {
+      TimingScope A = Root.nest("a");
+      TimingScope Nested = A.nest("b");
+    }
+    TimingScope Again = Root.nest("a"); // same name aggregates
+  }
+
+  const Timer &Root = TM.getRootTimer();
+  EXPECT_EQ(Root.getCount(), 1u);
+  const Timer *A = Root.findChild("a");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->getCount(), 2u);
+  const Timer *Nested = A->findChild("b");
+  ASSERT_NE(Nested, nullptr);
+  EXPECT_EQ(Nested->getCount(), 1u);
+  EXPECT_GE(A->getSeconds(), Nested->getSeconds());
+  EXPECT_GE(TM.getTotalSeconds(), A->getSeconds());
+
+  std::string Text;
+  StringOStream OS(Text);
+  TM.print(OS);
+  EXPECT_NE(Text.find("Execution time report"), std::string::npos);
+  EXPECT_NE(Text.find("a (2x)"), std::string::npos);
+  EXPECT_NE(Text.find("Total Execution Time:"), std::string::npos);
+}
+
+TEST_F(PassInstrumentationTest, PassManagerTimesPassesAndVerifier) {
+  makeFuncWithDeadOps("f", 1);
+  TimingManager TM;
+  PassManager PM;
+  PM.enableTiming(TM.getRootTimer());
+  PM.addPass(createCanonicalizerPass());
+  PM.addPass(createCSEPass());
+  PM.addPass(createCanonicalizerPass()); // aggregates with the first
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  const Timer &Root = TM.getRootTimer();
+  const Timer *Canon = Root.findChild("canonicalize");
+  ASSERT_NE(Canon, nullptr);
+  EXPECT_EQ(Canon->getCount(), 2u);
+  const Timer *CSE = Root.findChild("cse");
+  ASSERT_NE(CSE, nullptr);
+  EXPECT_EQ(CSE->getCount(), 1u);
+  // One pre-pipeline verify plus one per pass.
+  const Timer *Verify = Root.findChild("(verify)");
+  ASSERT_NE(Verify, nullptr);
+  EXPECT_EQ(Verify->getCount(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// IR snapshot printing
+//===----------------------------------------------------------------------===//
+
+unsigned countOccurrences(const std::string &Haystack,
+                          const std::string &Needle) {
+  unsigned N = 0;
+  for (size_t Pos = Haystack.find(Needle); Pos != std::string::npos;
+       Pos = Haystack.find(Needle, Pos + Needle.size()))
+    ++N;
+  return N;
+}
+
+TEST_F(PassInstrumentationTest, IRPrintingFiltersByPassName) {
+  makeFuncWithDeadOps("f", 1);
+  std::string Dumps;
+  StringOStream Sink(Dumps);
+  IRPrintConfig Config;
+  Config.After = {"cse"};
+  Config.OS = &Sink;
+
+  PassManager PM;
+  PM.enableIRPrinting(Config);
+  PM.addPass(createCanonicalizerPass());
+  PM.addPass(createCSEPass());
+  PM.addPass(createDCEPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  EXPECT_EQ(countOccurrences(Dumps, "IR Dump After cse"), 1u);
+  EXPECT_EQ(countOccurrences(Dumps, "canonicalize"), 0u);
+  EXPECT_EQ(countOccurrences(Dumps, "IR Dump Before"), 0u);
+  EXPECT_NE(Dumps.find("builtin.module"), std::string::npos);
+}
+
+TEST_F(PassInstrumentationTest, IRPrintingBeforeAndAfterAll) {
+  makeFuncWithDeadOps("f", 1);
+  std::string Dumps;
+  StringOStream Sink(Dumps);
+  IRPrintConfig Config;
+  Config.BeforeAll = true;
+  Config.AfterAll = true;
+  Config.OS = &Sink;
+
+  PassManager PM;
+  PM.enableIRPrinting(Config);
+  PM.addPass(createCSEPass());
+  PM.addPass(createDCEPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  EXPECT_EQ(countOccurrences(Dumps, "IR Dump Before "), 2u);
+  EXPECT_EQ(countOccurrences(Dumps, "IR Dump After "), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cached canonicalization pattern set
+//===----------------------------------------------------------------------===//
+
+/// A pattern that never matches; exists to be countable in the cached set.
+class NeverMatchPattern : public RewritePattern {
+public:
+  NeverMatchPattern() : RewritePattern("test.dummy") {}
+  LogicalResult matchAndRewrite(Operation *,
+                                PatternRewriter &) const override {
+    return failure();
+  }
+};
+
+TEST_F(PassInstrumentationTest, PatternSetCachedOncePerContext) {
+  makeFuncWithDeadOps("f", 1);
+  EXPECT_EQ(Ctx.getCachedCanonicalizationPatterns(), nullptr);
+
+  PassManager PM;
+  PM.addPass(createCanonicalizerPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  std::shared_ptr<const PatternSet> First =
+      Ctx.getCachedCanonicalizationPatterns();
+  ASSERT_NE(First, nullptr);
+
+  // A second run reuses the identical set object.
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  EXPECT_EQ(Ctx.getCachedCanonicalizationPatterns(), First);
+}
+
+TEST_F(PassInstrumentationTest, LateOpRegistrationInvalidatesPatternCache) {
+  makeFuncWithDeadOps("f", 1);
+  PassManager PM;
+  PM.addPass(createCanonicalizerPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  std::shared_ptr<const PatternSet> First =
+      Ctx.getCachedCanonicalizationPatterns();
+  ASSERT_NE(First, nullptr);
+  size_t FirstSize = First->get().size();
+
+  // A dialect registering after first use must invalidate the cache...
+  OpDef Def;
+  Def.Name = "test.dummy";
+  Def.Traits = OpTrait_Pure;
+  Def.CanonicalizationPatterns = [](PatternSet &Set) {
+    Set.add<NeverMatchPattern>();
+  };
+  Ctx.registerOp(std::move(Def));
+  EXPECT_EQ(Ctx.getCachedCanonicalizationPatterns(), nullptr);
+
+  // ...and the rebuilt set must include the late dialect's patterns.
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  std::shared_ptr<const PatternSet> Second =
+      Ctx.getCachedCanonicalizationPatterns();
+  ASSERT_NE(Second, nullptr);
+  EXPECT_NE(Second, First);
+  EXPECT_EQ(Second->get().size(), FirstSize + 1);
+}
+
+} // namespace

@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
-#===- tools/bench-json.sh - compile-throughput bench -> BENCH_compile.json -===//
+#===- tools/bench-json.sh - benchmark binaries -> BENCH_*.json ------------===//
 #
-# Runs bench_compile_throughput and writes BENCH_compile.json at the repo
-# root so the perf trajectory has a machine-readable datapoint per change.
+# Runs a benchmark binary and writes a machine-readable BENCH_*.json at the
+# repo root so the perf trajectory has a datapoint per change.
 #
 # Usage:
-#   tools/bench-json.sh [--baseline OLD.json] [--out FILE] [-- <bench args>]
+#   tools/bench-json.sh [--bench NAME] [--baseline OLD.json] [--out FILE] \
+#                       [-- <bench args>]
 #
+#   --bench NAME          which benchmark to record (default: compile):
+#                           compile  bench_compile_throughput -> BENCH_compile.json
+#                           fig9     bench_fig9_speedup       -> BENCH_fig9.json
+#                         any other NAME runs bench_NAME -> BENCH_NAME.json.
 #   --baseline OLD.json   a previous raw Google-Benchmark JSON (from
 #                         --benchmark_out); before->after speedups are
 #                         computed against it and embedded in the output.
-#   --out FILE            output path (default: BENCH_compile.json at the
-#                         repo root).
+#   --out FILE            output path (default depends on --bench).
 #   BUILD_DIR=<dir>       build tree containing bench/ (default: build).
+#
+# The `compile` bench additionally records the per-pass wall-time/statistic
+# counters exported by compile_pipeline/per_pass under a "per_pass" key;
+# the `fig9` bench gets a per-benchmark leanc-vs-full speedup summary.
 #
 # Typical perf-PR flow:
 #   git stash && cmake --build build -j && \
@@ -26,12 +34,13 @@ set -euo pipefail
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD_DIR=${BUILD_DIR:-"$REPO_ROOT/build"}
-BIN="$BUILD_DIR/bench/bench_compile_throughput"
-OUT="$REPO_ROOT/BENCH_compile.json"
+BENCH="compile"
+OUT=""
 BASELINE=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
+    --bench) BENCH="$2"; shift 2 ;;
     --baseline) BASELINE="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
     --) shift; break ;;
@@ -39,47 +48,71 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
+case "$BENCH" in
+  compile) BIN_NAME="bench_compile_throughput"; DEFAULT_OUT="BENCH_compile.json"; LABEL="compile_throughput" ;;
+  fig9)    BIN_NAME="bench_fig9_speedup";       DEFAULT_OUT="BENCH_fig9.json";    LABEL="fig9_speedup" ;;
+  *)       BIN_NAME="bench_$BENCH";             DEFAULT_OUT="BENCH_$BENCH.json";  LABEL="$BENCH" ;;
+esac
+BIN="$BUILD_DIR/bench/$BIN_NAME"
+OUT=${OUT:-"$REPO_ROOT/$DEFAULT_OUT"}
+
 if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_compile_throughput)" >&2
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target $BIN_NAME)" >&2
   exit 1
 fi
 
-RAW=$(mktemp /tmp/bench_compile.XXXXXX.json)
+RAW=$(mktemp /tmp/bench_json.XXXXXX.json)
 trap 'rm -f "$RAW"' EXIT
 
 "$BIN" --benchmark_out="$RAW" --benchmark_out_format=json "$@"
 
-# Emits the BENCH_compile.json schema: {bench, generated_by, date, host,
-# before?, after, speedup_cpu_time_before_over_after?, summary?}.
+# Emits the BENCH_*.json schema: {bench, generated_by, date, host, before?,
+# after, speedup_cpu_time_before_over_after?, per_pass?, summary?}.
+LZ_BENCH_LABEL="$LABEL" LZ_BENCH_KIND="$BENCH" \
 python3 - "$RAW" "$OUT" "$BASELINE" <<'PYEOF'
-import json, sys, datetime, statistics
+import json, os, sys, datetime, statistics
 
 raw_path, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+label, kind = os.environ["LZ_BENCH_LABEL"], os.environ["LZ_BENCH_KIND"]
+
+STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "bytes_per_second",
+    "items_per_second", "label", "aggregate_name", "aggregate_unit",
+}
+
+TIME_UNIT_TO_NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 def load_times(path):
     with open(path) as f:
         data = json.load(f)
-    times = {}
+    times, counters = {}, {}
     for b in data.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
+        scale = TIME_UNIT_TO_NS.get(b.get("time_unit", "ns"), 1)
         times[b["name"]] = {
-            "real_time_ns": b["real_time"],
-            "cpu_time_ns": b["cpu_time"],
+            "real_time_ns": b["real_time"] * scale,
+            "cpu_time_ns": b["cpu_time"] * scale,
             "iterations": b["iterations"],
         }
-    return data.get("context", {}), times
+        extra = {k: v for k, v in b.items()
+                 if k not in STANDARD_KEYS and isinstance(v, (int, float))}
+        if extra:
+            counters[b["name"]] = extra
+    return data.get("context", {}), times, counters
 
-context, after = load_times(raw_path)
+context, after, counters = load_times(raw_path)
 result = {
-    "bench": "compile_throughput",
+    "bench": label,
     "generated_by": "tools/bench-json.sh",
     "date": datetime.date.today().isoformat(),
     "host": {k: context.get(k) for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type") if k in context},
 }
 
 if baseline_path:
-    _, before = load_times(baseline_path)
+    _, before, _ = load_times(baseline_path)
     result["before"] = {"results": before}
     result["after"] = {"results": after}
     speedups = {}
@@ -88,19 +121,54 @@ if baseline_path:
         if base and cur["cpu_time_ns"] > 0:
             speedups[name] = round(base["cpu_time_ns"] / cur["cpu_time_ns"], 3)
     result["speedup_cpu_time_before_over_after"] = speedups
+else:
+    result["after"] = {"results": after}
+
+# Per-pass breakdown: the time.* / stat.* counters of
+# compile_pipeline/per_pass become their own top-level section.
+per_pass = counters.get("compile_pipeline/per_pass")
+if per_pass:
+    result["per_pass"] = {
+        "description": "full-pipeline suite attribution per compile "
+                       "(time.* in seconds, stat.* in ops)",
+        "time_seconds": {k[len("time."):]: round(v, 6)
+                         for k, v in sorted(per_pass.items())
+                         if k.startswith("time.")},
+        "statistics": {k[len("stat."):]: round(v, 2)
+                       for k, v in sorted(per_pass.items())
+                       if k.startswith("stat.")},
+    }
+
+summary = {}
+if kind == "compile" and baseline_path:
+    speedups = result.get("speedup_cpu_time_before_over_after", {})
     pipe = [v for k, v in speedups.items()
-            if k.startswith("compile_pipeline/") and k != "compile_pipeline/suite"]
+            if k.startswith("compile_pipeline/") and
+            k not in ("compile_pipeline/suite", "compile_pipeline/per_pass")]
     opt = [v for k, v in speedups.items() if k.startswith("compile_opt/")]
-    summary = {}
     if "compile_pipeline/suite" in speedups:
         summary["pipeline_suite_speedup"] = speedups["compile_pipeline/suite"]
     if pipe:
         summary["pipeline_per_program_geomean"] = round(statistics.geometric_mean(pipe), 3)
     if opt:
         summary["opt_geomean"] = round(statistics.geometric_mean(opt), 3)
+elif kind == "fig9":
+    # Names are fig9/<bench>/<variant>[/manual_time]; speedup =
+    # leanc / full (manual real time), matching the paper's Figure 9 table.
+    by_bench = {}
+    for name, r in after.items():
+        parts = name.split("/")
+        if len(parts) >= 3 and parts[0] == "fig9":
+            by_bench.setdefault(parts[1], {})[parts[2]] = r["real_time_ns"]
+    speedups = {b: round(v["leanc"] / v["full"], 3)
+                for b, v in sorted(by_bench.items())
+                if v.get("leanc") and v.get("full")}
+    if speedups:
+        summary["speedup_leanc_over_full"] = speedups
+        summary["geomean_speedup"] = round(
+            statistics.geometric_mean(speedups.values()), 3)
+if summary:
     result["summary"] = summary
-else:
-    result["after"] = {"results": after}
 
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=False)

@@ -28,6 +28,7 @@
 #include "rc/RCInsert.h"
 #include "rewrite/Passes.h"
 #include "support/OStream.h"
+#include "support/Timing.h"
 
 #include <fstream>
 #include <iostream>
@@ -48,7 +49,14 @@ const char *const UsageText =
             "                        repeatable, runs in the order given\n"
     "  --lower-lp-to-rgn     lower lp switches/joinpoints to rgn\n"
     "  --lower-rgn-to-cf     lower rgn to a flat CFG (+ tail calls)\n"
-    "  --verify-only         parse + verify, print 'ok'\n";
+    "  --verify-only         parse + verify, print 'ok'\n"
+    "  --pass-timing         print a per-pass/per-stage wall-time report\n"
+    "                        to stderr after the run\n"
+    "  --pass-statistics     print per-pass statistic counters to stderr\n"
+    "  --print-ir-before=P   print IR to stderr before pass P (repeatable)\n"
+    "  --print-ir-after=P    print IR to stderr after pass P (repeatable)\n"
+    "  --print-ir-before-all print IR before every pass\n"
+    "  --print-ir-after-all  print IR after every pass\n";
 
 int usage() {
   errs() << UsageText;
@@ -66,6 +74,9 @@ int main(int argc, char **argv) {
   bool LowerLp = false;
   bool LowerRgn = false;
   bool VerifyOnly = false;
+  bool PassTiming = false;
+  bool PassStatistics = false;
+  IRPrintConfig PrintConfig;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -83,6 +94,18 @@ int main(int argc, char **argv) {
       LowerRgn = true;
     else if (Arg == "--verify-only")
       VerifyOnly = true;
+    else if (Arg == "--pass-timing")
+      PassTiming = true;
+    else if (Arg == "--pass-statistics")
+      PassStatistics = true;
+    else if (Arg.rfind("--print-ir-before=", 0) == 0)
+      PrintConfig.Before.push_back(Arg.substr(18));
+    else if (Arg.rfind("--print-ir-after=", 0) == 0)
+      PrintConfig.After.push_back(Arg.substr(17));
+    else if (Arg == "--print-ir-before-all")
+      PrintConfig.BeforeAll = true;
+    else if (Arg == "--print-ir-after-all")
+      PrintConfig.AfterAll = true;
     else if (Arg == "--help" || Arg == "-h") {
       outs() << UsageText;
       return 0;
@@ -115,19 +138,33 @@ int main(int argc, char **argv) {
   registerAllDialects(Ctx);
   OwningOpRef Owner;
 
+  // Stage timing is always collected (a handful of clock reads); the
+  // report only prints under --pass-timing.
+  TimingManager TM;
+  TimingScope Total(TM);
+
   if (MiniLean) {
     lambda::Program P;
     std::string Error;
-    if (failed(lambda::parseMiniLean(Source, P, Error))) {
-      errs() << "parse error: " << Error << '\n';
-      return 1;
+    {
+      TimingScope S = Total.nest("parse");
+      if (failed(lambda::parseMiniLean(Source, P, Error))) {
+        errs() << "parse error: " << Error << '\n';
+        return 1;
+      }
     }
-    if (Simplify)
+    if (Simplify) {
+      TimingScope S = Total.nest("simplify");
       lambda::simplifyProgram(P);
-    if (RC)
+    }
+    if (RC) {
+      TimingScope S = Total.nest("rc-insert");
       rc::insertRC(P);
+    }
+    TimingScope S = Total.nest("lower-lambda-to-lp");
     Owner = lower::lowerLambdaToLp(P, Ctx);
   } else {
+    TimingScope S = Total.nest("parse");
     std::string Error;
     Operation *Root = parseSourceString(Source, Ctx, Error);
     if (!Root) {
@@ -145,38 +182,60 @@ int main(int argc, char **argv) {
   }
 
   PassManager PM;
-  for (const std::string &Name : Passes) {
-    if (Name == "canonicalize")
-      PM.addPass(createCanonicalizerPass());
-    else if (Name == "cse")
-      PM.addPass(createCSEPass());
-    else if (Name == "dce")
-      PM.addPass(createDCEPass());
-    else if (Name == "inline")
-      PM.addPass(createInlinerPass());
-    else {
-      errs() << "unknown pass '" << Name << "'\n";
-      return usage();
+  {
+    TimingScope PassScope = Total.nest("passes");
+    PM.enableTiming(*PassScope.getTimer());
+    if (PrintConfig.BeforeAll || PrintConfig.AfterAll ||
+        !PrintConfig.Before.empty() || !PrintConfig.After.empty())
+      PM.enableIRPrinting(PrintConfig); // snapshots go to errs()
+    for (const std::string &Name : Passes) {
+      if (Name == "canonicalize")
+        PM.addPass(createCanonicalizerPass());
+      else if (Name == "cse")
+        PM.addPass(createCSEPass());
+      else if (Name == "dce")
+        PM.addPass(createDCEPass());
+      else if (Name == "inline")
+        PM.addPass(createInlinerPass());
+      else {
+        errs() << "unknown pass '" << Name << "'\n";
+        return usage();
+      }
     }
+    if (failed(PM.run(Owner.get())))
+      return 1;
   }
-  if (failed(PM.run(Owner.get())))
-    return 1;
 
   if (LowerLp) {
-    if (failed(lower::lowerLpToRgn(Owner.get())))
-      return 1;
+    {
+      TimingScope S = Total.nest("lower-lp-to-rgn");
+      if (failed(lower::lowerLpToRgn(Owner.get())))
+        return 1;
+    }
     if (failed(verify(Owner.get())))
       return 1;
   }
 
   if (LowerRgn) {
-    if (failed(lower::lowerRgnToCf(Owner.get())))
-      return 1;
-    lower::markTailCalls(Owner.get());
+    {
+      TimingScope S = Total.nest("lower-rgn-to-cf");
+      if (failed(lower::lowerRgnToCf(Owner.get())))
+        return 1;
+      lower::markTailCalls(Owner.get());
+    }
     if (failed(verify(Owner.get())))
       return 1;
   }
 
   outs() << printToString(Owner.get());
+  Total.stop();
+
+  // Flush the module text first so the merged stdout/stderr order is
+  // deterministic for golden tests.
+  outs().flush();
+  if (PassStatistics)
+    PM.printStatistics(errs());
+  if (PassTiming)
+    TM.print(errs());
   return 0;
 }
