@@ -25,15 +25,17 @@ namespace {
 
 struct Config {
   const char *Label;
-  bool Canon, CSE, DCE;
+  bool Canon, CSE, DCE, SCCP;
 };
 
 const Config Configs[] = {
-    {"all", true, true, true},
-    {"no-canon", false, true, true},
-    {"no-cse", true, false, true},
-    {"no-dce", true, true, false},
-    {"none", false, false, false},
+    {"all", true, true, true, true},
+    {"no-canon", false, true, true, true},
+    {"no-cse", true, false, true, true},
+    {"no-dce", true, true, false, true},
+    {"no-sccp", true, true, true, false},
+    {"sccp-only", false, false, false, true},
+    {"none", false, false, false, false},
 };
 
 lower::PipelineOptions optionsFor(const Config &C) {
@@ -42,6 +44,7 @@ lower::PipelineOptions optionsFor(const Config &C) {
   O.RunCanonicalize = C.Canon;
   O.RunCSE = C.CSE;
   O.RunDCE = C.DCE;
+  O.RunSCCP = C.SCCP;
   return O;
 }
 

@@ -1,0 +1,82 @@
+//===- AnalysisManager.cpp - cached per-operation analyses --------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+
+using namespace lz;
+
+void *AnalysisManager::findCached(detail::AnalysisTypeID Id,
+                                  Operation *Root) const {
+  auto It = Cache.find(Root);
+  if (It == Cache.end())
+    return nullptr;
+  for (const Slot &S : It->second)
+    if (S.Id == Id)
+      return S.Instance;
+  return nullptr;
+}
+
+void AnalysisManager::store(detail::AnalysisTypeID Id, Operation *Root,
+                            void *Instance, void (*Deleter)(void *)) {
+  Cache[Root].push_back({Id, Instance, Deleter});
+}
+
+AnalysisManager::CacheCounter &
+AnalysisManager::counterFor(detail::AnalysisTypeID Id, std::string_view Name) {
+  auto It = CounterIndex.find(Id);
+  if (It == CounterIndex.end()) {
+    It = CounterIndex.emplace(Id, Counters.size()).first;
+    Counters.push_back({std::string(Name), 0, 0});
+  }
+  return Counters[It->second];
+}
+
+void AnalysisManager::invalidate(Operation *Root,
+                                 const PreservedAnalyses &PA) {
+  if (PA.isAllPreserved())
+    return;
+  auto It = Cache.find(Root);
+  if (It == Cache.end())
+    return;
+  auto &Slots = It->second;
+  for (size_t I = 0; I != Slots.size();) {
+    if (PA.isPreserved(Slots[I].Id)) {
+      ++I;
+      continue;
+    }
+    Slots[I].Deleter(Slots[I].Instance);
+    Slots[I] = Slots.back();
+    Slots.pop_back();
+  }
+  if (Slots.empty())
+    Cache.erase(It);
+}
+
+void AnalysisManager::invalidateAll(const PreservedAnalyses &PA) {
+  if (PA.isAllPreserved())
+    return;
+  for (auto It = Cache.begin(); It != Cache.end();) {
+    auto &Slots = It->second;
+    for (size_t I = 0; I != Slots.size();) {
+      if (PA.isPreserved(Slots[I].Id)) {
+        ++I;
+        continue;
+      }
+      Slots[I].Deleter(Slots[I].Instance);
+      Slots[I] = Slots.back();
+      Slots.pop_back();
+    }
+    It = Slots.empty() ? Cache.erase(It) : std::next(It);
+  }
+}
+
+void AnalysisManager::clear() {
+  for (auto &[Root, Slots] : Cache)
+    for (Slot &S : Slots)
+      S.Deleter(S.Instance);
+  Cache.clear();
+}

@@ -1,0 +1,177 @@
+//===- AnalysisManager.h - cached per-operation analyses --------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis framework in the MLIR mold: an AnalysisManager lazily
+/// constructs, caches and invalidates analyses keyed by (root operation,
+/// analysis type). Passes query analyses through Pass::getAnalysis<T>()
+/// and declare what survives them via PreservedAnalyses; the PassManager
+/// invalidates everything else after each pass.
+///
+/// An analysis is any class with
+///
+///   static constexpr std::string_view AnalysisName = "...";
+///   explicit T(Operation *Root);
+///
+/// Cache hits/misses are counted per analysis (surfaced through the pass
+/// statistics report) and constructions are timed under an "(analysis)"
+/// timing row when the owning PassManager has timing enabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_ANALYSIS_ANALYSISMANAGER_H
+#define LZ_ANALYSIS_ANALYSISMANAGER_H
+
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lz {
+
+class Operation;
+
+namespace detail {
+/// One unique address per analysis type — the cache and preservation key.
+using AnalysisTypeID = const void *;
+template <typename T> struct AnalysisTypeIDTag {
+  static inline char ID = 0;
+};
+template <typename T> AnalysisTypeID analysisTypeID() {
+  return &AnalysisTypeIDTag<T>::ID;
+}
+} // namespace detail
+
+/// The set of analyses a pass run left valid. Defaults to "nothing
+/// preserved"; a pass that did not touch the IR calls preserveAll(), one
+/// that kept specific structures intact preserves the matching analyses.
+class PreservedAnalyses {
+public:
+  void preserveAll() { All = true; }
+  template <typename T> void preserve() {
+    Ids.push_back(detail::analysisTypeID<T>());
+  }
+  bool isAllPreserved() const { return All; }
+  bool isPreserved(detail::AnalysisTypeID Id) const {
+    return All || std::find(Ids.begin(), Ids.end(), Id) != Ids.end();
+  }
+  void clear() {
+    All = false;
+    Ids.clear();
+  }
+
+private:
+  bool All = false;
+  std::vector<detail::AnalysisTypeID> Ids;
+};
+
+/// Lazily constructs, caches and invalidates analyses per root operation.
+class AnalysisManager {
+public:
+  AnalysisManager() = default;
+  ~AnalysisManager() { clear(); }
+
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  /// Returns the cached T for \p Root, constructing it on first request.
+  /// Counts a cache hit or miss; misses are timed when timing is enabled.
+  template <typename T> T &getAnalysis(Operation *Root) {
+    detail::AnalysisTypeID Id = detail::analysisTypeID<T>();
+    if (void *P = findCached(Id, Root)) {
+      recordHit(Id, T::AnalysisName);
+      return *static_cast<T *>(P);
+    }
+    recordMiss(Id, T::AnalysisName);
+    T *Instance;
+    {
+      // Both scopes record the same interval: the "(analysis)" group row
+      // aggregates total construction time, its child attributes per name.
+      TimingScope Group(TimingParent);
+      TimingScope S = Group.nest(T::AnalysisName);
+      Instance = new T(Root);
+    }
+    store(Id, Root, Instance,
+          [](void *P) { delete static_cast<T *>(P); });
+    return *Instance;
+  }
+
+  /// Returns the cached T for \p Root, or null without constructing.
+  /// A found entry counts as a hit; absence is not counted as a miss
+  /// (nothing was built).
+  template <typename T> T *getCachedAnalysis(Operation *Root) {
+    detail::AnalysisTypeID Id = detail::analysisTypeID<T>();
+    if (void *P = findCached(Id, Root)) {
+      recordHit(Id, T::AnalysisName);
+      return static_cast<T *>(P);
+    }
+    return nullptr;
+  }
+
+  /// Drops every cached analysis of \p Root not in \p PA.
+  void invalidate(Operation *Root, const PreservedAnalyses &PA);
+
+  /// Drops every cached analysis of every root not in \p PA. The
+  /// PassManager calls this after each pass: a pass handed the whole root
+  /// op may have mutated IR nested arbitrarily deep.
+  void invalidateAll(const PreservedAnalyses &PA);
+
+  /// Drops everything (counters stay).
+  void clear();
+
+  /// Times analysis constructions as children of an "(analysis)" group row
+  /// under \p Parent — aggregated by analysis name, so N reuses of one
+  /// construction show as a single row. Note: a construction triggered
+  /// from inside an already-timed scope (a pass calling getAnalysis on a
+  /// cold cache) is counted in both rows; the pass manager keeps its own
+  /// verifier row clean by fetching analyses before opening it.
+  void enableTiming(Timer &Parent) {
+    TimingParent = &Parent.getOrCreateChild("(analysis)");
+  }
+
+  /// Per-analysis cache counters in first-use order (deterministic
+  /// reports).
+  struct CacheCounter {
+    std::string Name;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+  const std::vector<CacheCounter> &getCacheCounters() const {
+    return Counters;
+  }
+
+private:
+  struct Slot {
+    detail::AnalysisTypeID Id;
+    void *Instance;
+    void (*Deleter)(void *);
+  };
+
+  void *findCached(detail::AnalysisTypeID Id, Operation *Root) const;
+  void store(detail::AnalysisTypeID Id, Operation *Root, void *Instance,
+             void (*Deleter)(void *));
+  CacheCounter &counterFor(detail::AnalysisTypeID Id, std::string_view Name);
+  void recordHit(detail::AnalysisTypeID Id, std::string_view Name) {
+    ++counterFor(Id, Name).Hits;
+  }
+  void recordMiss(detail::AnalysisTypeID Id, std::string_view Name) {
+    ++counterFor(Id, Name).Misses;
+  }
+
+  std::unordered_map<Operation *, std::vector<Slot>> Cache;
+  std::vector<CacheCounter> Counters;
+  std::unordered_map<detail::AnalysisTypeID, size_t> CounterIndex;
+  Timer *TimingParent = nullptr;
+};
+
+} // namespace lz
+
+#endif // LZ_ANALYSIS_ANALYSISMANAGER_H

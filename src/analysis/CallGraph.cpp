@@ -1,0 +1,141 @@
+//===- CallGraph.cpp - func/lp call graph -------------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "dialect/Func.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace lz;
+
+CallGraph::CallGraph(Operation *Module) {
+  // Nodes: every func.func, in module order.
+  for (Operation *Op : *getModuleBody(Module)) {
+    if (Op->getName() != "func.func")
+      continue;
+    Nodes.push_back(std::make_unique<Node>());
+    Node *N = Nodes.back().get();
+    N->Fn = Op;
+    NodeOrder.push_back(N);
+    ByFn[Op] = N;
+    BySymbol[func::getFuncName(Op)] = N;
+  }
+
+  // Edges: func.call (direct) and lp.pap (deferred via closure) callees.
+  for (Node *N : NodeOrder) {
+    N->Fn->walk([&](Operation *Op) {
+      std::string_view OpName = Op->getName();
+      if (OpName != "func.call" && OpName != "lp.pap")
+        return;
+      auto *Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
+      if (!Callee)
+        return;
+      auto It = BySymbol.find(Callee->getValue());
+      if (It == BySymbol.end())
+        return; // runtime builtin or undefined symbol
+      Node *C = It->second;
+      if (C == N)
+        N->SelfEdge = true;
+      if (std::find(N->Callees.begin(), N->Callees.end(), C) ==
+          N->Callees.end()) {
+        N->Callees.push_back(C);
+        C->Callers.push_back(N);
+      }
+    });
+  }
+
+  // Tarjan SCCs, iteratively. SCCs pop callee-side first, which is exactly
+  // the bottom-up order the inliner wants.
+  struct TarjanState {
+    unsigned Index = 0;
+    unsigned LowLink = 0;
+    bool Visited = false;
+    bool OnStack = false;
+  };
+  std::unordered_map<Node *, TarjanState> State;
+  State.reserve(NodeOrder.size());
+  std::vector<Node *> SccStack;
+  unsigned NextIndex = 0;
+
+  // Explicit DFS frame: node + index of the next callee to examine.
+  struct Frame {
+    Node *N;
+    size_t NextCallee;
+  };
+  std::vector<Frame> DFS;
+
+  for (Node *Start : NodeOrder) {
+    if (State[Start].Visited)
+      continue;
+    DFS.push_back({Start, 0});
+    while (!DFS.empty()) {
+      Frame &F = DFS.back();
+      TarjanState &TS = State[F.N];
+      if (!TS.Visited) {
+        TS.Visited = true;
+        TS.Index = TS.LowLink = NextIndex++;
+        TS.OnStack = true;
+        SccStack.push_back(F.N);
+      }
+      if (F.NextCallee < F.N->Callees.size()) {
+        Node *C = F.N->Callees[F.NextCallee++];
+        TarjanState &CS = State[C];
+        if (!CS.Visited) {
+          DFS.push_back({C, 0});
+        } else if (CS.OnStack) {
+          TS.LowLink = std::min(TS.LowLink, CS.Index);
+        }
+        continue;
+      }
+      // Node finished: close the SCC if this is its root.
+      if (TS.LowLink == TS.Index) {
+        std::vector<Node *> Scc;
+        Node *Member;
+        do {
+          Member = SccStack.back();
+          SccStack.pop_back();
+          State[Member].OnStack = false;
+          Scc.push_back(Member);
+        } while (Member != F.N);
+        bool Cycle = Scc.size() > 1;
+        // Members pop in reverse discovery order; emit in discovery order
+        // so single-node chains come out deterministically.
+        for (auto It = Scc.rbegin(); It != Scc.rend(); ++It) {
+          (*It)->InCycle = Cycle || (*It)->SelfEdge;
+          BottomUp.push_back((*It)->Fn);
+        }
+      }
+      DFS.pop_back();
+      if (!DFS.empty()) {
+        TarjanState &Parent = State[DFS.back().N];
+        Parent.LowLink = std::min(Parent.LowLink, TS.LowLink);
+      }
+    }
+  }
+}
+
+const CallGraph::Node *CallGraph::lookup(Operation *Fn) const {
+  auto It = ByFn.find(Fn);
+  return It == ByFn.end() ? nullptr : It->second;
+}
+
+const CallGraph::Node *CallGraph::lookup(std::string_view Symbol) const {
+  auto It = BySymbol.find(Symbol);
+  return It == BySymbol.end() ? nullptr : It->second;
+}
+
+bool CallGraph::isSelfRecursive(Operation *Fn) const {
+  const Node *N = lookup(Fn);
+  return N && N->SelfEdge;
+}
+
+bool CallGraph::isInCycle(Operation *Fn) const {
+  const Node *N = lookup(Fn);
+  return N && N->InCycle;
+}

@@ -1,0 +1,82 @@
+//===- CallGraph.h - func/lp call graph -------------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module-level call graph over `func.func` symbols. Edges come from
+/// direct calls (`func.call`) and closure creations (`lp.pap`) — a pap'd
+/// function may run when the closure saturates, so for ordering and
+/// recursion detection it counts as a callee. Strongly connected
+/// components are computed at construction (Tarjan), giving the inliner a
+/// real bottom-up ordering and an exact "is this function part of a
+/// recursive cycle" answer instead of its former per-call-site body scan.
+///
+/// Cached through the AnalysisManager; invalidated by passes that add or
+/// remove call sites or functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_ANALYSIS_CALLGRAPH_H
+#define LZ_ANALYSIS_CALLGRAPH_H
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lz {
+
+class Operation;
+
+class CallGraph {
+public:
+  static constexpr std::string_view AnalysisName = "call-graph";
+
+  /// One node per `func.func` in the module, in module order.
+  struct Node {
+    Operation *Fn = nullptr;
+    /// Distinct callees/callers in discovery order (multi-edges collapsed).
+    std::vector<Node *> Callees;
+    std::vector<Node *> Callers;
+    /// True if the function can (transitively) call itself: a direct
+    /// self-edge or membership in a multi-node SCC.
+    bool InCycle = false;
+    /// True only for a direct self-edge.
+    bool SelfEdge = false;
+  };
+
+  explicit CallGraph(Operation *Module);
+
+  const std::vector<Node *> &getNodes() const { return NodeOrder; }
+
+  /// Node of \p Fn, or null if it is not a `func.func` of this module.
+  const Node *lookup(Operation *Fn) const;
+  /// Node of the function named \p Symbol, or null.
+  const Node *lookup(std::string_view Symbol) const;
+
+  /// True if \p Fn has a direct call/pap to itself.
+  bool isSelfRecursive(Operation *Fn) const;
+  /// True if \p Fn sits on any call cycle (including self-edges).
+  bool isInCycle(Operation *Fn) const;
+
+  /// Functions ordered callees-before-callers (SCC condensation
+  /// postorder): when the inliner processes a function, every callee
+  /// outside its own cycle has already reached its final form.
+  const std::vector<Operation *> &getBottomUpOrder() const {
+    return BottomUp;
+  }
+
+private:
+  std::vector<std::unique_ptr<Node>> Nodes;
+  std::vector<Node *> NodeOrder;
+  std::unordered_map<Operation *, Node *> ByFn;
+  std::unordered_map<std::string_view, Node *> BySymbol;
+  std::vector<Operation *> BottomUp;
+};
+
+} // namespace lz
+
+#endif // LZ_ANALYSIS_CALLGRAPH_H

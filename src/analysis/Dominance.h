@@ -1,0 +1,96 @@
+//===- Dominance.h - dominator-tree analysis --------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator-tree queries, formerly embedded in the verifier and rebuilt
+/// from scratch by every client. DominanceInfo answers per-region CFG
+/// questions (Cooper-Harvey-Kennedy); DominanceAnalysis is the cached,
+/// AnalysisManager-managed wrapper that builds info for every multi-block
+/// region under a root operation exactly once, so the verifier, CSE and
+/// DCE share one construction per pipeline step instead of one each.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_ANALYSIS_DOMINANCE_H
+#define LZ_ANALYSIS_DOMINANCE_H
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lz {
+
+class Block;
+class Operation;
+class Region;
+
+/// Dominator-tree queries for one region's CFG (Cooper-Harvey-Kennedy).
+class DominanceInfo {
+public:
+  explicit DominanceInfo(Region &R);
+
+  /// True if \p A dominates \p B (reflexively).
+  bool dominates(Block *A, Block *B) const;
+
+  /// True if \p B is reachable from the region's entry block.
+  bool isReachable(Block *B) const { return RPONumber.count(B) != 0; }
+
+  /// Immediate dominator (entry maps to itself); null for unreachable.
+  Block *getIdom(Block *B) const {
+    auto It = IDom.find(B);
+    return It == IDom.end() ? nullptr : It->second;
+  }
+
+  /// Reachable blocks in reverse postorder (entry first). Computed once at
+  /// construction; no per-query materialization.
+  const std::vector<Block *> &getBlocksInRPO() const { return RPO; }
+
+  /// Dominator-tree children of \p B (computed once at construction, so
+  /// tree walkers like CSE don't rebuild the child map per visit).
+  const std::vector<Block *> &getChildren(Block *B) const {
+    static const std::vector<Block *> Empty;
+    auto It = DomChildren.find(B);
+    return It == DomChildren.end() ? Empty : It->second;
+  }
+
+private:
+  std::vector<Block *> RPO;
+  std::unordered_map<Block *, Block *> IDom;
+  std::unordered_map<Block *, unsigned> RPONumber;
+  std::unordered_map<Block *, std::vector<Block *>> DomChildren;
+};
+
+/// The cached dominance analysis over one root operation. Construction
+/// eagerly builds DominanceInfo for every multi-block region nested under
+/// the root (single-block regions need no dominator tree: intra-block
+/// order indices decide everything); regions created after construction
+/// are filled in lazily on first query.
+///
+/// Obtain through AnalysisManager::getAnalysis<DominanceAnalysis>(Root) so
+/// consecutive passes share one instance. A pass that moves or erases
+/// blocks must NOT mark this analysis preserved.
+class DominanceAnalysis {
+public:
+  static constexpr std::string_view AnalysisName = "dominance";
+
+  explicit DominanceAnalysis(Operation *Root);
+
+  /// The dominator info of \p R, built on first request if the region
+  /// appeared after construction.
+  const DominanceInfo &getInfo(Region &R);
+
+  /// Number of regions with materialized dominator trees (test support).
+  size_t getNumCachedRegions() const { return Infos.size(); }
+
+private:
+  std::unordered_map<Region *, std::unique_ptr<DominanceInfo>> Infos;
+};
+
+} // namespace lz
+
+#endif // LZ_ANALYSIS_DOMINANCE_H

@@ -1,0 +1,108 @@
+//===- Liveness.cpp - block/value liveness analysis ---------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "ir/IR.h"
+
+using namespace lz;
+
+Liveness::Liveness(Operation *Root) {
+  for (unsigned I = 0; I != Root->getNumRegions(); ++I)
+    computeRegion(Root->getRegion(I));
+}
+
+void Liveness::computeRegion(Region &R) {
+  if (R.empty())
+    return;
+
+  // Gen/kill per block. A value used inside an op's nested regions counts
+  // as used at that op unless it is also defined somewhere within this
+  // block — nested definitions never escape their region, so they are
+  // invisible to the block-level dataflow.
+  for (const auto &BPtr : R) {
+    Block *B = BPtr.get();
+    BlockInfo &Info = Blocks[B];
+    std::unordered_set<Value *> DefinedWithin;
+    std::vector<Value *> PendingUses;
+    for (BlockArgument *A : B->getArguments()) {
+      Info.Def.insert(A);
+      DefinedWithin.insert(A);
+    }
+    // One walk collects both sides; uses are filtered afterwards because
+    // a nested use may precede its (nested) definition in walk order.
+    for (Operation *Op : *B) {
+      for (OpResult *Res : Op->getResults())
+        Info.Def.insert(Res);
+      Op->walk([&](Operation *N) {
+        for (OpResult *Res : N->getResults())
+          DefinedWithin.insert(Res);
+        for (unsigned I = 0; I != N->getNumRegions(); ++I)
+          for (const auto &NB : N->getRegion(I))
+            for (BlockArgument *A : NB->getArguments())
+              DefinedWithin.insert(A);
+        for (Value *V : N->getOperands())
+          if (V)
+            PendingUses.push_back(V);
+      });
+    }
+    for (Value *V : PendingUses)
+      if (!DefinedWithin.count(V))
+        Info.Use.insert(V);
+  }
+
+  // Backward fixpoint: LiveOut(B) = ∪ LiveIn(succ); LiveIn(B) =
+  // Use(B) ∪ (LiveOut(B) − Def(B)). Sets only grow, so in-place updates
+  // converge; reverse block order makes the common (forward-layout) CFG
+  // converge in one or two sweeps.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = R.getNumBlocks(); I-- > 0;) {
+      Block *B = R.getBlock(I);
+      BlockInfo &Info = Blocks[B];
+      for (Block *Succ : B->getSuccessors()) {
+        const BlockInfo &SuccInfo = Blocks[Succ];
+        for (Value *V : SuccInfo.LiveIn)
+          Changed |= Info.LiveOut.insert(V).second;
+      }
+      for (Value *V : Info.Use)
+        Changed |= Info.LiveIn.insert(V).second;
+      for (Value *V : Info.LiveOut)
+        if (!Info.Def.count(V))
+          Changed |= Info.LiveIn.insert(V).second;
+    }
+  }
+
+  // Nested regions are independent dataflow problems.
+  for (const auto &BPtr : R)
+    for (Operation *Op : *BPtr)
+      for (unsigned I = 0; I != Op->getNumRegions(); ++I)
+        computeRegion(Op->getRegion(I));
+}
+
+bool Liveness::isLiveIn(Value *V, Block *B) const {
+  auto It = Blocks.find(B);
+  return It != Blocks.end() && It->second.LiveIn.count(V) != 0;
+}
+
+bool Liveness::isLiveOut(Value *V, Block *B) const {
+  auto It = Blocks.find(B);
+  return It != Blocks.end() && It->second.LiveOut.count(V) != 0;
+}
+
+const std::unordered_set<Value *> &Liveness::getLiveIn(Block *B) const {
+  static const std::unordered_set<Value *> Empty;
+  auto It = Blocks.find(B);
+  return It == Blocks.end() ? Empty : It->second.LiveIn;
+}
+
+const std::unordered_set<Value *> &Liveness::getLiveOut(Block *B) const {
+  static const std::unordered_set<Value *> Empty;
+  auto It = Blocks.find(B);
+  return It == Blocks.end() ? Empty : It->second.LiveOut;
+}

@@ -1,0 +1,79 @@
+//===- Liveness.h - block/value liveness analysis ---------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward-dataflow liveness over every CFG region nested under a
+/// root operation: for each block, which SSA values are live on entry and
+/// on exit. A value used inside an operation's nested regions (the paper's
+/// functional sub-expressions) counts as used at that operation, so region
+/// values behave exactly like ordinary operands — the property that lets
+/// CFG-based and region-based forms share dataflow clients.
+///
+/// Cached through the AnalysisManager; invalidated by any IR-mutating pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_ANALYSIS_LIVENESS_H
+#define LZ_ANALYSIS_LIVENESS_H
+
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lz {
+
+class Block;
+class Operation;
+class Value;
+
+/// Per-root liveness: block-level live-in/live-out sets for every block of
+/// every region under the root operation.
+class Liveness {
+public:
+  static constexpr std::string_view AnalysisName = "liveness";
+
+  explicit Liveness(Operation *Root);
+
+  /// True if \p V is live on entry to \p B (used in or below B, or flows
+  /// through it, and not defined by B's arguments-preceding context).
+  bool isLiveIn(Value *V, Block *B) const;
+
+  /// True if \p V is live on exit from \p B (live on entry to a successor).
+  bool isLiveOut(Value *V, Block *B) const;
+
+  /// True if the last use of \p V (transitively) sits in \p B and nothing
+  /// after \p B needs it — the query RC-style clients ask to place releases.
+  bool isDeadAfter(Value *V, Block *B) const {
+    return !isLiveOut(V, B);
+  }
+
+  const std::unordered_set<Value *> &getLiveIn(Block *B) const;
+  const std::unordered_set<Value *> &getLiveOut(Block *B) const;
+
+  /// Number of blocks with computed info (test support).
+  size_t getNumBlocks() const { return Blocks.size(); }
+
+private:
+  struct BlockInfo {
+    /// Values used by (or transitively inside) this block's operations but
+    /// defined elsewhere.
+    std::unordered_set<Value *> Use;
+    /// Values this block defines: its arguments and its top-level ops'
+    /// results.
+    std::unordered_set<Value *> Def;
+    std::unordered_set<Value *> LiveIn;
+    std::unordered_set<Value *> LiveOut;
+  };
+
+  void computeRegion(class Region &R);
+
+  std::unordered_map<Block *, BlockInfo> Blocks;
+};
+
+} // namespace lz
+
+#endif // LZ_ANALYSIS_LIVENESS_H

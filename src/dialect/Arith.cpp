@@ -45,27 +45,42 @@ LogicalResult verifyBinary(Operation *Op) {
 }
 
 /// Registers one binary arith op with constant folding via \p Eval; the
-/// callback returns false to refuse the fold (e.g. division by zero).
+/// callback returns false to refuse the fold (e.g. division by zero). The
+/// same evaluator backs both hooks: Fold (operands must be materialized
+/// constants in the IR) and EvalConstants (operand values supplied by a
+/// dataflow client such as SCCP).
 void registerBinaryOp(Context &Ctx, const char *Name,
                       bool (*Eval)(int64_t, int64_t, int64_t &)) {
   OpDef Def;
   Def.Name = Name;
   Def.Traits = OpTrait_Pure;
   Def.Verify = verifyBinary;
-  Def.Fold = [Eval](Operation *Op,
-                    std::vector<FoldResult> &Results) -> LogicalResult {
-    auto *LHS = dyn_cast_if_present<IntegerAttr>(
-        getConstantValue(Op->getOperand(0)));
-    auto *RHS = dyn_cast_if_present<IntegerAttr>(
-        getConstantValue(Op->getOperand(1)));
+  auto EvalAttrs = [Eval](Operation *Op, Attribute *L, Attribute *R,
+                          std::vector<Attribute *> &Out) -> LogicalResult {
+    auto *LHS = dyn_cast_if_present<IntegerAttr>(L);
+    auto *RHS = dyn_cast_if_present<IntegerAttr>(R);
     if (!LHS || !RHS)
       return failure();
-    int64_t Out;
-    if (!Eval(LHS->getValue(), RHS->getValue(), Out))
+    int64_t Result;
+    if (!Eval(LHS->getValue(), RHS->getValue(), Result))
       return failure();
     Type *Ty = Op->getResult(0)->getType();
-    Results.emplace_back(
-        Op->getContext()->getIntegerAttr(Ty, truncateToType(Out, Ty)));
+    Out.push_back(
+        Op->getContext()->getIntegerAttr(Ty, truncateToType(Result, Ty)));
+    return success();
+  };
+  Def.EvalConstants =
+      [EvalAttrs](Operation *Op, std::span<Attribute *const> Operands,
+                  std::vector<Attribute *> &Out) -> LogicalResult {
+    return EvalAttrs(Op, Operands[0], Operands[1], Out);
+  };
+  Def.Fold = [EvalAttrs](Operation *Op,
+                         std::vector<FoldResult> &Results) -> LogicalResult {
+    std::vector<Attribute *> Out;
+    if (failed(EvalAttrs(Op, getConstantValue(Op->getOperand(0)),
+                         getConstantValue(Op->getOperand(1)), Out)))
+      return failure();
+    Results.emplace_back(Out[0]);
     return success();
   };
   Ctx.registerOp(std::move(Def));
@@ -172,6 +187,19 @@ void lz::arith::registerArithDialect(Context &Ctx) {
         return failure();
       return success();
     };
+    Def.EvalConstants =
+        [](Operation *Op, std::span<Attribute *const> Operands,
+           std::vector<Attribute *> &Out) -> LogicalResult {
+      auto *LHS = dyn_cast_if_present<IntegerAttr>(Operands[0]);
+      auto *RHS = dyn_cast_if_present<IntegerAttr>(Operands[1]);
+      if (!LHS || !RHS)
+        return failure();
+      auto Pred = static_cast<CmpPredicate>(
+          Op->getAttrOfType<IntegerAttr>("predicate")->getValue());
+      Out.push_back(Op->getContext()->getBoolAttr(
+          evalCmp(Pred, LHS->getValue(), RHS->getValue())));
+      return success();
+    };
     Def.Fold = [](Operation *Op,
                   std::vector<FoldResult> &Results) -> LogicalResult {
       auto *LHS = dyn_cast_if_present<IntegerAttr>(
@@ -224,6 +252,19 @@ void lz::arith::registerArithDialect(Context &Ctx) {
         return failure();
       return success();
     };
+    Def.EvalConstants =
+        [](Operation *Op, std::span<Attribute *const> Operands,
+           std::vector<Attribute *> &Out) -> LogicalResult {
+      (void)Op;
+      auto *Cond = dyn_cast_if_present<IntegerAttr>(Operands[0]);
+      if (!Cond)
+        return failure();
+      Attribute *Picked = Cond->getValue() ? Operands[1] : Operands[2];
+      if (!Picked)
+        return failure();
+      Out.push_back(Picked);
+      return success();
+    };
     Def.Fold = [](Operation *Op,
                   std::vector<FoldResult> &Results) -> LogicalResult {
       // select c, x, x -> x
@@ -263,6 +304,26 @@ void lz::arith::registerArithDialect(Context &Ctx) {
       for (unsigned I = 1; I != Op->getNumOperands(); ++I)
         if (Op->getOperand(I)->getType() != Ty)
           return failure();
+      return success();
+    };
+    Def.EvalConstants =
+        [](Operation *Op, std::span<Attribute *const> Operands,
+           std::vector<Attribute *> &Out) -> LogicalResult {
+      auto *Flag = dyn_cast_if_present<IntegerAttr>(Operands[0]);
+      if (!Flag)
+        return failure();
+      auto *Cases = Op->getAttrOfType<ArrayAttr>("cases");
+      Attribute *Picked = Operands[Operands.size() - 1]; // default value
+      for (size_t I = 0; I != Cases->size(); ++I) {
+        auto *CaseAttr = cast<IntegerAttr>(Cases->getValue()[I]);
+        if (CaseAttr->getValue() == Flag->getValue()) {
+          Picked = Operands[1 + I];
+          break;
+        }
+      }
+      if (!Picked)
+        return failure();
+      Out.push_back(Picked);
       return success();
     };
     Def.Fold = [](Operation *Op,

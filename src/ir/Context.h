@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -80,6 +81,16 @@ struct OpDef {
   /// Local folding: fill \p Results (one per op result) and return success
   /// to signal a fold. May be null.
   std::function<LogicalResult(Operation *, std::vector<FoldResult> &)> Fold;
+  /// Evaluates the op over already-known constant operand values — one
+  /// attribute per operand, all non-null — filling one attribute per
+  /// result. Unlike Fold this never inspects the operands' defining ops,
+  /// so sparse dataflow clients (SCCP) can evaluate with lattice constants
+  /// that are not materialized in the IR. Returning failure means "not a
+  /// compile-time constant on these inputs" (e.g. division by zero). May
+  /// be null.
+  std::function<LogicalResult(Operation *, std::span<Attribute *const>,
+                              std::vector<Attribute *> &)>
+      EvalConstants;
   /// Contributes canonicalization rewrite patterns. May be null.
   std::function<void(PatternSet &)> CanonicalizationPatterns;
 

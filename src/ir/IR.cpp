@@ -578,6 +578,21 @@ void Region::eraseBlock(Block *B) {
   assert(false && "block not owned by this region");
 }
 
+void Region::eraseBlocks(std::span<Block *const> DeadBlocks) {
+  if (DeadBlocks.empty())
+    return;
+  // Drop all operand links (including in nested ops) first: dead blocks
+  // may reference each other and surviving code cyclically.
+  for (Block *B : DeadBlocks)
+    for (Operation *Op : *B)
+      Op->walk([](Operation *Nested) {
+        for (unsigned I = 0; I != Nested->getNumOperands(); ++I)
+          Nested->getOpOperand(I).set(nullptr);
+      });
+  for (Block *B : DeadBlocks)
+    eraseBlock(B);
+}
+
 void Region::takeBlocksInto(Region &Dest) {
   Dest.resetReferencesDropped();
   for (auto &B : Blocks) {

@@ -802,6 +802,13 @@ public:
   /// Destroys \p B and removes it from the region.
   void eraseBlock(Block *B);
 
+  /// Erases \p DeadBlocks (all belonging to this region) in one shot,
+  /// dropping every operand link of their (transitively) nested ops first
+  /// so mutually-referencing dead blocks tear down in any order. Callers
+  /// (DCE's unreachable sweep, SCCP's never-executed sweep) guarantee no
+  /// surviving block references values defined in them.
+  void eraseBlocks(std::span<Block *const> DeadBlocks);
+
   /// Moves every block of this region to \p Dest (appended at the end).
   void takeBlocksInto(Region &Dest);
 

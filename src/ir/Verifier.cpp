@@ -7,137 +7,26 @@
 
 #include "ir/Verifier.h"
 
+#include "analysis/Dominance.h"
 #include "ir/IR.h"
 #include "ir/Printer.h"
 #include "support/OStream.h"
 
-#include <algorithm>
-#include <optional>
-#include <unordered_set>
-
 using namespace lz;
-
-//===----------------------------------------------------------------------===//
-// DominanceInfo
-//===----------------------------------------------------------------------===//
-
-DominanceInfo::DominanceInfo(Region &R) {
-  if (R.empty())
-    return;
-  Block *Entry = R.getEntryBlock();
-
-  // Postorder DFS from the entry block.
-  std::vector<Block *> PostOrder;
-  std::unordered_set<Block *> Visited;
-  std::vector<std::pair<Block *, unsigned>> Stack;
-  Stack.push_back({Entry, 0});
-  Visited.insert(Entry);
-  while (!Stack.empty()) {
-    auto &[B, NextSucc] = Stack.back();
-    std::span<Block *const> Succs = B->getSuccessors();
-    if (NextSucc < Succs.size()) {
-      Block *S = Succs[NextSucc++];
-      if (Visited.insert(S).second)
-        Stack.push_back({S, 0});
-      continue;
-    }
-    PostOrder.push_back(B);
-    Stack.pop_back();
-  }
-
-  // Reverse postorder numbering.
-  unsigned N = static_cast<unsigned>(PostOrder.size());
-  RPO.resize(N);
-  RPONumber.reserve(N);
-  for (unsigned I = 0; I != N; ++I) {
-    RPO[I] = PostOrder[N - 1 - I];
-    RPONumber[RPO[I]] = I;
-  }
-
-  // Reachable predecessor lists, computed once from the terminators (the
-  // fixpoint below may iterate several times; Block::getPredecessors would
-  // rescan the region and allocate on every visit).
-  std::unordered_map<Block *, std::vector<Block *>> Preds;
-  Preds.reserve(N);
-  for (Block *B : RPO)
-    for (Block *Succ : B->getSuccessors())
-      if (RPONumber.count(Succ))
-        Preds[Succ].push_back(B);
-
-  // Iterative idom computation (Cooper, Harvey, Kennedy).
-  IDom[Entry] = Entry;
-  auto Intersect = [&](Block *A, Block *B) {
-    while (A != B) {
-      while (RPONumber.at(A) > RPONumber.at(B))
-        A = IDom.at(A);
-      while (RPONumber.at(B) > RPONumber.at(A))
-        B = IDom.at(B);
-    }
-    return A;
-  };
-
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    // Process in reverse postorder (skip entry).
-    for (unsigned I = N; I-- > 0;) {
-      Block *B = PostOrder[I];
-      if (B == Entry)
-        continue;
-      Block *NewIDom = nullptr;
-      for (Block *Pred : Preds[B]) {
-        if (!IDom.count(Pred))
-          continue;
-        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
-      }
-      if (!NewIDom)
-        continue;
-      auto It = IDom.find(B);
-      if (It == IDom.end() || It->second != NewIDom) {
-        IDom[B] = NewIDom;
-        Changed = true;
-      }
-    }
-  }
-
-  // Dominator-tree child lists, for tree walkers (CSE scopes).
-  for (Block *B : RPO) {
-    Block *Idom = getIdom(B);
-    if (Idom && Idom != B)
-      DomChildren[Idom].push_back(B);
-  }
-}
-
-bool DominanceInfo::dominates(Block *A, Block *B) const {
-  if (A == B)
-    return true;
-  auto It = IDom.find(B);
-  while (It != IDom.end()) {
-    Block *Parent = It->second;
-    if (Parent == A)
-      return true;
-    if (Parent == B)
-      return false; // reached entry (self-idom)
-    B = Parent;
-    It = IDom.find(B);
-  }
-  return false;
-}
-
-//===----------------------------------------------------------------------===//
-// Verifier
-//===----------------------------------------------------------------------===//
 
 namespace {
 
 /// Verifies structure and dominance in one pass over the IR. A stack of
-/// region scopes (dominator info, built once per region) lets every use be
-/// checked exactly once, by climbing from the use to the op hoisted into
+/// region scopes (dominator info, resolved once per region) lets every use
+/// be checked exactly once, by climbing from the use to the op hoisted into
 /// the defining region — instead of re-scanning all nested operations once
-/// per ancestor region, which was quadratic in nesting depth.
+/// per ancestor region, which was quadratic in nesting depth. Dominator
+/// trees come from the shared DominanceAnalysis when one was supplied
+/// (cache reuse across passes), else are built privately per scope.
 class Verifier {
 public:
-  explicit Verifier(std::vector<std::string> &Errors) : Errors(Errors) {}
+  Verifier(std::vector<std::string> &Errors, DominanceAnalysis *DomAnalysis)
+      : Errors(Errors), DomAnalysis(DomAnalysis) {}
 
   void verifyOp(Operation *Op) {
     // Null operand check.
@@ -211,16 +100,26 @@ private:
   /// so no per-scope position table is needed.
   struct RegionScope {
     Region *R = nullptr;
-    /// Dominator tree; absent for single-block regions (the common case —
+    /// Dominator tree; null for single-block regions (the common case —
     /// every rgn.val body), where intra-block positions decide everything.
-    std::optional<DominanceInfo> Dom;
+    /// Points into the shared DominanceAnalysis, or into Local.
+    const DominanceInfo *Dom = nullptr;
+    /// Owned tree when no shared analysis was supplied (heap-allocated so
+    /// the pointer survives scope-vector reallocation).
+    std::unique_ptr<DominanceInfo> Local;
   };
 
   void pushScope(Region &R) {
     RegionScope &S = Scopes.emplace_back();
     S.R = &R;
-    if (R.getNumBlocks() > 1)
-      S.Dom.emplace(R);
+    if (R.getNumBlocks() > 1) {
+      if (DomAnalysis) {
+        S.Dom = &DomAnalysis->getInfo(R);
+      } else {
+        S.Local = std::make_unique<DominanceInfo>(R);
+        S.Dom = S.Local.get();
+      }
+    }
   }
 
   /// Note: the returned pointer is only valid until the next pushScope
@@ -287,21 +186,23 @@ private:
   }
 
   std::vector<std::string> &Errors;
+  DominanceAnalysis *DomAnalysis;
   std::vector<RegionScope> Scopes;
 };
 
 } // namespace
 
-LogicalResult lz::verify(Operation *Op, std::vector<std::string> &Errors) {
+LogicalResult lz::verify(Operation *Op, std::vector<std::string> &Errors,
+                         DominanceAnalysis *Dom) {
   size_t Before = Errors.size();
-  Verifier V(Errors);
+  Verifier V(Errors, Dom);
   V.verifyOp(Op);
   return success(Errors.size() == Before);
 }
 
-LogicalResult lz::verify(Operation *Op) {
+LogicalResult lz::verify(Operation *Op, DominanceAnalysis *Dom) {
   std::vector<std::string> Errors;
-  LogicalResult Result = verify(Op, Errors);
+  LogicalResult Result = verify(Op, Errors, Dom);
   if (failed(Result)) {
     for (const std::string &E : Errors)
       errs() << E << '\n';

@@ -13,6 +13,10 @@
 /// such as "rgn.val results may only flow into select/switch/rgn.run"
 /// (Section IV).
 ///
+/// Dominator trees live in analysis/Dominance.h; the verifier either builds
+/// them privately or — when handed a cached DominanceAnalysis (the pass
+/// manager does this) — reuses the trees every other client shares.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LZ_IR_VERIFIER_H
@@ -21,57 +25,22 @@
 #include "support/LogicalResult.h"
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace lz {
 
-class Block;
+class DominanceAnalysis;
 class Operation;
-class Region;
-
-/// Dominator-tree queries for one region's CFG (Cooper-Harvey-Kennedy).
-class DominanceInfo {
-public:
-  explicit DominanceInfo(Region &R);
-
-  /// True if \p A dominates \p B (reflexively).
-  bool dominates(Block *A, Block *B) const;
-
-  /// True if \p B is reachable from the region's entry block.
-  bool isReachable(Block *B) const { return RPONumber.count(B) != 0; }
-
-  /// Immediate dominator (entry maps to itself); null for unreachable.
-  Block *getIdom(Block *B) const {
-    auto It = IDom.find(B);
-    return It == IDom.end() ? nullptr : It->second;
-  }
-
-  /// Reachable blocks in reverse postorder (entry first). Computed once at
-  /// construction; no per-query materialization.
-  const std::vector<Block *> &getBlocksInRPO() const { return RPO; }
-
-  /// Dominator-tree children of \p B (computed once at construction, so
-  /// tree walkers like CSE don't rebuild the child map per visit).
-  const std::vector<Block *> &getChildren(Block *B) const {
-    static const std::vector<Block *> Empty;
-    auto It = DomChildren.find(B);
-    return It == DomChildren.end() ? Empty : It->second;
-  }
-
-private:
-  std::vector<Block *> RPO;
-  std::unordered_map<Block *, Block *> IDom;
-  std::unordered_map<Block *, unsigned> RPONumber;
-  std::unordered_map<Block *, std::vector<Block *>> DomChildren;
-};
 
 /// Verifies \p Op and all nested operations. On failure, appends messages
-/// to \p Errors and returns failure.
-LogicalResult verify(Operation *Op, std::vector<std::string> &Errors);
+/// to \p Errors and returns failure. When \p Dom is non-null its cached
+/// dominator trees are used (and extended on demand) instead of building
+/// throwaway ones.
+LogicalResult verify(Operation *Op, std::vector<std::string> &Errors,
+                     DominanceAnalysis *Dom = nullptr);
 
 /// Verifies and prints any errors to stderr.
-LogicalResult verify(Operation *Op);
+LogicalResult verify(Operation *Op, DominanceAnalysis *Dom = nullptr);
 
 } // namespace lz
 

@@ -10,7 +10,8 @@
 #include "vm/Builtins.h"
 
 #include <cassert>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace lz;
 using namespace lz::lambda;
@@ -110,10 +111,11 @@ namespace {
 /// variables must be the very same ids (and must not collide with B-side
 /// binders, to keep the relation injective).
 struct AlphaState {
-  std::map<VarId, VarId> VarMap;
-  std::map<JoinId, JoinId> JoinMap;
-  std::set<VarId> BoundInB;
-  std::set<JoinId> JoinBoundInB;
+  // Pure membership/lookup tables — never iterated, so hashing is safe.
+  std::unordered_map<VarId, VarId> VarMap;
+  std::unordered_map<JoinId, JoinId> JoinMap;
+  std::unordered_set<VarId> BoundInB;
+  std::unordered_set<JoinId> JoinBoundInB;
 
   void bindVar(VarId A, VarId B) {
     VarMap[A] = B;

@@ -28,9 +28,9 @@
 #include "support/BigInt.h"
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace lz::lambda {
@@ -123,7 +123,8 @@ struct Function {
 /// A whole program.
 struct Program {
   std::vector<Function> Functions;
-  std::map<std::string, size_t> FunctionIndex;
+  /// Name -> index lookup (never iterated; Functions keeps program order).
+  std::unordered_map<std::string, size_t> FunctionIndex;
 
   Function *lookup(const std::string &Name) {
     auto It = FunctionIndex.find(Name);

@@ -13,7 +13,8 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 using namespace lz;
@@ -261,8 +262,8 @@ public:
   }
 
   bool parseProgram(std::vector<SDef> &Defs,
-                    std::map<std::string, SCtorInfo> &Ctors,
-                    std::map<std::string, unsigned> &InductiveSizes) {
+                    std::unordered_map<std::string, SCtorInfo> &Ctors,
+                    std::unordered_map<std::string, unsigned> &InductiveSizes) {
     while (Cur.K != Tok::Eof) {
       if (Cur.K == Tok::KwInductive) {
         if (!parseInductive(Ctors, InductiveSizes))
@@ -294,8 +295,8 @@ private:
     return true;
   }
 
-  bool parseInductive(std::map<std::string, SCtorInfo> &Ctors,
-                      std::map<std::string, unsigned> &InductiveSizes) {
+  bool parseInductive(std::unordered_map<std::string, SCtorInfo> &Ctors,
+                      std::unordered_map<std::string, unsigned> &InductiveSizes) {
     advance(); // 'inductive'
     if (Cur.K != Tok::Ident)
       return error("expected inductive name");
@@ -699,9 +700,9 @@ SExprPtr cloneSExpr(const SExpr &E) {
 
 class Elaborator {
 public:
-  Elaborator(const std::map<std::string, SCtorInfo> &Ctors,
-             const std::map<std::string, unsigned> &InductiveSizes,
-             std::map<std::string, unsigned> &FnArity,
+  Elaborator(const std::unordered_map<std::string, SCtorInfo> &Ctors,
+             const std::unordered_map<std::string, unsigned> &InductiveSizes,
+             std::unordered_map<std::string, unsigned> &FnArity,
              std::vector<SDef> &PendingDefs, std::string &Err)
       : Ctors(Ctors), InductiveSizes(InductiveSizes), FnArity(FnArity),
         PendingDefs(PendingDefs), Err(Err) {}
@@ -842,7 +843,7 @@ private:
     // Captured locals: free surface names of the body that resolve to
     // variables in the current scope, minus the lambda's own parameters.
     std::vector<std::string> Captured;
-    std::set<std::string> Seen(E.Params.begin(), E.Params.end());
+    std::unordered_set<std::string> Seen(E.Params.begin(), E.Params.end());
     collectCapturedNames(*E.Body, Seen, Captured);
 
     std::string LiftedName = "_lambda" + std::to_string(NextLambda++);
@@ -871,7 +872,8 @@ private:
   /// Collects free identifiers of \p E (in occurrence order) that resolve
   /// to locals of the *enclosing* function scope; \p Bound tracks names
   /// bound inside the lambda itself.
-  void collectCapturedNames(const SExpr &E, std::set<std::string> &Bound,
+  void collectCapturedNames(const SExpr &E,
+                            std::unordered_set<std::string> &Bound,
                             std::vector<std::string> &Out) {
     auto Consider = [&](const std::string &Name) {
       if (Bound.count(Name) || !resolveLocal(Name))
@@ -1076,7 +1078,7 @@ private:
   struct Row {
     std::vector<SPattern> Pats;   // one per live occurrence
     size_t ArmIndex;
-    std::map<std::string, VarId> Binds;
+    std::unordered_map<std::string, VarId> Binds;
   };
 
   FnBodyPtr lowerMatch(const SExpr &E, Cont K) {
@@ -1137,7 +1139,7 @@ private:
     std::vector<ArmInfo> &ArmsRef = Arms;
     FnBodyPtr Tree = compileMatrix(Occs, std::move(Rows),
                                    [&](size_t ArmIndex,
-                                       const std::map<std::string, VarId> &B)
+                                       const std::unordered_map<std::string, VarId> &B)
                                        -> FnBodyPtr {
       std::vector<VarId> Args;
       for (const std::string &N : ArmsRef[ArmIndex].VarNames) {
@@ -1194,7 +1196,8 @@ private:
   }
 
   using LeafFn =
-      std::function<FnBodyPtr(size_t, const std::map<std::string, VarId> &)>;
+      std::function<FnBodyPtr(size_t,
+                              const std::unordered_map<std::string, VarId> &)>;
 
   FnBodyPtr compileMatrix(std::vector<VarId> Occs, std::vector<Row> Rows,
                           const LeafFn &Leaf) {
@@ -1431,16 +1434,16 @@ private:
                    makeLet(TestVar, std::move(TestE), std::move(CaseB)));
   }
 
-  const std::map<std::string, SCtorInfo> &Ctors;
-  const std::map<std::string, unsigned> &InductiveSizes;
-  std::map<std::string, unsigned> &FnArity;
+  const std::unordered_map<std::string, SCtorInfo> &Ctors;
+  const std::unordered_map<std::string, unsigned> &InductiveSizes;
+  std::unordered_map<std::string, unsigned> &FnArity;
   std::vector<SDef> &PendingDefs;
   std::string &Err;
 
   uint32_t NextVar = 0;
   uint32_t NextJoin = 0;
   uint32_t NextLambda = 0;
-  std::vector<std::map<std::string, VarId>> Scopes;
+  std::vector<std::unordered_map<std::string, VarId>> Scopes;
 };
 
 } // namespace
@@ -1449,13 +1452,13 @@ LogicalResult lambda::parseMiniLean(std::string_view Source, Program &Out,
                                     std::string &ErrorMessage) {
   ErrorMessage.clear();
   std::vector<SDef> Defs;
-  std::map<std::string, SCtorInfo> Ctors;
-  std::map<std::string, unsigned> InductiveSizes;
+  std::unordered_map<std::string, SCtorInfo> Ctors;
+  std::unordered_map<std::string, unsigned> InductiveSizes;
   Parser P(Source, ErrorMessage);
   if (!P.parseProgram(Defs, Ctors, InductiveSizes))
     return failure();
 
-  std::map<std::string, unsigned> FnArity;
+  std::unordered_map<std::string, unsigned> FnArity;
   for (const SDef &D : Defs) {
     if (FnArity.count(D.Name)) {
       ErrorMessage = "function '" + D.Name + "' defined twice";

@@ -8,9 +8,8 @@
 #include "lambda/Simplify.h"
 
 #include <cassert>
-#include <map>
-#include <unordered_map>
 #include <optional>
+#include <unordered_map>
 
 using namespace lz;
 using namespace lz::lambda;
@@ -86,8 +85,10 @@ unsigned countJmps(const FnBody &B, JoinId J) {
 // Freshening clone (for join inlining)
 //===----------------------------------------------------------------------===//
 
-FnBodyPtr freshenClone(const FnBody &B, std::map<VarId, VarId> &VarMap,
-                       std::map<JoinId, JoinId> &JoinMap, uint32_t &NextVar,
+FnBodyPtr freshenClone(const FnBody &B,
+                       std::unordered_map<VarId, VarId> &VarMap,
+                       std::unordered_map<JoinId, JoinId> &JoinMap,
+                       uint32_t &NextVar,
                        uint32_t &NextJoin) {
   auto MapUse = [&](VarId V) {
     auto It = VarMap.find(V);
@@ -392,8 +393,8 @@ private:
         return B;
       // Inline the join body with parameters substituted by arguments.
       const JoinDef &J = It->second;
-      std::map<VarId, VarId> VarMap;
-      std::map<JoinId, JoinId> JoinMap;
+      std::unordered_map<VarId, VarId> VarMap;
+      std::unordered_map<JoinId, JoinId> JoinMap;
       FnBodyPtr Clone =
           freshenClone(*J.Body, VarMap, JoinMap, F.NumVars, F.NumJoins);
       for (size_t I = 0; I != J.Params->size(); ++I) {
@@ -426,9 +427,11 @@ private:
   Function &F;
   const SimplifyOptions &Opts;
   bool Changed = false;
-  std::map<VarId, VarId> Subst;
-  std::map<VarId, Expr> KnownDefs;
-  std::map<JoinId, JoinDef> Joins;
+  // Lookup-only tables on dense integer ids: hashed containers, no
+  // ordered iteration anywhere (deterministic output is id-driven).
+  std::unordered_map<VarId, VarId> Subst;
+  std::unordered_map<VarId, Expr> KnownDefs;
+  std::unordered_map<JoinId, JoinDef> Joins;
 };
 
 } // namespace

@@ -39,19 +39,19 @@ PipelineOptions PipelineOptions::forVariant(PipelineVariant V) {
   switch (V) {
   case PipelineVariant::Leanc:
     O.UseRgnBackend = false;
-    O.RunCanonicalize = O.RunCSE = O.RunDCE = false;
+    O.RunCanonicalize = O.RunCSE = O.RunDCE = O.RunSCCP = false;
     break;
   case PipelineVariant::Full:
     break;
   case PipelineVariant::SimpOnly:
-    O.RunCanonicalize = O.RunCSE = O.RunDCE = false;
+    O.RunCanonicalize = O.RunCSE = O.RunDCE = O.RunSCCP = false;
     break;
   case PipelineVariant::RgnOnly:
     O.RunLambdaSimplifier = false;
     break;
   case PipelineVariant::NoOpt:
     O.RunLambdaSimplifier = false;
-    O.RunCanonicalize = O.RunCSE = O.RunDCE = false;
+    O.RunCanonicalize = O.RunCSE = O.RunDCE = O.RunSCCP = false;
     break;
   }
   return O;
@@ -153,9 +153,40 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
         return Result;
       }
     }
-    if (Opts.VerifyEach && failed(VerifyTimed(Module.get()))) {
+    // When the cf-opt phase runs, its pass manager's pre-pipeline verify
+    // covers the freshly-lowered module — don't verify the flat CFG twice
+    // back-to-back (it is the largest module form of the whole compile).
+    if (!Opts.RunSCCP && Opts.VerifyEach &&
+        failed(VerifyTimed(Module.get()))) {
       Result.Error = "rgn->cf lowering produced invalid IR";
       return Result;
+    }
+
+    // The flat-CFG optimization phase (the classic-SSA client of the
+    // analysis framework): SCCP folds constant branches the rgn phase
+    // could not see, DCE sweeps what SCCP strands.
+    if (Opts.RunSCCP) {
+      PassManager CfPM;
+      CfPM.setVerifyEach(Opts.VerifyEach);
+      TimingScope CfOpt = Total.nest("cf-opt");
+      if (CfOpt.isActive())
+        CfPM.enableTiming(*CfOpt.getTimer());
+      if (Opts.Instrument.IRPrint)
+        CfPM.enableIRPrinting(*Opts.Instrument.IRPrint);
+      CfPM.addPass(createSCCPPass());
+      if (Opts.RunDCE)
+        CfPM.addPass(createDCEPass());
+      LogicalResult CfResult = CfPM.run(Module.get());
+      if (Opts.Instrument.Statistics)
+        CfPM.mergeStatisticsInto(*Opts.Instrument.Statistics);
+      CfOpt.stop();
+      if (failed(CfResult)) {
+        // The phase's pre-pipeline verify also stands in for the skipped
+        // post-lowering verify, so name both suspects.
+        Result.Error = "cf-opt phase failed (invalid IR out of rgn->cf "
+                       "lowering, or SCCP/DCE failure)";
+        return Result;
+      }
     }
   }
 

@@ -73,6 +73,9 @@ struct PipelineOptions {
   bool RunCSE = true;
   bool RunDCE = true;
   bool RunInliner = false;
+  /// Sparse conditional constant propagation over the flat CFG, run (with
+  /// a DCE cleanup) in the post-rgn "cf-opt" phase.
+  bool RunSCCP = true;
   bool BorrowInference = true; ///< beans-style borrowed parameters
   bool VerifyEach = true;
   PipelineInstrumentation Instrument;

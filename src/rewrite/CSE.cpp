@@ -17,8 +17,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Dominance.h"
 #include "ir/IR.h"
-#include "ir/Verifier.h"
 #include "rewrite/Equivalence.h"
 #include "rewrite/Passes.h"
 
@@ -30,21 +30,24 @@ namespace {
 
 class CSEDriver {
 public:
+  explicit CSEDriver(DominanceAnalysis &Dom) : Dom(Dom) {}
+
   bool runOnRegionTree(Region &R) {
     processRegionScope(R);
     return Changed;
   }
 
   uint64_t getNumCSEd() const { return NumCSEd; }
+  bool erasedMultiBlockRegion() const { return ErasedMultiBlockRegion; }
 
 private:
   using TableTy = std::unordered_map<uint64_t, std::vector<Operation *>>;
 
-  /// One CSE scope: a region processed along its dominator tree (computed
-  /// once per scope; DominanceInfo exposes the child lists directly, so
-  /// nothing is rebuilt inside the recursion). Nested regions are processed
-  /// in fresh scopes (conservative, like MLIR CSE) — implemented by
-  /// swapping in a pooled table rather than spinning up a new driver, so
+  /// One CSE scope: a region processed along its dominator tree (taken
+  /// from the shared DominanceAnalysis, so a tree the verifier already
+  /// built is a cache hit here and vice versa). Nested regions are
+  /// processed in fresh scopes (conservative, like MLIR CSE) — implemented
+  /// by swapping in a pooled table rather than spinning up a new driver, so
   /// bucket arrays are reused across sibling scopes. Single-block regions
   /// (the common case: rgn.val bodies) skip dominance entirely.
   void processRegionScope(Region &R) {
@@ -58,15 +61,14 @@ private:
     if (R.getNumBlocks() == 1) {
       processBlock(R.getEntryBlock(), /*Dom=*/nullptr);
     } else {
-      DominanceInfo Dom(R);
-      processBlock(R.getEntryBlock(), &Dom);
+      processBlock(R.getEntryBlock(), &Dom.getInfo(R));
     }
 
     returnTableToPool(std::move(Table));
     Table = std::move(Saved);
   }
 
-  void processBlock(Block *B, DominanceInfo *Dom) {
+  void processBlock(Block *B, const DominanceInfo *Dom) {
     std::vector<std::pair<uint64_t, Operation *>> Inserted;
 
     Operation *Op = B->front();
@@ -90,6 +92,17 @@ private:
         if (Existing) {
           for (unsigned I = 0; I != Op->getNumResults(); ++I)
             Op->getResult(I)->replaceAllUsesWith(Existing->getResult(I));
+          // Only multi-block regions ever enter the dominance cache, so
+          // erasing an op that owns one (none of today's dialects do —
+          // rgn.val/lp bodies are single-block) is the one case where the
+          // pass may not claim the analysis preserved: the cache would
+          // keep a tree keyed by the freed Region.
+          if (!ErasedMultiBlockRegion)
+            Op->walk([&](Operation *N) {
+              for (unsigned I = 0; I != N->getNumRegions(); ++I)
+                ErasedMultiBlockRegion |=
+                    N->getRegion(I).getNumBlocks() > 1;
+            });
           Op->erase();
           Changed = true;
           ++NumCSEd;
@@ -137,9 +150,11 @@ private:
     TablePool.push_back(std::move(T));
   }
 
+  DominanceAnalysis &Dom;
   TableTy Table;
   std::vector<TableTy> TablePool;
   bool Changed = false;
+  bool ErasedMultiBlockRegion = false;
   uint64_t NumCSEd = 0;
 };
 
@@ -147,10 +162,16 @@ class CSEPass : public Pass {
 public:
   std::string_view getName() const override { return "cse"; }
   LogicalResult run(Operation *Root) override {
-    CSEDriver Driver;
+    CSEDriver Driver(getAnalysis<DominanceAnalysis>());
     for (unsigned I = 0; I != Root->getNumRegions(); ++I)
       Driver.runOnRegionTree(Root->getRegion(I));
     OpsCSEd += Driver.getNumCSEd();
+    // CSE erases operations but never creates, moves or erases blocks of
+    // the regions it walks, so the cached dominator trees stay valid —
+    // unless an erased op owned a multi-block region whose tree could be
+    // cached (see the driver's erase path).
+    if (!Driver.erasedMultiBlockRegion())
+      markAnalysisPreserved<DominanceAnalysis>();
     return success();
   }
 

@@ -13,8 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Dominance.h"
 #include "ir/IR.h"
-#include "ir/Verifier.h"
 #include "rewrite/Passes.h"
 
 #include <unordered_set>
@@ -45,40 +45,45 @@ unsigned sweepDeadOps(Operation *Root) {
 }
 
 /// Removes blocks unreachable from their region's entry; returns how many.
-unsigned eraseUnreachableBlocks(Region &R) {
+/// \p Dom is the shared cached analysis on the first sweep (nothing has
+/// been mutated yet, so its trees are current) and null on later sweeps,
+/// which run a plain DFS against the freshly-mutated region — reachability
+/// alone doesn't justify rebuilding a dominator fixpoint.
+unsigned eraseUnreachableBlocks(Region &R, DominanceAnalysis *Dom) {
   if (R.getNumBlocks() <= 1)
     return 0;
-  DominanceInfo Dom(R);
-  std::vector<Block *> Dead;
-  for (const auto &B : R)
-    if (!Dom.isReachable(B.get()))
-      Dead.push_back(B.get());
-  if (Dead.empty())
-    return 0;
-
-  // Drop all operand links (including in nested ops) first: unreachable
-  // blocks may reference each other and reachable code cyclically.
-  for (Block *B : Dead) {
-    for (Operation *Op : *B) {
-      Op->walk([](Operation *Nested) {
-        for (unsigned I = 0; I != Nested->getNumOperands(); ++I)
-          Nested->getOpOperand(I).set(nullptr);
-      });
+  std::unordered_set<Block *> Reachable;
+  if (!Dom) {
+    std::vector<Block *> Stack{R.getEntryBlock()};
+    Reachable.insert(R.getEntryBlock());
+    while (!Stack.empty()) {
+      Block *B = Stack.back();
+      Stack.pop_back();
+      for (Block *Succ : B->getSuccessors())
+        if (Reachable.insert(Succ).second)
+          Stack.push_back(Succ);
     }
   }
-  for (Block *B : Dead)
-    R.eraseBlock(B);
+  const DominanceInfo *Info = Dom ? &Dom->getInfo(R) : nullptr;
+  auto IsReachable = [&](Block *B) {
+    return Info ? Info->isReachable(B) : Reachable.count(B) != 0;
+  };
+  std::vector<Block *> Dead;
+  for (const auto &B : R)
+    if (!IsReachable(B.get()))
+      Dead.push_back(B.get());
+  R.eraseBlocks(Dead);
   return static_cast<unsigned>(Dead.size());
 }
 
-unsigned sweepUnreachable(Operation *Root) {
+unsigned sweepUnreachable(Operation *Root, DominanceAnalysis *Dom) {
   unsigned Erased = 0;
   for (unsigned I = 0; I != Root->getNumRegions(); ++I) {
     Region &R = Root->getRegion(I);
-    Erased += eraseUnreachableBlocks(R);
+    Erased += eraseUnreachableBlocks(R, Dom);
     for (const auto &B : R)
       for (Operation *Op : *B)
-        Erased += sweepUnreachable(Op);
+        Erased += sweepUnreachable(Op, Dom);
   }
   return Erased;
 }
@@ -87,13 +92,22 @@ class DCEPass : public Pass {
 public:
   std::string_view getName() const override { return "dce"; }
   LogicalResult run(Operation *Root) override {
+    // The first sweep reuses the cached dominance trees when a prior
+    // consumer (usually the inter-pass verifier) left them warm — they
+    // are still valid, the pass hasn't mutated anything yet. On a cold
+    // cache the plain DFS below is strictly cheaper than constructing a
+    // dominator fixpoint DCE would discard anyway (it preserves nothing),
+    // so don't force a build. Later sweeps recompute reachability locally
+    // against the changed CFG.
+    DominanceAnalysis *Dom = getCachedAnalysis<DominanceAnalysis>();
     bool Changed = true;
     while (Changed) {
-      unsigned Blocks = sweepUnreachable(Root);
+      unsigned Blocks = sweepUnreachable(Root, Dom);
       unsigned Ops = sweepDeadOps(Root);
       BlocksErased += Blocks;
       OpsErased += Ops;
       Changed = Blocks != 0 || Ops != 0;
+      Dom = nullptr;
     }
     return success();
   }

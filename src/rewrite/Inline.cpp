@@ -10,29 +10,23 @@
 /// MLIR builtin" row of the paper's Figure 11 ecosystem table; join-point
 /// inlining is separate (it happens through rgn.run beta reduction).
 ///
+/// Ordering comes from the cached CallGraph analysis: functions are
+/// processed callees-before-callers (SCC condensation postorder), so each
+/// callee is in final form when its callers consider it and the fixed
+/// number of module-wide rescan rounds the pass used to need disappears.
+/// Recursion — direct or mutual — is detected exactly via the call graph's
+/// cycles instead of the former per-call-site body scan.
+///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CallGraph.h"
 #include "dialect/Func.h"
-#include "ir/Module.h"
+#include "ir/IR.h"
 #include "rewrite/Passes.h"
 
 using namespace lz;
 
 namespace {
-
-/// True if \p FuncOp (a single-block function) contains a call to itself.
-bool isDirectlyRecursive(Operation *FuncOp) {
-  std::string_view Name = func::getFuncName(FuncOp);
-  bool Recursive = false;
-  FuncOp->getRegion(0).walk([&](Operation *Op) {
-    if (Op->getName() != "func.call")
-      return;
-    auto *Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
-    if (Callee && Callee->getValue() == Name)
-      Recursive = true;
-  });
-  return Recursive;
-}
 
 class InlinerPass : public Pass {
 public:
@@ -41,21 +35,35 @@ public:
   std::string_view getName() const override { return "inline"; }
 
   LogicalResult run(Operation *Module) override {
-    bool Changed = true;
-    unsigned Rounds = 0;
-    while (Changed && Rounds++ < 4) {
-      Changed = false;
+    (void)Module;
+    CallGraph &CG = getAnalysis<CallGraph>();
+    for (Operation *Fn : CG.getBottomUpOrder()) {
+      // Call sites cloned INTO this function by an inline need no
+      // revisit: their callees were already fully processed earlier in
+      // the bottom-up order (or sit on a cycle), so they are permanently
+      // non-inlinable here — one collection per function suffices.
       std::vector<Operation *> Calls;
-      for (Operation *Fn : *getModuleBody(Module))
-        Fn->walk([&](Operation *Op) {
-          if (Op->getName() == "func.call")
-            Calls.push_back(Op);
-        });
-      for (Operation *Call : Calls)
-        if (tryInline(Module, Call)) {
-          Changed = true;
-          ++CalleesInlined;
+      Fn->walk([&](Operation *Op) {
+        if (Op->getName() == "func.call")
+          Calls.push_back(Op);
+      });
+      for (Operation *Call : Calls) {
+        auto *CalleeAttr = Call->getAttrOfType<SymbolRefAttr>("callee");
+        // The graph's symbol map resolves the callee without re-scanning
+        // the module; runtime builtins have no node and fall through.
+        const CallGraph::Node *CalleeNode = CG.lookup(CalleeAttr->getValue());
+        if (!CalleeNode)
+          continue;
+        // The call graph knows recursion exactly: a self-edge or any
+        // multi-node SCC membership. Inlining such a callee could grow
+        // forever, so skip and count.
+        if (CalleeNode->InCycle) {
+          ++RecursiveCalleesSkipped;
+          continue;
         }
+        if (tryInline(Call, CalleeNode->Fn))
+          ++CalleesInlined;
+      }
     }
     return success();
   }
@@ -63,11 +71,11 @@ public:
 private:
   Statistic CalleesInlined{this, "callees-inlined",
                            "Number of call sites inlined"};
-  bool tryInline(Operation *Module, Operation *Call) {
-    auto *CalleeAttr = Call->getAttrOfType<SymbolRefAttr>("callee");
-    Operation *Callee = lookupSymbol(Module, CalleeAttr->getValue());
-    if (!Callee || Callee->getName() != "func.func")
-      return false;
+  Statistic RecursiveCalleesSkipped{
+      this, "recursive-callees-skipped",
+      "Number of call sites skipped because the callee is on a call cycle"};
+
+  bool tryInline(Operation *Call, Operation *Callee) {
     Region &Body = Callee->getRegion(0);
     if (Body.empty() || Body.getNumBlocks() != 1)
       return false;
@@ -77,10 +85,6 @@ private:
     if (!Entry->hasTerminator() ||
         Entry->getTerminator()->getName() != "func.return")
       return false;
-    if (isDirectlyRecursive(Callee))
-      return false;
-    // Self-inlining a call inside the callee's own body is covered by the
-    // recursion check above.
 
     IRMapping Mapping;
     for (unsigned I = 0; I != Entry->getNumArguments(); ++I)

@@ -7,6 +7,7 @@
 
 #include "rewrite/Pass.h"
 
+#include "analysis/Dominance.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "support/OStream.h"
@@ -166,6 +167,7 @@ void PassManager::addInstrumentation(std::unique_ptr<PassInstrumentation> PI) {
 
 void PassManager::enableTiming(Timer &Parent) {
   TimingParent = &Parent;
+  AM.enableTiming(Parent);
   addInstrumentation(createTimingInstrumentation(Parent));
 }
 
@@ -177,6 +179,12 @@ void PassManager::mergeStatisticsInto(StatisticsReport &Report) const {
   for (const auto &P : Passes)
     for (const Statistic *S : P->getStatistics())
       Report.add(P->getName(), S->getName(), S->getDesc(), S->getValue());
+  for (const AnalysisManager::CacheCounter &C : AM.getCacheCounters()) {
+    Report.add("(analysis)", C.Name + "-cache-hits",
+               "Analysis cache hits", C.Hits);
+    Report.add("(analysis)", C.Name + "-cache-misses",
+               "Analysis cache misses (constructions)", C.Misses);
+  }
 }
 
 void PassManager::printStatistics(OStream &OS) const {
@@ -187,13 +195,22 @@ void PassManager::printStatistics(OStream &OS) const {
 
 LogicalResult PassManager::run(Operation *Root) {
   RanPasses.clear();
+  // Anything cached by a previous run is untrustworthy: the caller may
+  // have mutated the IR (or freed and reallocated regions at recycled
+  // addresses) between runs. Caching pays off across the passes WITHIN a
+  // run; across runs it would be unsound. Counters survive the clear.
+  AM.clear();
 
   // The inter-pass verifier gets its own timing row so pass times stay
-  // honest under --pass-timing.
+  // honest under --pass-timing, and shares the analysis manager's cached
+  // dominator trees with the passes around it. The analysis is fetched
+  // BEFORE the "(verify)" scope opens so a cold-cache dominance build is
+  // attributed to the "(analysis)" row only, not double-counted here.
   auto VerifyTimed = [&]() -> LogicalResult {
+    DominanceAnalysis &Dom = AM.getAnalysis<DominanceAnalysis>(Root);
     TimingScope S(TimingParent ? &TimingParent->getOrCreateChild("(verify)")
                                : nullptr);
-    return verify(Root);
+    return verify(Root, &Dom);
   };
 
   if (VerifyEach && failed(VerifyTimed())) {
@@ -201,19 +218,29 @@ LogicalResult PassManager::run(Operation *Root) {
     return failure();
   }
   for (auto &P : Passes) {
+    P->CurrentAM = &AM;
+    P->CurrentRoot = Root;
+    P->Preserved.clear();
     for (auto &PI : Instrumentations)
       PI->runBeforePass(*P, Root);
-    if (failed(P->run(Root))) {
+    LogicalResult PassResult = P->run(Root);
+    P->CurrentAM = nullptr;
+    P->CurrentRoot = nullptr;
+    if (failed(PassResult)) {
       for (auto It = Instrumentations.rbegin(); It != Instrumentations.rend();
            ++It)
         (*It)->runAfterPassFailed(*P, Root);
       errs() << "pass '" << P->getName() << "' failed\n";
+      AM.clear(); // the IR state after a failed pass is unknown
       return failure();
     }
     for (auto It = Instrumentations.rbegin(); It != Instrumentations.rend();
          ++It)
       (*It)->runAfterPass(*P, Root);
     RanPasses.emplace_back(P->getName());
+    // Invalidate before verifying: the verifier must not consult trees the
+    // pass declared stale.
+    AM.invalidateAll(P->Preserved);
     if (VerifyEach && failed(VerifyTimed())) {
       errs() << "pass '" << P->getName() << "' produced invalid IR\n";
       return failure();

@@ -25,8 +25,10 @@
 #ifndef LZ_REWRITE_PASS_H
 #define LZ_REWRITE_PASS_H
 
+#include "analysis/AnalysisManager.h"
 #include "support/LogicalResult.h"
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -68,6 +70,14 @@ private:
 };
 
 /// A unit of IR transformation.
+///
+/// Analyses: inside run(), getAnalysis<T>() returns the cached analysis of
+/// the root op (constructing it on first request), getCachedAnalysis<T>()
+/// queries without constructing. By default every analysis is invalidated
+/// after the pass; a pass that left the relevant IR structure intact calls
+/// markAllAnalysesPreserved() (no IR change at all) or
+/// markAnalysisPreserved<T>() (e.g. CSE erases ops but never touches block
+/// structure, so dominance survives it).
 class Pass {
 public:
   virtual ~Pass() = default;
@@ -77,9 +87,33 @@ public:
   /// The statistics registered by this pass's Statistic members.
   const std::vector<Statistic *> &getStatistics() const { return Statistics; }
 
+protected:
+  /// The cached analysis of the pass's current root op, constructed on
+  /// first request. Only callable while run() executes under a PassManager.
+  template <typename T> T &getAnalysis() {
+    assert(CurrentAM && "getAnalysis outside a PassManager-driven run");
+    return CurrentAM->getAnalysis<T>(CurrentRoot);
+  }
+  /// The cached analysis if present, else null (never constructs).
+  template <typename T> T *getCachedAnalysis() {
+    assert(CurrentAM && "getCachedAnalysis outside a PassManager-driven run");
+    return CurrentAM->getCachedAnalysis<T>(CurrentRoot);
+  }
+  /// Declares that this run left all analyses valid (the pass did not
+  /// mutate the IR).
+  void markAllAnalysesPreserved() { Preserved.preserveAll(); }
+  /// Declares that this run left analysis \p T valid.
+  template <typename T> void markAnalysisPreserved() {
+    Preserved.preserve<T>();
+  }
+
 private:
   friend class Statistic;
+  friend class PassManager;
   std::vector<Statistic *> Statistics;
+  AnalysisManager *CurrentAM = nullptr;
+  Operation *CurrentRoot = nullptr;
+  PreservedAnalyses Preserved;
 };
 
 /// Observer of pass execution. Instrumentations are invoked in registration
@@ -159,8 +193,14 @@ public:
   void addInstrumentation(std::unique_ptr<PassInstrumentation> PI);
 
   /// Times every pass as a child of \p Parent; the inter-pass verifier is
-  /// attributed to a "(verify)" child so pass rows stay honest.
+  /// attributed to a "(verify)" child and analysis constructions to an
+  /// "(analysis)" child, so pass rows stay honest.
   void enableTiming(Timer &Parent);
+
+  /// The analysis cache shared by this manager's passes and its inter-pass
+  /// verifier. Valid for the manager's lifetime; cleared by IR-mutating
+  /// passes per their PreservedAnalyses declarations.
+  AnalysisManager &getAnalysisManager() { return AM; }
 
   /// Prints IR snapshots around passes per \p Config.
   void enableIRPrinting(IRPrintConfig Config);
@@ -176,8 +216,9 @@ public:
   const std::vector<std::string> &getRanPasses() const { return RanPasses; }
 
   /// Adds every pass's statistics into \p Report, merging same-named passes
-  /// (the standard pipeline runs canonicalize twice). Call once per manager
-  /// lifetime or deltas will double-count.
+  /// (the standard pipeline runs canonicalize twice), followed by the
+  /// analysis cache hit/miss counters under the "(analysis)" pseudo-pass.
+  /// Call once per manager lifetime or deltas will double-count.
   void mergeStatisticsInto(StatisticsReport &Report) const;
 
   /// Prints an MLIR-style `-pass-statistics` report over this manager's
@@ -194,6 +235,7 @@ private:
   std::vector<std::unique_ptr<Pass>> Passes;
   std::vector<std::unique_ptr<PassInstrumentation>> Instrumentations;
   std::vector<std::string> RanPasses;
+  AnalysisManager AM;
   Timer *TimingParent = nullptr;
   bool VerifyEach = true;
 };

@@ -17,7 +17,10 @@
 ///     (Common Branch Elimination).
 ///   * DCE — deletes unused pure/allocating ops (Dead Region / Dead
 ///     Expression Elimination) and unreachable blocks.
-///   * Inliner — inlines small non-recursive straight-line callees.
+///   * Inliner — inlines small non-recursive straight-line callees,
+///     bottom-up over the cached CallGraph analysis.
+///   * SCCP — Wegman–Zadeck sparse conditional constant propagation over
+///     the flat CFG (the first client built on the analysis framework).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,8 +43,16 @@ std::unique_ptr<Pass> createCanonicalizerPass();
 /// \p Patterns; exposed for ablation studies.
 void populateRgnPatterns(PatternSet &Patterns);
 
-/// Dominance-scoped CSE with structural region numbering.
+/// Dominance-scoped CSE with structural region numbering. Reuses the
+/// AnalysisManager-cached DominanceAnalysis and preserves it (CSE never
+/// changes block structure).
 std::unique_ptr<Pass> createCSEPass();
+
+/// Wegman–Zadeck sparse conditional constant propagation over the CFG
+/// dialect: constant lattice + executable-edge worklist, folds constant
+/// arith ops, rewrites conditional branches on constants and deletes
+/// never-executed blocks.
+std::unique_ptr<Pass> createSCCPPass();
 
 /// Dead code elimination (iterative) + unreachable block removal.
 std::unique_ptr<Pass> createDCEPass();

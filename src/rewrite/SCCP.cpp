@@ -1,0 +1,414 @@
+//===- SCCP.cpp - sparse conditional constant propagation ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Wegman–Zadeck sparse conditional constant propagation over the CFG
+/// dialect — the canonical SSA dataflow optimization the paper's thesis
+/// ("classic SSA passes apply directly") calls for. The solver runs the
+/// classic optimistic three-point lattice (unknown → constant →
+/// overdefined) with an executable-edge worklist: block arguments meet
+/// incoming values over *feasible* edges only, so a constant that survives
+/// a join of two reachable-but-equal branches still folds — strictly
+/// stronger than the canonicalizer's local folds. Evaluation is
+/// dialect-independent: ConstantLike ops seed the lattice and any op
+/// carrying an OpDef::EvalConstants hook (all of arith) evaluates on
+/// lattice constants without materialized operands.
+///
+/// The rewrite phase materializes lattice constants (through the context's
+/// constant materializer, so !lp.t values become lp.int), replaces
+/// conditional branches on constants with unconditional ones, and deletes
+/// never-executed blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+#include "rewrite/Passes.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace lz;
+
+namespace {
+
+struct LatticeValue {
+  enum Kind : uint8_t { Unknown, Constant, Overdefined } K = Unknown;
+  Attribute *C = nullptr;
+};
+
+/// Solves and rewrites one region's CFG.
+class SCCPSolver {
+public:
+  SCCPSolver(Region &R) : R(R) {}
+
+  struct RewriteCounts {
+    uint64_t ConstantsPropagated = 0;
+    uint64_t BranchesRewritten = 0;
+    uint64_t BlocksErased = 0;
+  };
+
+  RewriteCounts run() {
+    if (R.empty())
+      return Counts;
+    solve();
+    rewrite();
+    return Counts;
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Solving
+  //===------------------------------------------------------------------===//
+
+  void solve() {
+    Block *Entry = R.getEntryBlock();
+    Executable.insert(Entry);
+    // Region arguments (function parameters) are runtime inputs.
+    for (BlockArgument *A : Entry->getArguments())
+      setOverdefined(A);
+    BlockWorklist.push_back(Entry);
+
+    while (!BlockWorklist.empty() || !OpWorklist.empty()) {
+      while (!OpWorklist.empty()) {
+        Operation *Op = OpWorklist.back();
+        OpWorklist.pop_back();
+        if (Executable.count(Op->getBlock()))
+          visit(Op);
+      }
+      if (!BlockWorklist.empty()) {
+        Block *B = BlockWorklist.back();
+        BlockWorklist.pop_back();
+        for (Operation *Op : *B)
+          visit(Op);
+      }
+    }
+  }
+
+  void visit(Operation *Op) {
+    if (Op->isTerminator() && Op->getNumSuccessors() != 0) {
+      visitTerminator(Op);
+      return;
+    }
+    if (Op->hasTrait(OpTrait_ConstantLike)) {
+      if (Attribute *V = Op->getAttr("value"))
+        setConstant(Op->getResult(0), V);
+      else
+        setOverdefined(Op->getResult(0));
+      return;
+    }
+    if (Op->getNumResults() == 0)
+      return;
+
+    const auto &Eval = Op->getDef().EvalConstants;
+    if (Eval && Op->getNumRegions() == 0) {
+      // Scratch buffers are solver members: visit() runs once per op per
+      // lattice refinement, the hottest loop of the phase.
+      bool AnyOver = false, AnyUnknown = false;
+      OperandConsts.clear();
+      OperandConsts.reserve(Op->getNumOperands());
+      for (Value *V : Op->getOperands()) {
+        LatticeValue L = getLattice(V);
+        AnyOver |= L.K == LatticeValue::Overdefined;
+        AnyUnknown |= L.K == LatticeValue::Unknown;
+        OperandConsts.push_back(L.C);
+      }
+      if (AnyOver) {
+        markAllResultsOverdefined(Op);
+        return;
+      }
+      if (AnyUnknown)
+        return; // optimistic: wait for operands to resolve
+      EvalOut.clear();
+      if (succeeded(Eval(Op, OperandConsts, EvalOut)) &&
+          EvalOut.size() == Op->getNumResults()) {
+        for (unsigned I = 0; I != Op->getNumResults(); ++I)
+          setConstant(Op->getResult(I), EvalOut[I]);
+      } else {
+        markAllResultsOverdefined(Op); // e.g. division by zero
+      }
+      return;
+    }
+    markAllResultsOverdefined(Op);
+  }
+
+  void visitTerminator(Operation *Term) {
+    std::string_view Name = Term->getName();
+    if (Name == "cf.cond_br" && Term->getNumSuccessors() == 2) {
+      LatticeValue Cond = getLattice(Term->getOperand(0));
+      if (Cond.K == LatticeValue::Unknown)
+        return;
+      if (Cond.K == LatticeValue::Constant) {
+        if (auto *C = dyn_cast<IntegerAttr>(Cond.C)) {
+          markEdge(Term, C->getValue() ? 0 : 1);
+          return;
+        }
+      }
+    } else if (Name == "cf.switch") {
+      LatticeValue Flag = getLattice(Term->getOperand(0));
+      if (Flag.K == LatticeValue::Unknown)
+        return;
+      if (Flag.K == LatticeValue::Constant) {
+        if (auto *C = dyn_cast<IntegerAttr>(Flag.C)) {
+          markEdge(Term, successorForSwitchFlag(Term, C->getValue()));
+          return;
+        }
+      }
+    }
+    // Unconditional branch, or a multi-way branch whose selector is
+    // overdefined: every outgoing edge is feasible.
+    for (unsigned I = 0; I != Term->getNumSuccessors(); ++I)
+      markEdge(Term, I);
+  }
+
+  /// Successor index taken by cf.switch for \p FlagValue: successor 0 is
+  /// the default, successor 1+i belongs to cases[i].
+  static unsigned successorForSwitchFlag(Operation *Term, int64_t FlagValue) {
+    auto *Cases = Term->getAttrOfType<ArrayAttr>("cases");
+    if (Cases)
+      for (size_t I = 0; I != Cases->size(); ++I)
+        if (cast<IntegerAttr>(Cases->getValue()[I])->getValue() == FlagValue)
+          return static_cast<unsigned>(1 + I);
+    return 0;
+  }
+
+  /// Marks the edge Term -> successor \p SuccIdx feasible: meets the
+  /// forwarded operands into the successor's arguments and schedules the
+  /// successor if it just became executable. Re-meeting on terminator
+  /// revisits is what propagates later lattice refinements.
+  void markEdge(Operation *Term, unsigned SuccIdx) {
+    Block *To = Term->getSuccessor(SuccIdx);
+    OperandRange Args = Term->getSuccessorOperands(SuccIdx);
+    for (unsigned J = 0; J != Args.size(); ++J)
+      meetInto(To->getArgument(J), getLattice(Args[J]));
+    if (Executable.insert(To).second)
+      BlockWorklist.push_back(To);
+  }
+
+  LatticeValue getLattice(Value *V) const {
+    auto It = LV.find(V);
+    if (It != LV.end())
+      return It->second;
+    Block *PB = V->getParentBlock();
+    if (!PB || PB->getParent() != &R)
+      return {LatticeValue::Overdefined, nullptr}; // defined outside this CFG
+    return {LatticeValue::Unknown, nullptr};
+  }
+
+  void setConstant(Value *V, Attribute *C) {
+    meetInto(V, {LatticeValue::Constant, C});
+  }
+  void setOverdefined(Value *V) {
+    meetInto(V, {LatticeValue::Overdefined, nullptr});
+  }
+  void markAllResultsOverdefined(Operation *Op) {
+    for (OpResult *Res : Op->getResults())
+      setOverdefined(Res);
+  }
+
+  void meetInto(Value *V, LatticeValue New) {
+    if (New.K == LatticeValue::Unknown)
+      return;
+    LatticeValue &Cur = LV[V];
+    if (Cur.K == LatticeValue::Overdefined)
+      return;
+    // Attributes are context-uniqued, so constant equality is pointer
+    // equality.
+    if (Cur.K == New.K && Cur.C == New.C)
+      return;
+    Cur = Cur.K == LatticeValue::Unknown
+              ? New
+              : LatticeValue{LatticeValue::Overdefined, nullptr};
+    for (OpOperand *Use = V->getFirstUse(); Use; Use = Use->getNextUse()) {
+      Operation *User = Use->getOwner();
+      Block *UB = User->getBlock();
+      if (UB && UB->getParent() == &R && Executable.count(UB))
+        OpWorklist.push_back(User);
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Rewriting
+  //===------------------------------------------------------------------===//
+
+  void rewrite() {
+    Context *Ctx = R.getParentOp()->getContext();
+    const auto &Materialize = Ctx->getConstantMaterializer();
+    OpBuilder B(*Ctx);
+
+    // Decide every branch fold from the lattice BEFORE materializing
+    // constants: RAUW rebinds branch selectors to freshly created
+    // constant results that have no lattice entries, so a post-RAUW
+    // lattice query would miss folds whose infeasible successors are
+    // nevertheless deleted below — leaving a conditional branch into an
+    // erased block.
+    std::unordered_map<Operation *, unsigned> TakenSucc;
+    for (const auto &BPtr : R) {
+      Block *Blk = BPtr.get();
+      if (!Executable.count(Blk) || Blk->empty() || !Blk->hasTerminator())
+        continue;
+      Operation *Term = Blk->getTerminator();
+      std::string_view Name = Term->getName();
+      if (Name == "cf.cond_br" && Term->getNumSuccessors() == 2) {
+        LatticeValue Cond = getLattice(Term->getOperand(0));
+        if (Cond.K == LatticeValue::Constant)
+          if (auto *C = dyn_cast<IntegerAttr>(Cond.C))
+            TakenSucc[Term] = C->getValue() ? 0 : 1;
+      } else if (Name == "cf.switch") {
+        LatticeValue Flag = getLattice(Term->getOperand(0));
+        if (Flag.K == LatticeValue::Constant)
+          if (auto *C = dyn_cast<IntegerAttr>(Flag.C))
+            TakenSucc[Term] = successorForSwitchFlag(Term, C->getValue());
+      }
+    }
+
+    for (const auto &BPtr : R) {
+      Block *Blk = BPtr.get();
+      if (!Executable.count(Blk))
+        continue;
+
+      // Lattice-constant block arguments: materialize at the block head and
+      // redirect every use. The argument itself stays (its feasible
+      // predecessors still forward a value).
+      if (Materialize) {
+        for (BlockArgument *A : Blk->getArguments()) {
+          LatticeValue L = getLattice(A);
+          if (L.K != LatticeValue::Constant || A->use_empty())
+            continue;
+          B.setInsertionPointToStart(Blk);
+          if (Operation *C = Materialize(B, L.C, A->getType())) {
+            A->replaceAllUsesWith(C->getResult(0));
+            ++Counts.ConstantsPropagated;
+          }
+        }
+      }
+
+      // Lattice-constant op results.
+      Operation *Op = Blk->front();
+      while (Op) {
+        Operation *Next = Op->getNextNode();
+        if (!Op->isTerminator() && !Op->hasTrait(OpTrait_ConstantLike) &&
+            Op->getNumResults() != 0 && Materialize) {
+          bool AllConst = true;
+          for (OpResult *Res : Op->getResults())
+            AllConst &= getLattice(Res).K == LatticeValue::Constant;
+          if (AllConst) {
+            bool AllReplaced = true;
+            for (OpResult *Res : Op->getResults()) {
+              if (Res->use_empty())
+                continue;
+              B.setInsertionPoint(Op);
+              Operation *C = Materialize(B, getLattice(Res).C, Res->getType());
+              if (!C) {
+                AllReplaced = false;
+                continue;
+              }
+              Res->replaceAllUsesWith(C->getResult(0));
+            }
+            if (AllReplaced && Op->use_empty() &&
+                Op->hasTrait(OpTrait_Pure) && Op->getNumSuccessors() == 0) {
+              Op->erase();
+              ++Counts.ConstantsPropagated;
+            }
+          }
+        }
+        Op = Next;
+      }
+
+      if (!Blk->empty() && Blk->hasTerminator())
+        rewriteTerminator(Blk->getTerminator(), B, TakenSucc);
+    }
+
+    eraseDeadBlocks();
+  }
+
+  /// Replaces a conditional branch whose selector settled on a constant
+  /// (per the pre-computed \p TakenSucc decisions) with an unconditional
+  /// cf.br to the taken successor.
+  void rewriteTerminator(
+      Operation *Term, OpBuilder &B,
+      const std::unordered_map<Operation *, unsigned> &TakenSucc) {
+    auto It = TakenSucc.find(Term);
+    if (It == TakenSucc.end())
+      return;
+    unsigned TakenIdx = It->second;
+    Block *Blk = Term->getBlock();
+    Block *Dest = Term->getSuccessor(TakenIdx);
+    std::vector<Value *> Args = Term->getSuccessorOperands(TakenIdx).vec();
+    Term->erase();
+    B.setInsertionPointToEnd(Blk);
+    OperationState State(B.getContext(), "cf.br");
+    State.addSuccessor(Dest, Args);
+    B.create(State);
+    ++Counts.BranchesRewritten;
+  }
+
+  /// Erases the never-executed blocks; the solver guarantees no
+  /// executable block references a dead one (and the pre-computed branch
+  /// folds above removed every edge into them).
+  void eraseDeadBlocks() {
+    std::vector<Block *> Dead;
+    for (const auto &BPtr : R)
+      if (!Executable.count(BPtr.get()))
+        Dead.push_back(BPtr.get());
+    R.eraseBlocks(Dead);
+    Counts.BlocksErased += Dead.size();
+  }
+
+  Region &R;
+  std::unordered_map<Value *, LatticeValue> LV;
+  std::unordered_set<Block *> Executable;
+  std::vector<Block *> BlockWorklist;
+  std::vector<Operation *> OpWorklist;
+  /// visit() scratch space, reused across the fixpoint loop.
+  std::vector<Attribute *> OperandConsts;
+  std::vector<Attribute *> EvalOut;
+  RewriteCounts Counts;
+};
+
+class SCCPPass : public Pass {
+public:
+  std::string_view getName() const override { return "sccp"; }
+
+  LogicalResult run(Operation *Root) override {
+    processRegionsOf(Root);
+    return success();
+  }
+
+private:
+  void processRegionsOf(Operation *Op) {
+    for (unsigned I = 0; I != Op->getNumRegions(); ++I) {
+      Region &R = Op->getRegion(I);
+      if (!Op->hasTrait(OpTrait_SymbolTable)) {
+        SCCPSolver Solver(R);
+        SCCPSolver::RewriteCounts C = Solver.run();
+        ConstantsPropagated += C.ConstantsPropagated;
+        BranchesRewritten += C.BranchesRewritten;
+        BlocksErased += C.BlocksErased;
+      }
+      // Nested regions (and symbol-table members) are independent CFGs;
+      // solve whatever survived the rewrite.
+      for (const auto &B : R)
+        for (Operation *Nested : *B)
+          processRegionsOf(Nested);
+    }
+  }
+
+  Statistic ConstantsPropagated{
+      this, "constants-propagated",
+      "Number of SSA values replaced by lattice constants"};
+  Statistic BranchesRewritten{
+      this, "branches-rewritten",
+      "Number of conditional branches folded to unconditional"};
+  Statistic BlocksErased{this, "blocks-erased",
+                         "Number of never-executed blocks deleted"};
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lz::createSCCPPass() {
+  return std::make_unique<SCCPPass>();
+}

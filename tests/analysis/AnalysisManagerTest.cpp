@@ -1,0 +1,296 @@
+//===- AnalysisManagerTest.cpp - analysis caching/invalidation tests ----------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The AnalysisManager contract: lazy construction, per-root isolation,
+/// preservation across passes, invalidation after IR-mutating passes, and
+/// the cache hit/miss counters and timing rows the pass manager surfaces.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+#include "analysis/Dominance.h"
+#include "dialect/Arith.h"
+#include "dialect/Cf.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "rewrite/Passes.h"
+#include "support/Timing.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+/// Test analysis that records how often it was constructed.
+struct CountingAnalysis {
+  static constexpr std::string_view AnalysisName = "counting";
+  static inline int Constructions = 0;
+
+  explicit CountingAnalysis(Operation *Root) : Root(Root) { ++Constructions; }
+  Operation *Root;
+};
+
+/// Second analysis type, for selective preservation.
+struct OtherAnalysis {
+  static constexpr std::string_view AnalysisName = "other";
+  explicit OtherAnalysis(Operation *) {}
+};
+
+class AnalysisManagerTest : public ::testing::Test {
+protected:
+  AnalysisManagerTest() {
+    registerAllDialects(Ctx);
+    CountingAnalysis::Constructions = 0;
+  }
+
+  /// f(x): entry -> then/else -> join(ret). Multi-block so dominance has
+  /// real content.
+  Operation *makeDiamondFunc(const char *Name) {
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), Name,
+        Ctx.getFunctionType({Ctx.getI64()}, {Ctx.getI64()}));
+    Block *Entry = func::getFuncEntryBlock(Fn);
+    Region &R = Fn->getRegion(0);
+    Block *Then = R.emplaceBlock();
+    Block *Else = R.emplaceBlock();
+    Block *Join = R.emplaceBlock();
+    Join->addArgument(Ctx.getI64());
+
+    B.setInsertionPointToEnd(Entry);
+    Value *A = Entry->getArgument(0);
+    Value *Zero = arith::buildConstant(B, Ctx.getI64(), 0)->getResult(0);
+    Value *Cond =
+        arith::buildCmp(B, arith::CmpPredicate::EQ, A, Zero)->getResult(0);
+    cf::buildCondBr(B, Cond, Then, {}, Else, {});
+    B.setInsertionPointToEnd(Then);
+    Value *One = arith::buildConstant(B, Ctx.getI64(), 1)->getResult(0);
+    cf::buildBr(B, Join, {&One, 1});
+    B.setInsertionPointToEnd(Else);
+    cf::buildBr(B, Join, {&A, 1});
+    B.setInsertionPointToEnd(Join);
+    Value *J = Join->getArgument(0);
+    func::buildReturn(B, {&J, 1});
+    return Fn;
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+  OpBuilder B{Ctx};
+};
+
+//===----------------------------------------------------------------------===//
+// Direct AnalysisManager behavior
+//===----------------------------------------------------------------------===//
+
+TEST_F(AnalysisManagerTest, LazyConstructionAndCaching) {
+  AnalysisManager AM;
+  EXPECT_EQ(AM.getCachedAnalysis<CountingAnalysis>(Module.get()), nullptr);
+  EXPECT_EQ(CountingAnalysis::Constructions, 0);
+
+  CountingAnalysis &First = AM.getAnalysis<CountingAnalysis>(Module.get());
+  CountingAnalysis &Second = AM.getAnalysis<CountingAnalysis>(Module.get());
+  EXPECT_EQ(&First, &Second);
+  EXPECT_EQ(CountingAnalysis::Constructions, 1);
+  EXPECT_EQ(AM.getCachedAnalysis<CountingAnalysis>(Module.get()), &First);
+
+  ASSERT_EQ(AM.getCacheCounters().size(), 1u);
+  EXPECT_EQ(AM.getCacheCounters()[0].Name, "counting");
+  EXPECT_EQ(AM.getCacheCounters()[0].Misses, 1u);
+  // One getAnalysis hit + one getCachedAnalysis hit.
+  EXPECT_EQ(AM.getCacheCounters()[0].Hits, 2u);
+}
+
+TEST_F(AnalysisManagerTest, PerOpIsolation) {
+  Operation *F = makeDiamondFunc("f");
+  Operation *G = makeDiamondFunc("g");
+
+  AnalysisManager AM;
+  CountingAnalysis &ForF = AM.getAnalysis<CountingAnalysis>(F);
+  CountingAnalysis &ForG = AM.getAnalysis<CountingAnalysis>(G);
+  EXPECT_NE(&ForF, &ForG);
+  EXPECT_EQ(ForF.Root, F);
+  EXPECT_EQ(ForG.Root, G);
+  EXPECT_EQ(CountingAnalysis::Constructions, 2);
+
+  // Invalidating one root leaves the other untouched.
+  PreservedAnalyses Nothing;
+  AM.invalidate(F, Nothing);
+  EXPECT_EQ(AM.getCachedAnalysis<CountingAnalysis>(F), nullptr);
+  EXPECT_EQ(AM.getCachedAnalysis<CountingAnalysis>(G), &ForG);
+}
+
+TEST_F(AnalysisManagerTest, SelectivePreservation) {
+  AnalysisManager AM;
+  AM.getAnalysis<CountingAnalysis>(Module.get());
+  AM.getAnalysis<OtherAnalysis>(Module.get());
+
+  PreservedAnalyses PA;
+  PA.preserve<CountingAnalysis>();
+  AM.invalidateAll(PA);
+  EXPECT_NE(AM.getCachedAnalysis<CountingAnalysis>(Module.get()), nullptr);
+  EXPECT_EQ(AM.getCachedAnalysis<OtherAnalysis>(Module.get()), nullptr);
+
+  PreservedAnalyses Everything;
+  Everything.preserveAll();
+  AM.invalidateAll(Everything);
+  EXPECT_NE(AM.getCachedAnalysis<CountingAnalysis>(Module.get()), nullptr);
+
+  AM.invalidateAll(PreservedAnalyses());
+  EXPECT_EQ(AM.getCachedAnalysis<CountingAnalysis>(Module.get()), nullptr);
+}
+
+TEST_F(AnalysisManagerTest, DominanceAnalysisSharesTrees) {
+  Operation *Fn = makeDiamondFunc("f");
+  AnalysisManager AM;
+  DominanceAnalysis &DA = AM.getAnalysis<DominanceAnalysis>(Module.get());
+  // The diamond region was materialized eagerly and queries reuse it.
+  Region &R = Fn->getRegion(0);
+  EXPECT_GE(DA.getNumCachedRegions(), 1u);
+  const DominanceInfo &Info1 = DA.getInfo(R);
+  const DominanceInfo &Info2 = DA.getInfo(R);
+  EXPECT_EQ(&Info1, &Info2);
+  EXPECT_TRUE(Info1.dominates(R.getBlock(0), R.getBlock(3)));
+  EXPECT_FALSE(Info1.dominates(R.getBlock(1), R.getBlock(3)));
+}
+
+//===----------------------------------------------------------------------===//
+// PassManager integration
+//===----------------------------------------------------------------------===//
+
+/// A pass that queries CountingAnalysis and does not touch the IR.
+class QueryPass : public Pass {
+public:
+  std::string_view getName() const override { return "test-query"; }
+  LogicalResult run(Operation *) override {
+    getAnalysis<CountingAnalysis>();
+    markAllAnalysesPreserved();
+    return success();
+  }
+};
+
+/// A pass that erases one dead constant and (correctly) preserves nothing.
+class MutatePass : public Pass {
+public:
+  explicit MutatePass(Operation *Victim) : Victim(Victim) {}
+  std::string_view getName() const override { return "test-mutate"; }
+  LogicalResult run(Operation *) override {
+    if (Victim) {
+      Victim->erase();
+      Victim = nullptr;
+    }
+    return success();
+  }
+
+private:
+  Operation *Victim;
+};
+
+/// A pass that mutates but falsely-cheaply claims full preservation — used
+/// to observe that preservation is what keeps the cache alive.
+class NoOpPass : public Pass {
+public:
+  std::string_view getName() const override { return "test-noop"; }
+  LogicalResult run(Operation *) override {
+    markAllAnalysesPreserved();
+    return success();
+  }
+};
+
+TEST_F(AnalysisManagerTest, PreservationAcrossPasses) {
+  makeDiamondFunc("f");
+  PassManager PM;
+  PM.addPass(std::make_unique<QueryPass>());
+  PM.addPass(std::make_unique<QueryPass>());
+  PM.addPass(std::make_unique<QueryPass>());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  // Three queries, one construction: the all-preserving passes kept it.
+  EXPECT_EQ(CountingAnalysis::Constructions, 1);
+  for (const auto &C : PM.getAnalysisManager().getCacheCounters()) {
+    if (C.Name == "counting") {
+      EXPECT_EQ(C.Misses, 1u);
+      EXPECT_EQ(C.Hits, 2u);
+    }
+  }
+}
+
+TEST_F(AnalysisManagerTest, InvalidationOnIRMutatingPass) {
+  Operation *Fn = makeDiamondFunc("f");
+  // An unused constant in f's entry block for the mutating pass to erase.
+  B.setInsertionPointToStart(func::getFuncEntryBlock(Fn));
+  Operation *Victim = arith::buildConstant(B, Ctx.getI64(), 42);
+
+  PassManager PM;
+  PM.addPass(std::make_unique<QueryPass>());
+  PM.addPass(std::make_unique<MutatePass>(Victim));
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  // The mutating pass preserved nothing, so the counting analysis is gone.
+  EXPECT_EQ(PM.getAnalysisManager().getCachedAnalysis<CountingAnalysis>(
+                Module.get()),
+            nullptr);
+}
+
+TEST_F(AnalysisManagerTest, PreservingPassKeepsCache) {
+  makeDiamondFunc("f");
+  PassManager PM;
+  PM.addPass(std::make_unique<QueryPass>());
+  PM.addPass(std::make_unique<NoOpPass>());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  EXPECT_NE(PM.getAnalysisManager().getCachedAnalysis<CountingAnalysis>(
+                Module.get()),
+            nullptr);
+}
+
+TEST_F(AnalysisManagerTest, DominanceCacheHitsAcrossConsecutivePasses) {
+  makeDiamondFunc("f");
+  PassManager PM;
+  PM.addPass(createCanonicalizerPass());
+  PM.addPass(createCSEPass());
+  PM.addPass(createDCEPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  // The inter-pass verifier constructs dominance; CSE hits that cache and
+  // preserves it; the verify after CSE hits again; DCE hits the tree the
+  // post-canonicalize verify rebuilt.
+  uint64_t Hits = 0, Misses = 0;
+  for (const auto &C : PM.getAnalysisManager().getCacheCounters()) {
+    if (C.Name == "dominance") {
+      Hits = C.Hits;
+      Misses = C.Misses;
+    }
+  }
+  EXPECT_GE(Hits, 1u);
+  EXPECT_GE(Misses, 1u);
+  EXPECT_LT(Misses, Hits + Misses); // some queries were genuine reuse
+}
+
+TEST_F(AnalysisManagerTest, AnalysisConstructionIsTimedOnce) {
+  makeDiamondFunc("f");
+  TimingManager TM;
+  TimingScope Root(TM);
+  PassManager PM;
+  PM.enableTiming(*Root.getTimer());
+  PM.addPass(createCSEPass());
+  PM.addPass(createCSEPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  Root.stop();
+
+  // CSE preserves dominance, so across initial verify + 2x CSE + 2x verify
+  // there is exactly ONE dominance construction — a single timing row with
+  // count 1 under "(analysis)".
+  Timer *Analysis = TM.getRootTimer().findChild("(analysis)");
+  ASSERT_NE(Analysis, nullptr);
+  Timer *Dom = Analysis->findChild("dominance");
+  ASSERT_NE(Dom, nullptr);
+  EXPECT_EQ(Dom->getCount(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- CallGraphTest.cpp - call graph analysis tests --------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "rewrite/Pass.h"
+#include "rewrite/Passes.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class CallGraphTest : public ::testing::Test {
+protected:
+  CallGraphTest() { registerAllDialects(Ctx); }
+
+  /// Creates a box->box function that calls each name in \p Callees in
+  /// sequence (threading the value) and returns.
+  Operation *makeFunc(const char *Name,
+                      std::vector<const char *> Callees = {},
+                      bool PapLast = false) {
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), Name,
+        Ctx.getFunctionType({Ctx.getBoxType()}, {Ctx.getBoxType()}));
+    B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+    Value *V = func::getFuncEntryBlock(Fn)->getArgument(0);
+    for (size_t I = 0; I != Callees.size(); ++I) {
+      if (PapLast && I + 1 == Callees.size()) {
+        V = lp::buildPap(B, Callees[I], {&V, 1})->getResult(0);
+      } else {
+        V = func::buildCall(B, Callees[I], {&V, 1}, {{Ctx.getBoxType()}})
+                ->getResult(0);
+      }
+    }
+    func::buildReturn(B, {&V, 1});
+    return Fn;
+  }
+
+  size_t orderIndex(const CallGraph &CG, Operation *Fn) {
+    const auto &Order = CG.getBottomUpOrder();
+    auto It = std::find(Order.begin(), Order.end(), Fn);
+    EXPECT_NE(It, Order.end());
+    return static_cast<size_t>(It - Order.begin());
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+  OpBuilder B{Ctx};
+};
+
+TEST_F(CallGraphTest, EdgesAndBottomUpOrder) {
+  Operation *F = makeFunc("f", {"g"});
+  Operation *G = makeFunc("g", {"h"});
+  Operation *H = makeFunc("h");
+
+  CallGraph CG(Module.get());
+  ASSERT_EQ(CG.getNodes().size(), 3u);
+  const CallGraph::Node *NF = CG.lookup(F);
+  ASSERT_NE(NF, nullptr);
+  ASSERT_EQ(NF->Callees.size(), 1u);
+  EXPECT_EQ(NF->Callees[0]->Fn, G);
+  EXPECT_EQ(CG.lookup(G)->Callers[0]->Fn, F);
+
+  // Callees before callers.
+  EXPECT_LT(orderIndex(CG, H), orderIndex(CG, G));
+  EXPECT_LT(orderIndex(CG, G), orderIndex(CG, F));
+  EXPECT_EQ(CG.getBottomUpOrder().size(), 3u);
+
+  EXPECT_FALSE(CG.isInCycle(F));
+  EXPECT_FALSE(CG.isSelfRecursive(G));
+}
+
+TEST_F(CallGraphTest, SelfRecursionIsACycle) {
+  Operation *R = makeFunc("r", {"r"});
+  Operation *F = makeFunc("f", {"r"});
+
+  CallGraph CG(Module.get());
+  EXPECT_TRUE(CG.isSelfRecursive(R));
+  EXPECT_TRUE(CG.isInCycle(R));
+  EXPECT_FALSE(CG.isInCycle(F));
+}
+
+TEST_F(CallGraphTest, MutualRecursionIsACycleWithoutSelfEdges) {
+  Operation *A = makeFunc("a", {"b"});
+  Operation *Bf = makeFunc("b", {"a"});
+  Operation *Main = makeFunc("main", {"a"});
+
+  CallGraph CG(Module.get());
+  EXPECT_TRUE(CG.isInCycle(A));
+  EXPECT_TRUE(CG.isInCycle(Bf));
+  EXPECT_FALSE(CG.isSelfRecursive(A));
+  EXPECT_FALSE(CG.isSelfRecursive(Bf));
+  EXPECT_FALSE(CG.isInCycle(Main));
+  // The SCC {a,b} comes before main.
+  EXPECT_LT(orderIndex(CG, A), orderIndex(CG, Main));
+  EXPECT_LT(orderIndex(CG, Bf), orderIndex(CG, Main));
+}
+
+TEST_F(CallGraphTest, PapCreatesAnEdge) {
+  Operation *F = makeFunc("f", {"g"}, /*PapLast=*/true);
+  Operation *G = makeFunc("g");
+
+  CallGraph CG(Module.get());
+  ASSERT_EQ(CG.lookup(F)->Callees.size(), 1u);
+  EXPECT_EQ(CG.lookup(F)->Callees[0]->Fn, G);
+  // A pap'd self-reference counts as recursion for the inliner's purposes.
+  Operation *R = makeFunc("r", {"r"}, /*PapLast=*/true);
+  CallGraph CG2(Module.get());
+  EXPECT_TRUE(CG2.isSelfRecursive(R));
+}
+
+TEST_F(CallGraphTest, UnknownCalleesAreIgnored) {
+  Operation *F = makeFunc("f", {"lean_nat_add", "g"});
+  Operation *G = makeFunc("g");
+
+  CallGraph CG(Module.get());
+  ASSERT_EQ(CG.lookup(F)->Callees.size(), 1u);
+  EXPECT_EQ(CG.lookup(F)->Callees[0]->Fn, G);
+  EXPECT_EQ(CG.lookup("lean_nat_add"), nullptr);
+}
+
+TEST_F(CallGraphTest, InlinerCountsRecursiveSkips) {
+  // r is self-recursive; f calls it. The inliner must leave both call
+  // sites and count the skips through its statistic.
+  makeFunc("r", {"r"});
+  makeFunc("f", {"r"});
+
+  PassManager PM;
+  PM.addPass(createInlinerPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  uint64_t Skipped = 0, Inlined = 0;
+  for (const Statistic *S : PM.getPasses()[0]->getStatistics()) {
+    if (S->getName() == "recursive-callees-skipped")
+      Skipped = S->getValue();
+    if (S->getName() == "callees-inlined")
+      Inlined = S->getValue();
+  }
+  EXPECT_EQ(Skipped, 2u); // r's self call + f's call
+  EXPECT_EQ(Inlined, 0u);
+
+  unsigned Calls = 0;
+  Module->getRegion(0).walk([&](Operation *Op) {
+    if (Op->getName() == "func.call")
+      ++Calls;
+  });
+  EXPECT_EQ(Calls, 2u);
+}
+
+} // namespace

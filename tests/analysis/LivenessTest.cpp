@@ -1,0 +1,159 @@
+//===- LivenessTest.cpp - liveness analysis tests -------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "dialect/Arith.h"
+#include "dialect/Cf.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "dialect/Rgn.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class LivenessTest : public ::testing::Test {
+protected:
+  LivenessTest() { registerAllDialects(Ctx); }
+
+  Operation *makeFunc(const char *Name, unsigned NumArgs = 1) {
+    std::vector<Type *> Inputs(NumArgs, Ctx.getI64());
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), Name, Ctx.getFunctionType(Inputs, {Ctx.getI64()}));
+    B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+    return Fn;
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+  OpBuilder B{Ctx};
+};
+
+TEST_F(LivenessTest, LocalValueIsNotLiveAcrossBlocks) {
+  Operation *Fn = makeFunc("f");
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Value *A = Entry->getArgument(0);
+  Value *Tmp = arith::buildBinary(B, "arith.addi", A, A)->getResult(0);
+  Value *Sum = arith::buildBinary(B, "arith.addi", Tmp, Tmp)->getResult(0);
+  func::buildReturn(B, {&Sum, 1});
+
+  Liveness L(Module.get());
+  // Defined and fully consumed in the entry block.
+  EXPECT_FALSE(L.isLiveIn(Tmp, Entry));
+  EXPECT_FALSE(L.isLiveOut(Tmp, Entry));
+  EXPECT_TRUE(L.isDeadAfter(Tmp, Entry));
+  // The argument is defined at entry, hence not live-in either.
+  EXPECT_FALSE(L.isLiveIn(A, Entry));
+}
+
+TEST_F(LivenessTest, ValueUsedInSuccessorIsLiveAcrossTheEdge) {
+  Operation *Fn = makeFunc("f");
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Next = R.emplaceBlock();
+
+  Value *A = Entry->getArgument(0);
+  Value *Doubled = arith::buildBinary(B, "arith.addi", A, A)->getResult(0);
+  cf::buildBr(B, Next, {});
+  B.setInsertionPointToEnd(Next);
+  Value *Sum = arith::buildBinary(B, "arith.muli", Doubled, A)->getResult(0);
+  func::buildReturn(B, {&Sum, 1});
+
+  Liveness L(Module.get());
+  EXPECT_TRUE(L.isLiveOut(Doubled, Entry));
+  EXPECT_TRUE(L.isLiveIn(Doubled, Next));
+  EXPECT_FALSE(L.isLiveOut(Doubled, Next));
+  EXPECT_TRUE(L.isLiveOut(A, Entry));
+  EXPECT_TRUE(L.isLiveIn(A, Next));
+  EXPECT_EQ(L.getLiveIn(Next).size(), 2u);
+  EXPECT_EQ(L.getLiveOut(Next).size(), 0u);
+}
+
+TEST_F(LivenessTest, DiamondKeepsValueLiveOnBothArms) {
+  Operation *Fn = makeFunc("f");
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Then = R.emplaceBlock();
+  Block *Else = R.emplaceBlock();
+  Block *Join = R.emplaceBlock();
+  Join->addArgument(Ctx.getI64());
+
+  Value *A = Entry->getArgument(0);
+  Value *Zero = arith::buildConstant(B, Ctx.getI64(), 0)->getResult(0);
+  Value *Cond =
+      arith::buildCmp(B, arith::CmpPredicate::EQ, A, Zero)->getResult(0);
+  cf::buildCondBr(B, Cond, Then, {}, Else, {});
+  B.setInsertionPointToEnd(Then);
+  Value *T = arith::buildBinary(B, "arith.addi", A, A)->getResult(0);
+  cf::buildBr(B, Join, {&T, 1});
+  B.setInsertionPointToEnd(Else);
+  cf::buildBr(B, Join, {&A, 1});
+  B.setInsertionPointToEnd(Join);
+  Value *J = Join->getArgument(0);
+  func::buildReturn(B, {&J, 1});
+
+  Liveness L(Module.get());
+  // A is needed on both arms but dies at the join.
+  EXPECT_TRUE(L.isLiveIn(A, Then));
+  EXPECT_TRUE(L.isLiveIn(A, Else));
+  EXPECT_FALSE(L.isLiveIn(A, Join));
+  EXPECT_FALSE(L.isLiveOut(A, Then));
+  // The join's block argument is a definition of the join, not live-in.
+  EXPECT_FALSE(L.isLiveIn(J, Join));
+  EXPECT_FALSE(L.isLiveOut(J, Join));
+  // The condition dies at the entry terminator.
+  EXPECT_FALSE(L.isLiveOut(Cond, Entry));
+}
+
+TEST_F(LivenessTest, UseInsideNestedRegionCountsAtTheEnclosingBlock) {
+  // A value defined in the entry and referenced from inside a rgn.val
+  // region in a successor block must be live across the edge.
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "g",
+      Ctx.getFunctionType({Ctx.getBoxType()}, {Ctx.getBoxType()}));
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Next = R.emplaceBlock();
+
+  Value *Payload = lp::buildInt(B, 7)->getResult(0);
+  cf::buildBr(B, Next, {});
+  B.setInsertionPointToEnd(Next);
+  Operation *Val = rgn::buildVal(B, {});
+  {
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(rgn::getValBody(Val).getEntryBlock());
+    lp::buildReturn(B, {&Payload, 1});
+  }
+  rgn::buildRun(B, Val->getResult(0), {});
+
+  Liveness L(Module.get());
+  EXPECT_TRUE(L.isLiveOut(Payload, Entry));
+  EXPECT_TRUE(L.isLiveIn(Payload, Next));
+  // Inside the rgn.val body the payload is live-in of the nested block.
+  Block *Body = rgn::getValBody(Val).getEntryBlock();
+  EXPECT_TRUE(L.isLiveIn(Payload, Body));
+}
+
+TEST_F(LivenessTest, EveryBlockOfEveryRegionIsCovered) {
+  Operation *Fn = makeFunc("f");
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Value *A = Entry->getArgument(0);
+  func::buildReturn(B, {&A, 1});
+
+  Liveness L(Module.get());
+  // Module body block + f's entry block.
+  EXPECT_EQ(L.getNumBlocks(), 2u);
+}
+
+} // namespace

@@ -34,26 +34,42 @@ const PipelineVariant AllVariants[] = {
     PipelineVariant::Leanc, PipelineVariant::Full, PipelineVariant::SimpOnly,
     PipelineVariant::RgnOnly, PipelineVariant::NoOpt};
 
+/// The SCCP-isolating configuration: every rgn-phase optimization off, the
+/// λpure simplifier off, ONLY SCCP on (RunDCE stays false — it would also
+/// re-enable the rgn-phase DCE pass and break the isolation) — so SCCP
+/// runs over maximally-unoptimized CFGs across the whole corpus and any
+/// miscompile it could introduce surfaces against the interpreter oracle.
+lower::PipelineOptions sccpOnlyOptions() {
+  lower::PipelineOptions O =
+      lower::PipelineOptions::forVariant(PipelineVariant::NoOpt);
+  O.RunSCCP = true;
+  return O;
+}
+
 struct DiffCase {
   std::string Name;
   std::string Source;
-  PipelineVariant Variant;
+  std::string VariantName;
+  lower::PipelineOptions Opts;
 };
 
 std::vector<DiffCase> allCases() {
   std::vector<DiffCase> Cases;
+  auto AddProgram = [&](const std::string &Name, const std::string &Source) {
+    for (PipelineVariant V : AllVariants)
+      Cases.push_back({Name, Source, lower::pipelineVariantName(V),
+                       lower::PipelineOptions::forVariant(V)});
+    Cases.push_back({Name, Source, "sccp-only", sccpOnlyOptions()});
+  };
   for (const BenchProgram &B : getBenchmarkSuite())
-    for (PipelineVariant V : AllVariants)
-      Cases.push_back({B.Name, instantiate(B, B.TestSize), V});
+    AddProgram(B.Name, instantiate(B, B.TestSize));
   for (const FeatureProgram &F : getFeatureCorpus())
-    for (PipelineVariant V : AllVariants)
-      Cases.push_back({F.Name, F.Source, V});
+    AddProgram(F.Name, F.Source);
   return Cases;
 }
 
 std::string caseName(const ::testing::TestParamInfo<DiffCase> &Info) {
-  std::string N = Info.param.Name + "_" +
-                  lower::pipelineVariantName(Info.param.Variant);
+  std::string N = Info.param.Name + "_" + Info.param.VariantName;
   for (char &C : N)
     if (!isalnum(static_cast<unsigned char>(C)))
       C = '_';
@@ -71,7 +87,7 @@ TEST_P(DifferentialTest, VMMatchesInterp) {
 
   RunResult Interp = runOracle(P);
   ASSERT_TRUE(Interp.OK) << Interp.Error;
-  RunResult VM = runProgram(P, C.Variant);
+  RunResult VM = runProgram(P, C.Opts);
   ASSERT_TRUE(VM.OK) << VM.Error;
   EXPECT_EQ(VM.ResultDisplay, Interp.ResultDisplay);
   EXPECT_EQ(VM.Output, Interp.Output);
@@ -117,9 +133,18 @@ TEST(DifferentialInstrumented, InstrumentationPreservesSemantics) {
     // rgn-opt passes dumped snapshots, and statistics rows exist.
     EXPECT_NE(TM.getRootTimer().findChild("frontend"), nullptr) << B.Name;
     EXPECT_NE(TM.getRootTimer().findChild("rgn-opt"), nullptr) << B.Name;
+    EXPECT_NE(TM.getRootTimer().findChild("cf-opt"), nullptr) << B.Name;
     EXPECT_NE(Snapshots.find("IR Dump After canonicalize"), std::string::npos)
         << B.Name;
     EXPECT_FALSE(Stats.getRows().empty()) << B.Name;
+
+    // The analysis cache worked across consecutive passes: the default
+    // pipeline's verifier/CSE/DCE shared at least one dominance build.
+    uint64_t DominanceHits = 0;
+    for (const StatisticsReport::Row &Row : Stats.getRows())
+      if (Row.PassName == "(analysis)" && Row.StatName == "dominance-cache-hits")
+        DominanceHits += Row.Value;
+    EXPECT_GE(DominanceHits, 1u) << B.Name;
   }
 }
 

@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Dominance.h"
 #include "dialect/Arith.h"
 #include "dialect/Cf.h"
 #include "dialect/Dialects.h"

@@ -1,0 +1,271 @@
+//===- SCCPTest.cpp - sparse conditional constant propagation tests -----------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Cf.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "rewrite/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class SCCPTest : public ::testing::Test {
+protected:
+  SCCPTest() { registerAllDialects(Ctx); }
+
+  Operation *makeFunc(const char *Name, unsigned NumArgs = 0) {
+    std::vector<Type *> Inputs(NumArgs, Ctx.getI64());
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), Name, Ctx.getFunctionType(Inputs, {Ctx.getI64()}));
+    B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+    return Fn;
+  }
+
+  unsigned countOps(std::string_view Name) {
+    unsigned N = 0;
+    Module->getRegion(0).walk([&](Operation *Op) {
+      if (Op->getName() == Name)
+        ++N;
+    });
+    return N;
+  }
+
+  LogicalResult runSCCP() {
+    PassManager PM;
+    PM.addPass(createSCCPPass());
+    return PM.run(Module.get());
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+  OpBuilder B{Ctx};
+};
+
+TEST_F(SCCPTest, FoldsConstantConditionalBranch) {
+  Operation *Fn = makeFunc("f");
+  Region &R = Fn->getRegion(0);
+  Block *Then = R.emplaceBlock();
+  Block *Else = R.emplaceBlock();
+
+  Value *True = arith::buildConstant(B, Ctx.getI1(), 1)->getResult(0);
+  cf::buildCondBr(B, True, Then, {}, Else, {});
+  B.setInsertionPointToEnd(Then);
+  Value *C1 = arith::buildConstant(B, Ctx.getI64(), 1)->getResult(0);
+  func::buildReturn(B, {&C1, 1});
+  B.setInsertionPointToEnd(Else);
+  Value *C2 = arith::buildConstant(B, Ctx.getI64(), 2)->getResult(0);
+  func::buildReturn(B, {&C2, 1});
+
+  ASSERT_TRUE(succeeded(runSCCP()));
+  EXPECT_EQ(countOps("cf.cond_br"), 0u);
+  EXPECT_EQ(countOps("cf.br"), 1u);
+  EXPECT_EQ(R.getNumBlocks(), 2u); // the never-executed arm is gone
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+  std::string Text = printToString(Module.get());
+  EXPECT_EQ(Text.find("value = 2 : i64"), std::string::npos) << Text;
+}
+
+TEST_F(SCCPTest, FoldsBranchOnComputedConstantCondition) {
+  // Regression: the condition is NOT a ConstantLike op but the result of
+  // an evaluated cmpi. The rewrite phase RAUWs that result to a fresh
+  // materialized constant before touching the terminator — the branch
+  // fold decision must be taken from the lattice BEFORE the RAUW, or the
+  // cond_br survives while its infeasible successor is deleted.
+  Operation *Fn = makeFunc("f");
+  Region &R = Fn->getRegion(0);
+  Block *Then = R.emplaceBlock();
+  Block *Else = R.emplaceBlock();
+
+  Value *C3 = arith::buildConstant(B, Ctx.getI64(), 3)->getResult(0);
+  Value *C4 = arith::buildConstant(B, Ctx.getI64(), 4)->getResult(0);
+  Value *Cond =
+      arith::buildCmp(B, arith::CmpPredicate::SLT, C3, C4)->getResult(0);
+  cf::buildCondBr(B, Cond, Then, {}, Else, {});
+  B.setInsertionPointToEnd(Then);
+  Value *C1 = arith::buildConstant(B, Ctx.getI64(), 1)->getResult(0);
+  func::buildReturn(B, {&C1, 1});
+  B.setInsertionPointToEnd(Else);
+  Value *C2 = arith::buildConstant(B, Ctx.getI64(), 2)->getResult(0);
+  func::buildReturn(B, {&C2, 1});
+
+  ASSERT_TRUE(succeeded(runSCCP()));
+  ASSERT_TRUE(succeeded(verify(Module.get())));
+  EXPECT_EQ(countOps("cf.cond_br"), 0u);
+  EXPECT_EQ(countOps("arith.cmpi"), 0u);
+  EXPECT_EQ(R.getNumBlocks(), 2u);
+}
+
+TEST_F(SCCPTest, PropagatesConstantsThroughBlockArguments) {
+  Operation *Fn = makeFunc("f");
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Next = R.emplaceBlock();
+  Next->addArgument(Ctx.getI64());
+
+  Value *C5 = arith::buildConstant(B, Ctx.getI64(), 5)->getResult(0);
+  cf::buildBr(B, Next, {&C5, 1});
+  B.setInsertionPointToEnd(Next);
+  Value *Arg = Next->getArgument(0);
+  Value *C2 = arith::buildConstant(B, Ctx.getI64(), 2)->getResult(0);
+  Value *Sum = arith::buildBinary(B, "arith.addi", Arg, C2)->getResult(0);
+  func::buildReturn(B, {&Sum, 1});
+  (void)Entry;
+
+  ASSERT_TRUE(succeeded(runSCCP()));
+  ASSERT_TRUE(succeeded(verify(Module.get())));
+  // The addi evaluated on the lattice: 5 + 2 = 7.
+  EXPECT_EQ(countOps("arith.addi"), 0u);
+  std::string Text = printToString(Module.get());
+  EXPECT_NE(Text.find("value = 7 : i64"), std::string::npos) << Text;
+}
+
+TEST_F(SCCPTest, JoinOfEqualConstantsStaysConstant) {
+  // Both feasible edges forward the SAME constant: the block argument
+  // stays constant — the case a local folder can never see.
+  Operation *Fn = makeFunc("f", 1);
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Then = R.emplaceBlock();
+  Block *Else = R.emplaceBlock();
+  Block *Join = R.emplaceBlock();
+  Join->addArgument(Ctx.getI64());
+
+  Value *A = Entry->getArgument(0);
+  Value *Zero = arith::buildConstant(B, Ctx.getI64(), 0)->getResult(0);
+  Value *Cond =
+      arith::buildCmp(B, arith::CmpPredicate::EQ, A, Zero)->getResult(0);
+  cf::buildCondBr(B, Cond, Then, {}, Else, {});
+  B.setInsertionPointToEnd(Then);
+  Value *C9a = arith::buildConstant(B, Ctx.getI64(), 9)->getResult(0);
+  cf::buildBr(B, Join, {&C9a, 1});
+  B.setInsertionPointToEnd(Else);
+  Value *C9b = arith::buildConstant(B, Ctx.getI64(), 9)->getResult(0);
+  cf::buildBr(B, Join, {&C9b, 1});
+  B.setInsertionPointToEnd(Join);
+  Value *J = Join->getArgument(0);
+  Value *C1 = arith::buildConstant(B, Ctx.getI64(), 1)->getResult(0);
+  Value *Sum = arith::buildBinary(B, "arith.addi", J, C1)->getResult(0);
+  func::buildReturn(B, {&Sum, 1});
+
+  ASSERT_TRUE(succeeded(runSCCP()));
+  ASSERT_TRUE(succeeded(verify(Module.get())));
+  // Both branches survive (cond is runtime), but 9+1 folded to 10.
+  EXPECT_EQ(countOps("cf.cond_br"), 1u);
+  EXPECT_EQ(countOps("arith.addi"), 0u);
+  std::string Text = printToString(Module.get());
+  EXPECT_NE(Text.find("value = 10 : i64"), std::string::npos) << Text;
+}
+
+TEST_F(SCCPTest, OverdefinedConditionKeepsBothBranches) {
+  Operation *Fn = makeFunc("f", 1);
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Then = R.emplaceBlock();
+  Block *Else = R.emplaceBlock();
+
+  Value *A = Entry->getArgument(0);
+  Value *Zero = arith::buildConstant(B, Ctx.getI64(), 0)->getResult(0);
+  Value *Cond =
+      arith::buildCmp(B, arith::CmpPredicate::EQ, A, Zero)->getResult(0);
+  cf::buildCondBr(B, Cond, Then, {}, Else, {});
+  B.setInsertionPointToEnd(Then);
+  Value *C1 = arith::buildConstant(B, Ctx.getI64(), 1)->getResult(0);
+  func::buildReturn(B, {&C1, 1});
+  B.setInsertionPointToEnd(Else);
+  Value *C2 = arith::buildConstant(B, Ctx.getI64(), 2)->getResult(0);
+  func::buildReturn(B, {&C2, 1});
+
+  ASSERT_TRUE(succeeded(runSCCP()));
+  EXPECT_EQ(countOps("cf.cond_br"), 1u);
+  EXPECT_EQ(R.getNumBlocks(), 3u);
+}
+
+TEST_F(SCCPTest, RewritesConstantSwitch) {
+  Operation *Fn = makeFunc("f");
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Case0 = R.emplaceBlock();
+  Block *Case1 = R.emplaceBlock();
+  Block *Default = R.emplaceBlock();
+
+  Value *Flag = arith::buildConstant(B, Ctx.getI8(), 1)->getResult(0);
+  int64_t Cases[] = {0, 1};
+  Block *Dests[] = {Case0, Case1};
+  std::vector<Value *> NoArgs[2];
+  cf::buildSwitchBr(B, Flag, Cases, Default, {}, Dests, {NoArgs, 2});
+  for (Block *Blk : {Case0, Case1, Default}) {
+    B.setInsertionPointToEnd(Blk);
+    Value *C = arith::buildConstant(B, Ctx.getI64(),
+                                    Blk == Case1 ? 100 : 200)
+                   ->getResult(0);
+    func::buildReturn(B, {&C, 1});
+  }
+  (void)Entry;
+
+  ASSERT_TRUE(succeeded(runSCCP()));
+  ASSERT_TRUE(succeeded(verify(Module.get())));
+  EXPECT_EQ(countOps("cf.switch"), 0u);
+  EXPECT_EQ(countOps("cf.br"), 1u);
+  EXPECT_EQ(R.getNumBlocks(), 2u); // entry + taken case only
+  std::string Text = printToString(Module.get());
+  EXPECT_NE(Text.find("value = 100 : i64"), std::string::npos) << Text;
+}
+
+TEST_F(SCCPTest, RefusesDivisionByZero) {
+  Operation *Fn = makeFunc("f");
+  Value *C1 = arith::buildConstant(B, Ctx.getI64(), 1)->getResult(0);
+  Value *C0 = arith::buildConstant(B, Ctx.getI64(), 0)->getResult(0);
+  Operation *Div = arith::buildBinary(B, "arith.divsi", C1, C0);
+  Value *V = Div->getResult(0);
+  func::buildReturn(B, {&V, 1});
+  (void)Fn;
+
+  ASSERT_TRUE(succeeded(runSCCP()));
+  EXPECT_EQ(countOps("arith.divsi"), 1u); // must not fold
+}
+
+TEST_F(SCCPTest, ReportsStatistics) {
+  Operation *Fn = makeFunc("f");
+  Block *Entry = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *Then = R.emplaceBlock();
+  Block *Else = R.emplaceBlock();
+
+  Value *True = arith::buildConstant(B, Ctx.getI1(), 1)->getResult(0);
+  cf::buildCondBr(B, True, Then, {}, Else, {});
+  B.setInsertionPointToEnd(Then);
+  Value *C1 = arith::buildConstant(B, Ctx.getI64(), 1)->getResult(0);
+  func::buildReturn(B, {&C1, 1});
+  B.setInsertionPointToEnd(Else);
+  Value *C2 = arith::buildConstant(B, Ctx.getI64(), 2)->getResult(0);
+  func::buildReturn(B, {&C2, 1});
+  (void)Entry;
+
+  PassManager PM;
+  PM.addPass(createSCCPPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  uint64_t Branches = 0, Blocks = 0;
+  for (const Statistic *S : PM.getPasses()[0]->getStatistics()) {
+    if (S->getName() == "branches-rewritten")
+      Branches = S->getValue();
+    if (S->getName() == "blocks-erased")
+      Blocks = S->getValue();
+  }
+  EXPECT_EQ(Branches, 1u);
+  EXPECT_EQ(Blocks, 1u);
+}
+
+} // namespace

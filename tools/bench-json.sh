@@ -11,6 +11,7 @@
 #   --bench NAME          which benchmark to record (default: compile):
 #                           compile  bench_compile_throughput -> BENCH_compile.json
 #                           fig9     bench_fig9_speedup       -> BENCH_fig9.json
+#                           ablation bench_ablation_passes    -> BENCH_ablation.json
 #                         any other NAME runs bench_NAME -> BENCH_NAME.json.
 #   --baseline OLD.json   a previous raw Google-Benchmark JSON (from
 #                         --benchmark_out); before->after speedups are
@@ -49,9 +50,10 @@ while [[ $# -gt 0 ]]; do
 done
 
 case "$BENCH" in
-  compile) BIN_NAME="bench_compile_throughput"; DEFAULT_OUT="BENCH_compile.json"; LABEL="compile_throughput" ;;
-  fig9)    BIN_NAME="bench_fig9_speedup";       DEFAULT_OUT="BENCH_fig9.json";    LABEL="fig9_speedup" ;;
-  *)       BIN_NAME="bench_$BENCH";             DEFAULT_OUT="BENCH_$BENCH.json";  LABEL="$BENCH" ;;
+  compile)  BIN_NAME="bench_compile_throughput"; DEFAULT_OUT="BENCH_compile.json";  LABEL="compile_throughput" ;;
+  fig9)     BIN_NAME="bench_fig9_speedup";       DEFAULT_OUT="BENCH_fig9.json";     LABEL="fig9_speedup" ;;
+  ablation) BIN_NAME="bench_ablation_passes";    DEFAULT_OUT="BENCH_ablation.json"; LABEL="ablation_passes" ;;
+  *)        BIN_NAME="bench_$BENCH";             DEFAULT_OUT="BENCH_$BENCH.json";   LABEL="$BENCH" ;;
 esac
 BIN="$BUILD_DIR/bench/$BIN_NAME"
 OUT=${OUT:-"$REPO_ROOT/$DEFAULT_OUT"}
@@ -152,6 +154,28 @@ if kind == "compile" and baseline_path:
         summary["pipeline_per_program_geomean"] = round(statistics.geometric_mean(pipe), 3)
     if opt:
         summary["opt_geomean"] = round(statistics.geometric_mean(opt), 3)
+elif kind == "ablation":
+    # Names are ablation/<bench>/<config>[/manual_time]. Per config, the
+    # run-time ratio vs the 'all' configuration, geomeaned across the
+    # benchmark programs — the per-pass contribution table in one number
+    # per row (sccp rows included since the cf-opt phase landed).
+    by_bench = {}
+    for name, r in after.items():
+        parts = name.split("/")
+        if len(parts) >= 3 and parts[0] == "ablation":
+            by_bench.setdefault(parts[1], {})[parts[2]] = r["real_time_ns"]
+    ratios = {}
+    for bench, cfgs in sorted(by_bench.items()):
+        base = cfgs.get("all")
+        if not base:
+            continue
+        for cfg, t in cfgs.items():
+            if cfg != "all":
+                ratios.setdefault(cfg, []).append(t / base)
+    rel = {cfg: round(statistics.geometric_mean(v), 3)
+           for cfg, v in sorted(ratios.items()) if v}
+    if rel:
+        summary["runtime_vs_all_geomean"] = rel
 elif kind == "fig9":
     # Names are fig9/<bench>/<variant>[/manual_time]; speedup =
     # leanc / full (manual real time), matching the paper's Figure 9 table.

@@ -45,8 +45,9 @@ const char *const UsageText =
             "                        simplify, insert RC ops, lower to lp\n"
             "  --no-simplify         with --minilean: skip simplification\n"
             "  --no-rc               with --minilean: skip RC insertion\n"
-            "  --pass=NAME           run a pass (canonicalize|cse|dce|inline);\n"
-            "                        repeatable, runs in the order given\n"
+            "  --pass=NAME           run a pass (canonicalize|cse|dce|inline|\n"
+            "                        sccp); repeatable, runs in the order given\n"
+    "  --sccp                shorthand for --pass=sccp\n"
     "  --lower-lp-to-rgn     lower lp switches/joinpoints to rgn\n"
     "  --lower-rgn-to-cf     lower rgn to a flat CFG (+ tail calls)\n"
     "  --verify-only         parse + verify, print 'ok'\n"
@@ -82,6 +83,8 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg.rfind("--pass=", 0) == 0)
       Passes.push_back(Arg.substr(7));
+    else if (Arg == "--sccp")
+      Passes.push_back("sccp");
     else if (Arg == "--minilean")
       MiniLean = true;
     else if (Arg == "--no-simplify")
@@ -197,6 +200,8 @@ int main(int argc, char **argv) {
         PM.addPass(createDCEPass());
       else if (Name == "inline")
         PM.addPass(createInlinerPass());
+      else if (Name == "sccp")
+        PM.addPass(createSCCPPass());
       else {
         errs() << "unknown pass '" << Name << "'\n";
         return usage();
