@@ -1,0 +1,131 @@
+//===- closure_opt.cpp - closure-optimization on/off over the HO suite --------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures what the interprocedural closure-optimization subsystem buys at
+/// runtime: every higher-order suite program is compiled through the Full
+/// pipeline twice — closure-opt ON (arity raising + devirtualization) and
+/// OFF — and timed on the same VM. Each benchmark also exports:
+///
+///   * closures_devirtualized / calls_uncurried — the compile-time pass
+///     statistics (nonzero on this suite is the subsystem's acceptance
+///     bar),
+///   * closure_allocs / generic_applies — VM execution counters for one
+///     run, showing the closure-allocation and generic-apply-path traffic
+///     the rewrites removed.
+///
+/// tools/bench-json.sh --bench closure records the on/off runtime ratio
+/// per program into BENCH_closure.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "rewrite/Pass.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lz;
+using namespace lz::bench;
+
+namespace {
+
+struct ClosureBench {
+  std::unique_ptr<Compiled> Prog;
+  uint64_t ClosuresDevirtualized = 0;
+  uint64_t CallsUncurried = 0;
+};
+
+std::vector<std::unique_ptr<ClosureBench>> &benches() {
+  static std::vector<std::unique_ptr<ClosureBench>> All;
+  return All;
+}
+
+std::unique_ptr<ClosureBench> compileOne(const std::string &Name,
+                                         bool ClosureOpt) {
+  lower::PipelineOptions Opts =
+      lower::PipelineOptions::forVariant(lower::PipelineVariant::Full);
+  Opts.RunClosureOpt = ClosureOpt;
+  StatisticsReport Stats;
+  Opts.Instrument.Statistics = &Stats;
+
+  auto CB = std::make_unique<ClosureBench>();
+  CB->Prog = compileBench(Name, ClosureOpt ? "devirt-on" : "devirt-off",
+                          Opts);
+  for (const StatisticsReport::Row &Row : Stats.getRows()) {
+    if (Row.PassName == "devirt" && Row.StatName == "closures-devirtualized")
+      CB->ClosuresDevirtualized = Row.Value;
+    if (Row.PassName == "arity-raise" && Row.StatName == "calls-uncurried")
+      CB->CallsUncurried = Row.Value;
+  }
+  return CB;
+}
+
+void runBench(benchmark::State &State, const ClosureBench *CB) {
+  uint64_t ClosureAllocs = 0, GenericApplies = 0;
+  for (auto _ : State) {
+    rt::Runtime RT;
+    vm::VM Machine(CB->Prog->Prog, RT, /*Out=*/nullptr);
+    auto Start = std::chrono::steady_clock::now();
+    rt::ObjRef Result = Machine.run("main", {});
+    auto End = std::chrono::steady_clock::now();
+    RT.dec(Result);
+    if (RT.getLiveObjects() != 0) {
+      std::fprintf(stderr, "closure bench %s/%s leaked %llu cells\n",
+                   CB->Prog->Bench.c_str(), CB->Prog->Variant.c_str(),
+                   static_cast<unsigned long long>(RT.getLiveObjects()));
+      std::abort();
+    }
+    double Seconds = std::chrono::duration<double>(End - Start).count();
+    State.SetIterationTime(Seconds);
+    measurements().record(CB->Prog->Bench, CB->Prog->Variant, Seconds);
+    ClosureAllocs = Machine.getClosureAllocs();
+    GenericApplies = Machine.getGenericApplies();
+  }
+  State.counters["closures_devirtualized"] =
+      static_cast<double>(CB->ClosuresDevirtualized);
+  State.counters["calls_uncurried"] = static_cast<double>(CB->CallsUncurried);
+  State.counters["closure_allocs"] = static_cast<double>(ClosureAllocs);
+  State.counters["generic_applies"] = static_cast<double>(GenericApplies);
+}
+
+void printSummary() {
+  std::printf("\n=== Closure optimization: devirt-on vs devirt-off ===\n");
+  std::printf("%-16s %12s %12s %10s\n", "benchmark", "off(s)", "on(s)",
+              "speedup");
+  std::vector<double> Ratios;
+  for (const auto &B : programs::getHigherOrderSuite()) {
+    double Off = measurements().mean(B.Name, "devirt-off");
+    double On = measurements().mean(B.Name, "devirt-on");
+    if (Off == 0.0 || On == 0.0)
+      continue;
+    double Speedup = Off / On;
+    Ratios.push_back(Speedup);
+    std::printf("%-16s %12.4f %12.4f %9.2fx\n", B.Name, Off, On, Speedup);
+  }
+  std::printf("%-16s %12s %12s %9.2fx\n", "geomean", "", "", geomean(Ratios));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const auto &B : programs::getHigherOrderSuite()) {
+    for (bool On : {false, true}) {
+      benches().push_back(compileOne(B.Name, On));
+      ClosureBench *CB = benches().back().get();
+      std::string Name = std::string("closure/") + B.Name + "/" +
+                         CB->Prog->Variant;
+      benchmark::RegisterBenchmark(Name.c_str(), runBench, CB)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printSummary();
+  return 0;
+}

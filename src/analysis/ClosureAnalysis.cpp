@@ -1,0 +1,319 @@
+//===- ClosureAnalysis.cpp - pap/papextend chain analysis ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ClosureAnalysis.h"
+
+#include "dialect/Func.h"
+#include "ir/Module.h"
+
+#include <vector>
+
+using namespace lz;
+
+namespace {
+
+/// Three-point lattice for chain propagation through joinpoint parameters:
+/// Unknown (optimistic: may still become a known chain), Known (callee +
+/// accumulated arity), Conflict (definitely not a resolvable chain).
+struct Lattice {
+  enum Kind : uint8_t { Unknown, Known, Conflict } K = Unknown;
+  Operation *CalleeFn = nullptr;
+  unsigned AccumArgs = 0;
+
+  static Lattice known(Operation *Fn, unsigned N) {
+    return {Known, Fn, N};
+  }
+  static Lattice conflict() { return {Conflict, nullptr, 0}; }
+
+  bool operator==(const Lattice &O) const {
+    return K == O.K && CalleeFn == O.CalleeFn && AccumArgs == O.AccumArgs;
+  }
+};
+
+/// meet: Unknown is the identity; distinct Knowns (or anything with
+/// Conflict) fall to Conflict.
+Lattice meet(const Lattice &A, const Lattice &B) {
+  if (A.K == Lattice::Unknown)
+    return B;
+  if (B.K == Lattice::Unknown)
+    return A;
+  if (A == B)
+    return A;
+  return Lattice::conflict();
+}
+
+/// The lexically enclosing `lp.joinpoint` whose label matches \p Jump's,
+/// or null for detached fragments.
+Operation *findJoinTarget(Operation *Jump) {
+  auto *Label = Jump->getAttrOfType<StringAttr>("label");
+  if (!Label)
+    return nullptr;
+  for (Operation *Parent = Jump->getParentOp(); Parent;
+       Parent = Parent->getParentOp()) {
+    if (Parent->getName() != "lp.joinpoint")
+      continue;
+    auto *ParentLabel = Parent->getAttrOfType<StringAttr>("label");
+    if (ParentLabel && ParentLabel->getValue() == Label->getValue())
+      return Parent;
+  }
+  return nullptr;
+}
+
+/// Visits ops of \p R in lexical (def-before-use) order, outer ops before
+/// the contents of their regions — the order chain facts flow in.
+template <typename FnT> void preOrderWalk(Region &R, FnT &&Fn) {
+  for (const auto &B : R) {
+    for (Operation *Op : *B) {
+      Fn(Op);
+      for (unsigned I = 0; I != Op->getNumRegions(); ++I)
+        preOrderWalk(Op->getRegion(I), Fn);
+    }
+  }
+}
+
+} // namespace
+
+namespace lz {
+
+/// Out-of-class builder so the header stays free of lattice internals.
+struct ClosureAnalysisBuilder {
+  ClosureAnalysis &CA;
+  Operation *Module;
+  std::unordered_map<Value *, Lattice> LV;
+  std::vector<Operation *> Functions;
+
+  Lattice latticeOf(Value *V) const {
+    auto It = LV.find(V);
+    return It == LV.end() ? Lattice{} : It->second;
+  }
+
+  /// Contribution of a jump argument to the joinpoint parameter it feeds:
+  /// values that can never become chains poison the merge immediately so
+  /// the fixpoint does not stall optimistic.
+  Lattice mergeContribution(Value *V) const {
+    Lattice L = latticeOf(V);
+    if (L.K != Lattice::Unknown)
+      return L;
+    if (Operation *D = V->getDefiningOp()) {
+      std::string_view Name = D->getName();
+      if (Name != "lp.pap" && Name != "lp.papextend")
+        return Lattice::conflict();
+      return L; // may still resolve on a later round
+    }
+    return L; // block argument: may resolve via its own merge
+  }
+
+  void run() {
+    for (Operation *Op : *getModuleBody(Module)) {
+      if (Op->getName() != "func.func")
+        continue;
+      CA.Symbols.emplace(func::getFuncName(Op), Op);
+      Functions.push_back(Op);
+    }
+    for (Operation *Fn : Functions)
+      if (!Fn->getRegion(0).empty())
+        propagateChains(Fn);
+    markEscapes();
+    summarize();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Phase 1: chain propagation (per function, to a fixpoint)
+  //===------------------------------------------------------------------===//
+
+  void propagateChains(Operation *Fn) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      preOrderWalk(Fn->getRegion(0), [&](Operation *Op) {
+        std::string_view Name = Op->getName();
+        if (Name == "lp.pap") {
+          auto *Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
+          Operation *CalleeFn =
+              Callee ? CA.resolveCallee(Callee->getValue()) : nullptr;
+          Lattice L = Lattice::conflict();
+          if (CalleeFn &&
+              Op->getNumOperands() < ClosureAnalysis::getArity(CalleeFn))
+            L = Lattice::known(CalleeFn, Op->getNumOperands());
+          Changed |= update(Op->getResult(0), L);
+          return;
+        }
+        if (Name == "lp.papextend") {
+          Lattice In = latticeOf(Op->getOperand(0));
+          Lattice L = Lattice::conflict();
+          if (In.K == Lattice::Unknown)
+            return; // wait for the closure operand to resolve
+          if (In.K == Lattice::Known) {
+            unsigned Total = In.AccumArgs + Op->getNumOperands() - 1;
+            unsigned Arity = ClosureAnalysis::getArity(In.CalleeFn);
+            if (Total < Arity)
+              L = Lattice::known(In.CalleeFn, Total);
+            // Total >= Arity: the extend invokes; the result is the
+            // callee's return value, not a pap — Conflict (= untracked).
+          }
+          Changed |= update(Op->getResult(0), L);
+          return;
+        }
+        if (Name == "lp.jump") {
+          Operation *Join = findJoinTarget(Op);
+          if (!Join)
+            return;
+          Block *Target = Join->getRegion(0).getEntryBlock();
+          unsigned N = std::min(Op->getNumOperands(),
+                                Target->getNumArguments());
+          for (unsigned I = 0; I != N; ++I) {
+            Lattice Contribution = mergeContribution(Op->getOperand(I));
+            if (Contribution.K == Lattice::Unknown)
+              continue;
+            BlockArgument *Param = Target->getArgument(I);
+            Lattice Merged = meet(latticeOf(Param), Contribution);
+            Changed |= update(Param, Merged);
+          }
+          return;
+        }
+      });
+    }
+  }
+
+  bool update(Value *V, Lattice L) {
+    if (L.K == Lattice::Unknown)
+      return false;
+    Lattice &Slot = LV[V];
+    // Merges may refine Known -> Conflict, never the reverse.
+    if (Slot == L || Slot.K == Lattice::Conflict)
+      return false;
+    Slot = L;
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Phase 2: escape states + saturation counting
+  //===------------------------------------------------------------------===//
+
+  void markEscapes() {
+    for (auto &[V, L] : LV) {
+      if (L.K != Lattice::Known)
+        continue;
+      ClosureAnalysis::ChainInfo CI;
+      CI.CalleeFn = L.CalleeFn;
+      CI.AccumArgs = L.AccumArgs;
+      unsigned Arity = ClosureAnalysis::getArity(L.CalleeFn);
+      for (OpOperand *Use = V->getFirstUse(); Use; Use = Use->getNextUse()) {
+        Operation *Owner = Use->getOwner();
+        std::string_view Name = Owner->getName();
+        if (Name == "lp.papextend" && Use->getOperandIndex() == 0) {
+          if (L.AccumArgs + Owner->getNumOperands() - 1 == Arity)
+            ++CA.NumSaturating;
+          continue;
+        }
+        if (Name == "lp.inc" || Name == "lp.dec")
+          continue;
+        if (Name == "lp.jump") {
+          // Non-escaping only when the fed parameter still resolves to a
+          // single (callee, arity) — i.e. the merge did not conflict.
+          Operation *Join = findJoinTarget(Owner);
+          unsigned Idx = Use->getOperandIndex();
+          if (Join) {
+            Block *Target = Join->getRegion(0).getEntryBlock();
+            if (Idx < Target->getNumArguments() &&
+                latticeOf(Target->getArgument(Idx)).K == Lattice::Known)
+              continue;
+          }
+          CI.Escapes = true;
+          continue;
+        }
+        if (Name == "lp.return" || Name == "func.return") {
+          CI.Returned = true;
+          CI.Escapes = true;
+          continue;
+        }
+        CI.Escapes = true; // construct/call/pap argument/getlabel/...
+      }
+      CA.Info.emplace(V, CI);
+    }
+    CA.NumTracked = static_cast<unsigned>(CA.Info.size());
+    for (const auto &[V, CI] : CA.Info)
+      if (CI.Escapes)
+        ++CA.NumEscaping;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Phase 3: return summaries (module-level optimistic fixpoint)
+  //===------------------------------------------------------------------===//
+
+  void summarize() {
+    std::unordered_map<Operation *, Lattice> Summary;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (Operation *Fn : Functions) {
+        if (Fn->getRegion(0).empty())
+          continue;
+        Lattice Merged; // Unknown
+        preOrderWalk(Fn->getRegion(0), [&](Operation *Op) {
+          std::string_view Name = Op->getName();
+          if ((Name != "lp.return" && Name != "func.return") ||
+              Op->getNumOperands() != 1)
+            return;
+          Merged = meet(Merged, returnContribution(Op->getOperand(0),
+                                                   Summary));
+        });
+        Lattice &Slot = Summary[Fn];
+        Lattice New = meet(Slot, Merged);
+        if (!(New == Slot)) {
+          Slot = New;
+          Changed = true;
+        }
+      }
+    }
+    for (auto &[Fn, L] : Summary)
+      if (L.K == Lattice::Known)
+        CA.Summaries.emplace(
+            Fn, ClosureAnalysis::ReturnSummary{L.CalleeFn, L.AccumArgs});
+  }
+
+  Lattice
+  returnContribution(Value *V,
+                     const std::unordered_map<Operation *, Lattice> &Summary) {
+    Lattice L = latticeOf(V);
+    if (L.K != Lattice::Unknown)
+      return L;
+    Operation *D = V->getDefiningOp();
+    if (D && D->getName() == "func.call") {
+      auto *Callee = D->getAttrOfType<SymbolRefAttr>("callee");
+      Operation *CalleeFn =
+          Callee ? CA.resolveCallee(Callee->getValue()) : nullptr;
+      if (!CalleeFn)
+        return Lattice::conflict();
+      auto It = Summary.find(CalleeFn);
+      return It == Summary.end() ? Lattice{} : It->second;
+    }
+    return Lattice::conflict();
+  }
+};
+
+} // namespace lz
+
+ClosureAnalysis::ClosureAnalysis(Operation *Module) {
+  ClosureAnalysisBuilder Builder{*this, Module, {}, {}};
+  Builder.run();
+}
+
+const ClosureAnalysis::ReturnSummary *
+ClosureAnalysis::getReturnSummary(Operation *Fn) const {
+  auto It = Summaries.find(Fn);
+  return It == Summaries.end() ? nullptr : &It->second;
+}
+
+Operation *ClosureAnalysis::resolveCallee(std::string_view Symbol) const {
+  auto It = Symbols.find(Symbol);
+  return It == Symbols.end() ? nullptr : It->second;
+}
+
+unsigned ClosureAnalysis::getArity(Operation *Fn) {
+  return static_cast<unsigned>(func::getFuncType(Fn)->getInputs().size());
+}

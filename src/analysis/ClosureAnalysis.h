@@ -1,0 +1,120 @@
+//===- ClosureAnalysis.h - pap/papextend chain analysis ---------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural closure analysis over the lp dialect — the base the
+/// closure-optimization passes (devirtualization, arity raising) build on.
+/// For every SSA value produced by an `lp.pap` / `lp.papextend` chain the
+/// analysis tracks:
+///
+///   * the statically-known callee (`lp.pap`'s symbol, resolved against the
+///     module's function symbols — the same map the CallGraph keys on),
+///   * the accumulated fixed-argument count along `lp.papextend` chains
+///     (propagation stops when a chain saturates: the extend then *invokes*
+///     the callee and its result is the callee's return value, not a pap),
+///   * the escape state. A pap escapes when it flows somewhere the chain
+///     structure can no longer be resolved locally: into `lp.construct`, a
+///     return, any call argument, another pap's argument list, or a block
+///     argument (joinpoint parameter) whose incoming jumps merge *distinct*
+///     callees or arities. Jump arguments into a parameter where every
+///     incoming edge agrees on (callee, arity) do NOT escape — the
+///     parameter simply continues the chain.
+///
+/// Per function the analysis also derives a *return summary*: "every return
+/// of @f yields a fresh, locally-built closure over @g with exactly N fixed
+/// arguments" — directly (all `lp.return`s return known chain values that
+/// agree) or through a tail `func.call` of an already-summarized function.
+/// This is what the arity-raising pass consumes to uncurry
+/// call-then-papextend sites (Graf & Peyton Jones' "Selective Lambda
+/// Lifting" decides closure vs. first-order call per call site; the summary
+/// is the SSA-level analogue of their closure-growth information).
+///
+/// Cached through the AnalysisManager on the module root; invalidated by
+/// any pass that rewrites calls or closures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_ANALYSIS_CLOSUREANALYSIS_H
+#define LZ_ANALYSIS_CLOSUREANALYSIS_H
+
+#include <string_view>
+#include <unordered_map>
+
+namespace lz {
+
+class Operation;
+class Value;
+
+class ClosureAnalysis {
+public:
+  static constexpr std::string_view AnalysisName = "closure-analysis";
+
+  explicit ClosureAnalysis(Operation *Module);
+
+  /// What the analysis knows about one pap-chain value.
+  struct ChainInfo {
+    /// The resolved `func.func` the chain will eventually invoke.
+    Operation *CalleeFn = nullptr;
+    /// Fixed arguments accumulated so far (strictly less than the callee's
+    /// arity — saturating extends end the chain).
+    unsigned AccumArgs = 0;
+    /// The value flowed into a consuming context the chain structure does
+    /// not survive (construct/return/call argument/conflicting merge/...).
+    bool Escapes = false;
+    /// The value is returned from the enclosing function (a special case
+    /// of escaping that the return summaries build on).
+    bool Returned = false;
+  };
+
+  /// Chain info for \p V, or null when V is not a known pap-chain value.
+  const ChainInfo *getInfo(Value *V) const {
+    auto It = Info.find(V);
+    return It == Info.end() ? nullptr : &It->second;
+  }
+
+  /// "Calling @f returns a fresh closure of @CalleeFn with AccumArgs fixed
+  /// arguments on every path."
+  struct ReturnSummary {
+    Operation *CalleeFn = nullptr;
+    unsigned AccumArgs = 0;
+  };
+
+  /// The return summary of \p Fn, or null when its returns are not all
+  /// known closures of one callee/arity.
+  const ReturnSummary *getReturnSummary(Operation *Fn) const;
+
+  /// The `func.func` named \p Symbol, or null (module symbol map).
+  Operation *resolveCallee(std::string_view Symbol) const;
+
+  /// Declared parameter count of a `func.func`.
+  static unsigned getArity(Operation *Fn);
+
+  //===------------------------------------------------------------------===//
+  // Aggregate counts (test/report surface)
+  //===------------------------------------------------------------------===//
+
+  /// Values carrying chain info.
+  unsigned getNumTrackedValues() const { return NumTracked; }
+  /// Tracked values that escape.
+  unsigned getNumEscapingValues() const { return NumEscaping; }
+  /// `lp.papextend` ops that saturate a known chain exactly.
+  unsigned getNumSaturatingExtends() const { return NumSaturating; }
+
+private:
+  friend struct ClosureAnalysisBuilder;
+
+  std::unordered_map<Value *, ChainInfo> Info;
+  std::unordered_map<Operation *, ReturnSummary> Summaries;
+  std::unordered_map<std::string_view, Operation *> Symbols;
+  unsigned NumTracked = 0;
+  unsigned NumEscaping = 0;
+  unsigned NumSaturating = 0;
+};
+
+} // namespace lz
+
+#endif // LZ_ANALYSIS_CLOSUREANALYSIS_H

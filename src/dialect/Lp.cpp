@@ -8,6 +8,9 @@
 #include "dialect/Lp.h"
 
 #include "dialect/Arith.h"
+#include "dialect/Func.h"
+#include "ir/Module.h"
+#include "rewrite/Pattern.h"
 
 using namespace lz;
 using namespace lz::lp;
@@ -25,6 +28,55 @@ LogicalResult verifySingleBoxResult(Operation *Op) {
   return success(Op->getNumResults() == 1 &&
                  isa<BoxType>(Op->getResult(0)->getType()));
 }
+
+/// papextend(pap @f(a...), b...) -> pap @f(a..., b...) while the combined
+/// argument count stays strictly below @f's arity (a saturating extend
+/// *invokes* @f, so collapsing it would change semantics). Requires the
+/// inner pap to have this extend as its only use — the collapse rebuilds
+/// the closure at the extend's position, which is RC-neutral: the new pap
+/// consumes exactly the references the old pap and the extend consumed.
+class CollapsePapExtendOfPap : public RewritePattern {
+public:
+  CollapsePapExtendOfPap() : RewritePattern("lp.papextend") {}
+
+  LogicalResult matchAndRewrite(Operation *Op,
+                                PatternRewriter &Rewriter) const override {
+    Value *Closure = Op->getOperand(0);
+    Operation *Pap = Closure->getDefiningOp();
+    if (!Pap || Pap->getName() != "lp.pap" || !Closure->hasOneUse())
+      return failure();
+    auto *Callee = Pap->getAttrOfType<SymbolRefAttr>("callee");
+    if (!Callee)
+      return failure();
+
+    // Resolve the callee's arity from the enclosing module; unknown or
+    // saturating-or-over chains are left for the runtime apply path.
+    Operation *Scope = Op->getParentOp();
+    while (Scope && !Scope->hasTrait(OpTrait_SymbolTable))
+      Scope = Scope->getParentOp();
+    if (!Scope)
+      return failure();
+    Operation *CalleeFn = lookupSymbol(Scope, Callee->getValue());
+    if (!CalleeFn || CalleeFn->getName() != "func.func")
+      return failure();
+    unsigned Arity = static_cast<unsigned>(
+        func::getFuncType(CalleeFn)->getInputs().size());
+    unsigned Combined = Pap->getNumOperands() + Op->getNumOperands() - 1;
+    if (Combined >= Arity)
+      return failure();
+
+    std::vector<Value *> Args(Pap->getOperands().begin(),
+                              Pap->getOperands().end());
+    for (unsigned I = 1; I != Op->getNumOperands(); ++I)
+      Args.push_back(Op->getOperand(I));
+    Rewriter.setInsertionPoint(Op);
+    Operation *Merged = buildPap(Rewriter, Callee->getValue(), Args);
+    Value *Result = Merged->getResult(0);
+    Rewriter.replaceOp(Op, {&Result, 1});
+    Rewriter.eraseOp(Pap);
+    return success();
+  }
+};
 
 } // namespace
 
@@ -107,6 +159,28 @@ void lz::lp::registerLpDialect(Context &Ctx) {
                                            Tag->getValue()));
       return success();
     };
+    // SCCP hook. A scalar's tag is its value (all-nullary inductives are
+    // erased to scalars), so a lattice-constant operand folds; and since
+    // the hook receives the operation, a getlabel whose operand is a
+    // non-constant but statically-known lp.construct folds to that
+    // construct's tag attribute even when the operand itself is
+    // overdefined (the operand slot is then null — see OpDef docs).
+    Def.EvalConstants =
+        [](Operation *Op, std::span<Attribute *const> Operands,
+           std::vector<Attribute *> &Out) -> LogicalResult {
+      Type *ResTy = Op->getResult(0)->getType();
+      if (auto *Scalar = dyn_cast_if_present<IntegerAttr>(Operands[0])) {
+        Out.push_back(
+            Op->getContext()->getIntegerAttr(ResTy, Scalar->getValue()));
+        return success();
+      }
+      Operation *DefOp = Op->getOperand(0)->getDefiningOp();
+      if (!DefOp || DefOp->getName() != "lp.construct")
+        return failure();
+      auto *Tag = DefOp->getAttrOfType<IntegerAttr>("tag");
+      Out.push_back(Op->getContext()->getIntegerAttr(ResTy, Tag->getValue()));
+      return success();
+    };
     Ctx.registerOp(std::move(Def));
   }
 
@@ -146,6 +220,9 @@ void lz::lp::registerLpDialect(Context &Ctx) {
       return success(Op->getNumOperands() >= 1 &&
                      succeeded(verifySingleBoxResult(Op)) &&
                      allOperandsBoxed(Op));
+    };
+    Def.CanonicalizationPatterns = [](PatternSet &Patterns) {
+      Patterns.add<CollapsePapExtendOfPap>();
     };
     Ctx.registerOp(std::move(Def));
   }

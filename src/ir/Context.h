@@ -82,12 +82,15 @@ struct OpDef {
   /// to signal a fold. May be null.
   std::function<LogicalResult(Operation *, std::vector<FoldResult> &)> Fold;
   /// Evaluates the op over already-known constant operand values — one
-  /// attribute per operand, all non-null — filling one attribute per
-  /// result. Unlike Fold this never inspects the operands' defining ops,
-  /// so sparse dataflow clients (SCCP) can evaluate with lattice constants
-  /// that are not materialized in the IR. Returning failure means "not a
-  /// compile-time constant on these inputs" (e.g. division by zero). May
-  /// be null.
+  /// attribute per operand, where a null entry means "resolved but not a
+  /// constant" (overdefined) — filling one attribute per result. Sparse
+  /// dataflow clients (SCCP) evaluate with lattice constants that are not
+  /// materialized in the IR; hooks must tolerate null entries, either by
+  /// bailing (all of arith's binary ops) or by folding anyway when the
+  /// constant operands suffice (arith.select with a known selector) or the
+  /// operand's defining op is statically decisive (lp.getlabel of a known
+  /// lp.construct). Returning failure means "not a compile-time constant
+  /// on these inputs" (e.g. division by zero). May be null.
   std::function<LogicalResult(Operation *, std::span<Attribute *const>,
                               std::vector<Attribute *> &)>
       EvalConstants;

@@ -40,11 +40,13 @@ PipelineOptions PipelineOptions::forVariant(PipelineVariant V) {
   case PipelineVariant::Leanc:
     O.UseRgnBackend = false;
     O.RunCanonicalize = O.RunCSE = O.RunDCE = O.RunSCCP = false;
+    O.RunClosureOpt = false;
     break;
   case PipelineVariant::Full:
     break;
   case PipelineVariant::SimpOnly:
     O.RunCanonicalize = O.RunCSE = O.RunDCE = O.RunSCCP = false;
+    O.RunClosureOpt = false;
     break;
   case PipelineVariant::RgnOnly:
     O.RunLambdaSimplifier = false;
@@ -52,6 +54,7 @@ PipelineOptions PipelineOptions::forVariant(PipelineVariant V) {
   case PipelineVariant::NoOpt:
     O.RunLambdaSimplifier = false;
     O.RunCanonicalize = O.RunCSE = O.RunDCE = O.RunSCCP = false;
+    O.RunClosureOpt = false;
     break;
   }
   return O;
@@ -106,6 +109,33 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       Result.Error = "lambda->lp lowering produced invalid IR";
       return Result;
     }
+
+    // The interprocedural closure-optimization phase: on the lp form every
+    // higher-order application is still an explicit pap/papextend chain, so
+    // arity raising uncurries call+extend over-applications and
+    // devirtualization turns saturated local chains into direct calls
+    // before the rgn/cf phases (whose inliner and tail-call marking then
+    // see plain func.calls).
+    if (Opts.RunClosureOpt) {
+      PassManager ClosurePM;
+      ClosurePM.setVerifyEach(Opts.VerifyEach);
+      TimingScope ClosureOpt = Total.nest("closure-opt");
+      if (ClosureOpt.isActive())
+        ClosurePM.enableTiming(*ClosureOpt.getTimer());
+      if (Opts.Instrument.IRPrint)
+        ClosurePM.enableIRPrinting(*Opts.Instrument.IRPrint);
+      ClosurePM.addPass(createArityRaisePass());
+      ClosurePM.addPass(createDevirtualizePass());
+      LogicalResult ClosureResult = ClosurePM.run(Module.get());
+      if (Opts.Instrument.Statistics)
+        ClosurePM.mergeStatisticsInto(*Opts.Instrument.Statistics);
+      ClosureOpt.stop();
+      if (failed(ClosureResult)) {
+        Result.Error = "closure-opt phase failed";
+        return Result;
+      }
+    }
+
     {
       TimingScope S = Total.nest("lower-lp-to-rgn");
       if (failed(lowerLpToRgn(Module.get()))) {

@@ -73,6 +73,11 @@ struct PipelineOptions {
   bool RunCSE = true;
   bool RunDCE = true;
   bool RunInliner = false;
+  /// The interprocedural closure-optimization phase ("closure-opt") on the
+  /// lp-form module, before lp->rgn lowering: arity raising (uncurrying
+  /// through synthesized wrappers) followed by known-call
+  /// devirtualization of saturated pap chains.
+  bool RunClosureOpt = true;
   /// Sparse conditional constant propagation over the flat CFG, run (with
   /// a DCE cleanup) in the post-rgn "cf-opt" phase.
   bool RunSCCP = true;

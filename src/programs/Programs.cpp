@@ -274,6 +274,78 @@ def main :=
   countRoots uf2 0 @N@ 0
 )";
 
+// cps_pipeline — continuation-passing computation where the continuation
+// stack is built from partial applications of *known* functions: the
+// outermost link saturates locally (devirtualization prey), the inner
+// continuations escape into closures (generic apply path stays exercised).
+const char *CpsPipeline = R"(
+def done x := x
+def add1 k x := k (x + 1)
+def mul2 k x := k (x * 2)
+def sub3 k x := k (x - 3)
+
+def runPipe x :=
+  let k := add1 (mul2 (sub3 done));
+  k x
+
+def loop i n acc :=
+  if i == n then acc
+  else
+    let v := runPipe (acc + i);
+    loop (i + 1) n (v % 1048576)
+
+def main := loop 0 @N@ 1
+)";
+
+// church_arith — church numerals (the classic curried workload): numeral
+// application rides the generic apply path, while the curried adder
+// `mkAdd` returns an under-applied closure, so every `mkAdd i acc`
+// over-application is arity-raising prey.
+const char *ChurchArith = R"(
+def inc x := x + 1
+def addK k x := x + k
+def mkAdd a := addK a
+
+def two s z := s (s z)
+def three s z := s (s (s z))
+def addc m n s z := m s (n s z)
+def mulc m n s z := m (n s) z
+
+def churchVal m := m inc 0
+def church i := churchVal (addc two three) + churchVal (mulc two three)
+
+def loopAdd i acc := if i == 0 then acc else loopAdd (i - 1) (mkAdd i acc)
+def iterC i acc := if i == 0 then acc else iterC (i - 1) (acc + church i)
+
+def main := loopAdd @N@ 0 + iterC @N@ 0
+)";
+
+// compose_chains — compose/fold chains: a let-bound partial application
+// saturated two steps later (a pap + two papextends collapsing to one
+// direct call under devirtualization) inside a hot fold, plus an escaping
+// composed closure driving the generic path.
+const char *ComposeChains = R"(
+def add3 a b c := a + b + c
+def addK k x := x + k
+def compose f g x := f (g x)
+
+def step acc i :=
+  let t := add3 acc;
+  let u := t i;
+  u 1
+
+def iterate f n x := if n == 0 then x else iterate f (n - 1) (f x)
+
+def stepLoop i n acc :=
+  if i == n then acc
+  else stepLoop (i + 1) n (step acc i)
+
+def main :=
+  let h := compose (addK 1) (addK 2);
+  let a := iterate h 200 0;
+  stepLoop 0 @N@ a
+)";
+
 std::vector<BenchProgram> makeSuite() {
   return {
       {"binarytrees", BinaryTrees, /*BenchSize=*/12, /*TestSize=*/5},
@@ -291,6 +363,15 @@ std::vector<BenchProgram> makeSuite() {
 
 const std::vector<BenchProgram> &lz::programs::getBenchmarkSuite() {
   static std::vector<BenchProgram> Suite = makeSuite();
+  return Suite;
+}
+
+const std::vector<BenchProgram> &lz::programs::getHigherOrderSuite() {
+  static std::vector<BenchProgram> Suite = {
+      {"cps_pipeline", CpsPipeline, /*BenchSize=*/60000, /*TestSize=*/200},
+      {"church_arith", ChurchArith, 20000, 100},
+      {"compose_chains", ComposeChains, 60000, 200},
+  };
   return Suite;
 }
 
@@ -323,12 +404,39 @@ const std::vector<FeatureProgram> &lz::programs::getFeatureCorpus() {
        "            arrayGet a 0 * arrayGet a 1"},
       {"nat_sub_clamp", "def f x := x - 100\ndef main := f 3"},
       {"bigint_mul", "def main := 123456789123456789 * 987654321987654321"},
+      // Closure-optimization coverage: saturated local chains
+      // (devirtualization), curried returns (arity raising, direct and
+      // through a forwarding call), and escapes the passes must refuse.
+      {"partial_apply_chain",
+       "def add3 a b c := a + b * c\n"
+       "def main := let f := add3 7; let g := f 2; g 3"},
+      {"uncurry_return_pap",
+       "def addK k x := x + k\n"
+       "def mkAdd a := addK a\n"
+       "def main := mkAdd 5 7"},
+      {"uncurry_through_call",
+       "def addK k x := x + k\n"
+       "def mkAdd a := addK a\n"
+       "def mkAdd2 a := mkAdd (a + 1)\n"
+       "def main := mkAdd2 5 7"},
+      {"closure_escape_ctor",
+       "inductive B := | MkB f\n"
+       "def addK k x := x + k\n"
+       "def applyBox b x := match b with | MkB f => f x end\n"
+       "def main := applyBox (MkB (addK 4)) 10"},
+      {"closure_merge_same_callee",
+       "def addK k x := x + k\n"
+       "def pick c := if c == 0 then addK 10 else addK 20\n"
+       "def main := pick 1 5"},
   };
   return Corpus;
 }
 
 const BenchProgram &lz::programs::getBenchmark(const std::string &Name) {
   for (const BenchProgram &P : getBenchmarkSuite())
+    if (Name == P.Name)
+      return P;
+  for (const BenchProgram &P : getHigherOrderSuite())
     if (Name == P.Name)
       return P;
   assert(false && "unknown benchmark");

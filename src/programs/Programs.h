@@ -35,7 +35,15 @@ struct BenchProgram {
 /// All eight benchmark programs, in the order of the paper's figures.
 const std::vector<BenchProgram> &getBenchmarkSuite();
 
-/// Looks up one by name; asserts on unknown names.
+/// Higher-order workloads added for the closure-optimization subsystem:
+/// a CPS-style pipeline, church-numeral arithmetic with curried adders,
+/// and compose/fold chains of partial applications. Run by
+/// bench/closure_opt (devirt-on vs devirt-off) and, at TestSize, by the
+/// differential suite.
+const std::vector<BenchProgram> &getHigherOrderSuite();
+
+/// Looks up one by name in the benchmark or higher-order suite; asserts on
+/// unknown names.
 const BenchProgram &getBenchmark(const std::string &Name);
 
 /// Instantiates the source template with the given size.

@@ -8,7 +8,8 @@
 #include "rc/Borrow.h"
 
 #include <functional>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace lz;
 using namespace lz::lambda;
@@ -26,8 +27,9 @@ public:
 
   /// Returns the set of consumed vars and fills \p DemotedJoins with join
   /// params that received a non-borrowed argument at some site.
-  void run(std::set<VarId> &ConsumedOut,
-           std::map<JoinId, std::set<size_t>> &DemotedJoinParams) {
+  void run(std::unordered_set<VarId> &ConsumedOut,
+           std::unordered_map<JoinId, std::unordered_set<size_t>>
+               &DemotedJoinParams) {
     Borrowed.clear();
     Consumed.clear();
     JoinDemotions.clear();
@@ -116,14 +118,14 @@ private:
 
   const Function &F;
   const BorrowInfo &Info;
-  std::set<VarId> Borrowed;
-  std::set<VarId> Consumed;
-  std::map<JoinId, std::set<size_t>> JoinDemotions;
+  std::unordered_set<VarId> Borrowed;
+  std::unordered_set<VarId> Consumed;
+  std::unordered_map<JoinId, std::unordered_set<size_t>> JoinDemotions;
 };
 
 /// Closure targets must keep the owned calling convention.
-std::set<std::string> collectPapTargets(const Program &P) {
-  std::set<std::string> Targets;
+std::unordered_set<std::string> collectPapTargets(const Program &P) {
+  std::unordered_set<std::string> Targets;
   std::function<void(const FnBody &)> Walk = [&](const FnBody &B) {
     if (B.K == FnBody::Kind::Let && B.E.K == Expr::Kind::PAp)
       Targets.insert(B.E.Callee);
@@ -142,7 +144,7 @@ std::set<std::string> collectPapTargets(const Program &P) {
 }
 
 void collectJoinParams(const FnBody &B,
-                       std::map<JoinId, size_t> &ParamCounts) {
+                       std::unordered_map<JoinId, size_t> &ParamCounts) {
   if (B.K == FnBody::Kind::JDecl)
     ParamCounts[B.Join] = B.Params.size();
   if (B.JBody)
@@ -159,13 +161,13 @@ void collectJoinParams(const FnBody &B,
 
 BorrowInfo lz::rc::inferBorrowedParams(const Program &P) {
   BorrowInfo Info;
-  std::set<std::string> PapTargets = collectPapTargets(P);
+  std::unordered_set<std::string> PapTargets = collectPapTargets(P);
 
   // Optimistic initialization.
   for (const Function &F : P.Functions) {
     bool ForceOwned = PapTargets.count(F.Name) != 0;
     Info.Fn[F.Name] = std::vector<bool>(F.Params.size(), !ForceOwned);
-    std::map<JoinId, size_t> JoinParams;
+    std::unordered_map<JoinId, size_t> JoinParams;
     collectJoinParams(*F.Body, JoinParams);
     for (auto [J, N] : JoinParams)
       Info.Joins[F.Name][J] = std::vector<bool>(N, true);
@@ -176,8 +178,9 @@ BorrowInfo lz::rc::inferBorrowedParams(const Program &P) {
   while (Changed) {
     Changed = false;
     for (const Function &F : P.Functions) {
-      std::set<VarId> Consumed;
-      std::map<JoinId, std::set<size_t>> DemotedJoinParams;
+      std::unordered_set<VarId> Consumed;
+      std::unordered_map<JoinId, std::unordered_set<size_t>>
+          DemotedJoinParams;
       DemotionSweep Sweep(F, Info);
       Sweep.run(Consumed, DemotedJoinParams);
 
@@ -202,7 +205,7 @@ BorrowInfo lz::rc::inferBorrowedParams(const Program &P) {
         }
       }
       // Consumed join params: map VarIds back to signatures.
-      std::map<JoinId, size_t> JoinParamCounts;
+      std::unordered_map<JoinId, size_t> JoinParamCounts;
       collectJoinParams(*F.Body, JoinParamCounts);
       std::function<void(const FnBody &)> DemoteConsumedParams =
           [&](const FnBody &B) {

@@ -30,18 +30,22 @@
 
 #include "lambda/LambdaIR.h"
 
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace lz::rc {
 
-/// Borrow signatures for one program.
+/// Borrow signatures for one program. Hashed maps throughout: the
+/// signatures are looked up per expression during the demotion sweeps and
+/// RC insertion but never iterated for output, so no ordering is needed.
 struct BorrowInfo {
   /// Fn[f][i]: parameter i of function f is borrowed.
-  std::map<std::string, std::vector<bool>> Fn;
+  std::unordered_map<std::string, std::vector<bool>> Fn;
   /// Joins[f][j][i]: parameter i of join j in function f is borrowed.
-  std::map<std::string, std::map<lambda::JoinId, std::vector<bool>>> Joins;
+  std::unordered_map<std::string,
+                     std::unordered_map<lambda::JoinId, std::vector<bool>>>
+      Joins;
 
   bool fnParamBorrowed(const std::string &F, size_t I) const {
     auto It = Fn.find(F);

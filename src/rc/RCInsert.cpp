@@ -9,10 +9,11 @@
 
 #include "rc/Borrow.h"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
-#include <map>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace lz;
 using namespace lz::lambda;
@@ -20,7 +21,11 @@ using namespace lz::rc;
 
 namespace {
 
-using VarSet = std::set<VarId>;
+// Hashed sets (the λIR hot-spot conversion): membership-only queries
+// everywhere; whenever set contents decide *emission order* of inc/dec
+// statements the VarIds are sorted first, so the produced λrc — and every
+// golden test downstream — is identical to the ordered-container days.
+using VarSet = std::unordered_set<VarId>;
 
 class RCInserter {
 public:
@@ -112,6 +117,7 @@ private:
     for (VarId V : Owned)
       if (!Live.count(V))
         Dead.push_back(V);
+    std::sort(Dead.begin(), Dead.end()); // deterministic dec order
     for (VarId V : Dead)
       Owned.erase(V);
 
@@ -123,8 +129,9 @@ private:
 
   /// Number of *consuming* occurrences of each argument of \p E, given
   /// the borrow signatures for calls.
-  std::map<VarId, unsigned> consumingMultiplicity(const Expr &E) const {
-    std::map<VarId, unsigned> Mult;
+  std::unordered_map<VarId, unsigned>
+  consumingMultiplicity(const Expr &E) const {
+    std::unordered_map<VarId, unsigned> Mult;
     switch (E.K) {
     case Expr::Kind::Ctor:
     case Expr::Kind::PAp:
@@ -183,11 +190,19 @@ private:
         return B;
       }
 
-      // Pay for consuming uses with incs up front.
-      std::map<VarId, unsigned> Mult = consumingMultiplicity(B->E);
+      // Pay for consuming uses with incs up front (ascending-VarId order,
+      // as the ordered map used to iterate).
+      std::unordered_map<VarId, unsigned> Mult =
+          consumingMultiplicity(B->E);
+      std::vector<VarId> MultVars;
+      MultVars.reserve(Mult.size());
+      for (const auto &Entry : Mult)
+        MultVars.push_back(Entry.first);
+      std::sort(MultVars.begin(), MultVars.end());
       std::vector<VarId> Incs;
       VarSet NextOwned = Owned;
-      for (auto [Y, MC] : Mult) {
+      for (VarId Y : MultVars) {
+        unsigned MC = Mult[Y];
         if (isBorrowed(Y)) {
           // We own zero references: buy one per consuming use.
           for (unsigned I = 0; I != MC; ++I)
@@ -258,7 +273,7 @@ private:
 
     case FnBody::Kind::Jmp: {
       const VarSet &Cap = Captured.at(B->Join);
-      std::map<VarId, unsigned> Mult;
+      std::unordered_map<VarId, unsigned> Mult;
       for (size_t I = 0; I != B->Args.size(); ++I)
         if (!Info.joinParamBorrowed(F.Name, B->Join, I))
           ++Mult[B->Args[I]];
@@ -267,8 +282,14 @@ private:
         if (!isBorrowed(C))
           ++Mult[C];
 
+      std::vector<VarId> MultVars;
+      MultVars.reserve(Mult.size());
+      for (const auto &Entry : Mult)
+        MultVars.push_back(Entry.first);
+      std::sort(MultVars.begin(), MultVars.end());
       std::vector<VarId> Incs;
-      for (auto [Y, MC] : Mult) {
+      for (VarId Y : MultVars) {
+        unsigned MC = Mult[Y];
         if (isBorrowed(Y)) {
           for (unsigned I = 0; I != MC; ++I)
             Incs.push_back(Y);
@@ -323,8 +344,8 @@ private:
   Function &F;
   const BorrowInfo &Info;
   VarSet Borrowed;
-  std::map<const FnBody *, VarSet> FVCache;
-  std::map<JoinId, VarSet> Captured;
+  std::unordered_map<const FnBody *, VarSet> FVCache;
+  std::unordered_map<JoinId, VarSet> Captured;
 };
 
 } // namespace

@@ -22,6 +22,15 @@
 ///   * SCCP — Wegman–Zadeck sparse conditional constant propagation over
 ///     the flat CFG (the first client built on the analysis framework).
 ///
+/// plus the closure-optimization passes over the lp dialect (implemented
+/// in src/transform/, backed by the ClosureAnalysis):
+///
+///   * Devirtualize — rewrites saturated non-escaping lp.pap/lp.papextend
+///     chains into direct func.calls, deleting the closure allocations and
+///     their RC traffic.
+///   * ArityRaise — uncurries call+papextend over-applications through
+///     synthesized n-ary wrapper functions.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LZ_REWRITE_PASSES_H
@@ -59,6 +68,17 @@ std::unique_ptr<Pass> createDCEPass();
 
 /// Inlines calls to small single-block non-recursive functions.
 std::unique_ptr<Pass> createInlinerPass(unsigned MaxCalleeOps = 16);
+
+/// Known-call devirtualization: saturated local pap chains become direct
+/// func.calls; the dead closure allocations (and their lp.inc/lp.dec
+/// traffic) are deleted. Runs on lp-form modules.
+std::unique_ptr<Pass> createDevirtualizePass();
+
+/// Arity raising / uncurrying: for functions whose every return yields an
+/// under-applied closure of a known callee, over-applying call sites are
+/// fused into one call of a synthesized n-ary wrapper. Runs on lp-form
+/// modules, before devirtualization.
+std::unique_ptr<Pass> createArityRaisePass();
 
 } // namespace lz
 

@@ -107,21 +107,20 @@ private:
     if (Eval && Op->getNumRegions() == 0) {
       // Scratch buffers are solver members: visit() runs once per op per
       // lattice refinement, the hottest loop of the phase.
-      bool AnyOver = false, AnyUnknown = false;
+      bool AnyUnknown = false;
       OperandConsts.clear();
       OperandConsts.reserve(Op->getNumOperands());
       for (Value *V : Op->getOperands()) {
         LatticeValue L = getLattice(V);
-        AnyOver |= L.K == LatticeValue::Overdefined;
         AnyUnknown |= L.K == LatticeValue::Unknown;
         OperandConsts.push_back(L.C);
       }
-      if (AnyOver) {
-        markAllResultsOverdefined(Op);
-        return;
-      }
       if (AnyUnknown)
         return; // optimistic: wait for operands to resolve
+      // Overdefined operands stay in the span as nulls: hooks that can
+      // still fold — arith.select with a constant selector, lp.getlabel of
+      // a statically-known lp.construct — get their chance; the rest bail
+      // on the null and the results go overdefined as before.
       EvalOut.clear();
       if (succeeded(Eval(Op, OperandConsts, EvalOut)) &&
           EvalOut.size() == Op->getNumResults()) {

@@ -1,0 +1,359 @@
+//===- ArityRaise.cpp - uncurrying via specialized n-ary wrappers -------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Arity raising (worker/wrapper uncurrying) for curried functions: when
+/// @f's every return yields an under-applied closure of @g (ClosureAnalysis
+/// return summary), an over-applying call site
+///
+///   %t = func.call @f(%a...)        ; returns pap @g(j args)
+///   %r = lp.papextend(%t, %b...)    ; saturates @g: generic apply
+///
+/// becomes one direct call of a synthesized wrapper
+///
+///   %r = func.call @f.raised2(%a..., %b...)
+///
+/// where @f.raised2 is @f's body cloned with the k extra parameters and
+/// each `lp.return` of a pap chain rewritten to `func.call @g(chain args,
+/// extras)` — the intermediate closure never materializes on either side.
+/// Returns that merely forward another summarized function's call are
+/// retargeted to that function's raised sibling (handles transitively
+/// curried definitions, including self-recursive ones).
+///
+/// Functions are considered callees-before-callers (CallGraph bottom-up
+/// order), and the site scan repeats until a fixpoint so chains of
+/// over-applications — `((f a) b) c` style church-numeral arithmetic —
+/// collapse fully.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/ClosureAnalysis.h"
+#include "dialect/Func.h"
+#include "ir/Module.h"
+#include "rewrite/Passes.h"
+#include "transform/ClosureChain.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace lz;
+
+namespace {
+
+class ArityRaisePass : public Pass {
+public:
+  std::string_view getName() const override { return "arity-raise"; }
+
+  LogicalResult run(Operation *Root) override {
+    Module = Root;
+    ClosureAnalysis &CA = getAnalysis<ClosureAnalysis>();
+    // Consumed for deterministic callees-before-callers site processing;
+    // summaries of synthesized wrappers are maintained incrementally below.
+    CallGraph &CG = getAnalysis<CallGraph>();
+
+    Symbols.clear();
+    Summaries.clear();
+    Raised.clear();
+    RaisableMemo.clear();
+    InProgress.clear();
+    NewFunctions.clear();
+    for (Operation *Op : *getModuleBody(Module))
+      if (Op->getName() == "func.func")
+        Symbols.emplace(std::string(func::getFuncName(Op)), Op);
+    for (auto &[Name, Fn] : Symbols)
+      if (const ClosureAnalysis::ReturnSummary *S = CA.getReturnSummary(Fn))
+        Summaries.emplace(Fn, *S);
+
+    bool ChangedAny = false;
+    // Over-application sites uncovered by a rewrite (a raised wrapper's
+    // forwarded summary) become visible on the next round.
+    for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+      std::vector<Operation *> Sites;
+      for (Operation *Fn : CG.getBottomUpOrder())
+        collectSites(Fn, Sites);
+      // Wrappers synthesized in earlier rounds postdate the CallGraph
+      // snapshot; their cloned bodies can carry sites of their own.
+      for (Operation *Fn : NewFunctions)
+        collectSites(Fn, Sites);
+      bool Changed = false;
+      for (Operation *Extend : Sites)
+        Changed |= rewriteSite(Extend);
+      ChangedAny |= Changed;
+      if (!Changed)
+        break;
+    }
+    if (!ChangedAny)
+      markAllAnalysesPreserved();
+    return success();
+  }
+
+private:
+  static constexpr unsigned MaxRounds = 8;
+
+  using Summary = ClosureAnalysis::ReturnSummary;
+
+  Operation *Module = nullptr;
+  std::unordered_map<std::string, Operation *> Symbols;
+  std::unordered_map<Operation *, Summary> Summaries;
+  /// Curried function -> its synthesized wrapper (the extra-arg count is
+  /// determined by the function's summary, so one sibling suffices).
+  std::unordered_map<Operation *, Operation *> Raised;
+  /// Memoized answers of the side-effect-free raisability check.
+  std::unordered_map<Operation *, bool> RaisableMemo;
+  /// Guards the raisability check against mutual-recursion re-entry
+  /// (direct self-forwards are handled; wider cycles conservatively bail).
+  std::unordered_set<Operation *> InProgress;
+  std::vector<Operation *> NewFunctions;
+
+  Statistic FunctionsRaised{
+      this, "functions-raised",
+      "Number of specialized n-ary wrapper functions synthesized"};
+  Statistic CallsUncurried{
+      this, "calls-uncurried",
+      "Number of call+papextend over-applications fused into one call"};
+
+  Operation *resolveCall(Operation *CallOp) {
+    auto *Callee = CallOp->getAttrOfType<SymbolRefAttr>("callee");
+    if (!Callee)
+      return nullptr;
+    auto It = Symbols.find(std::string(Callee->getValue()));
+    return It == Symbols.end() ? nullptr : It->second;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Site discovery
+  //===------------------------------------------------------------------===//
+
+  void collectSites(Operation *Fn, std::vector<Operation *> &Sites) {
+    Fn->walk([&](Operation *Op) {
+      if (Op->getName() == "lp.papextend" && matchSite(Op))
+        Sites.push_back(Op);
+    });
+  }
+
+  /// A site is `papextend(call @f, b...)` where @f's summary says the call
+  /// returns a pap of @g with j fixed args and j + |b| == arity(@g).
+  bool matchSite(Operation *Extend) {
+    Value *Closure = Extend->getOperand(0);
+    Operation *CallOp = Closure->getDefiningOp();
+    if (!CallOp || CallOp->getName() != "func.call" || !Closure->hasOneUse())
+      return false;
+    Operation *F = resolveCall(CallOp);
+    if (!F)
+      return false;
+    auto It = Summaries.find(F);
+    if (It == Summaries.end())
+      return false;
+    unsigned K = Extend->getNumOperands() - 1;
+    unsigned Arity = ClosureAnalysis::getArity(It->second.CalleeFn);
+    if (It->second.AccumArgs + K != Arity)
+      return false;
+    // The fused call runs at the extend's position; everything between the
+    // original call and here must tolerate @f's effects moving past it.
+    return onlyBenignOpsBetween(CallOp, Extend);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Wrapper synthesis
+  //===------------------------------------------------------------------===//
+
+  /// Side-effect-free check that every return of \p F can be rewritten,
+  /// transitively through forwarded callees. Synthesis happens only after
+  /// the whole forward chain checks out, so a later structural rejection
+  /// cannot strand half-built wrappers in the module (or overcount the
+  /// functions-raised statistic).
+  bool isRaisable(Operation *F) {
+    auto Memo = RaisableMemo.find(F);
+    if (Memo != RaisableMemo.end())
+      return Memo->second;
+    if (InProgress.count(F))
+      return false; // mutual-recursion cycle: conservatively decline
+    InProgress.insert(F);
+    bool OK = returnsAreRaisable(F);
+    InProgress.erase(F);
+    RaisableMemo.emplace(F, OK);
+    return OK;
+  }
+
+  /// Returns the raised sibling of \p F taking \p K extra parameters,
+  /// synthesizing it on first demand; null when @f's returns cannot be
+  /// rewritten structurally.
+  Operation *getOrCreateRaised(Operation *F, unsigned K) {
+    auto It = Raised.find(F);
+    if (It != Raised.end())
+      return It->second;
+    if (!isRaisable(F))
+      return nullptr;
+
+    Context &Ctx = *Module->getContext();
+    std::string Name = raisedName(func::getFuncName(F), K);
+    unsigned M = ClosureAnalysis::getArity(F);
+    std::vector<Type *> Inputs(M + K, Ctx.getBoxType());
+    FunctionType *Ty =
+        Ctx.getFunctionType(std::move(Inputs), {Ctx.getBoxType()});
+
+    // Clone @f's body wholesale, then append the k extra parameters to the
+    // cloned entry block (the clone's entry mirrors @f's m parameters).
+    OperationState State(Ctx, "func.func");
+    State.NumRegions = 1;
+    State.addAttribute("sym_name", Ctx.getStringAttr(Name));
+    State.addAttribute("function_type", Ctx.getTypeAttr(Ty));
+    Operation *Wrapper = Operation::create(State);
+    IRMapping Mapping;
+    F->getRegion(0).cloneInto(Wrapper->getRegion(0), Mapping);
+    Block *Entry = Wrapper->getRegion(0).getEntryBlock();
+    std::vector<Value *> Extras;
+    for (unsigned I = 0; I != K; ++I)
+      Extras.push_back(Entry->addArgument(Ctx.getBoxType()));
+    getModuleBody(Module)->push_back(Wrapper);
+    NewFunctions.push_back(Wrapper);
+
+    // Register the wrapper before rewriting its returns: a self-recursive
+    // curried @f forwards through `func.call @f`, which must retarget to
+    // the wrapper itself.
+    Raised.emplace(F, Wrapper);
+    Symbols.emplace(Name, Wrapper);
+    Summary SelfSummary = Summaries.at(F);
+
+    std::vector<Operation *> Returns;
+    Wrapper->walk([&](Operation *Op) {
+      if (Op->getName() == "lp.return" && Op->getNumOperands() == 1)
+        Returns.push_back(Op);
+    });
+    for (Operation *Ret : Returns)
+      raiseReturn(Ret, Extras, F, K);
+
+    // The wrapper returns @g's result directly; if @g is itself curried,
+    // the wrapper inherits its summary, enabling the next round.
+    auto GSummary = Summaries.find(SelfSummary.CalleeFn);
+    if (GSummary != Summaries.end())
+      Summaries.emplace(Wrapper, GSummary->second);
+
+    ++FunctionsRaised;
+    return Wrapper;
+  }
+
+  std::string raisedName(std::string_view Base, unsigned K) {
+    std::string Name = std::string(Base) + ".raised" + std::to_string(K);
+    // MiniLean identifiers cannot contain '.', but parsed IR symbols can —
+    // uniquify defensively ('$' stays within the symbol charset).
+    while (Symbols.count(Name))
+      Name += "$";
+    return Name;
+  }
+
+  /// Checks every `lp.return` of \p F is rewritable: either a linear local
+  /// pap chain whose last link sits in the return's block with only benign
+  /// ops in between (the synthesized call runs where the closure was
+  /// built), or a same-summary `func.call` forward whose callee is itself
+  /// raisable.
+  bool returnsAreRaisable(Operation *F) {
+    bool OK = true;
+    F->walk([&](Operation *Op) {
+      if (!OK || Op->getName() != "lp.return" || Op->getNumOperands() != 1)
+        return;
+      Value *V = Op->getOperand(0);
+      LinearChain Chain;
+      if (V->hasOneUse() && matchLinearChain(V, Chain)) {
+        Operation *LastLink = Chain.Links.back();
+        OK = onlyBenignOpsBetween(LastLink, Op);
+        return;
+      }
+      Operation *D = V->getDefiningOp();
+      if (D && D->getName() == "func.call" && V->hasOneUse()) {
+        Operation *H = resolveCall(D);
+        // The forwarded callee shares the summary (the module fixpoint
+        // guaranteed agreement), so it raises with the same extra-arg
+        // count; the in-progress set bounds the recursion (cycles beyond
+        // the direct self-forward decline conservatively).
+        if (H && Summaries.count(H) && (H == F || isRaisable(H)))
+          return;
+      }
+      OK = false;
+    });
+    return OK;
+  }
+
+  /// Rewrites one cloned return per the case analysis above.
+  void raiseReturn(Operation *Ret, const std::vector<Value *> &Extras,
+                   Operation *F, unsigned K) {
+    Value *V = Ret->getOperand(0);
+    Context &Ctx = *Module->getContext();
+    Type *Box = Ctx.getBoxType();
+    OpBuilder B(Ctx);
+
+    LinearChain Chain;
+    if (V->hasOneUse() && matchLinearChain(V, Chain)) {
+      Summary S = Summaries.at(F);
+      std::vector<Value *> Args = Chain.Args;
+      Args.insert(Args.end(), Extras.begin(), Extras.end());
+      B.setInsertionPointAfter(Chain.Links.back());
+      Operation *Call =
+          func::buildCall(B, func::getFuncName(S.CalleeFn), Args, {&Box, 1});
+      Ret->setOperand(0, Call->getResult(0));
+      for (Operation *RC : Chain.RCOps)
+        RC->erase();
+      for (auto It = Chain.Links.rbegin(); It != Chain.Links.rend(); ++It)
+        (*It)->erase();
+      return;
+    }
+
+    Operation *D = V->getDefiningOp();
+    assert(D && D->getName() == "func.call" &&
+           "raiseReturn on a shape returnsAreRaisable rejected");
+    Operation *H = resolveCall(D);
+    Operation *HRaised = H == F ? Raised.at(F) : getOrCreateRaised(H, K);
+    assert(HRaised && "forwarded callee lost its raised sibling");
+    // Retarget the forwarding call in place: same position, extra operands.
+    std::vector<Value *> Args(D->getOperands().begin(),
+                              D->getOperands().end());
+    Args.insert(Args.end(), Extras.begin(), Extras.end());
+    D->setOperands(Args);
+    D->setAttr("callee",
+               Ctx.getSymbolRefAttr(func::getFuncName(HRaised)));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Site rewriting
+  //===------------------------------------------------------------------===//
+
+  bool rewriteSite(Operation *Extend) {
+    // Re-validate: an earlier rewrite this round may have restructured the
+    // block (sites are disjoint, but stay defensive).
+    if (!matchSite(Extend))
+      return false;
+    Operation *CallOp = Extend->getOperand(0)->getDefiningOp();
+    Operation *F = resolveCall(CallOp);
+    unsigned K = Extend->getNumOperands() - 1;
+    Operation *Wrapper = getOrCreateRaised(F, K);
+    if (!Wrapper)
+      return false;
+
+    Context &Ctx = *Module->getContext();
+    Type *Box = Ctx.getBoxType();
+    std::vector<Value *> Args(CallOp->getOperands().begin(),
+                              CallOp->getOperands().end());
+    for (unsigned I = 1; I != Extend->getNumOperands(); ++I)
+      Args.push_back(Extend->getOperand(I));
+    OpBuilder B(Ctx);
+    B.setInsertionPoint(Extend);
+    Operation *Fused =
+        func::buildCall(B, func::getFuncName(Wrapper), Args, {&Box, 1});
+    Extend->getResult(0)->replaceAllUsesWith(Fused->getResult(0));
+    Extend->erase();
+    CallOp->erase();
+    ++CallsUncurried;
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lz::createArityRaisePass() {
+  return std::make_unique<ArityRaisePass>();
+}

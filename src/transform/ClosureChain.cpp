@@ -1,0 +1,98 @@
+//===- ClosureChain.cpp - structural pap-chain matching -----------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/ClosureChain.h"
+
+#include "ir/IR.h"
+
+using namespace lz;
+
+namespace {
+
+/// Checks one link value: exactly one consuming use, plus optionally
+/// balanced inc/dec traffic confined to the defining block. Fills \p RCOps
+/// on success.
+bool linkUsesAreLinear(Value *V, std::vector<Operation *> &RCOps) {
+  Operation *Def = V->getDefiningOp();
+  unsigned Consumers = 0;
+  unsigned Incs = 0, Decs = 0;
+  size_t RCStart = RCOps.size();
+  for (OpOperand *Use = V->getFirstUse(); Use; Use = Use->getNextUse()) {
+    Operation *Owner = Use->getOwner();
+    std::string_view Name = Owner->getName();
+    if (Name == "lp.inc" || Name == "lp.dec") {
+      // RC traffic outside the defining block sits on another control
+      // path; deleting the cell there would strand the stored arguments'
+      // references.
+      if (Owner->getBlock() != Def->getBlock()) {
+        RCOps.resize(RCStart);
+        return false;
+      }
+      (Name == "lp.inc" ? Incs : Decs) += 1;
+      RCOps.push_back(Owner);
+      continue;
+    }
+    ++Consumers;
+  }
+  if (Consumers != 1 || Incs != Decs) {
+    RCOps.resize(RCStart);
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool lz::matchLinearChain(Value *Closure, LinearChain &Out) {
+  Out.Links.clear();
+  Out.RCOps.clear();
+  Out.Args.clear();
+
+  // Walk closure -> ... -> head pap, collecting links in reverse.
+  std::vector<Operation *> Reversed;
+  Value *V = Closure;
+  while (true) {
+    Operation *Def = V->getDefiningOp();
+    if (!Def)
+      return false;
+    if (!linkUsesAreLinear(V, Out.RCOps))
+      return false;
+    std::string_view Name = Def->getName();
+    if (Name == "lp.pap") {
+      Reversed.push_back(Def);
+      break;
+    }
+    if (Name != "lp.papextend")
+      return false;
+    Reversed.push_back(Def);
+    V = Def->getOperand(0);
+  }
+
+  Out.Links.assign(Reversed.rbegin(), Reversed.rend());
+  for (Operation *Link : Out.Links) {
+    unsigned First = Link->getName() == "lp.pap" ? 0 : 1;
+    for (unsigned I = First; I != Link->getNumOperands(); ++I)
+      Out.Args.push_back(Link->getOperand(I));
+  }
+  return true;
+}
+
+bool lz::onlyBenignOpsBetween(Operation *First, Operation *Last) {
+  if (First->getBlock() != Last->getBlock() ||
+      !First->isBeforeInBlock(Last))
+    return false;
+  for (Operation *Op = First->getNextNode(); Op && Op != Last;
+       Op = Op->getNextNode()) {
+    std::string_view Name = Op->getName();
+    if (Op->hasTrait(OpTrait_Pure) || Op->hasTrait(OpTrait_ConstantLike) ||
+        Op->hasTrait(OpTrait_Allocates) || Name == "lp.inc" ||
+        Name == "lp.dec")
+      continue;
+    return false;
+  }
+  return true;
+}

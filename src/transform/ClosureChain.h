@@ -1,0 +1,65 @@
+//===- ClosureChain.h - structural pap-chain matching -----------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural matching shared by the closure-optimization passes. The
+/// ClosureAnalysis answers *what* a value is (callee, arity, escape state);
+/// before rewriting, a pass must additionally prove the chain is *linear* —
+/// each link consumed exactly once by the next — and that deleting the
+/// closure cells is reference-count neutral. Those structural checks live
+/// here so devirtualization and arity raising agree on them exactly.
+///
+/// RC neutrality argument for deleting a linear chain: `lp.pap` consumes
+/// one reference per stored argument; the runtime's `apply` re-incs the
+/// stored arguments for the invocation and releases them when the closure
+/// cell's count drops to zero, so across the chain's lifetime each argument
+/// loses exactly one reference — the same as passing it to a direct
+/// `func.call` (owned convention). `lp.inc`/`lp.dec` pairs on a link only
+/// retarget when the cell dies; on a link whose single consuming use takes
+/// the final reference they must be balanced, so deleting them with the
+/// cell is neutral too (we require balance and same-block locality before
+/// touching them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_TRANSFORM_CLOSURECHAIN_H
+#define LZ_TRANSFORM_CLOSURECHAIN_H
+
+#include <vector>
+
+namespace lz {
+
+class Operation;
+class Value;
+
+/// A fully-resolved linear pap chain ending at (but not including) some
+/// consuming operation.
+struct LinearChain {
+  /// The chain ops, head `lp.pap` first, in application order.
+  std::vector<Operation *> Links;
+  /// `lp.inc`/`lp.dec` ops on the link values (deleted with the chain).
+  std::vector<Operation *> RCOps;
+  /// The accumulated fixed arguments, in application order.
+  std::vector<Value *> Args;
+};
+
+/// Resolves the chain producing \p Closure, requiring linearity: every
+/// link's uses are exactly one consuming use (the next link, or the final
+/// consumer for \p Closure itself) plus optionally balanced lp.inc/lp.dec
+/// traffic in the link's own block. Returns false when the chain is not a
+/// locally-deletable pap chain.
+bool matchLinearChain(Value *Closure, LinearChain &Out);
+
+/// True when every op strictly between \p First and \p Last (same block,
+/// First before Last) is safe to reorder an invocation across: pure,
+/// constant-like, allocating, or RC traffic — nothing that could observably
+/// interleave with the moved call (calls, applies).
+bool onlyBenignOpsBetween(Operation *First, Operation *Last);
+
+} // namespace lz
+
+#endif // LZ_TRANSFORM_CLOSURECHAIN_H

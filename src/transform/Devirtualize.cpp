@@ -1,0 +1,116 @@
+//===- Devirtualize.cpp - known-call devirtualization of pap chains -----------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Rewrites saturated, non-escaping `lp.pap`/`lp.papextend` chains into
+/// direct `func.call`s — the per-call-site "should this closure be a
+/// first-order call" decision of Graf & Peyton Jones' Selective Lambda
+/// Lifting, made on the SSA encoding. A chain
+///
+///   %c = lp.pap @f(%a)            ; alloc closure
+///   %r = lp.papextend(%c, %b, %d) ; extend + invoke (generic apply path)
+///
+/// whose accumulated arity saturates @f exactly becomes
+///
+///   %r = func.call @f(%a, %b, %d)
+///
+/// and the closure allocation (plus any balanced lp.inc/lp.dec traffic on
+/// the chain values) is deleted: no heap cell, no generic apply dispatch,
+/// and the call becomes visible to the inliner / tail-call marking.
+/// Eligibility comes from ClosureAnalysis (known callee, accumulated
+/// arity); linearity and RC neutrality are re-proved structurally per chain
+/// (see transform/ClosureChain.h).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ClosureAnalysis.h"
+#include "dialect/Func.h"
+#include "ir/Module.h"
+#include "rewrite/Passes.h"
+#include "transform/ClosureChain.h"
+
+using namespace lz;
+
+namespace {
+
+class DevirtualizePass : public Pass {
+public:
+  std::string_view getName() const override { return "devirt"; }
+
+  LogicalResult run(Operation *Module) override {
+    ClosureAnalysis &CA = getAnalysis<ClosureAnalysis>();
+
+    // Collect first: rewriting deletes the chain ops a walk would visit.
+    std::vector<Operation *> Candidates;
+    Module->walk([&](Operation *Op) {
+      if (Op->getName() != "lp.papextend")
+        return;
+      const ClosureAnalysis::ChainInfo *CI = CA.getInfo(Op->getOperand(0));
+      if (!CI || CI->Escapes)
+        return;
+      unsigned Total = CI->AccumArgs + Op->getNumOperands() - 1;
+      if (Total == ClosureAnalysis::getArity(CI->CalleeFn))
+        Candidates.push_back(Op);
+    });
+
+    bool ChangedAny = false;
+    for (Operation *Extend : Candidates)
+      ChangedAny |= tryDevirtualize(Extend, CA);
+    if (!ChangedAny)
+      markAllAnalysesPreserved();
+    return success();
+  }
+
+private:
+  bool tryDevirtualize(Operation *Extend, ClosureAnalysis &CA) {
+    LinearChain Chain;
+    if (!matchLinearChain(Extend->getOperand(0), Chain))
+      return false;
+    const ClosureAnalysis::ChainInfo *CI = CA.getInfo(Extend->getOperand(0));
+
+    // Full argument list: the chain's accumulated args, then the
+    // saturating extend's own. Lexical scoping makes every chain argument
+    // visible at the extend (each link's operands are visible at the link,
+    // and visibility is transitive along the def-use chain to here).
+    std::vector<Value *> Args = Chain.Args;
+    for (unsigned I = 1; I != Extend->getNumOperands(); ++I)
+      Args.push_back(Extend->getOperand(I));
+
+    OpBuilder B(*Extend->getContext());
+    B.setInsertionPoint(Extend);
+    Type *Box = B.getContext().getBoxType();
+    Operation *Call = func::buildCall(
+        B, func::getFuncName(CI->CalleeFn), Args, {&Box, 1});
+    Extend->getResult(0)->replaceAllUsesWith(Call->getResult(0));
+    Extend->erase();
+    for (Operation *RC : Chain.RCOps)
+      RC->erase();
+    // Last link first: each link's result is only used by the next one.
+    for (auto It = Chain.Links.rbegin(); It != Chain.Links.rend(); ++It)
+      (*It)->erase();
+
+    ++ClosuresDevirtualized;
+    ClosureAllocsDeleted += Chain.Links.size();
+    RCOpsDeleted += Chain.RCOps.size();
+    return true;
+  }
+
+  Statistic ClosuresDevirtualized{
+      this, "closures-devirtualized",
+      "Number of saturated pap chains rewritten to direct calls"};
+  Statistic ClosureAllocsDeleted{
+      this, "closure-allocs-deleted",
+      "Number of lp.pap/lp.papextend closure allocations deleted"};
+  Statistic RCOpsDeleted{
+      this, "rc-ops-deleted",
+      "Number of lp.inc/lp.dec ops deleted with their closure cell"};
+};
+
+} // namespace
+
+std::unique_ptr<Pass> lz::createDevirtualizePass() {
+  return std::make_unique<DevirtualizePass>();
+}

@@ -147,6 +147,7 @@ ObjRef VM::execute(uint32_t FnIndex, std::span<ObjRef> Args) {
       R[I.A] = RT.getField(R[I.B], static_cast<unsigned>(I.C));
       break;
     case Opcode::Pap: {
+      ++ClosureAllocs;
       const int32_t *A = F.Fn->Aux.data() + I.C;
       ArgBuf.clear();
       for (int32_t J = 0; J != I.B; ++J)
@@ -156,6 +157,7 @@ ObjRef VM::execute(uint32_t FnIndex, std::span<ObjRef> Args) {
       break;
     }
     case Opcode::Apply: {
+      ++GenericApplies;
       const int32_t *A = F.Fn->Aux.data() + I.C;
       int32_t N = A[0];
       ArgBuf.clear();

@@ -45,6 +45,14 @@ public:
   /// Executed instruction count (all nested invocations).
   uint64_t getSteps() const { return Steps; }
 
+  /// Closure cells allocated by Pap instructions — what known-call
+  /// devirtualization eliminates (papextend-grown cells are counted by the
+  /// runtime's TotalAllocations instead; they allocate inside apply).
+  uint64_t getClosureAllocs() const { return ClosureAllocs; }
+  /// Apply instructions executed — trips through the generic
+  /// extend-or-invoke path that devirtualized/uncurried sites skip.
+  uint64_t getGenericApplies() const { return GenericApplies; }
+
 private:
   rt::ObjRef execute(uint32_t FnIndex, std::span<rt::ObjRef> Args);
 
@@ -52,6 +60,8 @@ private:
   rt::Runtime &RT;
   OStream *Out;
   uint64_t Steps = 0;
+  uint64_t ClosureAllocs = 0;
+  uint64_t GenericApplies = 0;
 };
 
 } // namespace lz::vm

@@ -1,0 +1,197 @@
+//===- ClosureAnalysisTest.cpp - closure analysis tests -----------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ClosureAnalysis.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "lambda/MiniLean.h"
+#include "lower/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class ClosureAnalysisTest : public ::testing::Test {
+protected:
+  ClosureAnalysisTest() { registerAllDialects(Ctx); }
+
+  /// MiniLean -> lp module, unsimplified and without RC ops so the chain
+  /// shapes under test are exactly what the frontend emits.
+  void lower(const char *Source) {
+    lambda::Program P;
+    std::string Error;
+    ASSERT_TRUE(succeeded(lambda::parseMiniLean(Source, P, Error))) << Error;
+    Module = lower::lowerLambdaToLp(P, Ctx);
+    ASSERT_TRUE(Module);
+  }
+
+  /// The result value of the I-th op named \p Name (module walk order).
+  Value *nthResult(std::string_view Name, unsigned I = 0) {
+    Value *Found = nullptr;
+    unsigned Seen = 0;
+    Module->walk([&](Operation *Op) {
+      if (Op->getName() == Name && Seen++ == I && !Found)
+        Found = Op->getResult(0);
+    });
+    return Found;
+  }
+
+  Operation *fn(std::string_view Name) {
+    return lookupSymbol(Module.get(), Name);
+  }
+
+  Context Ctx;
+  OwningOpRef Module;
+};
+
+TEST_F(ClosureAnalysisTest, ChainArityAccountingAndSaturation) {
+  lower("def add3 a b c := a + b + c\n"
+        "def main := let f := add3 1; let g := f 2; g 3");
+  ClosureAnalysis CA(Module.get());
+
+  const ClosureAnalysis::ChainInfo *Pap = CA.getInfo(nthResult("lp.pap"));
+  ASSERT_NE(Pap, nullptr);
+  EXPECT_EQ(Pap->CalleeFn, fn("add3"));
+  EXPECT_EQ(Pap->AccumArgs, 1u);
+  EXPECT_FALSE(Pap->Escapes);
+
+  // First extend: 1 + 1 = 2 of 3 — still a tracked pap.
+  const ClosureAnalysis::ChainInfo *Ext =
+      CA.getInfo(nthResult("lp.papextend", 0));
+  ASSERT_NE(Ext, nullptr);
+  EXPECT_EQ(Ext->AccumArgs, 2u);
+  EXPECT_FALSE(Ext->Escapes);
+
+  // Second extend saturates: its result is add3's return value, untracked.
+  EXPECT_EQ(CA.getInfo(nthResult("lp.papextend", 1)), nullptr);
+  EXPECT_EQ(CA.getNumSaturatingExtends(), 1u);
+  EXPECT_EQ(CA.getNumTrackedValues(), 2u);
+  EXPECT_EQ(CA.getNumEscapingValues(), 0u);
+}
+
+TEST_F(ClosureAnalysisTest, EscapeIntoConstructAndCall) {
+  lower("inductive B := | MkB f\n"
+        "def addK k x := x + k\n"
+        "def applyBox b x := match b with | MkB f => f x end\n"
+        "def main := applyBox (MkB (addK 4)) 10");
+  ClosureAnalysis CA(Module.get());
+  const ClosureAnalysis::ChainInfo *Pap = CA.getInfo(nthResult("lp.pap"));
+  ASSERT_NE(Pap, nullptr);
+  EXPECT_EQ(Pap->CalleeFn, fn("addK"));
+  EXPECT_TRUE(Pap->Escapes) << "flowed into lp.construct";
+  EXPECT_EQ(CA.getNumEscapingValues(), 1u);
+
+  lower("def use f := f 1\n"
+        "def inc x := x + 1\n"
+        "def main := use inc");
+  ClosureAnalysis CA2(Module.get());
+  const ClosureAnalysis::ChainInfo *IncPap = CA2.getInfo(nthResult("lp.pap"));
+  ASSERT_NE(IncPap, nullptr);
+  EXPECT_TRUE(IncPap->Escapes) << "flowed into a call argument";
+}
+
+TEST_F(ClosureAnalysisTest, ReturnSummaryDirectAndThroughCall) {
+  lower("def addK k x := x + k\n"
+        "def mkAdd a := addK a\n"
+        "def mkAdd2 a := mkAdd (a + 1)\n"
+        "def main := mkAdd2 5 7");
+  ClosureAnalysis CA(Module.get());
+
+  const ClosureAnalysis::ReturnSummary *S = CA.getReturnSummary(fn("mkAdd"));
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->CalleeFn, fn("addK"));
+  EXPECT_EQ(S->AccumArgs, 1u);
+
+  // mkAdd2 only forwards mkAdd's call — the summary flows through.
+  const ClosureAnalysis::ReturnSummary *S2 =
+      CA.getReturnSummary(fn("mkAdd2"));
+  ASSERT_NE(S2, nullptr);
+  EXPECT_EQ(S2->CalleeFn, fn("addK"));
+  EXPECT_EQ(S2->AccumArgs, 1u);
+
+  // The returned pap is marked Returned (and thus escaping).
+  const ClosureAnalysis::ChainInfo *Pap = CA.getInfo(nthResult("lp.pap"));
+  ASSERT_NE(Pap, nullptr);
+  EXPECT_TRUE(Pap->Returned);
+  EXPECT_TRUE(Pap->Escapes);
+
+  EXPECT_EQ(CA.getReturnSummary(fn("addK")), nullptr);
+  EXPECT_EQ(CA.getReturnSummary(fn("main")), nullptr);
+}
+
+TEST_F(ClosureAnalysisTest, MergeOfSameCalleeKeepsChainAlive) {
+  lower("def addK k x := x + k\n"
+        "def pick c := if c == 0 then addK 10 else addK 20\n"
+        "def main := pick 1 5");
+  ClosureAnalysis CA(Module.get());
+
+  // Both arms' paps merge into one joinpoint parameter with the same
+  // (callee, arity): the parameter continues the chain, nothing escapes
+  // through the jumps, and pick still summarizes.
+  const ClosureAnalysis::ChainInfo *A = CA.getInfo(nthResult("lp.pap", 0));
+  const ClosureAnalysis::ChainInfo *B = CA.getInfo(nthResult("lp.pap", 1));
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+
+  const ClosureAnalysis::ReturnSummary *S = CA.getReturnSummary(fn("pick"));
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->CalleeFn, fn("addK"));
+  EXPECT_EQ(S->AccumArgs, 1u);
+
+  // The merged block argument itself carries the chain info.
+  bool FoundTrackedParam = false;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName() != "lp.joinpoint")
+      return;
+    Block *Body = Op->getRegion(0).getEntryBlock();
+    for (BlockArgument *Arg : Body->getArguments())
+      if (const ClosureAnalysis::ChainInfo *CI = CA.getInfo(Arg)) {
+        FoundTrackedParam = true;
+        EXPECT_EQ(CI->CalleeFn, fn("addK"));
+        EXPECT_EQ(CI->AccumArgs, 1u);
+      }
+  });
+  EXPECT_TRUE(FoundTrackedParam);
+}
+
+TEST_F(ClosureAnalysisTest, MergeOfDistinctCalleesEscapes) {
+  lower("def a x := x\n"
+        "def b x := x + 1\n"
+        "def pick c := if c == 0 then a else b\n"
+        "def main := pick 1 5");
+  ClosureAnalysis CA(Module.get());
+
+  const ClosureAnalysis::ChainInfo *A = CA.getInfo(nthResult("lp.pap", 0));
+  const ClosureAnalysis::ChainInfo *B = CA.getInfo(nthResult("lp.pap", 1));
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_TRUE(A->Escapes) << "merged with a pap of a different callee";
+  EXPECT_TRUE(B->Escapes);
+  EXPECT_EQ(CA.getReturnSummary(fn("pick")), nullptr);
+}
+
+TEST_F(ClosureAnalysisTest, UnknownCalleeIsUntracked) {
+  Operation *Fn = func::buildFunc(
+      Ctx, (Module = createModule(Ctx)).get(), "f",
+      Ctx.getFunctionType({Ctx.getBoxType()}, {Ctx.getBoxType()}));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Fn));
+  Value *Arg = func::getFuncEntryBlock(Fn)->getArgument(0);
+  Value *Pap = lp::buildPap(B, "does_not_exist", {&Arg, 1})->getResult(0);
+  lp::buildReturn(B, {&Pap, 1});
+
+  ClosureAnalysis CA(Module.get());
+  EXPECT_EQ(CA.getInfo(Pap), nullptr);
+  EXPECT_EQ(CA.getNumTrackedValues(), 0u);
+}
+
+} // namespace

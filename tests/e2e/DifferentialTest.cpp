@@ -6,10 +6,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// The registered-CTest promotion of bench/tab_correctness's spot-check:
-/// every program shipped in src/programs — the eight benchmark programs at
-/// their test size plus the feature corpus — must produce the λpure
-/// interpreter's result, output and a leak-free heap through ALL five
-/// pipeline variants. Per "The Denotational Semantics of SSA" the observable
+/// every program shipped in src/programs — the benchmark programs and the
+/// higher-order suite at their test sizes plus the feature corpus — must
+/// produce the λpure interpreter's result, output and a leak-free heap
+/// through ALL five pipeline variants plus the pass-isolating sccp-only
+/// and closure-opt-only configurations. Per "The Denotational Semantics of SSA" the observable
 /// behavior is the equational ground truth, so one case per
 /// (program, variant) pins every pipeline to it.
 ///
@@ -46,6 +47,18 @@ lower::PipelineOptions sccpOnlyOptions() {
   return O;
 }
 
+/// The closure-opt-isolating configuration: arity raising +
+/// devirtualization over otherwise-unoptimized lp modules, so every chain
+/// rewrite and synthesized wrapper is pinned to the oracle (result, output
+/// AND leak-freedom — the passes delete RC traffic, so a reference-count
+/// accounting slip shows up here as a leak or double-free).
+lower::PipelineOptions closureOptOnlyOptions() {
+  lower::PipelineOptions O =
+      lower::PipelineOptions::forVariant(PipelineVariant::NoOpt);
+  O.RunClosureOpt = true;
+  return O;
+}
+
 struct DiffCase {
   std::string Name;
   std::string Source;
@@ -60,8 +73,12 @@ std::vector<DiffCase> allCases() {
       Cases.push_back({Name, Source, lower::pipelineVariantName(V),
                        lower::PipelineOptions::forVariant(V)});
     Cases.push_back({Name, Source, "sccp-only", sccpOnlyOptions()});
+    Cases.push_back(
+        {Name, Source, "closure-opt-only", closureOptOnlyOptions()});
   };
   for (const BenchProgram &B : getBenchmarkSuite())
+    AddProgram(B.Name, instantiate(B, B.TestSize));
+  for (const BenchProgram &B : getHigherOrderSuite())
     AddProgram(B.Name, instantiate(B, B.TestSize));
   for (const FeatureProgram &F : getFeatureCorpus())
     AddProgram(F.Name, F.Source);

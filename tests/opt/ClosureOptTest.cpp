@@ -1,0 +1,279 @@
+//===- ClosureOptTest.cpp - devirtualization + arity-raising tests ------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "ir/Builder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "lambda/MiniLean.h"
+#include "lower/Lowering.h"
+#include "rewrite/Passes.h"
+
+#include <array>
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+class ClosureOptTest : public ::testing::Test {
+protected:
+  ClosureOptTest() { registerAllDialects(Ctx); }
+
+  void lower(const char *Source) {
+    lambda::Program P;
+    std::string Error;
+    ASSERT_TRUE(succeeded(lambda::parseMiniLean(Source, P, Error))) << Error;
+    Module = lower::lowerLambdaToLp(P, Ctx);
+    ASSERT_TRUE(Module);
+  }
+
+  /// Runs the pass created by \p Factory; returns the named statistic.
+  uint64_t runPass(std::unique_ptr<Pass> P, std::string_view StatName) {
+    Pass *Raw = P.get();
+    PassManager PM;
+    PM.addPass(std::move(P));
+    EXPECT_TRUE(succeeded(PM.run(Module.get())));
+    EXPECT_TRUE(succeeded(verify(Module.get())));
+    for (Statistic *S : Raw->getStatistics())
+      if (S->getName() == StatName)
+        return S->getValue();
+    ADD_FAILURE() << "no statistic named " << StatName;
+    return 0;
+  }
+
+  unsigned countOps(std::string_view Name) {
+    unsigned N = 0;
+    Module->walk([&](Operation *Op) { N += Op->getName() == Name; });
+    return N;
+  }
+
+  /// Callee symbols of every func.call, in walk order.
+  std::vector<std::string> callees() {
+    std::vector<std::string> Out;
+    Module->walk([&](Operation *Op) {
+      if (Op->getName() == "func.call")
+        Out.emplace_back(
+            Op->getAttrOfType<SymbolRefAttr>("callee")->getValue());
+    });
+    return Out;
+  }
+
+  Context Ctx;
+  OwningOpRef Module;
+};
+
+TEST_F(ClosureOptTest, DevirtualizesSaturatedChain) {
+  lower("def add3 a b c := a + b + c\n"
+        "def main := let f := add3 1; let g := f 2; g 3");
+  EXPECT_EQ(countOps("lp.pap"), 1u);
+  EXPECT_EQ(countOps("lp.papextend"), 2u);
+
+  EXPECT_EQ(runPass(createDevirtualizePass(), "closures-devirtualized"), 1u);
+
+  EXPECT_EQ(countOps("lp.pap"), 0u);
+  EXPECT_EQ(countOps("lp.papextend"), 0u);
+  // main now calls add3 directly with all three arguments.
+  Operation *Main = lookupSymbol(Module.get(), "main");
+  bool FoundDirect = false;
+  Main->walk([&](Operation *Op) {
+    if (Op->getName() == "func.call" &&
+        Op->getAttrOfType<SymbolRefAttr>("callee")->getValue() == "add3") {
+      FoundDirect = true;
+      EXPECT_EQ(Op->getNumOperands(), 3u);
+    }
+  });
+  EXPECT_TRUE(FoundDirect);
+}
+
+TEST_F(ClosureOptTest, DevirtualizeRefusesEscapingPap) {
+  lower("inductive B := | MkB f\n"
+        "def addK k x := x + k\n"
+        "def applyBox b x := match b with | MkB f => f x end\n"
+        "def main := applyBox (MkB (addK 4)) 10");
+  unsigned PapsBefore = countOps("lp.pap");
+  EXPECT_EQ(runPass(createDevirtualizePass(), "closures-devirtualized"), 0u);
+  EXPECT_EQ(countOps("lp.pap"), PapsBefore);
+}
+
+TEST_F(ClosureOptTest, DevirtualizeDeletesBalancedRCTraffic) {
+  // Hand-built: %c = pap @f(%x); inc %c; dec %c; %r = papextend(%c, %y).
+  Module = createModule(Ctx);
+  Operation *Callee = func::buildFunc(
+      Ctx, Module.get(), "f",
+      Ctx.getFunctionType({Ctx.getBoxType(), Ctx.getBoxType()},
+                          {Ctx.getBoxType()}));
+  {
+    OpBuilder B(Ctx);
+    B.setInsertionPointToEnd(func::getFuncEntryBlock(Callee));
+    Value *A = func::getFuncEntryBlock(Callee)->getArgument(0);
+    lp::buildReturn(B, {&A, 1});
+  }
+  Operation *Main =
+      func::buildFunc(Ctx, Module.get(), "main",
+                      Ctx.getFunctionType({}, {Ctx.getBoxType()}));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(func::getFuncEntryBlock(Main));
+  Value *X = lp::buildInt(B, 1)->getResult(0);
+  Value *Y = lp::buildInt(B, 2)->getResult(0);
+  Value *C = lp::buildPap(B, "f", {&X, 1})->getResult(0);
+  lp::buildInc(B, C);
+  lp::buildDec(B, C);
+  Value *R = lp::buildPapExtend(B, C, {&Y, 1})->getResult(0);
+  lp::buildReturn(B, {&R, 1});
+  ASSERT_TRUE(succeeded(verify(Module.get())));
+
+  EXPECT_EQ(runPass(createDevirtualizePass(), "rc-ops-deleted"), 2u);
+  EXPECT_EQ(countOps("lp.pap"), 0u);
+  EXPECT_EQ(countOps("lp.inc"), 0u);
+  EXPECT_EQ(countOps("lp.dec"), 0u);
+}
+
+TEST_F(ClosureOptTest, ArityRaiseSynthesizesWrapper) {
+  lower("def addK k x := x + k\n"
+        "def mkAdd a := addK a\n"
+        "def main := mkAdd 5 7");
+  EXPECT_EQ(runPass(createArityRaisePass(), "calls-uncurried"), 1u);
+
+  // The site became one call of the wrapper; the wrapper calls addK
+  // directly (its cloned pap chain was fused away).
+  Operation *Wrapper = lookupSymbol(Module.get(), "mkAdd.raised1");
+  ASSERT_NE(Wrapper, nullptr);
+  EXPECT_EQ(func::getFuncType(Wrapper)->getInputs().size(), 2u);
+  EXPECT_EQ(countOps("lp.papextend"), 0u);
+  bool WrapperCallsAddK = false;
+  Wrapper->walk([&](Operation *Op) {
+    if (Op->getName() == "func.call" &&
+        Op->getAttrOfType<SymbolRefAttr>("callee")->getValue() == "addK")
+      WrapperCallsAddK = true;
+  });
+  EXPECT_TRUE(WrapperCallsAddK);
+  bool MainCallsWrapper = false;
+  lookupSymbol(Module.get(), "main")->walk([&](Operation *Op) {
+    if (Op->getName() == "func.call" &&
+        Op->getAttrOfType<SymbolRefAttr>("callee")->getValue() ==
+            "mkAdd.raised1")
+      MainCallsWrapper = true;
+  });
+  EXPECT_TRUE(MainCallsWrapper);
+}
+
+TEST_F(ClosureOptTest, ArityRaiseForwardsThroughCall) {
+  lower("def addK k x := x + k\n"
+        "def mkAdd a := addK a\n"
+        "def mkAdd2 a := mkAdd (a + 1)\n"
+        "def main := mkAdd2 5 7");
+  EXPECT_EQ(runPass(createArityRaisePass(), "functions-raised"), 2u);
+
+  // mkAdd2.raised1 forwards to mkAdd.raised1, which calls addK.
+  Operation *W2 = lookupSymbol(Module.get(), "mkAdd2.raised1");
+  ASSERT_NE(W2, nullptr);
+  bool Forwards = false;
+  W2->walk([&](Operation *Op) {
+    if (Op->getName() == "func.call" &&
+        Op->getAttrOfType<SymbolRefAttr>("callee")->getValue() ==
+            "mkAdd.raised1")
+      Forwards = true;
+  });
+  EXPECT_TRUE(Forwards);
+  EXPECT_EQ(countOps("lp.papextend"), 0u);
+}
+
+TEST_F(ClosureOptTest, ArityRaiseDeclinesMergedReturn) {
+  // pick's summary is consistent (both arms build addK/1 paps), but the
+  // returned value is a joinpoint parameter — not a locally-deletable
+  // chain — so the conservative structural check declines.
+  lower("def addK k x := x + k\n"
+        "def pick c := if c == 0 then addK 10 else addK 20\n"
+        "def main := pick 1 5");
+  unsigned PapsBefore = countOps("lp.pap");
+  EXPECT_EQ(runPass(createArityRaisePass(), "functions-raised"), 0u);
+  EXPECT_EQ(countOps("lp.pap"), PapsBefore);
+  EXPECT_EQ(lookupSymbol(Module.get(), "pick.raised1"), nullptr);
+}
+
+TEST_F(ClosureOptTest, ArityRaiseRejectionLeavesNoStrandedWrappers) {
+  // @f's summary holds (both arms yield addK/1 closures), its first arm
+  // forwards @mkAdd — raisable on its own — but the second arm's pap has a
+  // second use, failing the structural check. The raisability of the whole
+  // forward chain must be decided BEFORE any wrapper is synthesized:
+  // rejecting @f must not leave a dead @mkAdd.raised1 behind or count a
+  // raise.
+  lower("def addK k x := x + k\n"
+        "def mkAdd a := addK a\n"
+        "def main := 0");
+  Operation *F = func::buildFunc(
+      Ctx, Module.get(), "f",
+      Ctx.getFunctionType({Ctx.getBoxType(), Ctx.getBoxType()},
+                          {Ctx.getBoxType()}));
+  OpBuilder B(Ctx);
+  Block *Entry = func::getFuncEntryBlock(F);
+  B.setInsertionPointToEnd(Entry);
+  Value *X = Entry->getArgument(0);
+  Value *Flag = lp::buildGetLabel(B, Entry->getArgument(1))->getResult(0);
+  int64_t Cases[] = {0};
+  Operation *Switch = lp::buildSwitch(B, Flag, Cases);
+  Type *Box = Ctx.getBoxType();
+  {
+    // Case-0 arm (walked first): the forwarding return.
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(
+        lp::getSwitchCaseRegion(Switch, 0).getEntryBlock());
+    Value *Fwd = func::buildCall(B, "mkAdd", {&X, 1}, {&Box, 1})
+                     ->getResult(0);
+    lp::buildReturn(B, {&Fwd, 1});
+  }
+  {
+    // Default arm: a pap with a second (inc) use — structurally
+    // unrewritable even though the summary agrees.
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(
+        lp::getSwitchDefaultRegion(Switch).getEntryBlock());
+    Value *Pap = lp::buildPap(B, "addK", {&X, 1})->getResult(0);
+    lp::buildInc(B, Pap);
+    lp::buildReturn(B, {&Pap, 1});
+  }
+  // An over-applying site over @f so the pass attempts (and rejects) it.
+  Operation *Main = lookupSymbol(Module.get(), "main");
+  B.setInsertionPointToStart(func::getFuncEntryBlock(Main));
+  Value *One = lp::buildInt(B, 1)->getResult(0);
+  Value *Two = lp::buildInt(B, 2)->getResult(0);
+  std::array<Value *, 2> CallArgs = {One, One};
+  Value *T = func::buildCall(B, "f", CallArgs, {&Box, 1})->getResult(0);
+  Value *R = lp::buildPapExtend(B, T, {&Two, 1})->getResult(0);
+  lp::buildDec(B, R);
+  ASSERT_TRUE(succeeded(verify(Module.get())));
+
+  EXPECT_EQ(runPass(createArityRaisePass(), "functions-raised"), 0u);
+  EXPECT_EQ(lookupSymbol(Module.get(), "mkAdd.raised1"), nullptr);
+  EXPECT_EQ(lookupSymbol(Module.get(), "f.raised1"), nullptr);
+}
+
+TEST_F(ClosureOptTest, CanonicalizeCollapsesUnderAppliedExtend) {
+  // pap add3(1) extended by one arg but NOT saturating: the papextend
+  // canonicalization collapses the two allocations into one pap.
+  lower("def add3 a b c := a + b + c\n"
+        "def keep f := f\n"
+        "def main := let f := add3 1; let g := f 2; keep g");
+  EXPECT_EQ(countOps("lp.pap"), 1u);
+  EXPECT_EQ(countOps("lp.papextend"), 1u);
+  runPass(createCanonicalizerPass(), "patterns-applied");
+  EXPECT_EQ(countOps("lp.papextend"), 0u);
+  EXPECT_EQ(countOps("lp.pap"), 1u);
+  bool FoundMerged = false;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName() == "lp.pap") {
+      FoundMerged = true;
+      EXPECT_EQ(Op->getNumOperands(), 2u);
+    }
+  });
+  EXPECT_TRUE(FoundMerged);
+}
+
+} // namespace

@@ -12,6 +12,7 @@
 #                           compile  bench_compile_throughput -> BENCH_compile.json
 #                           fig9     bench_fig9_speedup       -> BENCH_fig9.json
 #                           ablation bench_ablation_passes    -> BENCH_ablation.json
+#                           closure  bench_closure_opt        -> BENCH_closure.json
 #                         any other NAME runs bench_NAME -> BENCH_NAME.json.
 #   --baseline OLD.json   a previous raw Google-Benchmark JSON (from
 #                         --benchmark_out); before->after speedups are
@@ -53,6 +54,7 @@ case "$BENCH" in
   compile)  BIN_NAME="bench_compile_throughput"; DEFAULT_OUT="BENCH_compile.json";  LABEL="compile_throughput" ;;
   fig9)     BIN_NAME="bench_fig9_speedup";       DEFAULT_OUT="BENCH_fig9.json";     LABEL="fig9_speedup" ;;
   ablation) BIN_NAME="bench_ablation_passes";    DEFAULT_OUT="BENCH_ablation.json"; LABEL="ablation_passes" ;;
+  closure)  BIN_NAME="bench_closure_opt";        DEFAULT_OUT="BENCH_closure.json";  LABEL="closure_opt" ;;
   *)        BIN_NAME="bench_$BENCH";             DEFAULT_OUT="BENCH_$BENCH.json";   LABEL="$BENCH" ;;
 esac
 BIN="$BUILD_DIR/bench/$BIN_NAME"
@@ -94,11 +96,24 @@ def load_times(path):
         if b.get("run_type") == "aggregate":
             continue
         scale = TIME_UNIT_TO_NS.get(b.get("time_unit", "ns"), 1)
-        times[b["name"]] = {
+        # Under --benchmark_repetitions the same name repeats; keep the
+        # per-benchmark MINIMUM (the bench protocol for this noisy box) of
+        # each channel independently — manual-time benchmarks (fig9,
+        # closure) are summarized by real_time while the compile summaries
+        # use cpu_time, and one repetition need not minimize both.
+        entry = {
             "real_time_ns": b["real_time"] * scale,
             "cpu_time_ns": b["cpu_time"] * scale,
             "iterations": b["iterations"],
         }
+        prev = times.get(b["name"])
+        if prev is None:
+            times[b["name"]] = entry
+        else:
+            prev["real_time_ns"] = min(prev["real_time_ns"],
+                                       entry["real_time_ns"])
+            prev["cpu_time_ns"] = min(prev["cpu_time_ns"],
+                                      entry["cpu_time_ns"])
         extra = {k: v for k, v in b.items()
                  if k not in STANDARD_KEYS and isinstance(v, (int, float))}
         if extra:
@@ -176,6 +191,43 @@ elif kind == "ablation":
            for cfg, v in sorted(ratios.items()) if v}
     if rel:
         summary["runtime_vs_all_geomean"] = rel
+elif kind == "closure":
+    # Names are closure/<bench>/<variant>[/manual_time]; speedup =
+    # devirt-off / devirt-on (manual real time). The compile-time
+    # closures-devirtualized / calls-uncurried statistics and the VM's
+    # closure-alloc / generic-apply execution counters ride along as
+    # counters on the devirt-on benchmarks.
+    by_bench = {}
+    for name, r in after.items():
+        parts = name.split("/")
+        if len(parts) >= 3 and parts[0] == "closure":
+            entry = by_bench.setdefault(parts[1], {})
+            entry[parts[2]] = r["real_time_ns"]
+            extra = counters.get(name, {})
+            if parts[2] == "devirt-on":
+                entry["stats"] = {k: extra[k] for k in
+                                  ("closures_devirtualized", "calls_uncurried",
+                                   "closure_allocs", "generic_applies")
+                                  if k in extra}
+            elif parts[2] == "devirt-off":
+                entry["off_stats"] = {k: extra[k] for k in
+                                      ("closure_allocs", "generic_applies")
+                                      if k in extra}
+    speedups, stats = {}, {}
+    for b, v in sorted(by_bench.items()):
+        if v.get("devirt-off") and v.get("devirt-on"):
+            speedups[b] = round(v["devirt-off"] / v["devirt-on"], 3)
+        row = dict(v.get("stats", {}))
+        for k, val in v.get("off_stats", {}).items():
+            row[k + "_off"] = val
+        if row:
+            stats[b] = row
+    if speedups:
+        summary["speedup_devirt_off_over_on"] = speedups
+        summary["geomean_speedup"] = round(
+            statistics.geometric_mean(speedups.values()), 3)
+    if stats:
+        summary["closure_statistics"] = stats
 elif kind == "fig9":
     # Names are fig9/<bench>/<variant>[/manual_time]; speedup =
     # leanc / full (manual real time), matching the paper's Figure 9 table.

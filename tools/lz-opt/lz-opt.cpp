@@ -46,8 +46,13 @@ const char *const UsageText =
             "  --no-simplify         with --minilean: skip simplification\n"
             "  --no-rc               with --minilean: skip RC insertion\n"
             "  --pass=NAME           run a pass (canonicalize|cse|dce|inline|\n"
-            "                        sccp); repeatable, runs in the order given\n"
+            "                        sccp|devirt|arity-raise); repeatable,\n"
+            "                        runs in the order given\n"
     "  --sccp                shorthand for --pass=sccp\n"
+    "  --devirt              shorthand for --pass=devirt\n"
+    "  --arity-raise         shorthand for --pass=arity-raise\n"
+    "  --closure-opt         the closure-optimization phase:\n"
+    "                        --pass=arity-raise --pass=devirt\n"
     "  --lower-lp-to-rgn     lower lp switches/joinpoints to rgn\n"
     "  --lower-rgn-to-cf     lower rgn to a flat CFG (+ tail calls)\n"
     "  --verify-only         parse + verify, print 'ok'\n"
@@ -85,6 +90,14 @@ int main(int argc, char **argv) {
       Passes.push_back(Arg.substr(7));
     else if (Arg == "--sccp")
       Passes.push_back("sccp");
+    else if (Arg == "--devirt")
+      Passes.push_back("devirt");
+    else if (Arg == "--arity-raise")
+      Passes.push_back("arity-raise");
+    else if (Arg == "--closure-opt") {
+      Passes.push_back("arity-raise");
+      Passes.push_back("devirt");
+    }
     else if (Arg == "--minilean")
       MiniLean = true;
     else if (Arg == "--no-simplify")
@@ -202,6 +215,10 @@ int main(int argc, char **argv) {
         PM.addPass(createInlinerPass());
       else if (Name == "sccp")
         PM.addPass(createSCCPPass());
+      else if (Name == "devirt")
+        PM.addPass(createDevirtualizePass());
+      else if (Name == "arity-raise")
+        PM.addPass(createArityRaisePass());
       else {
         errs() << "unknown pass '" << Name << "'\n";
         return usage();
