@@ -23,7 +23,8 @@ bool lz::driver::parseSource(std::string_view Source, lambda::Program &Out,
 
 RunResult lz::driver::runProgram(const lambda::Program &P,
                                  const lower::PipelineOptions &Opts,
-                                 std::string_view Entry) {
+                                 std::string_view Entry,
+                                 const VMOptions &VMOpts) {
   RunResult R;
   Context Ctx;
   registerAllDialects(Ctx);
@@ -37,20 +38,31 @@ RunResult lz::driver::runProgram(const lambda::Program &P,
   rt::Runtime RT;
   StringOStream Out(R.Output);
   vm::VM Machine(CR.Prog, RT, &Out);
+  if (VMOpts.FuelLimit)
+    Machine.setFuel(VMOpts.FuelLimit);
   rt::ObjRef Result = Machine.run(Entry, {});
+  R.Steps = Machine.getSteps();
+  if (Machine.fuelExhausted()) {
+    // Diagnostic failure path: the result is poison and heap cells may
+    // still be live (the VM unwound without running the Dec ops).
+    R.Error = "vm: fuel exhausted after " + std::to_string(R.Steps) +
+              " steps running '" + std::string(Entry) + "'";
+    return R;
+  }
   R.ResultDisplay = RT.toDisplayString(Result);
   RT.dec(Result);
   R.LiveObjects = RT.getLiveObjects();
   R.TotalAllocations = RT.getTotalAllocations();
-  R.Steps = Machine.getSteps();
   R.OK = true;
   return R;
 }
 
 RunResult lz::driver::runProgram(const lambda::Program &P,
                                  lower::PipelineVariant Variant,
-                                 std::string_view Entry) {
-  return runProgram(P, lower::PipelineOptions::forVariant(Variant), Entry);
+                                 std::string_view Entry,
+                                 const VMOptions &VMOpts) {
+  return runProgram(P, lower::PipelineOptions::forVariant(Variant), Entry,
+                    VMOpts);
 }
 
 RunResult lz::driver::runOracle(const lambda::Program &P,

@@ -34,18 +34,28 @@ struct RunResult {
   unsigned NumOps = 0;       ///< IR ops after lowering (compile-time stat)
 };
 
+/// Execution knobs for the VM run (as opposed to the compile).
+struct VMOptions {
+  /// Cap on executed VM instructions; 0 = unlimited. When the budget runs
+  /// out the run fails with a "fuel exhausted" error instead of hanging —
+  /// the harness wiring for nonterminating miscompiles (DifferentialTest).
+  uint64_t FuelLimit = 0;
+};
+
 /// Parses MiniLean source into \p Out.
 bool parseSource(std::string_view Source, lambda::Program &Out,
                  std::string &Error);
 
 /// Compiles \p P with \p Variant and runs \p Entry (a 0-ary function).
 RunResult runProgram(const lambda::Program &P, lower::PipelineVariant Variant,
-                     std::string_view Entry = "main");
+                     std::string_view Entry = "main",
+                     const VMOptions &VMOpts = {});
 
 /// As runProgram but with explicit pipeline options (ablations).
 RunResult runProgram(const lambda::Program &P,
                      const lower::PipelineOptions &Opts,
-                     std::string_view Entry = "main");
+                     std::string_view Entry = "main",
+                     const VMOptions &VMOpts = {});
 
 /// Runs \p Entry under the reference interpreter (the oracle).
 RunResult runOracle(const lambda::Program &P, std::string_view Entry = "main");

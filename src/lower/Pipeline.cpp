@@ -229,7 +229,9 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
   Result.NumOps = NumOps;
 
   std::string Err;
-  if (failed(vm::compileModule(Module.get(), Result.Prog, Err))) {
+  vm::CompilerOptions VMOpts;
+  VMOpts.FuseSuperinstructions = Opts.FuseSuperinstructions;
+  if (failed(vm::compileModule(Module.get(), Result.Prog, Err, VMOpts))) {
     Result.Error = Err;
     return Result;
   }

@@ -82,6 +82,10 @@ struct PipelineOptions {
   /// a DCE cleanup) in the post-rgn "cf-opt" phase.
   bool RunSCCP = true;
   bool BorrowInference = true; ///< beans-style borrowed parameters
+  /// Peephole superinstruction fusion over the emitted bytecode
+  /// (vm::CompilerOptions::FuseSuperinstructions). On for every variant;
+  /// off gives the 1:1 unfused encoding benchmarks baseline against.
+  bool FuseSuperinstructions = true;
   bool VerifyEach = true;
   PipelineInstrumentation Instrument;
 

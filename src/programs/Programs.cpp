@@ -404,6 +404,12 @@ const std::vector<FeatureProgram> &lz::programs::getFeatureCorpus() {
        "            arrayGet a 0 * arrayGet a 1"},
       {"nat_sub_clamp", "def f x := x - 100\ndef main := f 3"},
       {"bigint_mul", "def main := 123456789123456789 * 987654321987654321"},
+      // INT64_MIN / -1: the one signed division that overflows int64. The
+      // magnitudes only fit as bignums; when optimization folds them into
+      // small-int constants, the VM constant pools must not truncate to 63
+      // bits and the quotient must come out exact on every pipeline.
+      {"int_min_div_neg1",
+       "def main := (0 - 9223372036854775808) / (0 - 1)"},
       // Closure-optimization coverage: saturated local chains
       // (devirtualization), curried returns (arity raising, direct and
       // through a forwarding call), and escapes the passes must refuse.

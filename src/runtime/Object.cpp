@@ -7,6 +7,7 @@
 
 #include "runtime/Object.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 
@@ -286,9 +287,15 @@ int64_t Runtime::intCmp(ObjRef A, ObjRef B) {
 
 ObjRef Runtime::apply(ApplyHandler &Handler, ObjRef Closure,
                       std::span<const ObjRef> Args) {
-  Object *O = asObject(Closure);
-  assert(O->Kind == ObjKind::Closure && "apply of a non-closure");
-  auto *C = static_cast<ClosureObject *>(O);
+  // Real runtime trap, not an assert: applying a scalar or a non-closure
+  // cell (a miscompiled over-application, say) must not be reinterpreted
+  // as a ClosureObject in Release builds.
+  if (isScalar(Closure) || Closure == 0 ||
+      asObject(Closure)->Kind != ObjKind::Closure) {
+    std::fprintf(stderr, "runtime: apply of a non-closure value\n");
+    std::abort();
+  }
+  auto *C = static_cast<ClosureObject *>(asObject(Closure));
   unsigned Fixed = C->NumFields;
   unsigned Total = Fixed + static_cast<unsigned>(Args.size());
 

@@ -151,6 +151,25 @@ public:
       destroy(O);
   }
 
+  /// Batched inc/dec backing the VM's IncN/DecN superinstructions: one
+  /// scalar test and one RC adjustment for a whole run of lp.inc/lp.dec on
+  /// the same value.
+  void incN(ObjRef Ref, uint32_t N) {
+    if (isScalar(Ref))
+      return;
+    asObject(Ref)->RC += N;
+  }
+
+  void decN(ObjRef Ref, uint32_t N) {
+    if (isScalar(Ref))
+      return;
+    Object *O = asObject(Ref);
+    assert(O->RC >= N && "decN past zero");
+    O->RC -= N;
+    if (O->RC == 0)
+      destroy(O);
+  }
+
   /// True if the cell is uniquely referenced (enables in-place update).
   bool isExclusive(ObjRef Ref) const {
     return !isScalar(Ref) && asObject(Ref)->RC == 1;

@@ -72,7 +72,62 @@ enum class Opcode : uint8_t {
   CmpBr,
   SwitchBr, ///< Aux[B]: n, (value, pc) * n, defaultPc; scrutinee raw r[A]
   Trap,     ///< abort: unreachable executed
+
+  // Superinstructions, emitted by the peephole fusion pass over linear
+  // bytecode (vm/Compiler.cpp; CompilerOptions.FuseSuperinstructions).
+  // Unfused programs never contain them, so they round-trip unchanged.
+  IncN,     ///< rc += B of r[A] (run-length fused lp.inc)
+  DecN,     ///< rc -= B of r[A], freeing at zero (run-length fused lp.dec)
+  /// Fused closure-allocate + apply. Aux[B]: fn, arity, nFixed,
+  /// fixed regs * nFixed, nArgs, arg regs * nArgs; r[A] = result. When
+  /// nFixed + nArgs == arity the closure cell is elided entirely and the
+  /// pair becomes a direct call.
+  PapApply,
+  RetConst, ///< return ImmPool[A] (B != 0 ? boxed : raw)
+  /// Intrinsified LEAN Int builtins: the fusion pass rewrites two-argument
+  /// CallBuiltin of lean_int_{add,sub,mul,div,mod} into direct opcodes,
+  /// skipping the argument-buffer staging and the indirect builtin call.
+  IntAdd, IntSub, IntMul, IntDiv, IntMod, ///< r[A] = op(r[B], r[C])
+  /// Fused decidable-compare-and-branch: DecEq/DecLt/DecLe + GetTag +
+  /// CmpBr(eq/ne vs 0) collapsed into one instruction. lhs r[A], boxed
+  /// decision still written to r[C] (the arms' RC cleanup reads it).
+  /// Aux[B]: decOp (0 eq / 1 lt / 2 le), rhsReg, branchIfTrue, truePc,
+  /// falsePc.
+  DecCmpBr,
 };
+
+/// Number of distinct opcodes (profiling histograms index by opcode).
+inline constexpr size_t NumOpcodes = static_cast<size_t>(Opcode::DecCmpBr) + 1;
+
+/// X-macro over every opcode in declaration order. Keeps the computed-goto
+/// label table (VMExecute.inc) and the disassembler name table (Disasm.cpp)
+/// in sync with the enum: the ordinal static_asserts below fail the build
+/// if this list ever drifts from the declaration order above.
+#define LZ_VM_FOR_EACH_OPCODE(X)                                             \
+  X(IConst) X(BoxConst) X(BigConst) X(Move)                                  \
+  X(Add) X(Sub) X(Mul) X(Div) X(Rem) X(And) X(Or) X(Xor)                     \
+  X(CmpEq) X(CmpNe) X(CmpLt) X(CmpLe) X(CmpGt) X(CmpGe)                      \
+  X(Select)                                                                  \
+  X(Construct) X(GetTag) X(Project) X(Pap) X(Apply) X(Inc) X(Dec)            \
+  X(NatAdd) X(NatSub) X(NatMul) X(NatDiv) X(NatMod)                          \
+  X(DecEq) X(DecLt) X(DecLe) X(Unbox) X(Box)                                 \
+  X(Call) X(TailCall) X(CallBuiltin)                                         \
+  X(Ret) X(Br) X(CondBr) X(CmpBr) X(SwitchBr) X(Trap)                        \
+  X(IncN) X(DecN) X(PapApply) X(RetConst)                                    \
+  X(IntAdd) X(IntSub) X(IntMul) X(IntDiv) X(IntMod) X(DecCmpBr)
+
+namespace detail {
+enum OpcodeOrdinal : size_t {
+#define LZ_VM_ORDINAL(op) Ord_##op,
+  LZ_VM_FOR_EACH_OPCODE(LZ_VM_ORDINAL)
+#undef LZ_VM_ORDINAL
+};
+#define LZ_VM_CHECK_ORDINAL(op)                                              \
+  static_assert(Ord_##op == static_cast<size_t>(Opcode::op),                 \
+                "LZ_VM_FOR_EACH_OPCODE out of sync with Opcode");
+LZ_VM_FOR_EACH_OPCODE(LZ_VM_CHECK_ORDINAL)
+#undef LZ_VM_CHECK_ORDINAL
+} // namespace detail
 
 struct Instr {
   Opcode Op;

@@ -9,6 +9,7 @@
 
 #include "dialect/Func.h"
 #include "ir/Module.h"
+#include "runtime/Object.h"
 #include "vm/Builtins.h"
 
 #include <unordered_map>
@@ -178,8 +179,17 @@ private:
       return success();
     }
     if (Name == "lp.int") {
-      emit(Opcode::BoxConst, reg(Op->getResult(0)),
-           imm(Op->getAttrOfType<IntegerAttr>("value")->getValue()));
+      int64_t V = Op->getAttrOfType<IntegerAttr>("value")->getValue();
+      if (V < rt::MinSmallInt || V > rt::MaxSmallInt) {
+        // boxScalar only carries 63 bits; a full-width literal (e.g. the
+        // INT64_MIN the simplifier folds out of `0 - 2^63`) must go
+        // through the big pool or it silently wraps at runtime.
+        Out.BigPool.push_back(BigInt(V));
+        emit(Opcode::BigConst, reg(Op->getResult(0)),
+             static_cast<int32_t>(Out.BigPool.size() - 1));
+      } else {
+        emit(Opcode::BoxConst, reg(Op->getResult(0)), imm(V));
+      }
       return success();
     }
     if (Name == "lp.bigint") {
@@ -505,8 +515,392 @@ public:
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// Superinstruction fusion (peephole over linear bytecode)
+//===----------------------------------------------------------------------===//
+//
+// Patterns (chosen from the PR 5 execution-counter data: Inc/Dec, the
+// Pap+Apply curry idiom, compare-and-branch and constant returns dominate
+// the dynamic opcode mix):
+//
+//   Inc r, Inc r, ...      -> IncN r, k        (likewise Dec -> DecN)
+//   Pap rP; Apply rD, rP   -> PapApply rD      (closure cell elided when
+//                                               the chain saturates)
+//   CmpXX rC; CondBr rC    -> CmpBr            (late form of the IR-level
+//                                               terminator fusion)
+//   IConst/BoxConst r; Ret r -> RetConst
+//   CallBuiltin int_*      -> IntAdd/IntSub/... (intrinsified: no ArgBuf
+//                                               staging, no indirect call)
+//   DecXX; GetTag; CmpBr   -> DecCmpBr         (branch on the decision
+//                                               directly; needs a second
+//                                               round since the CmpBr is
+//                                               itself round-1 output)
+//
+// A follower may only be consumed when its PC is not a branch target and
+// the intermediate register has exactly one reader (registers are
+// SSA-like: each IR value gets a unique register and only Moves write
+// block-argument/temporary registers, so a single read means the fused
+// pair is the value's entire live range). Fusion shifts PCs, so branch
+// targets — instruction fields and the aux-resident CmpBr/SwitchBr tables
+// — are remapped through an old-PC -> new-PC map afterwards.
+
+namespace {
+
+/// Calls \p Fn on every register an instruction reads.
+template <typename Callback>
+void forEachReadReg(const CompiledFunction &F, const Instr &I, Callback Fn) {
+  auto AuxRange = [&](int32_t Start, int32_t N) {
+    for (int32_t J = 0; J != N; ++J)
+      Fn(F.Aux[Start + J]);
+  };
+  switch (I.Op) {
+  case Opcode::IConst:
+  case Opcode::BoxConst:
+  case Opcode::BigConst:
+  case Opcode::Br:
+  case Opcode::Trap:
+  case Opcode::RetConst:
+    break;
+  case Opcode::Move:
+  case Opcode::GetTag:
+  case Opcode::Project:
+  case Opcode::Unbox:
+  case Opcode::Box:
+    Fn(I.B);
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::NatAdd:
+  case Opcode::NatSub:
+  case Opcode::NatMul:
+  case Opcode::NatDiv:
+  case Opcode::NatMod:
+  case Opcode::DecEq:
+  case Opcode::DecLt:
+  case Opcode::DecLe:
+  case Opcode::IntAdd:
+  case Opcode::IntSub:
+  case Opcode::IntMul:
+  case Opcode::IntDiv:
+  case Opcode::IntMod:
+    Fn(I.B);
+    Fn(I.C);
+    break;
+  case Opcode::Select:
+    Fn(I.B);
+    Fn(F.Aux[I.C]);
+    Fn(F.Aux[I.C + 1]);
+    break;
+  case Opcode::Construct:
+    AuxRange(I.C + 1, I.B);
+    break;
+  case Opcode::Pap:
+    AuxRange(I.C + 2, I.B);
+    break;
+  case Opcode::Apply:
+    Fn(I.B);
+    AuxRange(I.C + 1, F.Aux[I.C]);
+    break;
+  case Opcode::Inc:
+  case Opcode::Dec:
+  case Opcode::IncN:
+  case Opcode::DecN:
+  case Opcode::Ret:
+  case Opcode::CondBr:
+  case Opcode::SwitchBr:
+    Fn(I.A);
+    break;
+  case Opcode::Call:
+  case Opcode::TailCall:
+  case Opcode::CallBuiltin:
+    AuxRange(I.C + 1, F.Aux[I.C]);
+    break;
+  case Opcode::CmpBr:
+    Fn(I.A);
+    if (!F.Aux[I.B + 1])
+      Fn(F.Aux[I.B + 2]);
+    break;
+  case Opcode::DecCmpBr:
+    Fn(I.A);
+    Fn(F.Aux[I.B + 1]);
+    break;
+  case Opcode::PapApply: {
+    int32_t NFixed = F.Aux[I.B + 2];
+    AuxRange(I.B + 3, NFixed);
+    AuxRange(I.B + 4 + NFixed, F.Aux[I.B + 3 + NFixed]);
+    break;
+  }
+  }
+}
+
+/// Calls \p Fn on every code-PC slot an instruction carries (instruction
+/// fields and aux-resident branch tables) so a rebuild can remap them.
+template <typename Callback>
+void forEachPCSlot(CompiledFunction &F, Instr &I, Callback Fn) {
+  switch (I.Op) {
+  case Opcode::Br:
+    Fn(I.B);
+    break;
+  case Opcode::CondBr:
+    Fn(I.B);
+    Fn(I.C);
+    break;
+  case Opcode::CmpBr:
+  case Opcode::DecCmpBr:
+    Fn(F.Aux[I.B + 3]);
+    Fn(F.Aux[I.B + 4]);
+    break;
+  case Opcode::SwitchBr: {
+    int32_t N = F.Aux[I.B];
+    for (int32_t J = 0; J != N; ++J)
+      Fn(F.Aux[I.B + 2 + 2 * J]);
+    Fn(F.Aux[I.B + 1 + 2 * N]);
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+/// Maps an intrinsifiable two-argument builtin index to its direct opcode;
+/// returns false for everything else. The Int decidable comparisons share
+/// the Dec* opcodes with the Nat family — same runtime entry points.
+bool intrinsicForBuiltin(int32_t Index, Opcode &Op) {
+  struct Entry {
+    int Index;
+    Opcode Op;
+  };
+  static const std::vector<Entry> Table = [] {
+    std::vector<Entry> T;
+    auto Add = [&](const char *Name, Opcode O) {
+      int I = lookupBuiltin(Name);
+      if (I >= 0)
+        T.push_back({I, O});
+    };
+    Add("lean_int_add", Opcode::IntAdd);
+    Add("lean_int_sub", Opcode::IntSub);
+    Add("lean_int_mul", Opcode::IntMul);
+    Add("lean_int_div", Opcode::IntDiv);
+    Add("lean_int_mod", Opcode::IntMod);
+    Add("lean_int_dec_eq", Opcode::DecEq);
+    Add("lean_int_dec_lt", Opcode::DecLt);
+    Add("lean_int_dec_le", Opcode::DecLe);
+    return T;
+  }();
+  for (const Entry &E : Table)
+    if (E.Index == Index) {
+      Op = E.Op;
+      return true;
+    }
+  return false;
+}
+
+void fuseFunction(Program &P, CompiledFunction &F) {
+  size_t N = F.Code.size();
+  if (N < 2)
+    return;
+
+  // Intrinsify Int builtins in place first (1:1, no PC shift) so the
+  // pattern matching below sees DecEq/DecLt/DecLe where the frontend
+  // emitted CallBuiltin of the Int decidable comparisons.
+  for (Instr &I : F.Code) {
+    Opcode Direct;
+    if (I.Op == Opcode::CallBuiltin && F.Aux[I.C] == 2 &&
+        intrinsicForBuiltin(I.B, Direct))
+      I = {Direct, I.A, F.Aux[I.C + 1], F.Aux[I.C + 2]};
+  }
+
+  // Branch targets may not be consumed as fusion followers: some other
+  // path enters there expecting the unfused instruction.
+  std::vector<uint8_t> IsTarget(N, 0);
+  IsTarget[0] = 1;
+  for (Instr &I : F.Code)
+    forEachPCSlot(F, I, [&](int32_t &PC) {
+      IsTarget[static_cast<size_t>(PC)] = 1;
+    });
+
+  std::vector<uint32_t> Reads(F.NumRegs, 0);
+  for (const Instr &I : F.Code)
+    forEachReadReg(F, I, [&](int32_t Reg) { ++Reads[Reg]; });
+
+  std::vector<Instr> NewCode;
+  NewCode.reserve(N);
+  std::vector<int32_t> Map(N, -1);
+  size_t PC = 0;
+  while (PC < N) {
+    const Instr &I = F.Code[PC];
+    int32_t NewPC = static_cast<int32_t>(NewCode.size());
+    Map[PC] = NewPC;
+    bool FollowerOK = PC + 1 < N && !IsTarget[PC + 1];
+    const Instr *Next = FollowerOK ? &F.Code[PC + 1] : nullptr;
+
+    // Inc/Dec run-length folding.
+    if (I.Op == Opcode::Inc || I.Op == Opcode::Dec) {
+      size_t K = 1;
+      while (PC + K < N && !IsTarget[PC + K] && F.Code[PC + K].Op == I.Op &&
+             F.Code[PC + K].A == I.A)
+        ++K;
+      if (K > 1) {
+        for (size_t J = 1; J != K; ++J)
+          Map[PC + J] = NewPC;
+        NewCode.push_back({I.Op == Opcode::Inc ? Opcode::IncN : Opcode::DecN,
+                           I.A, static_cast<int32_t>(K), 0});
+        PC += K;
+        continue;
+      }
+    }
+
+    // Pap + Apply of the freshly built closure. The Apply may be
+    // separated from the Pap by a short run of pure constant/copy
+    // instructions materializing the call's arguments (the literal-
+    // argument curry idiom `(add 1) 2`); those hoist above the Pap when
+    // they don't touch its registers, re-adjoining the pair. A branch
+    // into the Pap still executes the hoisted run first — it originally
+    // ran between Pap and Apply and commutes with the Pap.
+    if (I.Op == Opcode::Pap && Next && Reads[I.A] == 1) {
+      size_t ApplyPC = PC + 1;
+      bool Hoistable = true;
+      while (ApplyPC < N && !IsTarget[ApplyPC] && ApplyPC - PC <= 5 &&
+             F.Code[ApplyPC].Op != Opcode::Apply) {
+        const Instr &S = F.Code[ApplyPC];
+        bool Pure = S.Op == Opcode::IConst || S.Op == Opcode::BoxConst ||
+                    S.Op == Opcode::BigConst || S.Op == Opcode::Move;
+        // S may not clobber the closure register or any register the
+        // Pap reads. (It can't read the closure: Reads[I.A] == 1 and
+        // the Apply is that one reader.)
+        bool Clashes = S.A == I.A;
+        forEachReadReg(F, I, [&](int32_t R) { Clashes |= R == S.A; });
+        if (!Pure || Clashes) {
+          Hoistable = false;
+          break;
+        }
+        ++ApplyPC;
+      }
+      const Instr *App = Hoistable && ApplyPC < N && !IsTarget[ApplyPC] &&
+                                 F.Code[ApplyPC].Op == Opcode::Apply &&
+                                 F.Code[ApplyPC].B == I.A
+                             ? &F.Code[ApplyPC]
+                             : nullptr;
+      int32_t FnIdx = F.Aux[I.C], Arity = F.Aux[I.C + 1];
+      int32_t NFixed = I.B;
+      // The VM's saturated fast path pushes a frame without an arity
+      // check, so only fuse a statically saturated pair when the callee
+      // signature agrees with the recorded arity.
+      bool Fusable = App != nullptr;
+      if (App) {
+        int32_t NArgs = F.Aux[App->C];
+        Fusable = NFixed + NArgs != Arity ||
+                  P.Functions[FnIdx].NumParams == static_cast<uint32_t>(Arity);
+      }
+      if (Fusable) {
+        int32_t NArgs = F.Aux[App->C];
+        // Hoisted argument materialization first; the Pap's branch-target
+        // position (Map[PC], already set to NewPC) lands on it.
+        for (size_t J = PC + 1; J != ApplyPC; ++J) {
+          Map[J] = static_cast<int32_t>(NewCode.size());
+          NewCode.push_back(F.Code[J]);
+        }
+        std::vector<int32_t> A = {FnIdx, Arity, NFixed};
+        for (int32_t J = 0; J != NFixed; ++J)
+          A.push_back(F.Aux[I.C + 2 + J]);
+        A.push_back(NArgs);
+        for (int32_t J = 0; J != NArgs; ++J)
+          A.push_back(F.Aux[App->C + 1 + J]);
+        int32_t Offset = static_cast<int32_t>(F.Aux.size());
+        F.Aux.insert(F.Aux.end(), A.begin(), A.end());
+        Map[ApplyPC] = static_cast<int32_t>(NewCode.size());
+        NewCode.push_back({Opcode::PapApply, App->A, Offset, 0});
+        PC = ApplyPC + 1;
+        continue;
+      }
+    }
+
+    // Decidable compare, tag test, branch: DecEq/DecLt/DecLe rD, rL, rR;
+    // GetTag rT, rD; CmpBr eq/ne rT, 0 collapses into one DecCmpBr that
+    // branches on the decision directly. The chain spans two fusion
+    // rounds — the CmpBr here is itself round-1 output. rD is still
+    // written: the successor blocks' RC cleanup reads it.
+    if ((I.Op == Opcode::DecEq || I.Op == Opcode::DecLt ||
+         I.Op == Opcode::DecLe) &&
+        Next && Next->Op == Opcode::GetTag && Next->B == I.A &&
+        Reads[Next->A] == 1 && PC + 2 < N && !IsTarget[PC + 2] &&
+        F.Code[PC + 2].Op == Opcode::CmpBr && F.Code[PC + 2].A == Next->A) {
+      const Instr &Br = F.Code[PC + 2];
+      const int32_t *BA = F.Aux.data() + Br.B;
+      // Only eq/ne against immediate 0: the tag of a boxed decision is
+      // its truth value, so the test reduces to the decision itself.
+      if (BA[1] != 0 && F.ImmPool[BA[2]] == 0 &&
+          (BA[0] == 0 || BA[0] == 1)) {
+        int32_t DecOp = static_cast<int32_t>(I.Op) -
+                        static_cast<int32_t>(Opcode::DecEq);
+        int32_t BranchIfTrue = BA[0] == 1; // `ne 0` takes the true edge
+        // Targets hold old PCs here; the remap below fixes them up.
+        int32_t A[] = {DecOp, I.C, BranchIfTrue, BA[3], BA[4]};
+        int32_t Offset = static_cast<int32_t>(F.Aux.size());
+        F.Aux.insert(F.Aux.end(), std::begin(A), std::end(A));
+        NewCode.push_back({Opcode::DecCmpBr, I.B, Offset, I.A});
+        Map[PC + 1] = NewPC;
+        Map[PC + 2] = NewPC;
+        PC += 3;
+        continue;
+      }
+    }
+
+    // Compare + conditional branch (what the IR-level terminator fusion
+    // missed, e.g. compares introduced after that planning).
+    if (I.Op >= Opcode::CmpEq && I.Op <= Opcode::CmpGe && Next &&
+        Next->Op == Opcode::CondBr && Next->A == I.A && Reads[I.A] == 1) {
+      int32_t Pred =
+          static_cast<int32_t>(I.Op) - static_cast<int32_t>(Opcode::CmpEq);
+      // Targets hold old PCs here; the remap below fixes them up.
+      int32_t A[] = {Pred, 0, I.C, Next->B, Next->C};
+      int32_t Offset = static_cast<int32_t>(F.Aux.size());
+      F.Aux.insert(F.Aux.end(), std::begin(A), std::end(A));
+      NewCode.push_back({Opcode::CmpBr, I.B, Offset, 0});
+      Map[PC + 1] = NewPC;
+      PC += 2;
+      continue;
+    }
+
+    // Constant return.
+    if ((I.Op == Opcode::IConst || I.Op == Opcode::BoxConst) && Next &&
+        Next->Op == Opcode::Ret && Next->A == I.A && Reads[I.A] == 1) {
+      NewCode.push_back(
+          {Opcode::RetConst, I.B, I.Op == Opcode::BoxConst ? 1 : 0, 0});
+      Map[PC + 1] = NewPC;
+      PC += 2;
+      continue;
+    }
+
+    NewCode.push_back(I);
+    ++PC;
+  }
+
+  for (Instr &I : NewCode)
+    forEachPCSlot(F, I, [&](int32_t &Slot) {
+      assert(Map[Slot] >= 0 && "branch into a consumed instruction");
+      Slot = Map[Slot];
+    });
+  F.Code = std::move(NewCode);
+}
+
+} // namespace
+
 LogicalResult lz::vm::compileModule(Operation *Module, Program &Out,
-                                    std::string &ErrorMessage) {
+                                    std::string &ErrorMessage,
+                                    const CompilerOptions &Options) {
   Out.Functions.clear();
   Out.FunctionIndex.clear();
 
@@ -535,5 +929,14 @@ LogicalResult lz::vm::compileModule(Operation *Module, Program &Out,
       return failure();
     FC.resolveSwitchFixups();
   }
+
+  // Fuse after every function is compiled: PapApply fusion consults the
+  // callee's NumParams across function boundaries. Two rounds: DecCmpBr
+  // consumes the CmpBr the first round produces.
+  if (Options.FuseSuperinstructions)
+    for (CompiledFunction &CF : Out.Functions) {
+      fuseFunction(Out, CF);
+      fuseFunction(Out, CF);
+    }
   return success();
 }

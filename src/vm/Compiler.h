@@ -28,10 +28,21 @@ class Operation;
 
 namespace lz::vm {
 
+struct CompilerOptions {
+  /// Run the peephole superinstruction-fusion pass over the linear
+  /// bytecode of every compiled function: IncN/DecN run-length folding,
+  /// Pap+Apply -> PapApply, Cmp*+CondBr -> CmpBr (the bytecode-level
+  /// late form of the IR-level terminator fusion), and const+Ret ->
+  /// RetConst. On by default; turn off to get the 1:1 unfused encoding
+  /// (lz-opt --no-fuse, the bench baseline).
+  bool FuseSuperinstructions = true;
+};
+
 /// Compiles \p Module into \p Out. On failure returns failure and fills
 /// \p ErrorMessage.
 LogicalResult compileModule(Operation *Module, Program &Out,
-                            std::string &ErrorMessage);
+                            std::string &ErrorMessage,
+                            const CompilerOptions &Options = {});
 
 } // namespace lz::vm
 

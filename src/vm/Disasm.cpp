@@ -1,0 +1,219 @@
+//===- Disasm.cpp - bytecode disassembler --------------------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disasm.h"
+
+#include "support/OStream.h"
+
+#include <algorithm>
+
+using namespace lz;
+using namespace lz::vm;
+
+const char *lz::vm::opcodeName(Opcode Op) {
+#define LZ_OPCODE_NAME(op) #op,
+  static const char *const Names[] = {LZ_VM_FOR_EACH_OPCODE(LZ_OPCODE_NAME)};
+#undef LZ_OPCODE_NAME
+  static_assert(sizeof(Names) / sizeof(Names[0]) == NumOpcodes,
+                "name table out of sync with Opcode");
+  return Names[static_cast<size_t>(Op)];
+}
+
+namespace {
+
+const char *const PredNames[] = {"eq", "ne", "lt", "le", "gt", "ge"};
+
+void printRegList(OStream &OS, const CompiledFunction &F, int32_t Start,
+                  int32_t N) {
+  OS << '(';
+  for (int32_t J = 0; J != N; ++J) {
+    if (J)
+      OS << ", ";
+    OS << 'r' << F.Aux[Start + J];
+  }
+  OS << ')';
+}
+
+void printInstr(const CompiledFunction &F, size_t PC, OStream &OS) {
+  const Instr &I = F.Code[PC];
+  OS << "    ";
+  // pc, right-aligned-ish for readability of branch targets
+  OS << static_cast<unsigned long long>(PC) << ": " << opcodeName(I.Op)
+     << ' ';
+  switch (I.Op) {
+  case Opcode::IConst:
+  case Opcode::BoxConst:
+    OS << 'r' << I.A << ", " << F.ImmPool[I.B];
+    break;
+  case Opcode::BigConst:
+    OS << 'r' << I.A << ", " << F.BigPool[I.B].toString();
+    break;
+  case Opcode::Move:
+  case Opcode::GetTag:
+  case Opcode::Unbox:
+  case Opcode::Box:
+    OS << 'r' << I.A << ", r" << I.B;
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::NatAdd:
+  case Opcode::NatSub:
+  case Opcode::NatMul:
+  case Opcode::NatDiv:
+  case Opcode::NatMod:
+  case Opcode::DecEq:
+  case Opcode::DecLt:
+  case Opcode::DecLe:
+  case Opcode::IntAdd:
+  case Opcode::IntSub:
+  case Opcode::IntMul:
+  case Opcode::IntDiv:
+  case Opcode::IntMod:
+    OS << 'r' << I.A << ", r" << I.B << ", r" << I.C;
+    break;
+  case Opcode::Select:
+    OS << 'r' << I.A << ", r" << I.B << ", r" << F.Aux[I.C] << ", r"
+       << F.Aux[I.C + 1];
+    break;
+  case Opcode::Construct:
+    OS << 'r' << I.A << ", tag " << F.Aux[I.C];
+    printRegList(OS, F, I.C + 1, I.B);
+    break;
+  case Opcode::Project:
+    OS << 'r' << I.A << ", r" << I.B << '[' << I.C << ']';
+    break;
+  case Opcode::Pap:
+    OS << 'r' << I.A << ", fn " << F.Aux[I.C] << "/" << F.Aux[I.C + 1];
+    printRegList(OS, F, I.C + 2, I.B);
+    break;
+  case Opcode::Apply:
+    OS << 'r' << I.A << ", r" << I.B;
+    printRegList(OS, F, I.C + 1, F.Aux[I.C]);
+    break;
+  case Opcode::Inc:
+  case Opcode::Dec:
+    OS << 'r' << I.A;
+    break;
+  case Opcode::IncN:
+  case Opcode::DecN:
+    OS << 'r' << I.A << ", x" << I.B;
+    break;
+  case Opcode::Call:
+    OS << 'r' << I.A << ", fn " << I.B;
+    printRegList(OS, F, I.C + 1, F.Aux[I.C]);
+    break;
+  case Opcode::TailCall: // no destination: reuses the frame
+    OS << "fn " << I.B;
+    printRegList(OS, F, I.C + 1, F.Aux[I.C]);
+    break;
+  case Opcode::CallBuiltin:
+    OS << 'r' << I.A << ", builtin " << I.B;
+    printRegList(OS, F, I.C + 1, F.Aux[I.C]);
+    break;
+  case Opcode::Ret:
+    OS << 'r' << I.A;
+    break;
+  case Opcode::RetConst:
+    OS << F.ImmPool[I.A] << (I.B ? " boxed" : " raw");
+    break;
+  case Opcode::Br:
+    OS << "-> " << I.B;
+    break;
+  case Opcode::CondBr:
+    OS << 'r' << I.A << ", -> " << I.B << " else " << I.C;
+    break;
+  case Opcode::CmpBr: {
+    const int32_t *A = F.Aux.data() + I.B;
+    OS << PredNames[A[0] >= 0 && A[0] < 6 ? A[0] : 5] << " r" << I.A << ", ";
+    if (A[1])
+      OS << F.ImmPool[A[2]];
+    else
+      OS << 'r' << A[2];
+    OS << ", -> " << A[3] << " else " << A[4];
+    break;
+  }
+  case Opcode::SwitchBr: {
+    const int32_t *A = F.Aux.data() + I.B;
+    int32_t N = A[0];
+    OS << 'r' << I.A << ' ';
+    for (int32_t J = 0; J != N; ++J) {
+      if (J)
+        OS << ", ";
+      OS << '[' << A[1 + 2 * J] << " -> " << A[2 + 2 * J] << ']';
+    }
+    OS << ", default -> " << A[1 + 2 * N];
+    break;
+  }
+  case Opcode::Trap:
+    break;
+  case Opcode::PapApply: {
+    const int32_t *A = F.Aux.data() + I.B;
+    int32_t NFixed = A[2];
+    OS << 'r' << I.A << ", fn " << A[0] << "/" << A[1];
+    printRegList(OS, F, I.B + 3, NFixed);
+    printRegList(OS, F, I.B + 4 + NFixed, A[3 + NFixed]);
+    break;
+  }
+  case Opcode::DecCmpBr: {
+    static const char *const DecNames[] = {"eq", "lt", "le"};
+    const int32_t *A = F.Aux.data() + I.B;
+    OS << (A[2] ? "" : "not ")
+       << DecNames[A[0] >= 0 && A[0] < 3 ? A[0] : 0] << " r" << I.A << ", r"
+       << A[1] << ", -> " << A[3] << " else " << A[4] << ", bool r" << I.C;
+    break;
+  }
+  }
+  OS << '\n';
+}
+
+} // namespace
+
+void lz::vm::disassemble(const CompiledFunction &F, OStream &OS) {
+  OS << "func " << F.Name << " (params: " << F.NumParams
+     << ", regs: " << F.NumRegs << ", code: "
+     << static_cast<unsigned long long>(F.Code.size()) << ")\n";
+  for (size_t PC = 0; PC != F.Code.size(); ++PC)
+    printInstr(F, PC, OS);
+}
+
+void lz::vm::disassemble(const Program &P, OStream &OS) {
+  for (size_t I = 0; I != P.Functions.size(); ++I) {
+    if (I)
+      OS << '\n';
+    disassemble(P.Functions[I], OS);
+  }
+}
+
+void lz::vm::printProfile(std::span<const uint64_t> Counts, OStream &OS) {
+  std::vector<size_t> Order;
+  uint64_t Total = 0;
+  for (size_t I = 0; I != Counts.size(); ++I) {
+    if (Counts[I]) {
+      Order.push_back(I);
+      Total += Counts[I];
+    }
+  }
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Counts[A] > Counts[B];
+  });
+  OS << "vm profile: " << Total << " instructions\n";
+  for (size_t I : Order)
+    OS << "  " << opcodeName(static_cast<Opcode>(I)) << ": " << Counts[I]
+       << '\n';
+}

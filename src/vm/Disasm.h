@@ -1,0 +1,45 @@
+//===- Disasm.h - bytecode disassembler -------------------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dumps of compiled bytecode (lz-opt --dump-bytecode) and
+/// of the VM's per-opcode execution histogram (lz-opt --vm-profile) — the
+/// observability surface for deciding which superinstructions pay off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_VM_DISASM_H
+#define LZ_VM_DISASM_H
+
+#include "vm/Bytecode.h"
+
+#include <span>
+
+namespace lz {
+class OStream;
+}
+
+namespace lz::vm {
+
+/// The mnemonic for \p Op ("IConst", "PapApply", ...).
+const char *opcodeName(Opcode Op);
+
+/// Prints one function: header (params/regs), then one line per
+/// instruction with decoded aux operands and imm/bigint values.
+void disassemble(const CompiledFunction &F, OStream &OS);
+
+/// Prints every function of \p P in program order.
+void disassemble(const Program &P, OStream &OS);
+
+/// Prints the per-opcode execution histogram (VM::getProfile), nonzero
+/// rows only, descending by count. Dispatch-mode independent so golden
+/// tests pass on both goto and switch builds.
+void printProfile(std::span<const uint64_t> Counts, OStream &OS);
+
+} // namespace lz::vm
+
+#endif // LZ_VM_DISASM_H

@@ -4,6 +4,16 @@
 // (CGO 2022). MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The interpreter loop itself lives in VMExecute.inc, which this file
+// includes twice: once as a portable switch loop (executeSwitch) and — on
+// compilers with the GNU labels-as-values extension, unless the build
+// forces the fallback via -DLZ_VM_DISPATCH=switch — once as a computed-goto
+// threaded loop (executeGoto). Each comes in an instrumented (profiling
+// histogram + fuel accounting) and an uninstrumented instantiation, so the
+// default hot path carries no observability cost.
+//
+//===----------------------------------------------------------------------===//
 
 #include "vm/VM.h"
 
@@ -15,6 +25,22 @@
 using namespace lz;
 using namespace lz::vm;
 using rt::ObjRef;
+
+#if !defined(LZ_VM_FORCE_SWITCH) && (defined(__GNUC__) || defined(__clang__))
+#define LZ_VM_HAS_GOTO 1
+#else
+#define LZ_VM_HAS_GOTO 0
+#endif
+
+bool VM::hasGotoDispatch() { return LZ_VM_HAS_GOTO != 0; }
+
+VM::DispatchMode VM::defaultDispatchMode() {
+  return LZ_VM_HAS_GOTO ? DispatchMode::Goto : DispatchMode::Switch;
+}
+
+const char *VM::dispatchModeName(DispatchMode M) {
+  return M == DispatchMode::Goto ? "goto" : "switch";
+}
 
 ObjRef VM::run(std::string_view Name, std::span<ObjRef> Args) {
   auto It = Prog.FunctionIndex.find(std::string(Name));
@@ -29,289 +55,49 @@ ObjRef VM::callFunction(uint32_t FnIndex, std::span<ObjRef> Args) {
   return execute(FnIndex, Args);
 }
 
+ObjRef VM::execute(uint32_t FnIndex, std::span<ObjRef> Args) {
+  // Real runtime trap, not an assert: a Release-build arity mismatch (bad
+  // entry call or a malformed closure coming through rt::apply) must not
+  // silently write out-of-bounds registers.
+  const CompiledFunction &Entry = Prog.Functions[FnIndex];
+  if (Args.size() != Entry.NumParams) {
+    errs() << "vm: called '" << Entry.Name << "' with " << Args.size()
+           << " argument(s), expected " << Entry.NumParams << "\n";
+    std::abort();
+  }
+
+  bool Instrumented = ProfileData != nullptr || FuelLimit != 0;
+#if LZ_VM_HAS_GOTO
+  if (Mode == DispatchMode::Goto)
+    return Instrumented ? executeGoto<true>(FnIndex, Args)
+                        : executeGoto<false>(FnIndex, Args);
+#endif
+  return Instrumented ? executeSwitch<true>(FnIndex, Args)
+                      : executeSwitch<false>(FnIndex, Args);
+}
+
 namespace {
+/// A suspended caller. The *current* frame's state (function, register
+/// window base, pc) lives in locals of the dispatch loop; this struct only
+/// records where to continue when the callee returns.
 struct Frame {
   const CompiledFunction *Fn;
   size_t Base;
-  size_t PC;
-  int32_t RetReg; ///< destination register in the *caller's* frame
+  uint32_t RetPC;
+  int32_t RetReg; ///< destination register in the caller's window
 };
 } // namespace
 
-ObjRef VM::execute(uint32_t FnIndex, std::span<ObjRef> Args) {
-  std::vector<uint64_t> Regs;
-  std::vector<Frame> Frames;
+#define LZ_VM_GOTO 0
+#define LZ_VM_EXEC_NAME executeSwitch
+#include "vm/VMExecute.inc"
+#undef LZ_VM_EXEC_NAME
+#undef LZ_VM_GOTO
 
-  const CompiledFunction *Fn = &Prog.Functions[FnIndex];
-  assert(Args.size() == Fn->NumParams && "argument count mismatch");
-  Regs.resize(Fn->NumRegs);
-  for (size_t I = 0; I != Args.size(); ++I)
-    Regs[I] = Args[I];
-  Frames.push_back({Fn, 0, 0, 0});
-
-  BuiltinContext BC{RT, *this, Out};
-  std::vector<ObjRef> ArgBuf;
-
-  while (true) {
-    Frame &F = Frames.back();
-    const Instr &I = F.Fn->Code[F.PC++];
-    uint64_t *R = Regs.data() + F.Base;
-    ++Steps;
-
-    switch (I.Op) {
-    case Opcode::IConst:
-      R[I.A] = static_cast<uint64_t>(F.Fn->ImmPool[I.B]);
-      break;
-    case Opcode::BoxConst:
-      R[I.A] = rt::boxScalar(F.Fn->ImmPool[I.B]);
-      break;
-    case Opcode::BigConst:
-      R[I.A] = RT.makeBigInt(F.Fn->BigPool[I.B]);
-      break;
-    case Opcode::Move:
-      R[I.A] = R[I.B];
-      break;
-
-    case Opcode::Add:
-      R[I.A] = static_cast<uint64_t>(static_cast<int64_t>(R[I.B]) +
-                                     static_cast<int64_t>(R[I.C]));
-      break;
-    case Opcode::Sub:
-      R[I.A] = static_cast<uint64_t>(static_cast<int64_t>(R[I.B]) -
-                                     static_cast<int64_t>(R[I.C]));
-      break;
-    case Opcode::Mul:
-      R[I.A] = static_cast<uint64_t>(static_cast<int64_t>(R[I.B]) *
-                                     static_cast<int64_t>(R[I.C]));
-      break;
-    case Opcode::Div: {
-      int64_t D = static_cast<int64_t>(R[I.C]);
-      R[I.A] = D == 0 ? 0
-                      : static_cast<uint64_t>(static_cast<int64_t>(R[I.B]) / D);
-      break;
-    }
-    case Opcode::Rem: {
-      int64_t D = static_cast<int64_t>(R[I.C]);
-      R[I.A] = D == 0 ? R[I.B]
-                      : static_cast<uint64_t>(static_cast<int64_t>(R[I.B]) % D);
-      break;
-    }
-    case Opcode::And:
-      R[I.A] = R[I.B] & R[I.C];
-      break;
-    case Opcode::Or:
-      R[I.A] = R[I.B] | R[I.C];
-      break;
-    case Opcode::Xor:
-      R[I.A] = R[I.B] ^ R[I.C];
-      break;
-
-    case Opcode::CmpEq:
-      R[I.A] = R[I.B] == R[I.C];
-      break;
-    case Opcode::CmpNe:
-      R[I.A] = R[I.B] != R[I.C];
-      break;
-    case Opcode::CmpLt:
-      R[I.A] = static_cast<int64_t>(R[I.B]) < static_cast<int64_t>(R[I.C]);
-      break;
-    case Opcode::CmpLe:
-      R[I.A] = static_cast<int64_t>(R[I.B]) <= static_cast<int64_t>(R[I.C]);
-      break;
-    case Opcode::CmpGt:
-      R[I.A] = static_cast<int64_t>(R[I.B]) > static_cast<int64_t>(R[I.C]);
-      break;
-    case Opcode::CmpGe:
-      R[I.A] = static_cast<int64_t>(R[I.B]) >= static_cast<int64_t>(R[I.C]);
-      break;
-
-    case Opcode::Select: {
-      int32_t T = F.Fn->Aux[I.C], E = F.Fn->Aux[I.C + 1];
-      R[I.A] = R[I.B] ? R[T] : R[E];
-      break;
-    }
-
-    case Opcode::Construct: {
-      const int32_t *A = F.Fn->Aux.data() + I.C;
-      uint8_t Tag = static_cast<uint8_t>(A[0]);
-      ArgBuf.clear();
-      for (int32_t J = 0; J != I.B; ++J)
-        ArgBuf.push_back(R[A[1 + J]]);
-      R[I.A] = RT.allocCtor(Tag, ArgBuf);
-      break;
-    }
-    case Opcode::GetTag:
-      R[I.A] = static_cast<uint64_t>(RT.getTag(R[I.B]));
-      break;
-    case Opcode::Project:
-      R[I.A] = RT.getField(R[I.B], static_cast<unsigned>(I.C));
-      break;
-    case Opcode::Pap: {
-      ++ClosureAllocs;
-      const int32_t *A = F.Fn->Aux.data() + I.C;
-      ArgBuf.clear();
-      for (int32_t J = 0; J != I.B; ++J)
-        ArgBuf.push_back(R[A[2 + J]]);
-      R[I.A] = RT.allocClosure(static_cast<uint32_t>(A[0]),
-                               static_cast<uint16_t>(A[1]), ArgBuf);
-      break;
-    }
-    case Opcode::Apply: {
-      ++GenericApplies;
-      const int32_t *A = F.Fn->Aux.data() + I.C;
-      int32_t N = A[0];
-      ArgBuf.clear();
-      for (int32_t J = 0; J != N; ++J)
-        ArgBuf.push_back(R[A[1 + J]]);
-      // May re-enter execute() via callFunction; Regs of this invocation
-      // are untouched by the nested run.
-      uint64_t Result = RT.apply(*this, R[I.B], ArgBuf);
-      Regs[Frames.back().Base + I.A] = Result;
-      break;
-    }
-    case Opcode::Inc:
-      RT.inc(R[I.A]);
-      break;
-    case Opcode::Dec:
-      RT.dec(R[I.A]);
-      break;
-
-    case Opcode::NatAdd:
-      R[I.A] = RT.natAdd(R[I.B], R[I.C]);
-      break;
-    case Opcode::NatSub:
-      R[I.A] = RT.natSub(R[I.B], R[I.C]);
-      break;
-    case Opcode::NatMul:
-      R[I.A] = RT.natMul(R[I.B], R[I.C]);
-      break;
-    case Opcode::NatDiv:
-      R[I.A] = RT.natDiv(R[I.B], R[I.C]);
-      break;
-    case Opcode::NatMod:
-      R[I.A] = RT.natMod(R[I.B], R[I.C]);
-      break;
-    case Opcode::DecEq:
-      R[I.A] = RT.decEq(R[I.B], R[I.C]);
-      break;
-    case Opcode::DecLt:
-      R[I.A] = RT.decLt(R[I.B], R[I.C]);
-      break;
-    case Opcode::DecLe:
-      R[I.A] = RT.decLe(R[I.B], R[I.C]);
-      break;
-    case Opcode::Unbox:
-      R[I.A] = static_cast<uint64_t>(rt::unboxScalar(R[I.B]));
-      break;
-    case Opcode::Box:
-      R[I.A] = rt::boxScalar(static_cast<int64_t>(R[I.B]));
-      break;
-
-    case Opcode::Call: {
-      const CompiledFunction *Callee = &Prog.Functions[I.B];
-      const int32_t *A = F.Fn->Aux.data() + I.C;
-      int32_t N = A[0];
-      ArgBuf.clear();
-      for (int32_t J = 0; J != N; ++J)
-        ArgBuf.push_back(R[A[1 + J]]);
-      size_t NewBase = F.Base + F.Fn->NumRegs;
-      Frames.push_back({Callee, NewBase, 0, I.A});
-      Regs.resize(NewBase + Callee->NumRegs);
-      for (int32_t J = 0; J != N; ++J)
-        Regs[NewBase + J] = ArgBuf[J];
-      break;
-    }
-    case Opcode::TailCall: {
-      const CompiledFunction *Callee = &Prog.Functions[I.B];
-      const int32_t *A = F.Fn->Aux.data() + I.C;
-      int32_t N = A[0];
-      ArgBuf.clear();
-      for (int32_t J = 0; J != N; ++J)
-        ArgBuf.push_back(R[A[1 + J]]);
-      // Reuse the current frame: constant stack for tail recursion.
-      F.Fn = Callee;
-      F.PC = 0;
-      Regs.resize(F.Base + Callee->NumRegs);
-      for (int32_t J = 0; J != N; ++J)
-        Regs[F.Base + J] = ArgBuf[J];
-      break;
-    }
-    case Opcode::CallBuiltin: {
-      const int32_t *A = F.Fn->Aux.data() + I.C;
-      int32_t N = A[0];
-      ArgBuf.clear();
-      for (int32_t J = 0; J != N; ++J)
-        ArgBuf.push_back(R[A[1 + J]]);
-      uint64_t Result = getBuiltin(I.B)(BC, ArgBuf);
-      Regs[Frames.back().Base + I.A] = Result;
-      break;
-    }
-
-    case Opcode::Ret: {
-      uint64_t Result = R[I.A];
-      if (Frames.size() == 1)
-        return Result;
-      int32_t RetReg = F.RetReg;
-      size_t CallerTop = F.Base;
-      Frames.pop_back();
-      Regs.resize(CallerTop);
-      Regs[Frames.back().Base + RetReg] = Result;
-      break;
-    }
-
-    case Opcode::Br:
-      F.PC = static_cast<size_t>(I.B);
-      break;
-    case Opcode::CondBr:
-      F.PC = static_cast<size_t>(R[I.A] ? I.B : I.C);
-      break;
-    case Opcode::CmpBr: {
-      const int32_t *A = F.Fn->Aux.data() + I.B;
-      int64_t L = static_cast<int64_t>(R[I.A]);
-      int64_t Rv = A[1] ? F.Fn->ImmPool[A[2]]
-                        : static_cast<int64_t>(R[A[2]]);
-      bool Taken;
-      switch (A[0]) {
-      case 0:
-        Taken = L == Rv;
-        break;
-      case 1:
-        Taken = L != Rv;
-        break;
-      case 2:
-        Taken = L < Rv;
-        break;
-      case 3:
-        Taken = L <= Rv;
-        break;
-      case 4:
-        Taken = L > Rv;
-        break;
-      default:
-        Taken = L >= Rv;
-        break;
-      }
-      F.PC = static_cast<size_t>(Taken ? A[3] : A[4]);
-      break;
-    }
-    case Opcode::SwitchBr: {
-      const int32_t *A = F.Fn->Aux.data() + I.B;
-      int32_t N = A[0];
-      int64_t V = static_cast<int64_t>(R[I.A]);
-      size_t Target = static_cast<size_t>(A[1 + 2 * N]); // default
-      for (int32_t J = 0; J != N; ++J) {
-        if (A[1 + 2 * J] == V) {
-          Target = static_cast<size_t>(A[2 + 2 * J]);
-          break;
-        }
-      }
-      F.PC = Target;
-      break;
-    }
-
-    case Opcode::Trap:
-      errs() << "vm: executed unreachable code\n";
-      std::abort();
-    }
-  }
-}
+#if LZ_VM_HAS_GOTO
+#define LZ_VM_GOTO 1
+#define LZ_VM_EXEC_NAME executeGoto
+#include "vm/VMExecute.inc"
+#undef LZ_VM_EXEC_NAME
+#undef LZ_VM_GOTO
+#endif

@@ -12,6 +12,18 @@
 /// million-deep tail recursion). Closure application re-enters the
 /// interpreter through the ApplyHandler hook.
 ///
+/// Two dispatch strategies share one instruction-semantics definition
+/// (VMExecute.inc): computed-goto threaded dispatch on GCC/Clang (the
+/// default), and a portable switch fallback. Building with
+/// -DLZ_VM_DISPATCH=switch compiles only the switch loop. The hot path
+/// keeps the current function, code/aux/imm base pointers and the register
+/// window in locals, so an instruction is load -> (indirect) jump; the
+/// frame state is re-derived only on Call/TailCall/Ret.
+///
+/// Observability: an opt-in per-opcode execution histogram and an opt-in
+/// fuel (step) limit. Both run through a separate "instrumented"
+/// instantiation of the dispatch loop, so the default path pays nothing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LZ_VM_VM_H
@@ -31,9 +43,29 @@ namespace lz::vm {
 
 class VM : public rt::ApplyHandler {
 public:
+  /// How the interpreter loop dispatches opcodes.
+  enum class DispatchMode {
+    Goto,   ///< computed-goto label table (GCC/Clang; falls back to Switch)
+    Switch, ///< portable switch dispatch
+  };
+
   /// \p Out receives lean_io_println output (may be null to discard).
   VM(const Program &Prog, rt::Runtime &RT, OStream *Out = nullptr)
-      : Prog(Prog), RT(RT), Out(Out) {}
+      : Prog(Prog), RT(RT), Out(Out), Mode(defaultDispatchMode()) {}
+
+  /// True when this build carries the computed-goto loop.
+  static bool hasGotoDispatch();
+  /// Goto when available (unless the build default was overridden to
+  /// switch via -DLZ_VM_DISPATCH=switch), Switch otherwise.
+  static DispatchMode defaultDispatchMode();
+  static const char *dispatchModeName(DispatchMode M);
+
+  /// Selects the dispatch loop; Goto silently degrades to Switch in
+  /// switch-only builds.
+  void setDispatchMode(DispatchMode M) {
+    Mode = hasGotoDispatch() ? M : DispatchMode::Switch;
+  }
+  DispatchMode getDispatchMode() const { return Mode; }
 
   /// Runs the named function with owned \p Args; returns an owned result.
   rt::ObjRef run(std::string_view Name, std::span<rt::ObjRef> Args);
@@ -42,26 +74,59 @@ public:
   rt::ObjRef callFunction(uint32_t FnIndex,
                           std::span<rt::ObjRef> Args) override;
 
+  //===------------------------------------------------------------------===//
+  // Observability
+  //===------------------------------------------------------------------===//
+
   /// Executed instruction count (all nested invocations).
   uint64_t getSteps() const { return Steps; }
 
   /// Closure cells allocated by Pap instructions — what known-call
-  /// devirtualization eliminates (papextend-grown cells are counted by the
-  /// runtime's TotalAllocations instead; they allocate inside apply).
+  /// devirtualization (and the saturating PapApply superinstruction)
+  /// eliminates (papextend-grown cells are counted by the runtime's
+  /// TotalAllocations instead; they allocate inside apply).
   uint64_t getClosureAllocs() const { return ClosureAllocs; }
   /// Apply instructions executed — trips through the generic
-  /// extend-or-invoke path that devirtualized/uncurried sites skip.
+  /// extend-or-invoke path that devirtualized/uncurried/PapApply-fused
+  /// sites skip.
   uint64_t getGenericApplies() const { return GenericApplies; }
+
+  /// Turns on the per-opcode execution histogram (runs the instrumented
+  /// dispatch loop from now on).
+  void enableProfiling() {
+    ProfileCounts.assign(NumOpcodes, 0);
+    ProfileData = ProfileCounts.data();
+  }
+  /// The histogram (indexed by Opcode); empty unless enableProfiling ran.
+  std::span<const uint64_t> getProfile() const { return ProfileCounts; }
+
+  /// Caps execution at \p MaxSteps instructions across all nested
+  /// invocations (0 = unlimited, the default). When the budget runs out
+  /// the VM unwinds with a poison scalar result and fuelExhausted() turns
+  /// true — the harness hook that turns a nonterminating miscompile into
+  /// a diagnostic instead of a hung CI job.
+  void setFuel(uint64_t MaxSteps) { FuelLimit = MaxSteps; }
+  bool fuelExhausted() const { return FuelExhausted; }
 
 private:
   rt::ObjRef execute(uint32_t FnIndex, std::span<rt::ObjRef> Args);
 
+  template <bool Instrumented>
+  rt::ObjRef executeSwitch(uint32_t FnIndex, std::span<rt::ObjRef> Args);
+  template <bool Instrumented>
+  rt::ObjRef executeGoto(uint32_t FnIndex, std::span<rt::ObjRef> Args);
+
   const Program &Prog;
   rt::Runtime &RT;
   OStream *Out;
+  DispatchMode Mode;
   uint64_t Steps = 0;
   uint64_t ClosureAllocs = 0;
   uint64_t GenericApplies = 0;
+  std::vector<uint64_t> ProfileCounts; ///< per-opcode; empty = disabled
+  uint64_t *ProfileData = nullptr;
+  uint64_t FuelLimit = 0; ///< 0 = unlimited
+  bool FuelExhausted = false;
 };
 
 } // namespace lz::vm

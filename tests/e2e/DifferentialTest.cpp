@@ -104,7 +104,12 @@ TEST_P(DifferentialTest, VMMatchesInterp) {
 
   RunResult Interp = runOracle(P);
   ASSERT_TRUE(Interp.OK) << Interp.Error;
-  RunResult VM = runProgram(P, C.Opts);
+  // Fuel cap: a miscompile that turns a terminating program into an
+  // infinite loop fails with "fuel exhausted" instead of hanging CI.
+  // Orders of magnitude above any corpus program's real step count.
+  VMOptions VMOpts;
+  VMOpts.FuelLimit = 500'000'000;
+  RunResult VM = runProgram(P, C.Opts, "main", VMOpts);
   ASSERT_TRUE(VM.OK) << VM.Error;
   EXPECT_EQ(VM.ResultDisplay, Interp.ResultDisplay);
   EXPECT_EQ(VM.Output, Interp.Output);

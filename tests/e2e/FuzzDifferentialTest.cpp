@@ -189,8 +189,12 @@ TEST_P(FuzzDifferentialTest, AllPipelinesMatchOracle) {
       lower::PipelineVariant::Leanc, lower::PipelineVariant::Full,
       lower::PipelineVariant::SimpOnly, lower::PipelineVariant::RgnOnly,
       lower::PipelineVariant::NoOpt};
+  // Generated programs terminate by construction, but a miscompile might
+  // not; the fuel cap turns that into a failure instead of a hang.
+  VMOptions VMOpts;
+  VMOpts.FuelLimit = 500'000'000;
   for (auto V : Variants) {
-    RunResult R = runProgram(P, V);
+    RunResult R = runProgram(P, V, "main", VMOpts);
     ASSERT_TRUE(R.OK) << lower::pipelineVariantName(V) << ": " << R.Error
                       << "\nsource:\n"
                       << Source;

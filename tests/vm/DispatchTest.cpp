@@ -1,0 +1,464 @@
+//===- DispatchTest.cpp - dual-dispatch VM semantics tests ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Opcode-level semantics pinned under BOTH dispatch loops (computed-goto
+/// and switch), so a threaded-dispatch bug can't hide behind the portable
+/// fallback or vice versa: Div/Rem edge cases (INT64_MIN / -1 and x % 0),
+/// SwitchBr default/hit, deep tail calls on constant stack, register-stack
+/// reallocation across nested calls, runtime traps, and the fuel limit.
+/// Plus superinstruction-fusion tests: fused and unfused bytecode must
+/// execute identically, and fusion must actually fire (static opcode
+/// presence + nonzero profile counts at runtime).
+///
+/// On switch-only builds (-DLZ_VM_DISPATCH=switch) the Goto parameter
+/// silently degrades to Switch, so the whole suite still runs (twice over
+/// the same loop) and stays green.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Cf.h"
+#include "dialect/Dialects.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "driver/Driver.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "lower/Pipeline.h"
+#include "vm/Compiler.h"
+#include "vm/Disasm.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+using namespace lz;
+
+namespace {
+
+using DispatchMode = vm::VM::DispatchMode;
+
+/// Compiles MiniLean source and runs `main` on a VM with an explicit
+/// dispatch mode (driver::runProgram doesn't expose the mode). Returns the
+/// rendered result; checks the run is leak-free.
+std::string runSource(std::string_view Source, DispatchMode Mode,
+                      const lower::PipelineOptions &Opts) {
+  lambda::Program P;
+  std::string Error;
+  EXPECT_TRUE(driver::parseSource(Source, P, Error)) << Error;
+  Context Ctx;
+  registerAllDialects(Ctx);
+  lower::CompileResult C = lower::compileProgram(P, Ctx, Opts);
+  EXPECT_TRUE(C.OK) << C.Error;
+  if (!C.OK)
+    return "<compile error>";
+  rt::Runtime RT;
+  vm::VM Machine(C.Prog, RT, nullptr);
+  Machine.setDispatchMode(Mode);
+  rt::ObjRef Result = Machine.run("main", {});
+  std::string Display = RT.toDisplayString(Result);
+  RT.dec(Result);
+  EXPECT_EQ(RT.getLiveObjects(), 0u) << "leaked heap cells";
+  return Display;
+}
+
+std::string runSource(std::string_view Source, DispatchMode Mode,
+                      lower::PipelineVariant V) {
+  return runSource(Source, Mode, lower::PipelineOptions::forVariant(V));
+}
+
+/// Compiles MiniLean source to bytecode without running it.
+vm::Program compileSource(std::string_view Source,
+                          const lower::PipelineOptions &Opts) {
+  lambda::Program P;
+  std::string Error;
+  EXPECT_TRUE(driver::parseSource(Source, P, Error)) << Error;
+  Context Ctx;
+  registerAllDialects(Ctx);
+  lower::CompileResult C = lower::compileProgram(P, Ctx, Opts);
+  EXPECT_TRUE(C.OK) << C.Error;
+  return std::move(C.Prog);
+}
+
+/// Static occurrences of \p Op across the whole program.
+size_t countOps(const vm::Program &P, vm::Opcode Op) {
+  size_t N = 0;
+  for (const vm::CompiledFunction &F : P.Functions)
+    for (const vm::Instr &I : F.Code)
+      if (I.Op == Op)
+        ++N;
+  return N;
+}
+
+/// Hand-built IR below the frontend, compiled and run under the
+/// parameterized dispatch mode.
+class DispatchTest : public ::testing::TestWithParam<DispatchMode> {
+protected:
+  DispatchTest() { registerAllDialects(Ctx); }
+
+  vm::Program compile(const vm::CompilerOptions &Opts = {}) {
+    EXPECT_TRUE(succeeded(verify(Module.get())));
+    vm::Program Prog;
+    std::string Error;
+    EXPECT_TRUE(
+        succeeded(vm::compileModule(Module.get(), Prog, Error, Opts)))
+        << Error;
+    return Prog;
+  }
+
+  rt::ObjRef run(const vm::Program &Prog, std::string_view Fn,
+                 std::vector<rt::ObjRef> Args = {}) {
+    vm::VM Machine(Prog, RT, nullptr);
+    Machine.setDispatchMode(GetParam());
+    return Machine.run(Fn, Args);
+  }
+
+  /// f(a, b) = a <OpName> b over raw i64 registers.
+  void buildBinaryFn(const char *OpName) {
+    Operation *Fn = func::buildFunc(
+        Ctx, Module.get(), "f",
+        Ctx.getFunctionType({Ctx.getI64(), Ctx.getI64()}, {Ctx.getI64()}));
+    Block *E = func::getFuncEntryBlock(Fn);
+    B.setInsertionPointToEnd(E);
+    Value *R = arith::buildBinary(B, OpName, E->getArgument(0),
+                                  E->getArgument(1))
+                   ->getResult(0);
+    func::buildReturn(B, {&R, 1});
+  }
+
+  int64_t runBinary(const vm::Program &Prog, int64_t A, int64_t C) {
+    std::vector<rt::ObjRef> Args = {static_cast<rt::ObjRef>(A),
+                                    static_cast<rt::ObjRef>(C)};
+    return static_cast<int64_t>(run(Prog, "f", Args));
+  }
+
+  int64_t runUnary(const vm::Program &Prog, int64_t A) {
+    std::vector<rt::ObjRef> Args = {static_cast<rt::ObjRef>(A)};
+    return static_cast<int64_t>(run(Prog, "f", Args));
+  }
+
+  Context Ctx;
+  OwningOpRef Module = createModule(Ctx);
+  OpBuilder B{Ctx};
+  rt::Runtime RT;
+};
+
+constexpr int64_t IntMin = std::numeric_limits<int64_t>::min();
+
+//===----------------------------------------------------------------------===//
+// Div/Rem edge cases — the UB corners get defined, deterministic results
+//===----------------------------------------------------------------------===//
+
+TEST_P(DispatchTest, DivEdgeCases) {
+  buildBinaryFn("arith.divsi");
+  vm::Program Prog = compile();
+  EXPECT_EQ(runBinary(Prog, 7, 2), 3);
+  EXPECT_EQ(runBinary(Prog, -7, 2), -3); // C truncating division
+  EXPECT_EQ(runBinary(Prog, 7, -2), -3);
+  // The two hardware-trap corners are defined instead of UB:
+  EXPECT_EQ(runBinary(Prog, 42, 0), 0);          // x / 0 == 0
+  EXPECT_EQ(runBinary(Prog, IntMin, -1), IntMin); // wraps, no SIGFPE
+  EXPECT_EQ(runBinary(Prog, IntMin, 1), IntMin);
+  EXPECT_EQ(runBinary(Prog, 42, -1), -42);
+}
+
+TEST_P(DispatchTest, RemEdgeCases) {
+  buildBinaryFn("arith.remsi");
+  vm::Program Prog = compile();
+  EXPECT_EQ(runBinary(Prog, 7, 2), 1);
+  EXPECT_EQ(runBinary(Prog, -7, 2), -1); // sign follows the dividend
+  EXPECT_EQ(runBinary(Prog, 7, -2), 1);
+  EXPECT_EQ(runBinary(Prog, 42, 0), 42);    // x % 0 == x
+  EXPECT_EQ(runBinary(Prog, IntMin, -1), 0); // no overflow trap
+  EXPECT_EQ(runBinary(Prog, -42, -1), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+TEST_P(DispatchTest, SwitchBrHitAndDefault) {
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "f",
+      Ctx.getFunctionType({Ctx.getI64()}, {Ctx.getI64()}));
+  Block *E = func::getFuncEntryBlock(Fn);
+  Region &R = Fn->getRegion(0);
+  Block *B10 = R.emplaceBlock();
+  Block *B20 = R.emplaceBlock();
+  Block *BDef = R.emplaceBlock();
+
+  B.setInsertionPointToEnd(E);
+  int64_t Cases[] = {1, 2};
+  Block *Dests[] = {B10, B20};
+  std::vector<std::vector<Value *>> CaseArgs = {{}, {}};
+  cf::buildSwitchBr(B, E->getArgument(0), Cases, BDef, {}, Dests, CaseArgs);
+  for (auto [Blk, Val] : {std::pair{B10, 10}, {B20, 20}, {BDef, 99}}) {
+    B.setInsertionPointToEnd(Blk);
+    Value *C = arith::buildConstant(B, Ctx.getI64(), Val)->getResult(0);
+    func::buildReturn(B, {&C, 1});
+  }
+
+  vm::Program Prog = compile();
+  EXPECT_EQ(runUnary(Prog, 1), 10);
+  EXPECT_EQ(runUnary(Prog, 2), 20);
+  EXPECT_EQ(runUnary(Prog, 9), 99);  // default
+  EXPECT_EQ(runUnary(Prog, 0), 99);  // below the case range
+  EXPECT_EQ(runUnary(Prog, -1), 99); // negative scrutinee
+}
+
+TEST_P(DispatchTest, DeepTailCallRunsOnConstantStack) {
+  // 1M tail-recursive iterations; without frame reuse the register stack
+  // would need gigabytes. Finishing (fast, in bounds) is the check.
+  EXPECT_EQ(runSource("def loop n acc := if n == 0 then acc"
+                      " else loop (n - 1) (acc + n)\n"
+                      "def main := loop 1000000 0",
+                      GetParam(), lower::PipelineVariant::Full),
+            "500000500000");
+}
+
+TEST_P(DispatchTest, RegisterStackReallocatesAcrossNestedCalls) {
+  // 50k-deep non-tail recursion grows the register stack through many
+  // reallocations; every frame's base pointer must be re-derived after
+  // each one (the LZ_RELOAD discipline in the dispatch loop).
+  EXPECT_EQ(runSource("def sum n := if n == 0 then 0 else n + sum (n - 1)\n"
+                      "def main := sum 50000",
+                      GetParam(), lower::PipelineVariant::Full),
+            "1250025000");
+}
+
+//===----------------------------------------------------------------------===//
+// Superinstruction fusion: fused and unfused must execute identically
+//===----------------------------------------------------------------------===//
+
+struct FusionCase {
+  const char *Name;
+  const char *Source;
+  lower::PipelineVariant Variant;
+  const char *Expected;
+};
+
+const FusionCase FusionCases[] = {
+    // Pap immediately applied to its missing argument -> PapApply.
+    // NoOpt keeps the partial application from being beta-reduced away.
+    {"curried_call", "def add a b := a + b\ndef main := (add 1) 2",
+     lower::PipelineVariant::NoOpt, "3"},
+    // Cmp + CondBr in a hot loop -> CmpBr.
+    {"loop",
+     "def loop n acc := if n == 0 then acc else loop (n - 1) (acc + n)\n"
+     "def main := loop 1000 0",
+     lower::PipelineVariant::Full, "500500"},
+    // Constant-folded main -> BoxConst + Ret -> RetConst.
+    {"const_main", "def main := 20 + 22", lower::PipelineVariant::Full,
+     "42"},
+    // Higher-order code through the generic apply path.
+    {"higher_order",
+     "def twice f x := f (f x)\ndef addN n x := n + x\n"
+     "def main := twice (addN 3) 10",
+     lower::PipelineVariant::NoOpt, "16"},
+    {"match",
+     "inductive L := | Nil | Cons h t\n"
+     "def len xs := match xs with | Nil => 0 | Cons _ t => 1 + len t end\n"
+     "def main := len (Cons 1 (Cons 2 (Cons 3 Nil)))",
+     lower::PipelineVariant::Full, "3"},
+};
+
+TEST_P(DispatchTest, FusedAndUnfusedExecuteIdentically) {
+  for (const FusionCase &C : FusionCases) {
+    lower::PipelineOptions Fused =
+        lower::PipelineOptions::forVariant(C.Variant);
+    lower::PipelineOptions Unfused = Fused;
+    Unfused.FuseSuperinstructions = false;
+    EXPECT_EQ(runSource(C.Source, GetParam(), Fused), C.Expected) << C.Name;
+    EXPECT_EQ(runSource(C.Source, GetParam(), Unfused), C.Expected)
+        << C.Name;
+  }
+}
+
+TEST_P(DispatchTest, IncRunsFuseIntoIncN) {
+  // Three consecutive lp.inc of the same register fuse into one IncN x3.
+  Operation *Fn = func::buildFunc(
+      Ctx, Module.get(), "f",
+      Ctx.getFunctionType({Ctx.getBoxType()}, {Ctx.getBoxType()}));
+  Block *E = func::getFuncEntryBlock(Fn);
+  B.setInsertionPointToEnd(E);
+  Value *V = E->getArgument(0);
+  lp::buildInc(B, V);
+  lp::buildInc(B, V);
+  lp::buildInc(B, V);
+  func::buildReturn(B, {&V, 1});
+
+  vm::Program Fused = compile();
+  EXPECT_EQ(countOps(Fused, vm::Opcode::IncN), 1u);
+  EXPECT_EQ(countOps(Fused, vm::Opcode::Inc), 0u);
+  const vm::CompiledFunction &F = Fused.Functions[0];
+  for (const vm::Instr &I : F.Code) {
+    if (I.Op == vm::Opcode::IncN) {
+      EXPECT_EQ(I.B, 3);
+    }
+  }
+
+  vm::CompilerOptions NoFuse;
+  NoFuse.FuseSuperinstructions = false;
+  vm::Program Unfused = compile(NoFuse);
+  EXPECT_EQ(countOps(Unfused, vm::Opcode::IncN), 0u);
+  EXPECT_EQ(countOps(Unfused, vm::Opcode::Inc), 3u);
+
+  // Scalars ignore RC ops, so running with a scalar is exact: the
+  // argument comes straight back, fused or not.
+  EXPECT_EQ(rt::unboxScalar(run(Fused, "f", {rt::boxScalar(5)})), 5);
+  EXPECT_EQ(rt::unboxScalar(run(Unfused, "f", {rt::boxScalar(5)})), 5);
+}
+
+TEST_P(DispatchTest, ProfileCountsFusedOpcodes) {
+  // The histogram proves superinstructions actually execute (not just
+  // appear in the dump), and its total matches the step counter.
+  vm::Program Prog = compileSource(
+      "def add a b := a + b\n"
+      "def loop n acc := if n == 0 then acc else loop (n - 1) ((add acc) n)\n"
+      "def main := loop 100 0",
+      lower::PipelineOptions::forVariant(lower::PipelineVariant::NoOpt));
+  rt::Runtime LocalRT;
+  vm::VM Machine(Prog, LocalRT, nullptr);
+  Machine.setDispatchMode(GetParam());
+  Machine.enableProfiling();
+  rt::ObjRef Result = Machine.run("main", {});
+  EXPECT_EQ(LocalRT.toDisplayString(Result), "5050");
+  LocalRT.dec(Result);
+
+  std::span<const uint64_t> Prof = Machine.getProfile();
+  ASSERT_EQ(Prof.size(), static_cast<size_t>(vm::NumOpcodes));
+  uint64_t Total = 0;
+  for (uint64_t N : Prof)
+    Total += N;
+  EXPECT_EQ(Total, Machine.getSteps());
+  // The loop's `n == 0` fuses all the way to DecCmpBr (round 2 subsumes
+  // the round-1 CmpBr).
+  EXPECT_GT(Prof[static_cast<size_t>(vm::Opcode::DecCmpBr)], 0u);
+  EXPECT_GT(Prof[static_cast<size_t>(vm::Opcode::PapApply)], 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fuel limit
+//===----------------------------------------------------------------------===//
+
+TEST_P(DispatchTest, FuelLimitStopsRunawayPrograms) {
+  vm::Program Prog =
+      compileSource("def loop n := loop n\ndef main := loop 0",
+                    lower::PipelineOptions::forVariant(
+                        lower::PipelineVariant::Full));
+  rt::Runtime LocalRT;
+  vm::VM Machine(Prog, LocalRT, nullptr);
+  Machine.setDispatchMode(GetParam());
+  Machine.setFuel(10000);
+  rt::ObjRef Result = Machine.run("main", {});
+  EXPECT_TRUE(Machine.fuelExhausted());
+  EXPECT_TRUE(rt::isScalar(Result)); // poison result, nothing to free
+  EXPECT_GE(Machine.getSteps(), 10000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, DispatchTest,
+    ::testing::Values(DispatchMode::Goto, DispatchMode::Switch),
+    [](const ::testing::TestParamInfo<DispatchMode> &Info) {
+      return std::string(vm::VM::dispatchModeName(Info.param));
+    });
+
+//===----------------------------------------------------------------------===//
+// Driver-level fuel wiring and runtime traps (dispatch-mode independent)
+//===----------------------------------------------------------------------===//
+
+TEST(VMFuel, DriverReportsFuelExhaustion) {
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(
+      driver::parseSource("def loop n := loop n\ndef main := loop 0", P,
+                          Error));
+  driver::VMOptions VMOpts;
+  VMOpts.FuelLimit = 10000;
+  driver::RunResult R =
+      driver::runProgram(P, lower::PipelineVariant::Full, "main", VMOpts);
+  EXPECT_FALSE(R.OK);
+  EXPECT_NE(R.Error.find("fuel exhausted"), std::string::npos) << R.Error;
+}
+
+TEST(VMFuel, ZeroFuelMeansUnlimited) {
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::parseSource("def main := 1 + 2", P, Error));
+  driver::RunResult R =
+      driver::runProgram(P, lower::PipelineVariant::Full, "main", {});
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.ResultDisplay, "3");
+}
+
+using VMTrapDeathTest = ::testing::Test;
+
+TEST(VMTrapDeathTest, ArityMismatchAborts) {
+  vm::Program Prog =
+      compileSource("def id x := x\ndef main := id 1",
+                    lower::PipelineOptions::forVariant(
+                        lower::PipelineVariant::NoOpt));
+  rt::Runtime LocalRT;
+  vm::VM Machine(Prog, LocalRT, nullptr);
+  std::vector<rt::ObjRef> NoArgs;
+  EXPECT_DEATH(Machine.run("id", NoArgs), "expected");
+}
+
+TEST(VMTrapDeathTest, ApplyOfNonClosureAborts) {
+  vm::Program Prog =
+      compileSource("def main := 1",
+                    lower::PipelineOptions::forVariant(
+                        lower::PipelineVariant::Full));
+  rt::Runtime LocalRT;
+  vm::VM Machine(Prog, LocalRT, nullptr);
+  std::vector<rt::ObjRef> OneArg = {rt::boxScalar(7)};
+  EXPECT_DEATH(LocalRT.apply(Machine, rt::boxScalar(3), OneArg),
+               "non-closure");
+}
+
+//===----------------------------------------------------------------------===//
+// Static fusion shape checks (bytecode-level, no execution)
+//===----------------------------------------------------------------------===//
+
+TEST(Fusion, SaturatedPapApplyIsEmitted) {
+  lower::PipelineOptions Opts =
+      lower::PipelineOptions::forVariant(lower::PipelineVariant::NoOpt);
+  vm::Program Fused =
+      compileSource("def add a b := a + b\ndef main := (add 1) 2", Opts);
+  EXPECT_GE(countOps(Fused, vm::Opcode::PapApply), 1u);
+
+  Opts.FuseSuperinstructions = false;
+  vm::Program Unfused =
+      compileSource("def add a b := a + b\ndef main := (add 1) 2", Opts);
+  EXPECT_EQ(countOps(Unfused, vm::Opcode::PapApply), 0u);
+  EXPECT_GE(countOps(Unfused, vm::Opcode::Pap), 1u);
+  EXPECT_GE(countOps(Unfused, vm::Opcode::Apply), 1u);
+}
+
+TEST(Fusion, CmpBranchPairsAreFused) {
+  // The loop header's decidable compare fuses through two rounds: first
+  // cmp+cond_br -> CmpBr, then DecEq+GetTag+CmpBr -> DecCmpBr. The loop
+  // decrement's lean_int_sub is intrinsified to IntSub on the way.
+  vm::Program Fused = compileSource(
+      "def loop n acc := if n == 0 then acc else loop (n - 1) (acc + n)\n"
+      "def main := loop 10 0",
+      lower::PipelineOptions::forVariant(lower::PipelineVariant::Full));
+  EXPECT_GE(countOps(Fused, vm::Opcode::DecCmpBr), 1u);
+  EXPECT_GE(countOps(Fused, vm::Opcode::IntSub), 1u);
+  EXPECT_EQ(countOps(Fused, vm::Opcode::CallBuiltin), 0u);
+}
+
+TEST(Fusion, ConstantReturnsAreFused) {
+  vm::Program Fused = compileSource(
+      "def main := 20 + 22",
+      lower::PipelineOptions::forVariant(lower::PipelineVariant::Full));
+  EXPECT_GE(countOps(Fused, vm::Opcode::RetConst), 1u);
+}
+
+} // namespace

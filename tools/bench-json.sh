@@ -55,6 +55,7 @@ case "$BENCH" in
   fig9)     BIN_NAME="bench_fig9_speedup";       DEFAULT_OUT="BENCH_fig9.json";     LABEL="fig9_speedup" ;;
   ablation) BIN_NAME="bench_ablation_passes";    DEFAULT_OUT="BENCH_ablation.json"; LABEL="ablation_passes" ;;
   closure)  BIN_NAME="bench_closure_opt";        DEFAULT_OUT="BENCH_closure.json";  LABEL="closure_opt" ;;
+  vm)       BIN_NAME="bench_vm_dispatch";        DEFAULT_OUT="BENCH_vm.json";       LABEL="vm_dispatch" ;;
   *)        BIN_NAME="bench_$BENCH";             DEFAULT_OUT="BENCH_$BENCH.json";   LABEL="$BENCH" ;;
 esac
 BIN="$BUILD_DIR/bench/$BIN_NAME"
@@ -228,6 +229,53 @@ elif kind == "closure":
             statistics.geometric_mean(speedups.values()), 3)
     if stats:
         summary["closure_statistics"] = stats
+elif kind == "vm":
+    # Names are vm/<bench>/<config>[/manual_time] with configs goto-fused,
+    # goto-unfused, switch-fused, switch-unfused (goto rows absent on
+    # switch-only builds). The headline is default-config (threaded+fused
+    # where available) over the switch-unfused baseline; the two factor
+    # geomeans attribute it to dispatch vs fusion. Fused rows carry
+    # superinstructions_executed / cmpbr_executed profile counters.
+    by_bench = {}
+    for name, r in after.items():
+        parts = name.split("/")
+        if len(parts) >= 3 and parts[0] == "vm":
+            entry = by_bench.setdefault(parts[1], {})
+            entry[parts[2]] = r["real_time_ns"]
+            extra = counters.get(name, {})
+            if parts[2].endswith("-fused") and "counters" not in entry:
+                entry["counters"] = {k: extra[k] for k in
+                                     ("superinstructions_executed",
+                                      "cmpbr_executed") if k in extra}
+    default_cfg = ("goto-fused" if any("goto-fused" in v
+                                       for v in by_bench.values())
+                   else "switch-fused")
+    speedups, goto_over_switch, fused_over_unfused, stats = {}, [], [], {}
+    for b, v in sorted(by_bench.items()):
+        base, ours = v.get("switch-unfused"), v.get(default_cfg)
+        if base and ours:
+            speedups[b] = round(base / ours, 3)
+        if v.get("switch-fused") and v.get("goto-fused"):
+            goto_over_switch.append(v["switch-fused"] / v["goto-fused"])
+        if v.get("goto-unfused") and v.get("goto-fused"):
+            fused_over_unfused.append(v["goto-unfused"] / v["goto-fused"])
+        elif v.get("switch-unfused") and v.get("switch-fused"):
+            fused_over_unfused.append(v["switch-unfused"] / v["switch-fused"])
+        if v.get("counters"):
+            stats[b] = v["counters"]
+    if speedups:
+        summary["default_config"] = default_cfg
+        summary["speedup_default_over_switch_unfused"] = speedups
+        summary["geomean_speedup"] = round(
+            statistics.geometric_mean(speedups.values()), 3)
+    if goto_over_switch:
+        summary["geomean_goto_over_switch_fused"] = round(
+            statistics.geometric_mean(goto_over_switch), 3)
+    if fused_over_unfused:
+        summary["geomean_fused_over_unfused"] = round(
+            statistics.geometric_mean(fused_over_unfused), 3)
+    if stats:
+        summary["superinstruction_counters"] = stats
 elif kind == "fig9":
     # Names are fig9/<bench>/<variant>[/manual_time]; speedup =
     # leanc / full (manual real time), matching the paper's Figure 9 table.

@@ -27,8 +27,12 @@
 #include "lower/Lowering.h"
 #include "rc/RCInsert.h"
 #include "rewrite/Passes.h"
+#include "runtime/Object.h"
 #include "support/OStream.h"
 #include "support/Timing.h"
+#include "vm/Compiler.h"
+#include "vm/Disasm.h"
+#include "vm/VM.h"
 
 #include <fstream>
 #include <iostream>
@@ -55,6 +59,15 @@ const char *const UsageText =
     "                        --pass=arity-raise --pass=devirt\n"
     "  --lower-lp-to-rgn     lower lp switches/joinpoints to rgn\n"
     "  --lower-rgn-to-cf     lower rgn to a flat CFG (+ tail calls)\n"
+    "  --dump-bytecode       compile the lowered module to VM bytecode and\n"
+    "                        print a disassembly instead of the module\n"
+    "  --vm-profile          compile the lowered module, run 'main' on the\n"
+    "                        VM, print the result and a per-opcode\n"
+    "                        execution histogram\n"
+    "  --no-fuse             disable superinstruction fusion for the two\n"
+    "                        options above\n"
+    "  --vm-dispatch=MODE    interpreter dispatch for --vm-profile:\n"
+    "                        goto|switch (default: build default)\n"
     "  --verify-only         parse + verify, print 'ok'\n"
     "  --pass-timing         print a per-pass/per-stage wall-time report\n"
     "                        to stderr after the run\n"
@@ -82,6 +95,10 @@ int main(int argc, char **argv) {
   bool VerifyOnly = false;
   bool PassTiming = false;
   bool PassStatistics = false;
+  bool DumpBytecode = false;
+  bool VMProfile = false;
+  bool Fuse = true;
+  std::string VMDispatch;
   IRPrintConfig PrintConfig;
 
   for (int I = 1; I < argc; ++I) {
@@ -110,6 +127,14 @@ int main(int argc, char **argv) {
       LowerRgn = true;
     else if (Arg == "--verify-only")
       VerifyOnly = true;
+    else if (Arg == "--dump-bytecode")
+      DumpBytecode = true;
+    else if (Arg == "--vm-profile")
+      VMProfile = true;
+    else if (Arg == "--no-fuse")
+      Fuse = false;
+    else if (Arg.rfind("--vm-dispatch=", 0) == 0)
+      VMDispatch = Arg.substr(14);
     else if (Arg == "--pass-timing")
       PassTiming = true;
     else if (Arg == "--pass-statistics")
@@ -247,6 +272,51 @@ int main(int argc, char **argv) {
     }
     if (failed(verify(Owner.get())))
       return 1;
+  }
+
+  if (DumpBytecode || VMProfile) {
+    // The bytecode surface: requires a fully lowered module (func + cf +
+    // arith + lp data ops), i.e. at least --lower-rgn-to-cf upstream.
+    vm::Program Prog;
+    std::string VMErr;
+    vm::CompilerOptions VMOpts;
+    VMOpts.FuseSuperinstructions = Fuse;
+    {
+      TimingScope S = Total.nest("vm-emit");
+      if (failed(vm::compileModule(Owner.get(), Prog, VMErr, VMOpts))) {
+        errs() << VMErr << '\n';
+        return 1;
+      }
+    }
+    if (DumpBytecode)
+      vm::disassemble(Prog, outs());
+    if (VMProfile) {
+      rt::Runtime RT;
+      vm::VM Machine(Prog, RT, &outs());
+      if (VMDispatch == "goto")
+        Machine.setDispatchMode(vm::VM::DispatchMode::Goto);
+      else if (VMDispatch == "switch")
+        Machine.setDispatchMode(vm::VM::DispatchMode::Switch);
+      else if (!VMDispatch.empty()) {
+        errs() << "unknown dispatch mode '" << VMDispatch << "'\n";
+        return usage();
+      }
+      Machine.enableProfiling();
+      TimingScope S = Total.nest("vm-run");
+      rt::ObjRef Result = Machine.run("main", {});
+      outs() << "result: " << RT.toDisplayString(Result) << '\n';
+      RT.dec(Result);
+      // Counts are dispatch-mode independent, so goldens hold on both
+      // goto and switch builds.
+      vm::printProfile(Machine.getProfile(), outs());
+    }
+    Total.stop();
+    outs().flush();
+    if (PassStatistics)
+      PM.printStatistics(errs());
+    if (PassTiming)
+      TM.print(errs());
+    return 0;
   }
 
   outs() << printToString(Owner.get());
