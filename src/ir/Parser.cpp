@@ -123,6 +123,9 @@ private:
       return lexInteger();
     if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '!')
       return lexBareId();
+    // Consume the offending byte: error recovery keeps lexing after a
+    // failed op, so a stuck cursor here would loop forever.
+    ++Pos;
     return {TokKind::Error, std::string(1, C), Line};
   }
 
@@ -223,23 +226,22 @@ private:
 
 class Parser {
 public:
-  Parser(std::string_view Source, Context &Ctx, std::string &ErrorMessage)
-      : Lex(Source), Ctx(Ctx), ErrorMessage(ErrorMessage) {
+  Parser(std::string_view Source, Context &Ctx, DiagnosticEngine &DE,
+         unsigned MaxDepth)
+      : Lex(Source), Ctx(Ctx), DE(DE), MaxDepth(MaxDepth) {
     Tok = Lex.next();
   }
 
   Operation *parseTopLevel() {
     Operation *Op = parseOperation(/*ParentBlock=*/nullptr);
-    if (!Op)
-      return nullptr;
-    if (!Pending.empty()) {
-      emitError("undefined value %" + Pending.begin()->first);
-      cleanup(Op);
-      return nullptr;
+    if (Op) {
+      for (auto &[Name, POp] : Pending)
+        emitError("undefined value %" + Name);
+      if (Tok.Kind != TokKind::Eof && !DE.errorLimitReached())
+        emitError("expected end of input");
     }
-    if (Tok.Kind != TokKind::Eof) {
-      emitError("expected end of input");
-      cleanup(Op);
+    if (!Op || DE.hasErrors()) {
+      teardown(Op);
       return nullptr;
     }
     return Op;
@@ -254,7 +256,8 @@ private:
 
   bool expect(TokKind Kind, const char *What) {
     if (Tok.Kind != Kind) {
-      emitError(std::string("expected ") + What + ", got '" + Tok.Text + "'");
+      emitError(std::string("expected ") + What + ", got '" +
+                (Tok.Kind == TokKind::Eof ? "end of input" : Tok.Text) + "'");
       return false;
     }
     consume();
@@ -273,42 +276,126 @@ private:
   }
 
   void emitErrorAt(int Line, int Col, std::string Message) {
-    if (ErrorMessage.empty())
-      ErrorMessage = "line " + std::to_string(Line) + ", col " +
-                     std::to_string(Col) + ": " + std::move(Message);
+    DE.error(SourceLoc(Line, Col), std::move(Message));
   }
 
-  void cleanup(Operation *Root) {
-    for (auto &[Name, Op] : Pending) {
-      Op->getResult(0)->replaceAllUsesWith(makeDeadValuePlaceholder());
-      Op->destroy();
-    }
+  /// Reclaims everything on the error path. Uses may cross between the
+  /// root tree, regions orphaned by failed operations, and forward
+  /// reference placeholders, so every operand link is dropped up front —
+  /// destruction order then no longer matters for Value's live-use
+  /// assertions.
+  void teardown(Operation *Root) {
+    if (Root)
+      for (unsigned I = 0; I != Root->getNumRegions(); ++I)
+        Root->getRegion(I).dropAllReferences();
+    for (auto &R : Orphans)
+      R->dropAllReferences();
+    for (auto &[Name, POp] : Pending)
+      POp->destroy();
     Pending.clear();
+    Orphans.clear();
     if (Root)
       Root->destroy();
-    // Root's destruction dropped every use of the parked placeholders, so
-    // they can be reclaimed now.
-    for (Operation *Op : Placeholders)
-      Op->destroy();
-    Placeholders.clear();
   }
 
-  /// On error paths placeholders may still be referenced by malformed IR
-  /// until Root is destroyed. To keep Value dtor assertions honest we park
-  /// uses on a throwaway placeholder that cleanup reclaims after Root.
-  Value *makeDeadValuePlaceholder() {
-    OperationState St(Ctx, "builtin.unrealized");
-    St.ResultTypes.push_back(Ctx.getNoneType());
-    Operation *Op = Operation::create(St);
-    Placeholders.push_back(Op);
-    return Op->getResult(0);
+  //===------------------------------------------------------------------===//
+  // Recovery
+  //===------------------------------------------------------------------===//
+
+  /// After a malformed operation, skips ahead to something that looks like
+  /// the start of the next operation (a '%result' or '"op"' on a later
+  /// line), the next block label, or the '}' closing the enclosing region.
+  /// Skipping is bracket-aware so nested regions/types pass over whole.
+  /// Returns false on EOF or once the error cap is hit.
+  bool skipToOpBoundary() {
+    int ErrLine = Tok.Line;
+    int Depth = 0;
+    while (Tok.Kind != TokKind::Eof && !DE.errorLimitReached()) {
+      switch (Tok.Kind) {
+      case TokKind::LBrace:
+      case TokKind::LParen:
+      case TokKind::LBracket:
+        ++Depth;
+        break;
+      case TokKind::RBrace:
+        if (Depth == 0)
+          return true; // enclosing region close; leave unconsumed
+        --Depth;
+        break;
+      case TokKind::RParen:
+      case TokKind::RBracket:
+        if (Depth > 0)
+          --Depth;
+        break;
+      case TokKind::CaretId:
+        if (Depth == 0)
+          return true;
+        break;
+      case TokKind::PercentId:
+      case TokKind::String:
+        if (Depth == 0 && Tok.Line > ErrLine)
+          return true;
+        break;
+      default:
+        break;
+      }
+      consume();
+    }
+    return false;
   }
+
+  /// Nesting budget shared by operation/region, type, and attribute
+  /// recursion. Returns false (with a diagnostic, once) when exhausted.
+  bool bumpDepth() {
+    if (Depth >= MaxDepth) {
+      if (!DepthDiagnosed) {
+        DepthDiagnosed = true;
+        emitError("nesting too deep (limit " + std::to_string(MaxDepth) +
+                  ")");
+      }
+      return false;
+    }
+    ++Depth;
+    return true;
+  }
+
+  struct DepthGuard {
+    Parser &P;
+    bool OK;
+    explicit DepthGuard(Parser &P) : P(P), OK(P.bumpDepth()) {}
+    ~DepthGuard() {
+      if (OK)
+        --P.Depth;
+    }
+  };
+
+  /// Parks the detached regions of a failed operation parse in Orphans
+  /// instead of destroying them: values defined inside are already in the
+  /// flat Values map and may be referenced by later (recovered) text, so
+  /// they must stay alive until teardown.
+  struct RegionParker {
+    Parser &P;
+    std::vector<std::unique_ptr<Region>> &Regions;
+    bool Committed = false;
+    RegionParker(Parser &P, std::vector<std::unique_ptr<Region>> &Regions)
+        : P(P), Regions(Regions) {}
+    ~RegionParker() {
+      if (Committed)
+        return;
+      for (auto &R : Regions)
+        P.Orphans.push_back(std::move(R));
+      Regions.clear();
+    }
+  };
 
   //===------------------------------------------------------------------===//
   // Types
   //===------------------------------------------------------------------===//
 
   Type *parseType() {
+    DepthGuard Guard(*this);
+    if (!Guard.OK)
+      return nullptr;
     if (Tok.Kind == TokKind::LParen)
       return parseFunctionType();
     if (Tok.Kind != TokKind::BareId) {
@@ -388,6 +475,9 @@ private:
   //===------------------------------------------------------------------===//
 
   Attribute *parseAttribute() {
+    DepthGuard Guard(*this);
+    if (!Guard.OK)
+      return nullptr;
     switch (Tok.Kind) {
     case TokKind::Integer: {
       int64_t Value = std::strtoll(Tok.Text.c_str(), nullptr, 10);
@@ -483,12 +573,15 @@ private:
   bool defineValue(const std::string &Name, Value *V) {
     if (Values.count(Name)) {
       emitError("value %" + Name + " defined twice");
-      return false;
+      return false; // keep the first binding
     }
     auto It = Pending.find(Name);
     if (It != Pending.end()) {
       if (It->second->getResult(0)->getType() != V->getType()) {
         emitError("type mismatch for forward-referenced %" + Name);
+        // The placeholder stays pending (its uses keep the wrong type);
+        // teardown reclaims it.
+        Values.emplace(Name, V);
         return false;
       }
       It->second->getResult(0)->replaceAllUsesWith(V);
@@ -505,6 +598,9 @@ private:
 
   /// Parses one operation; appends to \p ParentBlock if non-null.
   Operation *parseOperation(Block *ParentBlock) {
+    DepthGuard Guard(*this);
+    if (!Guard.OK)
+      return nullptr;
     // Optional result list.
     std::vector<std::string> ResultNames;
     if (Tok.Kind == TokKind::PercentId) {
@@ -604,14 +700,16 @@ private:
     }
 
     // Regions (parsed into detached region objects, moved into the op).
+    // If anything past this point fails, the detached regions are parked
+    // as orphans — values defined inside them are in the Values map.
     std::vector<std::unique_ptr<Region>> ParsedRegions;
+    RegionParker Parker(*this, ParsedRegions);
     if (Tok.Kind == TokKind::LParen) {
       consume();
       while (true) {
-        auto R = std::make_unique<Region>(nullptr);
-        if (!parseRegionBody(*R))
+        ParsedRegions.push_back(std::make_unique<Region>(nullptr));
+        if (!parseRegionBody(*ParsedRegions.back()))
           return nullptr;
-        ParsedRegions.push_back(std::move(R));
         if (consumeIf(TokKind::RParen))
           break;
         if (!expect(TokKind::Comma, "','"))
@@ -675,16 +773,15 @@ private:
     Operation *Op = Operation::create(State);
     for (unsigned I = 0; I != ParsedRegions.size(); ++I)
       ParsedRegions[I]->takeBlocksInto(Op->getRegion(I));
+    Parker.Committed = true;
     if (ParentBlock)
       ParentBlock->push_back(Op);
 
-    for (size_t I = 0; I != ResultNames.size(); ++I) {
-      if (!defineValue(ResultNames[I], Op->getResult(I))) {
-        if (!ParentBlock)
-          Op->destroy();
-        return nullptr;
-      }
-    }
+    // A redefined result is diagnosed but does not abort: the op is built
+    // and owned (by the block or as root), and any error makes the whole
+    // parse return null after teardown anyway.
+    for (size_t I = 0; I != ResultNames.size(); ++I)
+      defineValue(ResultNames[I], Op->getResult(I));
     return Op;
   }
 
@@ -766,10 +863,14 @@ private:
       if (!expect(TokKind::Colon, "':'"))
         return false;
 
-      // Ops until the next label or region close.
+      // Ops until the next label or region close. A malformed op is
+      // skipped to the next boundary so the rest of the region still gets
+      // parsed and diagnosed.
       while (Tok.Kind != TokKind::CaretId && Tok.Kind != TokKind::RBrace) {
-        if (!parseOperation(B))
-          return false;
+        if (!parseOperation(B)) {
+          if (!skipToOpBoundary())
+            return false;
+        }
       }
     }
     return true;
@@ -783,18 +884,32 @@ private:
   Lexer Lex;
   Token Tok;
   Context &Ctx;
-  std::string &ErrorMessage;
+  DiagnosticEngine &DE;
+  unsigned MaxDepth;
+  unsigned Depth = 0;
+  bool DepthDiagnosed = false;
   std::map<std::string, Value *> Values;
   std::map<std::string, Operation *> Pending;
   std::vector<std::map<std::string, BlockInfo>> BlockScopes;
-  std::vector<Operation *> Placeholders;
+  std::vector<std::unique_ptr<Region>> Orphans;
 };
 
 } // namespace
 
 Operation *lz::parseSourceString(std::string_view Source, Context &Ctx,
+                                 DiagnosticEngine &DE,
+                                 const IRParseOptions &Opts) {
+  Parser P(Source, Ctx, DE, Opts.MaxNestingDepth);
+  return P.parseTopLevel();
+}
+
+Operation *lz::parseSourceString(std::string_view Source, Context &Ctx,
                                  std::string &ErrorMessage) {
   ErrorMessage.clear();
-  Parser P(Source, Ctx, ErrorMessage);
-  return P.parseTopLevel();
+  DiagnosticEngine DE;
+  DE.setSourceBuffer("input", Source);
+  Operation *Op = parseSourceString(Source, Ctx, DE);
+  if (!Op)
+    ErrorMessage = DE.firstErrorString();
+  return Op;
 }

@@ -15,6 +15,8 @@
 #ifndef LZ_IR_PARSER_H
 #define LZ_IR_PARSER_H
 
+#include "support/Diagnostics.h"
+
 #include <string>
 #include <string_view>
 
@@ -23,9 +25,24 @@ namespace lz {
 class Context;
 class Operation;
 
-/// Parses one top-level operation (normally a builtin.module). On success
-/// returns the owning Operation pointer (caller destroys); on failure
-/// returns null and fills \p ErrorMessage.
+/// Hardening knobs for parsing untrusted IR text.
+struct IRParseOptions {
+  /// Cap on operation/region/type/attribute nesting. Crossing it produces
+  /// a "nesting too deep" diagnostic instead of overflowing the stack.
+  unsigned MaxNestingDepth = 256;
+};
+
+/// Parses one top-level operation (normally a builtin.module), reporting
+/// (possibly many) diagnostics into \p DE: after a malformed operation the
+/// parser skips to the next operation boundary and keeps going. On success
+/// returns the owning Operation pointer (caller destroys); returns null —
+/// with everything reclaimed — iff any error diagnostic was emitted.
+Operation *parseSourceString(std::string_view Source, Context &Ctx,
+                             DiagnosticEngine &DE,
+                             const IRParseOptions &Opts = {});
+
+/// Legacy single-error API: on failure \p ErrorMessage holds the first
+/// error as "line L, col C: message".
 Operation *parseSourceString(std::string_view Source, Context &Ctx,
                              std::string &ErrorMessage);
 

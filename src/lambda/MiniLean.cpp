@@ -4,12 +4,28 @@
 // (CGO 2022). MIT license.
 //
 //===----------------------------------------------------------------------===//
+///
+/// Error handling: the parser is error-resilient in the minic style. Every
+/// diagnostic goes through the shared DiagnosticEngine with the offending
+/// token's line AND column; after an error the parser synchronizes — at
+/// expression sync tokens (';' of a let, '|'/'end' of a match, 'else' of a
+/// conditional) inside a definition, and at the next 'def'/'inductive'
+/// keyword at top level — substituting a placeholder expression so
+/// elaboration of the rest of the program still runs and reports its own
+/// errors. A recursion-depth budget (ParseOptions::MaxNestingDepth) bounds
+/// both parser recursion and the depth of the AST it builds (operator
+/// chains count too: they build left-nested trees that the elaborator and
+/// destructors recurse over), so arbitrarily nested input diagnoses
+/// "nesting too deep" instead of overflowing the stack.
+///
+//===----------------------------------------------------------------------===//
 
 #include "lambda/MiniLean.h"
 
 #include <cassert>
 #include <cctype>
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <optional>
@@ -66,6 +82,9 @@ struct Token {
   Tok K;
   std::string Text;
   int Line;
+  int Col = 1; // 1-based column of the token's first character
+
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
 };
 
 class Lexer {
@@ -74,6 +93,14 @@ public:
 
   Token next() {
     skip();
+    int StartCol = static_cast<int>(Pos - LineStart) + 1;
+    Token T = lexToken();
+    T.Col = StartCol;
+    return T;
+  }
+
+private:
+  Token lexToken() {
     if (Pos >= Src.size())
       return {Tok::Eof, "", Line};
     char C = Src[Pos];
@@ -174,13 +201,13 @@ public:
     }
   }
 
-private:
   void skip() {
     while (Pos < Src.size()) {
       char C = Src[Pos];
       if (C == '\n') {
         ++Line;
         ++Pos;
+        LineStart = Pos;
       } else if (std::isspace(static_cast<unsigned char>(C))) {
         ++Pos;
       } else if (C == '-' && Pos + 1 < Src.size() && Src[Pos + 1] == '-') {
@@ -194,6 +221,7 @@ private:
 
   std::string_view Src;
   size_t Pos = 0;
+  size_t LineStart = 0;
   int Line = 1;
 };
 
@@ -210,18 +238,19 @@ struct SPattern {
   std::string Name;               // Var name / Ctor name
   BigInt Lit;                     // IntLit
   std::vector<SPattern> Subs;     // Ctor subpatterns
-  int Line = 0;
+  SourceLoc Loc;
 };
 
 struct SMatchArm {
   std::vector<SPattern> Pats; // one per scrutinee
   SExprPtr Rhs;
+  SourceLoc Loc; // the arm's leading '|'
 };
 
 struct SExpr {
   enum class Kind { Int, Var, App, Let, Match, If, Fun };
   Kind K;
-  int Line = 0;
+  SourceLoc Loc;
   BigInt Lit;                    // Int
   std::string Name;              // Var / Let binder
   SExprPtr Head;                 // App head (null when Name used) / Let value
@@ -231,10 +260,18 @@ struct SExpr {
   std::vector<std::string> Params; // Fun parameters
 };
 
-SExprPtr makeSExpr(SExpr::Kind K, int Line) {
+SExprPtr makeSExpr(SExpr::Kind K, SourceLoc Loc) {
   auto E = std::make_unique<SExpr>();
   E->K = K;
-  E->Line = Line;
+  E->Loc = Loc;
+  return E;
+}
+
+/// Placeholder substituted for an unparseable subexpression after
+/// recovery; elaboration-safe everywhere an expression is expected.
+SExprPtr makePlaceholder(SourceLoc Loc) {
+  auto E = makeSExpr(SExpr::Kind::Int, Loc);
+  E->Lit = BigInt(0);
   return E;
 }
 
@@ -248,7 +285,7 @@ struct SDef {
   std::string Name;
   std::vector<std::string> Params;
   SExprPtr Body;
-  int Line;
+  SourceLoc Loc;
 };
 
 //===----------------------------------------------------------------------===//
@@ -257,50 +294,131 @@ struct SDef {
 
 class Parser {
 public:
-  Parser(std::string_view Src, std::string &Err) : Lex(Src), Err(Err) {
+  Parser(std::string_view Src, DiagnosticEngine &DE, unsigned MaxDepth)
+      : Lex(Src), DE(DE), MaxDepth(MaxDepth) {
     advance();
   }
 
+  /// Parses the whole program, recovering at def/inductive boundaries so
+  /// one bad definition does not hide diagnostics in the rest. Returns
+  /// false iff any error was reported.
   bool parseProgram(std::vector<SDef> &Defs,
                     std::unordered_map<std::string, SCtorInfo> &Ctors,
                     std::unordered_map<std::string, unsigned> &InductiveSizes) {
-    while (Cur.K != Tok::Eof) {
+    while (Cur.K != Tok::Eof && !DE.errorLimitReached()) {
       if (Cur.K == Tok::KwInductive) {
         if (!parseInductive(Ctors, InductiveSizes))
-          return false;
+          syncTopLevel();
       } else if (Cur.K == Tok::KwDef) {
         if (!parseDef(Defs))
-          return false;
+          syncTopLevel();
       } else {
-        return error("expected 'def' or 'inductive'");
+        error("expected 'def' or 'inductive'");
+        syncTopLevel();
       }
     }
-    return true;
+    return !DE.hasErrors();
   }
 
 private:
   void advance() { Cur = Lex.next(); }
 
-  bool error(const std::string &Message) {
-    if (Err.empty())
-      Err = "line " + std::to_string(Cur.Line) + ": " + Message;
+  bool error(const std::string &Message) { return errorAt(Cur.loc(), Message); }
+
+  bool errorAt(SourceLoc Loc, const std::string &Message) {
+    DE.error(Loc, Message);
     return false;
   }
 
   bool expect(Tok K, const char *What) {
     if (Cur.K != K)
-      return error(std::string("expected ") + What + ", got '" + Cur.Text +
-                   "'");
+      return error(std::string("expected ") + What + ", got '" +
+                   (Cur.K == Tok::Eof ? "end of input" : Cur.Text) + "'");
     advance();
     return true;
   }
 
+  //===------------------------------------------------------------------===//
+  // Recovery
+  //===------------------------------------------------------------------===//
+
+  /// Skips to the next top-level 'def'/'inductive' (or EOF). Guarantees
+  /// progress: parseDef/parseInductive always consume their keyword, so a
+  /// failure with Cur already at a boundary resumes there directly.
+  void syncTopLevel() {
+    if (Cur.K == Tok::KwDef || Cur.K == Tok::KwInductive)
+      return;
+    if (Cur.K != Tok::Eof)
+      advance();
+    while (Cur.K != Tok::Eof && Cur.K != Tok::KwDef &&
+           Cur.K != Tok::KwInductive && !DE.errorLimitReached())
+      advance();
+  }
+
+  /// After an expression error, skips to one of \p Stops so parsing can
+  /// continue locally (a let's ';', a match arm's '|' or 'end', an if's
+  /// 'else'). Skipping is match-nesting aware: a 'match' opens a nesting
+  /// level whose 'end' closes it without stopping. Returns false when a
+  /// definition boundary, an enclosing 'end', or EOF is reached first —
+  /// the caller then unwinds to def-level recovery.
+  bool syncTo(std::initializer_list<Tok> Stops) {
+    unsigned MatchDepth = 0;
+    while (Cur.K != Tok::Eof && !DE.errorLimitReached()) {
+      if (Cur.K == Tok::KwDef || Cur.K == Tok::KwInductive)
+        return false;
+      if (MatchDepth == 0) {
+        for (Tok S : Stops)
+          if (Cur.K == S)
+            return true;
+        if (Cur.K == Tok::KwEnd)
+          return false; // closes an enclosing match
+      } else if (Cur.K == Tok::KwEnd) {
+        --MatchDepth;
+        advance();
+        continue;
+      }
+      if (Cur.K == Tok::KwMatch)
+        ++MatchDepth;
+      advance();
+    }
+    return false;
+  }
+
+  /// Monotone nesting budget shared by recursive descent and the
+  /// iterative operator/argument loops (which build equally deep trees).
+  /// Returns false (with a diagnostic) once the budget is exhausted.
+  bool bumpDepth() {
+    if (Depth >= MaxDepth) {
+      if (!DepthDiagnosed) {
+        DepthDiagnosed = true;
+        error("expression nesting too deep (limit " +
+              std::to_string(MaxDepth) + ")");
+      }
+      return false;
+    }
+    ++Depth;
+    return true;
+  }
+
+  struct DepthScope {
+    Parser &P;
+    unsigned Saved;
+    explicit DepthScope(Parser &P) : P(P), Saved(P.Depth) {}
+    ~DepthScope() { P.Depth = Saved; }
+  };
+
+  //===------------------------------------------------------------------===//
+  // Declarations
+  //===------------------------------------------------------------------===//
+
   bool parseInductive(std::unordered_map<std::string, SCtorInfo> &Ctors,
                       std::unordered_map<std::string, unsigned> &InductiveSizes) {
+    SourceLoc KwLoc = Cur.loc();
     advance(); // 'inductive'
     if (Cur.K != Tok::Ident)
       return error("expected inductive name");
     std::string TypeName = Cur.Text;
+    SourceLoc NameLoc = Cur.loc();
     advance();
     if (!expect(Tok::Assign, "':='"))
       return false;
@@ -310,6 +428,7 @@ private:
       if (Cur.K != Tok::Ident)
         return error("expected constructor name");
       std::string CtorName = Cur.Text;
+      SourceLoc CtorLoc = Cur.loc();
       advance();
       unsigned Arity = 0;
       while (Cur.K == Tok::Ident || Cur.K == Tok::Underscore) {
@@ -317,23 +436,25 @@ private:
         advance();
       }
       if (Ctors.count(CtorName))
-        return error("constructor '" + CtorName + "' redeclared");
+        return errorAt(CtorLoc,
+                       "constructor '" + CtorName + "' redeclared");
       Ctors[CtorName] = {TypeName, Tag++, Arity};
     }
     if (Tag == 0)
-      return error("inductive '" + TypeName + "' has no constructors");
+      return errorAt(NameLoc.isValid() ? NameLoc : KwLoc,
+                     "inductive '" + TypeName + "' has no constructors");
     InductiveSizes[TypeName] = static_cast<unsigned>(Tag);
     return true;
   }
 
   bool parseDef(std::vector<SDef> &Defs) {
-    int Line = Cur.Line;
+    SourceLoc Loc = Cur.loc();
     advance(); // 'def'
     if (Cur.K != Tok::Ident)
       return error("expected function name");
     SDef D;
     D.Name = Cur.Text;
-    D.Line = Line;
+    D.Loc = Loc;
     advance();
     while (Cur.K == Tok::Ident) {
       D.Params.push_back(Cur.Text);
@@ -341,6 +462,7 @@ private:
     }
     if (!expect(Tok::Assign, "':='"))
       return false;
+    DepthScope Scope(*this);
     D.Body = parseExpr();
     if (!D.Body)
       return false;
@@ -348,22 +470,32 @@ private:
     return true;
   }
 
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
   SExprPtr parseExpr() {
+    if (!bumpDepth())
+      return nullptr;
     if (Cur.K == Tok::KwLet) {
-      int Line = Cur.Line;
+      SourceLoc Loc = Cur.loc();
       advance();
       if (Cur.K != Tok::Ident) {
         error("expected binder after 'let'");
         return nullptr;
       }
-      auto E = makeSExpr(SExpr::Kind::Let, Line);
+      auto E = makeSExpr(SExpr::Kind::Let, Loc);
       E->Name = Cur.Text;
       advance();
       if (!expect(Tok::Assign, "':='"))
         return nullptr;
       E->Head = parseExpr();
-      if (!E->Head)
-        return nullptr;
+      if (!E->Head) {
+        // Recover at the let's ';' so the body still elaborates.
+        if (!syncTo({Tok::Semi}))
+          return nullptr;
+        E->Head = makePlaceholder(Loc);
+      }
       if (!expect(Tok::Semi, "';'"))
         return nullptr;
       E->Body = parseExpr();
@@ -372,17 +504,23 @@ private:
       return E;
     }
     if (Cur.K == Tok::KwIf) {
-      int Line = Cur.Line;
+      SourceLoc Loc = Cur.loc();
       advance();
-      auto E = makeSExpr(SExpr::Kind::If, Line);
+      auto E = makeSExpr(SExpr::Kind::If, Loc);
       SExprPtr C = parseExpr();
-      if (!C)
-        return nullptr;
+      if (!C) {
+        if (!syncTo({Tok::KwThen}))
+          return nullptr;
+        C = makePlaceholder(Loc);
+      }
       if (!expect(Tok::KwThen, "'then'"))
         return nullptr;
       SExprPtr T = parseExpr();
-      if (!T)
-        return nullptr;
+      if (!T) {
+        if (!syncTo({Tok::KwElse}))
+          return nullptr;
+        T = makePlaceholder(Loc);
+      }
       if (!expect(Tok::KwElse, "'else'"))
         return nullptr;
       SExprPtr F = parseExpr();
@@ -396,9 +534,9 @@ private:
     if (Cur.K == Tok::KwMatch)
       return parseMatch();
     if (Cur.K == Tok::KwFun) {
-      int Line = Cur.Line;
+      SourceLoc Loc = Cur.loc();
       advance();
-      auto E = makeSExpr(SExpr::Kind::Fun, Line);
+      auto E = makeSExpr(SExpr::Kind::Fun, Loc);
       while (Cur.K == Tok::Ident) {
         E->Params.push_back(Cur.Text);
         advance();
@@ -418,9 +556,9 @@ private:
   }
 
   SExprPtr parseMatch() {
-    int Line = Cur.Line;
+    SourceLoc Loc = Cur.loc();
     advance(); // 'match'
-    auto E = makeSExpr(SExpr::Kind::Match, Line);
+    auto E = makeSExpr(SExpr::Kind::Match, Loc);
     while (true) {
       SExprPtr S = parseCompare();
       if (!S)
@@ -433,30 +571,43 @@ private:
     if (!expect(Tok::KwWith, "'with'"))
       return nullptr;
     while (Cur.K == Tok::Pipe) {
-      advance();
+      if (!bumpDepth()) // arms become a chain of join declarations
+        return nullptr;
       SMatchArm Arm;
+      Arm.Loc = Cur.loc();
+      advance();
+      bool PatsOK = true;
       while (true) {
         std::optional<SPattern> P = parsePattern(/*AllowArgs=*/true);
-        if (!P)
-          return nullptr;
+        if (!P) {
+          PatsOK = false;
+          break;
+        }
         Arm.Pats.push_back(std::move(*P));
         if (Cur.K != Tok::Comma)
           break;
         advance();
       }
-      if (Arm.Pats.size() != E->Args.size()) {
-        error("pattern arity does not match scrutinee count");
-        return nullptr;
+      if (PatsOK && Arm.Pats.size() != E->Args.size()) {
+        errorAt(Arm.Loc, "pattern arity does not match scrutinee count");
+        PatsOK = false;
       }
-      if (!expect(Tok::Arrow, "'=>'"))
-        return nullptr;
+      if (!PatsOK || !expect(Tok::Arrow, "'=>'")) {
+        // Recover at the next arm or the 'end' of this match.
+        if (!syncTo({Tok::Pipe, Tok::KwEnd}))
+          return nullptr;
+        continue; // drop the malformed arm
+      }
       Arm.Rhs = parseExpr();
-      if (!Arm.Rhs)
-        return nullptr;
+      if (!Arm.Rhs) {
+        if (!syncTo({Tok::Pipe, Tok::KwEnd}))
+          return nullptr;
+        Arm.Rhs = makePlaceholder(Arm.Loc);
+      }
       E->Arms.push_back(std::move(Arm));
     }
     if (E->Arms.empty()) {
-      error("match with no arms");
+      errorAt(Loc, "match with no arms");
       return nullptr;
     }
     if (!expect(Tok::KwEnd, "'end'"))
@@ -466,8 +617,10 @@ private:
 
   /// Pattern atom or (with \p AllowArgs) a constructor application.
   std::optional<SPattern> parsePattern(bool AllowArgs) {
+    if (!bumpDepth())
+      return std::nullopt;
     SPattern P;
-    P.Line = Cur.Line;
+    P.Loc = Cur.loc();
     switch (Cur.K) {
     case Tok::Underscore:
       P.K = SPattern::Kind::Wildcard;
@@ -498,6 +651,8 @@ private:
       if (AllowArgs) {
         while (Cur.K == Tok::Underscore || Cur.K == Tok::Int ||
                Cur.K == Tok::LParen || Cur.K == Tok::Ident) {
+          if (!bumpDepth())
+            return std::nullopt;
           std::optional<SPattern> Sub = parsePattern(/*AllowArgs=*/false);
           if (!Sub)
             return std::nullopt;
@@ -520,18 +675,18 @@ private:
     if (K != Tok::EqEq && K != Tok::NotEq && K != Tok::Lt && K != Tok::Le &&
         K != Tok::Gt && K != Tok::Ge)
       return L;
-    int Line = Cur.Line;
+    SourceLoc Loc = Cur.loc();
     advance();
     SExprPtr R = parseAdd();
     if (!R)
       return nullptr;
-    return makeCmp(K, std::move(L), std::move(R), Line);
+    return makeCmp(K, std::move(L), std::move(R), Loc);
   }
 
   SExprPtr makeBuiltinApp(const std::string &Name, SExprPtr A, SExprPtr B,
-                          int Line) {
-    auto E = makeSExpr(SExpr::Kind::App, Line);
-    auto H = makeSExpr(SExpr::Kind::Var, Line);
+                          SourceLoc Loc) {
+    auto E = makeSExpr(SExpr::Kind::App, Loc);
+    auto H = makeSExpr(SExpr::Kind::Var, Loc);
     H->Name = Name;
     E->Head = std::move(H);
     E->Args.push_back(std::move(A));
@@ -540,31 +695,31 @@ private:
     return E;
   }
 
-  SExprPtr makeCmp(Tok K, SExprPtr L, SExprPtr R, int Line) {
+  SExprPtr makeCmp(Tok K, SExprPtr L, SExprPtr R, SourceLoc Loc) {
     switch (K) {
     case Tok::EqEq:
       return makeBuiltinApp("lean_nat_dec_eq", std::move(L), std::move(R),
-                            Line);
+                            Loc);
     case Tok::Lt:
       return makeBuiltinApp("lean_nat_dec_lt", std::move(L), std::move(R),
-                            Line);
+                            Loc);
     case Tok::Le:
       return makeBuiltinApp("lean_nat_dec_le", std::move(L), std::move(R),
-                            Line);
+                            Loc);
     case Tok::Gt: // a > b  ==  b < a
       return makeBuiltinApp("lean_nat_dec_lt", std::move(R), std::move(L),
-                            Line);
+                            Loc);
     case Tok::Ge: // a >= b  ==  b <= a
       return makeBuiltinApp("lean_nat_dec_le", std::move(R), std::move(L),
-                            Line);
+                            Loc);
     case Tok::NotEq: {
       // a != b  ==  1 - (a == b)
       SExprPtr Eq = makeBuiltinApp("lean_nat_dec_eq", std::move(L),
-                                   std::move(R), Line);
-      auto One = makeSExpr(SExpr::Kind::Int, Line);
+                                   std::move(R), Loc);
+      auto One = makeSExpr(SExpr::Kind::Int, Loc);
       One->Lit = BigInt(1);
       return makeBuiltinApp("lean_int_sub", std::move(One), std::move(Eq),
-                            Line);
+                            Loc);
     }
     default:
       return nullptr;
@@ -576,14 +731,16 @@ private:
     if (!L)
       return nullptr;
     while (Cur.K == Tok::Plus || Cur.K == Tok::Minus) {
+      if (!bumpDepth()) // each link deepens the left-nested tree
+        return nullptr;
       Tok K = Cur.K;
-      int Line = Cur.Line;
+      SourceLoc Loc = Cur.loc();
       advance();
       SExprPtr R = parseMul();
       if (!R)
         return nullptr;
       L = makeBuiltinApp(K == Tok::Plus ? "lean_nat_add" : "lean_int_sub",
-                         std::move(L), std::move(R), Line);
+                         std::move(L), std::move(R), Loc);
     }
     return L;
   }
@@ -594,8 +751,10 @@ private:
       return nullptr;
     while (Cur.K == Tok::Star || Cur.K == Tok::Slash ||
            Cur.K == Tok::Percent) {
+      if (!bumpDepth())
+        return nullptr;
       Tok K = Cur.K;
-      int Line = Cur.Line;
+      SourceLoc Loc = Cur.loc();
       advance();
       SExprPtr R = parseApp();
       if (!R)
@@ -603,7 +762,7 @@ private:
       const char *Name = K == Tok::Star    ? "lean_nat_mul"
                          : K == Tok::Slash ? "lean_nat_div"
                                            : "lean_nat_mod";
-      L = makeBuiltinApp(Name, std::move(L), std::move(R), Line);
+      L = makeBuiltinApp(Name, std::move(L), std::move(R), Loc);
     }
     return L;
   }
@@ -615,6 +774,8 @@ private:
     std::vector<SExprPtr> Args;
     while (Cur.K == Tok::Int || Cur.K == Tok::Ident ||
            Cur.K == Tok::LParen) {
+      if (!bumpDepth()) // argument count bounds elaborator recursion
+        return nullptr;
       SExprPtr A = parseAtom();
       if (!A)
         return nullptr;
@@ -622,7 +783,7 @@ private:
     }
     if (Args.empty())
       return Head;
-    auto E = makeSExpr(SExpr::Kind::App, Head->Line);
+    auto E = makeSExpr(SExpr::Kind::App, Head->Loc);
     E->Head = std::move(Head);
     E->Args = std::move(Args);
     return E;
@@ -631,13 +792,13 @@ private:
   SExprPtr parseAtom() {
     switch (Cur.K) {
     case Tok::Int: {
-      auto E = makeSExpr(SExpr::Kind::Int, Cur.Line);
+      auto E = makeSExpr(SExpr::Kind::Int, Cur.loc());
       E->Lit = BigInt::fromString(Cur.Text);
       advance();
       return E;
     }
     case Tok::Ident: {
-      auto E = makeSExpr(SExpr::Kind::Var, Cur.Line);
+      auto E = makeSExpr(SExpr::Kind::Var, Cur.loc());
       E->Name = Cur.Text;
       advance();
       return E;
@@ -652,14 +813,18 @@ private:
       return E;
     }
     default:
-      error("expected expression, got '" + Cur.Text + "'");
+      error("expected expression, got '" +
+            (Cur.K == Tok::Eof ? "end of input" : Cur.Text) + "'");
       return nullptr;
     }
   }
 
   Lexer Lex;
   Token Cur;
-  std::string &Err;
+  DiagnosticEngine &DE;
+  unsigned MaxDepth;
+  unsigned Depth = 0;
+  bool DepthDiagnosed = false;
 };
 
 //===----------------------------------------------------------------------===//
@@ -679,7 +844,7 @@ const std::pair<const char *, const char *> BuiltinAliases[] = {
 
 /// Deep copy of a surface expression (for lambda lifting).
 SExprPtr cloneSExpr(const SExpr &E) {
-  auto C = makeSExpr(E.K, E.Line);
+  auto C = makeSExpr(E.K, E.Loc);
   C->Lit = E.Lit;
   C->Name = E.Name;
   C->Params = E.Params;
@@ -692,6 +857,7 @@ SExprPtr cloneSExpr(const SExpr &E) {
   for (const SMatchArm &Arm : E.Arms) {
     SMatchArm NA;
     NA.Pats = Arm.Pats;
+    NA.Loc = Arm.Loc;
     NA.Rhs = cloneSExpr(*Arm.Rhs);
     C->Arms.push_back(std::move(NA));
   }
@@ -703,13 +869,14 @@ public:
   Elaborator(const std::unordered_map<std::string, SCtorInfo> &Ctors,
              const std::unordered_map<std::string, unsigned> &InductiveSizes,
              std::unordered_map<std::string, unsigned> &FnArity,
-             std::vector<SDef> &PendingDefs, std::string &Err)
+             std::vector<SDef> &PendingDefs, DiagnosticEngine &DE)
       : Ctors(Ctors), InductiveSizes(InductiveSizes), FnArity(FnArity),
-        PendingDefs(PendingDefs), Err(Err) {}
+        PendingDefs(PendingDefs), DE(DE) {}
 
   bool elaborate(const SDef &D, Function &Out) {
     NextVar = 0;
     NextJoin = 0;
+    HadError = false;
     Scopes.clear();
     Scopes.emplace_back();
     Out.Name = D.Name;
@@ -721,8 +888,8 @@ public:
     FnBodyPtr Body =
         lower(*D.Body, [&](VarId V) { return makeRet(V); });
     // Errors can surface either as a null body or — when an inner
-    // continuation failed — as a recorded message with a partial tree.
-    if (!Body || !Err.empty())
+    // continuation failed — as a recorded diagnostic with a partial tree.
+    if (!Body || HadError)
       return false;
     Out.Body = std::move(Body);
     Out.NumVars = NextVar;
@@ -733,9 +900,9 @@ public:
 private:
   using Cont = std::function<FnBodyPtr(VarId)>;
 
-  bool error(int Line, const std::string &Message) {
-    if (Err.empty())
-      Err = "line " + std::to_string(Line) + ": " + Message;
+  bool error(SourceLoc Loc, const std::string &Message) {
+    HadError = true;
+    DE.error(Loc, Message);
     return false;
   }
 
@@ -849,7 +1016,7 @@ private:
     std::string LiftedName = "_lambda" + std::to_string(NextLambda++);
     SDef Lifted;
     Lifted.Name = LiftedName;
-    Lifted.Line = E.Line;
+    Lifted.Loc = E.Loc;
     Lifted.Params = Captured;
     Lifted.Params.insert(Lifted.Params.end(), E.Params.begin(),
                          E.Params.end());
@@ -912,7 +1079,7 @@ private:
       for (const SMatchArm &Arm : E.Arms) {
         std::vector<std::string> ArmVars;
         for (SPattern P : Arm.Pats) { // copy: resolve without mutating
-          resolvePattern(P);
+          resolvePattern(P, /*Diagnose=*/false);
           collectPatternVars(P, ArmVars);
         }
         std::vector<std::string> NewlyBound;
@@ -968,7 +1135,7 @@ private:
   FnBodyPtr lowerName(const SExpr &Head, const std::vector<SExprPtr> &Args,
                       Cont K) {
     const std::string &Name = Head.Name;
-    int Line = Head.Line;
+    SourceLoc Loc = Head.Loc;
 
     // Local variable.
     if (VarId *Local = resolveLocal(Name)) {
@@ -990,8 +1157,8 @@ private:
     if (CtorIt != Ctors.end()) {
       const SCtorInfo &Info = CtorIt->second;
       if (Args.size() != Info.Arity) {
-        error(Line, "constructor '" + Name + "' expects " +
-                        std::to_string(Info.Arity) + " arguments");
+        error(Loc, "constructor '" + Name + "' expects " +
+                       std::to_string(Info.Arity) + " arguments");
         return nullptr;
       }
       if (Info.Arity == 0) {
@@ -1019,8 +1186,8 @@ private:
     if (!Builtin.empty()) {
       unsigned Arity = runtimeBuiltinArity(Builtin);
       if (Args.size() != Arity) {
-        error(Line, "builtin '" + Name + "' expects " +
-                        std::to_string(Arity) + " arguments");
+        error(Loc, "builtin '" + Name + "' expects " +
+                       std::to_string(Arity) + " arguments");
         return nullptr;
       }
       return lowerArgs(Args, 0, {}, [&](std::vector<VarId> ArgIds) {
@@ -1036,7 +1203,7 @@ private:
     // User function.
     auto FnIt = FnArity.find(Name);
     if (FnIt == FnArity.end()) {
-      error(Line, "unknown identifier '" + Name + "'");
+      error(Loc, "unknown identifier '" + Name + "'");
       return nullptr;
     }
     unsigned Arity = FnIt->second;
@@ -1107,7 +1274,8 @@ private:
       // Resolve provisional constructor/variable patterns up front so the
       // right-hand side sees its pattern variables.
       for (SPattern &P : const_cast<SMatchArm &>(Arm).Pats)
-        resolvePattern(P);
+        if (!resolvePattern(P, /*Diagnose=*/true))
+          return nullptr;
       for (const SPattern &P : Arm.Pats)
         collectPatternVars(P, Info.VarNames);
       // Elaborate the right-hand side with parameters in scope.
@@ -1125,6 +1293,19 @@ private:
       ArmBodies.push_back(std::move(Rhs));
       ArmParams.push_back(std::move(Params));
       Arms.push_back(std::move(Info));
+    }
+
+    // An arm whose whole pattern row is irrefutable hides every later arm.
+    for (size_t I = 0; I + 1 < E.Arms.size(); ++I) {
+      bool Irrefutable = true;
+      for (const SPattern &P : E.Arms[I].Pats)
+        Irrefutable &= isWildcardLike(P);
+      if (Irrefutable) {
+        DE.warning(E.Arms[I + 1].Loc,
+                   "unreachable match arm: a preceding pattern always "
+                   "matches");
+        break;
+      }
     }
 
     // Matrix rows.
@@ -1178,17 +1359,27 @@ private:
   }
 
   /// Resolves provisional Ctor patterns: names that are not declared
-  /// constructors become variables.
-  void resolvePattern(SPattern &P) {
+  /// constructors become variables. A non-constructor applied to
+  /// subpatterns is a user error, diagnosed (untrusted input must never
+  /// trip an assert) — subpatterns are dropped and the name binds.
+  bool resolvePattern(SPattern &P, bool Diagnose) {
     if (P.K != SPattern::Kind::Ctor)
-      return;
+      return true;
     if (!Ctors.count(P.Name)) {
-      assert(P.Subs.empty() && "application of non-constructor in pattern");
+      if (!P.Subs.empty()) {
+        if (Diagnose)
+          return error(P.Loc, "'" + P.Name +
+                                  "' is not a constructor but is applied "
+                                  "to patterns");
+        P.Subs.clear();
+      }
       P.K = SPattern::Kind::Var;
-      return;
+      return true;
     }
     for (SPattern &S : P.Subs)
-      resolvePattern(S);
+      if (!resolvePattern(S, Diagnose))
+        return false;
+    return true;
   }
 
   static bool isWildcardLike(const SPattern &P) {
@@ -1206,7 +1397,8 @@ private:
 
     for (Row &R : Rows)
       for (SPattern &P : R.Pats)
-        resolvePattern(P);
+        if (!resolvePattern(P, /*Diagnose=*/true))
+          return nullptr;
 
     // First row irrefutable -> bind its variables and jump to its arm.
     Row &First = Rows.front();
@@ -1235,7 +1427,8 @@ private:
         HasInt = true;
     }
     if (HasCtor && HasInt) {
-      Err = "mixed integer and constructor patterns in one column";
+      error(First.Pats[Col].Loc,
+            "mixed integer and constructor patterns in one column");
       return nullptr;
     }
     if (HasInt)
@@ -1283,6 +1476,13 @@ private:
         if (P.K == SPattern::Kind::Ctor) {
           if (Ctors.at(P.Name).Tag != Tag)
             continue;
+          if (P.Subs.size() != Info->Arity) {
+            error(P.Loc, "constructor '" + P.Name + "' expects " +
+                             std::to_string(Info->Arity) +
+                             " pattern arguments, got " +
+                             std::to_string(P.Subs.size()));
+            return nullptr;
+          }
           for (size_t C = 0; C != R.Pats.size(); ++C) {
             if (C == Col)
               NR.Pats.insert(NR.Pats.end(), P.Subs.begin(), P.Subs.end());
@@ -1438,7 +1638,8 @@ private:
   const std::unordered_map<std::string, unsigned> &InductiveSizes;
   std::unordered_map<std::string, unsigned> &FnArity;
   std::vector<SDef> &PendingDefs;
-  std::string &Err;
+  DiagnosticEngine &DE;
+  bool HadError = false;
 
   uint32_t NextVar = 0;
   uint32_t NextJoin = 0;
@@ -1449,37 +1650,55 @@ private:
 } // namespace
 
 LogicalResult lambda::parseMiniLean(std::string_view Source, Program &Out,
-                                    std::string &ErrorMessage) {
-  ErrorMessage.clear();
+                                    DiagnosticEngine &DE,
+                                    const ParseOptions &Opts) {
   std::vector<SDef> Defs;
   std::unordered_map<std::string, SCtorInfo> Ctors;
   std::unordered_map<std::string, unsigned> InductiveSizes;
-  Parser P(Source, ErrorMessage);
-  if (!P.parseProgram(Defs, Ctors, InductiveSizes))
-    return failure();
+  Parser P(Source, DE, Opts.MaxNestingDepth);
+  P.parseProgram(Defs, Ctors, InductiveSizes);
 
+  // Arity table over the surviving definitions; duplicates are diagnosed
+  // and the later definition dropped so elaboration can continue.
   std::unordered_map<std::string, unsigned> FnArity;
-  for (const SDef &D : Defs) {
+  std::vector<SDef> Unique;
+  for (SDef &D : Defs) {
     if (FnArity.count(D.Name)) {
-      ErrorMessage = "function '" + D.Name + "' defined twice";
-      return failure();
+      DE.error(D.Loc, "function '" + D.Name + "' defined twice");
+      continue;
     }
     FnArity[D.Name] = static_cast<unsigned>(D.Params.size());
+    Unique.push_back(std::move(D));
   }
 
   // Lambda lifting appends fresh definitions while elaborating, so the
-  // worklist grows; lifted functions are elaborated like any other.
+  // worklist grows; lifted functions are elaborated like any other. A
+  // failed definition is skipped (its diagnostics are already recorded)
+  // so every definition gets checked in one run.
   std::vector<SDef> Pending;
-  Elaborator E(Ctors, InductiveSizes, FnArity, Pending, ErrorMessage);
-  std::vector<SDef> Work = std::move(Defs);
-  for (size_t I = 0; I != Work.size(); ++I) {
+  Elaborator E(Ctors, InductiveSizes, FnArity, Pending, DE);
+  std::vector<SDef> Work = std::move(Unique);
+  for (size_t I = 0; I != Work.size() && !DE.errorLimitReached(); ++I) {
     Function F;
-    if (!E.elaborate(Work[I], F))
-      return failure();
-    Out.add(std::move(F));
-    for (SDef &L : Pending)
-      Work.push_back(std::move(L));
+    if (E.elaborate(Work[I], F)) {
+      Out.add(std::move(F));
+      for (SDef &L : Pending)
+        Work.push_back(std::move(L));
+    }
+    // Lifted defs of a failed elaboration are dropped: their bodies were
+    // cloned from the failing definition and would only cascade.
     Pending.clear();
   }
-  return success();
+  return DE.hasErrors() ? failure() : success();
+}
+
+LogicalResult lambda::parseMiniLean(std::string_view Source, Program &Out,
+                                    std::string &ErrorMessage) {
+  ErrorMessage.clear();
+  DiagnosticEngine DE;
+  DE.setSourceBuffer("input", Source);
+  LogicalResult R = parseMiniLean(Source, Out, DE);
+  if (failed(R))
+    ErrorMessage = DE.firstErrorString();
+  return R;
 }

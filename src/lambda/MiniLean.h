@@ -40,6 +40,7 @@
 #define LZ_LAMBDA_MINILEAN_H
 
 #include "lambda/LambdaIR.h"
+#include "support/Diagnostics.h"
 #include "support/LogicalResult.h"
 
 #include <string>
@@ -47,8 +48,26 @@
 
 namespace lz::lambda {
 
-/// Parses and elaborates \p Source into \p Out. On failure returns failure
-/// with a line-numbered message in \p ErrorMessage.
+/// Frontend hardening knobs for untrusted input.
+struct ParseOptions {
+  /// Cap on expression/pattern nesting (and operator-chain length, which
+  /// builds equally deep trees). Crossing it produces a clean "nesting too
+  /// deep" diagnostic instead of overflowing the stack in the parser,
+  /// elaborator or AST destructors.
+  unsigned MaxNestingDepth = 1000;
+};
+
+/// Parses and elaborates \p Source into \p Out, reporting (possibly many)
+/// diagnostics into \p DE: the parser recovers at `def`/`inductive`
+/// boundaries and expression sync tokens instead of stopping at the first
+/// error. Returns failure iff any error diagnostic was emitted; \p Out is
+/// only meaningful on success.
+LogicalResult parseMiniLean(std::string_view Source, Program &Out,
+                            DiagnosticEngine &DE,
+                            const ParseOptions &Opts = {});
+
+/// Legacy single-error API: on failure \p ErrorMessage holds the first
+/// error as "line L, col C: message".
 LogicalResult parseMiniLean(std::string_view Source, Program &Out,
                             std::string &ErrorMessage);
 

@@ -1,0 +1,267 @@
+//===- Generator.cpp - random well-typed MiniLean programs ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Generator.h"
+
+using namespace lz;
+using namespace lz::programs;
+
+namespace {
+
+/// Fixed helpers every generated program may lean on. The recursive ones
+/// (range, suml, applyN) are structurally terminating; everything else is
+/// non-recursive, so generated programs terminate by construction.
+const char *Prelude = R"(
+inductive L := | Nil | Cons h t
+def range n := if n <= 0 then Nil else Cons n (range (n - 1))
+def suml xs := match xs with | Nil => 0 | Cons h t => h + suml t end
+def take2 xs := match xs with
+  | Cons a (Cons b _) => a * 31 + b
+  | Cons a _ => a
+  | Nil => 7
+end
+def applyTwice f x := f (f x)
+def compose f g x := f (g x)
+def applyN n f x := if n <= 0 then x else applyN (n - 1) f (f x)
+)";
+
+} // namespace
+
+ProgramGenerator::ProgramGenerator(unsigned Seed, GeneratorOptions Opts)
+    : Rng(Seed), Opts(Opts) {}
+
+std::string ProgramGenerator::generate() {
+  std::string Src = Prelude;
+  if (Opts.ExtraInductives)
+    Src += genInductives();
+  unsigned Span = Opts.MaxFunctions >= Opts.MinFunctions
+                      ? Opts.MaxFunctions - Opts.MinFunctions + 1
+                      : 1;
+  unsigned NumFuncs = Opts.MinFunctions + pick(Span);
+  for (unsigned I = 0; I != NumFuncs; ++I) {
+    unsigned Arity = 1 + pick(3);
+    Funcs.push_back({"f" + std::to_string(I), Arity});
+    Src += "def f" + std::to_string(I);
+    Vars.clear();
+    for (unsigned A = 0; A != Arity; ++A) {
+      std::string P = "p" + std::to_string(A);
+      Src += " " + P;
+      Vars.push_back(P);
+    }
+    // Only earlier functions are callable: termination by construction.
+    CallableCount = I;
+    Src += " := " + genExpr(Opts.BodyDepth) + "\n";
+  }
+  Vars.clear();
+  CallableCount = NumFuncs;
+  Src += "def main := " + genExpr(Opts.MainDepth) + "\n";
+  return Src;
+}
+
+/// Declares 0-2 inductives `T<i> := | T<i>c0 ... | ...` whose constructor
+/// fields are all integers, so constructing and matching them stays within
+/// the integer-valued expression discipline.
+std::string ProgramGenerator::genInductives() {
+  std::string Src;
+  unsigned Count = pick(3);
+  for (unsigned I = 0; I != Count; ++I) {
+    InductiveInfo Ind;
+    Ind.Name = "T" + std::to_string(I);
+    std::string Decl = "inductive " + Ind.Name + " :=";
+    unsigned NumCtors = 2 + pick(2);
+    for (unsigned C = 0; C != NumCtors; ++C) {
+      CtorInfo Ctor;
+      Ctor.Name = Ind.Name + "c" + std::to_string(C);
+      Ctor.Arity = pick(3);
+      Decl += " | " + Ctor.Name;
+      for (unsigned A = 0; A != Ctor.Arity; ++A)
+        Decl += " x" + std::to_string(A);
+      Ind.Ctors.push_back(std::move(Ctor));
+    }
+    Src += Decl + "\n";
+    Inductives.push_back(std::move(Ind));
+  }
+  return Src;
+}
+
+std::string ProgramGenerator::genLiteral() {
+  switch (pick(6)) {
+  case 0:
+    return "0";
+  case 1:
+    return "1";
+  case 2: // large: forces the bignum escape path
+    return "4611686018427387000";
+  default:
+    return std::to_string(pick(1000));
+  }
+}
+
+std::string ProgramGenerator::genVar() {
+  if (Vars.empty())
+    return genLiteral();
+  return Vars[pick(static_cast<unsigned>(Vars.size()))];
+}
+
+std::string ProgramGenerator::genSmall() {
+  return pick(2) ? genLiteral() : genVar();
+}
+
+/// An int-to-int lambda over the current scope; captures a local when one
+/// is available so lambda lifting always has something to hoist.
+std::string ProgramGenerator::genLambda(unsigned Depth) {
+  std::string Param = "q" + std::to_string(NextLocal++);
+  Vars.push_back(Param);
+  std::string Body;
+  switch (pick(3)) {
+  case 0:
+    Body = Param + " + " + genSmall();
+    break;
+  case 1:
+    Body = Param + " * " + std::to_string(2 + pick(5)) + " + " + genSmall();
+    break;
+  default:
+    Body = genExpr(Depth > 1 ? Depth - 2 : 0);
+    break;
+  }
+  Vars.pop_back();
+  return "(fun " + Param + " => " + Body + ")";
+}
+
+/// Constructs a value of a random user inductive and immediately matches
+/// on it: every constructor gets an arm folding its integer fields, plus a
+/// trailing wildcard so the match stays exhaustive however tags shake out.
+std::string ProgramGenerator::genAdtMatch(unsigned Depth) {
+  const InductiveInfo &Ind =
+      Inductives[pick(static_cast<unsigned>(Inductives.size()))];
+  const CtorInfo &Built = Ind.Ctors[pick(static_cast<unsigned>(
+      Ind.Ctors.size()))];
+  std::string Value = Built.Name;
+  for (unsigned I = 0; I != Built.Arity; ++I)
+    Value += " (" + genExpr(Depth > 1 ? Depth - 2 : 0) + ")";
+  std::string M = "(match " + Value + " with";
+  for (const CtorInfo &C : Ind.Ctors) {
+    M += " | " + C.Name;
+    std::string Sum;
+    for (unsigned I = 0; I != C.Arity; ++I) {
+      std::string Field = "m" + std::to_string(I);
+      M += " " + Field;
+      Sum += (I ? " + " : "") + Field;
+    }
+    M += " => " + (Sum.empty() ? genSmall() : Sum);
+  }
+  M += " | _ => " + genSmall() + " end)";
+  return M;
+}
+
+std::string ProgramGenerator::genExpr(unsigned Depth) {
+  if (Depth == 0)
+    return genSmall();
+  switch (pick(14)) {
+  case 0:
+    return genLiteral();
+  case 1:
+    return genVar();
+  case 2: { // arithmetic
+    const char *Ops[] = {"+", "-", "*", "/", "%"};
+    return "(" + genExpr(Depth - 1) + " " + Ops[pick(5)] + " " +
+           genExpr(Depth - 1) + ")";
+  }
+  case 3: { // comparison (produces 0/1)
+    const char *Ops[] = {"==", "!=", "<", "<=", ">", ">="};
+    return "(" + genExpr(Depth - 1) + " " + Ops[pick(6)] + " " +
+           genExpr(Depth - 1) + ")";
+  }
+  case 4: // conditional
+    return "(if " + genExpr(Depth - 1) + " < " + genExpr(Depth - 1) +
+           " then " + genExpr(Depth - 1) + " else " + genExpr(Depth - 1) +
+           ")";
+  case 5: { // let binding (extends scope)
+    std::string Name = "v" + std::to_string(NextLocal++);
+    std::string Val = genExpr(Depth - 1);
+    Vars.push_back(Name);
+    std::string Body = genExpr(Depth - 1);
+    Vars.pop_back();
+    return "(let " + Name + " := " + Val + "; " + Body + ")";
+  }
+  case 6: // integer match with literal patterns (Figure 4 staging)
+    return "(match (" + genExpr(Depth - 1) +
+           ") % 4 with | 0 => " + genExpr(Depth - 1) +
+           " | 1 => " + genExpr(Depth - 1) +
+           " | _ => " + genExpr(Depth - 1) + " end)";
+  case 7: // list workout through the prelude
+    return pick(2) ? "(suml (range ((" + genExpr(Depth - 1) + ") % 15)))"
+                   : "(take2 (range ((" + genExpr(Depth - 1) +
+                         ") % 9)))";
+  case 8: { // call an earlier generated function (saturated)
+    if (CallableCount == 0)
+      return genVar();
+    const FuncInfo &F = Funcs[pick(CallableCount)];
+    std::string Call = "(" + F.Name;
+    for (unsigned I = 0; I != F.Arity; ++I)
+      Call += " (" + genExpr(Depth > 1 ? Depth - 2 : 0) + ")";
+    return Call + ")";
+  }
+  case 9: { // higher-order: partial application through applyTwice
+    // Find an earlier function of arity >= 2 to partially apply.
+    for (unsigned Try = 0; Try != 4 && CallableCount != 0; ++Try) {
+      const FuncInfo &F = Funcs[pick(CallableCount)];
+      if (F.Arity < 2)
+        continue;
+      std::string Closure = "(" + F.Name;
+      for (unsigned I = 0; I + 1 < F.Arity; ++I)
+        Closure += " (" + genSmall() + ")";
+      Closure += ")";
+      return "(applyTwice " + Closure + " (" + genSmall() + "))";
+    }
+    return genLiteral();
+  }
+  case 10: // nested constructor patterns over the prelude list
+    return "(match range ((" + genExpr(Depth - 1) +
+           ") % 6) with | Cons a (Cons b t) => a * 31 + b + suml t"
+           " | Cons a _ => a | Nil => " +
+           genExpr(Depth - 1) + " end)";
+  case 11: // lambda shapes: direct, composed, or let-bound closure
+    switch (pick(3)) {
+    case 0:
+      return "(applyTwice " + genLambda(Depth) + " (" + genSmall() + "))";
+    case 1:
+      return "(compose " + genLambda(Depth) + " " + genLambda(Depth) +
+             " (" + genSmall() + "))";
+    default: {
+      // The closure name is deliberately NOT visible to the argument
+      // expression: locals in Vars are integer-typed by discipline.
+      std::string Name = "g" + std::to_string(NextLocal++);
+      std::string Fn = genLambda(Depth);
+      std::string Arg = genSmall();
+      return "(let " + Name + " := " + Fn + "; " + Name + " (" + Arg +
+             "))";
+    }
+    }
+  case 12: // user inductive construct-then-match
+    if (!Inductives.empty())
+      return genAdtMatch(Depth);
+    return genSmall();
+  case 13: { // pap through let: under-saturate an earlier function
+    for (unsigned Try = 0; Try != 4 && CallableCount != 0; ++Try) {
+      const FuncInfo &F = Funcs[pick(CallableCount)];
+      if (F.Arity < 2)
+        continue;
+      std::string Name = "h" + std::to_string(NextLocal++);
+      std::string Bind = "(let " + Name + " := " + F.Name;
+      Bind += " (" + genSmall() + ")"; // apply first arg only
+      Bind += "; " + Name;
+      for (unsigned I = 1; I != F.Arity; ++I)
+        Bind += " (" + genSmall() + ")";
+      return Bind + ")";
+    }
+    return "(applyN ((" + genExpr(Depth - 1) + ") % 5) " +
+           genLambda(Depth) + " (" + genSmall() + "))";
+  }
+  }
+  return genLiteral();
+}

@@ -1,0 +1,118 @@
+//===- Diagnostics.cpp - source diagnostics engine -----------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/OStream.h"
+
+using namespace lz;
+
+const char *lz::severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  case Severity::Remark:
+    return "remark";
+  }
+  return "error";
+}
+
+Diagnostic &Diagnostic::note(SourceLoc L, std::string Msg) {
+  Notes.emplace_back(Severity::Note, L, std::move(Msg));
+  return *this;
+}
+
+Diagnostic &DiagnosticEngine::report(Severity Sev, SourceLoc Loc,
+                                     std::string Message) {
+  if (Sev == Severity::Error) {
+    if (errorLimitReached()) {
+      if (!TruncationNoted) {
+        TruncationNoted = true;
+        Diags.emplace_back(Severity::Note, SourceLoc(),
+                           "too many errors emitted, stopping now "
+                           "(--max-errors=" +
+                               std::to_string(MaxErrors) + ")");
+        if (TheHandler)
+          TheHandler(Diags.back());
+      }
+      Discard = Diagnostic(Sev, Loc, std::move(Message));
+      return Discard;
+    }
+    ++NumErrors;
+  } else if (Sev == Severity::Warning) {
+    ++NumWarnings;
+  }
+  Diags.emplace_back(Sev, Loc, std::move(Message));
+  if (TheHandler)
+    TheHandler(Diags.back());
+  return Diags.back();
+}
+
+void DiagnosticEngine::renderDiagnostic(const Diagnostic &D,
+                                        OStream &OS) const {
+  OS << BufferName;
+  if (D.Loc.isValid())
+    OS << ':' << D.Loc.Line << ':' << D.Loc.Col;
+  OS << ": " << severityName(D.Sev) << ": " << D.Message << '\n';
+
+  // Source snippet with caret, when we have both a buffer and a location.
+  if (D.Loc.isValid() && !Buffer.empty()) {
+    // Find the start of line D.Loc.Line (1-based).
+    size_t Pos = 0;
+    for (int L = 1; L < D.Loc.Line && Pos < Buffer.size(); ++L) {
+      size_t NL = Buffer.find('\n', Pos);
+      if (NL == std::string_view::npos) {
+        Pos = Buffer.size();
+        break;
+      }
+      Pos = NL + 1;
+    }
+    if (Pos <= Buffer.size()) {
+      size_t End = Buffer.find('\n', Pos);
+      if (End == std::string_view::npos)
+        End = Buffer.size();
+      std::string_view LineText = Buffer.substr(Pos, End - Pos);
+      OS << "  " << LineText << '\n';
+      // Caret column, clamped into the line (errors at EOF point one past
+      // the last character). Tabs render as-is above, so advance the caret
+      // pad with the same characters to keep it aligned.
+      size_t Col = D.Loc.Col > 0 ? static_cast<size_t>(D.Loc.Col) - 1 : 0;
+      if (Col > LineText.size())
+        Col = LineText.size();
+      OS << "  ";
+      for (size_t I = 0; I != Col; ++I)
+        OS << (LineText[I] == '\t' ? '\t' : ' ');
+      OS << "^\n";
+    }
+  }
+
+  for (const Diagnostic &N : D.Notes)
+    renderDiagnostic(N, OS);
+}
+
+void DiagnosticEngine::render(OStream &OS) const {
+  for (const Diagnostic &D : Diags)
+    renderDiagnostic(D, OS);
+}
+
+std::string DiagnosticEngine::firstErrorString() const {
+  for (const Diagnostic &D : Diags) {
+    if (D.Sev != Severity::Error)
+      continue;
+    std::string S;
+    if (D.Loc.isValid()) {
+      S = "line " + std::to_string(D.Loc.Line) + ", col " +
+          std::to_string(D.Loc.Col) + ": ";
+    }
+    return S + D.Message;
+  }
+  return "";
+}

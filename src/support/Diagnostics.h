@@ -1,0 +1,162 @@
+//===- Diagnostics.h - source diagnostics engine ----------------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostics subsystem shared by every untrusted-input surface (the
+/// MiniLean frontend, the textual IR parser, the lz-opt driver's verifier
+/// reporting). A DiagnosticEngine collects severity-tagged, source-located
+/// diagnostics — many per run, so error-resilient parsers can keep going —
+/// and renders them clang-style with a source snippet and caret:
+///
+///   prog.ml:3:13: error: unknown identifier 'foo'
+///     def main := foo 1
+///                 ^
+///
+/// An error cap (--max-errors, default 20) stops runaway cascades: once
+/// reached, further errors are dropped and a single "too many errors"
+/// note is appended. Parsers poll errorLimitReached() to abandon work.
+/// A handler callback observes every diagnostic as it is reported (tests
+/// use this to assert counts and locations without string matching).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_SUPPORT_DIAGNOSTICS_H
+#define LZ_SUPPORT_DIAGNOSTICS_H
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lz {
+
+class OStream;
+
+/// A 1-based line/column source position. Line 0 means "no location"
+/// (engine-level diagnostics such as verifier failures).
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(int Line, int Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line > 0; }
+};
+
+enum class Severity {
+  Error,
+  Warning,
+  Note,   ///< attached to a parent diagnostic, never reported standalone
+  Remark, ///< informational (optimization reports etc.)
+};
+
+/// Returns "error", "warning", "note" or "remark".
+const char *severityName(Severity S);
+
+/// One reported diagnostic plus its attached notes.
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  SourceLoc Loc;
+  std::string Message;
+  std::vector<Diagnostic> Notes;
+
+  Diagnostic() = default;
+  Diagnostic(Severity Sev, SourceLoc Loc, std::string Message)
+      : Sev(Sev), Loc(Loc), Message(std::move(Message)) {}
+
+  /// Attaches a note to this diagnostic; returns *this for chaining.
+  Diagnostic &note(SourceLoc L, std::string Msg);
+  Diagnostic &note(std::string Msg) { return note(SourceLoc(), std::move(Msg)); }
+};
+
+class DiagnosticEngine {
+public:
+  /// Called for each reported (non-suppressed) diagnostic. Notes attached
+  /// after report() are visible through getDiagnostics(), not the callback.
+  using Handler = std::function<void(const Diagnostic &)>;
+
+  DiagnosticEngine() = default;
+
+  /// Attaches the source text used for snippet/caret rendering. \p Name
+  /// prefixes every rendered location ("prog.ml:3:7: ..."). The buffer must
+  /// outlive the engine's render calls.
+  void setSourceBuffer(std::string_view Name, std::string_view Source) {
+    BufferName = std::string(Name);
+    Buffer = Source;
+  }
+
+  const std::string &getBufferName() const { return BufferName; }
+
+  /// Caps stored/reported *errors* (warnings and remarks are uncapped).
+  /// 0 means unlimited.
+  void setMaxErrors(unsigned N) { MaxErrors = N; }
+  unsigned getMaxErrors() const { return MaxErrors; }
+
+  void setHandler(Handler H) { TheHandler = std::move(H); }
+
+  /// Reports a diagnostic. Returns a reference valid until the next
+  /// report() call, for attaching notes. Errors past the cap are dropped
+  /// (a single "too many errors" note is recorded the first time); the
+  /// returned reference then targets a discard slot.
+  Diagnostic &report(Severity Sev, SourceLoc Loc, std::string Message);
+
+  Diagnostic &error(SourceLoc Loc, std::string Message) {
+    return report(Severity::Error, Loc, std::move(Message));
+  }
+  Diagnostic &warning(SourceLoc Loc, std::string Message) {
+    return report(Severity::Warning, Loc, std::move(Message));
+  }
+  Diagnostic &remark(SourceLoc Loc, std::string Message) {
+    return report(Severity::Remark, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned getNumErrors() const { return NumErrors; }
+  unsigned getNumWarnings() const { return NumWarnings; }
+
+  /// True once the error cap was hit; resilient parsers stop parsing.
+  bool errorLimitReached() const {
+    return MaxErrors != 0 && NumErrors >= MaxErrors;
+  }
+
+  const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+
+  /// Renders every stored diagnostic (with snippet/caret when a source
+  /// buffer is attached) to \p OS.
+  void render(OStream &OS) const;
+
+  /// Renders one diagnostic (and its notes).
+  void renderDiagnostic(const Diagnostic &D, OStream &OS) const;
+
+  /// First error formatted as "line L, col C: message" — the legacy
+  /// single-error string the pre-engine APIs exposed.
+  std::string firstErrorString() const;
+
+  /// Drops all stored diagnostics and resets counters (the cap, handler
+  /// and source buffer stay).
+  void clear() {
+    Diags.clear();
+    NumErrors = NumWarnings = 0;
+    TruncationNoted = false;
+  }
+
+private:
+  std::string BufferName = "input";
+  std::string_view Buffer;
+  std::vector<Diagnostic> Diags;
+  Diagnostic Discard;
+  Handler TheHandler;
+  unsigned MaxErrors = 20;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+  bool TruncationNoted = false;
+};
+
+} // namespace lz
+
+#endif // LZ_SUPPORT_DIAGNOSTICS_H

@@ -12,17 +12,17 @@
 /// corpus this is the reproduction's stand-in for LEAN's 648-test suite
 /// (Section V-A).
 ///
-/// Termination by construction: generated functions may only call
-/// functions defined before them; the only recursion lives in a fixed,
-/// structurally terminating prelude.
+/// The grammar lives in programs/Generator.{h,cpp} and is shared with the
+/// standalone lz-fuzz driver, which runs the same property over many more
+/// seeds and reduces failures.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
+#include "programs/Generator.h"
 
 #include <gtest/gtest.h>
 
-#include <random>
 #include <string>
 
 using namespace lz;
@@ -30,151 +30,10 @@ using namespace lz::driver;
 
 namespace {
 
-const char *Prelude = R"(
-inductive L := | Nil | Cons h t
-def range n := if n <= 0 then Nil else Cons n (range (n - 1))
-def suml xs := match xs with | Nil => 0 | Cons h t => h + suml t end
-def take2 xs := match xs with
-  | Cons a (Cons b _) => a * 31 + b
-  | Cons a _ => a
-  | Nil => 7
-end
-def applyTwice f x := f (f x)
-)";
-
-/// Grammar-directed random expression generator. All expressions are
-/// integer-valued; lists flow only through the prelude helpers.
-class ProgramGenerator {
-public:
-  explicit ProgramGenerator(unsigned Seed) : Rng(Seed) {}
-
-  std::string generate() {
-    std::string Src = Prelude;
-    unsigned NumFuncs = 2 + Rng() % 4;
-    for (unsigned I = 0; I != NumFuncs; ++I) {
-      unsigned Arity = 1 + Rng() % 3;
-      Funcs.push_back({"f" + std::to_string(I), Arity});
-      Src += "def f" + std::to_string(I);
-      Vars.clear();
-      for (unsigned A = 0; A != Arity; ++A) {
-        std::string P = "p" + std::to_string(A);
-        Src += " " + P;
-        Vars.push_back(P);
-      }
-      // Only earlier functions are callable: termination by construction.
-      CallableCount = I;
-      Src += " := " + genExpr(3) + "\n";
-    }
-    Vars.clear();
-    CallableCount = NumFuncs;
-    Src += "def main := " + genExpr(4) + "\n";
-    return Src;
-  }
-
-private:
-  struct FuncInfo {
-    std::string Name;
-    unsigned Arity;
-  };
-
-  unsigned pick(unsigned N) { return Rng() % N; }
-
-  std::string genLiteral() {
-    switch (pick(6)) {
-    case 0:
-      return "0";
-    case 1:
-      return "1";
-    case 2: // large: forces the bignum escape path
-      return "4611686018427387000";
-    default:
-      return std::to_string(pick(1000));
-    }
-  }
-
-  std::string genVar() {
-    if (Vars.empty())
-      return genLiteral();
-    return Vars[pick(static_cast<unsigned>(Vars.size()))];
-  }
-
-  std::string genExpr(unsigned Depth) {
-    if (Depth == 0)
-      return pick(2) ? genLiteral() : genVar();
-    switch (pick(10)) {
-    case 0:
-      return genLiteral();
-    case 1:
-      return genVar();
-    case 2: { // arithmetic
-      const char *Ops[] = {"+", "-", "*", "/", "%"};
-      return "(" + genExpr(Depth - 1) + " " + Ops[pick(5)] + " " +
-             genExpr(Depth - 1) + ")";
-    }
-    case 3: { // comparison (produces 0/1)
-      const char *Ops[] = {"==", "!=", "<", "<=", ">", ">="};
-      return "(" + genExpr(Depth - 1) + " " + Ops[pick(6)] + " " +
-             genExpr(Depth - 1) + ")";
-    }
-    case 4: // conditional
-      return "(if " + genExpr(Depth - 1) + " < " + genExpr(Depth - 1) +
-             " then " + genExpr(Depth - 1) + " else " + genExpr(Depth - 1) +
-             ")";
-    case 5: { // let binding (extends scope)
-      std::string Name = "v" + std::to_string(NextLocal++);
-      std::string Val = genExpr(Depth - 1);
-      Vars.push_back(Name);
-      std::string Body = genExpr(Depth - 1);
-      Vars.pop_back();
-      return "(let " + Name + " := " + Val + "; " + Body + ")";
-    }
-    case 6: // integer match with literal patterns (Figure 4 staging)
-      return "(match (" + genExpr(Depth - 1) +
-             ") % 4 with | 0 => " + genExpr(Depth - 1) +
-             " | 1 => " + genExpr(Depth - 1) +
-             " | _ => " + genExpr(Depth - 1) + " end)";
-    case 7: // list workout through the prelude
-      return pick(2) ? "(suml (range ((" + genExpr(Depth - 1) + ") % 15)))"
-                     : "(take2 (range ((" + genExpr(Depth - 1) +
-                           ") % 9)))";
-    case 8: { // call an earlier generated function (saturated)
-      if (CallableCount == 0)
-        return genVar();
-      const FuncInfo &F = Funcs[pick(CallableCount)];
-      std::string Call = "(" + F.Name;
-      for (unsigned I = 0; I != F.Arity; ++I)
-        Call += " (" + genExpr(Depth > 1 ? Depth - 2 : 0) + ")";
-      return Call + ")";
-    }
-    case 9: { // higher-order: partial application through applyTwice
-      // Find an earlier function of arity >= 2 to partially apply.
-      for (unsigned Try = 0; Try != 4 && CallableCount != 0; ++Try) {
-        const FuncInfo &F = Funcs[pick(CallableCount)];
-        if (F.Arity < 2)
-          continue;
-        std::string Closure = "(" + F.Name;
-        for (unsigned I = 0; I + 1 < F.Arity; ++I)
-          Closure += " (" + genExpr(0) + ")";
-        Closure += ")";
-        return "(applyTwice " + Closure + " (" + genExpr(0) + "))";
-      }
-      return genLiteral();
-    }
-    }
-    return genLiteral();
-  }
-
-  std::mt19937 Rng;
-  std::vector<FuncInfo> Funcs;
-  std::vector<std::string> Vars;
-  unsigned CallableCount = 0;
-  unsigned NextLocal = 0;
-};
-
 class FuzzDifferentialTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(FuzzDifferentialTest, AllPipelinesMatchOracle) {
-  ProgramGenerator Gen(GetParam() * 2654435761u + 17);
+  programs::ProgramGenerator Gen(GetParam() * 2654435761u + 17);
   std::string Source = Gen.generate();
 
   lambda::Program P;

@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 using namespace lz;
 
 namespace {
@@ -209,6 +211,140 @@ TEST(ParserErrorTest, FirstErrorWins) {
                                        "}) : () -> ()");
   EXPECT_NE(Error.find("nosuch.op"), std::string::npos) << Error;
   EXPECT_EQ(Error.find("alsonot.op"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Error-resilient parsing (DiagnosticEngine API)
+//===----------------------------------------------------------------------===//
+
+/// Engine-based parse expecting failure; returns the error diagnostics.
+std::vector<Diagnostic> collectIRErrors(const std::string &Source) {
+  Context Ctx;
+  registerAllDialects(Ctx);
+  DiagnosticEngine DE;
+  DE.setSourceBuffer("test", Source);
+  Operation *Op = parseSourceString(Source, Ctx, DE);
+  EXPECT_EQ(Op, nullptr) << "expected parse failure for:\n" << Source;
+  if (Op)
+    Op->destroy();
+  std::vector<Diagnostic> Errors;
+  for (const Diagnostic &D : DE.getDiagnostics())
+    if (D.Sev == Severity::Error)
+      Errors.push_back(D);
+  return Errors;
+}
+
+TEST(ParserRecovery, MultipleBadOpsAllReported) {
+  auto Errors = collectIRErrors(
+      "\"builtin.module\"() ({\n^b0:\n"
+      "\"nosuch.op\"() : () -> ()\n"
+      "%0 = \"lp.int\"() {value = 1 : i64} : () -> (!lp.t)\n"
+      "\"alsonot.op\"() : () -> ()\n"
+      "}) : () -> ()");
+  ASSERT_GE(Errors.size(), 2u);
+  EXPECT_NE(Errors[0].Message.find("nosuch.op"), std::string::npos);
+  EXPECT_EQ(Errors[0].Loc.Line, 3);
+  bool SawSecond = false;
+  for (const Diagnostic &D : Errors)
+    SawSecond |= D.Message.find("alsonot.op") != std::string::npos;
+  EXPECT_TRUE(SawSecond);
+}
+
+TEST(ParserRecovery, ValuesFromRecoveredTextResolve) {
+  // The bad op is skipped; the op after it still sees %0 and parses far
+  // enough to produce its own diagnostic-free text. The run still fails
+  // overall (one error), but only one error is reported — no cascade of
+  // "undefined value" noise from the skipped region.
+  auto Errors = collectIRErrors(
+      "\"builtin.module\"() ({\n^b0:\n"
+      "%0 = \"lp.int\"() {value = 1 : i64} : () -> (!lp.t)\n"
+      "\"nosuch.op\"(%0) : (!lp.t) -> ()\n"
+      "\"lp.return\"(%0) : (!lp.t) -> ()\n"
+      "}) : () -> ()");
+  EXPECT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].Message.find("nosuch.op"), std::string::npos);
+}
+
+TEST(ParserRecovery, AllPendingUndefinedValuesReported) {
+  auto Errors = collectIRErrors(
+      "\"builtin.module\"() ({\n^b0:\n"
+      "%0 = \"func.call\"(%8, %9) {callee = @f} : (!lp.t, !lp.t) -> (!lp.t)\n"
+      "}) : () -> ()");
+  unsigned Undefined = 0;
+  for (const Diagnostic &D : Errors)
+    Undefined += D.Message.find("undefined value") != std::string::npos;
+  EXPECT_EQ(Undefined, 2u);
+}
+
+TEST(ParserRecovery, UnknownBytesDoNotHang) {
+  // Regression: recovery after a failed op used to re-lex an unrecognized
+  // byte forever because the lexer returned an error token without
+  // consuming it.
+  // The \x83 bytes sit outside any string token, so recovery must lex
+  // (and discard) them on its way to the next op.
+  std::string Source = "\"builtin.module\"() ({\n^b0:\n"
+                       "\"nosuch.op\"() : () -> ()\n"
+                       "\x83\x83\x83\n"
+                       "%0 = \"lp.int\"() {value = 1 : i64} : () -> (!lp.t)\n"
+                       "}) : () -> ()";
+  auto Errors = collectIRErrors(Source);
+  EXPECT_GE(Errors.size(), 1u);
+}
+
+TEST(ParserRecovery, ErrorCapStopsCascade) {
+  std::string Source = "\"builtin.module\"() ({\n^b0:\n";
+  for (int I = 0; I != 40; ++I)
+    Source += "\"bad.op" + std::to_string(I) + "\"() : () -> ()\n";
+  Source += "}) : () -> ()";
+  Context Ctx;
+  registerAllDialects(Ctx);
+  DiagnosticEngine DE;
+  DE.setMaxErrors(5);
+  EXPECT_EQ(parseSourceString(Source, Ctx, DE), nullptr);
+  EXPECT_EQ(DE.getNumErrors(), 5u);
+  EXPECT_TRUE(DE.errorLimitReached());
+}
+
+//===----------------------------------------------------------------------===//
+// Recursion-depth hardening
+//===----------------------------------------------------------------------===//
+
+TEST(ParserDepth, DeeplyNestedRegionsDiagnosedNotCrashed) {
+  // Each level opens a region: unbounded recursion without the guard.
+  std::string Source;
+  const int Levels = 60;
+  for (int I = 0; I != Levels; ++I)
+    Source += "\"builtin.module\"() ({\n^b0:\n";
+  Source += "%0 = \"lp.int\"() {value = 1 : i64} : () -> (!lp.t)\n";
+  for (int I = 0; I != Levels; ++I)
+    Source += "}) : () -> ()\n";
+  Context Ctx;
+  registerAllDialects(Ctx);
+  DiagnosticEngine DE;
+  DE.setSourceBuffer("deep", Source);
+  IRParseOptions Opts;
+  Opts.MaxNestingDepth = 30;
+  EXPECT_EQ(parseSourceString(Source, Ctx, DE, Opts), nullptr);
+  bool SawDepth = false;
+  for (const Diagnostic &D : DE.getDiagnostics())
+    SawDepth |= D.Message.find("nesting too deep") != std::string::npos;
+  EXPECT_TRUE(SawDepth);
+}
+
+TEST(ParserDepth, ShallowInputUnaffectedByGuard) {
+  Context Ctx;
+  registerAllDialects(Ctx);
+  DiagnosticEngine DE;
+  IRParseOptions Opts;
+  Opts.MaxNestingDepth = 30;
+  Operation *M = parseSourceString(
+      "\"builtin.module\"() ({\n^b0:\n"
+      "%0 = \"lp.int\"() {value = 1 : i64} : () -> (!lp.t)\n"
+      "}) : () -> ()",
+      Ctx, DE, Opts);
+  ASSERT_NE(M, nullptr);
+  OwningOpRef Owner(M);
+  EXPECT_FALSE(DE.hasErrors());
 }
 
 TEST(ParserErrorTest, GoodInputStillParses) {

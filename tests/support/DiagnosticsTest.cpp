@@ -1,0 +1,177 @@
+//===- DiagnosticsTest.cpp - diagnostics engine unit tests ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+
+namespace {
+
+std::string renderAll(const DiagnosticEngine &DE) {
+  std::string Out;
+  StringOStream OS(Out);
+  DE.render(OS);
+  return Out;
+}
+
+TEST(Diagnostics, CountsBySeverity) {
+  DiagnosticEngine DE;
+  EXPECT_FALSE(DE.hasErrors());
+  DE.error(SourceLoc(1, 1), "e1");
+  DE.warning(SourceLoc(2, 1), "w1");
+  DE.remark(SourceLoc(3, 1), "r1");
+  DE.error(SourceLoc(4, 1), "e2");
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_EQ(DE.getNumErrors(), 2u);
+  EXPECT_EQ(DE.getNumWarnings(), 1u);
+  EXPECT_EQ(DE.getDiagnostics().size(), 4u);
+}
+
+TEST(Diagnostics, WarningsAloneAreNotErrors) {
+  DiagnosticEngine DE;
+  DE.warning(SourceLoc(1, 1), "w");
+  DE.remark(SourceLoc(), "r");
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_FALSE(DE.errorLimitReached());
+}
+
+TEST(Diagnostics, RenderFormatWithCaret) {
+  DiagnosticEngine DE;
+  DE.setSourceBuffer("prog.ml", "def one := 1\ndef two := bogus\n");
+  DE.error(SourceLoc(2, 12), "unknown identifier 'bogus'");
+  EXPECT_EQ(renderAll(DE), "prog.ml:2:12: error: unknown identifier 'bogus'\n"
+                           "  def two := bogus\n"
+                           "             ^\n");
+}
+
+TEST(Diagnostics, RenderWithoutLocationSkipsSnippet) {
+  DiagnosticEngine DE;
+  DE.setSourceBuffer("m.lz", "text");
+  DE.error(SourceLoc(), "verifier: op has no parent");
+  EXPECT_EQ(renderAll(DE), "m.lz: error: verifier: op has no parent\n");
+}
+
+TEST(Diagnostics, CaretClampsPastEndOfLine) {
+  // Errors at EOF blame one past the last character; the caret must not
+  // run off the snippet.
+  DiagnosticEngine DE;
+  DE.setSourceBuffer("f", "ab");
+  DE.error(SourceLoc(1, 9), "unexpected end of input");
+  // The caret clamps to one past the line's last character (column 3).
+  EXPECT_EQ(renderAll(DE), "f:1:9: error: unexpected end of input\n"
+                           "  ab\n"
+                           "    ^\n");
+}
+
+TEST(Diagnostics, NotesRenderAfterParent) {
+  DiagnosticEngine DE;
+  DE.setSourceBuffer("f", "a\nb\n");
+  DE.error(SourceLoc(2, 1), "redefined").note(SourceLoc(1, 1),
+                                              "previous definition here");
+  std::string Out = renderAll(DE);
+  EXPECT_NE(Out.find("f:2:1: error: redefined"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("f:1:1: note: previous definition here"),
+            std::string::npos)
+      << Out;
+  EXPECT_LT(Out.find("error:"), Out.find("note:"));
+}
+
+TEST(Diagnostics, HandlerObservesEachDiagnostic) {
+  DiagnosticEngine DE;
+  std::vector<std::string> Seen;
+  DE.setHandler([&](const Diagnostic &D) { Seen.push_back(D.Message); });
+  DE.error(SourceLoc(1, 1), "first");
+  DE.warning(SourceLoc(2, 2), "second");
+  ASSERT_EQ(Seen.size(), 2u);
+  EXPECT_EQ(Seen[0], "first");
+  EXPECT_EQ(Seen[1], "second");
+}
+
+TEST(Diagnostics, MaxErrorsCapWithTruncationNote) {
+  DiagnosticEngine DE;
+  DE.setMaxErrors(2);
+  unsigned HandlerCalls = 0;
+  DE.setHandler([&](const Diagnostic &) { ++HandlerCalls; });
+  DE.error(SourceLoc(1, 1), "e1");
+  EXPECT_FALSE(DE.errorLimitReached());
+  DE.error(SourceLoc(2, 1), "e2");
+  EXPECT_TRUE(DE.errorLimitReached());
+  DE.error(SourceLoc(3, 1), "e3");
+  DE.error(SourceLoc(4, 1), "e4");
+
+  // Two real errors, then exactly one truncation note; e3/e4 are dropped.
+  EXPECT_EQ(DE.getNumErrors(), 2u);
+  ASSERT_EQ(DE.getDiagnostics().size(), 3u);
+  EXPECT_EQ(DE.getDiagnostics()[2].Sev, Severity::Note);
+  EXPECT_NE(DE.getDiagnostics()[2].Message.find("--max-errors=2"),
+            std::string::npos);
+  EXPECT_EQ(HandlerCalls, 3u);
+}
+
+TEST(Diagnostics, ZeroMaxErrorsIsUnlimited) {
+  DiagnosticEngine DE;
+  DE.setMaxErrors(0);
+  for (int I = 0; I != 100; ++I)
+    DE.error(SourceLoc(1, 1), "e");
+  EXPECT_EQ(DE.getNumErrors(), 100u);
+  EXPECT_FALSE(DE.errorLimitReached());
+}
+
+TEST(Diagnostics, WarningsBypassTheCap) {
+  DiagnosticEngine DE;
+  DE.setMaxErrors(1);
+  DE.error(SourceLoc(1, 1), "e");
+  DE.warning(SourceLoc(2, 1), "w1");
+  DE.warning(SourceLoc(3, 1), "w2");
+  EXPECT_EQ(DE.getNumWarnings(), 2u);
+  // error + two warnings, no truncation note (no error was dropped).
+  EXPECT_EQ(DE.getDiagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, FirstErrorStringSkipsWarnings) {
+  DiagnosticEngine DE;
+  DE.warning(SourceLoc(1, 1), "w");
+  DE.error(SourceLoc(3, 7), "the problem");
+  EXPECT_EQ(DE.firstErrorString(), "line 3, col 7: the problem");
+}
+
+TEST(Diagnostics, FirstErrorStringWithoutLocation) {
+  DiagnosticEngine DE;
+  DE.error(SourceLoc(), "engine-level failure");
+  EXPECT_EQ(DE.firstErrorString(), "engine-level failure");
+}
+
+TEST(Diagnostics, ClearResetsCountersButKeepsConfig) {
+  DiagnosticEngine DE;
+  DE.setMaxErrors(1);
+  DE.error(SourceLoc(1, 1), "e1");
+  DE.error(SourceLoc(2, 1), "dropped");
+  EXPECT_TRUE(DE.errorLimitReached());
+  DE.clear();
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_TRUE(DE.getDiagnostics().empty());
+  // The cap survives clear() and the truncation note can fire again.
+  DE.error(SourceLoc(1, 1), "e1");
+  DE.error(SourceLoc(2, 1), "dropped");
+  EXPECT_EQ(DE.getNumErrors(), 1u);
+  EXPECT_EQ(DE.getDiagnostics().size(), 2u); // error + fresh truncation note
+}
+
+TEST(Diagnostics, TabsKeepCaretAligned) {
+  DiagnosticEngine DE;
+  DE.setSourceBuffer("f", "\tdef x := y\n");
+  DE.error(SourceLoc(1, 12), "unknown identifier 'y'");
+  std::string Out = renderAll(DE);
+  // The caret pad replays the tab so the caret lands under 'y' in any
+  // tab-width rendering.
+  EXPECT_NE(Out.find("\n  \t"), std::string::npos) << Out;
+}
+
+} // namespace

@@ -1,0 +1,398 @@
+//===- lz-fuzz.cpp - fuzzing driver for the lambda-ssa frontends ---------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two fuzzing modes over the untrusted-input surface of the compiler:
+///
+///   lz-fuzz --gen N [--seed S]
+///     Generates N random, well-typed, terminating MiniLean programs
+///     (seeds S..S+N-1; the grammar lives in programs/Generator.h) and
+///     checks the central differential property for each: the reference
+///     interpreter and all five compilation pipelines agree on the
+///     result, every run is leak-free, and every VM run is fuel-bounded.
+///     The first failing seed is reported with its source and a greedily
+///     reduced reproducer, and is re-runnable with `--gen 1 --seed S`.
+///
+///   lz-fuzz --roundtrip PATH...
+///     Walks .lz files under each PATH. Every file is fed to both the IR
+///     parser and the MiniLean parser, which must either succeed or emit
+///     diagnostics — never crash. IR that parses must survive
+///     parse -> print -> parse with the second print byte-identical to
+///     the first (printer/parser fixpoint). Each file is additionally
+///     mutated (deterministic byte edits) and re-fed to both parsers,
+///     which again must diagnose rather than misbehave; run this mode
+///     under ASan/UBSan to give "misbehave" teeth.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "driver/Driver.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "lambda/MiniLean.h"
+#include "programs/Generator.h"
+#include "support/Diagnostics.h"
+#include "support/OStream.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lz;
+
+namespace {
+
+void printUsage() {
+  errs() << "usage:\n"
+            "  lz-fuzz --gen N [--seed S]   differential-fuzz N generated "
+            "programs\n"
+            "  lz-fuzz --roundtrip PATH...  parser robustness + print/parse "
+            "fixpoint\n"
+            "options:\n"
+            "  --seed S    first seed for --gen (default 0); a failing seed\n"
+            "              S reported by --gen is re-run with --gen 1 --seed "
+            "S\n";
+}
+
+//===----------------------------------------------------------------------===//
+// --gen: differential property over generated programs
+//===----------------------------------------------------------------------===//
+
+/// What broke, if anything. The reducer preserves the failure kind so a
+/// differential failure cannot "reduce" into an uninteresting parse error.
+enum class FailureKind { None, Parse, Oracle, Variant };
+
+struct CheckResult {
+  FailureKind Kind = FailureKind::None;
+  std::string Detail;
+};
+
+CheckResult checkProgram(const std::string &Source) {
+  lambda::Program P;
+  std::string Error;
+  if (!driver::parseSource(Source, P, Error))
+    return {FailureKind::Parse, Error};
+
+  driver::RunResult Oracle = driver::runOracle(P);
+  if (!Oracle.OK)
+    return {FailureKind::Oracle, Oracle.Error};
+
+  const lower::PipelineVariant Variants[] = {
+      lower::PipelineVariant::Leanc, lower::PipelineVariant::Full,
+      lower::PipelineVariant::SimpOnly, lower::PipelineVariant::RgnOnly,
+      lower::PipelineVariant::NoOpt};
+  // Generated programs terminate by construction; the fuel cap turns a
+  // nonterminating miscompile into a reported failure instead of a hang.
+  driver::VMOptions VMOpts;
+  VMOpts.FuelLimit = 500'000'000;
+  for (auto V : Variants) {
+    std::string Name = lower::pipelineVariantName(V);
+    driver::RunResult R = driver::runProgram(P, V, "main", VMOpts);
+    if (!R.OK)
+      return {FailureKind::Variant, Name + ": " + R.Error};
+    if (R.ResultDisplay != Oracle.ResultDisplay)
+      return {FailureKind::Variant, Name + ": got " + R.ResultDisplay +
+                                        ", oracle " + Oracle.ResultDisplay};
+    if (R.LiveObjects != 0)
+      return {FailureKind::Variant,
+              Name + ": leaked " + std::to_string(R.LiveObjects) + " objects"};
+  }
+  return {};
+}
+
+/// Greedy reducer: shrink a failing program while preserving the failure
+/// kind. Two phases run to a joint fixpoint under one evaluation budget:
+/// whole-line deletion (drops unused defs and prelude helpers), then
+/// replacement of parenthesized subexpressions with "0" / "1".
+class Reducer {
+public:
+  Reducer(FailureKind Kind, unsigned Budget = 1500)
+      : Kind(Kind), Budget(Budget) {}
+
+  std::string reduce(std::string Source) {
+    bool Changed = true;
+    while (Changed && Budget != 0) {
+      Changed = false;
+      Changed |= deleteLines(Source);
+      Changed |= shrinkParens(Source);
+    }
+    return Source;
+  }
+
+private:
+  bool stillFails(const std::string &Source) {
+    if (Budget == 0)
+      return false;
+    --Budget;
+    return checkProgram(Source).Kind == Kind;
+  }
+
+  bool deleteLines(std::string &Source) {
+    std::vector<std::string> Lines;
+    std::istringstream In(Source);
+    for (std::string L; std::getline(In, L);)
+      Lines.push_back(L);
+    bool Changed = false;
+    for (size_t I = 0; I < Lines.size() && Budget != 0;) {
+      std::string Candidate;
+      for (size_t J = 0; J != Lines.size(); ++J)
+        if (J != I)
+          Candidate += Lines[J] + "\n";
+      if (stillFails(Candidate)) {
+        Lines.erase(Lines.begin() + static_cast<ptrdiff_t>(I));
+        Changed = true;
+      } else {
+        ++I;
+      }
+    }
+    if (Changed) {
+      Source.clear();
+      for (const std::string &L : Lines)
+        Source += L + "\n";
+    }
+    return Changed;
+  }
+
+  bool shrinkParens(std::string &Source) {
+    bool Changed = false;
+    for (size_t I = 0; I < Source.size() && Budget != 0; ++I) {
+      if (Source[I] != '(')
+        continue;
+      int Depth = 0;
+      size_t End = std::string::npos;
+      for (size_t J = I; J != Source.size(); ++J) {
+        if (Source[J] == '(')
+          ++Depth;
+        else if (Source[J] == ')' && --Depth == 0) {
+          End = J;
+          break;
+        }
+      }
+      if (End == std::string::npos || End - I <= 1)
+        continue;
+      for (const char *Rep : {"0", "1"}) {
+        std::string Candidate = Source.substr(0, I) + Rep +
+                                Source.substr(End + 1);
+        if (stillFails(Candidate)) {
+          Source = std::move(Candidate);
+          Changed = true;
+          break;
+        }
+      }
+    }
+    return Changed;
+  }
+
+  FailureKind Kind;
+  unsigned Budget;
+};
+
+int runGen(unsigned Count, unsigned FirstSeed) {
+  for (unsigned I = 0; I != Count; ++I) {
+    unsigned Seed = FirstSeed + I;
+    programs::ProgramGenerator Gen(Seed * 2654435761u + 17);
+    std::string Source = Gen.generate();
+    CheckResult R = checkProgram(Source);
+    if (R.Kind == FailureKind::None)
+      continue;
+    errs() << "lz-fuzz: FAIL at seed " << Seed << ": " << R.Detail << "\n"
+           << "lz-fuzz: re-run with: lz-fuzz --gen 1 --seed " << Seed << "\n"
+           << "lz-fuzz: failing source:\n"
+           << Source << "\n";
+    std::string Reduced = Reducer(R.Kind).reduce(Source);
+    errs() << "lz-fuzz: reduced reproducer (" << R.Detail << "):\n"
+           << Reduced;
+    return 1;
+  }
+  outs() << "lz-fuzz: " << Count << " generated programs OK (seeds "
+         << FirstSeed << ".." << FirstSeed + Count - 1 << ")\n";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// --roundtrip: parser robustness and print/parse fixpoint
+//===----------------------------------------------------------------------===//
+
+struct RoundtripStats {
+  unsigned Files = 0;
+  unsigned IRParsed = 0;
+  unsigned Mutants = 0;
+  unsigned Failures = 0;
+};
+
+/// Feeds \p Source to both frontends. Parsers must diagnose or succeed —
+/// any crash surfaces directly (abort, sanitizer report). IR that parses
+/// must reach a print/parse fixpoint in one step.
+void exerciseParsers(const std::string &Name, const std::string &Source,
+                     RoundtripStats &Stats) {
+  if (std::getenv("LZ_FUZZ_DEBUG")) {
+    errs() << "lz-fuzz: testing " << Name << "\n";
+    std::ofstream("/tmp/lz-fuzz-last.bin", std::ios::binary) << Source;
+  }
+  {
+    Context Ctx;
+    registerAllDialects(Ctx);
+    DiagnosticEngine DE; // no handler: diagnostics collect silently
+    DE.setSourceBuffer(Name, Source);
+    if (Operation *Root = parseSourceString(Source, Ctx, DE)) {
+      OwningOpRef Owner(Root);
+      ++Stats.IRParsed;
+      std::string First;
+      {
+        StringOStream OS(First);
+        printOp(Owner.get(), OS);
+      }
+      Context Ctx2;
+      registerAllDialects(Ctx2);
+      DiagnosticEngine DE2;
+      DE2.setSourceBuffer(Name + " (reprinted)", First);
+      Operation *Again = parseSourceString(First, Ctx2, DE2);
+      if (!Again) {
+        ++Stats.Failures;
+        errs() << "lz-fuzz: " << Name
+               << ": printed IR fails to re-parse: " << DE2.firstErrorString()
+               << "\n";
+      } else {
+        OwningOpRef Owner2(Again);
+        std::string Second;
+        {
+          StringOStream OS(Second);
+          printOp(Owner2.get(), OS);
+        }
+        if (First != Second) {
+          ++Stats.Failures;
+          errs() << "lz-fuzz: " << Name
+                 << ": print -> parse -> print is not a fixpoint\n";
+        }
+      }
+    }
+  }
+  {
+    lambda::Program P;
+    DiagnosticEngine DE;
+    DE.setSourceBuffer(Name, Source);
+    (void)lambda::parseMiniLean(Source, P, DE);
+  }
+}
+
+/// Deterministic byte-level mutations: same file contents => same mutants,
+/// so a failure is reproducible by re-running on the same corpus.
+std::string mutate(const std::string &Source, std::mt19937 &Rng) {
+  std::string M = Source;
+  unsigned Edits = 1 + Rng() % 4;
+  for (unsigned E = 0; E != Edits && !M.empty(); ++E) {
+    size_t Pos = Rng() % M.size();
+    switch (Rng() % 4) {
+    case 0: // overwrite with an arbitrary byte
+      M[Pos] = static_cast<char>(Rng() % 256);
+      break;
+    case 1: // delete
+      M.erase(Pos, 1);
+      break;
+    case 2: // insert a byte drawn from the syntax's hot characters
+      M.insert(Pos, 1, "(){}%^\"|=>:def"[Rng() % 14]);
+      break;
+    default: // truncate (tests EOF handling mid-construct)
+      M.resize(Pos);
+      break;
+    }
+  }
+  return M;
+}
+
+int runRoundtrip(const std::vector<std::string> &Paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Files;
+  for (const std::string &Path : Paths) {
+    std::error_code EC;
+    if (fs::is_directory(Path, EC)) {
+      for (const auto &Entry : fs::recursive_directory_iterator(Path, EC))
+        if (Entry.is_regular_file() && Entry.path().extension() == ".lz")
+          Files.push_back(Entry.path().string());
+    } else if (fs::is_regular_file(Path, EC)) {
+      Files.push_back(Path);
+    } else {
+      errs() << "lz-fuzz: cannot open '" << Path << "'\n";
+      return 1;
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+  if (Files.empty()) {
+    errs() << "lz-fuzz: no .lz files found\n";
+    return 1;
+  }
+
+  RoundtripStats Stats;
+  for (const std::string &File : Files) {
+    std::ifstream In(File, std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Source = Buf.str();
+    ++Stats.Files;
+    exerciseParsers(File, Source, Stats);
+
+    // Seed from content, not the path, so results do not depend on where
+    // the corpus is checked out.
+    unsigned Hash = 2166136261u;
+    for (char C : Source)
+      Hash = (Hash ^ static_cast<unsigned char>(C)) * 16777619u;
+    std::mt19937 Rng(Hash);
+    for (unsigned I = 0; I != 8; ++I) {
+      std::string Mutant = mutate(Source, Rng);
+      ++Stats.Mutants;
+      exerciseParsers(File + " (mutant " + std::to_string(I) + ")", Mutant,
+                      Stats);
+    }
+  }
+
+  outs() << "lz-fuzz: " << Stats.Files << " files, " << Stats.IRParsed
+         << " parsed as IR, " << Stats.Mutants << " mutants, "
+         << Stats.Failures << " failures\n";
+  return Stats.Failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Gen = false, Roundtrip = false;
+  unsigned Count = 0, FirstSeed = 0;
+  std::vector<std::string> Paths;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--gen" && I + 1 < argc) {
+      Gen = true;
+      Count = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (Arg == "--seed" && I + 1 < argc) {
+      FirstSeed = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (Arg == "--roundtrip") {
+      Roundtrip = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      errs() << "lz-fuzz: unknown option '" << Arg << "'\n";
+      printUsage();
+      return 1;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Gen == Roundtrip || (Gen && Count == 0)) {
+    printUsage();
+    return 1;
+  }
+  if (Gen)
+    return runGen(Count, FirstSeed);
+  if (Paths.empty())
+    Paths.push_back("tests/filecheck");
+  return runRoundtrip(Paths);
+}

@@ -68,6 +68,8 @@ const char *const UsageText =
     "                        options above\n"
     "  --vm-dispatch=MODE    interpreter dispatch for --vm-profile:\n"
     "                        goto|switch (default: build default)\n"
+    "  --max-errors=N        stop after N error diagnostics (default 20,\n"
+    "                        0 = unlimited)\n"
     "  --verify-only         parse + verify, print 'ok'\n"
     "  --pass-timing         print a per-pass/per-stage wall-time report\n"
     "                        to stderr after the run\n"
@@ -98,6 +100,7 @@ int main(int argc, char **argv) {
   bool DumpBytecode = false;
   bool VMProfile = false;
   bool Fuse = true;
+  unsigned MaxErrors = 20;
   std::string VMDispatch;
   IRPrintConfig PrintConfig;
 
@@ -135,6 +138,9 @@ int main(int argc, char **argv) {
       Fuse = false;
     else if (Arg.rfind("--vm-dispatch=", 0) == 0)
       VMDispatch = Arg.substr(14);
+    else if (Arg.rfind("--max-errors=", 0) == 0)
+      MaxErrors = static_cast<unsigned>(
+          std::strtoul(Arg.c_str() + 13, nullptr, 10));
     else if (Arg == "--pass-timing")
       PassTiming = true;
     else if (Arg == "--pass-statistics")
@@ -179,6 +185,14 @@ int main(int argc, char **argv) {
   registerAllDialects(Ctx);
   OwningOpRef Owner;
 
+  // Diagnostics from both parsers and the post-parse verifier render
+  // clang-style to stderr as they are reported; any error diagnostic
+  // makes lz-opt exit 1 (warnings alone do not).
+  DiagnosticEngine DE;
+  DE.setSourceBuffer(std::string(Path) == "-" ? "<stdin>" : Path, Source);
+  DE.setMaxErrors(MaxErrors);
+  DE.setHandler([&DE](const Diagnostic &D) { DE.renderDiagnostic(D, errs()); });
+
   // Stage timing is always collected (a handful of clock reads); the
   // report only prints under --pass-timing.
   TimingManager TM;
@@ -186,13 +200,10 @@ int main(int argc, char **argv) {
 
   if (MiniLean) {
     lambda::Program P;
-    std::string Error;
     {
       TimingScope S = Total.nest("parse");
-      if (failed(lambda::parseMiniLean(Source, P, Error))) {
-        errs() << "parse error: " << Error << '\n';
+      if (failed(lambda::parseMiniLean(Source, P, DE)))
         return 1;
-      }
     }
     if (Simplify) {
       TimingScope S = Total.nest("simplify");
@@ -206,20 +217,25 @@ int main(int argc, char **argv) {
     Owner = lower::lowerLambdaToLp(P, Ctx);
   } else {
     TimingScope S = Total.nest("parse");
-    std::string Error;
-    Operation *Root = parseSourceString(Source, Ctx, Error);
-    if (!Root) {
-      errs() << "parse error: " << Error << '\n';
+    Operation *Root = parseSourceString(Source, Ctx, DE);
+    if (!Root)
       return 1;
-    }
     Owner = OwningOpRef(Root);
   }
 
-  if (failed(verify(Owner.get())))
-    return 1;
+  {
+    // Verifier failures on freshly parsed IR are diagnostics like any
+    // other, so malformed-but-parseable input cannot abort the driver.
+    std::vector<std::string> VerifyErrors;
+    if (failed(verify(Owner.get(), VerifyErrors))) {
+      for (const std::string &Message : VerifyErrors)
+        DE.error(SourceLoc(), "verifier: " + Message);
+      return 1;
+    }
+  }
   if (VerifyOnly) {
     outs() << "ok\n";
-    return 0;
+    return DE.hasErrors() ? 1 : 0;
   }
 
   PassManager PM;
@@ -316,7 +332,7 @@ int main(int argc, char **argv) {
       PM.printStatistics(errs());
     if (PassTiming)
       TM.print(errs());
-    return 0;
+    return DE.hasErrors() ? 1 : 0;
   }
 
   outs() << printToString(Owner.get());
@@ -329,5 +345,5 @@ int main(int argc, char **argv) {
     PM.printStatistics(errs());
   if (PassTiming)
     TM.print(errs());
-  return 0;
+  return DE.hasErrors() ? 1 : 0;
 }
