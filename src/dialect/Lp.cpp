@@ -11,6 +11,7 @@
 #include "dialect/Func.h"
 #include "ir/Module.h"
 #include "rewrite/Pattern.h"
+#include "runtime/Object.h"
 
 using namespace lz;
 using namespace lz::lp;
@@ -364,6 +365,17 @@ Operation *lz::lp::buildBigInt(OpBuilder &B, const BigInt &Value) {
   State.addAttribute("value", B.getContext().getBigIntAttr(Value));
   State.ResultTypes.push_back(B.getContext().getBoxType());
   return B.create(State);
+}
+
+bool lz::lp::constantAllocates(Operation *Op) {
+  std::string_view Name = Op->getName();
+  if (Name == "lp.bigint")
+    return true;
+  if (Name == "lp.int") {
+    int64_t V = Op->getAttrOfType<IntegerAttr>("value")->getValue();
+    return V < rt::MinSmallInt || V > rt::MaxSmallInt;
+  }
+  return false;
 }
 
 Operation *lz::lp::buildConstruct(OpBuilder &B, int64_t Tag,

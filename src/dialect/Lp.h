@@ -72,6 +72,13 @@ Operation *buildJoinPoint(OpBuilder &B, std::string_view Label,
 Operation *buildJump(OpBuilder &B, std::string_view Label,
                      std::span<Value *const> Args);
 
+/// True iff executing \p Op materializes a fresh heap cell per run:
+/// `lp.bigint` always, and `lp.int` whose value falls outside the 63-bit
+/// small-int boxing range. Such constants are Pure in the IR sense but
+/// must never be CSE'd once explicit reference counting is in effect —
+/// merging two of them leaves one allocation consumed by both use sites.
+bool constantAllocates(Operation *Op);
+
 /// Accessors.
 Region &getSwitchCaseRegion(Operation *SwitchOp, unsigned I);
 Region &getSwitchDefaultRegion(Operation *SwitchOp);

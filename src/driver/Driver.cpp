@@ -11,6 +11,7 @@
 #include "lambda/Interp.h"
 #include "lambda/MiniLean.h"
 #include "support/OStream.h"
+#include "validate/StageValidator.h"
 #include "vm/VM.h"
 
 using namespace lz;
@@ -63,6 +64,87 @@ RunResult lz::driver::runProgram(const lambda::Program &P,
                                  const VMOptions &VMOpts) {
   return runProgram(P, lower::PipelineOptions::forVariant(Variant), Entry,
                     VMOpts);
+}
+
+ValidatedRunResult lz::driver::runProgramValidated(
+    const lambda::Program &P, const lower::PipelineOptions &Opts,
+    std::string_view Entry, const VMOptions &VMOpts) {
+  ValidatedRunResult VR;
+  validate::EvalOptions EO;
+  EO.FuelLimit = VMOpts.FuelLimit;
+  validate::StageValidator SV(std::string(Entry), EO);
+
+  // Endpoint 0: the λpure reference interpreter. No RC semantics, so the
+  // leak comparison is masked for the pair it participates in.
+  {
+    RunResult O = runOracle(P, Entry);
+    validate::Observation Obs;
+    Obs.OK = O.OK;
+    Obs.ResultDisplay = O.ResultDisplay;
+    Obs.Output = O.Output;
+    Obs.HasRC = false;
+    SV.observeExternal("oracle", Obs);
+  }
+
+  lower::PipelineOptions VOpts = Opts;
+  VOpts.Validate = &SV;
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  lower::CompileResult CR = lower::compileProgram(P, Ctx, VOpts);
+  if (!CR.OK) {
+    VR.Run.Error = CR.Error;
+    VR.NumStages = static_cast<unsigned>(SV.getStages().size());
+    VR.StageReport = "compile failed: " + CR.Error;
+    return VR;
+  }
+  VR.Run.NumOps = CR.NumOps;
+
+  // Final endpoint: the VM over the emitted bytecode — unless the last
+  // stage already traps, because the VM turns traps into process aborts.
+  const validate::StageRecord *Last = SV.getLastStage();
+  if (Last && !Last->Obs.Trap.empty()) {
+    VR.Run.Error = "vm run skipped: final stage '" + Last->Name +
+                   "' traps (" + Last->Obs.Trap + ")";
+  } else {
+    rt::Runtime RT;
+    // Fuel exhaustion (and bugs this harness exists to find) can leave
+    // cells live; reclaim them so validation runs stay ASan-clean.
+    RT.setLeakTracking(true);
+    StringOStream Out(VR.Run.Output);
+    vm::VM Machine(CR.Prog, RT, &Out);
+    if (VMOpts.FuelLimit)
+      Machine.setFuel(VMOpts.FuelLimit);
+    rt::ObjRef Result = Machine.run(Entry, {});
+    VR.Run.Steps = Machine.getSteps();
+    validate::Observation Obs;
+    if (Machine.fuelExhausted()) {
+      VR.Run.Error = "vm: fuel exhausted after " +
+                     std::to_string(VR.Run.Steps) + " steps running '" +
+                     std::string(Entry) + "'";
+      Obs.FuelExhausted = true;
+    } else {
+      VR.Run.ResultDisplay = RT.toDisplayString(Result);
+      RT.dec(Result);
+      VR.Run.LiveObjects = RT.getLiveObjects();
+      VR.Run.TotalAllocations = RT.getTotalAllocations();
+      VR.Run.OK = true;
+      Obs.OK = true;
+      Obs.ResultDisplay = VR.Run.ResultDisplay;
+      Obs.Output = VR.Run.Output;
+      Obs.LiveObjects = VR.Run.LiveObjects;
+      Obs.TotalAllocations = VR.Run.TotalAllocations;
+      Obs.ClosureAllocs = Machine.getClosureAllocs();
+      Obs.GenericApplies = Machine.getGenericApplies();
+      Obs.Steps = VR.Run.Steps;
+    }
+    SV.observeExternal("vm", Obs);
+  }
+
+  VR.NumStages = static_cast<unsigned>(SV.getStages().size());
+  VR.StagesOK = SV.allAgree();
+  VR.StageReport = SV.report();
+  return VR;
 }
 
 RunResult lz::driver::runOracle(const lambda::Program &P,

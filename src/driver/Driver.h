@@ -16,6 +16,7 @@
 #define LZ_DRIVER_DRIVER_H
 
 #include "lower/Pipeline.h"
+#include "validate/Eval.h"
 
 #include <string>
 #include <string_view>
@@ -59,6 +60,29 @@ RunResult runProgram(const lambda::Program &P,
 
 /// Runs \p Entry under the reference interpreter (the oracle).
 RunResult runOracle(const lambda::Program &P, std::string_view Entry = "main");
+
+/// Result of a translation-validated run: the final VM execution plus the
+/// verdict of the per-stage differential (validate/StageValidator.h).
+struct ValidatedRunResult {
+  /// The end-to-end execution, as runProgram would return it. When the
+  /// final pipeline stage traps under the evaluator, the VM run is
+  /// skipped (the VM aborts the process on traps) and Run.Error says so.
+  RunResult Run;
+  /// True when oracle, every pipeline stage, and the VM all agree.
+  bool StagesOK = false;
+  /// The agreement summary or full divergence report.
+  std::string StageReport;
+  unsigned NumStages = 0;
+};
+
+/// Compiles \p P with stage validation enabled: the λpure oracle, a
+/// post-phase evaluation of every pipeline stage, and the final VM run
+/// form one observation chain; the first adjacent pair that disagrees is
+/// reported. VMOpts.FuelLimit also caps each per-stage evaluation.
+ValidatedRunResult runProgramValidated(const lambda::Program &P,
+                                       const lower::PipelineOptions &Opts,
+                                       std::string_view Entry = "main",
+                                       const VMOptions &VMOpts = {});
 
 /// Convenience: parse + compile + run in one call.
 RunResult compileAndRun(std::string_view Source,

@@ -11,12 +11,44 @@
 #include "lambda/Simplify.h"
 #include "lower/Lowering.h"
 #include "rc/RCInsert.h"
+#include "rewrite/Pass.h"
 #include "rewrite/Passes.h"
 #include "support/Timing.h"
 #include "vm/Compiler.h"
 
 using namespace lz;
 using namespace lz::lower;
+
+ModuleStageObserver::~ModuleStageObserver() = default;
+
+namespace {
+/// Forwards each successful pass run to a ModuleStageObserver, naming the
+/// stage "<Phase>.<N>.<pass-name>" with a per-manager 1-based counter.
+class StageSnapshotInstrumentation : public PassInstrumentation {
+public:
+  StageSnapshotInstrumentation(ModuleStageObserver &Observer,
+                               std::string Phase)
+      : Observer(Observer), Phase(std::move(Phase)) {}
+
+  void runAfterPass(Pass &P, Operation *Root) override {
+    Observer.observeStage(Phase + "." + std::to_string(++Index) + "." +
+                              std::string(P.getName()),
+                          Root);
+  }
+
+private:
+  ModuleStageObserver &Observer;
+  std::string Phase;
+  unsigned Index = 0;
+};
+} // namespace
+
+std::unique_ptr<PassInstrumentation>
+lz::lower::createStageSnapshotInstrumentation(ModuleStageObserver &Observer,
+                                              std::string Phase) {
+  return std::make_unique<StageSnapshotInstrumentation>(Observer,
+                                                        std::move(Phase));
+}
 
 const char *lz::lower::pipelineVariantName(PipelineVariant V) {
   switch (V) {
@@ -100,6 +132,8 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       Result.Error = "direct backend produced invalid IR";
       return Result;
     }
+    if (Opts.Validate)
+      Opts.Validate->observeStage("lower-direct", Module.get());
   } else {
     {
       TimingScope S = Total.nest("lower-lambda-to-lp");
@@ -109,6 +143,8 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       Result.Error = "lambda->lp lowering produced invalid IR";
       return Result;
     }
+    if (Opts.Validate)
+      Opts.Validate->observeStage("lower-lambda-to-lp", Module.get());
 
     // The interprocedural closure-optimization phase: on the lp form every
     // higher-order application is still an explicit pap/papextend chain, so
@@ -124,6 +160,9 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
         ClosurePM.enableTiming(*ClosureOpt.getTimer());
       if (Opts.Instrument.IRPrint)
         ClosurePM.enableIRPrinting(*Opts.Instrument.IRPrint);
+      if (Opts.Validate)
+        ClosurePM.addInstrumentation(createStageSnapshotInstrumentation(
+            *Opts.Validate, "closure-opt"));
       ClosurePM.addPass(createArityRaisePass());
       ClosurePM.addPass(createDevirtualizePass());
       LogicalResult ClosureResult = ClosurePM.run(Module.get());
@@ -147,6 +186,8 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       Result.Error = "lp->rgn lowering produced invalid IR";
       return Result;
     }
+    if (Opts.Validate)
+      Opts.Validate->observeStage("lower-lp-to-rgn", Module.get());
 
     // The rgn optimization pipeline (Section IV-B), with per-pass timing,
     // IR snapshots and statistics when requested.
@@ -157,6 +198,9 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       PM.enableTiming(*RgnOpt.getTimer());
     if (Opts.Instrument.IRPrint)
       PM.enableIRPrinting(*Opts.Instrument.IRPrint);
+    if (Opts.Validate)
+      PM.addInstrumentation(
+          createStageSnapshotInstrumentation(*Opts.Validate, "rgn-opt"));
     if (Opts.RunCanonicalize)
       PM.addPass(createCanonicalizerPass());
     if (Opts.RunCSE)
@@ -191,6 +235,8 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       Result.Error = "rgn->cf lowering produced invalid IR";
       return Result;
     }
+    if (Opts.Validate)
+      Opts.Validate->observeStage("lower-rgn-to-cf", Module.get());
 
     // The flat-CFG optimization phase (the classic-SSA client of the
     // analysis framework): SCCP folds constant branches the rgn phase
@@ -203,6 +249,9 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
         CfPM.enableTiming(*CfOpt.getTimer());
       if (Opts.Instrument.IRPrint)
         CfPM.enableIRPrinting(*Opts.Instrument.IRPrint);
+      if (Opts.Validate)
+        CfPM.addInstrumentation(
+            createStageSnapshotInstrumentation(*Opts.Validate, "cf-opt"));
       CfPM.addPass(createSCCPPass());
       if (Opts.RunDCE)
         CfPM.addPass(createDCEPass());
@@ -222,6 +271,8 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
 
   TimingScope Emit = Total.nest("vm-emit");
   markTailCalls(Module.get());
+  if (Opts.Validate)
+    Opts.Validate->observeStage("mark-tail-calls", Module.get());
 
   unsigned NumOps = 0;
   for (unsigned I = 0; I != Module->getNumRegions(); ++I)

@@ -31,15 +31,38 @@
 #include "lambda/LambdaIR.h"
 #include "vm/Bytecode.h"
 
+#include <memory>
 #include <string>
+#include <string_view>
 
 namespace lz {
+class PassInstrumentation;
 class StatisticsReport;
 class TimingManager;
 struct IRPrintConfig;
 } // namespace lz
 
 namespace lz::lower {
+
+/// Observer of the module as it moves through the pipeline: called once
+/// after every lowering stage and after every optimization pass, with a
+/// stage name like "lower-lp-to-rgn" or "rgn-opt.2.cse". The module is
+/// live — observers must not keep the pointer past the call (snapshot by
+/// printing or cloning). The stage validator (validate/StageValidator.h)
+/// is the canonical implementation.
+class ModuleStageObserver {
+public:
+  virtual ~ModuleStageObserver();
+  virtual void observeStage(std::string_view StageName,
+                            Operation *Module) = 0;
+};
+
+/// Creates a PassInstrumentation forwarding every successful pass run to
+/// \p Observer as "<Phase>.<N>.<pass-name>" (N is 1-based within the
+/// owning pass manager, so repeated passes stay distinguishable).
+std::unique_ptr<PassInstrumentation>
+createStageSnapshotInstrumentation(ModuleStageObserver &Observer,
+                                   std::string Phase);
 
 enum class PipelineVariant {
   Leanc,
@@ -88,6 +111,9 @@ struct PipelineOptions {
   bool FuseSuperinstructions = true;
   bool VerifyEach = true;
   PipelineInstrumentation Instrument;
+  /// When set, every lowering stage and optimization pass reports the
+  /// module to this observer (translation validation). Null = no cost.
+  ModuleStageObserver *Validate = nullptr;
 
   static PipelineOptions forVariant(PipelineVariant V);
 };

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Dominance.h"
+#include "dialect/Lp.h"
 #include "ir/IR.h"
 #include "rewrite/Equivalence.h"
 #include "rewrite/Passes.h"
@@ -132,8 +133,13 @@ private:
 
   static bool isCSECandidate(Operation *Op) {
     // Only side-effect-free ops; allocations are excluded because merging
-    // two allocations breaks explicit reference counting.
-    return Op->hasTrait(OpTrait_Pure) && Op->getNumResults() >= 1 &&
+    // two allocations breaks explicit reference counting. That includes
+    // constants that heap-allocate per execution (lp.bigint, and lp.int
+    // outside the small-int boxing range): they are Pure in the IR sense,
+    // but each op's single runtime cell would be consumed once per merged
+    // use site.
+    return Op->hasTrait(OpTrait_Pure) && !Op->hasTrait(OpTrait_Allocates) &&
+           !lp::constantAllocates(Op) && Op->getNumResults() >= 1 &&
            Op->getNumSuccessors() == 0 && !Op->isTerminator();
   }
 

@@ -28,7 +28,7 @@ ObjRef Runtime::allocCtor(uint8_t Tag, std::span<const ObjRef> Fields) {
   O->NumFields = static_cast<uint16_t>(Fields.size());
   for (size_t I = 0; I != Fields.size(); ++I)
     O->fields()[I] = Fields[I];
-  noteAlloc();
+  noteAlloc(O);
   return makeRef(O);
 }
 
@@ -39,7 +39,7 @@ ObjRef Runtime::allocBigNum(BigInt Value) {
   O->Tag = 0;
   O->NumFields = 0;
   O->Value = std::move(Value);
-  noteAlloc();
+  noteAlloc(O);
   return makeRef(O);
 }
 
@@ -66,7 +66,7 @@ ObjRef Runtime::allocClosure(uint32_t FnIndex, uint16_t Arity,
   O->Arity = Arity;
   for (size_t I = 0; I != Fixed.size(); ++I)
     O->args()[I] = Fixed[I];
-  noteAlloc();
+  noteAlloc(O);
   return makeRef(O);
 }
 
@@ -82,7 +82,7 @@ ObjRef Runtime::allocArray(size_t Size, ObjRef Fill) {
     inc(Fill);
   if (Size == 0)
     dec(Fill);
-  noteAlloc();
+  noteAlloc(O);
   return makeRef(O);
 }
 
@@ -93,11 +93,12 @@ ObjRef Runtime::allocString(std::string Value) {
   O->Tag = 0;
   O->NumFields = 0;
   O->Value = std::move(Value);
-  noteAlloc();
+  noteAlloc(O);
   return makeRef(O);
 }
 
 void Runtime::destroy(Object *O) {
+  noteFree(O);
   switch (O->Kind) {
   case ObjKind::Ctor: {
     auto *C = static_cast<CtorObject *>(O);
@@ -129,8 +130,43 @@ void Runtime::destroy(Object *O) {
     delete static_cast<StringObject *>(O);
     break;
   }
-  noteFree();
 }
+
+void Runtime::freeRaw(Object *O) {
+  switch (O->Kind) {
+  case ObjKind::Ctor:
+    static_cast<CtorObject *>(O)->~CtorObject();
+    std::free(O);
+    break;
+  case ObjKind::BigNum:
+    delete static_cast<BigNumObject *>(O);
+    break;
+  case ObjKind::Closure:
+    static_cast<ClosureObject *>(O)->~ClosureObject();
+    std::free(O);
+    break;
+  case ObjKind::Array:
+    delete static_cast<ArrayObject *>(O);
+    break;
+  case ObjKind::String:
+    delete static_cast<StringObject *>(O);
+    break;
+  }
+}
+
+uint64_t Runtime::reclaimLeaked() {
+  // Every live cell is in the set, so freeing each one exactly once (with
+  // no child decs) releases arbitrary leaked object graphs, cycles or not.
+  uint64_t Reclaimed = Tracked.size();
+  for (Object *O : Tracked)
+    freeRaw(O);
+  Tracked.clear();
+  assert(LiveObjects >= Reclaimed && "tracking out of sync with accounting");
+  LiveObjects -= Reclaimed;
+  return Reclaimed;
+}
+
+Runtime::~Runtime() { reclaimLeaked(); }
 
 //===----------------------------------------------------------------------===//
 // Integer arithmetic
@@ -370,7 +406,7 @@ ObjRef Runtime::arraySet(ObjRef Arr, ObjRef Index, ObjRef Val) {
   New->Tag = 0;
   New->NumFields = 0;
   New->Elems = std::move(Copy);
-  noteAlloc();
+  noteAlloc(New);
   dec(Arr);
   return makeRef(New);
 }
@@ -391,7 +427,7 @@ ObjRef Runtime::arrayPush(ObjRef Arr, ObjRef Val) {
   New->Tag = 0;
   New->NumFields = 0;
   New->Elems = std::move(Copy);
-  noteAlloc();
+  noteAlloc(New);
   dec(Arr);
   return makeRef(New);
 }

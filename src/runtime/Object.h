@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace lz::rt {
@@ -120,7 +121,7 @@ public:
 class Runtime {
 public:
   Runtime() = default;
-  ~Runtime() = default;
+  ~Runtime();
 
   Runtime(const Runtime &) = delete;
   Runtime &operator=(const Runtime &) = delete;
@@ -131,6 +132,20 @@ public:
 
   uint64_t getLiveObjects() const { return LiveObjects; }
   uint64_t getTotalAllocations() const { return TotalAllocations; }
+
+  /// When enabled, every live heap cell is remembered so reclaimLeaked()
+  /// (run automatically by the destructor) can free cells that a trapped,
+  /// fuel-exhausted, or miscompiled program left behind. Executors that
+  /// deliberately observe leaks (the stage validator, intentional-leak
+  /// tests) enable this so ASan's leak checker stays quiet; the normal VM
+  /// path leaves it off and pays nothing.
+  void setLeakTracking(bool Enable) { TrackLive = Enable; }
+
+  /// Frees every still-live tracked cell without running reference
+  /// counting (each cell is freed exactly once via the tracking set).
+  /// Returns the number of cells reclaimed. Read getLiveObjects() first:
+  /// reclaiming zeroes it.
+  uint64_t reclaimLeaked();
 
   //===------------------------------------------------------------------===//
   // Reference counting
@@ -278,17 +293,27 @@ private:
   ObjRef allocBigNum(BigInt Value);
   void destroy(Object *O);
 
-  void noteAlloc() {
+  /// Deallocates \p O without touching its children's reference counts
+  /// (leak reclamation frees every tracked cell individually).
+  void freeRaw(Object *O);
+
+  void noteAlloc(Object *O) {
     ++LiveObjects;
     ++TotalAllocations;
+    if (TrackLive)
+      Tracked.insert(O);
   }
-  void noteFree() {
+  void noteFree(Object *O) {
     assert(LiveObjects > 0 && "free without matching alloc");
     --LiveObjects;
+    if (TrackLive)
+      Tracked.erase(O);
   }
 
   uint64_t LiveObjects = 0;
   uint64_t TotalAllocations = 0;
+  bool TrackLive = false;
+  std::unordered_set<Object *> Tracked;
 };
 
 } // namespace lz::rt

@@ -1,0 +1,609 @@
+//===- Eval.cpp - generic IR evaluator for translation validation --------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "validate/Eval.h"
+
+#include "dialect/Arith.h"
+#include "dialect/Func.h"
+#include "dialect/Lp.h"
+#include "dialect/Rgn.h"
+#include "ir/Module.h"
+#include "runtime/Object.h"
+#include "support/Casting.h"
+#include "support/OStream.h"
+#include "vm/Builtins.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+using namespace lz;
+using namespace lz::validate;
+
+namespace {
+
+/// A program-level trap (unreachable, bad projection, arity mismatch...).
+/// The VM aborts the process here; the evaluator unwinds to evalModule so
+/// the validator can compare trap identity across stages.
+struct TrapError {
+  std::string Message;
+};
+
+/// Fuel exhaustion; distinct from a trap because eval steps and VM
+/// instructions are different units (exhaustion is inconclusive, never a
+/// divergence).
+struct FuelError {};
+
+/// Where control goes after a block finishes. Argument values are captured
+/// as raw bits at creation time, which makes every transfer two-phase
+/// (read all, then write all) — self-loops rebind safely.
+struct Control {
+  enum class Kind { Return, Branch, Jump, RunRegion, TailCall };
+  Kind K = Kind::Return;
+  uint64_t Value = 0;          ///< Return
+  Block *Dest = nullptr;       ///< Branch
+  std::string_view Label;      ///< Jump (attribute storage outlives us)
+  Operation *RegionOp = nullptr; ///< RunRegion: the rgn.val op
+  uint32_t FnIndex = 0;        ///< TailCall
+  std::vector<uint64_t> Args;
+};
+
+/// One function activation's SSA environment. Values are raw 64-bit
+/// register images, exactly as in the VM: ObjRefs for boxed types, signed
+/// integers for iN, and a rgn.val Operation* for region-typed values.
+struct Frame {
+  std::unordered_map<Value *, uint64_t> Env;
+
+  uint64_t get(Value *V) const {
+    auto It = Env.find(V);
+    if (It == Env.end())
+      throw TrapError{"use of an undefined SSA value"};
+    return It->second;
+  }
+  void set(Value *V, uint64_t Raw) { Env[V] = Raw; }
+};
+
+class Evaluator : public rt::ApplyHandler {
+public:
+  Evaluator(Operation *Module, const EvalOptions &Opts)
+      : Opts(Opts), Out(OutputBuf) {
+    RT.setLeakTracking(true);
+    for (Operation *Op : *getModuleBody(Module)) {
+      if (Op->getName() != "func.func")
+        continue;
+      if (Op->getNumRegions() == 0 || Op->getRegion(0).empty())
+        continue; // declaration: resolved as a builtin at call sites
+      FnIndexByName.emplace(func::getFuncName(Op),
+                            static_cast<uint32_t>(Functions.size()));
+      Functions.push_back(Op);
+    }
+  }
+
+  Observation run(std::string_view Entry) {
+    Observation Obs;
+    try {
+      auto It = FnIndexByName.find(std::string(Entry));
+      if (It == FnIndexByName.end())
+        throw TrapError{"entry function '" + std::string(Entry) +
+                        "' not found"};
+      Operation *Fn = Functions[It->second];
+      auto *FnTy = func::getFuncType(Fn);
+      if (FnTy->getResults().size() != 1)
+        throw TrapError{"entry function must return exactly one value"};
+      uint64_t Result = evalFunction(It->second, {});
+      if (isa<IntegerType>(FnTy->getResults()[0])) {
+        Obs.ResultDisplay =
+            std::to_string(static_cast<int64_t>(Result));
+      } else {
+        Obs.ResultDisplay = RT.toDisplayString(Result);
+        RT.dec(Result);
+      }
+      Obs.OK = true;
+    } catch (const TrapError &T) {
+      Obs.Trap = T.Message;
+    } catch (const FuelError &) {
+      Obs.FuelExhausted = true;
+    }
+    Obs.Output = OutputBuf;
+    Obs.LiveObjects = RT.getLiveObjects();
+    Obs.TotalAllocations = RT.getTotalAllocations();
+    Obs.ClosureAllocs = ClosureAllocs;
+    Obs.GenericApplies = GenericApplies;
+    Obs.Steps = Steps;
+    return Obs;
+  }
+
+  /// rt::ApplyHandler — Runtime::apply re-enters compiled code here.
+  rt::ObjRef callFunction(uint32_t FnIndex,
+                          std::span<rt::ObjRef> Args) override {
+    return evalFunction(FnIndex, {Args.begin(), Args.end()});
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Function / block drivers
+  //===------------------------------------------------------------------===//
+
+  uint64_t evalFunction(uint32_t FnIndex, std::vector<uint64_t> Args) {
+    if (++CallDepth > Opts.MaxCallDepth) {
+      --CallDepth;
+      throw TrapError{"call depth limit exceeded"};
+    }
+    uint64_t Result;
+    try {
+      // The trampoline: a TailCall control rebinds Fn/Args and loops, so
+      // self- and mutual tail recursion run in constant C++ stack — the
+      // evaluator analogue of the VM's frame-reusing TailCall opcode.
+      for (;;) {
+        Operation *Fn = Functions[FnIndex];
+        Block *Entry = func::getFuncEntryBlock(Fn);
+        if (Args.size() != Entry->getNumArguments())
+          throw TrapError{"called '" + std::string(func::getFuncName(Fn)) +
+                          "' with " + std::to_string(Args.size()) +
+                          " argument(s), expected " +
+                          std::to_string(Entry->getNumArguments())};
+        Frame F;
+        for (unsigned I = 0; I != Entry->getNumArguments(); ++I)
+          F.set(Entry->getArgument(I), Args[I]);
+
+        Control C = runBlockAndRegions(F, Entry);
+        // Flat-CFG stages branch between sibling blocks of the function
+        // body; structured stages never produce Branch.
+        while (C.K == Control::Kind::Branch) {
+          Block *Dest = C.Dest;
+          for (unsigned I = 0; I != Dest->getNumArguments(); ++I)
+            F.set(Dest->getArgument(I), C.Args[I]);
+          C = runBlockAndRegions(F, Dest);
+        }
+        if (C.K == Control::Kind::Return) {
+          Result = C.Value;
+          break;
+        }
+        if (C.K == Control::Kind::TailCall) {
+          FnIndex = C.FnIndex;
+          Args = std::move(C.Args);
+          continue;
+        }
+        throw TrapError{"jump to unknown join point '" +
+                        std::string(C.Label) + "'"};
+      }
+    } catch (...) {
+      --CallDepth;
+      throw;
+    }
+    --CallDepth;
+    return Result;
+  }
+
+  /// Runs \p B, then iteratively follows RunRegion transfers (rgn.run is a
+  /// terminator, so chained region runs are tail transfers — looping here
+  /// keeps rgn-level loops in constant C++ stack).
+  Control runBlockAndRegions(Frame &F, Block *B) {
+    Control C = evalBlock(F, B);
+    while (C.K == Control::Kind::RunRegion) {
+      Region &Body = rgn::getValBody(C.RegionOp);
+      Block *Entry = Body.getEntryBlock();
+      if (C.Args.size() != Entry->getNumArguments())
+        throw TrapError{"rgn.run argument count mismatch"};
+      for (unsigned I = 0; I != Entry->getNumArguments(); ++I)
+        F.set(Entry->getArgument(I), C.Args[I]);
+      C = evalBlock(F, Entry);
+    }
+    return C;
+  }
+
+  Control evalBlock(Frame &F, Block *B) {
+    for (Operation *Op : *B) {
+      ++Steps;
+      if (Opts.FuelLimit && Steps > Opts.FuelLimit)
+        throw FuelError{};
+      std::string_view Name = Op->getName();
+
+      //===--------------------------------------------------------------===//
+      // Terminators and control flow
+      //===--------------------------------------------------------------===//
+
+      if (Name == "lp.return" || Name == "func.return") {
+        if (Op->getNumOperands() != 1)
+          throw TrapError{"return must carry exactly one value"};
+        Control C;
+        C.K = Control::Kind::Return;
+        C.Value = F.get(Op->getOperand(0));
+        return C;
+      }
+      if (Name == "lp.unreachable")
+        throw TrapError{"executed unreachable code"};
+      if (Name == "lp.switch")
+        return evalLpSwitch(F, Op);
+      if (Name == "lp.joinpoint")
+        return evalJoinPoint(F, Op);
+      if (Name == "lp.jump") {
+        Control C;
+        C.K = Control::Kind::Jump;
+        C.Label = Op->getAttrOfType<StringAttr>("label")->getValue();
+        for (Value *V : Op->getOperands())
+          C.Args.push_back(F.get(V));
+        return C;
+      }
+      if (Name == "rgn.run") {
+        Control C;
+        C.K = Control::Kind::RunRegion;
+        // The region operand's dynamic value is a rgn.val op (the
+        // verifier's structural constraint: only select/switch/run may
+        // touch region values, so nothing else can flow here).
+        C.RegionOp =
+            reinterpret_cast<Operation *>(F.get(Op->getOperand(0)));
+        for (unsigned I = 1; I != Op->getNumOperands(); ++I)
+          C.Args.push_back(F.get(Op->getOperand(I)));
+        return C;
+      }
+      if (Name == "cf.br") {
+        Control C;
+        C.K = Control::Kind::Branch;
+        C.Dest = Op->getSuccessor(0);
+        for (Value *V : Op->getSuccessorOperands(0))
+          C.Args.push_back(F.get(V));
+        return C;
+      }
+      if (Name == "cf.cond_br") {
+        unsigned Taken = F.get(Op->getOperand(0)) ? 0 : 1;
+        Control C;
+        C.K = Control::Kind::Branch;
+        C.Dest = Op->getSuccessor(Taken);
+        for (Value *V : Op->getSuccessorOperands(Taken))
+          C.Args.push_back(F.get(V));
+        return C;
+      }
+      if (Name == "cf.switch") {
+        auto *Cases = Op->getAttrOfType<ArrayAttr>("cases");
+        int64_t Flag = static_cast<int64_t>(F.get(Op->getOperand(0)));
+        unsigned Taken = 0; // successor 0 is the default destination
+        for (size_t I = 0; I != Cases->size(); ++I) {
+          if (static_cast<IntegerAttr *>((*Cases)[I])->getValue() == Flag) {
+            Taken = static_cast<unsigned>(I + 1);
+            break;
+          }
+        }
+        Control C;
+        C.K = Control::Kind::Branch;
+        C.Dest = Op->getSuccessor(Taken);
+        for (Value *V : Op->getSuccessorOperands(Taken))
+          C.Args.push_back(F.get(V));
+        return C;
+      }
+      if (Name == "func.call") {
+        if (auto C = evalCall(F, Op))
+          return *C;
+        continue;
+      }
+
+      //===--------------------------------------------------------------===//
+      // Value-producing ops
+      //===--------------------------------------------------------------===//
+
+      evalValueOp(F, Op, Name);
+    }
+    throw TrapError{"block fell through without a terminator"};
+  }
+
+  Control evalLpSwitch(Frame &F, Operation *Op) {
+    auto *Cases = Op->getAttrOfType<ArrayAttr>("cases");
+    int64_t Tag = static_cast<int64_t>(F.get(Op->getOperand(0)));
+    // Region i handles cases[i]; the last region is always @default.
+    unsigned RegionIdx = Op->getNumRegions() - 1;
+    for (size_t I = 0; I != Cases->size(); ++I) {
+      if (static_cast<IntegerAttr *>((*Cases)[I])->getValue() == Tag) {
+        RegionIdx = static_cast<unsigned>(I);
+        break;
+      }
+    }
+    return runBlockAndRegions(F, Op->getRegion(RegionIdx).getEntryBlock());
+  }
+
+  Control evalJoinPoint(Frame &F, Operation *Op) {
+    std::string_view Label =
+        Op->getAttrOfType<StringAttr>("label")->getValue();
+    // Run the pre-jump region; every lp.jump back to this label re-enters
+    // the after-jump body — joinpoint loops iterate here instead of
+    // recursing (Section III-B's "local, named closures").
+    Control C = runBlockAndRegions(
+        F, lp::getJoinPointPreRegion(Op).getEntryBlock());
+    while (C.K == Control::Kind::Jump && C.Label == Label) {
+      Block *Body = lp::getJoinPointBodyRegion(Op).getEntryBlock();
+      if (C.Args.size() != Body->getNumArguments())
+        throw TrapError{"jump argument count mismatch for join point '" +
+                        std::string(Label) + "'"};
+      for (unsigned I = 0; I != Body->getNumArguments(); ++I)
+        F.set(Body->getArgument(I), C.Args[I]);
+      C = runBlockAndRegions(F, Body);
+    }
+    return C; // Return, TailCall, or a jump to an enclosing join point
+  }
+
+  //===------------------------------------------------------------------===//
+  // Calls
+  //===------------------------------------------------------------------===//
+
+  /// Evaluates func.call. Returns a Control for tail calls (ending the
+  /// block), nothing for ordinary calls (result bound, evaluation
+  /// continues).
+  std::optional<Control> evalCall(Frame &F, Operation *Op) {
+    std::string_view Callee =
+        Op->getAttrOfType<SymbolRefAttr>("callee")->getValue();
+    auto It = FnIndexByName.find(std::string(Callee));
+
+    std::vector<uint64_t> Args;
+    Args.reserve(Op->getNumOperands());
+    for (Value *V : Op->getOperands())
+      Args.push_back(F.get(V));
+
+    if (It != FnIndexByName.end()) {
+      // A call whose single result immediately feeds the enclosing return
+      // is a tail transfer. This dynamic check subsumes the musttail
+      // attribute (markTailCalls runs only before vm-emit, but pre-emit
+      // stages contain the same pattern): SSA dominance guarantees no op
+      // after the return could use the result, so frame reuse is safe.
+      Operation *Next = Op->getNextNode();
+      bool IsTail = Op->getNumResults() == 1 && Next &&
+                    (Next->getName() == "func.return" ||
+                     Next->getName() == "lp.return") &&
+                    Next->getNumOperands() == 1 &&
+                    Next->getOperand(0) == Op->getResult(0);
+      if (IsTail) {
+        Control C;
+        C.K = Control::Kind::TailCall;
+        C.FnIndex = It->second;
+        C.Args = std::move(Args);
+        return C;
+      }
+      uint64_t Result = evalFunction(It->second, std::move(Args));
+      if (Op->getNumResults() == 1)
+        F.set(Op->getResult(0), Result);
+      return std::nullopt;
+    }
+
+    // Not a module function: the builtin registry (the libleanrt
+    // substitute), exactly as the VM's call compilation resolves it.
+    int Builtin = vm::lookupBuiltin(Callee);
+    if (Builtin < 0)
+      throw TrapError{"call to unknown function '" + std::string(Callee) +
+                      "'"};
+    if (vm::getBuiltinArity(Builtin) != Op->getNumOperands())
+      throw TrapError{"builtin '" + std::string(Callee) + "' called with " +
+                      std::to_string(Op->getNumOperands()) +
+                      " argument(s), expected " +
+                      std::to_string(vm::getBuiltinArity(Builtin))};
+    vm::BuiltinContext Ctx{RT, *this, &Out};
+    rt::ObjRef R = vm::getBuiltin(Builtin)(Ctx, Args);
+    if (Op->getNumResults() == 1) {
+      uint64_t Raw = R;
+      // The VM unboxes builtin results whose IR type is an integer
+      // (maybeUnboxResult): e.g. lean_nat_dec_eq used as an i8 flag.
+      if (isa<IntegerType>(Op->getResult(0)->getType())) {
+        if (!rt::isScalar(R))
+          throw TrapError{"builtin result for '" + std::string(Callee) +
+                          "' is not a scalar"};
+        Raw = static_cast<uint64_t>(rt::unboxScalar(R));
+      }
+      F.set(Op->getResult(0), Raw);
+    }
+    return std::nullopt;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Straight-line value ops (semantics mirror vm/VMExecute.inc)
+  //===------------------------------------------------------------------===//
+
+  void evalValueOp(Frame &F, Operation *Op, std::string_view Name) {
+    auto Operand = [&](unsigned I) { return F.get(Op->getOperand(I)); };
+    auto SetResult = [&](uint64_t Raw) { F.set(Op->getResult(0), Raw); };
+
+    if (Name == "lp.int") {
+      int64_t V = Op->getAttrOfType<IntegerAttr>("value")->getValue();
+      // Inside ±2^62 the constant is an unboxed scalar; outside, a bignum
+      // cell is allocated per execution (the VM's BigConst opcode does
+      // the same, so allocation counters stay comparable).
+      if (V >= rt::MinSmallInt && V <= rt::MaxSmallInt)
+        SetResult(rt::boxScalar(V));
+      else
+        SetResult(RT.makeBigInt(BigInt(V)));
+      return;
+    }
+    if (Name == "lp.bigint") {
+      SetResult(RT.makeBigInt(Op->getAttrOfType<BigIntAttr>("value")->getValue()));
+      return;
+    }
+    if (Name == "lp.construct") {
+      int64_t Tag = Op->getAttrOfType<IntegerAttr>("tag")->getValue();
+      std::vector<rt::ObjRef> Fields;
+      Fields.reserve(Op->getNumOperands());
+      for (Value *V : Op->getOperands())
+        Fields.push_back(F.get(V));
+      SetResult(RT.allocCtor(static_cast<uint8_t>(Tag), Fields));
+      return;
+    }
+    if (Name == "lp.getlabel") {
+      SetResult(static_cast<uint64_t>(RT.getTag(Operand(0))));
+      return;
+    }
+    if (Name == "lp.project") {
+      uint64_t V = Operand(0);
+      int64_t Index = Op->getAttrOfType<IntegerAttr>("index")->getValue();
+      if (rt::isScalar(V))
+        throw TrapError{"projection of a scalar value"};
+      rt::Object *O = rt::asObject(V);
+      if (O->Kind != rt::ObjKind::Ctor)
+        throw TrapError{"projection of a non-constructor value"};
+      if (Index < 0 || Index >= O->NumFields)
+        throw TrapError{"projection index " + std::to_string(Index) +
+                        " out of bounds"};
+      SetResult(RT.getField(V, static_cast<unsigned>(Index))); // borrow
+      return;
+    }
+    if (Name == "lp.pap") {
+      std::string_view Callee =
+          Op->getAttrOfType<SymbolRefAttr>("callee")->getValue();
+      auto It = FnIndexByName.find(std::string(Callee));
+      if (It == FnIndexByName.end())
+        throw TrapError{"pap of unknown function '" + std::string(Callee) +
+                        "'"};
+      unsigned Arity =
+          func::getFuncEntryBlock(Functions[It->second])->getNumArguments();
+      if (Op->getNumOperands() > Arity)
+        throw TrapError{"pap over-saturates '" + std::string(Callee) + "'"};
+      std::vector<rt::ObjRef> Fixed;
+      Fixed.reserve(Op->getNumOperands());
+      for (Value *V : Op->getOperands())
+        Fixed.push_back(F.get(V));
+      ++ClosureAllocs;
+      SetResult(RT.allocClosure(It->second, static_cast<uint16_t>(Arity),
+                                Fixed));
+      return;
+    }
+    if (Name == "lp.papextend") {
+      uint64_t Closure = Operand(0);
+      if (rt::isScalar(Closure) ||
+          rt::asObject(Closure)->Kind != rt::ObjKind::Closure)
+        throw TrapError{"apply of a non-closure value"};
+      std::vector<rt::ObjRef> Args;
+      for (unsigned I = 1; I != Op->getNumOperands(); ++I)
+        Args.push_back(Operand(I));
+      ++GenericApplies;
+      SetResult(RT.apply(*this, Closure, Args));
+      return;
+    }
+    if (Name == "lp.inc") {
+      RT.inc(Operand(0));
+      return;
+    }
+    if (Name == "lp.dec") {
+      RT.dec(Operand(0));
+      return;
+    }
+    if (Name == "rgn.val") {
+      SetResult(reinterpret_cast<uint64_t>(Op));
+      return;
+    }
+    if (Name == "arith.constant") {
+      SetResult(static_cast<uint64_t>(
+          Op->getAttrOfType<IntegerAttr>("value")->getValue()));
+      return;
+    }
+    if (Name == "arith.addi") {
+      SetResult(Operand(0) + Operand(1));
+      return;
+    }
+    if (Name == "arith.subi") {
+      SetResult(Operand(0) - Operand(1));
+      return;
+    }
+    if (Name == "arith.muli") {
+      SetResult(Operand(0) * Operand(1));
+      return;
+    }
+    if (Name == "arith.divsi") {
+      // x/0 = 0 (the LEAN convention); divisor -1 via unsigned negation so
+      // INT64_MIN / -1 wraps instead of faulting — as in the VM's Div.
+      int64_t D = static_cast<int64_t>(Operand(1));
+      SetResult(D == 0    ? 0
+                : D == -1 ? 0 - Operand(0)
+                          : static_cast<uint64_t>(
+                                static_cast<int64_t>(Operand(0)) / D));
+      return;
+    }
+    if (Name == "arith.remsi") {
+      // x%0 = x; x % -1 = 0 exactly, dodging the INT64_MIN overflow.
+      int64_t D = static_cast<int64_t>(Operand(1));
+      SetResult(D == 0    ? Operand(0)
+                : D == -1 ? 0
+                          : static_cast<uint64_t>(
+                                static_cast<int64_t>(Operand(0)) % D));
+      return;
+    }
+    if (Name == "arith.andi") {
+      SetResult(Operand(0) & Operand(1));
+      return;
+    }
+    if (Name == "arith.ori") {
+      SetResult(Operand(0) | Operand(1));
+      return;
+    }
+    if (Name == "arith.xori") {
+      SetResult(Operand(0) ^ Operand(1));
+      return;
+    }
+    if (Name == "arith.cmpi") {
+      auto Pred = static_cast<arith::CmpPredicate>(
+          Op->getAttrOfType<IntegerAttr>("predicate")->getValue());
+      uint64_t A = Operand(0), B = Operand(1);
+      int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+      bool R = false;
+      switch (Pred) {
+      case arith::CmpPredicate::EQ:
+        R = A == B;
+        break;
+      case arith::CmpPredicate::NE:
+        R = A != B;
+        break;
+      case arith::CmpPredicate::SLT:
+        R = SA < SB;
+        break;
+      case arith::CmpPredicate::SLE:
+        R = SA <= SB;
+        break;
+      case arith::CmpPredicate::SGT:
+        R = SA > SB;
+        break;
+      case arith::CmpPredicate::SGE:
+        R = SA >= SB;
+        break;
+      }
+      SetResult(R ? 1 : 0);
+      return;
+    }
+    if (Name == "arith.select") {
+      SetResult(Operand(0) ? Operand(1) : Operand(2));
+      return;
+    }
+    if (Name == "arith.switch") {
+      auto *Cases = Op->getAttrOfType<ArrayAttr>("cases");
+      int64_t Flag = static_cast<int64_t>(Operand(0));
+      // Operands: flag, one value per case, then the default value.
+      uint64_t Picked = Operand(Op->getNumOperands() - 1);
+      for (size_t I = 0; I != Cases->size(); ++I) {
+        if (static_cast<IntegerAttr *>((*Cases)[I])->getValue() == Flag) {
+          Picked = Operand(static_cast<unsigned>(I + 1));
+          break;
+        }
+      }
+      SetResult(Picked);
+      return;
+    }
+    throw TrapError{"unsupported op '" + std::string(Name) +
+                    "' in stage evaluator"};
+  }
+
+  EvalOptions Opts;
+  rt::Runtime RT;
+  std::string OutputBuf;
+  StringOStream Out;
+  std::vector<Operation *> Functions;
+  std::unordered_map<std::string, uint32_t> FnIndexByName;
+  uint64_t Steps = 0;
+  uint64_t ClosureAllocs = 0;
+  uint64_t GenericApplies = 0;
+  unsigned CallDepth = 0;
+};
+
+} // namespace
+
+Observation lz::validate::evalModule(Operation *Module,
+                                     std::string_view Entry,
+                                     const EvalOptions &Opts) {
+  Evaluator E(Module, Opts);
+  return E.run(Entry);
+}

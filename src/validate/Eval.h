@@ -1,0 +1,82 @@
+//===- Eval.h - generic IR evaluator for translation validation -*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct evaluator over the post-frontend dialect forms — lp, rgn and
+/// cf — exposing the same observable surface as the VM (result display,
+/// printed output, allocation/RC-leak counters, fuel, traps). Where the VM
+/// compiles a module to bytecode first, this executor walks the IR
+/// op-by-op, so it can run the module *as it stands after any pipeline
+/// phase*: that is what lets StageValidator difference adjacent stages
+/// ("The Denotational Semantics of SSA" / "SOS for CFG Machines" in
+/// PAPERS.md motivate exactly this per-stage simulation check).
+///
+/// Semantics intentionally mirror the VM's (vm/VMExecute.inc) bit for bit:
+/// the LEAN division conventions, the ±2^62 small-int boxing boundary,
+/// raw two's-complement arith, and the runtime's RC discipline. The one
+/// deliberate difference: where the VM aborts the process on a trap
+/// (unreachable, arity mismatch, apply of a non-closure), the evaluator
+/// reports the trap as data so the validator can compare trap identity
+/// across stages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_VALIDATE_EVAL_H
+#define LZ_VALIDATE_EVAL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lz {
+class Operation;
+}
+
+namespace lz::validate {
+
+/// Everything observable about one execution of a module. Two stages of a
+/// correct pipeline must agree on the comparable subset (see
+/// compareObservations in StageValidator.h); the advisory counters are
+/// reported but never compared, since optimizations legitimately change
+/// them.
+struct Observation {
+  bool OK = false;          ///< ran to completion (no trap, fuel left)
+  std::string Trap;         ///< nonempty = trapped, with this message
+  bool FuelExhausted = false;
+  std::string ResultDisplay;
+  std::string Output;       ///< accumulated lean_io_println lines
+  uint64_t LiveObjects = 0; ///< heap cells alive at the end (0 = leak-free)
+  uint64_t TotalAllocations = 0;
+  /// Advisory counters (never compared): closure cells allocated by
+  /// lp.pap, generic applies via lp.papextend, ops executed.
+  uint64_t ClosureAllocs = 0;
+  uint64_t GenericApplies = 0;
+  uint64_t Steps = 0;
+  /// False for executions with no RC semantics (the λpure oracle), which
+  /// masks the LiveObjects comparison against this observation.
+  bool HasRC = true;
+};
+
+struct EvalOptions {
+  /// Cap on evaluated ops; 0 = unlimited. Exhaustion sets FuelExhausted
+  /// (inconclusive for validation — eval steps and VM instructions are
+  /// different units, so exhaustion is never treated as a divergence).
+  uint64_t FuelLimit = 0;
+  /// Cap on non-tail call nesting; tail calls (a func.call whose result
+  /// immediately feeds the enclosing return) run in constant C++ stack.
+  unsigned MaxCallDepth = 1000;
+};
+
+/// Executes \p Entry (a 0-ary function) in \p Module, which may be in any
+/// post-frontend form: lp, lp+rgn, or flat cf. Never aborts on program
+/// errors — traps and fuel exhaustion come back inside the Observation.
+Observation evalModule(Operation *Module, std::string_view Entry,
+                       const EvalOptions &Opts = {});
+
+} // namespace lz::validate
+
+#endif // LZ_VALIDATE_EVAL_H

@@ -1,0 +1,149 @@
+//===- StageValidator.cpp - stage-differential translation validation ----------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "validate/StageValidator.h"
+
+#include "ir/Printer.h"
+#include "rewrite/Pass.h"
+
+using namespace lz;
+using namespace lz::validate;
+
+std::string lz::validate::compareObservations(const Observation &A,
+                                              const Observation &B) {
+  if (A.FuelExhausted || B.FuelExhausted)
+    return ""; // inconclusive: fuel units differ between executors
+  if (A.Trap != B.Trap)
+    return "trap: '" + A.Trap + "' vs '" + B.Trap + "'";
+  if (!A.Trap.empty())
+    return ""; // same trap on both sides — agreeing failure
+  if (A.ResultDisplay != B.ResultDisplay)
+    return "result: " + A.ResultDisplay + " vs " + B.ResultDisplay;
+  if (A.Output != B.Output)
+    return "output: \"" + A.Output + "\" vs \"" + B.Output + "\"";
+  if (A.HasRC && B.HasRC && A.LiveObjects != B.LiveObjects)
+    return "live objects (leaks): " + std::to_string(A.LiveObjects) +
+           " vs " + std::to_string(B.LiveObjects);
+  return "";
+}
+
+StageValidator::StageValidator(std::string Entry, EvalOptions Opts)
+    : Entry(std::move(Entry)), Opts(Opts) {}
+
+void StageValidator::observeStage(std::string_view StageName,
+                                  Operation *Module) {
+  StageRecord R;
+  R.Name = std::string(StageName);
+  R.IRText = printToString(Module);
+  R.Obs = evalModule(Module, Entry, Opts);
+  Stages.push_back(std::move(R));
+}
+
+void StageValidator::observeExternal(std::string_view Name,
+                                     const Observation &Obs) {
+  StageRecord R;
+  R.Name = std::string(Name);
+  R.Obs = Obs;
+  Stages.push_back(std::move(R));
+}
+
+std::optional<StageValidator::Divergence>
+StageValidator::findDivergence() const {
+  for (unsigned I = 1; I < Stages.size(); ++I) {
+    std::string Delta =
+        compareObservations(Stages[I - 1].Obs, Stages[I].Obs);
+    if (!Delta.empty())
+      return Divergence{I - 1, I, std::move(Delta)};
+  }
+  return std::nullopt;
+}
+
+namespace {
+std::string describeObservation(const Observation &O) {
+  if (O.FuelExhausted)
+    return "fuel exhausted (inconclusive)";
+  std::string S;
+  if (!O.Trap.empty())
+    S = "trap=\"" + O.Trap + "\"";
+  else
+    S = "result=" + O.ResultDisplay;
+  S += " output=\"" + O.Output + "\"";
+  if (O.HasRC)
+    S += " live=" + std::to_string(O.LiveObjects) +
+         " allocs=" + std::to_string(O.TotalAllocations);
+  return S;
+}
+} // namespace
+
+std::string StageValidator::report() const {
+  std::optional<Divergence> D = findDivergence();
+  if (!D) {
+    std::string S = "validate: " + std::to_string(Stages.size()) +
+                    " stage(s) agree\n";
+    if (const StageRecord *Last = getLastStage()) {
+      S += "  entry:  " + Entry + "\n";
+      S += "  " + describeObservation(Last->Obs) + "\n";
+    }
+    return S;
+  }
+
+  const StageRecord &Before = Stages[D->BeforeIndex];
+  const StageRecord &After = Stages[D->AfterIndex];
+  std::string S = "validate: FAIL\n";
+  S += "  first divergence: '" + Before.Name + "' -> '" + After.Name +
+       "'\n";
+  S += "  delta: " + D->Delta + "\n";
+  S += "  stage '" + Before.Name + "': " + describeObservation(Before.Obs) +
+       "\n";
+  S += "  stage '" + After.Name + "': " + describeObservation(After.Obs) +
+       "\n";
+  auto AppendIR = [&S](const StageRecord &R) {
+    S += "--- IR at '" + R.Name + "' ---\n";
+    S += R.IRText.empty() ? "(external execution: no IR)\n" : R.IRText;
+    if (!S.empty() && S.back() != '\n')
+      S += '\n';
+  };
+  AppendIR(Before);
+  AppendIR(After);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Deletes the first lp.dec in the module: the canonical RC miscompile.
+/// Dropping a dec never breaks SSA structure (lp.dec has no results), so
+/// the module still verifies — only the stage differential can catch it.
+class DropRCPass : public Pass {
+public:
+  std::string_view getName() const override { return "drop-rc"; }
+
+  LogicalResult run(Operation *Root) override {
+    Operation *Victim = nullptr;
+    for (unsigned I = 0; I != Root->getNumRegions() && !Victim; ++I)
+      Root->getRegion(I).walk([&](Operation *Op) {
+        if (!Victim && Op->getName() == "lp.dec")
+          Victim = Op;
+      });
+    if (Victim) {
+      Victim->erase();
+      ++Dropped;
+    }
+    return success();
+  }
+
+private:
+  Statistic Dropped{this, "rc-ops-dropped",
+                    "Number of RC operations deleted"};
+};
+} // namespace
+
+std::unique_ptr<Pass> lz::validate::createDropRCPass() {
+  return std::make_unique<DropRCPass>();
+}

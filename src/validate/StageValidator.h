@@ -1,0 +1,97 @@
+//===- StageValidator.h - stage-differential translation validation -*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation validation over the compilation pipeline: snapshot the
+/// module after every phase (via lower::ModuleStageObserver), execute each
+/// snapshot with the generic evaluator, and on divergence blame the
+/// *first* adjacent stage pair that disagrees — a bisection over stages
+/// rather than a "final answer wrong" verdict. External executions with
+/// the same observable surface (the λpure oracle, the VM) join the chain
+/// as pseudo-stages via observeExternal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_VALIDATE_STAGEVALIDATOR_H
+#define LZ_VALIDATE_STAGEVALIDATOR_H
+
+#include "lower/Pipeline.h"
+#include "validate/Eval.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lz {
+class Pass;
+}
+
+namespace lz::validate {
+
+/// One observed point of the pipeline: the stage name, the IR as printed
+/// at observation time (empty for external endpoints), and what executing
+/// it observed.
+struct StageRecord {
+  std::string Name;
+  std::string IRText;
+  Observation Obs;
+};
+
+/// Compares the stage-invariant observable subset of two executions:
+/// trap identity first, then result display, printed output, and live
+/// objects (leaks; skipped unless both sides have RC semantics). Fuel
+/// exhaustion on either side is inconclusive — eval steps and VM
+/// instructions are different units — so such pairs never diverge.
+/// Returns a human-readable delta, or the empty string when they agree.
+std::string compareObservations(const Observation &A, const Observation &B);
+
+class StageValidator : public lower::ModuleStageObserver {
+public:
+  explicit StageValidator(std::string Entry = "main", EvalOptions Opts = {});
+
+  /// lower::ModuleStageObserver — snapshots and executes the module.
+  void observeStage(std::string_view StageName, Operation *Module) override;
+
+  /// Appends an externally-executed pseudo-stage (oracle, VM) to the
+  /// chain; it participates in adjacent-pair comparison like any stage.
+  void observeExternal(std::string_view Name, const Observation &Obs);
+
+  const std::vector<StageRecord> &getStages() const { return Stages; }
+  const StageRecord *getLastStage() const {
+    return Stages.empty() ? nullptr : &Stages.back();
+  }
+
+  struct Divergence {
+    unsigned BeforeIndex = 0;
+    unsigned AfterIndex = 0;
+    std::string Delta;
+  };
+
+  /// The first adjacent stage pair that disagrees, if any.
+  std::optional<Divergence> findDivergence() const;
+  bool allAgree() const { return !findDivergence().has_value(); }
+
+  /// Renders either the agreement summary or the full divergence report:
+  /// the blamed stage pair, the observable delta, each side's observables,
+  /// and both IR snapshots.
+  std::string report() const;
+
+private:
+  std::string Entry;
+  EvalOptions Opts;
+  std::vector<StageRecord> Stages;
+};
+
+/// Fault injection for testing the validator: a pass that deletes the
+/// first lp.dec in the module, manufacturing the classic RC miscompile
+/// (a leak) that the stage differential must pin on this pass.
+std::unique_ptr<Pass> createDropRCPass();
+
+} // namespace lz::validate
+
+#endif // LZ_VALIDATE_STAGEVALIDATOR_H

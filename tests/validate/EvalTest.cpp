@@ -1,0 +1,609 @@
+//===- EvalTest.cpp - generic IR evaluator unit tests --------------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Op-level coverage of the stage evaluator (validate/Eval.h): every lp /
+/// rgn / cf / arith op it dispatches, the VM-mirroring arithmetic edge
+/// cases (LEAN division conventions, INT64_MIN, the ±2^62 boxing
+/// boundary), trap identity, fuel, the constant-stack tail-call
+/// trampoline, and counter parity against the real VM over the same
+/// final module.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "driver/Driver.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "lower/Lowering.h"
+#include "lower/Pipeline.h"
+#include "rc/RCInsert.h"
+#include "runtime/Object.h"
+#include "support/Diagnostics.h"
+#include "support/OStream.h"
+#include "validate/Eval.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::validate;
+
+namespace {
+
+/// Parses \p IR and evaluates \p Entry in it.
+Observation evalIR(std::string_view IR, std::string_view Entry = "f",
+                   const EvalOptions &Opts = {}) {
+  Context Ctx;
+  registerAllDialects(Ctx);
+  DiagnosticEngine DE;
+  DE.setSourceBuffer("EvalTest", std::string(IR));
+  Operation *Root = parseSourceString(IR, Ctx, DE);
+  EXPECT_NE(Root, nullptr) << DE.firstErrorString();
+  if (!Root)
+    return {};
+  OwningOpRef Owner(Root);
+  // The evaluator assumes verifier-clean IR (as every production caller
+  // guarantees); a malformed test block must fail here, not crash there.
+  std::vector<std::string> VerifyErrors;
+  EXPECT_TRUE(succeeded(verify(Owner.get(), VerifyErrors)))
+      << (VerifyErrors.empty() ? "" : VerifyErrors.front());
+  if (!VerifyErrors.empty())
+    return {};
+  return evalModule(Owner.get(), Entry, Opts);
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic: the VM-mirroring edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(EvalTest, DivRemEdgeCases) {
+  // INT64_MIN is built by wrapping 2^62 * 2; then INT64_MIN / -1 must
+  // wrap (not fault), INT64_MIN % -1 must be exactly 0, and the LEAN
+  // conventions give 1 / 0 = 0 and 1 % 0 = 1.
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0:
+    %0 = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %1 = "arith.constant"() {value = 4611686018427387904 : i64} : () -> (i64)
+    %2 = "arith.muli"(%1, %0) : (i64, i64) -> (i64)
+    %3 = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %4 = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %5 = "arith.subi"(%3, %4) : (i64, i64) -> (i64)
+    %6 = "arith.divsi"(%2, %5) : (i64, i64) -> (i64)
+    %7 = "arith.remsi"(%2, %5) : (i64, i64) -> (i64)
+    %8 = "arith.divsi"(%4, %3) : (i64, i64) -> (i64)
+    %9 = "arith.remsi"(%4, %3) : (i64, i64) -> (i64)
+    %10 = "arith.addi"(%6, %7) : (i64, i64) -> (i64)
+    %11 = "arith.addi"(%8, %9) : (i64, i64) -> (i64)
+    %12 = "arith.addi"(%10, %11) : (i64, i64) -> (i64)
+    "func.return"(%12) : (i64) -> ()
+  }) {sym_name = "f", function_type = () -> (i64)} : () -> ()
+}) : () -> ()
+)");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  // INT64_MIN + 0 + 0 + 1.
+  EXPECT_EQ(O.ResultDisplay, "-9223372036854775807");
+  EXPECT_EQ(O.LiveObjects, 0u);
+}
+
+TEST(EvalTest, BitOpsCmpSelectSwitch) {
+  // 12&10=8, 12|10=14, 12^10=6; slt(10,12)=1 selects the and/or sum;
+  // arith.switch on flag 5 with cases [0, 5] picks the second case.
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0:
+    %0 = "arith.constant"() {value = 12 : i64} : () -> (i64)
+    %1 = "arith.constant"() {value = 10 : i64} : () -> (i64)
+    %2 = "arith.andi"(%0, %1) : (i64, i64) -> (i64)
+    %3 = "arith.ori"(%0, %1) : (i64, i64) -> (i64)
+    %4 = "arith.xori"(%0, %1) : (i64, i64) -> (i64)
+    %5 = "arith.cmpi"(%1, %0) {predicate = 2 : i64} : (i64, i64) -> (i1)
+    %6 = "arith.addi"(%2, %3) : (i64, i64) -> (i64)
+    %7 = "arith.select"(%5, %6, %4) : (i1, i64, i64) -> (i64)
+    %8 = "arith.constant"() {value = 5 : i8} : () -> (i8)
+    %9 = "arith.constant"() {value = 100 : i64} : () -> (i64)
+    %10 = "arith.switch"(%8, %9, %7, %4) {cases = [0 : i64, 5 : i64]} : (i8, i64, i64, i64) -> (i64)
+    "func.return"(%10) : (i64) -> ()
+  }) {sym_name = "f", function_type = () -> (i64)} : () -> ()
+}) : () -> ()
+)");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, "22"); // 8 + 14, selected twice over
+}
+
+TEST(EvalTest, ArithSwitchDefault) {
+  // Flag 7 matches no case: the last operand is the default value.
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0:
+    %0 = "arith.constant"() {value = 7 : i8} : () -> (i8)
+    %1 = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %2 = "arith.constant"() {value = 2 : i64} : () -> (i64)
+    %3 = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %4 = "arith.switch"(%0, %1, %2, %3) {cases = [0 : i64, 1 : i64]} : (i8, i64, i64, i64) -> (i64)
+    "func.return"(%4) : (i64) -> ()
+  }) {sym_name = "f", function_type = () -> (i64)} : () -> ()
+}) : () -> ()
+)");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, "3");
+}
+
+//===----------------------------------------------------------------------===//
+// Flat-CFG control flow
+//===----------------------------------------------------------------------===//
+
+TEST(EvalTest, CondBrAndBlockArguments) {
+  // f(n) = n != 0 ? 111 : 222, joined through a block argument; main
+  // sums f(3) + f(0) through ordinary (non-tail) calls.
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0(%0: i64):
+    %1 = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %2 = "arith.cmpi"(%0, %1) {predicate = 1 : i64} : (i64, i64) -> (i1)
+    "cf.cond_br"(%2)[^b1, ^b2] : (i1) -> ()
+  ^b1:
+    %3 = "arith.constant"() {value = 111 : i64} : () -> (i64)
+    "cf.br"()[^b3(%3 : i64)] : () -> ()
+  ^b2:
+    %4 = "arith.constant"() {value = 222 : i64} : () -> (i64)
+    "cf.br"()[^b3(%4 : i64)] : () -> ()
+  ^b3(%5: i64):
+    "func.return"(%5) : (i64) -> ()
+  }) {sym_name = "f", function_type = (i64) -> (i64)} : () -> ()
+  "func.func"() ({
+  ^b0:
+    %10 = "arith.constant"() {value = 3 : i64} : () -> (i64)
+    %11 = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %12 = "func.call"(%10) {callee = @f} : (i64) -> (i64)
+    %13 = "func.call"(%11) {callee = @f} : (i64) -> (i64)
+    %14 = "arith.addi"(%12, %13) : (i64, i64) -> (i64)
+    "func.return"(%14) : (i64) -> ()
+  }) {sym_name = "main", function_type = () -> (i64)} : () -> ()
+}) : () -> ()
+)",
+                         "main");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, "333");
+}
+
+TEST(EvalTest, CfSwitchCasesAndDefault) {
+  // Successor 0 is the default; cases [0, 1] map to successors 1 and 2.
+  const char *IR = R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0(%0: i8):
+    "cf.switch"(%0)[^b1, ^b2, ^b3] {cases = [0 : i64, 1 : i64]} : (i8) -> ()
+  ^b1:
+    %1 = "arith.constant"() {value = 12 : i64} : () -> (i64)
+    "func.return"(%1) : (i64) -> ()
+  ^b2:
+    %2 = "arith.constant"() {value = 10 : i64} : () -> (i64)
+    "func.return"(%2) : (i64) -> ()
+  ^b3:
+    %3 = "arith.constant"() {value = 11 : i64} : () -> (i64)
+    "func.return"(%3) : (i64) -> ()
+  }) {sym_name = "g", function_type = (i8) -> (i64)} : () -> ()
+  "func.func"() ({
+  ^b0:
+    %10 = "arith.constant"() {value = FLAG : i8} : () -> (i8)
+    %11 = "func.call"(%10) {callee = @g} : (i8) -> (i64)
+    "func.return"(%11) : (i64) -> ()
+  }) {sym_name = "main", function_type = () -> (i64)} : () -> ()
+}) : () -> ()
+)";
+  auto WithFlag = [&](const char *Flag) {
+    std::string S = IR;
+    S.replace(S.find("FLAG"), 4, Flag);
+    return evalIR(S, "main");
+  };
+  EXPECT_EQ(WithFlag("0").ResultDisplay, "10");
+  EXPECT_EQ(WithFlag("1").ResultDisplay, "11");
+  EXPECT_EQ(WithFlag("9").ResultDisplay, "12"); // default
+}
+
+//===----------------------------------------------------------------------===//
+// lp heap ops, RC, and closures
+//===----------------------------------------------------------------------===//
+
+TEST(EvalTest, ConstructProjectGetlabelRC) {
+  // Build a 2-field constructor, read its tag, project field 0, keep the
+  // field alive across the dec of the cell: 1 allocation, 0 leaks.
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0:
+    %0 = "lp.int"() {value = 10 : i64} : () -> (!lp.t)
+    %1 = "lp.int"() {value = 20 : i64} : () -> (!lp.t)
+    %2 = "lp.construct"(%0, %1) {tag = 3 : i64} : (!lp.t, !lp.t) -> (!lp.t)
+    %3 = "lp.getlabel"(%2) : (!lp.t) -> (i8)
+    %4 = "lp.project"(%2) {index = 0 : i64} : (!lp.t) -> (!lp.t)
+    "lp.inc"(%4) : (!lp.t) -> ()
+    "lp.dec"(%2) : (!lp.t) -> ()
+    "lp.return"(%4) : (!lp.t) -> ()
+  }) {sym_name = "f", function_type = () -> (!lp.t)} : () -> ()
+}) : () -> ()
+)");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, "10");
+  EXPECT_EQ(O.TotalAllocations, 1u);
+  EXPECT_EQ(O.LiveObjects, 0u);
+}
+
+TEST(EvalTest, SmallIntBoundaryAllocates) {
+  // 2^62 is one past the largest unboxed scalar: the constant must
+  // allocate a bignum cell per execution, exactly like the VM's BigConst.
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0:
+    %0 = "lp.int"() {value = 4611686018427387904 : i64} : () -> (!lp.t)
+    "lp.return"(%0) : (!lp.t) -> ()
+  }) {sym_name = "f", function_type = () -> (!lp.t)} : () -> ()
+}) : () -> ()
+)");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, "4611686018427387904");
+  EXPECT_EQ(O.TotalAllocations, 1u);
+  EXPECT_EQ(O.LiveObjects, 0u);
+}
+
+TEST(EvalTest, PapExtendAppliesAndCounts) {
+  // pap fixes 1 of 2 arguments (one closure cell), papextend saturates
+  // (one generic apply); the runtime consumes the closure — no leaks.
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0(%0: !lp.t, %1: !lp.t):
+    %2 = "func.call"(%0, %1) {callee = @lean_nat_add} : (!lp.t, !lp.t) -> (!lp.t)
+    "lp.return"(%2) : (!lp.t) -> ()
+  }) {sym_name = "f", function_type = (!lp.t, !lp.t) -> (!lp.t)} : () -> ()
+  "func.func"() ({
+  ^b0:
+    %10 = "lp.int"() {value = 5 : i64} : () -> (!lp.t)
+    %11 = "lp.pap"(%10) {callee = @f} : (!lp.t) -> (!lp.t)
+    %12 = "lp.int"() {value = 37 : i64} : () -> (!lp.t)
+    %13 = "lp.papextend"(%11, %12) : (!lp.t, !lp.t) -> (!lp.t)
+    "lp.return"(%13) : (!lp.t) -> ()
+  }) {sym_name = "main", function_type = () -> (!lp.t)} : () -> ()
+}) : () -> ()
+)",
+                         "main");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, "42");
+  EXPECT_EQ(O.ClosureAllocs, 1u);
+  EXPECT_EQ(O.GenericApplies, 1u);
+  EXPECT_EQ(O.LiveObjects, 0u);
+}
+
+TEST(EvalTest, LpSwitchDefaultRegion) {
+  // No case matches tag 7: the last region is always @default.
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0:
+    %0 = "arith.constant"() {value = 7 : i8} : () -> (i8)
+    "lp.switch"(%0) ({
+    ^b0:
+      %1 = "lp.int"() {value = 1 : i64} : () -> (!lp.t)
+      "lp.return"(%1) : (!lp.t) -> ()
+    }, {
+    ^b0:
+      %2 = "lp.int"() {value = 2 : i64} : () -> (!lp.t)
+      "lp.return"(%2) : (!lp.t) -> ()
+    }) {cases = [0 : i64]} : (i8) -> ()
+  }) {sym_name = "f", function_type = () -> (!lp.t)} : () -> ()
+}) : () -> ()
+)");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, "2");
+}
+
+TEST(EvalTest, RgnSelectAndRun) {
+  // Region values are first-class: rgn.val captures a body, arith.select
+  // picks one, rgn.run transfers into it.
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0:
+    %0 = "rgn.val"() ({
+    ^b0:
+      %1 = "lp.int"() {value = 10 : i64} : () -> (!lp.t)
+      "lp.return"(%1) : (!lp.t) -> ()
+    }) : () -> (!rgn.region<()>)
+    %2 = "rgn.val"() ({
+    ^b0:
+      %3 = "lp.int"() {value = 20 : i64} : () -> (!lp.t)
+      "lp.return"(%3) : (!lp.t) -> ()
+    }) : () -> (!rgn.region<()>)
+    %4 = "arith.constant"() {value = 1 : i1} : () -> (i1)
+    %5 = "arith.select"(%4, %0, %2) : (i1, !rgn.region<()>, !rgn.region<()>) -> (!rgn.region<()>)
+    "rgn.run"(%5) : (!rgn.region<()>) -> ()
+  }) {sym_name = "f", function_type = () -> (!lp.t)} : () -> ()
+}) : () -> ()
+)");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, "10");
+}
+
+//===----------------------------------------------------------------------===//
+// Traps: identity, not aborts
+//===----------------------------------------------------------------------===//
+
+TEST(EvalTest, TrapIdentity) {
+  struct Case {
+    const char *Body;
+    const char *ExpectedTrap;
+  };
+  const Case Cases[] = {
+      {R"(    "lp.unreachable"() : () -> ())", "executed unreachable code"},
+      {R"(    %0 = "lp.int"() {value = 5 : i64} : () -> (!lp.t)
+    %1 = "lp.project"(%0) {index = 0 : i64} : (!lp.t) -> (!lp.t)
+    "lp.return"(%1) : (!lp.t) -> ())",
+       "projection of a scalar value"},
+      {R"(    %0 = "lp.int"() {value = 5 : i64} : () -> (!lp.t)
+    %1 = "lp.construct"(%0) {tag = 1 : i64} : (!lp.t) -> (!lp.t)
+    %2 = "lp.project"(%1) {index = 3 : i64} : (!lp.t) -> (!lp.t)
+    "lp.return"(%2) : (!lp.t) -> ())",
+       "projection index 3 out of bounds"},
+      {R"(    %0 = "func.call"() {callee = @nope} : () -> (!lp.t)
+    "lp.return"(%0) : (!lp.t) -> ())",
+       "call to unknown function 'nope'"},
+      {R"(    %0 = "lp.int"() {value = 3 : i64} : () -> (!lp.t)
+    %1 = "lp.papextend"(%0, %0) : (!lp.t, !lp.t) -> (!lp.t)
+    "lp.return"(%1) : (!lp.t) -> ())",
+       "apply of a non-closure value"},
+      {R"(    %0 = "lp.int"() {value = 3 : i64} : () -> (!lp.t)
+    %1 = "lp.pap"(%0) {callee = @zzz} : (!lp.t) -> (!lp.t)
+    "lp.return"(%1) : (!lp.t) -> ())",
+       "pap of unknown function 'zzz'"},
+  };
+  for (const Case &C : Cases) {
+    std::string IR = R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0:
+)" + std::string(C.Body) +
+                     R"(
+  }) {sym_name = "f", function_type = () -> (!lp.t)} : () -> ()
+}) : () -> ()
+)";
+    Observation O = evalIR(IR);
+    EXPECT_FALSE(O.OK);
+    EXPECT_EQ(O.Trap, C.ExpectedTrap);
+  }
+}
+
+TEST(EvalTest, TrapLeavesCellsObservable) {
+  // A trap after an allocation reports the leaked cell — the observable
+  // the drop-rc differential keys on. (The runtime reclaims the cells on
+  // destruction, so this stays clean under ASan's leak checker.)
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0:
+    %0 = "lp.int"() {value = 5 : i64} : () -> (!lp.t)
+    %1 = "lp.construct"(%0) {tag = 1 : i64} : (!lp.t) -> (!lp.t)
+    "lp.unreachable"() : () -> ()
+  }) {sym_name = "f", function_type = () -> (!lp.t)} : () -> ()
+}) : () -> ()
+)");
+  EXPECT_FALSE(O.OK);
+  EXPECT_EQ(O.Trap, "executed unreachable code");
+  EXPECT_EQ(O.LiveObjects, 1u);
+}
+
+TEST(EvalTest, EntryAndArityTraps) {
+  const char *IR = R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0(%0: !lp.t, %1: !lp.t):
+    "lp.return"(%0) : (!lp.t) -> ()
+  }) {sym_name = "f", function_type = (!lp.t, !lp.t) -> (!lp.t)} : () -> ()
+  "func.func"() ({
+  ^b0:
+    %10 = "lp.int"() {value = 1 : i64} : () -> (!lp.t)
+    %11 = "func.call"(%10) {callee = @f} : (!lp.t) -> (!lp.t)
+    "lp.return"(%11) : (!lp.t) -> ()
+  }) {sym_name = "main", function_type = () -> (!lp.t)} : () -> ()
+}) : () -> ()
+)";
+  Observation Missing = evalIR(IR, "absent");
+  EXPECT_EQ(Missing.Trap, "entry function 'absent' not found");
+  Observation Arity = evalIR(IR, "main");
+  EXPECT_EQ(Arity.Trap, "called 'f' with 1 argument(s), expected 2");
+}
+
+//===----------------------------------------------------------------------===//
+// Fuel and stack discipline
+//===----------------------------------------------------------------------===//
+
+TEST(EvalTest, FuelExhaustionIsNotATrap) {
+  EvalOptions Opts;
+  Opts.FuelLimit = 100;
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0:
+    "cf.br"()[^b1] : () -> ()
+  ^b1:
+    "cf.br"()[^b1] : () -> ()
+  }) {sym_name = "f", function_type = () -> (i64)} : () -> ()
+}) : () -> ()
+)",
+                         "f", Opts);
+  EXPECT_FALSE(O.OK);
+  EXPECT_TRUE(O.FuelExhausted);
+  EXPECT_TRUE(O.Trap.empty());
+}
+
+TEST(EvalTest, TailCallsRunInConstantStack) {
+  // 100000 frames deep through self tail calls — two orders of magnitude
+  // past MaxCallDepth, so this passes only via the trampoline (the
+  // dynamic call-feeds-return detection; no musttail attribute present).
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0(%0: i64):
+    %1 = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %2 = "arith.cmpi"(%0, %1) {predicate = 0 : i64} : (i64, i64) -> (i1)
+    "cf.cond_br"(%2)[^b1, ^b2] : (i1) -> ()
+  ^b1:
+    "func.return"(%1) : (i64) -> ()
+  ^b2:
+    %3 = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %4 = "arith.subi"(%0, %3) : (i64, i64) -> (i64)
+    %5 = "func.call"(%4) {callee = @f} : (i64) -> (i64)
+    "func.return"(%5) : (i64) -> ()
+  }) {sym_name = "f", function_type = (i64) -> (i64)} : () -> ()
+  "func.func"() ({
+  ^b0:
+    %10 = "arith.constant"() {value = 100000 : i64} : () -> (i64)
+    %11 = "func.call"(%10) {callee = @f} : (i64) -> (i64)
+    "func.return"(%11) : (i64) -> ()
+  }) {sym_name = "main", function_type = () -> (i64)} : () -> ()
+}) : () -> ()
+)",
+                         "main");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, "0");
+}
+
+TEST(EvalTest, NonTailRecursionHitsDepthLimit) {
+  // The +1 after the call makes it a real stack frame: depth 5000
+  // exceeds the default MaxCallDepth of 1000 and traps instead of
+  // blowing the C++ stack.
+  Observation O = evalIR(R"(
+"builtin.module"() ({
+^b0:
+  "func.func"() ({
+  ^b0(%0: i64):
+    %1 = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %2 = "arith.cmpi"(%0, %1) {predicate = 0 : i64} : (i64, i64) -> (i1)
+    "cf.cond_br"(%2)[^b1, ^b2] : (i1) -> ()
+  ^b1:
+    "func.return"(%1) : (i64) -> ()
+  ^b2:
+    %3 = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %4 = "arith.subi"(%0, %3) : (i64, i64) -> (i64)
+    %5 = "func.call"(%4) {callee = @g} : (i64) -> (i64)
+    %6 = "arith.addi"(%5, %3) : (i64, i64) -> (i64)
+    "func.return"(%6) : (i64) -> ()
+  }) {sym_name = "g", function_type = (i64) -> (i64)} : () -> ()
+  "func.func"() ({
+  ^b0:
+    %10 = "arith.constant"() {value = 5000 : i64} : () -> (i64)
+    %11 = "func.call"(%10) {callee = @g} : (i64) -> (i64)
+    "func.return"(%11) : (i64) -> ()
+  }) {sym_name = "main", function_type = () -> (i64)} : () -> ()
+}) : () -> ()
+)",
+                         "main");
+  EXPECT_FALSE(O.OK);
+  EXPECT_EQ(O.Trap, "call depth limit exceeded");
+}
+
+//===----------------------------------------------------------------------===//
+// Structured lp form straight from the frontend
+//===----------------------------------------------------------------------===//
+
+TEST(EvalTest, JoinPointLoweringMatchesOracle) {
+  // The matrix match compiler binds right-hand sides to lp.joinpoint /
+  // lp.jump (paper Figure 5); evaluating the unoptimized lp module must
+  // reproduce the oracle's result AND output, leak-free.
+  const char *Source = "inductive P := | A x | B x\n"
+                       "def get p := match p with\n"
+                       "  | A x => x + 1\n"
+                       "  | B x => x + 2\n"
+                       "end\n"
+                       "def main := println (get (A 5)) + get (B 10)\n";
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::parseSource(Source, P, Error)) << Error;
+  driver::RunResult Oracle = driver::runOracle(P);
+  ASSERT_TRUE(Oracle.OK);
+  rc::insertRC(P);
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  OwningOpRef Module = lower::lowerLambdaToLp(P, Ctx);
+  ASSERT_NE(Module.get(), nullptr);
+  Observation O = evalModule(Module.get(), "main");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, Oracle.ResultDisplay);
+  EXPECT_EQ(O.Output, Oracle.Output);
+  EXPECT_EQ(O.LiveObjects, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Counter parity with the VM over the same final module
+//===----------------------------------------------------------------------===//
+
+TEST(EvalTest, CounterParityWithVM) {
+  // Compile once (fusion off: the 1:1 encoding keeps the comparison
+  // honest), then run the bytecode on the VM and the final module on the
+  // evaluator: result, output, heap accounting, and the closure/apply
+  // counters must all match.
+  const char *Source =
+      "inductive List := | Nil | Cons h t\n"
+      "def build n := if n == 0 then Nil else Cons n (build (n - 1))\n"
+      "def fold f acc xs := match xs with\n"
+      "  | Nil => acc\n"
+      "  | Cons h t => fold f (f acc h) t\n"
+      "end\n"
+      "def main := fold (fun a b => a * 2 + b) 1 (build 10)\n";
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::parseSource(Source, P, Error)) << Error;
+
+  lower::PipelineOptions Opts =
+      lower::PipelineOptions::forVariant(lower::PipelineVariant::Full);
+  Opts.FuseSuperinstructions = false;
+  Context Ctx;
+  registerAllDialects(Ctx);
+  lower::CompileResult CR = lower::compileProgram(P, Ctx, Opts);
+  ASSERT_TRUE(CR.OK) << CR.Error;
+
+  rt::Runtime RT;
+  std::string VMOutput;
+  StringOStream Out(VMOutput);
+  vm::VM Machine(CR.Prog, RT, &Out);
+  rt::ObjRef Result = Machine.run("main", {});
+  std::string VMDisplay = RT.toDisplayString(Result);
+  RT.dec(Result);
+
+  Observation O = evalModule(CR.Module.get(), "main");
+  ASSERT_TRUE(O.OK) << O.Trap;
+  EXPECT_EQ(O.ResultDisplay, VMDisplay);
+  EXPECT_EQ(O.Output, VMOutput);
+  EXPECT_EQ(O.LiveObjects, RT.getLiveObjects());
+  EXPECT_EQ(O.TotalAllocations, RT.getTotalAllocations());
+  EXPECT_EQ(O.ClosureAllocs, Machine.getClosureAllocs());
+  EXPECT_EQ(O.GenericApplies, Machine.getGenericApplies());
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+//===- SeedCorpusTest.cpp - regression seeds under stage validation ------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The deterministic promotion of `lz-fuzz --gen N --validate`: every
+/// MiniLean seed in tests/validate/seeds/ — each pinning a historically
+/// hairy semantic corner (boxing boundary, INT64_MIN division, x/0, deep
+/// tail recursion, pap chains, printed output) — runs the full
+/// translation-validated pipeline, and every other variant against the
+/// oracle. A pipeline change that breaks any stage's semantics fails here
+/// in CI without needing the fuzzer to rediscover the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "lower/Pipeline.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <vector>
+
+using namespace lz;
+using namespace lz::driver;
+
+namespace {
+
+struct Seed {
+  std::string Name;
+  std::string Source;
+};
+
+std::vector<Seed> loadSeeds() {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::path(__FILE__).parent_path() / "seeds";
+  std::vector<Seed> Seeds;
+  for (const auto &Entry : fs::directory_iterator(Dir)) {
+    if (!Entry.is_regular_file() || Entry.path().extension() != ".lz")
+      continue;
+    std::ifstream In(Entry.path());
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Seeds.push_back({Entry.path().stem().string(), Buf.str()});
+  }
+  std::sort(Seeds.begin(), Seeds.end(),
+            [](const Seed &A, const Seed &B) { return A.Name < B.Name; });
+  return Seeds;
+}
+
+std::string seedName(const ::testing::TestParamInfo<Seed> &Info) {
+  std::string N = Info.param.Name;
+  for (char &C : N)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return N;
+}
+
+class SeedCorpusTest : public ::testing::TestWithParam<Seed> {};
+
+TEST_P(SeedCorpusTest, FullPipelineStagesAgree) {
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(parseSource(GetParam().Source, P, Error)) << Error;
+
+  VMOptions VMOpts;
+  VMOpts.FuelLimit = 500'000'000;
+  ValidatedRunResult VR = runProgramValidated(
+      P, lower::PipelineOptions::forVariant(lower::PipelineVariant::Full),
+      "main", VMOpts);
+  EXPECT_TRUE(VR.Run.OK) << VR.Run.Error;
+  EXPECT_TRUE(VR.StagesOK) << VR.StageReport;
+  EXPECT_GE(VR.NumStages, 7u);
+  EXPECT_EQ(VR.Run.LiveObjects, 0u) << "leaked heap cells";
+}
+
+TEST_P(SeedCorpusTest, AllVariantsMatchOracle) {
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(parseSource(GetParam().Source, P, Error)) << Error;
+
+  RunResult Oracle = runOracle(P);
+  ASSERT_TRUE(Oracle.OK) << Oracle.Error;
+
+  const lower::PipelineVariant Variants[] = {
+      lower::PipelineVariant::Leanc, lower::PipelineVariant::Full,
+      lower::PipelineVariant::SimpOnly, lower::PipelineVariant::RgnOnly,
+      lower::PipelineVariant::NoOpt};
+  VMOptions VMOpts;
+  VMOpts.FuelLimit = 500'000'000;
+  for (auto V : Variants) {
+    RunResult R = runProgram(P, V, "main", VMOpts);
+    ASSERT_TRUE(R.OK) << lower::pipelineVariantName(V) << ": " << R.Error;
+    EXPECT_EQ(R.ResultDisplay, Oracle.ResultDisplay)
+        << lower::pipelineVariantName(V);
+    EXPECT_EQ(R.Output, Oracle.Output) << lower::pipelineVariantName(V);
+    EXPECT_EQ(R.LiveObjects, 0u) << lower::pipelineVariantName(V);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedCorpusTest,
+                         ::testing::ValuesIn(loadSeeds()), seedName);
+
+} // namespace

@@ -1,0 +1,240 @@
+//===- StageValidatorTest.cpp - stage-differential validator tests -------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The validator proper: observation comparison (trap identity, result,
+/// output, leaks, the fuel-inconclusive and no-RC masks), first-divergence
+/// bisection over the stage chain, report rendering, and the acceptance
+/// scenario — an intentionally miscompiled pipeline (a pass deleting an RC
+/// op) must be caught with the correct stage blamed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "driver/Driver.h"
+#include "ir/Module.h"
+#include "lower/Lowering.h"
+#include "lower/Pipeline.h"
+#include "rc/RCInsert.h"
+#include "rewrite/Pass.h"
+#include "rewrite/Passes.h"
+#include "validate/StageValidator.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::validate;
+
+namespace {
+
+Observation okObservation() {
+  Observation O;
+  O.OK = true;
+  O.ResultDisplay = "42";
+  O.Output = "hi\n";
+  O.LiveObjects = 0;
+  O.TotalAllocations = 3;
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// compareObservations
+//===----------------------------------------------------------------------===//
+
+TEST(CompareObservationsTest, AgreementIsEmpty) {
+  EXPECT_EQ(compareObservations(okObservation(), okObservation()), "");
+}
+
+TEST(CompareObservationsTest, FuelExhaustionIsInconclusive) {
+  // Eval steps and VM instructions are different units: exhaustion on
+  // either side must never read as a divergence, whatever else differs.
+  Observation A = okObservation();
+  Observation B;
+  B.FuelExhausted = true;
+  B.ResultDisplay = "999";
+  EXPECT_EQ(compareObservations(A, B), "");
+  EXPECT_EQ(compareObservations(B, A), "");
+}
+
+TEST(CompareObservationsTest, TrapIdentityComparesFirst) {
+  Observation A = okObservation();
+  Observation B = okObservation();
+  B.OK = false;
+  B.Trap = "executed unreachable code";
+  std::string Delta = compareObservations(A, B);
+  EXPECT_NE(Delta.find("trap:"), std::string::npos);
+  EXPECT_NE(Delta.find("executed unreachable code"), std::string::npos);
+
+  // The same trap on both sides is an *agreeing* failure: a program that
+  // traps identically at every stage was translated correctly.
+  A.OK = false;
+  A.Trap = B.Trap;
+  A.ResultDisplay = "different";
+  EXPECT_EQ(compareObservations(A, B), "");
+}
+
+TEST(CompareObservationsTest, ResultOutputAndLeakDeltas) {
+  Observation A = okObservation();
+  Observation B = okObservation();
+  B.ResultDisplay = "43";
+  EXPECT_NE(compareObservations(A, B).find("result: 42 vs 43"),
+            std::string::npos);
+
+  B = okObservation();
+  B.Output = "bye\n";
+  EXPECT_NE(compareObservations(A, B).find("output:"), std::string::npos);
+
+  B = okObservation();
+  B.LiveObjects = 3;
+  EXPECT_NE(compareObservations(A, B).find("live objects (leaks): 0 vs 3"),
+            std::string::npos);
+}
+
+TEST(CompareObservationsTest, NoRCSideMasksLeakComparison) {
+  // The λpure oracle has no RC semantics: leaks are only comparable when
+  // both sides track them.
+  Observation A = okObservation();
+  A.HasRC = false;
+  Observation B = okObservation();
+  B.LiveObjects = 7;
+  EXPECT_EQ(compareObservations(A, B), "");
+}
+
+//===----------------------------------------------------------------------===//
+// The chain: external stages, bisection, reports
+//===----------------------------------------------------------------------===//
+
+TEST(StageValidatorTest, FirstDivergenceWins) {
+  StageValidator SV;
+  Observation Good = okObservation();
+  Observation Bad = okObservation();
+  Bad.ResultDisplay = "0";
+  SV.observeExternal("s0", Good);
+  SV.observeExternal("s1", Good);
+  SV.observeExternal("s2", Bad);
+  SV.observeExternal("s3", Bad); // agrees with s2: not a divergence
+  auto D = SV.findDivergence();
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->BeforeIndex, 1u);
+  EXPECT_EQ(D->AfterIndex, 2u);
+  EXPECT_FALSE(SV.allAgree());
+
+  std::string Report = SV.report();
+  EXPECT_NE(Report.find("validate: FAIL"), std::string::npos);
+  EXPECT_NE(Report.find("first divergence: 's1' -> 's2'"),
+            std::string::npos);
+  EXPECT_NE(Report.find("(external execution: no IR)"), std::string::npos);
+}
+
+TEST(StageValidatorTest, AgreementReport) {
+  StageValidator SV;
+  SV.observeExternal("a", okObservation());
+  SV.observeExternal("b", okObservation());
+  EXPECT_TRUE(SV.allAgree());
+  std::string Report = SV.report();
+  EXPECT_NE(Report.find("2 stage(s) agree"), std::string::npos);
+  EXPECT_NE(Report.find("result=42"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The acceptance scenario: an injected miscompile, correctly blamed
+//===----------------------------------------------------------------------===//
+
+TEST(StageValidatorTest, DropRCMiscompileBlamesInjectedPass) {
+  // A program whose lp form carries real RC traffic. drop-rc deletes one
+  // lp.dec — SSA-valid, verifier-clean, observably a leak. The validator
+  // must pin the divergence on exactly the injected pass, not on the
+  // stages before it and not merely on "final result wrong" (the result
+  // is in fact still right — only the heap accounting breaks).
+  const char *Source = "inductive P := | MkP a b\n"
+                       "def fst p := match p with | MkP a _ => a end\n"
+                       "def main := fst (MkP 1 2)\n";
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::parseSource(Source, P, Error)) << Error;
+  rc::insertRC(P);
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  OwningOpRef Module = lower::lowerLambdaToLp(P, Ctx);
+  ASSERT_NE(Module.get(), nullptr);
+
+  StageValidator SV;
+  SV.observeStage("lower-lambda-to-lp", Module.get());
+
+  PassManager PM;
+  PM.addInstrumentation(lower::createStageSnapshotInstrumentation(SV, "pass"));
+  PM.addPass(createDropRCPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  auto D = SV.findDivergence();
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(SV.getStages()[D->BeforeIndex].Name, "lower-lambda-to-lp");
+  EXPECT_EQ(SV.getStages()[D->AfterIndex].Name, "pass.1.drop-rc");
+  EXPECT_NE(D->Delta.find("live objects"), std::string::npos);
+
+  std::string Report = SV.report();
+  EXPECT_NE(Report.find("validate: FAIL"), std::string::npos);
+  EXPECT_NE(Report.find("--- IR at 'lower-lambda-to-lp' ---"),
+            std::string::npos);
+  EXPECT_NE(Report.find("--- IR at 'pass.1.drop-rc' ---"),
+            std::string::npos);
+}
+
+TEST(StageValidatorTest, CleanPassesProduceNoDivergence) {
+  // The same harness with real optimization passes: canonicalize + cse
+  // must not disturb the observable at any intermediate point.
+  const char *Source = "inductive P := | MkP a b\n"
+                       "def fst p := match p with | MkP a _ => a end\n"
+                       "def main := fst (MkP 1 2) + fst (MkP 3 4)\n";
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::parseSource(Source, P, Error)) << Error;
+  rc::insertRC(P);
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  OwningOpRef Module = lower::lowerLambdaToLp(P, Ctx);
+  ASSERT_NE(Module.get(), nullptr);
+
+  StageValidator SV;
+  SV.observeStage("lower-lambda-to-lp", Module.get());
+  PassManager PM;
+  PM.addInstrumentation(lower::createStageSnapshotInstrumentation(SV, "pass"));
+  PM.addPass(createCanonicalizerPass());
+  PM.addPass(createCSEPass());
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+
+  EXPECT_GE(SV.getStages().size(), 3u);
+  EXPECT_TRUE(SV.allAgree()) << SV.report();
+}
+
+//===----------------------------------------------------------------------===//
+// The driver-level chain: oracle -> stages -> VM
+//===----------------------------------------------------------------------===//
+
+TEST(StageValidatorTest, RunProgramValidatedFullChain) {
+  const char *Source =
+      "def compose f g x := f (g x)\n"
+      "def inc x := x + 1\n"
+      "def dbl x := x * 2\n"
+      "def main := println (compose inc dbl 10)\n";
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::parseSource(Source, P, Error)) << Error;
+
+  driver::ValidatedRunResult VR = driver::runProgramValidated(
+      P, lower::PipelineOptions::forVariant(lower::PipelineVariant::Full));
+  EXPECT_TRUE(VR.Run.OK) << VR.Run.Error;
+  EXPECT_TRUE(VR.StagesOK) << VR.StageReport;
+  // oracle + 5 lowering points + optimization passes + vm.
+  EXPECT_GE(VR.NumStages, 7u);
+  EXPECT_EQ(VR.Run.ResultDisplay, "0"); // println returns unit
+  EXPECT_EQ(VR.Run.Output, "21\n");
+  EXPECT_NE(VR.StageReport.find("stage(s) agree"), std::string::npos);
+}
+
+} // namespace

@@ -16,6 +16,11 @@
 ///     result, every run is leak-free, and every VM run is fuel-bounded.
 ///     The first failing seed is reported with its source and a greedily
 ///     reduced reproducer, and is re-runnable with `--gen 1 --seed S`.
+///     With --validate, the full pipeline additionally runs under the
+///     per-stage translation validator (validate/StageValidator.h): every
+///     phase's module snapshot is executed, and a divergence blames the
+///     first adjacent stage pair that disagrees instead of just "final
+///     answer wrong".
 ///
 ///   lz-fuzz --roundtrip PATH...
 ///     Walks .lz files under each PATH. Every file is fed to both the IR
@@ -53,14 +58,18 @@ namespace {
 
 void printUsage() {
   errs() << "usage:\n"
-            "  lz-fuzz --gen N [--seed S]   differential-fuzz N generated "
+            "  lz-fuzz --gen N [--seed S] [--validate]\n"
+            "                               differential-fuzz N generated "
             "programs\n"
             "  lz-fuzz --roundtrip PATH...  parser robustness + print/parse "
             "fixpoint\n"
             "options:\n"
             "  --seed S    first seed for --gen (default 0); a failing seed\n"
             "              S reported by --gen is re-run with --gen 1 --seed "
-            "S\n";
+            "S\n"
+            "  --validate  additionally run the full pipeline under the\n"
+            "              per-stage translation validator; a divergence\n"
+            "              names the first stage pair that disagrees\n";
 }
 
 //===----------------------------------------------------------------------===//
@@ -69,22 +78,63 @@ void printUsage() {
 
 /// What broke, if anything. The reducer preserves the failure kind so a
 /// differential failure cannot "reduce" into an uninteresting parse error.
-enum class FailureKind { None, Parse, Oracle, Variant };
+enum class FailureKind { None, Parse, Oracle, Variant, Stage };
 
+/// A failure additionally carries a normalized signature — the failure
+/// category plus the variant (or stage pair) it occurred in, with digit
+/// runs collapsed — so the reducer can pin the *identity* of the failure,
+/// not merely its kind. Without this, e.g. a leak in the full pipeline
+/// happily "reduces" into an unrelated arity trap, because both are
+/// FailureKind::Variant.
 struct CheckResult {
   FailureKind Kind = FailureKind::None;
   std::string Detail;
+  std::string Signature;
 };
 
-CheckResult checkProgram(const std::string &Source) {
+/// Collapses every digit run to 'N' so the signature survives reduction
+/// (shrinking a program changes values and counts, not the failure shape).
+std::string normalizeSignature(std::string_view S) {
+  std::string Out;
+  bool InDigits = false;
+  for (char C : S) {
+    bool IsDigit = C >= '0' && C <= '9';
+    if (IsDigit && InDigits)
+      continue;
+    Out += IsDigit ? 'N' : C;
+    InDigits = IsDigit;
+  }
+  return Out;
+}
+
+/// Extracts the blame ("first divergence" + "delta" lines) from a stage
+/// validation report, dropping the IR dumps that follow.
+std::string stageReportBlame(const std::string &Report) {
+  std::string Blame;
+  std::istringstream In(Report);
+  for (std::string L; std::getline(In, L);) {
+    if (L.rfind("--- IR", 0) == 0 || L.rfind("  stage ", 0) == 0)
+      break;
+    if (L.rfind("  first divergence:", 0) == 0 || L.rfind("  delta:", 0) == 0) {
+      if (!Blame.empty())
+        Blame += "; ";
+      size_t Start = L.find_first_not_of(' ');
+      Blame += L.substr(Start == std::string::npos ? 0 : Start);
+    }
+  }
+  return Blame.empty() ? "stage divergence" : Blame;
+}
+
+CheckResult checkProgram(const std::string &Source, bool Validate) {
   lambda::Program P;
   std::string Error;
   if (!driver::parseSource(Source, P, Error))
-    return {FailureKind::Parse, Error};
+    return {FailureKind::Parse, Error, "parse"};
 
   driver::RunResult Oracle = driver::runOracle(P);
   if (!Oracle.OK)
-    return {FailureKind::Oracle, Oracle.Error};
+    return {FailureKind::Oracle, Oracle.Error,
+            "oracle:" + normalizeSignature(Oracle.Error)};
 
   const lower::PipelineVariant Variants[] = {
       lower::PipelineVariant::Leanc, lower::PipelineVariant::Full,
@@ -96,27 +146,54 @@ CheckResult checkProgram(const std::string &Source) {
   VMOpts.FuelLimit = 500'000'000;
   for (auto V : Variants) {
     std::string Name = lower::pipelineVariantName(V);
-    driver::RunResult R = driver::runProgram(P, V, "main", VMOpts);
+    driver::RunResult R;
+    if (Validate && V == lower::PipelineVariant::Full) {
+      // The translation-validated run: every pipeline stage of the full
+      // variant is executed and compared; its final VM run doubles as
+      // this variant's differential data point.
+      driver::ValidatedRunResult VR = driver::runProgramValidated(
+          P, lower::PipelineOptions::forVariant(V), "main", VMOpts);
+      if (!VR.StagesOK)
+        return {FailureKind::Stage, VR.StageReport,
+                "stage:" + normalizeSignature(stageReportBlame(VR.StageReport))};
+      R = VR.Run;
+    } else {
+      R = driver::runProgram(P, V, "main", VMOpts);
+    }
     if (!R.OK)
-      return {FailureKind::Variant, Name + ": " + R.Error};
+      return {FailureKind::Variant, Name + ": " + R.Error,
+              "variant:" + Name + ":error:" + normalizeSignature(R.Error)};
     if (R.ResultDisplay != Oracle.ResultDisplay)
-      return {FailureKind::Variant, Name + ": got " + R.ResultDisplay +
-                                        ", oracle " + Oracle.ResultDisplay};
+      return {FailureKind::Variant,
+              Name + ": got " + R.ResultDisplay + ", oracle " +
+                  Oracle.ResultDisplay,
+              "variant:" + Name + ":result"};
+    if (R.Output != Oracle.Output)
+      return {FailureKind::Variant,
+              Name + ": printed output differs from oracle (" +
+                  std::to_string(R.Output.size()) + " vs " +
+                  std::to_string(Oracle.Output.size()) + " bytes)",
+              "variant:" + Name + ":output"};
     if (R.LiveObjects != 0)
       return {FailureKind::Variant,
-              Name + ": leaked " + std::to_string(R.LiveObjects) + " objects"};
+              Name + ": leaked " + std::to_string(R.LiveObjects) + " objects",
+              "variant:" + Name + ":leak"};
   }
   return {};
 }
 
 /// Greedy reducer: shrink a failing program while preserving the failure
-/// kind. Two phases run to a joint fixpoint under one evaluation budget:
+/// *identity* — kind plus normalized signature, so a leak stays a leak in
+/// the same variant and a stage divergence keeps blaming the same stage
+/// pair. Two phases run to a joint fixpoint under one evaluation budget:
 /// whole-line deletion (drops unused defs and prelude helpers), then
 /// replacement of parenthesized subexpressions with "0" / "1".
 class Reducer {
 public:
-  Reducer(FailureKind Kind, unsigned Budget = 1500)
-      : Kind(Kind), Budget(Budget) {}
+  Reducer(FailureKind Kind, std::string Signature, bool Validate,
+          unsigned Budget = 1500)
+      : Kind(Kind), Signature(std::move(Signature)), Validate(Validate),
+        Budget(Budget) {}
 
   std::string reduce(std::string Source) {
     bool Changed = true;
@@ -133,7 +210,8 @@ private:
     if (Budget == 0)
       return false;
     --Budget;
-    return checkProgram(Source).Kind == Kind;
+    CheckResult R = checkProgram(Source, Validate);
+    return R.Kind == Kind && R.Signature == Signature;
   }
 
   bool deleteLines(std::string &Source) {
@@ -193,28 +271,33 @@ private:
   }
 
   FailureKind Kind;
+  std::string Signature;
+  bool Validate;
   unsigned Budget;
 };
 
-int runGen(unsigned Count, unsigned FirstSeed) {
+int runGen(unsigned Count, unsigned FirstSeed, bool Validate) {
   for (unsigned I = 0; I != Count; ++I) {
     unsigned Seed = FirstSeed + I;
     programs::ProgramGenerator Gen(Seed * 2654435761u + 17);
     std::string Source = Gen.generate();
-    CheckResult R = checkProgram(Source);
+    CheckResult R = checkProgram(Source, Validate);
     if (R.Kind == FailureKind::None)
       continue;
     errs() << "lz-fuzz: FAIL at seed " << Seed << ": " << R.Detail << "\n"
-           << "lz-fuzz: re-run with: lz-fuzz --gen 1 --seed " << Seed << "\n"
+           << "lz-fuzz: re-run with: lz-fuzz --gen 1 --seed " << Seed
+           << (Validate ? " --validate" : "") << "\n"
            << "lz-fuzz: failing source:\n"
            << Source << "\n";
-    std::string Reduced = Reducer(R.Kind).reduce(Source);
-    errs() << "lz-fuzz: reduced reproducer (" << R.Detail << "):\n"
+    std::string Reduced =
+        Reducer(R.Kind, R.Signature, Validate).reduce(Source);
+    errs() << "lz-fuzz: reduced reproducer (" << R.Signature << "):\n"
            << Reduced;
     return 1;
   }
   outs() << "lz-fuzz: " << Count << " generated programs OK (seeds "
-         << FirstSeed << ".." << FirstSeed + Count - 1 << ")\n";
+         << FirstSeed << ".." << FirstSeed + Count - 1
+         << (Validate ? ", stage-validated" : "") << ")\n";
   return 0;
 }
 
@@ -363,7 +446,7 @@ int runRoundtrip(const std::vector<std::string> &Paths) {
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Gen = false, Roundtrip = false;
+  bool Gen = false, Roundtrip = false, Validate = false;
   unsigned Count = 0, FirstSeed = 0;
   std::vector<std::string> Paths;
   for (int I = 1; I < argc; ++I) {
@@ -373,6 +456,8 @@ int main(int argc, char **argv) {
       Count = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
     } else if (Arg == "--seed" && I + 1 < argc) {
       FirstSeed = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (Arg == "--validate") {
+      Validate = true;
     } else if (Arg == "--roundtrip") {
       Roundtrip = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -391,7 +476,7 @@ int main(int argc, char **argv) {
     return 1;
   }
   if (Gen)
-    return runGen(Count, FirstSeed);
+    return runGen(Count, FirstSeed, Validate);
   if (Paths.empty())
     Paths.push_back("tests/filecheck");
   return runRoundtrip(Paths);

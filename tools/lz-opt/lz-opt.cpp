@@ -30,12 +30,14 @@
 #include "runtime/Object.h"
 #include "support/OStream.h"
 #include "support/Timing.h"
+#include "validate/StageValidator.h"
 #include "vm/Compiler.h"
 #include "vm/Disasm.h"
 #include "vm/VM.h"
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -50,8 +52,8 @@ const char *const UsageText =
             "  --no-simplify         with --minilean: skip simplification\n"
             "  --no-rc               with --minilean: skip RC insertion\n"
             "  --pass=NAME           run a pass (canonicalize|cse|dce|inline|\n"
-            "                        sccp|devirt|arity-raise); repeatable,\n"
-            "                        runs in the order given\n"
+            "                        sccp|devirt|arity-raise|drop-rc);\n"
+            "                        repeatable, runs in the order given\n"
     "  --sccp                shorthand for --pass=sccp\n"
     "  --devirt              shorthand for --pass=devirt\n"
     "  --arity-raise         shorthand for --pass=arity-raise\n"
@@ -71,6 +73,11 @@ const char *const UsageText =
     "  --max-errors=N        stop after N error diagnostics (default 20,\n"
     "                        0 = unlimited)\n"
     "  --verify-only         parse + verify, print 'ok'\n"
+    "  --validate-stages[=E] translation validation: execute the module\n"
+    "                        after every pass and lowering stage (entry\n"
+    "                        point E, default 'main') and report the first\n"
+    "                        stage pair whose observables diverge instead\n"
+    "                        of printing the module\n"
     "  --pass-timing         print a per-pass/per-stage wall-time report\n"
     "                        to stderr after the run\n"
     "  --pass-statistics     print per-pass statistic counters to stderr\n"
@@ -99,6 +106,8 @@ int main(int argc, char **argv) {
   bool PassStatistics = false;
   bool DumpBytecode = false;
   bool VMProfile = false;
+  bool ValidateStages = false;
+  std::string ValidateEntry = "main";
   bool Fuse = true;
   unsigned MaxErrors = 20;
   std::string VMDispatch;
@@ -130,6 +139,12 @@ int main(int argc, char **argv) {
       LowerRgn = true;
     else if (Arg == "--verify-only")
       VerifyOnly = true;
+    else if (Arg == "--validate-stages")
+      ValidateStages = true;
+    else if (Arg.rfind("--validate-stages=", 0) == 0) {
+      ValidateStages = true;
+      ValidateEntry = Arg.substr(18);
+    }
     else if (Arg == "--dump-bytecode")
       DumpBytecode = true;
     else if (Arg == "--vm-profile")
@@ -238,10 +253,25 @@ int main(int argc, char **argv) {
     return DE.hasErrors() ? 1 : 0;
   }
 
+  // Translation validation: the freshly-lowered/parsed module is stage 0;
+  // every pass and explicit lowering below adds a stage. A generous fuel
+  // cap keeps nonterminating inputs from hanging the driver.
+  std::unique_ptr<validate::StageValidator> SV;
+  if (ValidateStages) {
+    validate::EvalOptions EO;
+    EO.FuelLimit = 100'000'000;
+    SV = std::make_unique<validate::StageValidator>(ValidateEntry, EO);
+    SV->observeStage(MiniLean ? "lower-lambda-to-lp" : "parse",
+                     Owner.get());
+  }
+
   PassManager PM;
   {
     TimingScope PassScope = Total.nest("passes");
     PM.enableTiming(*PassScope.getTimer());
+    if (SV)
+      PM.addInstrumentation(
+          lower::createStageSnapshotInstrumentation(*SV, "pass"));
     if (PrintConfig.BeforeAll || PrintConfig.AfterAll ||
         !PrintConfig.Before.empty() || !PrintConfig.After.empty())
       PM.enableIRPrinting(PrintConfig); // snapshots go to errs()
@@ -260,6 +290,8 @@ int main(int argc, char **argv) {
         PM.addPass(createDevirtualizePass());
       else if (Name == "arity-raise")
         PM.addPass(createArityRaisePass());
+      else if (Name == "drop-rc")
+        PM.addPass(validate::createDropRCPass());
       else {
         errs() << "unknown pass '" << Name << "'\n";
         return usage();
@@ -277,6 +309,8 @@ int main(int argc, char **argv) {
     }
     if (failed(verify(Owner.get())))
       return 1;
+    if (SV)
+      SV->observeStage("lower-lp-to-rgn", Owner.get());
   }
 
   if (LowerRgn) {
@@ -288,6 +322,19 @@ int main(int argc, char **argv) {
     }
     if (failed(verify(Owner.get())))
       return 1;
+    if (SV)
+      SV->observeStage("lower-rgn-to-cf", Owner.get());
+  }
+
+  if (ValidateStages) {
+    outs() << SV->report();
+    Total.stop();
+    outs().flush();
+    if (PassStatistics)
+      PM.printStatistics(errs());
+    if (PassTiming)
+      TM.print(errs());
+    return (SV->allAgree() && !DE.hasErrors()) ? 0 : 1;
   }
 
   if (DumpBytecode || VMProfile) {
