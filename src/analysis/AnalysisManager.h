@@ -26,6 +26,7 @@
 #ifndef LZ_ANALYSIS_ANALYSISMANAGER_H
 #define LZ_ANALYSIS_ANALYSISMANAGER_H
 
+#include "obs/Trace.h"
 #include "support/Timing.h"
 
 #include <algorithm>
@@ -97,6 +98,7 @@ public:
       // aggregates total construction time, its child attributes per name.
       TimingScope Group(TimingParent);
       TimingScope S = Group.nest(T::AnalysisName);
+      obs::TraceSpan TS(TraceOut, std::string(T::AnalysisName), "analysis");
       Instance = new T(Root);
     }
     store(Id, Root, Instance,
@@ -137,6 +139,10 @@ public:
     TimingParent = &Parent.getOrCreateChild("(analysis)");
   }
 
+  /// Opens a span in \p Sink (category "analysis") around each analysis
+  /// construction; cache hits record nothing.
+  void enableTracing(obs::TraceSink &Sink) { TraceOut = &Sink; }
+
   /// Per-analysis cache counters in first-use order (deterministic
   /// reports).
   struct CacheCounter {
@@ -170,6 +176,7 @@ private:
   std::vector<CacheCounter> Counters;
   std::unordered_map<detail::AnalysisTypeID, size_t> CounterIndex;
   Timer *TimingParent = nullptr;
+  obs::TraceSink *TraceOut = nullptr;
 };
 
 } // namespace lz

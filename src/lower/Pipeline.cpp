@@ -10,6 +10,8 @@
 #include "ir/Verifier.h"
 #include "lambda/Simplify.h"
 #include "lower/Lowering.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "rc/RCInsert.h"
 #include "rewrite/Pass.h"
 #include "rewrite/Passes.h"
@@ -98,26 +100,44 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
   CompileResult Result;
 
   // All phase scopes nest under the timing root; inactive (free) when no
-  // TimingManager was supplied.
+  // TimingManager was supplied. Trace spans mirror the timing scopes and
+  // are equally free when no sink was supplied.
+  obs::TraceSink *Trace = Opts.Instrument.Trace;
+  auto Span = [&](const char *Name) {
+    return obs::TraceSpan(Trace, Name, "pipeline");
+  };
   TimingScope Total(Opts.Instrument.Timing
                         ? &Opts.Instrument.Timing->getRootTimer()
                         : nullptr);
+  obs::TraceSpan TotalSpan = Span("compile");
   auto VerifyTimed = [&](Operation *Root) {
     TimingScope S = Total.nest("(verify)");
+    obs::TraceSpan TS = Span("(verify)");
     return verify(Root);
   };
+
+  // Pass statistics merge into a per-compile local report, fanned out at
+  // the end to the caller's (possibly multi-compile) report and/or the
+  // metrics registry — each consumer sees this compile exactly once.
+  StatisticsReport LocalStats;
+  StatisticsReport *Stats =
+      (Opts.Instrument.Statistics || Opts.Instrument.Metrics) ? &LocalStats
+                                                              : nullptr;
 
   // Frontend: (optional) λpure simplifier, then reference counting.
   lambda::Program P = lambda::cloneProgram(Src);
   {
     TimingScope Frontend = Total.nest("frontend");
+    obs::TraceSpan FrontendSpan = Span("frontend");
     if (Opts.RunLambdaSimplifier) {
       TimingScope S = Frontend.nest("simplify");
+      obs::TraceSpan TS = Span("simplify");
       lambda::simplifyProgram(P);
     }
     rc::RCOptions RCOpts;
     RCOpts.BorrowInference = Opts.BorrowInference;
     TimingScope S = Frontend.nest("rc-insert");
+    obs::TraceSpan TS = Span("rc-insert");
     rc::insertRC(P, RCOpts);
   }
 
@@ -126,6 +146,7 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
   if (!Opts.UseRgnBackend) {
     {
       TimingScope S = Total.nest("lower-direct");
+      obs::TraceSpan TS = Span("lower-direct");
       Module = lowerLambdaToCfDirect(P, Ctx);
     }
     if (Opts.VerifyEach && failed(VerifyTimed(Module.get()))) {
@@ -137,6 +158,7 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
   } else {
     {
       TimingScope S = Total.nest("lower-lambda-to-lp");
+      obs::TraceSpan TS = Span("lower-lambda-to-lp");
       Module = lowerLambdaToLp(P, Ctx);
     }
     if (Opts.VerifyEach && failed(VerifyTimed(Module.get()))) {
@@ -156,8 +178,12 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       PassManager ClosurePM;
       ClosurePM.setVerifyEach(Opts.VerifyEach);
       TimingScope ClosureOpt = Total.nest("closure-opt");
+      obs::TraceSpan ClosureOptSpan = Span("closure-opt");
       if (ClosureOpt.isActive())
         ClosurePM.enableTiming(*ClosureOpt.getTimer());
+      if (Trace)
+        ClosurePM.enableTracing(*Trace, "pass");
+      ClosurePM.setRemarkEngine(Opts.Instrument.Remarks);
       if (Opts.Instrument.IRPrint)
         ClosurePM.enableIRPrinting(*Opts.Instrument.IRPrint);
       if (Opts.Validate)
@@ -166,9 +192,10 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       ClosurePM.addPass(createArityRaisePass());
       ClosurePM.addPass(createDevirtualizePass());
       LogicalResult ClosureResult = ClosurePM.run(Module.get());
-      if (Opts.Instrument.Statistics)
-        ClosurePM.mergeStatisticsInto(*Opts.Instrument.Statistics);
+      if (Stats)
+        ClosurePM.mergeStatisticsInto(*Stats);
       ClosureOpt.stop();
+      ClosureOptSpan.stop();
       if (failed(ClosureResult)) {
         Result.Error = "closure-opt phase failed";
         return Result;
@@ -177,6 +204,7 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
 
     {
       TimingScope S = Total.nest("lower-lp-to-rgn");
+      obs::TraceSpan TS = Span("lower-lp-to-rgn");
       if (failed(lowerLpToRgn(Module.get()))) {
         Result.Error = "lp->rgn lowering failed";
         return Result;
@@ -194,8 +222,12 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
     PassManager PM;
     PM.setVerifyEach(Opts.VerifyEach);
     TimingScope RgnOpt = Total.nest("rgn-opt");
+    obs::TraceSpan RgnOptSpan = Span("rgn-opt");
     if (RgnOpt.isActive())
       PM.enableTiming(*RgnOpt.getTimer());
+    if (Trace)
+      PM.enableTracing(*Trace, "pass");
+    PM.setRemarkEngine(Opts.Instrument.Remarks);
     if (Opts.Instrument.IRPrint)
       PM.enableIRPrinting(*Opts.Instrument.IRPrint);
     if (Opts.Validate)
@@ -212,9 +244,10 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
     if (Opts.RunDCE)
       PM.addPass(createDCEPass());
     LogicalResult PMResult = PM.run(Module.get());
-    if (Opts.Instrument.Statistics)
-      PM.mergeStatisticsInto(*Opts.Instrument.Statistics);
+    if (Stats)
+      PM.mergeStatisticsInto(*Stats);
     RgnOpt.stop();
+    RgnOptSpan.stop();
     if (failed(PMResult)) {
       Result.Error = "rgn optimization pipeline failed";
       return Result;
@@ -222,6 +255,7 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
 
     {
       TimingScope S = Total.nest("lower-rgn-to-cf");
+      obs::TraceSpan TS = Span("lower-rgn-to-cf");
       if (failed(lowerRgnToCf(Module.get()))) {
         Result.Error = "rgn->cf lowering failed";
         return Result;
@@ -245,8 +279,12 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       PassManager CfPM;
       CfPM.setVerifyEach(Opts.VerifyEach);
       TimingScope CfOpt = Total.nest("cf-opt");
+      obs::TraceSpan CfOptSpan = Span("cf-opt");
       if (CfOpt.isActive())
         CfPM.enableTiming(*CfOpt.getTimer());
+      if (Trace)
+        CfPM.enableTracing(*Trace, "pass");
+      CfPM.setRemarkEngine(Opts.Instrument.Remarks);
       if (Opts.Instrument.IRPrint)
         CfPM.enableIRPrinting(*Opts.Instrument.IRPrint);
       if (Opts.Validate)
@@ -256,9 +294,10 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
       if (Opts.RunDCE)
         CfPM.addPass(createDCEPass());
       LogicalResult CfResult = CfPM.run(Module.get());
-      if (Opts.Instrument.Statistics)
-        CfPM.mergeStatisticsInto(*Opts.Instrument.Statistics);
+      if (Stats)
+        CfPM.mergeStatisticsInto(*Stats);
       CfOpt.stop();
+      CfOptSpan.stop();
       if (failed(CfResult)) {
         // The phase's pre-pipeline verify also stands in for the skipped
         // post-lowering verify, so name both suspects.
@@ -270,6 +309,7 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
   }
 
   TimingScope Emit = Total.nest("vm-emit");
+  obs::TraceSpan EmitSpan = Span("vm-emit");
   markTailCalls(Module.get());
   if (Opts.Validate)
     Opts.Validate->observeStage("mark-tail-calls", Module.get());
@@ -282,11 +322,19 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
   std::string Err;
   vm::CompilerOptions VMOpts;
   VMOpts.FuseSuperinstructions = Opts.FuseSuperinstructions;
+  VMOpts.Trace = Trace;
+  VMOpts.Remarks = Opts.Instrument.Remarks;
   if (failed(vm::compileModule(Module.get(), Result.Prog, Err, VMOpts))) {
     Result.Error = Err;
     return Result;
   }
   Result.Module = std::move(Module);
   Result.OK = true;
+
+  if (Opts.Instrument.Statistics)
+    for (const StatisticsReport::Row &R : LocalStats.getRows())
+      Opts.Instrument.Statistics->add(R.PassName, R.StatName, R.Desc, R.Value);
+  if (Opts.Instrument.Metrics)
+    Opts.Instrument.Metrics->adoptStatistics(LocalStats);
   return Result;
 }

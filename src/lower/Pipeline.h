@@ -40,6 +40,12 @@ class PassInstrumentation;
 class StatisticsReport;
 class TimingManager;
 struct IRPrintConfig;
+
+namespace obs {
+class MetricsRegistry;
+class RemarkEngine;
+class TraceSink;
+} // namespace obs
 } // namespace lz
 
 namespace lz::lower {
@@ -85,6 +91,18 @@ struct PipelineInstrumentation {
   const IRPrintConfig *IRPrint = nullptr;
   /// Per-pass statistic counters, merged into this report once per compile.
   StatisticsReport *Statistics = nullptr;
+  /// Structured tracing: spans for every phase, pass, analysis
+  /// construction, verification, lowering, and bytecode compile/fuse
+  /// (--trace-json).
+  obs::TraceSink *Trace = nullptr;
+  /// Optimization remarks from the passes and the bytecode fuser
+  /// (--rpass / --remarks-json).
+  obs::RemarkEngine *Remarks = nullptr;
+  /// Unified counters: pass statistics and analysis cache counters are
+  /// adopted at the end of the compile under pass.* / analysis.* names
+  /// (--metrics-json). VM and runtime counters are the caller's to adopt
+  /// after the run.
+  obs::MetricsRegistry *Metrics = nullptr;
 };
 
 /// Fine-grained switches for ablation studies; derived from the variant by

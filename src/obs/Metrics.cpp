@@ -1,0 +1,124 @@
+//===- Metrics.cpp - unified hierarchical metrics registry ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Trace.h" // writeJSONString
+#include "rewrite/Pass.h"
+#include "runtime/Object.h"
+#include "support/OStream.h"
+#include "vm/VM.h"
+
+using namespace lz;
+using namespace lz::obs;
+
+void MetricsRegistry::add(std::string_view Name, uint64_t Delta) {
+  auto It = Entries.find(Name);
+  if (It == Entries.end())
+    Entries.emplace(std::string(Name), Delta);
+  else
+    It->second += Delta;
+}
+
+void MetricsRegistry::set(std::string_view Name, uint64_t Value) {
+  auto It = Entries.find(Name);
+  if (It == Entries.end())
+    Entries.emplace(std::string(Name), Value);
+  else
+    It->second = Value;
+}
+
+bool MetricsRegistry::has(std::string_view Name) const {
+  return Entries.find(Name) != Entries.end();
+}
+
+uint64_t MetricsRegistry::get(std::string_view Name) const {
+  auto It = Entries.find(Name);
+  return It == Entries.end() ? 0 : It->second;
+}
+
+void MetricsRegistry::adoptStatistics(const StatisticsReport &Report) {
+  for (const StatisticsReport::Row &R : Report.getRows()) {
+    if (R.PassName == "(analysis)")
+      add("analysis." + R.StatName, R.Value);
+    else
+      add("pass." + R.PassName + "." + R.StatName, R.Value);
+  }
+}
+
+namespace {
+
+/// Opcodes that exist only as fused/superinstruction forms (plus CmpBr,
+/// which the IR-level terminator fusion also emits directly): executing
+/// one means a fusion opportunity paid off at runtime.
+bool isFusedOpcode(vm::Opcode Op) {
+  switch (Op) {
+  case vm::Opcode::IncN:
+  case vm::Opcode::DecN:
+  case vm::Opcode::PapApply:
+  case vm::Opcode::RetConst:
+  case vm::Opcode::CmpBr:
+  case vm::Opcode::DecCmpBr:
+  case vm::Opcode::IntAdd:
+  case vm::Opcode::IntSub:
+  case vm::Opcode::IntMul:
+  case vm::Opcode::IntDiv:
+  case vm::Opcode::IntMod:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+void MetricsRegistry::adoptVM(const vm::VM &Machine) {
+  set("vm.steps", Machine.getSteps());
+  set("vm.closure-allocs", Machine.getClosureAllocs());
+  set("vm.generic-applies", Machine.getGenericApplies());
+  std::span<const uint64_t> Profile = Machine.getProfile();
+  if (!Profile.empty()) {
+    uint64_t Fused = 0;
+    for (size_t I = 0; I != Profile.size(); ++I)
+      if (isFusedOpcode(static_cast<vm::Opcode>(I)))
+        Fused += Profile[I];
+    set("vm.fused-op-hits", Fused);
+  }
+}
+
+void MetricsRegistry::adoptFunctionProfile(const vm::VM &Machine,
+                                           const vm::Program &Prog) {
+  std::span<const vm::FunctionProfile> FP = Machine.getFunctionProfile();
+  for (size_t I = 0; I != FP.size() && I != Prog.Functions.size(); ++I) {
+    if (!FP[I].Calls)
+      continue;
+    std::string Prefix = "vm.fn." + Prog.Functions[I].Name + ".";
+    set(Prefix + "calls", FP[I].Calls);
+    set(Prefix + "steps-excl", FP[I].StepsExcl);
+    set(Prefix + "steps-incl", FP[I].StepsIncl);
+    set(Prefix + "allocs", FP[I].Allocs);
+  }
+}
+
+void MetricsRegistry::adoptRuntime(const rt::Runtime &RT) {
+  set("rt.live-objects", RT.getLiveObjects());
+  set("rt.total-allocations", RT.getTotalAllocations());
+}
+
+void MetricsRegistry::exportJSON(OStream &OS) const {
+  OS << "{\"metrics\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : Entries) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << "\n";
+    writeJSONString(OS, Name);
+    OS << ':' << Value;
+  }
+  OS << "\n}}\n";
+}

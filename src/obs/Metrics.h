@@ -1,0 +1,95 @@
+//===- Metrics.h - unified hierarchical metrics registry --------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One registry unifying the system's scattered counters under a single
+/// hierarchical (dot-separated) namespace:
+///
+///   pass.<pass>.<statistic>      pass Statistic counters
+///   analysis.<name>.cache-hits   AnalysisManager cache counters
+///   vm.steps / vm.closure-allocs / vm.generic-applies / vm.fused-op-hits
+///   vm.fn.<function>.<counter>   the per-function VM profiler
+///   rt.live-objects / rt.total-allocations   RC heap counters
+///
+/// The registry adopts from the existing sources (StatisticsReport, the
+/// VM, the runtime) rather than replacing them, and exports everything as
+/// sorted JSON (`lz-opt --metrics-json=FILE`), the namespace
+/// tools/bench-json.sh carries into BENCH_*.json refreshes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_OBS_METRICS_H
+#define LZ_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace lz {
+class OStream;
+class StatisticsReport;
+
+namespace rt {
+class Runtime;
+}
+namespace vm {
+class VM;
+struct Program;
+}
+} // namespace lz
+
+namespace lz::obs {
+
+/// Flat map of hierarchical counter names to values. Keys sort
+/// lexicographically on export, so the JSON is deterministic and
+/// machine-diffable.
+class MetricsRegistry {
+public:
+  /// Adds \p Delta into \p Name, creating the counter at zero.
+  void add(std::string_view Name, uint64_t Delta);
+  /// Sets \p Name to \p Value (gauges: live-objects and friends).
+  void set(std::string_view Name, uint64_t Value);
+
+  bool has(std::string_view Name) const;
+  /// The counter's value, or 0 when absent.
+  uint64_t get(std::string_view Name) const;
+  size_t size() const { return Entries.size(); }
+
+  /// Adopts a merged pass-statistics report: regular rows become
+  /// pass.<pass>.<stat>, rows of the "(analysis)" pseudo-pass become
+  /// analysis.<stat> (the cache hit/miss counters).
+  void adoptStatistics(const StatisticsReport &Report);
+
+  /// Adopts the VM's counters: vm.steps, vm.closure-allocs,
+  /// vm.generic-applies, and — when the opcode histogram was enabled —
+  /// vm.fused-op-hits (executions of fused-form opcodes: IncN/DecN,
+  /// PapApply, CmpBr/DecCmpBr, RetConst, the Int intrinsics).
+  void adoptVM(const vm::VM &Machine);
+
+  /// Adopts the per-function VM profiler (enableFunctionProfiling) as
+  /// vm.fn.<function>.{calls,steps-excl,steps-incl,allocs}.
+  void adoptFunctionProfile(const vm::VM &Machine, const vm::Program &Prog);
+
+  /// Adopts the RC heap counters: rt.live-objects, rt.total-allocations.
+  void adoptRuntime(const rt::Runtime &RT);
+
+  /// All counters, sorted by name.
+  const std::map<std::string, uint64_t, std::less<>> &entries() const {
+    return Entries;
+  }
+
+  /// Writes {"metrics":{"<name>":<value>,...}} with sorted keys.
+  void exportJSON(OStream &OS) const;
+
+private:
+  std::map<std::string, uint64_t, std::less<>> Entries;
+};
+
+} // namespace lz::obs
+
+#endif // LZ_OBS_METRICS_H

@@ -1,0 +1,87 @@
+//===- Remark.cpp - optimization remarks (-Rpass analogue) ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Remark.h"
+
+#include "obs/Trace.h" // writeJSONString
+#include "support/OStream.h"
+
+using namespace lz;
+using namespace lz::obs;
+
+std::string_view obs::remarkKindName(RemarkKind K) {
+  switch (K) {
+  case RemarkKind::Applied:
+    return "applied";
+  case RemarkKind::Missed:
+    return "missed";
+  case RemarkKind::Analysis:
+    return "analysis";
+  }
+  return "?";
+}
+
+bool RemarkEngine::setFilter(RemarkKind Kind, std::string_view Regex) {
+  Filter &F = Filters[static_cast<size_t>(Kind)];
+  try {
+    F.Re = std::regex(Regex.begin(), Regex.end());
+  } catch (const std::regex_error &) {
+    return false;
+  }
+  F.Set = true;
+  return true;
+}
+
+void RemarkEngine::print(const Remark &R, OStream &OS) {
+  OS << "remark: [" << remarkKindName(R.Kind) << "] " << R.Pass << ": ";
+  if (!R.Function.empty())
+    OS << '@' << R.Function << ": ";
+  OS << R.Message << '\n';
+}
+
+void RemarkEngine::report(Remark R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const Filter &F = Filters[static_cast<size_t>(R.Kind)];
+  if (F.Set && std::regex_search(R.Pass, F.Re)) {
+    OStream &OS = Stream ? *Stream : errs();
+    print(R, OS);
+    OS.flush();
+  }
+  Remarks.push_back(std::move(R));
+}
+
+void RemarkEngine::exportJSON(OStream &OS) const {
+  OS << "{\"remarks\":[";
+  for (size_t I = 0; I != Remarks.size(); ++I) {
+    const Remark &R = Remarks[I];
+    if (I)
+      OS << ',';
+    OS << "\n{\"pass\":";
+    writeJSONString(OS, R.Pass);
+    OS << ",\"kind\":";
+    writeJSONString(OS, remarkKindName(R.Kind));
+    OS << ",\"name\":";
+    writeJSONString(OS, R.RemarkName);
+    OS << ",\"function\":";
+    writeJSONString(OS, R.Function);
+    OS << ",\"message\":";
+    writeJSONString(OS, R.Message);
+    if (!R.Args.empty()) {
+      OS << ",\"args\":{";
+      for (size_t J = 0; J != R.Args.size(); ++J) {
+        if (J)
+          OS << ',';
+        writeJSONString(OS, R.Args[J].first);
+        OS << ':';
+        writeJSONString(OS, R.Args[J].second);
+      }
+      OS << '}';
+    }
+    OS << '}';
+  }
+  OS << "\n]}\n";
+}

@@ -1,0 +1,105 @@
+//===- Remark.h - optimization remarks (-Rpass analogue) --------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization-remarks engine in the LLVM `-Rpass` mold: passes (and
+/// the VM's bytecode fuser) report per-site Remarks — a transformation
+/// applied, an opportunity missed, or an analysis note — through
+/// Pass::emitRemark. The engine retains every remark for wholesale JSON
+/// export (`--remarks-json=FILE`) and streams the ones whose pass name
+/// matches the per-kind regex filters to a diagnostics stream
+/// (`--rpass=regex`, `--rpass-missed=regex`, `--rpass-analysis=regex`):
+///
+///   remark: [applied] devirt: @main: devirtualized pap chain into direct
+///   call of @add3 (3 args)
+///
+/// Cost discipline: the engine only exists when the user asked for
+/// remarks, so emitters guard message construction on the engine pointer
+/// (Pass::getRemarkEngine()) and the off path builds no strings. report()
+/// takes a mutex, keeping the engine safe for the future multi-threaded
+/// PassManager.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_OBS_REMARK_H
+#define LZ_OBS_REMARK_H
+
+#include <cstdint>
+#include <mutex>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lz {
+class OStream;
+}
+
+namespace lz::obs {
+
+enum class RemarkKind : uint8_t {
+  Applied,  ///< a transformation fired at this site
+  Missed,   ///< a candidate site was declined, with the reason
+  Analysis, ///< a neutral per-site observation
+};
+
+std::string_view remarkKindName(RemarkKind K);
+
+/// One per-site optimization remark. The IR carries no source locations,
+/// so sites are attributed to their enclosing function symbol.
+struct Remark {
+  std::string Pass;       ///< emitting pass ("devirt", "vm-fuse", ...)
+  RemarkKind Kind = RemarkKind::Applied;
+  std::string RemarkName; ///< stable per-site id ("Devirtualized", ...)
+  std::string Function;   ///< enclosing function symbol ("" when unknown)
+  std::string Message;    ///< human-readable, one line
+  /// Structured key/value payload (counts, callee names) for machine
+  /// consumers of the JSON export.
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Collects remarks and streams the filtered subset as they arrive.
+class RemarkEngine {
+public:
+  /// Streams remarks of \p Kind whose pass name matches \p Regex (ECMAScript
+  /// regex, full-match not required) to the stream. Returns false and leaves
+  /// the filter unset when the regex fails to compile.
+  bool setFilter(RemarkKind Kind, std::string_view Regex);
+
+  /// Destination of streamed remarks; defaults to errs() when unset.
+  void setStream(OStream *S) { Stream = S; }
+
+  /// Records \p R (always retained for JSON export) and streams it when a
+  /// matching filter is installed.
+  void report(Remark R);
+
+  const std::vector<Remark> &getRemarks() const { return Remarks; }
+
+  /// Writes every retained remark as a JSON array:
+  ///   {"remarks":[{"pass":...,"kind":...,"function":...,"message":...,
+  ///                "name":...,"args":{...}},...]}
+  void exportJSON(OStream &OS) const;
+
+  /// Renders \p R in the streaming format (exposed for tests):
+  ///   remark: [<kind>] <pass>: @<function>: <message>
+  static void print(const Remark &R, OStream &OS);
+
+private:
+  std::mutex Mu;
+  std::vector<Remark> Remarks;
+  struct Filter {
+    bool Set = false;
+    std::regex Re;
+  };
+  Filter Filters[3];
+  OStream *Stream = nullptr;
+};
+
+} // namespace lz::obs
+
+#endif // LZ_OBS_REMARK_H

@@ -1,0 +1,135 @@
+//===- Trace.cpp - structured tracing (Chrome trace_event) ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "support/OStream.h"
+
+#include <atomic>
+#include <cstdio>
+
+using namespace lz;
+using namespace lz::obs;
+
+void obs::writeJSONString(OStream &OS, std::string_view S) {
+  OS << '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\b':
+      OS << "\\b";
+      break;
+    case '\f':
+      OS << "\\f";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      // Escaping everything outside printable ASCII keeps the output pure
+      // ASCII — valid JSON even for arbitrary input bytes (the fuzzer's
+      // identifiers need not be UTF-8).
+      if (C < 0x20 || C >= 0x7f) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << static_cast<char>(C);
+      }
+    }
+  }
+  OS << '"';
+}
+
+uint32_t TraceSink::currentThreadId() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Tid = Next.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+void TraceSink::recordComplete(std::string Name, std::string Category,
+                               uint64_t StartMicros, uint64_t DurMicros,
+                               std::vector<TraceArg> Args) {
+  Event E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.StartMicros = StartMicros;
+  E.DurMicros = DurMicros;
+  E.Instant = false;
+  E.Tid = currentThreadId();
+  E.Args = std::move(Args);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(E));
+}
+
+void TraceSink::recordInstant(std::string Name, std::string Category,
+                              std::vector<TraceArg> Args) {
+  Event E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.StartMicros = nowMicros();
+  E.Instant = true;
+  E.Tid = currentThreadId();
+  E.Args = std::move(Args);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(E));
+}
+
+size_t TraceSink::getNumEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+std::vector<TraceSink::Event> TraceSink::getEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events;
+}
+
+void TraceSink::exportJSON(OStream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  OS << "{\"traceEvents\":[";
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const Event &E = Events[I];
+    if (I)
+      OS << ',';
+    OS << "\n{\"name\":";
+    writeJSONString(OS, E.Name);
+    OS << ",\"cat\":";
+    writeJSONString(OS, E.Category.empty() ? "trace" : E.Category);
+    if (E.Instant) {
+      OS << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << E.StartMicros;
+    } else {
+      OS << ",\"ph\":\"X\",\"ts\":" << E.StartMicros
+         << ",\"dur\":" << E.DurMicros;
+    }
+    OS << ",\"pid\":1,\"tid\":" << E.Tid;
+    if (!E.Args.empty()) {
+      OS << ",\"args\":{";
+      for (size_t J = 0; J != E.Args.size(); ++J) {
+        if (J)
+          OS << ',';
+        writeJSONString(OS, E.Args[J].Key);
+        OS << ':';
+        writeJSONString(OS, E.Args[J].Value);
+      }
+      OS << '}';
+    }
+    OS << '}';
+  }
+  OS << "\n]}\n";
+}

@@ -1,0 +1,175 @@
+//===- Trace.h - structured tracing (Chrome trace_event) --------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured tracing sink in the Chrome trace_event mold: a thread-safe
+/// TraceSink records complete spans (RAII TraceSpan) and instant events,
+/// each with optional string args, and exports the whole recording as
+/// trace_event JSON loadable in chrome://tracing or Perfetto
+/// (`lz-opt --trace-json=FILE`).
+///
+/// Nesting is implicit: a span carries its start/duration timestamps, and
+/// the viewer (or a test) reconstructs the tree from interval containment
+/// per thread — so the sink needs no per-thread stack and stays lock-cheap:
+/// opening a span takes no lock at all (one clock read), and closing one
+/// takes the sink mutex only to append the finished event. The future
+/// multi-threaded PassManager can emit into one sink unchanged; events
+/// carry a compact per-thread id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_OBS_TRACE_H
+#define LZ_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lz {
+class OStream;
+}
+
+namespace lz::obs {
+
+/// One key/value argument attached to a span or instant event. Values are
+/// serialized as JSON strings (numbers render as their decimal text).
+struct TraceArg {
+  std::string Key;
+  std::string Value;
+};
+
+/// Writes \p S as a JSON string literal, escaping quotes, backslashes,
+/// control characters and non-ASCII bytes (as \uXXXX), so program-derived
+/// names (fuzzer identifiers, arbitrary bytes) always yield valid JSON.
+void writeJSONString(OStream &OS, std::string_view S);
+
+/// Thread-safe recorder of trace events. Timestamps are microseconds since
+/// the sink's construction (its epoch).
+class TraceSink {
+public:
+  struct Event {
+    std::string Name;
+    std::string Category;
+    uint64_t StartMicros = 0;
+    uint64_t DurMicros = 0;
+    bool Instant = false;
+    uint32_t Tid = 0;
+    std::vector<TraceArg> Args;
+  };
+
+  TraceSink() : Epoch(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since the sink epoch (monotonic).
+  uint64_t nowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  /// Appends a finished span. Called by ~TraceSpan; callers with their own
+  /// timestamps (e.g. adapters over foreign timers) may call it directly.
+  void recordComplete(std::string Name, std::string Category,
+                      uint64_t StartMicros, uint64_t DurMicros,
+                      std::vector<TraceArg> Args = {});
+
+  /// Appends a zero-duration instant event stamped "now".
+  void recordInstant(std::string Name, std::string Category,
+                     std::vector<TraceArg> Args = {});
+
+  size_t getNumEvents() const;
+
+  /// Snapshot of all recorded events (copy taken under the lock; for tests
+  /// and post-processing).
+  std::vector<Event> getEvents() const;
+
+  /// Writes the whole recording as Chrome trace_event JSON:
+  ///   {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...},...]}
+  void exportJSON(OStream &OS) const;
+
+  /// Compact id of the calling thread (1, 2, ... in first-use order;
+  /// process-global so ids stay stable across sinks).
+  static uint32_t currentThreadId();
+
+private:
+  mutable std::mutex Mu;
+  std::vector<Event> Events;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// RAII handle over one open span. A default-constructed (or null-sink)
+/// span is inactive: args and stop() are no-ops, so instrumentation call
+/// sites need no branching when tracing is disabled. Move-only, like
+/// TimingScope.
+class TraceSpan {
+public:
+  TraceSpan() = default;
+
+  TraceSpan(TraceSink *Sink, std::string Name, std::string Category)
+      : Sink(Sink), Name(std::move(Name)), Category(std::move(Category)) {
+    if (this->Sink)
+      StartMicros = this->Sink->nowMicros();
+  }
+
+  TraceSpan(TraceSpan &&Other) noexcept
+      : Sink(Other.Sink), Name(std::move(Other.Name)),
+        Category(std::move(Other.Category)), StartMicros(Other.StartMicros),
+        Args(std::move(Other.Args)) {
+    Other.Sink = nullptr;
+  }
+  TraceSpan &operator=(TraceSpan &&Other) noexcept {
+    if (this != &Other) {
+      stop();
+      Sink = Other.Sink;
+      Name = std::move(Other.Name);
+      Category = std::move(Other.Category);
+      StartMicros = Other.StartMicros;
+      Args = std::move(Other.Args);
+      Other.Sink = nullptr;
+    }
+    return *this;
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  ~TraceSpan() { stop(); }
+
+  /// Attaches a key/value argument to the span (shown in the viewer).
+  void arg(std::string Key, std::string Value) {
+    if (Sink)
+      Args.push_back({std::move(Key), std::move(Value)});
+  }
+  void arg(std::string Key, uint64_t Value) {
+    arg(std::move(Key), std::to_string(Value));
+  }
+
+  /// Records the span and deactivates the handle.
+  void stop() {
+    if (!Sink)
+      return;
+    Sink->recordComplete(std::move(Name), std::move(Category), StartMicros,
+                         Sink->nowMicros() - StartMicros, std::move(Args));
+    Sink = nullptr;
+  }
+
+  bool isActive() const { return Sink != nullptr; }
+
+private:
+  TraceSink *Sink = nullptr;
+  std::string Name;
+  std::string Category;
+  uint64_t StartMicros = 0;
+  std::vector<TraceArg> Args;
+};
+
+} // namespace lz::obs
+
+#endif // LZ_OBS_TRACE_H

@@ -59,10 +59,22 @@ public:
         // forever, so skip and count.
         if (CalleeNode->InCycle) {
           ++RecursiveCalleesSkipped;
+          if (getRemarkEngine())
+            emitRemark(obs::RemarkKind::Missed, "RecursiveCallee", Call,
+                       "not inlining '" +
+                           std::string(CalleeAttr->getValue()) +
+                           "': callee is on a call-graph cycle",
+                       {{"callee", std::string(CalleeAttr->getValue())}});
           continue;
         }
-        if (tryInline(Call, CalleeNode->Fn))
+        if (tryInline(Call, CalleeNode->Fn)) {
           ++CalleesInlined;
+          if (getRemarkEngine())
+            emitRemark(obs::RemarkKind::Applied, "Inlined", Fn,
+                       "inlined call to '" +
+                           std::string(CalleeAttr->getValue()) + "'",
+                       {{"callee", std::string(CalleeAttr->getValue())}});
+        }
       }
     }
     return success();

@@ -8,8 +8,10 @@
 #include "rewrite/Pass.h"
 
 #include "analysis/Dominance.h"
+#include "dialect/Func.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "obs/Trace.h"
 #include "support/OStream.h"
 #include "support/Timing.h"
 
@@ -25,6 +27,32 @@ using namespace lz;
 Statistic::Statistic(Pass *Owner, std::string_view Name, std::string_view Desc)
     : Name(Name), Desc(Desc) {
   Owner->Statistics.push_back(this);
+}
+
+//===----------------------------------------------------------------------===//
+// Pass remarks
+//===----------------------------------------------------------------------===//
+
+void Pass::emitRemark(obs::RemarkKind Kind, std::string_view RemarkName,
+                      Operation *ContextOp, std::string Message,
+                      std::vector<std::pair<std::string, std::string>> Args) {
+  if (!CurrentRemarks)
+    return;
+  obs::Remark R;
+  R.Pass = std::string(getName());
+  R.Kind = Kind;
+  R.RemarkName = std::string(RemarkName);
+  // The IR has no source locations; remarks attribute to the enclosing
+  // function symbol instead.
+  for (Operation *Op = ContextOp; Op; Op = Op->getParentOp()) {
+    if (Op->getName() == "func.func") {
+      R.Function = std::string(func::getFuncName(Op));
+      break;
+    }
+  }
+  R.Message = std::move(Message);
+  R.Args = std::move(Args);
+  CurrentRemarks->report(std::move(R));
 }
 
 //===----------------------------------------------------------------------===//
@@ -94,6 +122,35 @@ private:
   std::vector<TimingScope> Open;
 };
 
+/// Opens a trace span per pass execution. Same stack discipline as
+/// TimingInstrumentation: passes run sequentially, so open spans pair up.
+class TracingInstrumentation : public PassInstrumentation {
+public:
+  TracingInstrumentation(obs::TraceSink &Sink, std::string Category)
+      : Sink(Sink), Category(std::move(Category)) {}
+
+  void runBeforePass(Pass &P, Operation *) override {
+    Open.emplace_back(&Sink, std::string(P.getName()), Category);
+  }
+  void runAfterPass(Pass &, Operation *) override { pop(); }
+  void runAfterPassFailed(Pass &P, Operation *) override {
+    if (!Open.empty())
+      Open.back().arg("failed", "true");
+    pop();
+    (void)P;
+  }
+
+private:
+  void pop() {
+    if (!Open.empty())
+      Open.pop_back(); // ~TraceSpan records the finished span
+  }
+
+  obs::TraceSink &Sink;
+  std::string Category;
+  std::vector<obs::TraceSpan> Open;
+};
+
 } // namespace
 
 std::unique_ptr<PassInstrumentation>
@@ -104,6 +161,11 @@ lz::createIRPrinterInstrumentation(IRPrintConfig Config) {
 std::unique_ptr<PassInstrumentation>
 lz::createTimingInstrumentation(Timer &Parent) {
   return std::make_unique<TimingInstrumentation>(Parent);
+}
+
+std::unique_ptr<PassInstrumentation>
+lz::createTracingInstrumentation(obs::TraceSink &Sink, std::string Category) {
+  return std::make_unique<TracingInstrumentation>(Sink, std::move(Category));
 }
 
 //===----------------------------------------------------------------------===//
@@ -171,6 +233,12 @@ void PassManager::enableTiming(Timer &Parent) {
   addInstrumentation(createTimingInstrumentation(Parent));
 }
 
+void PassManager::enableTracing(obs::TraceSink &Sink, std::string Category) {
+  Trace = &Sink;
+  AM.enableTracing(Sink);
+  addInstrumentation(createTracingInstrumentation(Sink, std::move(Category)));
+}
+
 void PassManager::enableIRPrinting(IRPrintConfig Config) {
   addInstrumentation(createIRPrinterInstrumentation(std::move(Config)));
 }
@@ -210,6 +278,7 @@ LogicalResult PassManager::run(Operation *Root) {
     DominanceAnalysis &Dom = AM.getAnalysis<DominanceAnalysis>(Root);
     TimingScope S(TimingParent ? &TimingParent->getOrCreateChild("(verify)")
                                : nullptr);
+    obs::TraceSpan TS(Trace, "(verify)", "verify");
     return verify(Root, &Dom);
   };
 
@@ -220,12 +289,14 @@ LogicalResult PassManager::run(Operation *Root) {
   for (auto &P : Passes) {
     P->CurrentAM = &AM;
     P->CurrentRoot = Root;
+    P->CurrentRemarks = Remarks;
     P->Preserved.clear();
     for (auto &PI : Instrumentations)
       PI->runBeforePass(*P, Root);
     LogicalResult PassResult = P->run(Root);
     P->CurrentAM = nullptr;
     P->CurrentRoot = nullptr;
+    P->CurrentRemarks = nullptr;
     if (failed(PassResult)) {
       for (auto It = Instrumentations.rbegin(); It != Instrumentations.rend();
            ++It)

@@ -26,6 +26,7 @@
 #define LZ_REWRITE_PASS_H
 
 #include "analysis/AnalysisManager.h"
+#include "obs/Remark.h"
 #include "support/LogicalResult.h"
 
 #include <cassert>
@@ -41,6 +42,10 @@ class OStream;
 class Operation;
 class Pass;
 class Timer;
+
+namespace obs {
+class TraceSink;
+}
 
 /// A named counter owned by a pass. Declare as a member and it registers
 /// itself with the owning pass; values accumulate across runs (a reused
@@ -107,12 +112,30 @@ protected:
     Preserved.preserve<T>();
   }
 
+  /// The remark engine of the driving PassManager, or null when remarks
+  /// are off. Guard remark construction on this pointer so the off path
+  /// builds no strings:
+  ///
+  ///   if (getRemarkEngine())
+  ///     emitRemark(obs::RemarkKind::Applied, "Inlined", Call,
+  ///                "inlined call to @" + Callee);
+  obs::RemarkEngine *getRemarkEngine() const { return CurrentRemarks; }
+
+  /// Emits an optimization remark attributed to this pass and to the
+  /// function enclosing \p ContextOp (walks parents to the nearest
+  /// func.func; ContextOp may itself be the func, or null for a
+  /// module-level remark). No-op without an engine.
+  void emitRemark(obs::RemarkKind Kind, std::string_view RemarkName,
+                  Operation *ContextOp, std::string Message,
+                  std::vector<std::pair<std::string, std::string>> Args = {});
+
 private:
   friend class Statistic;
   friend class PassManager;
   std::vector<Statistic *> Statistics;
   AnalysisManager *CurrentAM = nullptr;
   Operation *CurrentRoot = nullptr;
+  obs::RemarkEngine *CurrentRemarks = nullptr;
   PreservedAnalyses Preserved;
 };
 
@@ -197,6 +220,15 @@ public:
   /// "(analysis)" child, so pass rows stay honest.
   void enableTiming(Timer &Parent);
 
+  /// Opens a trace span per pass execution in \p Sink under \p Category,
+  /// plus spans for the inter-pass verifier ("(verify)") and analysis
+  /// constructions (via the AnalysisManager hook).
+  void enableTracing(obs::TraceSink &Sink, std::string Category);
+
+  /// Routes Pass::emitRemark of every pass this manager runs to \p E
+  /// (null disables; the default).
+  void setRemarkEngine(obs::RemarkEngine *E) { Remarks = E; }
+
   /// The analysis cache shared by this manager's passes and its inter-pass
   /// verifier. Valid for the manager's lifetime; cleared by IR-mutating
   /// passes per their PreservedAnalyses declarations.
@@ -237,8 +269,15 @@ private:
   std::vector<std::string> RanPasses;
   AnalysisManager AM;
   Timer *TimingParent = nullptr;
+  obs::TraceSink *Trace = nullptr;
+  obs::RemarkEngine *Remarks = nullptr;
   bool VerifyEach = true;
 };
+
+/// Creates an instrumentation that opens a span in \p Sink around each
+/// pass execution, named after the pass under category \p Category.
+std::unique_ptr<PassInstrumentation>
+createTracingInstrumentation(obs::TraceSink &Sink, std::string Category);
 
 } // namespace lz
 

@@ -387,6 +387,14 @@ private:
         ConstantsPropagated += C.ConstantsPropagated;
         BranchesRewritten += C.BranchesRewritten;
         BlocksErased += C.BlocksErased;
+        if (C.BranchesRewritten && getRemarkEngine())
+          emitRemark(obs::RemarkKind::Applied, "FoldedBranch", Op,
+                     "folded " + std::to_string(C.BranchesRewritten) +
+                         " conditional branch(es) to unconditional (" +
+                         std::to_string(C.BlocksErased) +
+                         " dead block(s) deleted)",
+                     {{"branches", std::to_string(C.BranchesRewritten)},
+                      {"blocks-erased", std::to_string(C.BlocksErased)}});
       }
       // Nested regions (and symbol-table members) are independent CFGs;
       // solve whatever survived the rewrite.

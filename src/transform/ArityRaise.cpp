@@ -331,8 +331,16 @@ private:
     Operation *F = resolveCall(CallOp);
     unsigned K = Extend->getNumOperands() - 1;
     Operation *Wrapper = getOrCreateRaised(F, K);
-    if (!Wrapper)
+    if (!Wrapper) {
+      if (getRemarkEngine())
+        emitRemark(obs::RemarkKind::Missed, "MixedReturn", Extend,
+                   "not raising '" +
+                       std::string(func::getFuncName(F)) +
+                       "': mixed return shapes (not every return is a "
+                       "rewritable pap chain or summary forward)",
+                   {{"callee", std::string(func::getFuncName(F))}});
       return false;
+    }
 
     Context &Ctx = *Module->getContext();
     Type *Box = Ctx.getBoxType();
@@ -348,6 +356,13 @@ private:
     Extend->erase();
     CallOp->erase();
     ++CallsUncurried;
+    if (getRemarkEngine())
+      emitRemark(obs::RemarkKind::Applied, "Uncurried", Fused,
+                 "uncurried over-application into direct call to '" +
+                     std::string(func::getFuncName(Wrapper)) + "' (" +
+                     std::to_string(K) + " extra argument(s))",
+                 {{"wrapper", std::string(func::getFuncName(Wrapper))},
+                  {"extra-args", std::to_string(K)}});
     return true;
   }
 };

@@ -49,8 +49,15 @@ public:
       if (Op->getName() != "lp.papextend")
         return;
       const ClosureAnalysis::ChainInfo *CI = CA.getInfo(Op->getOperand(0));
-      if (!CI || CI->Escapes)
+      if (!CI)
         return;
+      if (CI->Escapes) {
+        if (getRemarkEngine())
+          emitRemark(obs::RemarkKind::Missed, "ChainEscapes", Op,
+                     "not devirtualizing pap chain: the closure escapes "
+                     "(used outside its extend chain)");
+        return;
+      }
       unsigned Total = CI->AccumArgs + Op->getNumOperands() - 1;
       if (Total == ClosureAnalysis::getArity(CI->CalleeFn))
         Candidates.push_back(Op);
@@ -67,8 +74,13 @@ public:
 private:
   bool tryDevirtualize(Operation *Extend, ClosureAnalysis &CA) {
     LinearChain Chain;
-    if (!matchLinearChain(Extend->getOperand(0), Chain))
+    if (!matchLinearChain(Extend->getOperand(0), Chain)) {
+      if (getRemarkEngine())
+        emitRemark(obs::RemarkKind::Missed, "NonLinearChain", Extend,
+                   "not devirtualizing saturated pap chain: a chain link "
+                   "has uses besides the next link (non-linear chain)");
       return false;
+    }
     const ClosureAnalysis::ChainInfo *CI = CA.getInfo(Extend->getOperand(0));
 
     // Full argument list: the chain's accumulated args, then the
@@ -95,6 +107,17 @@ private:
     ++ClosuresDevirtualized;
     ClosureAllocsDeleted += Chain.Links.size();
     RCOpsDeleted += Chain.RCOps.size();
+    if (getRemarkEngine())
+      emitRemark(
+          obs::RemarkKind::Applied, "Devirtualized", Call,
+          "devirtualized saturated pap chain into direct call to '" +
+              std::string(func::getFuncName(CI->CalleeFn)) + "' (" +
+              std::to_string(Args.size()) + " argument(s), " +
+              std::to_string(Chain.Links.size()) +
+              " closure alloc(s) deleted)",
+          {{"callee", std::string(func::getFuncName(CI->CalleeFn))},
+           {"args", std::to_string(Args.size())},
+           {"allocs-deleted", std::to_string(Chain.Links.size())}});
     return true;
   }
 

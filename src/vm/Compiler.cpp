@@ -9,6 +9,8 @@
 
 #include "dialect/Func.h"
 #include "ir/Module.h"
+#include "obs/Remark.h"
+#include "obs/Trace.h"
 #include "runtime/Object.h"
 #include "vm/Builtins.h"
 
@@ -707,7 +709,27 @@ bool intrinsicForBuiltin(int32_t Index, Opcode &Op) {
   return false;
 }
 
-void fuseFunction(Program &P, CompiledFunction &F) {
+/// Per-function fusion observability: how many of each superinstruction
+/// were formed (accumulated across rounds) and how many candidates were
+/// declined. Declined counts are re-surveyed every round — the caller
+/// reads them after the last round, so they describe what stayed unfused.
+struct FusionCounters {
+  unsigned IncN = 0, DecN = 0, PapApply = 0, DecCmpBr = 0, CmpBr = 0,
+           RetConst = 0, Intrinsified = 0;
+  unsigned DeclinedSignature = 0; ///< saturated pap+apply, arity mismatch
+  unsigned DeclinedSeparated = 0; ///< apply not adjacent / not hoistable
+
+  unsigned totalFused() const {
+    return IncN + DecN + PapApply + DecCmpBr + CmpBr + RetConst +
+           Intrinsified;
+  }
+};
+
+void fuseFunction(Program &P, CompiledFunction &F, FusionCounters *C) {
+  if (C) {
+    C->DeclinedSignature = 0;
+    C->DeclinedSeparated = 0;
+  }
   size_t N = F.Code.size();
   if (N < 2)
     return;
@@ -718,8 +740,11 @@ void fuseFunction(Program &P, CompiledFunction &F) {
   for (Instr &I : F.Code) {
     Opcode Direct;
     if (I.Op == Opcode::CallBuiltin && F.Aux[I.C] == 2 &&
-        intrinsicForBuiltin(I.B, Direct))
+        intrinsicForBuiltin(I.B, Direct)) {
       I = {Direct, I.A, F.Aux[I.C + 1], F.Aux[I.C + 2]};
+      if (C)
+        ++C->Intrinsified;
+    }
   }
 
   // Branch targets may not be consumed as fusion followers: some other
@@ -757,6 +782,8 @@ void fuseFunction(Program &P, CompiledFunction &F) {
           Map[PC + J] = NewPC;
         NewCode.push_back({I.Op == Opcode::Inc ? Opcode::IncN : Opcode::DecN,
                            I.A, static_cast<int32_t>(K), 0});
+        if (C)
+          ++(I.Op == Opcode::Inc ? C->IncN : C->DecN);
         PC += K;
         continue;
       }
@@ -803,8 +830,14 @@ void fuseFunction(Program &P, CompiledFunction &F) {
         int32_t NArgs = F.Aux[App->C];
         Fusable = NFixed + NArgs != Arity ||
                   P.Functions[FnIdx].NumParams == static_cast<uint32_t>(Arity);
+        if (C && !Fusable)
+          ++C->DeclinedSignature;
+      } else if (C) {
+        ++C->DeclinedSeparated;
       }
       if (Fusable) {
+        if (C)
+          ++C->PapApply;
         int32_t NArgs = F.Aux[App->C];
         // Hoisted argument materialization first; the Pap's branch-target
         // position (Map[PC], already set to NewPC) lands on it.
@@ -851,6 +884,8 @@ void fuseFunction(Program &P, CompiledFunction &F) {
         int32_t Offset = static_cast<int32_t>(F.Aux.size());
         F.Aux.insert(F.Aux.end(), std::begin(A), std::end(A));
         NewCode.push_back({Opcode::DecCmpBr, I.B, Offset, I.A});
+        if (C)
+          ++C->DecCmpBr;
         Map[PC + 1] = NewPC;
         Map[PC + 2] = NewPC;
         PC += 3;
@@ -869,6 +904,8 @@ void fuseFunction(Program &P, CompiledFunction &F) {
       int32_t Offset = static_cast<int32_t>(F.Aux.size());
       F.Aux.insert(F.Aux.end(), std::begin(A), std::end(A));
       NewCode.push_back({Opcode::CmpBr, I.B, Offset, 0});
+      if (C)
+        ++C->CmpBr;
       Map[PC + 1] = NewPC;
       PC += 2;
       continue;
@@ -879,6 +916,8 @@ void fuseFunction(Program &P, CompiledFunction &F) {
         Next->Op == Opcode::Ret && Next->A == I.A && Reads[I.A] == 1) {
       NewCode.push_back(
           {Opcode::RetConst, I.B, I.Op == Opcode::BoxConst ? 1 : 0, 0});
+      if (C)
+        ++C->RetConst;
       Map[PC + 1] = NewPC;
       PC += 2;
       continue;
@@ -894,6 +933,57 @@ void fuseFunction(Program &P, CompiledFunction &F) {
       Slot = Map[Slot];
     });
   F.Code = std::move(NewCode);
+}
+
+/// Reports the per-function fusion outcome as "vm-fuse" remarks: one
+/// applied remark carrying the per-superinstruction counts, and one missed
+/// remark per declined-fusion reason.
+void emitFusionRemarks(obs::RemarkEngine &RE, const std::string &FnName,
+                       const FusionCounters &C) {
+  if (unsigned Total = C.totalFused()) {
+    obs::Remark R;
+    R.Pass = "vm-fuse";
+    R.Kind = obs::RemarkKind::Applied;
+    R.RemarkName = "Fused";
+    R.Function = FnName;
+    R.Message =
+        "fused " + std::to_string(Total) + " superinstruction(s)";
+    auto AddArg = [&R](const char *Key, unsigned V) {
+      if (V)
+        R.Args.emplace_back(Key, std::to_string(V));
+    };
+    AddArg("pap-apply", C.PapApply);
+    AddArg("inc-n", C.IncN);
+    AddArg("dec-n", C.DecN);
+    AddArg("dec-cmp-br", C.DecCmpBr);
+    AddArg("cmp-br", C.CmpBr);
+    AddArg("ret-const", C.RetConst);
+    AddArg("int-intrinsic", C.Intrinsified);
+    RE.report(std::move(R));
+  }
+  if (C.DeclinedSignature) {
+    obs::Remark R;
+    R.Pass = "vm-fuse";
+    R.Kind = obs::RemarkKind::Missed;
+    R.RemarkName = "DeclinedSignature";
+    R.Function = FnName;
+    R.Message = "declined " + std::to_string(C.DeclinedSignature) +
+                " unsaturated pap+apply pair(s): closure arity disagrees "
+                "with the callee signature";
+    R.Args.emplace_back("count", std::to_string(C.DeclinedSignature));
+    RE.report(std::move(R));
+  }
+  if (C.DeclinedSeparated) {
+    obs::Remark R;
+    R.Pass = "vm-fuse";
+    R.Kind = obs::RemarkKind::Missed;
+    R.RemarkName = "DeclinedSeparated";
+    R.Function = FnName;
+    R.Message = "declined " + std::to_string(C.DeclinedSeparated) +
+                " pap(s): no adjacent apply of the fresh closure";
+    R.Args.emplace_back("count", std::to_string(C.DeclinedSeparated));
+    RE.report(std::move(R));
+  }
 }
 
 } // namespace
@@ -923,6 +1013,8 @@ LogicalResult lz::vm::compileModule(Operation *Module, Program &Out,
   for (size_t I = 0; I != Funcs.size(); ++I) {
     CompiledFunction &CF = Out.Functions[I];
     CF.Name = func::getFuncName(Funcs[I]);
+    obs::TraceSpan CompileSpan(Options.Trace, "compile " + CF.Name,
+                               "vm-emit");
     FunctionCompiler FC(Funcs[I], CF, Out.FunctionIndex, FnArity,
                         ErrorMessage);
     if (failed(FC.compile()))
@@ -935,8 +1027,13 @@ LogicalResult lz::vm::compileModule(Operation *Module, Program &Out,
   // consumes the CmpBr the first round produces.
   if (Options.FuseSuperinstructions)
     for (CompiledFunction &CF : Out.Functions) {
-      fuseFunction(Out, CF);
-      fuseFunction(Out, CF);
+      obs::TraceSpan FuseSpan(Options.Trace, "fuse " + CF.Name, "vm-emit");
+      FusionCounters Counters;
+      FusionCounters *CP = Options.Remarks ? &Counters : nullptr;
+      fuseFunction(Out, CF, CP);
+      fuseFunction(Out, CF, CP);
+      if (Options.Remarks)
+        emitFusionRemarks(*Options.Remarks, CF.Name, Counters);
     }
   return success();
 }

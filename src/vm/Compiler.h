@@ -24,7 +24,12 @@
 
 namespace lz {
 class Operation;
-}
+
+namespace obs {
+class RemarkEngine;
+class TraceSink;
+} // namespace obs
+} // namespace lz
 
 namespace lz::vm {
 
@@ -36,6 +41,13 @@ struct CompilerOptions {
   /// RetConst. On by default; turn off to get the 1:1 unfused encoding
   /// (lz-opt --no-fuse, the bench baseline).
   bool FuseSuperinstructions = true;
+  /// When set, the fuser reports per-function "vm-fuse" remarks: an
+  /// applied remark with per-superinstruction counts, and missed remarks
+  /// naming why candidate fusions were declined.
+  obs::RemarkEngine *Remarks = nullptr;
+  /// When set, per-function bytecode-compile spans and a per-function
+  /// fuse span are recorded (category "vm-emit").
+  obs::TraceSink *Trace = nullptr;
 };
 
 /// Compiles \p Module into \p Out. On failure returns failure and fills

@@ -8,6 +8,7 @@
 #include "vm/Disasm.h"
 
 #include "support/OStream.h"
+#include "vm/VM.h"
 
 #include <algorithm>
 
@@ -209,11 +210,42 @@ void lz::vm::printProfile(std::span<const uint64_t> Counts, OStream &OS) {
       Total += Counts[I];
     }
   }
-  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
-    return Counts[A] > Counts[B];
+  // Deterministic order: count descending, opcode ordinal breaking ties —
+  // so goldens are stable across dispatch modes and sort implementations.
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    if (Counts[A] != Counts[B])
+      return Counts[A] > Counts[B];
+    return A < B;
   });
   OS << "vm profile: " << Total << " instructions\n";
   for (size_t I : Order)
     OS << "  " << opcodeName(static_cast<Opcode>(I)) << ": " << Counts[I]
        << '\n';
+}
+
+void lz::vm::printFunctionProfile(std::span<const FunctionProfile> Prof,
+                                  const Program &P, OStream &OS) {
+  std::vector<size_t> Order;
+  uint64_t Calls = 0;
+  for (size_t I = 0; I != Prof.size(); ++I) {
+    if (Prof[I].Calls) {
+      Order.push_back(I);
+      Calls += Prof[I].Calls;
+    }
+  }
+  // Hottest-by-own-work first; function index breaks ties for stable
+  // goldens.
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    if (Prof[A].StepsExcl != Prof[B].StepsExcl)
+      return Prof[A].StepsExcl > Prof[B].StepsExcl;
+    return A < B;
+  });
+  OS << "vm function profile: " << static_cast<unsigned long long>(Order.size())
+     << " function(s), " << Calls << " call(s)\n";
+  for (size_t I : Order) {
+    const FunctionProfile &FP = Prof[I];
+    OS << "  " << P.Functions[I].Name << ": calls=" << FP.Calls
+       << " steps-excl=" << FP.StepsExcl << " steps-incl=" << FP.StepsIncl
+       << " allocs=" << FP.Allocs << '\n';
+  }
 }

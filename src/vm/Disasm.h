@@ -25,6 +25,8 @@ class OStream;
 
 namespace lz::vm {
 
+struct FunctionProfile;
+
 /// The mnemonic for \p Op ("IConst", "PapApply", ...).
 const char *opcodeName(Opcode Op);
 
@@ -36,9 +38,16 @@ void disassemble(const CompiledFunction &F, OStream &OS);
 void disassemble(const Program &P, OStream &OS);
 
 /// Prints the per-opcode execution histogram (VM::getProfile), nonzero
-/// rows only, descending by count. Dispatch-mode independent so golden
-/// tests pass on both goto and switch builds.
+/// rows only, descending by count with the opcode ordinal breaking ties —
+/// fully deterministic, so golden tests pass on both goto and switch
+/// builds.
 void printProfile(std::span<const uint64_t> Counts, OStream &OS);
+
+/// Prints the per-function profile (VM::getFunctionProfile) as a table
+/// sorted by exclusive steps descending (function index breaking ties),
+/// called functions only: calls, exclusive/inclusive steps, allocations.
+void printFunctionProfile(std::span<const FunctionProfile> Prof,
+                          const Program &P, OStream &OS);
 
 } // namespace lz::vm
 

@@ -66,7 +66,8 @@ ObjRef VM::execute(uint32_t FnIndex, std::span<ObjRef> Args) {
     std::abort();
   }
 
-  bool Instrumented = ProfileData != nullptr || FuelLimit != 0;
+  bool Instrumented =
+      ProfileData != nullptr || FuelLimit != 0 || FuncProfData != nullptr;
 #if LZ_VM_HAS_GOTO
   if (Mode == DispatchMode::Goto)
     return Instrumented ? executeGoto<true>(FnIndex, Args)

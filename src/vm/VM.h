@@ -41,6 +41,21 @@ class OStream;
 
 namespace lz::vm {
 
+/// Per-function execution profile (--vm-profile=functions). Collected by
+/// the instrumented dispatch loop with frame-entry/exit accounting:
+/// exclusive steps count instructions retired while the function's own
+/// frame was running; inclusive steps cover the whole activation including
+/// callees (recursion counted once, from outermost entry to outermost
+/// exit); allocations are runtime heap allocations attributed to the frame
+/// that was running when they happened (builtin-internal allocations go to
+/// the calling function).
+struct FunctionProfile {
+  uint64_t Calls = 0;
+  uint64_t StepsExcl = 0;
+  uint64_t StepsIncl = 0;
+  uint64_t Allocs = 0;
+};
+
 class VM : public rt::ApplyHandler {
 public:
   /// How the interpreter loop dispatches opcodes.
@@ -100,6 +115,22 @@ public:
   /// The histogram (indexed by Opcode); empty unless enableProfiling ran.
   std::span<const uint64_t> getProfile() const { return ProfileCounts; }
 
+  /// Turns on the per-function profile (calls, exclusive/inclusive steps,
+  /// allocations; runs the instrumented dispatch loop from now on).
+  void enableFunctionProfiling() {
+    FuncProf.assign(Prog.Functions.size(), FunctionProfile());
+    FnDepth.assign(Prog.Functions.size(), 0);
+    FnInclStart.assign(Prog.Functions.size(), 0);
+    FuncProfData = FuncProf.data();
+    FnDepthData = FnDepth.data();
+    FnInclStartData = FnInclStart.data();
+  }
+  /// Per-function profile rows (indexed like Prog.Functions); empty unless
+  /// enableFunctionProfiling ran.
+  std::span<const FunctionProfile> getFunctionProfile() const {
+    return FuncProf;
+  }
+
   /// Caps execution at \p MaxSteps instructions across all nested
   /// invocations (0 = unlimited, the default). When the budget runs out
   /// the VM unwinds with a poison scalar result and fuelExhausted() turns
@@ -125,6 +156,12 @@ private:
   uint64_t GenericApplies = 0;
   std::vector<uint64_t> ProfileCounts; ///< per-opcode; empty = disabled
   uint64_t *ProfileData = nullptr;
+  std::vector<FunctionProfile> FuncProf; ///< per-function; empty = disabled
+  std::vector<uint32_t> FnDepth;         ///< live activations per function
+  std::vector<uint64_t> FnInclStart;     ///< step count at outermost entry
+  FunctionProfile *FuncProfData = nullptr;
+  uint32_t *FnDepthData = nullptr;
+  uint64_t *FnInclStartData = nullptr;
   uint64_t FuelLimit = 0; ///< 0 = unlimited
   bool FuelExhausted = false;
 };

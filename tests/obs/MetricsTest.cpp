@@ -1,0 +1,99 @@
+//===- MetricsTest.cpp - unified metrics registry tests -----------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The MetricsRegistry contract: counter/gauge semantics, adoption of pass
+/// statistics under the hierarchical pass.* / analysis.* names, and the
+/// sorted JSON export shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "rewrite/Passes.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::obs;
+
+namespace {
+
+TEST(MetricsTest, AddAccumulatesSetOverwrites) {
+  MetricsRegistry M;
+  EXPECT_FALSE(M.has("vm.steps"));
+  EXPECT_EQ(M.get("vm.steps"), 0u);
+  M.add("vm.steps", 3);
+  M.add("vm.steps", 4);
+  EXPECT_TRUE(M.has("vm.steps"));
+  EXPECT_EQ(M.get("vm.steps"), 7u);
+  M.set("rt.live-objects", 10);
+  M.set("rt.live-objects", 2);
+  EXPECT_EQ(M.get("rt.live-objects"), 2u);
+  EXPECT_EQ(M.size(), 2u);
+}
+
+TEST(MetricsTest, AdoptStatisticsNamespaces) {
+  StatisticsReport SR;
+  SR.add("devirt", "closures-devirtualized", "desc", 5);
+  SR.add("arity-raise", "functions-raised", "desc", 2);
+  // The "(analysis)" pseudo-pass rows are the cache counters; they land
+  // under analysis.* rather than pass.(analysis).*.
+  SR.add("(analysis)", "call-graph-cache-hits", "desc", 9);
+
+  MetricsRegistry M;
+  M.adoptStatistics(SR);
+  EXPECT_EQ(M.get("pass.devirt.closures-devirtualized"), 5u);
+  EXPECT_EQ(M.get("pass.arity-raise.functions-raised"), 2u);
+  EXPECT_EQ(M.get("analysis.call-graph-cache-hits"), 9u);
+  EXPECT_FALSE(M.has("pass.(analysis).call-graph-cache-hits"));
+
+  // Adoption accumulates, so per-compile reports can merge across runs.
+  M.adoptStatistics(SR);
+  EXPECT_EQ(M.get("pass.devirt.closures-devirtualized"), 10u);
+}
+
+TEST(MetricsTest, EntriesAreSortedByName) {
+  MetricsRegistry M;
+  M.add("vm.steps", 1);
+  M.add("analysis.dominance-cache-hits", 2);
+  M.add("pass.devirt.closures-devirtualized", 3);
+  std::vector<std::string> Names;
+  for (const auto &[Name, Value] : M.entries())
+    Names.push_back(Name);
+  ASSERT_EQ(Names.size(), 3u);
+  EXPECT_EQ(Names[0], "analysis.dominance-cache-hits");
+  EXPECT_EQ(Names[1], "pass.devirt.closures-devirtualized");
+  EXPECT_EQ(Names[2], "vm.steps");
+}
+
+TEST(MetricsTest, ExportJSONRoundTrip) {
+  MetricsRegistry M;
+  M.add("vm.steps", 42);
+  M.add("pass.devirt.closures-devirtualized", 1);
+  std::string JSON;
+  StringOStream OS(JSON);
+  M.exportJSON(OS);
+  EXPECT_NE(JSON.find("{\"metrics\":{"), std::string::npos);
+  EXPECT_NE(JSON.find("\"vm.steps\":42"), std::string::npos);
+  EXPECT_NE(JSON.find("\"pass.devirt.closures-devirtualized\":1"),
+            std::string::npos);
+  // Sorted keys: pass.* precedes vm.*.
+  EXPECT_LT(JSON.find("pass.devirt"), JSON.find("vm.steps"));
+  // Values are bare JSON numbers, not strings.
+  EXPECT_EQ(JSON.find("\"42\""), std::string::npos);
+}
+
+TEST(MetricsTest, EmptyRegistryExportsValidObject) {
+  MetricsRegistry M;
+  std::string JSON;
+  StringOStream OS(JSON);
+  M.exportJSON(OS);
+  EXPECT_NE(JSON.find("{\"metrics\":{"), std::string::npos);
+  EXPECT_NE(JSON.find("}}"), std::string::npos);
+}
+
+} // namespace

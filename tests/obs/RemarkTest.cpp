@@ -1,0 +1,119 @@
+//===- RemarkTest.cpp - optimization remark engine tests ----------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The RemarkEngine contract: retention of every reported remark, per-kind
+/// regex filtering of the streamed subset, rejection of invalid regexes,
+/// the streaming render format, and the JSON export shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Remark.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace lz;
+using namespace lz::obs;
+
+namespace {
+
+Remark makeRemark(std::string Pass, RemarkKind Kind, std::string Function,
+                  std::string Message) {
+  Remark R;
+  R.Pass = std::move(Pass);
+  R.Kind = Kind;
+  R.RemarkName = "Test";
+  R.Function = std::move(Function);
+  R.Message = std::move(Message);
+  return R;
+}
+
+TEST(RemarkTest, KindNames) {
+  EXPECT_EQ(remarkKindName(RemarkKind::Applied), "applied");
+  EXPECT_EQ(remarkKindName(RemarkKind::Missed), "missed");
+  EXPECT_EQ(remarkKindName(RemarkKind::Analysis), "analysis");
+}
+
+TEST(RemarkTest, AllRemarksRetainedRegardlessOfFilters) {
+  RemarkEngine RE;
+  std::string Streamed;
+  StringOStream OS(Streamed);
+  RE.setStream(&OS);
+  RE.report(makeRemark("devirt", RemarkKind::Applied, "main", "a"));
+  RE.report(makeRemark("inline", RemarkKind::Missed, "main", "b"));
+  EXPECT_EQ(RE.getRemarks().size(), 2u);
+  // No filters installed: nothing streams, everything is retained.
+  EXPECT_TRUE(Streamed.empty());
+}
+
+TEST(RemarkTest, FilterStreamsMatchingPassAndKindOnly) {
+  RemarkEngine RE;
+  std::string Streamed;
+  StringOStream OS(Streamed);
+  RE.setStream(&OS);
+  ASSERT_TRUE(RE.setFilter(RemarkKind::Applied, "devirt"));
+  RE.report(makeRemark("devirt", RemarkKind::Applied, "main", "fired"));
+  RE.report(makeRemark("devirt", RemarkKind::Missed, "main", "declined"));
+  RE.report(makeRemark("inline", RemarkKind::Applied, "main", "inlined"));
+  EXPECT_NE(Streamed.find("fired"), std::string::npos);
+  EXPECT_EQ(Streamed.find("declined"), std::string::npos); // kind mismatch
+  EXPECT_EQ(Streamed.find("inlined"), std::string::npos);  // pass mismatch
+  EXPECT_EQ(RE.getRemarks().size(), 3u);
+}
+
+TEST(RemarkTest, FilterIsASearchNotAFullMatch) {
+  RemarkEngine RE;
+  std::string Streamed;
+  StringOStream OS(Streamed);
+  RE.setStream(&OS);
+  ASSERT_TRUE(RE.setFilter(RemarkKind::Missed, "arity"));
+  RE.report(makeRemark("arity-raise", RemarkKind::Missed, "f", "m"));
+  EXPECT_NE(Streamed.find("arity-raise"), std::string::npos);
+}
+
+TEST(RemarkTest, InvalidRegexRejected) {
+  RemarkEngine RE;
+  EXPECT_FALSE(RE.setFilter(RemarkKind::Applied, "["));
+  std::string Streamed;
+  StringOStream OS(Streamed);
+  RE.setStream(&OS);
+  RE.report(makeRemark("devirt", RemarkKind::Applied, "main", "x"));
+  EXPECT_TRUE(Streamed.empty()); // the bad filter was not installed
+}
+
+TEST(RemarkTest, StreamFormat) {
+  Remark R = makeRemark("devirt", RemarkKind::Applied, "main", "did it");
+  std::string Out;
+  StringOStream OS(Out);
+  RemarkEngine::print(R, OS);
+  EXPECT_EQ(Out, "remark: [applied] devirt: @main: did it\n");
+
+  // Unknown function: the @-part is omitted.
+  Remark NoFn = makeRemark("vm-fuse", RemarkKind::Missed, "", "nope");
+  Out.clear();
+  RemarkEngine::print(NoFn, OS);
+  EXPECT_EQ(Out, "remark: [missed] vm-fuse: nope\n");
+}
+
+TEST(RemarkTest, ExportJSONShape) {
+  RemarkEngine RE;
+  Remark R = makeRemark("devirt", RemarkKind::Applied, "main", "msg \"q\"");
+  R.Args.emplace_back("callee", "add3");
+  RE.report(std::move(R));
+  std::string JSON;
+  StringOStream OS(JSON);
+  RE.exportJSON(OS);
+  EXPECT_NE(JSON.find("{\"remarks\":["), std::string::npos);
+  EXPECT_NE(JSON.find("\"pass\":\"devirt\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"kind\":\"applied\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"name\":\"Test\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"function\":\"main\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"message\":\"msg \\\"q\\\"\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"args\":{\"callee\":\"add3\"}"), std::string::npos);
+}
+
+} // namespace

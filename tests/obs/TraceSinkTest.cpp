@@ -1,0 +1,184 @@
+//===- TraceSinkTest.cpp - structured tracing sink tests ----------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The TraceSink contract: RAII span recording, nesting by interval
+/// containment, inactive null-sink spans, instant events, JSON string
+/// escaping for arbitrary bytes, concurrent recording from many threads,
+/// and the Chrome trace_event export shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+using namespace lz;
+using namespace lz::obs;
+
+namespace {
+
+std::string escaped(std::string_view S) {
+  std::string Out;
+  StringOStream OS(Out);
+  writeJSONString(OS, S);
+  return Out;
+}
+
+TEST(TraceSinkTest, SpanRecordsOnDestruction) {
+  TraceSink Sink;
+  {
+    TraceSpan S(&Sink, "work", "test");
+    EXPECT_TRUE(S.isActive());
+    EXPECT_EQ(Sink.getNumEvents(), 0u); // open spans are not yet recorded
+  }
+  ASSERT_EQ(Sink.getNumEvents(), 1u);
+  TraceSink::Event E = Sink.getEvents()[0];
+  EXPECT_EQ(E.Name, "work");
+  EXPECT_EQ(E.Category, "test");
+  EXPECT_FALSE(E.Instant);
+}
+
+TEST(TraceSinkTest, NullSinkSpanIsInactive) {
+  TraceSpan S(nullptr, "ignored", "test");
+  EXPECT_FALSE(S.isActive());
+  S.arg("key", "value"); // no-ops, no crash
+  S.stop();
+}
+
+TEST(TraceSinkTest, ExplicitStopRecordsOnce) {
+  TraceSink Sink;
+  TraceSpan S(&Sink, "once", "test");
+  S.stop();
+  EXPECT_FALSE(S.isActive());
+  S.stop(); // second stop is a no-op
+  EXPECT_EQ(Sink.getNumEvents(), 1u);
+}
+
+TEST(TraceSinkTest, NestedSpansContainedInParentInterval) {
+  TraceSink Sink;
+  {
+    TraceSpan Outer(&Sink, "outer", "test");
+    {
+      TraceSpan Inner(&Sink, "inner", "test");
+    }
+  }
+  // Close order: children are recorded before their parents.
+  std::vector<TraceSink::Event> Events = Sink.getEvents();
+  ASSERT_EQ(Events.size(), 2u);
+  const TraceSink::Event &Inner = Events[0];
+  const TraceSink::Event &Outer = Events[1];
+  EXPECT_EQ(Inner.Name, "inner");
+  EXPECT_EQ(Outer.Name, "outer");
+  // Interval containment is how the viewer reconstructs the tree.
+  EXPECT_GE(Inner.StartMicros, Outer.StartMicros);
+  EXPECT_LE(Inner.StartMicros + Inner.DurMicros,
+            Outer.StartMicros + Outer.DurMicros);
+  EXPECT_EQ(Inner.Tid, Outer.Tid);
+}
+
+TEST(TraceSinkTest, ArgsAttachToTheRecordedEvent) {
+  TraceSink Sink;
+  {
+    TraceSpan S(&Sink, "span", "test");
+    S.arg("name", "value");
+    S.arg("count", uint64_t(42));
+  }
+  TraceSink::Event E = Sink.getEvents()[0];
+  ASSERT_EQ(E.Args.size(), 2u);
+  EXPECT_EQ(E.Args[0].Key, "name");
+  EXPECT_EQ(E.Args[0].Value, "value");
+  EXPECT_EQ(E.Args[1].Key, "count");
+  EXPECT_EQ(E.Args[1].Value, "42");
+}
+
+TEST(TraceSinkTest, InstantEvents) {
+  TraceSink Sink;
+  Sink.recordInstant("tick", "test", {{"n", "1"}});
+  ASSERT_EQ(Sink.getNumEvents(), 1u);
+  TraceSink::Event E = Sink.getEvents()[0];
+  EXPECT_TRUE(E.Instant);
+  EXPECT_EQ(E.DurMicros, 0u);
+}
+
+TEST(TraceSinkTest, MoveTransfersOwnership) {
+  TraceSink Sink;
+  {
+    TraceSpan A(&Sink, "moved", "test");
+    TraceSpan B = std::move(A);
+    EXPECT_FALSE(A.isActive()); // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(B.isActive());
+  }
+  EXPECT_EQ(Sink.getNumEvents(), 1u);
+}
+
+TEST(TraceSinkTest, ConcurrentSpansAreAllRecorded) {
+  TraceSink Sink;
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned SpansPerThread = 200;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&Sink] {
+      for (unsigned I = 0; I != SpansPerThread; ++I)
+        TraceSpan S(&Sink, "t", "mt");
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Sink.getNumEvents(), size_t(NumThreads) * SpansPerThread);
+  // Each thread got a distinct compact id.
+  std::vector<TraceSink::Event> Events = Sink.getEvents();
+  std::vector<uint32_t> Tids;
+  for (const TraceSink::Event &E : Events)
+    Tids.push_back(E.Tid);
+  std::sort(Tids.begin(), Tids.end());
+  Tids.erase(std::unique(Tids.begin(), Tids.end()), Tids.end());
+  EXPECT_EQ(Tids.size(), size_t(NumThreads));
+}
+
+TEST(TraceSinkTest, JSONStringEscaping) {
+  EXPECT_EQ(escaped("plain"), "\"plain\"");
+  EXPECT_EQ(escaped("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(escaped("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(escaped("a\nb\tc"), "\"a\\nb\\tc\"");
+  // Control and non-ASCII bytes become \uXXXX, so arbitrary
+  // program-derived bytes always yield valid (ASCII) JSON.
+  EXPECT_EQ(escaped(std::string_view("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(escaped(std::string_view("\xff", 1)), "\"\\u00ff\"");
+  EXPECT_EQ(escaped(std::string_view("\x7f", 1)), "\"\\u007f\"");
+}
+
+TEST(TraceSinkTest, ExportJSONShape) {
+  TraceSink Sink;
+  {
+    TraceSpan S(&Sink, "phase \"x\"", "cat");
+    S.arg("k", "v");
+  }
+  Sink.recordInstant("mark", "");
+  std::string JSON;
+  StringOStream OS(JSON);
+  Sink.exportJSON(OS);
+  EXPECT_NE(JSON.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(JSON.find("\"name\":\"phase \\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"args\":{\"k\":\"v\"}"), std::string::npos);
+  // Instant event, with the default category and the sample scope.
+  EXPECT_NE(JSON.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"cat\":\"trace\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"s\":\"t\""), std::string::npos);
+  // Pure ASCII output (newlines are the only control bytes).
+  for (char C : JSON) {
+    if (C != '\n') {
+      EXPECT_GE(static_cast<unsigned char>(C), 0x20u);
+    }
+    EXPECT_LT(static_cast<unsigned char>(C), 0x7fu);
+  }
+}
+
+} // namespace

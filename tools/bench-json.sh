@@ -143,15 +143,32 @@ else:
     result["after"] = {"results": after}
 
 # Per-pass breakdown: the time.* / stat.* counters of
-# compile_pipeline/per_pass become their own top-level section.
+# compile_pipeline/per_pass become their own top-level section. The
+# "metrics" dict uses the unified observability naming (pass.<pass>.<stat>,
+# with the "(analysis)" pseudo-pass mapped to analysis.<stat> — the same
+# names lz-opt --metrics-json emits); "statistics" keeps the original raw
+# <pass>.<counter> keys as a deprecated back-compat alias for downstream
+# consumers of older BENCH_*.json files.
+def metric_name(stat_key):
+    rest = stat_key[len("stat."):]
+    pass_name, _, stat = rest.partition(".")
+    if pass_name == "(analysis)":
+        return "analysis." + stat
+    return "pass." + pass_name + "." + stat
+
 per_pass = counters.get("compile_pipeline/per_pass")
 if per_pass:
     result["per_pass"] = {
         "description": "full-pipeline suite attribution per compile "
-                       "(time.* in seconds, stat.* in ops)",
+                       "(time.* in seconds, metrics in ops under the "
+                       "unified pass.*/analysis.* names; 'statistics' is "
+                       "the deprecated raw-name alias)",
         "time_seconds": {k[len("time."):]: round(v, 6)
                          for k, v in sorted(per_pass.items())
                          if k.startswith("time.")},
+        "metrics": {metric_name(k): round(v, 2)
+                    for k, v in sorted(per_pass.items())
+                    if k.startswith("stat.")},
         "statistics": {k[len("stat."):]: round(v, 2)
                        for k, v in sorted(per_pass.items())
                        if k.startswith("stat.")},

@@ -193,7 +193,10 @@ public:
   Reducer(FailureKind Kind, std::string Signature, bool Validate,
           unsigned Budget = 1500)
       : Kind(Kind), Signature(std::move(Signature)), Validate(Validate),
-        Budget(Budget) {}
+        Budget(Budget), InitialBudget(Budget) {}
+
+  /// Reduction attempts actually spent (for the end-of-run summary).
+  unsigned stepsUsed() const { return InitialBudget - Budget; }
 
   std::string reduce(std::string Source) {
     bool Changed = true;
@@ -274,30 +277,45 @@ private:
   std::string Signature;
   bool Validate;
   unsigned Budget;
+  unsigned InitialBudget;
 };
 
+/// One-line machine-greppable end-of-run summary, printed on success and
+/// failure alike (CI logs always end with the same shape).
+void printGenSummary(unsigned Generated, unsigned Passed, unsigned Failures,
+                     unsigned ReduceSteps) {
+  outs() << "lz-fuzz: summary: generated=" << Generated
+         << " validated=" << Passed << " failures=" << Failures
+         << " reduce-steps=" << ReduceSteps << "\n";
+}
+
 int runGen(unsigned Count, unsigned FirstSeed, bool Validate) {
+  unsigned Passed = 0;
   for (unsigned I = 0; I != Count; ++I) {
     unsigned Seed = FirstSeed + I;
     programs::ProgramGenerator Gen(Seed * 2654435761u + 17);
     std::string Source = Gen.generate();
     CheckResult R = checkProgram(Source, Validate);
-    if (R.Kind == FailureKind::None)
+    if (R.Kind == FailureKind::None) {
+      ++Passed;
       continue;
+    }
     errs() << "lz-fuzz: FAIL at seed " << Seed << ": " << R.Detail << "\n"
            << "lz-fuzz: re-run with: lz-fuzz --gen 1 --seed " << Seed
            << (Validate ? " --validate" : "") << "\n"
            << "lz-fuzz: failing source:\n"
            << Source << "\n";
-    std::string Reduced =
-        Reducer(R.Kind, R.Signature, Validate).reduce(Source);
+    Reducer Red(R.Kind, R.Signature, Validate);
+    std::string Reduced = Red.reduce(Source);
     errs() << "lz-fuzz: reduced reproducer (" << R.Signature << "):\n"
            << Reduced;
+    printGenSummary(I + 1, Passed, 1, Red.stepsUsed());
     return 1;
   }
   outs() << "lz-fuzz: " << Count << " generated programs OK (seeds "
          << FirstSeed << ".." << FirstSeed + Count - 1
          << (Validate ? ", stage-validated" : "") << ")\n";
+  printGenSummary(Count, Passed, 0, 0);
   return 0;
 }
 

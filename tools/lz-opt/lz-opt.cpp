@@ -23,8 +23,12 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "lambda/MiniLean.h"
+#include "programs/Programs.h"
 #include "lambda/Simplify.h"
 #include "lower/Lowering.h"
+#include "obs/Metrics.h"
+#include "obs/Remark.h"
+#include "obs/Trace.h"
 #include "rc/RCInsert.h"
 #include "rewrite/Passes.h"
 #include "runtime/Object.h"
@@ -49,6 +53,10 @@ const char *const UsageText =
     "usage: lz-opt <file|-> [options]\n"
             "  --minilean            parse input as MiniLean surface syntax,\n"
             "                        simplify, insert RC ops, lower to lp\n"
+    "  --program=NAME[:N]    instead of a file, compile the named built-in\n"
+    "                        benchmark-suite program (implies --minilean)\n"
+    "                        instantiated at size N (default: its test\n"
+    "                        size); see src/programs/Programs.h\n"
             "  --no-simplify         with --minilean: skip simplification\n"
             "  --no-rc               with --minilean: skip RC insertion\n"
             "  --pass=NAME           run a pass (canonicalize|cse|dce|inline|\n"
@@ -66,6 +74,10 @@ const char *const UsageText =
     "  --vm-profile          compile the lowered module, run 'main' on the\n"
     "                        VM, print the result and a per-opcode\n"
     "                        execution histogram\n"
+    "  --vm-profile=functions\n"
+    "                        like --vm-profile, but print a per-function\n"
+    "                        profile (calls, exclusive/inclusive steps,\n"
+    "                        allocations) instead of the opcode histogram\n"
     "  --no-fuse             disable superinstruction fusion for the two\n"
     "                        options above\n"
     "  --vm-dispatch=MODE    interpreter dispatch for --vm-profile:\n"
@@ -81,6 +93,16 @@ const char *const UsageText =
     "  --pass-timing         print a per-pass/per-stage wall-time report\n"
     "                        to stderr after the run\n"
     "  --pass-statistics     print per-pass statistic counters to stderr\n"
+    "  --rpass=RE            print applied optimization remarks from passes\n"
+    "                        matching RE to stderr (ECMAScript regex)\n"
+    "  --rpass-missed=RE     print missed-optimization remarks\n"
+    "  --rpass-analysis=RE   print analysis remarks\n"
+    "  --trace-json=FILE     write a Chrome trace_event JSON recording of\n"
+    "                        the whole run to FILE ('-' = stdout)\n"
+    "  --remarks-json=FILE   write every collected remark as JSON\n"
+    "  --metrics-json=FILE   write the unified metrics registry (pass\n"
+    "                        statistics, analysis cache counters, VM and\n"
+    "                        runtime counters when the VM ran) as JSON\n"
     "  --print-ir-before=P   print IR to stderr before pass P (repeatable)\n"
     "  --print-ir-after=P    print IR to stderr after pass P (repeatable)\n"
     "  --print-ir-before-all print IR before every pass\n"
@@ -106,12 +128,16 @@ int main(int argc, char **argv) {
   bool PassStatistics = false;
   bool DumpBytecode = false;
   bool VMProfile = false;
+  bool VMProfileFunctions = false;
   bool ValidateStages = false;
   std::string ValidateEntry = "main";
   bool Fuse = true;
   unsigned MaxErrors = 20;
   std::string VMDispatch;
   IRPrintConfig PrintConfig;
+  std::string RPass, RPassMissed, RPassAnalysis;
+  std::string TraceJSONPath, RemarksJSONPath, MetricsJSONPath;
+  std::string ProgramSpec;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -129,6 +155,8 @@ int main(int argc, char **argv) {
     }
     else if (Arg == "--minilean")
       MiniLean = true;
+    else if (Arg.rfind("--program=", 0) == 0)
+      ProgramSpec = Arg.substr(10);
     else if (Arg == "--no-simplify")
       Simplify = false;
     else if (Arg == "--no-rc")
@@ -149,6 +177,22 @@ int main(int argc, char **argv) {
       DumpBytecode = true;
     else if (Arg == "--vm-profile")
       VMProfile = true;
+    else if (Arg == "--vm-profile=functions") {
+      VMProfile = true;
+      VMProfileFunctions = true;
+    }
+    else if (Arg.rfind("--rpass=", 0) == 0)
+      RPass = Arg.substr(8);
+    else if (Arg.rfind("--rpass-missed=", 0) == 0)
+      RPassMissed = Arg.substr(15);
+    else if (Arg.rfind("--rpass-analysis=", 0) == 0)
+      RPassAnalysis = Arg.substr(17);
+    else if (Arg.rfind("--trace-json=", 0) == 0)
+      TraceJSONPath = Arg.substr(13);
+    else if (Arg.rfind("--remarks-json=", 0) == 0)
+      RemarksJSONPath = Arg.substr(15);
+    else if (Arg.rfind("--metrics-json=", 0) == 0)
+      MetricsJSONPath = Arg.substr(15);
     else if (Arg == "--no-fuse")
       Fuse = false;
     else if (Arg.rfind("--vm-dispatch=", 0) == 0)
@@ -177,11 +221,42 @@ int main(int argc, char **argv) {
     else
       return usage();
   }
-  if (!Path)
+  if (!Path && ProgramSpec.empty())
     return usage();
+  if (Path && !ProgramSpec.empty()) {
+    errs() << "error: --program= and an input file are mutually exclusive\n";
+    return 2;
+  }
 
   std::string Source;
-  if (std::string(Path) == "-") {
+  if (!ProgramSpec.empty()) {
+    // Named built-in program: NAME[:SIZE], MiniLean surface syntax.
+    std::string Name = ProgramSpec;
+    long Size = -1;
+    if (size_t Colon = ProgramSpec.find(':'); Colon != std::string::npos) {
+      Name = ProgramSpec.substr(0, Colon);
+      Size = std::strtol(ProgramSpec.c_str() + Colon + 1, nullptr, 10);
+    }
+    const programs::BenchProgram *Prog = nullptr;
+    for (const auto &P : programs::getBenchmarkSuite())
+      if (Name == P.Name)
+        Prog = &P;
+    for (const auto &P : programs::getHigherOrderSuite())
+      if (Name == P.Name)
+        Prog = &P;
+    if (!Prog) {
+      errs() << "error: unknown program '" << Name << "'; known:";
+      for (const auto &P : programs::getBenchmarkSuite())
+        errs() << " " << P.Name;
+      for (const auto &P : programs::getHigherOrderSuite())
+        errs() << " " << P.Name;
+      errs() << "\n";
+      return 2;
+    }
+    Source = programs::instantiate(*Prog, Size > 0 ? Size : Prog->TestSize);
+    Path = "<program>";
+    MiniLean = true;
+  } else if (std::string(Path) == "-") {
     std::stringstream Buffer;
     Buffer << std::cin.rdbuf();
     Source = Buffer.str();
@@ -195,6 +270,64 @@ int main(int argc, char **argv) {
     Buffer << In.rdbuf();
     Source = Buffer.str();
   }
+
+  // Observability surfaces, created only when requested so the default run
+  // pays nothing: a trace sink covering the whole invocation, a remark
+  // engine streaming filter matches to stderr as they happen, and a
+  // metrics registry filled at exit.
+  std::unique_ptr<obs::TraceSink> Trace;
+  if (!TraceJSONPath.empty())
+    Trace = std::make_unique<obs::TraceSink>();
+  obs::TraceSink *TraceP = Trace.get();
+
+  std::unique_ptr<obs::RemarkEngine> Remarks;
+  if (!RemarksJSONPath.empty() || !RPass.empty() || !RPassMissed.empty() ||
+      !RPassAnalysis.empty()) {
+    Remarks = std::make_unique<obs::RemarkEngine>();
+    if (!RPass.empty() &&
+        !Remarks->setFilter(obs::RemarkKind::Applied, RPass)) {
+      errs() << "error: invalid --rpass regex '" << RPass << "'\n";
+      return 2;
+    }
+    if (!RPassMissed.empty() &&
+        !Remarks->setFilter(obs::RemarkKind::Missed, RPassMissed)) {
+      errs() << "error: invalid --rpass-missed regex '" << RPassMissed
+             << "'\n";
+      return 2;
+    }
+    if (!RPassAnalysis.empty() &&
+        !Remarks->setFilter(obs::RemarkKind::Analysis, RPassAnalysis)) {
+      errs() << "error: invalid --rpass-analysis regex '" << RPassAnalysis
+             << "'\n";
+      return 2;
+    }
+  }
+
+  std::unique_ptr<obs::MetricsRegistry> Metrics;
+  if (!MetricsJSONPath.empty())
+    Metrics = std::make_unique<obs::MetricsRegistry>();
+
+  obs::TraceSpan RootSpan(TraceP, "lz-opt", "driver");
+
+  // Writes one JSON artifact to \p PathStr ('-' = stdout, after the
+  // primary output).
+  auto WriteJSONTo = [](const std::string &PathStr, auto &&Emit) -> bool {
+    if (PathStr == "-") {
+      Emit(outs());
+      outs().flush();
+      return true;
+    }
+    std::FILE *F = std::fopen(PathStr.c_str(), "w");
+    if (!F) {
+      errs() << "error: cannot open '" << PathStr << "' for writing\n";
+      return false;
+    }
+    FileOStream OS(F);
+    Emit(OS);
+    OS.flush();
+    std::fclose(F);
+    return true;
+  };
 
   Context Ctx;
   registerAllDialects(Ctx);
@@ -217,21 +350,26 @@ int main(int argc, char **argv) {
     lambda::Program P;
     {
       TimingScope S = Total.nest("parse");
+      obs::TraceSpan TS(TraceP, "parse", "frontend");
       if (failed(lambda::parseMiniLean(Source, P, DE)))
         return 1;
     }
     if (Simplify) {
       TimingScope S = Total.nest("simplify");
+      obs::TraceSpan TS(TraceP, "simplify", "frontend");
       lambda::simplifyProgram(P);
     }
     if (RC) {
       TimingScope S = Total.nest("rc-insert");
+      obs::TraceSpan TS(TraceP, "rc-insert", "frontend");
       rc::insertRC(P);
     }
     TimingScope S = Total.nest("lower-lambda-to-lp");
+    obs::TraceSpan TS(TraceP, "lower-lambda-to-lp", "lowering");
     Owner = lower::lowerLambdaToLp(P, Ctx);
   } else {
     TimingScope S = Total.nest("parse");
+    obs::TraceSpan TS(TraceP, "parse", "frontend");
     Operation *Root = parseSourceString(Source, Ctx, DE);
     if (!Root)
       return 1;
@@ -266,9 +404,45 @@ int main(int argc, char **argv) {
   }
 
   PassManager PM;
+
+  // Finishes the root span and writes every requested JSON artifact;
+  // called once on each exit path after the primary stdout content is
+  // flushed. Returns false if an artifact could not be written.
+  auto EmitObservability = [&](vm::VM *Machine, rt::Runtime *RT,
+                               vm::Program *Prog) -> bool {
+    bool OK = true;
+    if (Remarks && !RemarksJSONPath.empty())
+      OK &= WriteJSONTo(RemarksJSONPath,
+                        [&](OStream &OS) { Remarks->exportJSON(OS); });
+    if (Metrics) {
+      StatisticsReport SR;
+      PM.mergeStatisticsInto(SR);
+      Metrics->adoptStatistics(SR);
+      if (Machine) {
+        Metrics->adoptVM(*Machine);
+        if (VMProfileFunctions)
+          Metrics->adoptFunctionProfile(*Machine, *Prog);
+      }
+      if (RT)
+        Metrics->adoptRuntime(*RT);
+      OK &= WriteJSONTo(MetricsJSONPath,
+                        [&](OStream &OS) { Metrics->exportJSON(OS); });
+    }
+    if (Trace) {
+      RootSpan.stop();
+      OK &= WriteJSONTo(TraceJSONPath,
+                        [&](OStream &OS) { Trace->exportJSON(OS); });
+    }
+    return OK;
+  };
+
   {
     TimingScope PassScope = Total.nest("passes");
     PM.enableTiming(*PassScope.getTimer());
+    if (TraceP)
+      PM.enableTracing(*TraceP, "pass");
+    if (Remarks)
+      PM.setRemarkEngine(Remarks.get());
     if (SV)
       PM.addInstrumentation(
           lower::createStageSnapshotInstrumentation(*SV, "pass"));
@@ -304,6 +478,7 @@ int main(int argc, char **argv) {
   if (LowerLp) {
     {
       TimingScope S = Total.nest("lower-lp-to-rgn");
+      obs::TraceSpan TS(TraceP, "lower-lp-to-rgn", "lowering");
       if (failed(lower::lowerLpToRgn(Owner.get())))
         return 1;
     }
@@ -316,6 +491,7 @@ int main(int argc, char **argv) {
   if (LowerRgn) {
     {
       TimingScope S = Total.nest("lower-rgn-to-cf");
+      obs::TraceSpan TS(TraceP, "lower-rgn-to-cf", "lowering");
       if (failed(lower::lowerRgnToCf(Owner.get())))
         return 1;
       lower::markTailCalls(Owner.get());
@@ -330,11 +506,12 @@ int main(int argc, char **argv) {
     outs() << SV->report();
     Total.stop();
     outs().flush();
+    bool ObsOK = EmitObservability(nullptr, nullptr, nullptr);
     if (PassStatistics)
       PM.printStatistics(errs());
     if (PassTiming)
       TM.print(errs());
-    return (SV->allAgree() && !DE.hasErrors()) ? 0 : 1;
+    return (SV->allAgree() && !DE.hasErrors() && ObsOK) ? 0 : 1;
   }
 
   if (DumpBytecode || VMProfile) {
@@ -344,8 +521,11 @@ int main(int argc, char **argv) {
     std::string VMErr;
     vm::CompilerOptions VMOpts;
     VMOpts.FuseSuperinstructions = Fuse;
+    VMOpts.Trace = TraceP;
+    VMOpts.Remarks = Remarks.get();
     {
       TimingScope S = Total.nest("vm-emit");
+      obs::TraceSpan TS(TraceP, "vm-emit", "vm-emit");
       if (failed(vm::compileModule(Owner.get(), Prog, VMErr, VMOpts))) {
         errs() << VMErr << '\n';
         return 1;
@@ -364,22 +544,43 @@ int main(int argc, char **argv) {
         errs() << "unknown dispatch mode '" << VMDispatch << "'\n";
         return usage();
       }
-      Machine.enableProfiling();
-      TimingScope S = Total.nest("vm-run");
-      rt::ObjRef Result = Machine.run("main", {});
-      outs() << "result: " << RT.toDisplayString(Result) << '\n';
-      RT.dec(Result);
+      // The opcode histogram also feeds the vm.fused-op-hits metric, so
+      // collect it whenever metrics were requested.
+      if (!VMProfileFunctions || Metrics)
+        Machine.enableProfiling();
+      if (VMProfileFunctions)
+        Machine.enableFunctionProfiling();
+      {
+        TimingScope S = Total.nest("vm-run");
+        obs::TraceSpan TS(TraceP, "vm-run", "vm");
+        rt::ObjRef Result = Machine.run("main", {});
+        outs() << "result: " << RT.toDisplayString(Result) << '\n';
+        RT.dec(Result);
+      }
       // Counts are dispatch-mode independent, so goldens hold on both
       // goto and switch builds.
-      vm::printProfile(Machine.getProfile(), outs());
+      if (VMProfileFunctions)
+        vm::printFunctionProfile(Machine.getFunctionProfile(), Prog,
+                                 outs());
+      else
+        vm::printProfile(Machine.getProfile(), outs());
+      Total.stop();
+      outs().flush();
+      bool ObsOK = EmitObservability(&Machine, &RT, &Prog);
+      if (PassStatistics)
+        PM.printStatistics(errs());
+      if (PassTiming)
+        TM.print(errs());
+      return (DE.hasErrors() || !ObsOK) ? 1 : 0;
     }
     Total.stop();
     outs().flush();
+    bool ObsOK = EmitObservability(nullptr, nullptr, nullptr);
     if (PassStatistics)
       PM.printStatistics(errs());
     if (PassTiming)
       TM.print(errs());
-    return DE.hasErrors() ? 1 : 0;
+    return (DE.hasErrors() || !ObsOK) ? 1 : 0;
   }
 
   outs() << printToString(Owner.get());
@@ -388,9 +589,10 @@ int main(int argc, char **argv) {
   // Flush the module text first so the merged stdout/stderr order is
   // deterministic for golden tests.
   outs().flush();
+  bool ObsOK = EmitObservability(nullptr, nullptr, nullptr);
   if (PassStatistics)
     PM.printStatistics(errs());
   if (PassTiming)
     TM.print(errs());
-  return DE.hasErrors() ? 1 : 0;
+  return (DE.hasErrors() || !ObsOK) ? 1 : 0;
 }
