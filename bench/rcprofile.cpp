@@ -1,0 +1,143 @@
+//===- rcprofile.cpp - per-site RC traffic, closure-opt on vs off -------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attributes the heap and RC traffic of the higher-order suite to
+/// allocation sites, before and after the interprocedural closure
+/// optimization — the observability companion to bench_closure_opt: where
+/// that binary shows closure-opt is faster, this one shows *which sites'*
+/// allocations and RC operations it removed. Every program is compiled
+/// through the Full pipeline with allocation-site provenance
+/// (PipelineOptions::RecordSites) twice — closure-opt ON and OFF — and
+/// run once per iteration under the instrumented VM. Each benchmark
+/// exports:
+///
+///   * total_allocs / total_incs / total_decs / total_elided_allocs —
+///     whole-run heap and RC traffic,
+///   * pap_allocs / pap_rc — the closure-construction subset (pap +
+///     papext sites): the traffic closure-opt exists to remove,
+///   * site[fn:kind#ord].{allocs,rc} for the hottest sites by RC
+///     traffic — the ranked attribution.
+///
+/// tools/bench-json.sh --bench rcprofile records the per-site counters
+/// and the on/off deltas into BENCH_rcprofile.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+using namespace lz;
+using namespace lz::bench;
+
+namespace {
+
+std::vector<std::unique_ptr<Compiled>> &benches() {
+  static std::vector<std::unique_ptr<Compiled>> All;
+  return All;
+}
+
+void runBench(benchmark::State &State, const Compiled *C) {
+  std::vector<rt::SiteStats> Stats;
+  std::vector<std::string> Names;
+  for (auto _ : State) {
+    rt::Runtime RT;
+    vm::VM Machine(C->Prog, RT, /*Out=*/nullptr);
+    Machine.enableHeapProfiling();
+    auto Start = std::chrono::steady_clock::now();
+    rt::ObjRef Result = Machine.run("main", {});
+    auto End = std::chrono::steady_clock::now();
+    RT.dec(Result);
+    if (RT.getLiveObjects() != 0) {
+      std::fprintf(stderr, "rcprofile bench %s/%s leaked %llu cells\n",
+                   C->Bench.c_str(), C->Variant.c_str(),
+                   static_cast<unsigned long long>(RT.getLiveObjects()));
+      std::abort();
+    }
+    State.SetIterationTime(
+        std::chrono::duration<double>(End - Start).count());
+    std::span<const rt::SiteStats> S = RT.getSiteStats();
+    Stats.assign(S.begin(), S.end());
+    Names = RT.getSiteNames();
+  }
+
+  rt::SiteStats Total;
+  uint64_t PapAllocs = 0, PapRC = 0;
+  std::vector<size_t> Ranked;
+  for (size_t I = 0; I != Stats.size(); ++I) {
+    const rt::SiteStats &S = Stats[I];
+    Total.Allocs += S.Allocs;
+    Total.Incs += S.Incs;
+    Total.Decs += S.Decs;
+    Total.ElidedAllocs += S.ElidedAllocs;
+    const std::string &Name = I < Names.size() ? Names[I] : std::string();
+    if (Name.find(":pap") != std::string::npos) {
+      PapAllocs += S.Allocs + S.ElidedAllocs;
+      PapRC += S.rcTraffic();
+    }
+    if (S.Allocs != 0 || S.rcTraffic() != 0 || S.ElidedAllocs != 0)
+      Ranked.push_back(I);
+  }
+  State.counters["total_allocs"] = static_cast<double>(Total.Allocs);
+  State.counters["total_incs"] = static_cast<double>(Total.Incs);
+  State.counters["total_decs"] = static_cast<double>(Total.Decs);
+  State.counters["total_elided_allocs"] =
+      static_cast<double>(Total.ElidedAllocs);
+  State.counters["pap_allocs"] = static_cast<double>(PapAllocs);
+  State.counters["pap_rc"] = static_cast<double>(PapRC);
+
+  // The ranked attribution: hottest sites by RC traffic (then allocs),
+  // capped so the JSON stays readable on allocation-heavy programs.
+  std::stable_sort(Ranked.begin(), Ranked.end(), [&](size_t A, size_t B) {
+    if (Stats[A].rcTraffic() != Stats[B].rcTraffic())
+      return Stats[A].rcTraffic() > Stats[B].rcTraffic();
+    return Stats[A].Allocs > Stats[B].Allocs;
+  });
+  if (Ranked.size() > 8)
+    Ranked.resize(8);
+  for (size_t I : Ranked) {
+    const std::string &Name = I < Names.size() ? Names[I] : "<runtime>";
+    State.counters["site[" + Name + "].allocs"] =
+        static_cast<double>(Stats[I].Allocs);
+    State.counters["site[" + Name + "].rc"] =
+        static_cast<double>(Stats[I].rcTraffic());
+  }
+}
+
+void printSummary() {
+  std::printf("\n=== Per-site RC traffic: closure-opt on vs off ===\n");
+  std::printf("(see BENCH_rcprofile.json for the ranked site tables)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const auto &B : programs::getHigherOrderSuite()) {
+    for (bool On : {false, true}) {
+      lower::PipelineOptions Opts =
+          lower::PipelineOptions::forVariant(lower::PipelineVariant::Full);
+      Opts.RunClosureOpt = On;
+      Opts.RecordSites = true;
+      benches().push_back(compileBench(
+          B.Name, On ? "closure-on" : "closure-off", Opts));
+      Compiled *C = benches().back().get();
+      std::string Name =
+          std::string("rcprofile/") + B.Name + "/" + C->Variant;
+      benchmark::RegisterBenchmark(Name.c_str(), runBench, C)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printSummary();
+  return 0;
+}

@@ -29,7 +29,10 @@ RunResult lz::driver::runProgram(const lambda::Program &P,
   RunResult R;
   Context Ctx;
   registerAllDialects(Ctx);
-  lower::CompileResult CR = lower::compileProgram(P, Ctx, Opts);
+  lower::PipelineOptions EffOpts = Opts;
+  if (VMOpts.HeapProfile)
+    EffOpts.RecordSites = true;
+  lower::CompileResult CR = lower::compileProgram(P, Ctx, EffOpts);
   if (!CR.OK) {
     R.Error = CR.Error;
     return R;
@@ -41,7 +44,24 @@ RunResult lz::driver::runProgram(const lambda::Program &P,
   vm::VM Machine(CR.Prog, RT, &Out);
   if (VMOpts.FuelLimit)
     Machine.setFuel(VMOpts.FuelLimit);
-  rt::ObjRef Result = Machine.run(Entry, {});
+  if (VMOpts.HeapProfile) {
+    // Traps/fuel now unwind instead of aborting, leaving cells live;
+    // track them so the Runtime destructor can reclaim (ASan-clean).
+    RT.setLeakTracking(true);
+    Machine.enableHeapProfiling();
+  }
+  rt::ObjRef Result = rt::boxScalar(0);
+  try {
+    Result = Machine.run(Entry, {});
+  } catch (const vm::TrapError &T) {
+    R.Steps = Machine.getSteps();
+    R.Error = "vm: trap: " + T.Message;
+    R.LiveObjects = RT.getLiveObjects();
+    R.TotalAllocations = RT.getTotalAllocations();
+    if (VMOpts.HeapProfile)
+      R.LeakSites = RT.collectLeakSites();
+    return R;
+  }
   R.Steps = Machine.getSteps();
   if (Machine.fuelExhausted()) {
     // Diagnostic failure path: the result is poison and heap cells may
@@ -54,6 +74,8 @@ RunResult lz::driver::runProgram(const lambda::Program &P,
   RT.dec(Result);
   R.LiveObjects = RT.getLiveObjects();
   R.TotalAllocations = RT.getTotalAllocations();
+  if (VMOpts.HeapProfile && R.LiveObjects != 0)
+    R.LeakSites = RT.collectLeakSites();
   R.OK = true;
   return R;
 }
@@ -88,6 +110,8 @@ ValidatedRunResult lz::driver::runProgramValidated(
 
   lower::PipelineOptions VOpts = Opts;
   VOpts.Validate = &SV;
+  if (VMOpts.HeapProfile)
+    VOpts.RecordSites = true;
 
   Context Ctx;
   registerAllDialects(Ctx);
@@ -100,43 +124,62 @@ ValidatedRunResult lz::driver::runProgramValidated(
   }
   VR.Run.NumOps = CR.NumOps;
 
-  // Final endpoint: the VM over the emitted bytecode — unless the last
-  // stage already traps, because the VM turns traps into process aborts.
-  const validate::StageRecord *Last = SV.getLastStage();
-  if (Last && !Last->Obs.Trap.empty()) {
-    VR.Run.Error = "vm run skipped: final stage '" + Last->Name +
-                   "' traps (" + Last->Obs.Trap + ")";
-  } else {
+  // Final endpoint: the VM over the emitted bytecode. Trapping programs
+  // are observed, not fatal — the Trap opcode throws vm::TrapError, so
+  // trap identity is comparable against the evaluator stages.
+  {
     rt::Runtime RT;
-    // Fuel exhaustion (and bugs this harness exists to find) can leave
-    // cells live; reclaim them so validation runs stay ASan-clean.
+    // Fuel exhaustion, traps, and bugs this harness exists to find can
+    // leave cells live; reclaim them so validation runs stay ASan-clean.
     RT.setLeakTracking(true);
     StringOStream Out(VR.Run.Output);
     vm::VM Machine(CR.Prog, RT, &Out);
     if (VMOpts.FuelLimit)
       Machine.setFuel(VMOpts.FuelLimit);
-    rt::ObjRef Result = Machine.run(Entry, {});
-    VR.Run.Steps = Machine.getSteps();
+    if (VMOpts.HeapProfile)
+      Machine.enableHeapProfiling();
     validate::Observation Obs;
-    if (Machine.fuelExhausted()) {
-      VR.Run.Error = "vm: fuel exhausted after " +
-                     std::to_string(VR.Run.Steps) + " steps running '" +
-                     std::string(Entry) + "'";
-      Obs.FuelExhausted = true;
-    } else {
-      VR.Run.ResultDisplay = RT.toDisplayString(Result);
-      RT.dec(Result);
+    bool Trapped = false;
+    rt::ObjRef Result = rt::boxScalar(0);
+    try {
+      Result = Machine.run(Entry, {});
+    } catch (const vm::TrapError &T) {
+      Trapped = true;
+      VR.Run.Steps = Machine.getSteps();
+      VR.Run.Error = "vm: trap: " + T.Message;
       VR.Run.LiveObjects = RT.getLiveObjects();
       VR.Run.TotalAllocations = RT.getTotalAllocations();
-      VR.Run.OK = true;
-      Obs.OK = true;
-      Obs.ResultDisplay = VR.Run.ResultDisplay;
+      if (VMOpts.HeapProfile)
+        VR.Run.LeakSites = RT.collectLeakSites();
+      Obs.Trap = T.Message;
       Obs.Output = VR.Run.Output;
-      Obs.LiveObjects = VR.Run.LiveObjects;
-      Obs.TotalAllocations = VR.Run.TotalAllocations;
-      Obs.ClosureAllocs = Machine.getClosureAllocs();
-      Obs.GenericApplies = Machine.getGenericApplies();
-      Obs.Steps = VR.Run.Steps;
+      Obs.LeakSites = VR.Run.LeakSites;
+    }
+    if (!Trapped) {
+      VR.Run.Steps = Machine.getSteps();
+      if (Machine.fuelExhausted()) {
+        VR.Run.Error = "vm: fuel exhausted after " +
+                       std::to_string(VR.Run.Steps) + " steps running '" +
+                       std::string(Entry) + "'";
+        Obs.FuelExhausted = true;
+      } else {
+        VR.Run.ResultDisplay = RT.toDisplayString(Result);
+        RT.dec(Result);
+        VR.Run.LiveObjects = RT.getLiveObjects();
+        VR.Run.TotalAllocations = RT.getTotalAllocations();
+        if (VMOpts.HeapProfile && VR.Run.LiveObjects != 0)
+          VR.Run.LeakSites = RT.collectLeakSites();
+        VR.Run.OK = true;
+        Obs.OK = true;
+        Obs.ResultDisplay = VR.Run.ResultDisplay;
+        Obs.Output = VR.Run.Output;
+        Obs.LiveObjects = VR.Run.LiveObjects;
+        Obs.TotalAllocations = VR.Run.TotalAllocations;
+        Obs.ClosureAllocs = Machine.getClosureAllocs();
+        Obs.GenericApplies = Machine.getGenericApplies();
+        Obs.Steps = VR.Run.Steps;
+        Obs.LeakSites = VR.Run.LeakSites;
+      }
     }
     SV.observeExternal("vm", Obs);
   }

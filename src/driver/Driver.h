@@ -33,6 +33,10 @@ struct RunResult {
   uint64_t TotalAllocations = 0;
   uint64_t Steps = 0;        ///< VM instructions executed
   unsigned NumOps = 0;       ///< IR ops after lowering (compile-time stat)
+  /// Per-site leak blame, (site name, surviving cells), populated when
+  /// VMOptions.HeapProfile was on and the run left LiveObjects != 0 —
+  /// what turns "leaked N objects" into an actionable report.
+  std::vector<std::pair<std::string, uint64_t>> LeakSites;
 };
 
 /// Execution knobs for the VM run (as opposed to the compile).
@@ -41,6 +45,11 @@ struct VMOptions {
   /// out the run fails with a "fuel exhausted" error instead of hanging —
   /// the harness wiring for nonterminating miscompiles (DifferentialTest).
   uint64_t FuelLimit = 0;
+  /// Attribute heap cells to allocation sites during the VM run (the
+  /// pipeline is compiled with site recording, the VM runs instrumented)
+  /// and fill RunResult::LeakSites when the run leaks. Also turns on leak
+  /// tracking so abandoned cells are reclaimed on trap/fuel unwinds.
+  bool HeapProfile = false;
 };
 
 /// Parses MiniLean source into \p Out.
@@ -64,9 +73,10 @@ RunResult runOracle(const lambda::Program &P, std::string_view Entry = "main");
 /// Result of a translation-validated run: the final VM execution plus the
 /// verdict of the per-stage differential (validate/StageValidator.h).
 struct ValidatedRunResult {
-  /// The end-to-end execution, as runProgram would return it. When the
-  /// final pipeline stage traps under the evaluator, the VM run is
-  /// skipped (the VM aborts the process on traps) and Run.Error says so.
+  /// The end-to-end execution, as runProgram would return it. A trapping
+  /// program is observed, not fatal: the VM throws vm::TrapError, the
+  /// driver records it in Run.Error, and the trap identity joins the
+  /// stage-differential comparison like any evaluator stage's.
   RunResult Run;
   /// True when oracle, every pipeline stage, and the VM all agree.
   bool StagesOK = false;

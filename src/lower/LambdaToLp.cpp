@@ -19,10 +19,14 @@ namespace {
 
 class LpLowerer {
 public:
-  LpLowerer(const Program &P, Context &Ctx, Operation *Module)
-      : P(P), Ctx(Ctx), Module(Module), Builder(Ctx) {}
+  LpLowerer(const Program &P, Context &Ctx, Operation *Module,
+            bool StampSites)
+      : P(P), Ctx(Ctx), Module(Module), Builder(Ctx),
+        StampSites(StampSites) {}
 
   void lowerFunction(const Function &F) {
+    CurFn = F.Name;
+    SiteOrdinals.clear();
     std::vector<Type *> Inputs(F.Params.size(), Ctx.getBoxType());
     FunctionType *FT = Ctx.getFunctionType(
         std::move(Inputs), {Ctx.getBoxType()});
@@ -40,6 +44,17 @@ private:
     auto It = VarMap.find(V);
     assert(It != VarMap.end() && "use of unlowered variable");
     return It->second;
+  }
+
+  /// Tags \p Op with its allocation-site provenance ("fn:kind#ordinal").
+  /// Ordinals count per (function, kind), so the name is stable under
+  /// unrelated edits elsewhere in the function.
+  Operation *stampSite(Operation *Op, const char *Kind) {
+    if (StampSites)
+      Op->setAttr("lz.site",
+                  Ctx.getStringAttr(CurFn + ":" + Kind + "#" +
+                                    std::to_string(SiteOrdinals[Kind]++)));
+    return Op;
   }
 
   std::vector<Value *> vars(const std::vector<VarId> &Vs) const {
@@ -121,11 +136,11 @@ private:
     }
 
     case FnBody::Kind::Inc:
-      lp::buildInc(Builder, var(B->Var));
+      stampSite(lp::buildInc(Builder, var(B->Var)), "inc");
       lowerBody(B->Next.get());
       return;
     case FnBody::Kind::Dec:
-      lp::buildDec(Builder, var(B->Var));
+      stampSite(lp::buildDec(Builder, var(B->Var)), "dec");
       lowerBody(B->Next.get());
       return;
 
@@ -137,21 +152,30 @@ private:
 
   Value *lowerExpr(const Expr &E) {
     switch (E.K) {
-    case Expr::Kind::Lit:
-      return lp::buildInt(Builder, E.Tag)->getResult(0);
+    case Expr::Kind::Lit: {
+      Operation *Op = lp::buildInt(Builder, E.Tag);
+      // Only boxed (out-of-range) int constants allocate; small scalars
+      // would pollute the site table with never-hit rows.
+      if (lp::constantAllocates(Op))
+        stampSite(Op, "const");
+      return Op->getResult(0);
+    }
     case Expr::Kind::BigLit:
-      return lp::buildBigInt(Builder, E.Big)->getResult(0);
+      return stampSite(lp::buildBigInt(Builder, E.Big), "const")
+          ->getResult(0);
     case Expr::Kind::Var:
       return var(E.Args[0]);
     case Expr::Kind::Ctor: {
       std::vector<Value *> Fields = vars(E.Args);
-      return lp::buildConstruct(Builder, E.Tag, Fields)->getResult(0);
+      return stampSite(lp::buildConstruct(Builder, E.Tag, Fields), "ctor")
+          ->getResult(0);
     }
     case Expr::Kind::Proj:
       return lp::buildProject(Builder, var(E.Args[0]), E.Tag)->getResult(0);
     case Expr::Kind::PAp: {
       std::vector<Value *> Args = vars(E.Args);
-      return lp::buildPap(Builder, E.Callee, Args)->getResult(0);
+      return stampSite(lp::buildPap(Builder, E.Callee, Args), "pap")
+          ->getResult(0);
     }
     case Expr::Kind::FAp: {
       std::vector<Value *> Args = vars(E.Args);
@@ -163,7 +187,9 @@ private:
       std::vector<Value *> Args = vars(E.Args);
       Value *Closure = Args.front();
       std::vector<Value *> Rest(Args.begin() + 1, Args.end());
-      return lp::buildPapExtend(Builder, Closure, Rest)->getResult(0);
+      return stampSite(lp::buildPapExtend(Builder, Closure, Rest),
+                       "papext")
+          ->getResult(0);
     }
     }
     assert(false && "unhandled expression kind");
@@ -174,14 +200,19 @@ private:
   Context &Ctx;
   Operation *Module;
   OpBuilder Builder;
+  bool StampSites;
+  std::string CurFn;
+  /// Per-kind ordinal counters, reset per function.
+  std::unordered_map<std::string, uint32_t> SiteOrdinals;
   std::unordered_map<VarId, Value *> VarMap;
 };
 
 } // namespace
 
-OwningOpRef lower::lowerLambdaToLp(const Program &P, Context &Ctx) {
+OwningOpRef lower::lowerLambdaToLp(const Program &P, Context &Ctx,
+                                   bool StampSites) {
   OwningOpRef Module = createModule(Ctx);
-  LpLowerer L(P, Ctx, Module.get());
+  LpLowerer L(P, Ctx, Module.get(), StampSites);
   for (const Function &F : P.Functions)
     L.lowerFunction(F);
   return Module;

@@ -30,7 +30,13 @@ namespace lz::lower {
 /// λrc -> lp: one func.func per λrc function; Case becomes
 /// lp.getlabel + lp.switch, JDecl/Jmp become lp.joinpoint/lp.jump,
 /// applications become func.call / lp.pap / lp.papextend (Section III).
-OwningOpRef lowerLambdaToLp(const lambda::Program &P, Context &Ctx);
+/// \p StampSites additionally tags every allocating / inc / dec op with an
+/// "lz.site" StringAttr ("fn:kind#ordinal") naming its source provenance;
+/// the attribute rides through lp->rgn splicing and rgn->cf cloning into
+/// the bytecode compiler's PC -> SiteId table (heap profiling). Off by
+/// default: attributes print, so stamping would churn every IR golden.
+OwningOpRef lowerLambdaToLp(const lambda::Program &P, Context &Ctx,
+                            bool StampSites = false);
 
 /// lp -> rgn (Figure 8): every lp.switch right-hand side becomes a
 /// rgn.val; 2-way switches select via arith.select, N-way via

@@ -159,7 +159,7 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
     {
       TimingScope S = Total.nest("lower-lambda-to-lp");
       obs::TraceSpan TS = Span("lower-lambda-to-lp");
-      Module = lowerLambdaToLp(P, Ctx);
+      Module = lowerLambdaToLp(P, Ctx, Opts.RecordSites);
     }
     if (Opts.VerifyEach && failed(VerifyTimed(Module.get()))) {
       Result.Error = "lambda->lp lowering produced invalid IR";
@@ -322,6 +322,7 @@ CompileResult lz::lower::compileProgram(const lambda::Program &Src,
   std::string Err;
   vm::CompilerOptions VMOpts;
   VMOpts.FuseSuperinstructions = Opts.FuseSuperinstructions;
+  VMOpts.RecordSites = Opts.RecordSites;
   VMOpts.Trace = Trace;
   VMOpts.Remarks = Opts.Instrument.Remarks;
   if (failed(vm::compileModule(Module.get(), Result.Prog, Err, VMOpts))) {

@@ -128,6 +128,12 @@ struct PipelineOptions {
   /// off gives the 1:1 unfused encoding benchmarks baseline against.
   bool FuseSuperinstructions = true;
   bool VerifyEach = true;
+  /// Allocation-site provenance for heap profiling: lambda->lp lowering
+  /// stamps allocating / inc / dec ops with "lz.site" attributes and
+  /// bytecode emission records the per-function PC -> SiteId side table
+  /// (vm::CompilerOptions::RecordSites). Opt-in — the attributes print,
+  /// so default-on would churn IR goldens, and the tables cost memory.
+  bool RecordSites = false;
   PipelineInstrumentation Instrument;
   /// When set, every lowering stage and optimization pass reports the
   /// module to this observer (translation validation). Null = no cost.

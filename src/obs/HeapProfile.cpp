@@ -1,0 +1,141 @@
+//===- HeapProfile.cpp - allocation-site heap & RC reports ---------------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/HeapProfile.h"
+
+#include "obs/Trace.h"
+#include "support/OStream.h"
+
+#include <algorithm>
+
+using namespace lz;
+using namespace lz::obs;
+
+std::vector<HeapProfileRow> obs::buildHeapProfile(const rt::Runtime &RT) {
+  std::vector<HeapProfileRow> Rows;
+  std::span<const rt::SiteStats> Stats = RT.getSiteStats();
+  const std::vector<std::string> &Names = RT.getSiteNames();
+  for (size_t I = 0; I != Stats.size(); ++I) {
+    const rt::SiteStats &S = Stats[I];
+    if (S.Allocs == 0 && S.rcTraffic() == 0 && S.ElidedAllocs == 0)
+      continue;
+    Rows.push_back({I < Names.size() ? Names[I] : "<runtime>", S});
+  }
+  std::stable_sort(Rows.begin(), Rows.end(),
+                   [](const HeapProfileRow &A, const HeapProfileRow &B) {
+                     if (A.Stats.rcTraffic() != B.Stats.rcTraffic())
+                       return A.Stats.rcTraffic() > B.Stats.rcTraffic();
+                     return A.Stats.Allocs > B.Stats.Allocs;
+                   });
+  return Rows;
+}
+
+namespace {
+
+/// Left-pads \p S to \p Width (right-aligns numbers in the table).
+std::string pad(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.insert(0, Width - S.size(), ' ');
+  return S;
+}
+
+std::string padRight(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.append(Width - S.size(), ' ');
+  return S;
+}
+
+} // namespace
+
+void obs::printHeapProfile(OStream &OS, const rt::Runtime &RT) {
+  std::vector<HeapProfileRow> Rows = buildHeapProfile(RT);
+  if (!RT.isSiteProfiling()) {
+    OS << "heap profile: site profiling was not enabled\n";
+    return;
+  }
+  OS << "heap profile: " << Rows.size() << " site(s) with traffic (of "
+     << RT.getNumSites() << "), ranked by RC traffic\n";
+  if (Rows.empty())
+    return;
+  size_t SiteWidth = 4;
+  for (const HeapProfileRow &R : Rows)
+    SiteWidth = std::max(SiteWidth, R.Site.size());
+  OS << "  " << padRight("site", SiteWidth) << pad("allocs", 10)
+     << pad("peak", 8) << pad("live", 8) << pad("incs", 10)
+     << pad("decs", 10) << pad("elided", 8) << "\n";
+  rt::SiteStats Total;
+  for (const HeapProfileRow &R : Rows) {
+    const rt::SiteStats &S = R.Stats;
+    OS << "  " << padRight(R.Site, SiteWidth)
+       << pad(std::to_string(S.Allocs), 10)
+       << pad(std::to_string(S.PeakLive), 8)
+       << pad(std::to_string(S.CurrentLive), 8)
+       << pad(std::to_string(S.Incs), 10) << pad(std::to_string(S.Decs), 10)
+       << pad(std::to_string(S.ElidedAllocs), 8) << "\n";
+    Total.Allocs += S.Allocs;
+    Total.CurrentLive += S.CurrentLive;
+    Total.Incs += S.Incs;
+    Total.Decs += S.Decs;
+    Total.ElidedAllocs += S.ElidedAllocs;
+  }
+  OS << "  " << padRight("total", SiteWidth)
+     << pad(std::to_string(Total.Allocs), 10) << pad("-", 8)
+     << pad(std::to_string(Total.CurrentLive), 8)
+     << pad(std::to_string(Total.Incs), 10)
+     << pad(std::to_string(Total.Decs), 10)
+     << pad(std::to_string(Total.ElidedAllocs), 8) << "\n";
+}
+
+void obs::exportHeapProfileJSON(OStream &OS, const rt::Runtime &RT) {
+  std::vector<HeapProfileRow> Rows = buildHeapProfile(RT);
+  OS << "{\"heap-profile\":{\"sites\":[";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const rt::SiteStats &S = Rows[I].Stats;
+    if (I)
+      OS << ',';
+    OS << "\n{\"site\":";
+    writeJSONString(OS, Rows[I].Site);
+    OS << ",\"allocs\":" << S.Allocs << ",\"peak-live\":" << S.PeakLive
+       << ",\"live\":" << S.CurrentLive << ",\"incs\":" << S.Incs
+       << ",\"decs\":" << S.Decs << ",\"elided-allocs\":" << S.ElidedAllocs
+       << '}';
+  }
+  OS << "\n],\"timeline\":[";
+  std::span<const rt::Runtime::HeapSample> Timeline = RT.getHeapTimeline();
+  for (size_t I = 0; I != Timeline.size(); ++I) {
+    if (I)
+      OS << ',';
+    OS << '[' << Timeline[I].Allocations << ',' << Timeline[I].Live << ']';
+  }
+  OS << "]}}\n";
+}
+
+void obs::exportCollapsedStacks(OStream &OS, const rt::Runtime &RT) {
+  // flamegraph.pl input: semicolon-joined frames, space, integer weight.
+  // "fn:kind#ord" splits at the first ':' into a function root frame and
+  // a construct leaf frame; the `<runtime>` catch-all stays one frame.
+  for (const HeapProfileRow &R : buildHeapProfile(RT)) {
+    const rt::SiteStats &S = R.Stats;
+    uint64_t Weight = S.Allocs + S.rcTraffic() + S.ElidedAllocs;
+    if (Weight == 0)
+      continue;
+    size_t Colon = R.Site.find(':');
+    std::string Frames =
+        Colon == std::string::npos
+            ? R.Site
+            : R.Site.substr(0, Colon) + ";" + R.Site.substr(Colon + 1);
+    OS << Frames << ' ' << Weight << "\n";
+  }
+}
+
+void obs::emitHeapTimeline(TraceSink &Trace, const rt::Runtime &RT) {
+  std::span<const rt::Runtime::HeapSample> Timeline = RT.getHeapTimeline();
+  for (size_t I = 0; I != Timeline.size(); ++I)
+    Trace.recordCounter("heap", "rt", I,
+                        {{"allocations", Timeline[I].Allocations},
+                         {"live", Timeline[I].Live}});
+}

@@ -1,0 +1,65 @@
+//===- HeapProfile.h - allocation-site heap & RC reports --------*- C++ -*-===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reporting over the runtime's per-allocation-site profile
+/// (rt::Runtime::enableSiteProfile): a human-readable table and a JSON
+/// export ranked by RC traffic (`lz-opt --heap-profile[=json]`), a
+/// collapsed-stack export for flamegraph.pl, and heap-timeline counter
+/// events for --trace-json. The profile itself is collected by the
+/// instrumented VM loop / validate evaluator; this layer only renders it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LZ_OBS_HEAPPROFILE_H
+#define LZ_OBS_HEAPPROFILE_H
+
+#include "runtime/Object.h"
+
+#include <string>
+#include <vector>
+
+namespace lz {
+class OStream;
+}
+
+namespace lz::obs {
+
+class TraceSink;
+
+/// One site with traffic: its display name and a copy of its counters.
+struct HeapProfileRow {
+  std::string Site;
+  rt::SiteStats Stats;
+};
+
+/// Every site that saw any traffic (allocations, RC ops, or fusion-elided
+/// allocations), ranked by RC traffic (incs+decs) descending, then by
+/// allocations — the "who is churning the heap" order.
+std::vector<HeapProfileRow> buildHeapProfile(const rt::Runtime &RT);
+
+/// The human-readable table: one row per site in rank order, with a
+/// trailing total line. Empty-profile runs render a one-line note.
+void printHeapProfile(OStream &OS, const rt::Runtime &RT);
+
+/// {"heap-profile":{"sites":[...],"timeline":[[allocs,live],...]}} — the
+/// same rows as printHeapProfile plus the sampled heap timeline.
+void exportHeapProfileJSON(OStream &OS, const rt::Runtime &RT);
+
+/// Collapsed-stack lines ("fn;kind#ord weight") for flamegraph.pl,
+/// weighted by total heap events (allocs + incs + decs + elided). The
+/// site's function becomes the root frame, its construct the leaf.
+void exportCollapsedStacks(OStream &OS, const rt::Runtime &RT);
+
+/// Replays the runtime's sampled heap timeline into \p Trace as ph:"C"
+/// counter events named "heap" (series: allocations, live). The counter
+/// timestamps are sample indices — heap events, not wall time.
+void emitHeapTimeline(TraceSink &Trace, const rt::Runtime &RT);
+
+} // namespace lz::obs
+
+#endif // LZ_OBS_HEAPPROFILE_H

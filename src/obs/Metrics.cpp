@@ -107,6 +107,23 @@ void MetricsRegistry::adoptFunctionProfile(const vm::VM &Machine,
 void MetricsRegistry::adoptRuntime(const rt::Runtime &RT) {
   set("rt.live-objects", RT.getLiveObjects());
   set("rt.total-allocations", RT.getTotalAllocations());
+  // Per-site heap & RC attribution (rt.site.<site>.<counter>; empty unless
+  // site profiling ran). Untouched sites are skipped so the export stays
+  // proportional to actual traffic, not to program size.
+  std::span<const rt::SiteStats> Stats = RT.getSiteStats();
+  const std::vector<std::string> &Names = RT.getSiteNames();
+  for (size_t I = 0; I != Stats.size(); ++I) {
+    const rt::SiteStats &S = Stats[I];
+    if (S.Allocs == 0 && S.rcTraffic() == 0 && S.ElidedAllocs == 0)
+      continue;
+    std::string Base = "rt.site." + Names[I] + ".";
+    set(Base + "allocs", S.Allocs);
+    set(Base + "peak-live", S.PeakLive);
+    set(Base + "live", S.CurrentLive);
+    set(Base + "incs", S.Incs);
+    set(Base + "decs", S.Decs);
+    set(Base + "elided-allocs", S.ElidedAllocs);
+  }
 }
 
 void MetricsRegistry::exportJSON(OStream &OS) const {

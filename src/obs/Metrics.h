@@ -14,6 +14,7 @@
 ///   vm.steps / vm.closure-allocs / vm.generic-applies / vm.fused-op-hits
 ///   vm.fn.<function>.<counter>   the per-function VM profiler
 ///   rt.live-objects / rt.total-allocations   RC heap counters
+///   rt.site.<site>.<counter>     per-allocation-site heap & RC profile
 ///
 /// The registry adopts from the existing sources (StatisticsReport, the
 /// VM, the runtime) rather than replacing them, and exports everything as
@@ -75,7 +76,10 @@ public:
   /// vm.fn.<function>.{calls,steps-excl,steps-incl,allocs}.
   void adoptFunctionProfile(const vm::VM &Machine, const vm::Program &Prog);
 
-  /// Adopts the RC heap counters: rt.live-objects, rt.total-allocations.
+  /// Adopts the RC heap counters (rt.live-objects, rt.total-allocations)
+  /// and — when site profiling ran — the per-site rows as
+  /// rt.site.<site>.{allocs,peak-live,live,incs,decs,elided-allocs},
+  /// skipping sites with no traffic.
   void adoptRuntime(const rt::Runtime &RT);
 
   /// All counters, sorted by name.

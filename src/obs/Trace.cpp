@@ -90,6 +90,22 @@ void TraceSink::recordInstant(std::string Name, std::string Category,
   Events.push_back(std::move(E));
 }
 
+void TraceSink::recordCounter(
+    std::string Name, std::string Category, uint64_t TsMicros,
+    std::vector<std::pair<std::string, uint64_t>> Values) {
+  Event E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.StartMicros = TsMicros;
+  E.Counter = true;
+  E.Tid = currentThreadId();
+  E.Args.reserve(Values.size());
+  for (auto &[K, V] : Values)
+    E.Args.push_back({std::move(K), std::to_string(V)});
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(E));
+}
+
 size_t TraceSink::getNumEvents() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Events.size();
@@ -111,7 +127,9 @@ void TraceSink::exportJSON(OStream &OS) const {
     writeJSONString(OS, E.Name);
     OS << ",\"cat\":";
     writeJSONString(OS, E.Category.empty() ? "trace" : E.Category);
-    if (E.Instant) {
+    if (E.Counter) {
+      OS << ",\"ph\":\"C\",\"ts\":" << E.StartMicros;
+    } else if (E.Instant) {
       OS << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << E.StartMicros;
     } else {
       OS << ",\"ph\":\"X\",\"ts\":" << E.StartMicros
@@ -125,7 +143,12 @@ void TraceSink::exportJSON(OStream &OS) const {
           OS << ',';
         writeJSONString(OS, E.Args[J].Key);
         OS << ':';
-        writeJSONString(OS, E.Args[J].Value);
+        // Counter samples carry decimal text; emit it unquoted so the
+        // viewer reads numeric series.
+        if (E.Counter)
+          OS << E.Args[J].Value;
+        else
+          writeJSONString(OS, E.Args[J].Value);
       }
       OS << '}';
     }

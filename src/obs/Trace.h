@@ -61,6 +61,9 @@ public:
     uint64_t StartMicros = 0;
     uint64_t DurMicros = 0;
     bool Instant = false;
+    /// ph:"C" counter sample: Args values are emitted as raw JSON numbers
+    /// (they hold decimal text), so the viewer draws them as series.
+    bool Counter = false;
     uint32_t Tid = 0;
     std::vector<TraceArg> Args;
   };
@@ -84,6 +87,13 @@ public:
   /// Appends a zero-duration instant event stamped "now".
   void recordInstant(std::string Name, std::string Category,
                      std::vector<TraceArg> Args = {});
+
+  /// Appends a ph:"C" counter sample at caller-supplied \p TsMicros —
+  /// replayed series (e.g. the runtime's heap timeline, whose x-axis is
+  /// heap events rather than wall time) keep their own clock.
+  void recordCounter(std::string Name, std::string Category,
+                     uint64_t TsMicros,
+                     std::vector<std::pair<std::string, uint64_t>> Values);
 
   size_t getNumEvents() const;
 

@@ -7,6 +7,7 @@
 
 #include "runtime/Object.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -152,6 +153,84 @@ void Runtime::freeRaw(Object *O) {
     delete static_cast<StringObject *>(O);
     break;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-site heap profiling
+//===----------------------------------------------------------------------===//
+
+void Runtime::enableSiteProfile(std::vector<std::string> Names) {
+  if (Names.empty())
+    Names.push_back("<runtime>");
+  SiteNames = std::move(Names);
+  SiteCounters.assign(SiteNames.size(), SiteStats());
+  SiteData = SiteCounters.data();
+  CurrentSite = 0;
+  AllocSite.clear();
+  Timeline.clear();
+  HeapEvents = 0;
+}
+
+void Runtime::sampleTimeline() {
+  // Dense at first so short programs get a full curve, then 1-in-64 so
+  // long runs stay bounded. The x-axis is heap events, not wall time.
+  ++HeapEvents;
+  if (Timeline.size() < 4096 || (HeapEvents & 63) == 0)
+    Timeline.push_back({TotalAllocations, LiveObjects});
+}
+
+void Runtime::noteSiteAlloc(Object *O) {
+  int32_t Site = clampSite(CurrentSite);
+  SiteStats &S = SiteData[Site];
+  ++S.Allocs;
+  if (++S.CurrentLive > S.PeakLive)
+    S.PeakLive = S.CurrentLive;
+  AllocSite[O] = Site;
+  sampleTimeline();
+}
+
+void Runtime::noteSiteFree(Object *O) {
+  auto It = AllocSite.find(O);
+  int32_t Site = It == AllocSite.end() ? 0 : It->second;
+  if (It != AllocSite.end())
+    AllocSite.erase(It);
+  SiteStats &S = SiteData[Site];
+  if (S.CurrentLive > 0)
+    --S.CurrentLive;
+  sampleTimeline();
+}
+
+void Runtime::trapFreeWithoutAlloc(Object *O) const {
+  // A real trap even in Release builds: freeing a cell the accounting
+  // never saw means the RC discipline is broken, and continuing would
+  // corrupt the heap. Blame the allocation site when profiling knows it.
+  const char *SiteName = "<unknown>";
+  std::string Named;
+  if (SiteData) {
+    auto It = AllocSite.find(const_cast<Object *>(O));
+    if (It != AllocSite.end() &&
+        static_cast<size_t>(It->second) < SiteNames.size()) {
+      Named = SiteNames[It->second];
+      SiteName = Named.c_str();
+    }
+  }
+  std::fprintf(stderr, "runtime: free without matching alloc (site: %s)\n",
+               SiteName);
+  std::abort();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+Runtime::collectLeakSites() const {
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  for (size_t I = 0; I != SiteCounters.size(); ++I)
+    if (SiteCounters[I].CurrentLive != 0)
+      Out.emplace_back(I < SiteNames.size() ? SiteNames[I] : "<runtime>",
+                       SiteCounters[I].CurrentLive);
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second > B.second;
+                   });
+  return Out;
 }
 
 uint64_t Runtime::reclaimLeaked() {

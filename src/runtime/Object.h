@@ -30,7 +30,9 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace lz::rt {
@@ -56,6 +58,20 @@ constexpr int64_t MinSmallInt = -(1LL << 62);
 constexpr int64_t MaxSmallInt = (1LL << 62) - 1;
 
 enum class ObjKind : uint8_t { Ctor, BigNum, Closure, Array, String };
+
+/// Per-allocation-site profile counters (heap & RC observability). Indexed
+/// by SiteId; slot 0 is the `<runtime>` catch-all for unattributed
+/// allocations (builtins, apply-internal cells, array copy-on-write).
+struct SiteStats {
+  uint64_t Allocs = 0;       ///< cells allocated at this site
+  uint64_t CurrentLive = 0;  ///< cells from this site still live
+  uint64_t PeakLive = 0;     ///< high-water mark of CurrentLive
+  uint64_t Incs = 0;         ///< rc++ executed at this site
+  uint64_t Decs = 0;         ///< rc-- executed at this site
+  uint64_t ElidedAllocs = 0; ///< closure cells elided by PapApply fusion
+
+  uint64_t rcTraffic() const { return Incs + Decs; }
+};
 
 /// Common heap object header.
 struct Object {
@@ -146,6 +162,60 @@ public:
   /// Returns the number of cells reclaimed. Read getLiveObjects() first:
   /// reclaiming zeroes it.
   uint64_t reclaimLeaked();
+
+  //===------------------------------------------------------------------===//
+  // Per-site heap profiling
+  //===------------------------------------------------------------------===//
+
+  /// Enables per-site accounting with \p SiteNames indexed by SiteId
+  /// (slot 0 should be the `<runtime>` catch-all; one is synthesized when
+  /// the vector is empty). Allocation paths then attribute every cell to
+  /// the current site, frees decrement the owning site's live count, and
+  /// a sampled (allocations, live) heap timeline is recorded. Off by
+  /// default; the only cost when off is one predictable branch per
+  /// allocation/free — never per VM instruction.
+  void enableSiteProfile(std::vector<std::string> SiteNames);
+  bool isSiteProfiling() const { return SiteData != nullptr; }
+
+  /// The site the next allocation is attributed to. The instrumented VM
+  /// loop (and the validate evaluator) set this per executed instruction.
+  void setAllocSite(int32_t Site) { CurrentSite = Site; }
+
+  /// Raw stats array for the VM's hot loop (inc/dec/elision counters are
+  /// bumped directly through this pointer). Null until enableSiteProfile.
+  SiteStats *siteStatsData() { return SiteData; }
+  size_t getNumSites() const { return SiteCounters.size(); }
+  std::span<const SiteStats> getSiteStats() const { return SiteCounters; }
+  const std::vector<std::string> &getSiteNames() const { return SiteNames; }
+
+  /// Bumps a site's inc/dec counters with bounds clamping to the
+  /// `<runtime>` slot (the evaluator's path; the VM writes directly).
+  void noteSiteInc(int32_t Site, uint64_t N = 1) {
+    if (SiteData)
+      SiteData[clampSite(Site)].Incs += N;
+  }
+  void noteSiteDec(int32_t Site, uint64_t N = 1) {
+    if (SiteData)
+      SiteData[clampSite(Site)].Decs += N;
+  }
+  void noteSiteElidedAlloc(int32_t Site, uint64_t N = 1) {
+    if (SiteData)
+      SiteData[clampSite(Site)].ElidedAllocs += N;
+  }
+
+  /// Sampled heap timeline: (total allocations so far, live objects) at
+  /// each sampled allocation/free event, for --trace-json counter events.
+  struct HeapSample {
+    uint64_t Allocations;
+    uint64_t Live;
+  };
+  std::span<const HeapSample> getHeapTimeline() const { return Timeline; }
+
+  /// Leak provenance: every site with surviving cells as (site name,
+  /// surviving count), heaviest leaker first. Empty unless profiling is on
+  /// and cells are still live — call before reclaimLeaked(), which frees
+  /// the evidence.
+  std::vector<std::pair<std::string, uint64_t>> collectLeakSites() const;
 
   //===------------------------------------------------------------------===//
   // Reference counting
@@ -302,18 +372,41 @@ private:
     ++TotalAllocations;
     if (TrackLive)
       Tracked.insert(O);
+    if (SiteData)
+      noteSiteAlloc(O);
   }
   void noteFree(Object *O) {
-    assert(LiveObjects > 0 && "free without matching alloc");
+    if (LiveObjects == 0)
+      trapFreeWithoutAlloc(O); // proper trap even in Release builds
     --LiveObjects;
     if (TrackLive)
       Tracked.erase(O);
+    if (SiteData)
+      noteSiteFree(O);
   }
+
+  int32_t clampSite(int32_t Site) const {
+    return Site > 0 && static_cast<size_t>(Site) < SiteCounters.size() ? Site
+                                                                       : 0;
+  }
+  void noteSiteAlloc(Object *O); ///< out-of-line: map insert + timeline
+  void noteSiteFree(Object *O);
+  [[noreturn]] void trapFreeWithoutAlloc(Object *O) const;
+  void sampleTimeline();
 
   uint64_t LiveObjects = 0;
   uint64_t TotalAllocations = 0;
   bool TrackLive = false;
   std::unordered_set<Object *> Tracked;
+
+  // Per-site profiling state (empty/null unless enableSiteProfile ran).
+  std::vector<SiteStats> SiteCounters;
+  SiteStats *SiteData = nullptr;
+  std::vector<std::string> SiteNames;
+  int32_t CurrentSite = 0;
+  std::unordered_map<Object *, int32_t> AllocSite;
+  std::vector<HeapSample> Timeline;
+  uint64_t HeapEvents = 0;
 };
 
 } // namespace lz::rt

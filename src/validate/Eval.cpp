@@ -81,6 +81,31 @@ public:
                             static_cast<uint32_t>(Functions.size()));
       Functions.push_back(Op);
     }
+
+    // Site provenance: when the module was lowered with RecordSites, its
+    // allocating / inc / dec ops carry "lz.site" attributes. Intern them
+    // up front (index 0 = the `<runtime>` catch-all, matching the VM's
+    // SiteTable) and enable the runtime's site profile, so the evaluator
+    // attributes heap traffic exactly like the instrumented VM does.
+    std::vector<std::string> Names{"<runtime>"};
+    std::unordered_map<std::string_view, int32_t> ByName;
+    for (Operation *Fn : Functions) {
+      Fn->getRegion(0).walk([&](Operation *Op) {
+        auto *A = Op->getAttrOfType<StringAttr>("lz.site");
+        if (!A)
+          return;
+        std::string_view Name = A->getValue();
+        auto [It, Inserted] =
+            ByName.emplace(Name, static_cast<int32_t>(Names.size()));
+        if (Inserted)
+          Names.emplace_back(Name);
+        SiteOfOp[Op] = It->second;
+      });
+    }
+    if (!SiteOfOp.empty()) {
+      RT.enableSiteProfile(std::move(Names));
+      SiteProfiling = true;
+    }
   }
 
   Observation run(std::string_view Entry) {
@@ -114,6 +139,8 @@ public:
     Obs.ClosureAllocs = ClosureAllocs;
     Obs.GenericApplies = GenericApplies;
     Obs.Steps = Steps;
+    if (SiteProfiling && Obs.LiveObjects != 0)
+      Obs.LeakSites = RT.collectLeakSites();
     return Obs;
   }
 
@@ -378,6 +405,10 @@ private:
                       " argument(s), expected " +
                       std::to_string(vm::getBuiltinArity(Builtin))};
     vm::BuiltinContext Ctx{RT, *this, &Out};
+    // Builtin-internal allocations land on the `<runtime>` catch-all
+    // (func.call is never stamped) — don't let a stale site claim them.
+    if (SiteProfiling)
+      RT.setAllocSite(0);
     rt::ObjRef R = vm::getBuiltin(Builtin)(Ctx, Args);
     if (Op->getNumResults() == 1) {
       uint64_t Raw = R;
@@ -398,9 +429,21 @@ private:
   // Straight-line value ops (semantics mirror vm/VMExecute.inc)
   //===------------------------------------------------------------------===//
 
+  /// The op's interned SiteId; 0 (`<runtime>`) for unstamped ops.
+  int32_t siteOf(Operation *Op) const {
+    auto It = SiteOfOp.find(Op);
+    return It == SiteOfOp.end() ? 0 : It->second;
+  }
+
   void evalValueOp(Frame &F, Operation *Op, std::string_view Name) {
     auto Operand = [&](unsigned I) { return F.get(Op->getOperand(I)); };
     auto SetResult = [&](uint64_t Raw) { F.set(Op->getResult(0), Raw); };
+
+    // Mirror the instrumented VM: the current allocation site follows the
+    // executing op, so unstamped ops (and builtin-internal allocations,
+    // whose func.call is never stamped) land on the catch-all slot.
+    if (SiteProfiling)
+      RT.setAllocSite(siteOf(Op));
 
     if (Name == "lp.int") {
       int64_t V = Op->getAttrOfType<IntegerAttr>("value")->getValue();
@@ -477,10 +520,16 @@ private:
       return;
     }
     if (Name == "lp.inc") {
+      // Executed RC instructions count (scalar no-ops included), exactly
+      // like the VM's per-site Inc/Dec counters.
+      if (SiteProfiling)
+        RT.noteSiteInc(siteOf(Op));
       RT.inc(Operand(0));
       return;
     }
     if (Name == "lp.dec") {
+      if (SiteProfiling)
+        RT.noteSiteDec(siteOf(Op));
       RT.dec(Operand(0));
       return;
     }
@@ -593,6 +642,9 @@ private:
   StringOStream Out;
   std::vector<Operation *> Functions;
   std::unordered_map<std::string, uint32_t> FnIndexByName;
+  /// "lz.site"-stamped ops -> interned SiteId (empty = no provenance).
+  std::unordered_map<Operation *, int32_t> SiteOfOp;
+  bool SiteProfiling = false;
   uint64_t Steps = 0;
   uint64_t ClosureAllocs = 0;
   uint64_t GenericApplies = 0;

@@ -17,11 +17,11 @@
 ///
 /// Semantics intentionally mirror the VM's (vm/VMExecute.inc) bit for bit:
 /// the LEAN division conventions, the ±2^62 small-int boxing boundary,
-/// raw two's-complement arith, and the runtime's RC discipline. The one
-/// deliberate difference: where the VM aborts the process on a trap
-/// (unreachable, arity mismatch, apply of a non-closure), the evaluator
-/// reports the trap as data so the validator can compare trap identity
-/// across stages.
+/// raw two's-complement arith, and the runtime's RC discipline. Traps are
+/// reported as data (Observation::Trap) so the validator can compare trap
+/// identity across stages; the VM matches for unreachable (vm::TrapError)
+/// but still aborts the process on arity mismatch / apply of a
+/// non-closure, which no well-typed lowering can produce.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace lz {
 class Operation;
@@ -56,6 +58,10 @@ struct Observation {
   uint64_t ClosureAllocs = 0;
   uint64_t GenericApplies = 0;
   uint64_t Steps = 0;
+  /// Leak provenance (reporting-only, never compared): when the module
+  /// carries "lz.site" attributes and the run leaked, the surviving cells'
+  /// allocation sites as (site name, count), heaviest first.
+  std::vector<std::pair<std::string, uint64_t>> LeakSites;
   /// False for executions with no RC semantics (the λpure oracle), which
   /// masks the LiveObjects comparison against this observation.
   bool HasRC = true;

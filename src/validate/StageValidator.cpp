@@ -97,6 +97,14 @@ std::string StageValidator::report() const {
   S += "  first divergence: '" + Before.Name + "' -> '" + After.Name +
        "'\n";
   S += "  delta: " + D->Delta + "\n";
+  // Leak provenance: when a diverging side left cells behind and the
+  // module carried site attributes, blame the allocation sites by name —
+  // the difference between "leaked 1 object" and "leaked the ctor cell
+  // from main:ctor#0".
+  for (const StageRecord *R : {&Before, &After})
+    for (const auto &[Site, Count] : R->Obs.LeakSites)
+      S += "  leak at '" + R->Name + "': " + std::to_string(Count) +
+           " cell(s) from " + Site + "\n";
   S += "  stage '" + Before.Name + "': " + describeObservation(Before.Obs) +
        "\n";
   S += "  stage '" + After.Name + "': " + describeObservation(After.Obs) +

@@ -143,16 +143,50 @@ struct CompiledFunction {
   std::vector<int32_t> Aux;     ///< variable-length operand lists
   std::vector<int64_t> ImmPool; ///< integer immediates
   std::vector<BigInt> BigPool;  ///< bigint immediates
+  /// PC -> SiteId side table, parallel to Code. Present (same length as
+  /// Code) only when compiled with CompilerOptions.RecordSites; entry 0
+  /// (`<runtime>`) marks PCs that neither allocate nor touch a refcount.
+  /// The fusion pass remaps it in lock-step with the PC slots, so every
+  /// allocating/inc/dec instruction keeps its provenance across fusion.
+  std::vector<int32_t> SiteIds;
+
+  int32_t siteAt(size_t PC) const {
+    return PC < SiteIds.size() ? SiteIds[PC] : 0;
+  }
+};
+
+/// A stable allocation/RC-site descriptor: source function + construct kind
+/// + per-function-per-kind ordinal. The spelling "fn:kind#ord" is the
+/// interchange form used by the "lz.site" IR attribute, the heap-profile
+/// reports, and the collapsed-stack export.
+struct SiteDesc {
+  std::string Function; ///< source (lambda-level) function name
+  std::string Kind;     ///< construct kind: ctor, pap, papext, inc, dec, ...
+  uint32_t Ordinal = 0; ///< per-function per-kind ordinal, 0-based
+
+  std::string display() const {
+    return Function + ":" + Kind + "#" + std::to_string(Ordinal);
+  }
 };
 
 /// A compiled module plus its function symbol table.
 struct Program {
   std::vector<CompiledFunction> Functions;
   std::unordered_map<std::string, uint32_t> FunctionIndex;
+  /// Site-descriptor table indexed by SiteId. Non-empty only when compiled
+  /// with RecordSites; slot 0 is always the `<runtime>` catch-all that
+  /// absorbs allocations made inside builtins/apply with no stamped site.
+  std::vector<SiteDesc> Sites;
 
   const CompiledFunction *lookup(const std::string &Name) const {
     auto It = FunctionIndex.find(Name);
     return It == FunctionIndex.end() ? nullptr : &Functions[It->second];
+  }
+
+  std::string siteName(int32_t Id) const {
+    if (Id <= 0 || static_cast<size_t>(Id) >= Sites.size())
+      return "<runtime>";
+    return Sites[Id].display();
   }
 };
 

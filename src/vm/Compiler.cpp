@@ -14,6 +14,8 @@
 #include "runtime/Object.h"
 #include "vm/Builtins.h"
 
+#include <cstdlib>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -22,14 +24,59 @@ using namespace lz::vm;
 
 namespace {
 
+/// Interns SiteDescs into Program::Sites; slot 0 is the `<runtime>`
+/// catch-all reserved at construction. Shared by every FunctionCompiler of
+/// one compileModule run so SiteIds are module-global.
+class SiteTable {
+public:
+  explicit SiteTable(Program &P) : P(P) {
+    P.Sites.clear();
+    P.Sites.push_back({"<runtime>", "", 0});
+    ByName.emplace("<runtime>", 0);
+  }
+
+  int32_t intern(SiteDesc D) {
+    std::string Key = D.display();
+    auto [It, Inserted] =
+        ByName.emplace(std::move(Key), static_cast<int32_t>(P.Sites.size()));
+    if (Inserted)
+      P.Sites.push_back(std::move(D));
+    return It->second;
+  }
+
+  /// Parses the "fn:kind#ord" interchange spelling of the "lz.site"
+  /// attribute (from the right, so function names may contain ':').
+  static SiteDesc parse(std::string_view S) {
+    SiteDesc D;
+    size_t Hash = S.rfind('#');
+    size_t Colon = S.rfind(':', Hash == std::string_view::npos ? S.size()
+                                                               : Hash);
+    if (Hash == std::string_view::npos || Colon == std::string_view::npos ||
+        Colon > Hash) {
+      D.Function = std::string(S);
+      D.Kind = "site";
+      return D;
+    }
+    D.Function = std::string(S.substr(0, Colon));
+    D.Kind = std::string(S.substr(Colon + 1, Hash - Colon - 1));
+    D.Ordinal = static_cast<uint32_t>(
+        std::strtoul(std::string(S.substr(Hash + 1)).c_str(), nullptr, 10));
+    return D;
+  }
+
+private:
+  Program &P;
+  std::unordered_map<std::string, int32_t> ByName;
+};
+
 class FunctionCompiler {
 public:
   FunctionCompiler(Operation *FuncOp, CompiledFunction &Out,
                    const std::unordered_map<std::string, uint32_t> &FnIndex,
                    const std::unordered_map<std::string, uint32_t> &FnArity,
-                   std::string &Err)
+                   std::string &Err, SiteTable *Sites = nullptr)
       : FuncOp(FuncOp), Out(Out), FnIndex(FnIndex), FnArity(FnArity),
-        Err(Err) {}
+        Err(Err), Sites(Sites) {}
 
   LogicalResult compile() {
     Region &Body = FuncOp->getRegion(0);
@@ -98,7 +145,46 @@ private:
 
   size_t emit(Opcode Op, int32_t A = 0, int32_t B = 0, int32_t C = 0) {
     Out.Code.push_back({Op, A, B, C});
+    if (Sites)
+      Out.SiteIds.push_back(CurSite);
     return Out.Code.size() - 1;
+  }
+
+  /// SiteId for ops that allocate or touch a refcount: the stamped
+  /// "lz.site" provenance when the frontend lowering recorded one, else a
+  /// synthesized fn:kind#ord so the side table is total on any IR. Returns
+  /// 0 (`<runtime>`) for every other op.
+  int32_t siteForOp(Operation *Op) {
+    std::string_view Name = Op->getName();
+    std::string_view Kind;
+    if (Name == "lp.construct")
+      Kind = "ctor";
+    else if (Name == "lp.pap")
+      Kind = "pap";
+    else if (Name == "lp.papextend")
+      Kind = "papext";
+    else if (Name == "lp.inc")
+      Kind = "inc";
+    else if (Name == "lp.dec")
+      Kind = "dec";
+    else if (Name == "lp.bigint")
+      Kind = "const";
+    else if (Name == "lp.int") {
+      int64_t V = Op->getAttrOfType<IntegerAttr>("value")->getValue();
+      if (V < rt::MinSmallInt || V > rt::MaxSmallInt)
+        Kind = "const"; // materializes a bignum cell at runtime
+      else
+        return 0;
+    } else {
+      return 0;
+    }
+    if (auto *A = Op->getAttrOfType<StringAttr>("lz.site"))
+      return Sites->intern(SiteTable::parse(A->getValue()));
+    SiteDesc D;
+    D.Function = std::string(func::getFuncName(FuncOp));
+    D.Kind = std::string(Kind);
+    D.Ordinal = SynthOrdinals[D.Kind]++;
+    return Sites->intern(std::move(D));
   }
 
   LogicalResult error(std::string Message) {
@@ -150,6 +236,7 @@ private:
   }
 
   void emitTrampolines() {
+    CurSite = 0; // trampoline moves/branches carry no provenance
     for (auto &T : Trampolines) {
       T.PC = static_cast<int32_t>(Out.Code.size());
       emitMovesAndBr(T.Target, T.ArgRegs);
@@ -174,6 +261,8 @@ private:
 
   LogicalResult compileOp(Operation *Op) {
     std::string_view Name = Op->getName();
+    if (Sites)
+      CurSite = siteForOp(Op);
 
     if (Name == "arith.constant") {
       emit(Opcode::IConst, defineReg(Op->getResult(0)),
@@ -495,9 +584,14 @@ private:
   Operation *FusedCmp = nullptr;
   bool DoneWithBlock = false;
 
+  SiteTable *Sites;
+  int32_t CurSite = 0;
+  std::unordered_map<std::string, uint32_t> SynthOrdinals;
+
 public:
   /// Switch targets need trampolines too; resolve them after layout.
   void resolveSwitchFixups() {
+    CurSite = 0;
     for (auto &F : SwitchFixups) {
       int32_t PC;
       if (F.ArgRegs.empty()) {
@@ -762,6 +856,21 @@ void fuseFunction(Program &P, CompiledFunction &F, FusionCounters *C) {
 
   std::vector<Instr> NewCode;
   NewCode.reserve(N);
+  // The PC -> SiteId side table is rebuilt in lock-step with NewCode so
+  // every surviving instruction keeps its provenance: a fused IncN/DecN
+  // run inherits the first element's site, PapApply the Pap's site.
+  bool HasSites = F.SiteIds.size() == N;
+  std::vector<int32_t> NewSites;
+  if (HasSites)
+    NewSites.reserve(N);
+  auto Push = [&](const Instr &I, int32_t Site) {
+    NewCode.push_back(I);
+    if (HasSites)
+      NewSites.push_back(Site);
+  };
+  auto SiteAt = [&](size_t OldPC) {
+    return HasSites ? F.SiteIds[OldPC] : 0;
+  };
   std::vector<int32_t> Map(N, -1);
   size_t PC = 0;
   while (PC < N) {
@@ -780,8 +889,9 @@ void fuseFunction(Program &P, CompiledFunction &F, FusionCounters *C) {
       if (K > 1) {
         for (size_t J = 1; J != K; ++J)
           Map[PC + J] = NewPC;
-        NewCode.push_back({I.Op == Opcode::Inc ? Opcode::IncN : Opcode::DecN,
-                           I.A, static_cast<int32_t>(K), 0});
+        Push({I.Op == Opcode::Inc ? Opcode::IncN : Opcode::DecN, I.A,
+              static_cast<int32_t>(K), 0},
+             SiteAt(PC));
         if (C)
           ++(I.Op == Opcode::Inc ? C->IncN : C->DecN);
         PC += K;
@@ -843,7 +953,7 @@ void fuseFunction(Program &P, CompiledFunction &F, FusionCounters *C) {
         // position (Map[PC], already set to NewPC) lands on it.
         for (size_t J = PC + 1; J != ApplyPC; ++J) {
           Map[J] = static_cast<int32_t>(NewCode.size());
-          NewCode.push_back(F.Code[J]);
+          Push(F.Code[J], SiteAt(J));
         }
         std::vector<int32_t> A = {FnIdx, Arity, NFixed};
         for (int32_t J = 0; J != NFixed; ++J)
@@ -854,7 +964,10 @@ void fuseFunction(Program &P, CompiledFunction &F, FusionCounters *C) {
         int32_t Offset = static_cast<int32_t>(F.Aux.size());
         F.Aux.insert(F.Aux.end(), A.begin(), A.end());
         Map[ApplyPC] = static_cast<int32_t>(NewCode.size());
-        NewCode.push_back({Opcode::PapApply, App->A, Offset, 0});
+        // The fused pair keeps the Pap's allocation site: when the
+        // saturated fast path elides the closure cell, that's the site
+        // whose ElidedAllocs counter should tick.
+        Push({Opcode::PapApply, App->A, Offset, 0}, SiteAt(PC));
         PC = ApplyPC + 1;
         continue;
       }
@@ -883,7 +996,7 @@ void fuseFunction(Program &P, CompiledFunction &F, FusionCounters *C) {
         int32_t A[] = {DecOp, I.C, BranchIfTrue, BA[3], BA[4]};
         int32_t Offset = static_cast<int32_t>(F.Aux.size());
         F.Aux.insert(F.Aux.end(), std::begin(A), std::end(A));
-        NewCode.push_back({Opcode::DecCmpBr, I.B, Offset, I.A});
+        Push({Opcode::DecCmpBr, I.B, Offset, I.A}, SiteAt(PC));
         if (C)
           ++C->DecCmpBr;
         Map[PC + 1] = NewPC;
@@ -903,7 +1016,7 @@ void fuseFunction(Program &P, CompiledFunction &F, FusionCounters *C) {
       int32_t A[] = {Pred, 0, I.C, Next->B, Next->C};
       int32_t Offset = static_cast<int32_t>(F.Aux.size());
       F.Aux.insert(F.Aux.end(), std::begin(A), std::end(A));
-      NewCode.push_back({Opcode::CmpBr, I.B, Offset, 0});
+      Push({Opcode::CmpBr, I.B, Offset, 0}, SiteAt(PC));
       if (C)
         ++C->CmpBr;
       Map[PC + 1] = NewPC;
@@ -914,8 +1027,8 @@ void fuseFunction(Program &P, CompiledFunction &F, FusionCounters *C) {
     // Constant return.
     if ((I.Op == Opcode::IConst || I.Op == Opcode::BoxConst) && Next &&
         Next->Op == Opcode::Ret && Next->A == I.A && Reads[I.A] == 1) {
-      NewCode.push_back(
-          {Opcode::RetConst, I.B, I.Op == Opcode::BoxConst ? 1 : 0, 0});
+      Push({Opcode::RetConst, I.B, I.Op == Opcode::BoxConst ? 1 : 0, 0},
+           SiteAt(PC));
       if (C)
         ++C->RetConst;
       Map[PC + 1] = NewPC;
@@ -923,7 +1036,7 @@ void fuseFunction(Program &P, CompiledFunction &F, FusionCounters *C) {
       continue;
     }
 
-    NewCode.push_back(I);
+    Push(I, SiteAt(PC));
     ++PC;
   }
 
@@ -933,6 +1046,8 @@ void fuseFunction(Program &P, CompiledFunction &F, FusionCounters *C) {
       Slot = Map[Slot];
     });
   F.Code = std::move(NewCode);
+  if (HasSites)
+    F.SiteIds = std::move(NewSites);
 }
 
 /// Reports the per-function fusion outcome as "vm-fuse" remarks: one
@@ -993,6 +1108,11 @@ LogicalResult lz::vm::compileModule(Operation *Module, Program &Out,
                                     const CompilerOptions &Options) {
   Out.Functions.clear();
   Out.FunctionIndex.clear();
+  Out.Sites.clear();
+
+  std::unique_ptr<SiteTable> Sites;
+  if (Options.RecordSites)
+    Sites = std::make_unique<SiteTable>(Out);
 
   std::unordered_map<std::string, uint32_t> FnArity;
   std::vector<Operation *> Funcs;
@@ -1016,7 +1136,7 @@ LogicalResult lz::vm::compileModule(Operation *Module, Program &Out,
     obs::TraceSpan CompileSpan(Options.Trace, "compile " + CF.Name,
                                "vm-emit");
     FunctionCompiler FC(Funcs[I], CF, Out.FunctionIndex, FnArity,
-                        ErrorMessage);
+                        ErrorMessage, Sites.get());
     if (failed(FC.compile()))
       return failure();
     FC.resolveSwitchFixups();

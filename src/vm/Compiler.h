@@ -48,6 +48,13 @@ struct CompilerOptions {
   /// When set, per-function bytecode-compile spans and a per-function
   /// fuse span are recorded (category "vm-emit").
   obs::TraceSink *Trace = nullptr;
+  /// Record allocation/RC-site provenance: every allocating or inc/dec
+  /// instruction gets a SiteId in CompiledFunction::SiteIds and the module
+  /// gets a Program::Sites descriptor table. Sites come from the "lz.site"
+  /// attribute stamped by the frontend lowering when available, with a
+  /// compile-time synthesized fallback so the side table is total even for
+  /// IR that was never stamped.
+  bool RecordSites = false;
 };
 
 /// Compiles \p Module into \p Out. On failure returns failure and fills

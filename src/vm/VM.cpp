@@ -55,6 +55,15 @@ ObjRef VM::callFunction(uint32_t FnIndex, std::span<ObjRef> Args) {
   return execute(FnIndex, Args);
 }
 
+void VM::enableHeapProfiling() {
+  std::vector<std::string> Names;
+  Names.reserve(Prog.Sites.size());
+  for (size_t I = 0; I != Prog.Sites.size(); ++I)
+    Names.push_back(Prog.siteName(static_cast<int32_t>(I)));
+  RT.enableSiteProfile(std::move(Names));
+  SiteStatsData = RT.siteStatsData();
+}
+
 ObjRef VM::execute(uint32_t FnIndex, std::span<ObjRef> Args) {
   // Real runtime trap, not an assert: a Release-build arity mismatch (bad
   // entry call or a malformed closure coming through rt::apply) must not
@@ -66,8 +75,8 @@ ObjRef VM::execute(uint32_t FnIndex, std::span<ObjRef> Args) {
     std::abort();
   }
 
-  bool Instrumented =
-      ProfileData != nullptr || FuelLimit != 0 || FuncProfData != nullptr;
+  bool Instrumented = ProfileData != nullptr || FuelLimit != 0 ||
+                      FuncProfData != nullptr || SiteStatsData != nullptr;
 #if LZ_VM_HAS_GOTO
   if (Mode == DispatchMode::Goto)
     return Instrumented ? executeGoto<true>(FnIndex, Args)

@@ -56,6 +56,15 @@ struct FunctionProfile {
   uint64_t Allocs = 0;
 };
 
+/// Thrown when the VM executes a Trap instruction (lp.unreachable reached
+/// at runtime). An exception rather than an abort so drivers can flush
+/// observability sinks (--trace-json / --metrics-json) and exit cleanly;
+/// the VM's register/frame state is abandoned, and any cells it still
+/// referenced are left to the Runtime's leak tracking.
+struct TrapError {
+  std::string Message;
+};
+
 class VM : public rt::ApplyHandler {
 public:
   /// How the interpreter loop dispatches opcodes.
@@ -131,6 +140,16 @@ public:
     return FuncProf;
   }
 
+  /// Turns on per-site heap & RC attribution (runs the instrumented
+  /// dispatch loop from now on): enables the runtime's site profile over
+  /// Prog.Sites, sets the runtime's current allocation site per executed
+  /// instruction from the function's PC -> SiteId table, and bumps the
+  /// per-site inc/dec and elided-closure-alloc counters. With a program
+  /// compiled without RecordSites everything lands on the `<runtime>`
+  /// catch-all site.
+  void enableHeapProfiling();
+  bool heapProfilingEnabled() const { return SiteStatsData != nullptr; }
+
   /// Caps execution at \p MaxSteps instructions across all nested
   /// invocations (0 = unlimited, the default). When the budget runs out
   /// the VM unwinds with a poison scalar result and fuelExhausted() turns
@@ -162,6 +181,7 @@ private:
   FunctionProfile *FuncProfData = nullptr;
   uint32_t *FnDepthData = nullptr;
   uint64_t *FnInclStartData = nullptr;
+  rt::SiteStats *SiteStatsData = nullptr; ///< null = heap profiling off
   uint64_t FuelLimit = 0; ///< 0 = unlimited
   bool FuelExhausted = false;
 };

@@ -1,0 +1,239 @@
+//===- SiteTableTest.cpp - allocation-site side-table integrity ----------------===//
+//
+// Part of the lambda-ssa project, reproducing "Lambda the Ultimate SSA"
+// (CGO 2022). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integrity of the PC -> SiteId provenance tables behind --heap-profile:
+/// with CompilerOptions.RecordSites every allocating / inc / dec
+/// instruction must carry a nonzero SiteId whose descriptor kind matches
+/// the opcode family, the property must survive superinstruction fusion's
+/// PC remap, and the per-site counters must agree between the two
+/// dispatch modes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "driver/Driver.h"
+#include "lower/Pipeline.h"
+#include "runtime/Object.h"
+#include "vm/Bytecode.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+using namespace lz;
+
+namespace {
+
+/// Lists + closures + a pap chain: exercises ctor, pap, inc, and dec
+/// sites (and fusion's IncN/DecN/PapApply rewrites) in one program.
+const char *SiteSource = R"(
+inductive List := | Nil | Cons h t
+
+def sum xs := match xs with
+  | Nil => 0
+  | Cons h t => h + sum t
+end
+
+def add3 a b c := a + b + c
+
+def twice f x := f (f x)
+
+def main :=
+  let xs := Cons 1 (Cons 2 (Cons 3 Nil));
+  sum xs + twice (add3 1 2) 4
+)";
+
+lower::CompileResult compileWithSites(Context &Ctx, bool Fuse) {
+  registerAllDialects(Ctx);
+  lambda::Program P;
+  std::string Error;
+  EXPECT_TRUE(driver::parseSource(SiteSource, P, Error)) << Error;
+  lower::PipelineOptions Opts =
+      lower::PipelineOptions::forVariant(lower::PipelineVariant::Full);
+  Opts.RecordSites = true;
+  Opts.FuseSuperinstructions = Fuse;
+  lower::CompileResult R = lower::compileProgram(P, Ctx, Opts);
+  EXPECT_TRUE(R.OK) << R.Error;
+  return R;
+}
+
+/// The opcode families that must carry provenance, mapped to the site
+/// kinds their descriptors may legally use.
+bool requiresSite(vm::Opcode Op) {
+  switch (Op) {
+  case vm::Opcode::Construct:
+  case vm::Opcode::Pap:
+  case vm::Opcode::Inc:
+  case vm::Opcode::Dec:
+  case vm::Opcode::IncN:
+  case vm::Opcode::DecN:
+  case vm::Opcode::PapApply:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool kindMatches(vm::Opcode Op, const std::string &Kind) {
+  switch (Op) {
+  case vm::Opcode::Construct:
+    return Kind == "ctor";
+  case vm::Opcode::Pap:
+  case vm::Opcode::PapApply: // fused Pap+Apply keeps the pap's site
+    return Kind == "pap" || Kind == "papext";
+  case vm::Opcode::Inc:
+  case vm::Opcode::IncN: // run-length fused lp.inc
+    return Kind == "inc";
+  case vm::Opcode::Dec:
+  case vm::Opcode::DecN:
+    return Kind == "dec";
+  default:
+    return false;
+  }
+}
+
+void checkTableTotal(const vm::Program &Prog) {
+  ASSERT_GT(Prog.Sites.size(), 1u);
+  EXPECT_EQ(Prog.Sites[0].Function, "<runtime>");
+  for (const vm::CompiledFunction &F : Prog.Functions) {
+    // The side table is parallel to the code: one entry per PC.
+    ASSERT_EQ(F.SiteIds.size(), F.Code.size()) << F.Name;
+    for (size_t PC = 0; PC != F.Code.size(); ++PC) {
+      const vm::Instr &I = F.Code[PC];
+      if (!requiresSite(I.Op))
+        continue;
+      int32_t Id = F.siteAt(PC);
+      EXPECT_GT(Id, 0) << F.Name << " pc " << PC << ": allocating/RC "
+                       << "instruction with no provenance";
+      ASSERT_LT(static_cast<size_t>(Id), Prog.Sites.size());
+      EXPECT_TRUE(kindMatches(I.Op, Prog.Sites[Id].Kind))
+          << F.Name << " pc " << PC << ": site kind '"
+          << Prog.Sites[Id].Kind << "' does not match opcode";
+    }
+  }
+}
+
+TEST(SiteTable, TotalOnUnfusedBytecode) {
+  Context Ctx;
+  lower::CompileResult R = compileWithSites(Ctx, /*Fuse=*/false);
+  checkTableTotal(R.Prog);
+}
+
+TEST(SiteTable, PreservedAcrossFusionRemap) {
+  Context Ctx;
+  lower::CompileResult R = compileWithSites(Ctx, /*Fuse=*/true);
+  // Fusion rewrites PCs wholesale (IncN/DecN run-length, PapApply,
+  // CmpBr); the table must be remapped in lock-step, staying total.
+  checkTableTotal(R.Prog);
+}
+
+TEST(SiteTable, PapApplyFusionKeepsPapSite) {
+  // Pap immediately applied to its missing argument fuses into PapApply;
+  // NoOpt keeps the partial application from being beta-reduced away.
+  Context Ctx;
+  registerAllDialects(Ctx);
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::parseSource(
+      "def add a b := a + b\ndef main := (add 1) 2", P, Error))
+      << Error;
+  lower::PipelineOptions Opts =
+      lower::PipelineOptions::forVariant(lower::PipelineVariant::NoOpt);
+  Opts.RecordSites = true;
+  lower::CompileResult R = lower::compileProgram(P, Ctx, Opts);
+  ASSERT_TRUE(R.OK) << R.Error;
+  checkTableTotal(R.Prog);
+  unsigned SawPapApply = 0;
+  for (const vm::CompiledFunction &F : R.Prog.Functions)
+    for (size_t PC = 0; PC != F.Code.size(); ++PC)
+      if (F.Code[PC].Op == vm::Opcode::PapApply) {
+        ++SawPapApply;
+        // The fused instruction inherits the allocation site of the Pap
+        // it swallowed, so elided allocations attribute correctly.
+        EXPECT_EQ(R.Prog.Sites[F.siteAt(PC)].Kind, "pap");
+      }
+  EXPECT_GE(SawPapApply, 1u);
+}
+
+TEST(SiteTable, StampedSitesWinOverSynthesized) {
+  Context Ctx;
+  lower::CompileResult R = compileWithSites(Ctx, /*Fuse=*/true);
+  // The lambda->lp stamps survive closure-opt, lp->rgn, and rgn->cf: the
+  // descriptor table speaks in source-function names, not the backend's
+  // synthesized fallbacks.
+  std::set<std::string> Names;
+  for (const vm::SiteDesc &D : R.Prog.Sites)
+    Names.insert(D.display());
+  EXPECT_TRUE(Names.count("main:ctor#0")) << "missing stamped ctor site";
+  EXPECT_TRUE(Names.count("main:ctor#1"));
+  EXPECT_TRUE(Names.count("sum:inc#0")) << "missing stamped inc site";
+}
+
+TEST(SiteTable, NoTablesWithoutRecordSites) {
+  Context Ctx;
+  registerAllDialects(Ctx);
+  lambda::Program P;
+  std::string Error;
+  ASSERT_TRUE(driver::parseSource(SiteSource, P, Error)) << Error;
+  lower::CompileResult R =
+      lower::compileProgram(P, Ctx, lower::PipelineVariant::Full);
+  ASSERT_TRUE(R.OK) << R.Error;
+  // Zero-cost when off: no descriptor table, no side tables.
+  EXPECT_TRUE(R.Prog.Sites.empty());
+  for (const vm::CompiledFunction &F : R.Prog.Functions)
+    EXPECT_TRUE(F.SiteIds.empty()) << F.Name;
+}
+
+/// Runs the compiled program under heap profiling in the given dispatch
+/// mode and returns the per-site counters keyed by site name.
+std::map<std::string, rt::SiteStats> profileRun(const vm::Program &Prog,
+                                                vm::VM::DispatchMode Mode) {
+  rt::Runtime RT;
+  vm::VM Machine(Prog, RT, nullptr);
+  Machine.setDispatchMode(Mode);
+  Machine.enableHeapProfiling();
+  rt::ObjRef Result = Machine.run("main", {});
+  RT.dec(Result);
+  std::map<std::string, rt::SiteStats> Out;
+  std::span<const rt::SiteStats> Stats = RT.getSiteStats();
+  const std::vector<std::string> &Names = RT.getSiteNames();
+  for (size_t I = 0; I != Stats.size(); ++I)
+    Out[I < Names.size() ? Names[I] : "<runtime>"] = Stats[I];
+  return Out;
+}
+
+TEST(SiteTable, CountersAgreeAcrossDispatchModes) {
+  Context Ctx;
+  lower::CompileResult R = compileWithSites(Ctx, /*Fuse=*/true);
+  auto Switch = profileRun(R.Prog, vm::VM::DispatchMode::Switch);
+  // Everything balances at exit: leak-free program.
+  uint64_t TotalAllocs = 0;
+  for (const auto &[Site, S] : Switch) {
+    EXPECT_EQ(S.CurrentLive, 0u) << Site;
+    TotalAllocs += S.Allocs;
+  }
+  EXPECT_GT(TotalAllocs, 0u);
+  EXPECT_GT(Switch["main:ctor#0"].Allocs, 0u);
+  if (!vm::VM::hasGotoDispatch())
+    return;
+  auto Goto = profileRun(R.Prog, vm::VM::DispatchMode::Goto);
+  ASSERT_EQ(Goto.size(), Switch.size());
+  for (const auto &[Site, S] : Switch) {
+    const rt::SiteStats &G = Goto.at(Site);
+    EXPECT_EQ(G.Allocs, S.Allocs) << Site;
+    EXPECT_EQ(G.PeakLive, S.PeakLive) << Site;
+    EXPECT_EQ(G.Incs, S.Incs) << Site;
+    EXPECT_EQ(G.Decs, S.Decs) << Site;
+    EXPECT_EQ(G.ElidedAllocs, S.ElidedAllocs) << Site;
+  }
+}
+
+} // namespace

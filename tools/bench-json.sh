@@ -293,6 +293,44 @@ elif kind == "vm":
             statistics.geometric_mean(fused_over_unfused), 3)
     if stats:
         summary["superinstruction_counters"] = stats
+elif kind == "rcprofile":
+    # Names are rcprofile/<bench>/<closure-on|closure-off>[/manual_time].
+    # Counters carry whole-run heap/RC totals, the closure-construction
+    # (pap) subset, and site[fn:kind#ord].{allocs,rc} for the hottest
+    # sites. The summary shows what closure-opt removed per program: the
+    # on-vs-off delta of every total, plus both ranked site tables.
+    TOTAL_KEYS = ("total_allocs", "total_incs", "total_decs",
+                  "total_elided_allocs", "pap_allocs", "pap_rc")
+    by_bench = {}
+    for name, r in after.items():
+        parts = name.split("/")
+        if len(parts) >= 3 and parts[0] == "rcprofile":
+            extra = counters.get(name, {})
+            entry = by_bench.setdefault(parts[1], {})
+            entry[parts[2]] = {
+                "totals": {k: int(extra[k]) for k in TOTAL_KEYS
+                           if k in extra},
+                "sites": {k[len("site["):].replace("].", " ").split(" ")[0] +
+                          "." + k.rsplit(".", 1)[1]: int(v)
+                          for k, v in sorted(extra.items())
+                          if k.startswith("site[")},
+            }
+    per_bench = {}
+    for b, v in sorted(by_bench.items()):
+        off, on = v.get("closure-off"), v.get("closure-on")
+        row = {}
+        if on:
+            row["closure_on"] = on
+        if off:
+            row["closure_off"] = off
+        if on and off:
+            row["closure_opt_removed"] = {
+                k: off["totals"].get(k, 0) - on["totals"].get(k, 0)
+                for k in TOTAL_KEYS if k in off["totals"]}
+        if row:
+            per_bench[b] = row
+    if per_bench:
+        summary["per_site_rc_traffic"] = per_bench
 elif kind == "fig9":
     # Names are fig9/<bench>/<variant>[/manual_time]; speedup =
     # leanc / full (manual real time), matching the paper's Figure 9 table.

@@ -69,7 +69,10 @@ void printUsage() {
             "S\n"
             "  --validate  additionally run the full pipeline under the\n"
             "              per-stage translation validator; a divergence\n"
-            "              names the first stage pair that disagrees\n";
+            "              names the first stage pair that disagrees\n"
+            "  --profile-sites  run every variant with allocation-site\n"
+            "              profiling on; a leak failure then blames the\n"
+            "              allocation sites of the surviving cells\n";
 }
 
 //===----------------------------------------------------------------------===//
@@ -125,7 +128,8 @@ std::string stageReportBlame(const std::string &Report) {
   return Blame.empty() ? "stage divergence" : Blame;
 }
 
-CheckResult checkProgram(const std::string &Source, bool Validate) {
+CheckResult checkProgram(const std::string &Source, bool Validate,
+                         bool ProfileSites) {
   lambda::Program P;
   std::string Error;
   if (!driver::parseSource(Source, P, Error))
@@ -144,6 +148,7 @@ CheckResult checkProgram(const std::string &Source, bool Validate) {
   // nonterminating miscompile into a reported failure instead of a hang.
   driver::VMOptions VMOpts;
   VMOpts.FuelLimit = 500'000'000;
+  VMOpts.HeapProfile = ProfileSites;
   for (auto V : Variants) {
     std::string Name = lower::pipelineVariantName(V);
     driver::RunResult R;
@@ -174,10 +179,19 @@ CheckResult checkProgram(const std::string &Source, bool Validate) {
                   std::to_string(R.Output.size()) + " vs " +
                   std::to_string(Oracle.Output.size()) + " bytes)",
               "variant:" + Name + ":output"};
-    if (R.LiveObjects != 0)
-      return {FailureKind::Variant,
-              Name + ": leaked " + std::to_string(R.LiveObjects) + " objects",
+    if (R.LiveObjects != 0) {
+      std::string Detail =
+          Name + ": leaked " + std::to_string(R.LiveObjects) + " objects";
+      // Leak provenance: blame the allocation sites of the surviving
+      // cells. Detail only — the signature stays site-free so the
+      // reducer pins "a leak in this variant", not a specific site that
+      // shrinking might legitimately rename.
+      for (const auto &[Site, Count] : R.LeakSites)
+        Detail +=
+            "\n  leaked " + std::to_string(Count) + " cell(s) from " + Site;
+      return {FailureKind::Variant, std::move(Detail),
               "variant:" + Name + ":leak"};
+    }
   }
   return {};
 }
@@ -191,9 +205,9 @@ CheckResult checkProgram(const std::string &Source, bool Validate) {
 class Reducer {
 public:
   Reducer(FailureKind Kind, std::string Signature, bool Validate,
-          unsigned Budget = 1500)
+          bool ProfileSites, unsigned Budget = 1500)
       : Kind(Kind), Signature(std::move(Signature)), Validate(Validate),
-        Budget(Budget), InitialBudget(Budget) {}
+        ProfileSites(ProfileSites), Budget(Budget), InitialBudget(Budget) {}
 
   /// Reduction attempts actually spent (for the end-of-run summary).
   unsigned stepsUsed() const { return InitialBudget - Budget; }
@@ -213,7 +227,7 @@ private:
     if (Budget == 0)
       return false;
     --Budget;
-    CheckResult R = checkProgram(Source, Validate);
+    CheckResult R = checkProgram(Source, Validate, ProfileSites);
     return R.Kind == Kind && R.Signature == Signature;
   }
 
@@ -276,6 +290,7 @@ private:
   FailureKind Kind;
   std::string Signature;
   bool Validate;
+  bool ProfileSites;
   unsigned Budget;
   unsigned InitialBudget;
 };
@@ -289,13 +304,14 @@ void printGenSummary(unsigned Generated, unsigned Passed, unsigned Failures,
          << " reduce-steps=" << ReduceSteps << "\n";
 }
 
-int runGen(unsigned Count, unsigned FirstSeed, bool Validate) {
+int runGen(unsigned Count, unsigned FirstSeed, bool Validate,
+           bool ProfileSites) {
   unsigned Passed = 0;
   for (unsigned I = 0; I != Count; ++I) {
     unsigned Seed = FirstSeed + I;
     programs::ProgramGenerator Gen(Seed * 2654435761u + 17);
     std::string Source = Gen.generate();
-    CheckResult R = checkProgram(Source, Validate);
+    CheckResult R = checkProgram(Source, Validate, ProfileSites);
     if (R.Kind == FailureKind::None) {
       ++Passed;
       continue;
@@ -305,7 +321,7 @@ int runGen(unsigned Count, unsigned FirstSeed, bool Validate) {
            << (Validate ? " --validate" : "") << "\n"
            << "lz-fuzz: failing source:\n"
            << Source << "\n";
-    Reducer Red(R.Kind, R.Signature, Validate);
+    Reducer Red(R.Kind, R.Signature, Validate, ProfileSites);
     std::string Reduced = Red.reduce(Source);
     errs() << "lz-fuzz: reduced reproducer (" << R.Signature << "):\n"
            << Reduced;
@@ -464,7 +480,7 @@ int runRoundtrip(const std::vector<std::string> &Paths) {
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Gen = false, Roundtrip = false, Validate = false;
+  bool Gen = false, Roundtrip = false, Validate = false, ProfileSites = false;
   unsigned Count = 0, FirstSeed = 0;
   std::vector<std::string> Paths;
   for (int I = 1; I < argc; ++I) {
@@ -476,6 +492,8 @@ int main(int argc, char **argv) {
       FirstSeed = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
     } else if (Arg == "--validate") {
       Validate = true;
+    } else if (Arg == "--profile-sites") {
+      ProfileSites = true;
     } else if (Arg == "--roundtrip") {
       Roundtrip = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -494,7 +512,7 @@ int main(int argc, char **argv) {
     return 1;
   }
   if (Gen)
-    return runGen(Count, FirstSeed, Validate);
+    return runGen(Count, FirstSeed, Validate, ProfileSites);
   if (Paths.empty())
     Paths.push_back("tests/filecheck");
   return runRoundtrip(Paths);

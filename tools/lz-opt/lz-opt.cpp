@@ -26,6 +26,7 @@
 #include "programs/Programs.h"
 #include "lambda/Simplify.h"
 #include "lower/Lowering.h"
+#include "obs/HeapProfile.h"
 #include "obs/Metrics.h"
 #include "obs/Remark.h"
 #include "obs/Trace.h"
@@ -82,6 +83,13 @@ const char *const UsageText =
     "                        options above\n"
     "  --vm-dispatch=MODE    interpreter dispatch for --vm-profile:\n"
     "                        goto|switch (default: build default)\n"
+    "  --heap-profile[=json] compile the lowered module, run 'main' on the\n"
+    "                        VM with per-allocation-site heap & RC\n"
+    "                        attribution, and print a site table ranked by\n"
+    "                        RC traffic (or a JSON report); surviving cells\n"
+    "                        are blamed by allocation site ('leak:' lines)\n"
+    "  --heap-collapsed=FILE write the site profile as collapsed stacks\n"
+    "                        for flamegraph.pl (implies --heap-profile)\n"
     "  --max-errors=N        stop after N error diagnostics (default 20,\n"
     "                        0 = unlimited)\n"
     "  --verify-only         parse + verify, print 'ok'\n"
@@ -129,6 +137,9 @@ int main(int argc, char **argv) {
   bool DumpBytecode = false;
   bool VMProfile = false;
   bool VMProfileFunctions = false;
+  bool HeapProfile = false;
+  bool HeapProfileJSON = false;
+  std::string HeapCollapsedPath;
   bool ValidateStages = false;
   std::string ValidateEntry = "main";
   bool Fuse = true;
@@ -180,6 +191,16 @@ int main(int argc, char **argv) {
     else if (Arg == "--vm-profile=functions") {
       VMProfile = true;
       VMProfileFunctions = true;
+    }
+    else if (Arg == "--heap-profile")
+      HeapProfile = true;
+    else if (Arg == "--heap-profile=json") {
+      HeapProfile = true;
+      HeapProfileJSON = true;
+    }
+    else if (Arg.rfind("--heap-collapsed=", 0) == 0) {
+      HeapProfile = true;
+      HeapCollapsedPath = Arg.substr(17);
     }
     else if (Arg.rfind("--rpass=", 0) == 0)
       RPass = Arg.substr(8);
@@ -329,85 +350,14 @@ int main(int argc, char **argv) {
     return true;
   };
 
-  Context Ctx;
-  registerAllDialects(Ctx);
-  OwningOpRef Owner;
-
-  // Diagnostics from both parsers and the post-parse verifier render
-  // clang-style to stderr as they are reported; any error diagnostic
-  // makes lz-opt exit 1 (warnings alone do not).
-  DiagnosticEngine DE;
-  DE.setSourceBuffer(std::string(Path) == "-" ? "<stdin>" : Path, Source);
-  DE.setMaxErrors(MaxErrors);
-  DE.setHandler([&DE](const Diagnostic &D) { DE.renderDiagnostic(D, errs()); });
-
-  // Stage timing is always collected (a handful of clock reads); the
-  // report only prints under --pass-timing.
-  TimingManager TM;
-  TimingScope Total(TM);
-
-  if (MiniLean) {
-    lambda::Program P;
-    {
-      TimingScope S = Total.nest("parse");
-      obs::TraceSpan TS(TraceP, "parse", "frontend");
-      if (failed(lambda::parseMiniLean(Source, P, DE)))
-        return 1;
-    }
-    if (Simplify) {
-      TimingScope S = Total.nest("simplify");
-      obs::TraceSpan TS(TraceP, "simplify", "frontend");
-      lambda::simplifyProgram(P);
-    }
-    if (RC) {
-      TimingScope S = Total.nest("rc-insert");
-      obs::TraceSpan TS(TraceP, "rc-insert", "frontend");
-      rc::insertRC(P);
-    }
-    TimingScope S = Total.nest("lower-lambda-to-lp");
-    obs::TraceSpan TS(TraceP, "lower-lambda-to-lp", "lowering");
-    Owner = lower::lowerLambdaToLp(P, Ctx);
-  } else {
-    TimingScope S = Total.nest("parse");
-    obs::TraceSpan TS(TraceP, "parse", "frontend");
-    Operation *Root = parseSourceString(Source, Ctx, DE);
-    if (!Root)
-      return 1;
-    Owner = OwningOpRef(Root);
-  }
-
-  {
-    // Verifier failures on freshly parsed IR are diagnostics like any
-    // other, so malformed-but-parseable input cannot abort the driver.
-    std::vector<std::string> VerifyErrors;
-    if (failed(verify(Owner.get(), VerifyErrors))) {
-      for (const std::string &Message : VerifyErrors)
-        DE.error(SourceLoc(), "verifier: " + Message);
-      return 1;
-    }
-  }
-  if (VerifyOnly) {
-    outs() << "ok\n";
-    return DE.hasErrors() ? 1 : 0;
-  }
-
-  // Translation validation: the freshly-lowered/parsed module is stage 0;
-  // every pass and explicit lowering below adds a stage. A generous fuel
-  // cap keeps nonterminating inputs from hanging the driver.
-  std::unique_ptr<validate::StageValidator> SV;
-  if (ValidateStages) {
-    validate::EvalOptions EO;
-    EO.FuelLimit = 100'000'000;
-    SV = std::make_unique<validate::StageValidator>(ValidateEntry, EO);
-    SV->observeStage(MiniLean ? "lower-lambda-to-lp" : "parse",
-                     Owner.get());
-  }
-
   PassManager PM;
 
   // Finishes the root span and writes every requested JSON artifact;
-  // called once on each exit path after the primary stdout content is
-  // flushed. Returns false if an artifact could not be written.
+  // called once on each exit path — including failures — after the
+  // primary stdout content is flushed, so --trace-json/--metrics-json
+  // files are always complete and parseable even when the run traps or
+  // the driver exits 1. Returns false if an artifact could not be
+  // written.
   auto EmitObservability = [&](vm::VM *Machine, rt::Runtime *RT,
                                vm::Program *Prog) -> bool {
     bool OK = true;
@@ -435,6 +385,90 @@ int main(int argc, char **argv) {
     }
     return OK;
   };
+
+  // The failure-path exit: flush the sinks first (S1: artifacts must be
+  // complete even on exit 1), then return \p Code.
+  auto FailExit = [&](int Code) -> int {
+    outs().flush();
+    EmitObservability(nullptr, nullptr, nullptr);
+    return Code;
+  };
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  OwningOpRef Owner;
+
+  // Diagnostics from both parsers and the post-parse verifier render
+  // clang-style to stderr as they are reported; any error diagnostic
+  // makes lz-opt exit 1 (warnings alone do not).
+  DiagnosticEngine DE;
+  DE.setSourceBuffer(std::string(Path) == "-" ? "<stdin>" : Path, Source);
+  DE.setMaxErrors(MaxErrors);
+  DE.setHandler([&DE](const Diagnostic &D) { DE.renderDiagnostic(D, errs()); });
+
+  // Stage timing is always collected (a handful of clock reads); the
+  // report only prints under --pass-timing.
+  TimingManager TM;
+  TimingScope Total(TM);
+
+  if (MiniLean) {
+    lambda::Program P;
+    {
+      TimingScope S = Total.nest("parse");
+      obs::TraceSpan TS(TraceP, "parse", "frontend");
+      if (failed(lambda::parseMiniLean(Source, P, DE)))
+        return FailExit(1);
+    }
+    if (Simplify) {
+      TimingScope S = Total.nest("simplify");
+      obs::TraceSpan TS(TraceP, "simplify", "frontend");
+      lambda::simplifyProgram(P);
+    }
+    if (RC) {
+      TimingScope S = Total.nest("rc-insert");
+      obs::TraceSpan TS(TraceP, "rc-insert", "frontend");
+      rc::insertRC(P);
+    }
+    TimingScope S = Total.nest("lower-lambda-to-lp");
+    obs::TraceSpan TS(TraceP, "lower-lambda-to-lp", "lowering");
+    // Site stamping only under --heap-profile: the attributes print, so
+    // unconditional stamping would churn every module-printing golden.
+    Owner = lower::lowerLambdaToLp(P, Ctx, HeapProfile);
+  } else {
+    TimingScope S = Total.nest("parse");
+    obs::TraceSpan TS(TraceP, "parse", "frontend");
+    Operation *Root = parseSourceString(Source, Ctx, DE);
+    if (!Root)
+      return FailExit(1);
+    Owner = OwningOpRef(Root);
+  }
+
+  {
+    // Verifier failures on freshly parsed IR are diagnostics like any
+    // other, so malformed-but-parseable input cannot abort the driver.
+    std::vector<std::string> VerifyErrors;
+    if (failed(verify(Owner.get(), VerifyErrors))) {
+      for (const std::string &Message : VerifyErrors)
+        DE.error(SourceLoc(), "verifier: " + Message);
+      return FailExit(1);
+    }
+  }
+  if (VerifyOnly) {
+    outs() << "ok\n";
+    return DE.hasErrors() ? 1 : 0;
+  }
+
+  // Translation validation: the freshly-lowered/parsed module is stage 0;
+  // every pass and explicit lowering below adds a stage. A generous fuel
+  // cap keeps nonterminating inputs from hanging the driver.
+  std::unique_ptr<validate::StageValidator> SV;
+  if (ValidateStages) {
+    validate::EvalOptions EO;
+    EO.FuelLimit = 100'000'000;
+    SV = std::make_unique<validate::StageValidator>(ValidateEntry, EO);
+    SV->observeStage(MiniLean ? "lower-lambda-to-lp" : "parse",
+                     Owner.get());
+  }
 
   {
     TimingScope PassScope = Total.nest("passes");
@@ -472,7 +506,7 @@ int main(int argc, char **argv) {
       }
     }
     if (failed(PM.run(Owner.get())))
-      return 1;
+      return FailExit(1);
   }
 
   if (LowerLp) {
@@ -480,10 +514,10 @@ int main(int argc, char **argv) {
       TimingScope S = Total.nest("lower-lp-to-rgn");
       obs::TraceSpan TS(TraceP, "lower-lp-to-rgn", "lowering");
       if (failed(lower::lowerLpToRgn(Owner.get())))
-        return 1;
+        return FailExit(1);
     }
     if (failed(verify(Owner.get())))
-      return 1;
+      return FailExit(1);
     if (SV)
       SV->observeStage("lower-lp-to-rgn", Owner.get());
   }
@@ -493,11 +527,11 @@ int main(int argc, char **argv) {
       TimingScope S = Total.nest("lower-rgn-to-cf");
       obs::TraceSpan TS(TraceP, "lower-rgn-to-cf", "lowering");
       if (failed(lower::lowerRgnToCf(Owner.get())))
-        return 1;
+        return FailExit(1);
       lower::markTailCalls(Owner.get());
     }
     if (failed(verify(Owner.get())))
-      return 1;
+      return FailExit(1);
     if (SV)
       SV->observeStage("lower-rgn-to-cf", Owner.get());
   }
@@ -514,13 +548,14 @@ int main(int argc, char **argv) {
     return (SV->allAgree() && !DE.hasErrors() && ObsOK) ? 0 : 1;
   }
 
-  if (DumpBytecode || VMProfile) {
+  if (DumpBytecode || VMProfile || HeapProfile) {
     // The bytecode surface: requires a fully lowered module (func + cf +
     // arith + lp data ops), i.e. at least --lower-rgn-to-cf upstream.
     vm::Program Prog;
     std::string VMErr;
     vm::CompilerOptions VMOpts;
     VMOpts.FuseSuperinstructions = Fuse;
+    VMOpts.RecordSites = HeapProfile;
     VMOpts.Trace = TraceP;
     VMOpts.Remarks = Remarks.get();
     {
@@ -528,12 +563,12 @@ int main(int argc, char **argv) {
       obs::TraceSpan TS(TraceP, "vm-emit", "vm-emit");
       if (failed(vm::compileModule(Owner.get(), Prog, VMErr, VMOpts))) {
         errs() << VMErr << '\n';
-        return 1;
+        return FailExit(1);
       }
     }
     if (DumpBytecode)
       vm::disassemble(Prog, outs());
-    if (VMProfile) {
+    if (VMProfile || HeapProfile) {
       rt::Runtime RT;
       vm::VM Machine(Prog, RT, &outs());
       if (VMDispatch == "goto")
@@ -546,24 +581,54 @@ int main(int argc, char **argv) {
       }
       // The opcode histogram also feeds the vm.fused-op-hits metric, so
       // collect it whenever metrics were requested.
-      if (!VMProfileFunctions || Metrics)
+      if ((VMProfile && !VMProfileFunctions) || Metrics)
         Machine.enableProfiling();
       if (VMProfileFunctions)
         Machine.enableFunctionProfiling();
+      if (HeapProfile)
+        Machine.enableHeapProfiling();
+      // Traps unwind instead of aborting; tracking lets the Runtime
+      // destructor reclaim whatever a trapped run left live.
+      RT.setLeakTracking(true);
+      bool Trapped = false;
       {
         TimingScope S = Total.nest("vm-run");
         obs::TraceSpan TS(TraceP, "vm-run", "vm");
-        rt::ObjRef Result = Machine.run("main", {});
-        outs() << "result: " << RT.toDisplayString(Result) << '\n';
-        RT.dec(Result);
+        try {
+          rt::ObjRef Result = Machine.run("main", {});
+          outs() << "result: " << RT.toDisplayString(Result) << '\n';
+          RT.dec(Result);
+        } catch (const vm::TrapError &T) {
+          Trapped = true;
+          outs() << "vm: trap: " << T.Message << '\n';
+        }
       }
       // Counts are dispatch-mode independent, so goldens hold on both
       // goto and switch builds.
-      if (VMProfileFunctions)
-        vm::printFunctionProfile(Machine.getFunctionProfile(), Prog,
-                                 outs());
-      else
-        vm::printProfile(Machine.getProfile(), outs());
+      if (VMProfile) {
+        if (VMProfileFunctions)
+          vm::printFunctionProfile(Machine.getFunctionProfile(), Prog,
+                                   outs());
+        else
+          vm::printProfile(Machine.getProfile(), outs());
+      }
+      bool ArtifactsOK = true;
+      if (HeapProfile) {
+        if (HeapProfileJSON)
+          obs::exportHeapProfileJSON(outs(), RT);
+        else
+          obs::printHeapProfile(outs(), RT);
+        // Leak provenance: blame surviving cells by allocation site —
+        // read before the Runtime destructor reclaims the evidence.
+        for (const auto &[Site, Count] : RT.collectLeakSites())
+          outs() << "leak: " << Count << " cell(s) from " << Site << '\n';
+        if (!HeapCollapsedPath.empty())
+          ArtifactsOK &= WriteJSONTo(HeapCollapsedPath, [&](OStream &OS) {
+            obs::exportCollapsedStacks(OS, RT);
+          });
+        if (TraceP)
+          obs::emitHeapTimeline(*TraceP, RT);
+      }
       Total.stop();
       outs().flush();
       bool ObsOK = EmitObservability(&Machine, &RT, &Prog);
@@ -571,7 +636,7 @@ int main(int argc, char **argv) {
         PM.printStatistics(errs());
       if (PassTiming)
         TM.print(errs());
-      return (DE.hasErrors() || !ObsOK) ? 1 : 0;
+      return (DE.hasErrors() || !ObsOK || !ArtifactsOK || Trapped) ? 1 : 0;
     }
     Total.stop();
     outs().flush();
